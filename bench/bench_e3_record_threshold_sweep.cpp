@@ -1,0 +1,65 @@
+// E3 — Sensitivity to the record-level edge threshold θ (paper: the
+// record similarity threshold inside the BM measure).
+//
+// Sweeps θ at a fixed Θ and reports BM's quality plus the size of the
+// similarity graphs it induces. Expected shape: a broad sweet spot —
+// too-low θ admits noise edges (precision pressure, larger graphs),
+// too-high θ starves the matching (recall collapse).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/group_measures.h"
+#include "core/linkage_engine.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace grouplink;
+
+  FlagParser flags;
+  flags.AddInt64("entities", 100, "author entities");
+  flags.AddDouble("noise", 0.25, "generator noise");
+  GL_CHECK(flags.Parse(argc, argv).ok());
+
+  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
+      static_cast<int32_t>(flags.GetInt64("entities")), flags.GetDouble("noise")));
+  const auto truth = dataset.TruePairs();
+  std::printf("E3: BM quality vs record threshold theta (Theta=%.2f)\n\n",
+              bench::kGroupThreshold);
+
+  // Average edge count over the true group pairs, as a graph-size proxy.
+  LinkageEngine probe(&dataset, LinkageConfig{});
+  GL_CHECK(probe.Prepare().ok());
+
+  TextTable table({"theta", "precision", "recall", "F1", "avg edges/true pair"});
+  for (const double theta : {0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7}) {
+    LinkageConfig config;
+    config.theta = theta;
+    config.group_threshold = bench::kGroupThreshold;
+    const auto result = RunGroupLinkage(dataset, config);
+    GL_CHECK(result.ok());
+    const PairMetrics metrics = EvaluatePairs(result->linked_pairs, truth);
+
+    size_t edges = 0;
+    for (const auto& [g1, g2] : truth) {
+      edges += BuildSimilarityGraph(dataset, g1, g2,
+                                    [&](int32_t a, int32_t b) {
+                                      return probe.DefaultRecordSimilarity(a, b);
+                                    },
+                                    theta)
+                   .edges()
+                   .size();
+    }
+    const double avg_edges =
+        truth.empty() ? 0.0 : static_cast<double>(edges) / truth.size();
+    table.AddRow({FormatDouble(theta, 2), FormatDouble(metrics.precision, 3),
+                  FormatDouble(metrics.recall, 3), FormatDouble(metrics.f1, 3),
+                  FormatDouble(avg_edges, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E5 — Scalability of the filter-and-refine strategy (paper: execution
+// time vs data size for the naive vs bounded evaluation strategies).
+//
+// Sweeps the number of groups and times three strategies that all return
+// identical links (equivalence asserted):
+//   brute       — all group pairs, exact BM on each (no candidates, no bounds)
+//   join+exact  — prefix-filter join candidates, exact BM on each
+//   join+bounds — full pipeline: join candidates, UB prune / LB accept,
+//                 Hungarian only on the residue
+// The brute strategy is skipped above --brute-cap groups (quadratic blowup,
+// exactly the paper's motivation).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/linkage_engine.h"
+#include "eval/table.h"
+
+namespace {
+
+using namespace grouplink;
+
+struct RunOutcome {
+  double seconds = 0.0;
+  size_t links = 0;
+  size_t refined = 0;
+};
+
+RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool bounds,
+                   bool edge_join = false) {
+  LinkageConfig config;
+  config.theta = bench::kTheta;
+  config.group_threshold = bench::kGroupThreshold;
+  config.candidates = candidates;
+  config.use_filter_refine = bounds;
+  config.use_edge_join = edge_join;
+  WallTimer timer;
+  const auto result = RunGroupLinkage(dataset, config);
+  GL_CHECK(result.ok());
+  RunOutcome outcome;
+  outcome.seconds = timer.ElapsedSeconds();
+  outcome.links = result->linked_pairs.size();
+  outcome.refined =
+      edge_join ? result->edge_join_stats.refined : result->score_stats.refined;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("brute-cap", 700, "skip the brute-force strategy above this many groups");
+  flags.AddString("sizes", "60,125,250,500", "comma-separated entity counts");
+  GL_CHECK(flags.Parse(argc, argv).ok());
+  const int64_t brute_cap = flags.GetInt64("brute-cap");
+
+  std::printf("E5: wall time vs number of groups (theta=%.2f, Theta=%.2f)\n\n",
+              bench::kTheta, bench::kGroupThreshold);
+
+  TextTable table({"groups", "records", "brute (s)", "per-pair+bounds (s)",
+                   "edge-join (s)", "speedup", "links"});
+  for (const std::string& size_text : Split(flags.GetString("sizes"), ',')) {
+    const auto entities = ParseInt64(size_text);
+    GL_CHECK(entities.ok()) << size_text;
+    const Dataset dataset = GenerateBibliographic(
+        bench::HardBibliographic(static_cast<int32_t>(*entities), 0.25));
+
+    const RunOutcome edge_join =
+        TimeRun(dataset, CandidateMethod::kRecordJoin, true, /*edge_join=*/true);
+    const RunOutcome bounded = TimeRun(dataset, CandidateMethod::kRecordJoin, true);
+    GL_CHECK_EQ(edge_join.links, bounded.links);
+
+    std::string brute_cell = "-";
+    double reference_seconds = bounded.seconds;
+    if (dataset.num_groups() <= brute_cap) {
+      const RunOutcome brute = TimeRun(dataset, CandidateMethod::kAllPairs, false);
+      GL_CHECK_EQ(brute.links, bounded.links);
+      brute_cell = FormatDouble(brute.seconds, 2);
+      reference_seconds = brute.seconds;
+    }
+    table.AddRow({std::to_string(dataset.num_groups()),
+                  std::to_string(dataset.num_records()), brute_cell,
+                  FormatDouble(bounded.seconds, 2),
+                  FormatDouble(edge_join.seconds, 2),
+                  FormatDouble(reference_seconds / edge_join.seconds, 1) + "x",
+                  std::to_string(edge_join.links)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nAll strategies returned identical link sets on every size "
+      "(checked).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E7 — Matching algorithm cost vs group size (paper: the O(k³) exact
+// matching is the scalability bottleneck that motivates the bounds).
+//
+// Times the Hungarian algorithm, greedy matching, Hopcroft-Karp, and the
+// O(E) semi-matching (UB engine) on random bipartite similarity graphs of
+// growing side size. Expected shape: Hungarian grows ~cubically; greedy
+// and semi-matching stay near-linear in E, diverging by orders of
+// magnitude at a few hundred records per group.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "eval/table.h"
+#include "matching/auction.h"
+#include "matching/greedy.h"
+#include "matching/hopcroft_karp.h"
+#include "matching/hungarian.h"
+#include "matching/semi_matching.h"
+
+namespace {
+
+using namespace grouplink;
+
+BipartiteGraph RandomGraph(Rng& rng, int32_t side, double density) {
+  BipartiteGraph graph(side, side);
+  for (int32_t l = 0; l < side; ++l) {
+    for (int32_t r = 0; r < side; ++r) {
+      if (rng.Bernoulli(density)) graph.AddEdge(l, r, 0.05 + 0.95 * rng.UniformDouble());
+    }
+  }
+  return graph;
+}
+
+// Repeats `fn` until ~0.2s elapse and returns milliseconds per call.
+template <typename Fn>
+double TimePerCall(const Fn& fn) {
+  WallTimer timer;
+  int calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (timer.ElapsedSeconds() < 0.2);
+  return timer.ElapsedMillis() / calls;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("density", 0.3, "edge probability");
+  flags.AddInt64("max-side", 512, "largest group size to time");
+  GL_CHECK(flags.Parse(argc, argv).ok());
+  const double density = flags.GetDouble("density");
+  const int64_t max_side = flags.GetInt64("max-side");
+
+  std::printf("E7: matching cost vs group size (density=%.2f)\n\n", density);
+
+  Rng rng(7);
+  TextTable table({"group size", "edges", "Hungarian (ms)", "Auction (ms)",
+                   "Greedy (ms)", "Hopcroft-Karp (ms)", "semi-match (ms)"});
+  for (int32_t side = 8; side <= max_side; side *= 2) {
+    const BipartiteGraph graph = RandomGraph(rng, side, density);
+    const double hungarian =
+        TimePerCall([&] { HungarianMaxWeightMatching(graph); });
+    const double auction =
+        TimePerCall([&] { AuctionMaxWeightMatching(graph, 1e-4); });
+    const double greedy = TimePerCall([&] { GreedyMaxWeightMatching(graph); });
+    const double hopcroft = TimePerCall([&] { HopcroftKarpMatching(graph); });
+    const double semi = TimePerCall([&] { ComputeSemiMatching(graph); });
+    table.AddRow({std::to_string(side), std::to_string(graph.edges().size()),
+                  FormatDouble(hungarian, 3), FormatDouble(auction, 3),
+                  FormatDouble(greedy, 3), FormatDouble(hopcroft, 3),
+                  FormatDouble(semi, 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

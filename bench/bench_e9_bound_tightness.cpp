@@ -1,0 +1,103 @@
+// E9 — Tightness of the UB / LB bounds (paper: how close the cheap
+// measures come to exact BM, which determines how often the refine step
+// can be skipped).
+//
+// Samples candidate group pairs from the standard workload, computes
+// UB, BM, LB per pair, and reports gap statistics plus the fraction of
+// pairs each bound alone would decide at the standard Θ. Soundness
+// (LB <= BM <= UB) is asserted on every pair.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/group_measures.h"
+#include "core/linkage_engine.h"
+#include "eval/table.h"
+#include "index/candidates.h"
+
+int main(int argc, char** argv) {
+  using namespace grouplink;
+
+  FlagParser flags;
+  flags.AddInt64("entities", 100, "author entities");
+  flags.AddInt64("max-pairs", 5000, "maximum candidate pairs to sample");
+  GL_CHECK(flags.Parse(argc, argv).ok());
+
+  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
+      static_cast<int32_t>(flags.GetInt64("entities")), 0.25));
+
+  LinkageConfig config;
+  config.theta = bench::kTheta;
+  LinkageEngine engine(&dataset, config);
+  GL_CHECK(engine.Prepare().ok());
+  const auto sim = [&](int32_t a, int32_t b) {
+    return engine.DefaultRecordSimilarity(a, b);
+  };
+
+  // Candidate pairs with a non-empty similarity graph.
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  for (const auto& pair : AllGroupPairs(dataset.num_groups())) {
+    if (pairs.size() >= static_cast<size_t>(flags.GetInt64("max-pairs"))) break;
+    const BipartiteGraph graph =
+        BuildSimilarityGraph(dataset, pair.first, pair.second, sim, config.theta);
+    if (!graph.edges().empty()) pairs.push_back(pair);
+  }
+  std::printf("E9: bound tightness on %zu non-empty group pairs (theta=%.2f)\n\n",
+              pairs.size(), bench::kTheta);
+
+  std::vector<double> ub_gap;
+  std::vector<double> lb_gap;
+  size_t ub_decides = 0;
+  size_t lb_decides = 0;
+  size_t violations = 0;
+  for (const auto& [g1, g2] : pairs) {
+    const BipartiteGraph graph =
+        BuildSimilarityGraph(dataset, g1, g2, sim, config.theta);
+    const int32_t size1 = dataset.GroupSize(g1);
+    const int32_t size2 = dataset.GroupSize(g2);
+    const double bm = BmMeasure(graph, size1, size2).value;
+    const double ub = UpperBoundMeasure(graph, size1, size2);
+    const double lb = GreedyLowerBound(graph, size1, size2);
+    if (lb > bm + 1e-9 || bm > ub + 1e-9) ++violations;
+    ub_gap.push_back(ub - bm);
+    lb_gap.push_back(bm - lb);
+    if (ub < bench::kGroupThreshold) ++ub_decides;
+    if (lb >= bench::kGroupThreshold) ++lb_decides;
+  }
+  GL_CHECK_EQ(violations, 0u) << "bound soundness violated";
+
+  const auto stats = [](std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    const double mean = values.empty() ? 0.0 : sum / values.size();
+    const double median = values.empty() ? 0.0 : values[values.size() / 2];
+    const double p95 =
+        values.empty() ? 0.0 : values[static_cast<size_t>(0.95 * (values.size() - 1))];
+    const double max = values.empty() ? 0.0 : values.back();
+    return std::vector<double>{mean, median, p95, max};
+  };
+
+  TextTable table({"gap", "mean", "median", "p95", "max"});
+  const auto ub_stats = stats(ub_gap);
+  const auto lb_stats = stats(lb_gap);
+  table.AddRow({"UB - BM", FormatDouble(ub_stats[0], 4), FormatDouble(ub_stats[1], 4),
+                FormatDouble(ub_stats[2], 4), FormatDouble(ub_stats[3], 4)});
+  table.AddRow({"BM - LB", FormatDouble(lb_stats[0], 4), FormatDouble(lb_stats[1], 4),
+                FormatDouble(lb_stats[2], 4), FormatDouble(lb_stats[3], 4)});
+  std::printf("%s", table.ToString().c_str());
+
+  const double total = static_cast<double>(pairs.size());
+  std::printf(
+      "\nAt Theta=%.2f: UB alone prunes %.1f%%, LB alone accepts %.1f%%, "
+      "refine needed for %.1f%% of non-empty pairs.\n",
+      bench::kGroupThreshold, 100.0 * ub_decides / total, 100.0 * lb_decides / total,
+      100.0 * (total - ub_decides - lb_decides) / total);
+  std::printf("Soundness LB <= BM <= UB held on all %zu pairs.\n", pairs.size());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E12 — Microbenchmarks of the matching substrate (google-benchmark):
+// Hungarian vs greedy vs Hopcroft-Karp vs semi-matching across graph
+// sizes, the per-pair kernel costs behind experiment E7.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "matching/auction.h"
+#include "matching/bipartite_graph.h"
+#include "matching/greedy.h"
+#include "matching/hopcroft_karp.h"
+#include "matching/hungarian.h"
+#include "matching/semi_matching.h"
+
+namespace {
+
+using namespace grouplink;
+
+BipartiteGraph RandomGraph(int32_t side, double density, uint64_t seed) {
+  Rng rng(seed);
+  BipartiteGraph graph(side, side);
+  for (int32_t l = 0; l < side; ++l) {
+    for (int32_t r = 0; r < side; ++r) {
+      if (rng.Bernoulli(density)) graph.AddEdge(l, r, 0.05 + 0.95 * rng.UniformDouble());
+    }
+  }
+  return graph;
+}
+
+void BM_Hungarian(benchmark::State& state) {
+  const BipartiteGraph graph = RandomGraph(static_cast<int32_t>(state.range(0)), 0.3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HungarianMaxWeightMatching(graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Hungarian)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_Auction(benchmark::State& state) {
+  const BipartiteGraph graph = RandomGraph(static_cast<int32_t>(state.range(0)), 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AuctionMaxWeightMatching(graph, 1e-4));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Auction)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_Greedy(benchmark::State& state) {
+  const BipartiteGraph graph = RandomGraph(static_cast<int32_t>(state.range(0)), 0.3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMaxWeightMatching(graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Greedy)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const BipartiteGraph graph = RandomGraph(static_cast<int32_t>(state.range(0)), 0.3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HopcroftKarpMatching(graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HopcroftKarp)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_SemiMatching(benchmark::State& state) {
+  const BipartiteGraph graph = RandomGraph(static_cast<int32_t>(state.range(0)), 0.3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSemiMatching(graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SemiMatching)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// E11 — Microbenchmarks of the record-similarity substrate
+// (google-benchmark): tokenization, the string measures, and TF-IDF
+// vectorization/cosine, which dominate the graph-construction phase.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/name_corpus.h"
+#include "text/edit_distance.h"
+#include "text/jaccard.h"
+#include "text/jaro.h"
+#include "text/monge_elkan.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace {
+
+using namespace grouplink;
+
+std::vector<std::string> MakeTitles(size_t count) {
+  Rng rng(99);
+  std::vector<std::string> titles;
+  titles.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string title;
+    const size_t words = 5 + rng.Uniform(5);
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) title += ' ';
+      title += rng.Choice(TitleWords());
+    }
+    titles.push_back(std::move(title));
+  }
+  return titles;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto titles = MakeTitles(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(titles[i++ % titles.size()]));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const auto titles = MakeTitles(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = titles[i % titles.size()];
+    const std::string& b = titles[(i + 1) % titles.size()];
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  const auto titles = MakeTitles(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = titles[i % titles.size()];
+    const std::string& b = titles[(i + 1) % titles.size()];
+    benchmark::DoNotOptimize(BoundedLevenshteinDistance(a, b, 4));
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  const auto titles = MakeTitles(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(titles[i % titles.size()],
+                                                   titles[(i + 1) % titles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_TokenJaccard(benchmark::State& state) {
+  const auto titles = MakeTitles(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TokenJaccard(titles[i % titles.size()], titles[(i + 1) % titles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+void BM_MongeElkan(benchmark::State& state) {
+  const auto titles = MakeTitles(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MongeElkanJaroWinkler(titles[i % titles.size()],
+                                                   titles[(i + 1) % titles.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+void BM_TfIdfVectorize(benchmark::State& state) {
+  const auto titles = MakeTitles(256);
+  Vocabulary vocab;
+  for (const std::string& title : titles) vocab.AddDocument(ToTokenSet(Tokenize(title)));
+  const TfIdfVectorizer vectorizer(&vocab);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vectorizer.Vectorize(Tokenize(titles[i++ % titles.size()])));
+  }
+}
+BENCHMARK(BM_TfIdfVectorize);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  const auto titles = MakeTitles(256);
+  Vocabulary vocab;
+  for (const std::string& title : titles) vocab.AddDocument(ToTokenSet(Tokenize(title)));
+  const TfIdfVectorizer vectorizer(&vocab);
+  std::vector<SparseVector> vectors;
+  for (const std::string& title : titles) {
+    vectors.push_back(vectorizer.Vectorize(Tokenize(title)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CosineSimilarity(vectors[i % vectors.size()], vectors[(i + 7) % vectors.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CosineSimilarity);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+#ifndef GROUPLINK_BENCH_BENCH_UTIL_H_
+#define GROUPLINK_BENCH_BENCH_UTIL_H_
+
+// Shared configuration for the experiment harnesses, so every experiment
+// runs against the same "hard" workload unless it sweeps that knob itself.
+
+#include "data/bibliographic_generator.h"
+#include "data/household_generator.h"
+
+namespace grouplink {
+namespace bench {
+
+/// The standard bibliographic workload of the evaluation: confusable
+/// topics (shared vocabulary across entities) and moderate dirtiness.
+inline BibliographicConfig HardBibliographic(int32_t entities = 200,
+                                             double noise = 0.25,
+                                             uint64_t seed = 42) {
+  BibliographicConfig config;
+  config.num_entities = entities;
+  config.noise = noise;
+  config.num_topics = 6;
+  config.offtopic_word_prob = 0.5;
+  config.seed = seed;
+  return config;
+}
+
+/// The standard census workload.
+inline HouseholdConfig StandardHouseholds(int32_t households = 400,
+                                          double noise = 0.3, uint64_t seed = 7) {
+  HouseholdConfig config;
+  config.num_households = households;
+  config.noise = noise;
+  config.seed = seed;
+  return config;
+}
+
+/// The record/group thresholds calibrated for the TF-IDF record
+/// similarity on the hard bibliographic workload.
+constexpr double kTheta = 0.35;
+constexpr double kGroupThreshold = 0.2;
+
+}  // namespace bench
+}  // namespace grouplink
+
+#endif  // GROUPLINK_BENCH_BENCH_UTIL_H_

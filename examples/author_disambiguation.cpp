@@ -1,0 +1,83 @@
+// Author disambiguation at scale: generates a synthetic digital-library
+// corpus (author entities observed under several dirty name variants, each
+// carrying a citation list), links the citation groups with the BM measure
+// through the filter-and-refine pipeline, and reports quality + pipeline
+// statistics against the generator's ground truth.
+//
+//   ./author_disambiguation --entities=400 --noise=0.25 --theta=0.6 \
+//       --group-threshold=0.3 [--save=authors.csv]
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+#include "data/record_io.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace grouplink;
+
+  FlagParser flags;
+  flags.AddInt64("entities", 400, "number of author entities to generate");
+  flags.AddDouble("noise", 0.25, "generator dirtiness dial in [0, 1]");
+  flags.AddInt64("seed", 42, "generator seed");
+  flags.AddDouble("theta", 0.4, "record-level edge threshold");
+  flags.AddDouble("group-threshold", 0.25, "group-level link threshold");
+  flags.AddString("save", "", "optional path to save the dataset as CSV");
+  const Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok() || flags.help_requested()) {
+    std::fprintf(stderr, "%s\n%s", parse_status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  BibliographicConfig data_config;
+  data_config.num_entities = static_cast<int32_t>(flags.GetInt64("entities"));
+  data_config.noise = flags.GetDouble("noise");
+  data_config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  const Dataset dataset = GenerateBibliographic(data_config);
+  std::printf("Generated %d records in %d groups (%d author entities).\n",
+              dataset.num_records(), dataset.num_groups(), data_config.num_entities);
+
+  if (const std::string path = flags.GetString("save"); !path.empty()) {
+    const Status save_status = SaveDatasetCsv(dataset, path);
+    GL_CHECK(save_status.ok()) << save_status.ToString();
+    std::printf("Saved dataset to %s\n", path.c_str());
+  }
+
+  LinkageConfig config;
+  config.theta = flags.GetDouble("theta");
+  config.group_threshold = flags.GetDouble("group-threshold");
+  const auto result = RunGroupLinkage(dataset, config);
+  GL_CHECK(result.ok()) << result.status().ToString();
+
+  const PairMetrics metrics = EvaluatePairs(result->linked_pairs, dataset.TruePairs());
+  TextTable quality({"metric", "value"});
+  quality.AddRow({"precision", FormatDouble(metrics.precision, 4)});
+  quality.AddRow({"recall", FormatDouble(metrics.recall, 4)});
+  quality.AddRow({"F1", FormatDouble(metrics.f1, 4)});
+  quality.AddRow({"linked pairs", std::to_string(result->linked_pairs.size())});
+  quality.AddRow({"true pairs", std::to_string(dataset.TruePairs().size())});
+  quality.AddRow({"clusters", std::to_string(result->num_clusters)});
+  std::printf("\nLinkage quality vs ground truth:\n%s", quality.ToString().c_str());
+
+  const FilterRefineStats& stats = result->score_stats;
+  TextTable pipeline({"pipeline stage", "group pairs"});
+  pipeline.AddRow({"candidates (record join)", std::to_string(stats.candidates)});
+  pipeline.AddRow({"empty similarity graph", std::to_string(stats.empty_graphs)});
+  pipeline.AddRow({"pruned by UB", std::to_string(stats.pruned_by_upper_bound)});
+  pipeline.AddRow({"accepted by LB", std::to_string(stats.accepted_by_lower_bound)});
+  pipeline.AddRow({"refined (Hungarian)", std::to_string(stats.refined)});
+  pipeline.AddRow({"linked", std::to_string(stats.linked)});
+  std::printf("\nFilter-and-refine breakdown:\n%s", pipeline.ToString().c_str());
+
+  std::printf("\nTime: prepare %.3fs, candidates %.3fs, scoring %.3fs\n",
+              result->seconds_prepare, result->seconds_candidates,
+              result->seconds_scoring);
+  return 0;
+}

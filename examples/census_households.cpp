@@ -1,0 +1,110 @@
+// Census household linkage: two survey snapshots a year apart, each
+// household a group of person records. Links snapshot-A households to
+// snapshot-B households despite member churn, aging, and typos — the
+// paper's second motivating domain.
+//
+// Demonstrates overriding the engine's default TF-IDF record similarity
+// with a custom field-weighted similarity (name tokens + numeric age).
+//
+//   ./census_households --households=400 --noise=0.3
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/linkage_engine.h"
+#include "data/household_generator.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "text/record_similarity.h"
+
+namespace {
+
+using namespace grouplink;
+
+// Splits "first last age street..." into (name+address tokens, age) fields
+// for the field-weighted similarity.
+std::vector<std::string> ToFields(const std::string& text) {
+  const std::vector<std::string> tokens = SplitWhitespace(text);
+  std::string age;
+  std::vector<std::string> rest;
+  for (const std::string& token : tokens) {
+    if (age.empty() && ParseInt64(token).ok()) {
+      age = token;
+    } else {
+      rest.push_back(token);
+    }
+  }
+  return {Join(rest, " "), age};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("households", 400, "number of households to generate");
+  flags.AddDouble("noise", 0.3, "generator dirtiness dial in [0, 1]");
+  flags.AddInt64("seed", 7, "generator seed");
+  flags.AddDouble("theta", 0.7, "record-level edge threshold");
+  flags.AddDouble("group-threshold", 0.4, "group-level link threshold");
+  const Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok() || flags.help_requested()) {
+    std::fprintf(stderr, "%s\n%s", parse_status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  HouseholdConfig data_config;
+  data_config.num_households = static_cast<int32_t>(flags.GetInt64("households"));
+  data_config.noise = flags.GetDouble("noise");
+  data_config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  const Dataset dataset = GenerateHouseholds(data_config);
+  std::printf("Generated %d person records in %d household snapshots.\n",
+              dataset.num_records(), dataset.num_groups());
+
+  LinkageConfig config;
+  config.theta = flags.GetDouble("theta");
+  config.group_threshold = flags.GetDouble("group-threshold");
+
+  LinkageEngine engine(&dataset, config);
+  const Status prepare_status = engine.Prepare();
+  GL_CHECK(prepare_status.ok()) << prepare_status.ToString();
+
+  // Custom record similarity: person-name/address tokens matched with
+  // Monge-Elkan (robust to initials and typos), age as a numeric field
+  // tolerating the one-year drift between snapshots.
+  const RecordSimilarity field_sim({
+      {0, FieldMeasure::kMongeElkan, 3.0, 1.0},
+      {1, FieldMeasure::kNumericAbs, 1.0, /*numeric_scale=*/5.0},
+  });
+  std::vector<std::vector<std::string>> fields;
+  fields.reserve(dataset.records.size());
+  for (const Record& record : dataset.records) fields.push_back(ToFields(record.text));
+  const LinkageResult result = engine.Run([&](int32_t a, int32_t b) {
+    return field_sim.Similarity(fields[static_cast<size_t>(a)],
+                                fields[static_cast<size_t>(b)]);
+  });
+
+  const PairMetrics metrics = EvaluatePairs(result.linked_pairs, dataset.TruePairs());
+  TextTable table({"metric", "value"});
+  table.AddRow({"precision", FormatDouble(metrics.precision, 4)});
+  table.AddRow({"recall", FormatDouble(metrics.recall, 4)});
+  table.AddRow({"F1", FormatDouble(metrics.f1, 4)});
+  table.AddRow({"linked household pairs", std::to_string(result.linked_pairs.size())});
+  table.AddRow({"true household pairs", std::to_string(dataset.TruePairs().size())});
+  std::printf("\nHousehold linkage quality:\n%s", table.ToString().c_str());
+
+  // Show a few linked pairs with their labels.
+  std::printf("\nSample links:\n");
+  for (size_t i = 0; i < result.linked_pairs.size() && i < 5; ++i) {
+    const auto& [g1, g2] = result.linked_pairs[i];
+    std::printf("  %s (%s)  <->  %s (%s)\n",
+                dataset.groups[static_cast<size_t>(g1)].id.c_str(),
+                dataset.groups[static_cast<size_t>(g1)].label.c_str(),
+                dataset.groups[static_cast<size_t>(g2)].id.c_str(),
+                dataset.groups[static_cast<size_t>(g2)].label.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Quickstart: link author name variants by comparing their citation groups.
+//
+// Builds a six-group toy dataset by hand — two real authors, each appearing
+// under three name variants with overlapping-but-dirty citation lists, plus
+// similar-looking distractors — and runs the group linkage engine on it.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/linkage_engine.h"
+#include "eval/table.h"
+
+namespace {
+
+using grouplink::Dataset;
+using grouplink::Group;
+using grouplink::Record;
+
+// Appends a group whose records are the given citation strings.
+void AddGroup(Dataset& dataset, const std::string& label, int32_t entity,
+              const std::vector<std::string>& citations) {
+  Group group;
+  group.id = label;
+  group.label = label;
+  for (const std::string& citation : citations) {
+    Record record;
+    record.id = label + "/" + std::to_string(group.record_ids.size());
+    record.text = citation;
+    group.record_ids.push_back(static_cast<int32_t>(dataset.records.size()));
+    dataset.records.push_back(std::move(record));
+  }
+  dataset.groups.push_back(std::move(group));
+  dataset.group_entities.push_back(entity);
+}
+
+Dataset BuildToyDataset() {
+  Dataset dataset;
+  // Entity 0: a database researcher under three name variants. The
+  // citation lists overlap heavily but not exactly, and the shared
+  // citations carry typos and dropped tokens.
+  AddGroup(dataset, "jeffrey ullman", 0,
+           {"principles of database systems sigmod 1990",
+            "query optimization by predicate pushdown vldb 1993",
+            "datalog evaluation with magic sets pods 1989",
+            "a first course in database systems 1997"});
+  AddGroup(dataset, "j d ullman", 0,
+           {"principles of databse systems sigmod 1990",  // Typo.
+            "query optimization predicate pushdown vldb 1993",
+            "datalog evaluation magic sets pods 1989"});
+  AddGroup(dataset, "ullman jeffrey", 0,
+           {"a first course in database systems 1997",
+            "query optimization by predicate pushdown vldb",
+            "efficient datalog evaluation with magic sets pods 1989"});
+
+  // Entity 1: a different researcher with an overlapping surname and one
+  // superficially similar title — a hard negative for naive matchers.
+  AddGroup(dataset, "laura ullman", 1,
+           {"query scheduling for streaming systems nsdi 2004",
+            "adaptive operator placement in sensor networks sigcomm 2003"});
+  AddGroup(dataset, "l ullman", 1,
+           {"query scheduling for streaming systems nsdi 2004",
+            "operator placement in sensor networks sigcomm 2003"});
+
+  // Entity 2: an unrelated singleton that must stay unlinked.
+  AddGroup(dataset, "marco chen", 2,
+           {"consensus protocols for replicated logs podc 1999"});
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  const Dataset dataset = BuildToyDataset();
+  GL_CHECK(dataset.Validate().ok());
+
+  grouplink::LinkageConfig config;
+  config.theta = 0.5;            // Record pairs below this never form edges.
+  config.group_threshold = 0.4;  // Groups link when BM >= this.
+  config.candidates = grouplink::CandidateMethod::kAllPairs;  // Tiny data.
+
+  const auto result = grouplink::RunGroupLinkage(dataset, config);
+  GL_CHECK(result.ok()) << result.status().ToString();
+
+  std::printf("Linked group pairs (BM >= %.2f):\n", config.group_threshold);
+  for (const auto& [g1, g2] : result->linked_pairs) {
+    std::printf("  %-18s <-> %s\n",
+                dataset.groups[static_cast<size_t>(g1)].label.c_str(),
+                dataset.groups[static_cast<size_t>(g2)].label.c_str());
+  }
+
+  grouplink::TextTable table({"group", "cluster", "true entity"});
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    table.AddRow({dataset.groups[static_cast<size_t>(g)].label,
+                  std::to_string(result->group_cluster[static_cast<size_t>(g)]),
+                  std::to_string(dataset.group_entities[static_cast<size_t>(g)])});
+  }
+  std::printf("\nEntity clusters:\n%s", table.ToString().c_str());
+  std::printf("\n%zu clusters from %d groups; %zu candidate pairs scored.\n",
+              result->num_clusters, dataset.num_groups(),
+              result->score_stats.candidates);
+  return 0;
+}

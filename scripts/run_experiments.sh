@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Rebuilds the project, runs the full test suite, and regenerates every
+# experiment (E1..E16 + microbenchmarks), capturing the outputs that
+# EXPERIMENTS.md is written from.
+#
+#   scripts/run_experiments.sh [build-dir]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
+
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] || continue
+  echo "===== $bench"
+  "$bench"
+  echo
+done 2>&1 | tee bench_output.txt

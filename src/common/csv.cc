@@ -1,0 +1,124 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace grouplink {
+
+std::string CsvEscape(std::string_view field, char delimiter) {
+  const bool needs_quoting =
+      field.find(delimiter) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += delimiter;
+    out += CsvEscape(fields[i], delimiter);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvParseLine(std::string_view line, char delimiter) {
+  auto rows = CsvParseDocument(line, delimiter);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return std::vector<std::string>{""};
+  if (rows->size() != 1) {
+    return Status::ParseError("line contains an embedded newline; use CsvParseDocument");
+  }
+  return std::move((*rows)[0]);
+}
+
+Result<std::vector<std::vector<std::string>>> CsvParseDocument(std::string_view text,
+                                                               char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_has_content = false;  // Current field saw a char or a quote.
+  bool pending_field = false;      // A delimiter promised one more field.
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_has_content = false;
+    pending_field = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_has_content) {
+      in_quotes = true;
+      field_has_content = true;
+    } else if (c == delimiter) {
+      end_field();
+      pending_field = true;  // The next field exists even if empty.
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // Swallow CR of CRLF; a bare CR also terminates the row.
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      end_row();
+    } else {
+      field += c;
+      field_has_content = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (field_has_content || pending_field || !row.empty()) end_row();
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReadFile(const std::string& path,
+                                                          char delimiter) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return CsvParseDocument(buffer.str(), delimiter);
+}
+
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    out << CsvFormatRow(row, delimiter) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace grouplink

@@ -1,0 +1,41 @@
+#ifndef GROUPLINK_COMMON_CSV_H_
+#define GROUPLINK_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grouplink {
+
+/// RFC-4180-style CSV support: fields containing the delimiter, a quote, or
+/// a newline are quoted; embedded quotes are doubled. Used by dataset I/O.
+
+/// Escapes one field for CSV output (quotes only when needed).
+std::string CsvEscape(std::string_view field, char delimiter = ',');
+
+/// Renders one row (no trailing newline).
+std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter = ',');
+
+/// Parses one logical CSV line into fields. The line must not contain an
+/// unterminated quoted field (multi-line fields are handled by CsvReader).
+Result<std::vector<std::string>> CsvParseLine(std::string_view line,
+                                              char delimiter = ',');
+
+/// Parses a whole CSV document (supports quoted fields spanning lines).
+Result<std::vector<std::vector<std::string>>> CsvParseDocument(
+    std::string_view text, char delimiter = ',');
+
+/// Reads and parses a CSV file from disk.
+Result<std::vector<std::vector<std::string>>> CsvReadFile(const std::string& path,
+                                                          char delimiter = ',');
+
+/// Writes rows to a CSV file, replacing any existing content.
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter = ',');
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_CSV_H_

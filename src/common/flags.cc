@@ -1,0 +1,177 @@
+#include "common/flags.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+
+void FlagParser::AddString(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt64;
+  flag.help = help;
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) return Status::InvalidArgument("unknown flag --" + name);
+      if (it->second.type == Type::kBool) {
+        // Bare `--flag` means true, but consume an explicit bool literal
+        // (`--flag false`) when one follows.
+        value = "true";
+        if (i + 1 < argc) {
+          const std::string next = AsciiToLower(argv[i + 1]);
+          if (next == "true" || next == "false" || next == "1" || next == "0" ||
+              next == "yes" || next == "no") {
+            value = next;
+            ++i;
+          }
+        }
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " requires a value");
+      }
+    }
+    GL_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::Ok();
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return Status::InvalidArgument("unknown flag --" + name);
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = value;
+      return Status::Ok();
+    case Type::kInt64: {
+      auto parsed = ParseInt64(value);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("flag --" + name + ": " + parsed.status().message());
+      }
+      flag.int_value = *parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("flag --" + name + ": " + parsed.status().message());
+      }
+      flag.double_value = *parsed;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      const std::string lower = AsciiToLower(value);
+      if (lower == "true" || lower == "1" || lower == "yes") {
+        flag.bool_value = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name + ": invalid bool '" + value + "'");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+const FlagParser::Flag& FlagParser::GetChecked(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  GL_CHECK(it != flags_.end()) << "flag not registered: " << name;
+  GL_CHECK(it->second.type == type) << "flag type mismatch: " << name;
+  return it->second;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).string_value;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return GetChecked(name, Type::kInt64).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetChecked(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetChecked(name, Type::kBool).bool_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    switch (flag.type) {
+      case Type::kString:
+        out << " (string, default \"" << flag.string_value << "\")";
+        break;
+      case Type::kInt64:
+        out << " (int, default " << flag.int_value << ")";
+        break;
+      case Type::kDouble:
+        out << " (double, default " << flag.double_value << ")";
+        break;
+      case Type::kBool:
+        out << " (bool, default " << (flag.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace grouplink

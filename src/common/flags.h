@@ -1,0 +1,70 @@
+#ifndef GROUPLINK_COMMON_FLAGS_H_
+#define GROUPLINK_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grouplink {
+
+/// Minimal command-line flag parser used by the benchmark and example
+/// binaries. Supports `--name=value`, `--name value`, and bare `--flag`
+/// (boolean true). Unrecognized `--` arguments are an error; positional
+/// arguments are collected separately.
+///
+/// Example:
+///   FlagParser flags;
+///   flags.AddInt64("groups", 1000, "number of groups to generate");
+///   flags.AddDouble("theta", 0.7, "record-level threshold");
+///   GL_CHECK(flags.Parse(argc, argv).ok());
+///   int64_t groups = flags.GetInt64("groups");
+class FlagParser {
+ public:
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddInt64(const std::string& name, int64_t default_value, const std::string& help);
+  void AddDouble(const std::string& name, double default_value, const std::string& help);
+  void AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv; on error returns InvalidArgument describing the problem.
+  /// `--help` sets help_requested() and parsing still succeeds.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Accessors abort (GL_CHECK) if the flag was never registered with the
+  /// matching type — registration typos are programmer errors.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders a usage string listing all flags with defaults and help text.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_FLAGS_H_

@@ -1,0 +1,78 @@
+#ifndef GROUPLINK_COMMON_LOGGING_H_
+#define GROUPLINK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace grouplink {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level below which log statements are discarded.
+/// Defaults to kInfo. Thread-compatible: set once at startup.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal messages call std::abort() after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace grouplink
+
+#define GL_LOG_INTERNAL(level)                                              \
+  ::grouplink::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Streams a log line at the given severity, e.g.
+/// `GL_LOG(INFO) << "loaded " << n << " records";`
+#define GL_LOG(severity)                                                     \
+  (::grouplink::LogLevel::k##severity < ::grouplink::MinLogLevel())          \
+      ? (void)0                                                              \
+      : ::grouplink::internal::LogMessageVoidify() &                         \
+            GL_LOG_INTERNAL(::grouplink::LogLevel::k##severity)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// used to enforce programmer invariants (not user-input validation, which
+/// returns Status).
+#define GL_CHECK(condition)                                                  \
+  (condition) ? (void)0                                                      \
+              : ::grouplink::internal::LogMessageVoidify() &                 \
+                    GL_LOG_INTERNAL(::grouplink::LogLevel::kFatal)           \
+                        << "Check failed: " #condition " "
+
+#define GL_CHECK_OP(op, a, b) GL_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define GL_CHECK_EQ(a, b) GL_CHECK_OP(==, a, b)
+#define GL_CHECK_NE(a, b) GL_CHECK_OP(!=, a, b)
+#define GL_CHECK_LT(a, b) GL_CHECK_OP(<, a, b)
+#define GL_CHECK_LE(a, b) GL_CHECK_OP(<=, a, b)
+#define GL_CHECK_GT(a, b) GL_CHECK_OP(>, a, b)
+#define GL_CHECK_GE(a, b) GL_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define GL_DCHECK(condition) GL_CHECK(true || (condition))
+#else
+#define GL_DCHECK(condition) GL_CHECK(condition)
+#endif
+
+#endif  // GROUPLINK_COMMON_LOGGING_H_

@@ -1,0 +1,133 @@
+#ifndef GROUPLINK_COMMON_STATUS_H_
+#define GROUPLINK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace grouplink {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+/// Returns a short stable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); carries a code and a human-readable message on error.
+///
+/// Example:
+///   Status s = dataset.Validate();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr.
+///
+/// Example:
+///   Result<Dataset> ds = LoadDatasetCsv(path);
+///   if (!ds.ok()) return ds.status();
+///   Use(ds.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error, so functions can
+  /// `return value;` or `return Status::...;` directly.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {
+    // An OK status carries no value; normalize to an internal error so the
+    // object is never silently value-less.
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Requires ok(). The non-const overload allows moving the value out.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// Returns the error, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace grouplink
+
+/// Propagates an error Status from an expression that yields Status.
+#define GL_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::grouplink::Status gl_status__ = (expr);         \
+    if (!gl_status__.ok()) return gl_status__;        \
+  } while (false)
+
+#endif  // GROUPLINK_COMMON_STATUS_H_

@@ -1,0 +1,57 @@
+#ifndef GROUPLINK_COMMON_THREAD_POOL_H_
+#define GROUPLINK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace grouplink {
+
+/// Fixed-size worker pool executing submitted tasks FIFO. Used by the
+/// parallel scoring paths; determinism is preserved by writing results
+/// into preallocated per-index slots (see ParallelFor).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs on some worker eventually.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across the pool, blocking until all
+/// iterations complete. Iterations are distributed in contiguous chunks;
+/// `fn` must be safe to call concurrently for distinct i. With a null
+/// pool (or a single-thread pool) runs inline — callers can treat the
+/// parallel and serial paths identically.
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+#include "common/union_find.h"
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+size_t UnionFind::Find(size_t x) {
+  GL_DCHECK(x < parent_.size());
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<size_t> UnionFind::ComponentLabels() {
+  std::vector<size_t> labels(parent_.size());
+  constexpr size_t kUnassigned = static_cast<size_t>(-1);
+  std::vector<size_t> root_label(parent_.size(), kUnassigned);
+  size_t next = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const size_t root = Find(i);
+    if (root_label[root] == kUnassigned) root_label[root] = next++;
+    labels[i] = root_label[root];
+  }
+  return labels;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,45 @@
+#ifndef GROUPLINK_COMMON_UNION_FIND_H_
+#define GROUPLINK_COMMON_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grouplink {
+
+/// Disjoint-set forest with union by rank and path compression.
+/// Used to turn pairwise group links into entity clusters.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets {0}, ..., {n-1}.
+  explicit UnionFind(size_t n);
+
+  /// Returns the representative of `x`'s set (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the sets of `a` and `b`; returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True if `a` and `b` are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets remaining.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Returns a label in [0, num_sets()) per element; elements share a label
+  /// iff they are in the same set. Labels are assigned in order of first
+  /// appearance, so the output is deterministic.
+  std::vector<size_t> ComponentLabels();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_UNION_FIND_H_

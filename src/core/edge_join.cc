@@ -1,0 +1,106 @@
+#include "core/edge_join.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "index/prefix_filter.h"
+
+namespace grouplink {
+namespace {
+
+struct Edge {
+  int32_t left_pos;
+  int32_t right_pos;
+  double weight;
+};
+
+}  // namespace
+
+std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
+    const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
+    int32_t num_tokens, const std::vector<int32_t>& record_group,
+    const RecordSimFn& sim, const EdgeJoinConfig& config, EdgeJoinStats* stats) {
+  GL_CHECK_GT(config.theta, 0.0);
+  GL_CHECK_EQ(record_tokens.size(), dataset.records.size());
+  GL_CHECK_EQ(record_group.size(), dataset.records.size());
+
+  EdgeJoinStats local_stats;
+  EdgeJoinStats& s = stats != nullptr ? *stats : local_stats;
+  s = EdgeJoinStats();
+
+  // Position of each record within its group (graph node index).
+  std::vector<int32_t> local_pos(dataset.records.size(), 0);
+  for (const Group& group : dataset.groups) {
+    for (size_t i = 0; i < group.record_ids.size(); ++i) {
+      local_pos[static_cast<size_t>(group.record_ids[i])] = static_cast<int32_t>(i);
+    }
+  }
+
+  // Stream candidates out of the prefix-filter join, verifying each with
+  // `sim` inline and bucketing surviving cross-group edges by group pair.
+  // std::map keeps group pairs in deterministic order.
+  WallTimer timer;
+  std::map<std::pair<int32_t, int32_t>, std::vector<Edge>> buckets;
+  PrefixFilterSelfJoinStreaming(
+      record_tokens, num_tokens, config.join_jaccard,
+      [&](int32_t r1, int32_t r2) {
+        ++s.record_candidates;
+        const int32_t g1 = record_group[static_cast<size_t>(r1)];
+        const int32_t g2 = record_group[static_cast<size_t>(r2)];
+        if (g1 == g2) return;
+        const double weight = sim(r1, r2);
+        if (weight < config.theta) return;
+        ++s.edges;
+        // Orient the bucket key as (min group, max group); the edge
+        // endpoints follow the same orientation.
+        const bool in_order = g1 < g2;
+        const int32_t left_record = in_order ? r1 : r2;
+        const int32_t right_record = in_order ? r2 : r1;
+        buckets[{std::min(g1, g2), std::max(g1, g2)}].push_back(
+            {local_pos[static_cast<size_t>(left_record)],
+             local_pos[static_cast<size_t>(right_record)], weight});
+      });
+  s.seconds_join = timer.ElapsedSeconds();
+  s.seconds_verify = 0.0;  // Folded into the streaming join.
+  s.group_pairs = buckets.size();
+
+  timer.Reset();
+  std::vector<std::pair<int32_t, int32_t>> linked;
+  for (const auto& [group_pair, edges] : buckets) {
+    const auto& [g1, g2] = group_pair;
+    const int32_t size_left = dataset.GroupSize(g1);
+    const int32_t size_right = dataset.GroupSize(g2);
+    BipartiteGraph graph(size_left, size_right);
+    for (const Edge& edge : edges) {
+      graph.AddEdge(edge.left_pos, edge.right_pos, edge.weight);
+    }
+
+    bool decided = false;
+    bool link = false;
+    if (config.use_upper_bound_filter &&
+        UpperBoundMeasure(graph, size_left, size_right) < config.group_threshold) {
+      ++s.pruned_by_upper_bound;
+      decided = true;
+    }
+    if (!decided && config.use_lower_bound_accept &&
+        GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold) {
+      ++s.accepted_by_lower_bound;
+      decided = true;
+      link = true;
+    }
+    if (!decided) {
+      ++s.refined;
+      link = BmMeasure(graph, size_left, size_right).value >= config.group_threshold;
+    }
+    if (link) {
+      linked.push_back(group_pair);
+      ++s.linked;
+    }
+  }
+  s.seconds_score = timer.ElapsedSeconds();
+  return linked;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,76 @@
+#ifndef GROUPLINK_CORE_EDGE_JOIN_H_
+#define GROUPLINK_CORE_EDGE_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/group_measures.h"
+
+namespace grouplink {
+
+/// Configuration of the edge-join evaluation strategy.
+struct EdgeJoinConfig {
+  /// Record-level edge threshold θ (> 0).
+  double theta = 0.4;
+  /// Group-level link threshold Θ.
+  double group_threshold = 0.25;
+  /// Token-Jaccard threshold of the record-pair prefix-filter join that
+  /// generates edge *candidates*. Lower = more candidates verified = more
+  /// recall of true edges; 0.1-0.2 is near-lossless in practice.
+  double join_jaccard = 0.3;
+  /// Bound switches (as in FilterRefineConfig).
+  bool use_upper_bound_filter = true;
+  bool use_lower_bound_accept = true;
+};
+
+/// Counters of one EdgeJoinLink run.
+struct EdgeJoinStats {
+  /// Record pairs produced by the prefix filter (candidates to verify).
+  size_t record_candidates = 0;
+  /// Verified edges (sim >= θ) across group boundaries.
+  size_t edges = 0;
+  /// Group pairs with at least one edge (all others trivially score 0).
+  size_t group_pairs = 0;
+  size_t pruned_by_upper_bound = 0;
+  size_t accepted_by_lower_bound = 0;
+  size_t refined = 0;
+  size_t linked = 0;
+  double seconds_join = 0.0;
+  double seconds_verify = 0.0;
+  double seconds_score = 0.0;
+};
+
+/// The scalable evaluation strategy of the paper, built on a global
+/// set-similarity join instead of per-group-pair similarity matrices:
+///
+///   1. Join: a prefix-filter self-join over record token sets yields
+///      candidate record pairs; each is verified once with `sim`, keeping
+///      pairs with sim >= θ as weighted edges.
+///   2. Bucket: edges are grouped by their (group, group) pair. Group
+///      pairs with no edge have BM = 0 and are never touched — the whole
+///      quadratic group-pair space is skipped.
+///   3. Score: per bucket, the bipartite graph is assembled from the edge
+///      list, the UB/LB bounds decide most pairs, and the Hungarian
+///      algorithm refines the residue.
+///
+/// Total record-similarity evaluations: O(join candidates), instead of
+/// O(Σ |g1|·|g2|) over candidate group pairs for the per-pair pipeline.
+///
+/// Caveat (documented approximation): an edge whose token Jaccard falls
+/// below `join_jaccard` is invisible to the join even if sim >= θ, so the
+/// result can differ from exhaustive evaluation when the join threshold
+/// is set aggressively. Benchmark E5 verifies the agreement empirically.
+///
+/// `record_tokens` holds each record's sorted-unique token ids over a
+/// dense id space of size `num_tokens`; `record_group` maps records to
+/// group indexes.
+std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
+    const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
+    int32_t num_tokens, const std::vector<int32_t>& record_group,
+    const RecordSimFn& sim, const EdgeJoinConfig& config,
+    EdgeJoinStats* stats = nullptr);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_EDGE_JOIN_H_

@@ -1,0 +1,108 @@
+#include "core/filter_refine.h"
+
+#include "common/timer.h"
+
+namespace grouplink {
+namespace {
+
+// Outcome category of one candidate pair.
+enum class Decision : uint8_t {
+  kEmptyGraph,
+  kPrunedByUpperBound,
+  kAcceptedByLowerBound,
+  kRefinedLink,
+  kRefinedNoLink,
+};
+
+// Scores one candidate pair; phase timers are optional (serial path only).
+Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
+                    int32_t g2, const FilterRefineConfig& config,
+                    FilterRefineStats* timing) {
+  const int32_t size_left = dataset.GroupSize(g1);
+  const int32_t size_right = dataset.GroupSize(g2);
+
+  WallTimer timer;
+  const BipartiteGraph graph = BuildSimilarityGraph(dataset, g1, g2, sim, config.theta);
+  if (timing != nullptr) timing->seconds_graphs += timer.ElapsedSeconds();
+
+  if (graph.edges().empty()) return Decision::kEmptyGraph;
+
+  timer.Reset();
+  if (config.use_upper_bound_filter &&
+      UpperBoundMeasure(graph, size_left, size_right) < config.group_threshold) {
+    if (timing != nullptr) timing->seconds_bounds += timer.ElapsedSeconds();
+    return Decision::kPrunedByUpperBound;
+  }
+  if (config.use_lower_bound_accept &&
+      GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold) {
+    if (timing != nullptr) timing->seconds_bounds += timer.ElapsedSeconds();
+    return Decision::kAcceptedByLowerBound;
+  }
+  if (timing != nullptr) timing->seconds_bounds += timer.ElapsedSeconds();
+
+  timer.Reset();
+  const bool link =
+      BmMeasure(graph, size_left, size_right).value >= config.group_threshold;
+  if (timing != nullptr) timing->seconds_refine += timer.ElapsedSeconds();
+  return link ? Decision::kRefinedLink : Decision::kRefinedNoLink;
+}
+
+}  // namespace
+
+std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
+    const Dataset& dataset, const RecordSimFn& sim,
+    const std::vector<std::pair<int32_t, int32_t>>& candidates,
+    const FilterRefineConfig& config, FilterRefineStats* stats, ThreadPool* pool) {
+  FilterRefineStats local_stats;
+  FilterRefineStats& s = stats != nullptr ? *stats : local_stats;
+  s = FilterRefineStats();
+  s.candidates = candidates.size();
+
+  std::vector<Decision> decisions(candidates.size());
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
+  ParallelFor(parallel ? pool : nullptr, candidates.size(), [&](size_t i) {
+    decisions[i] = DecidePair(dataset, sim, candidates[i].first, candidates[i].second,
+                              config, parallel ? nullptr : &s);
+  });
+
+  std::vector<std::pair<int32_t, int32_t>> linked;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool link = false;
+    switch (decisions[i]) {
+      case Decision::kEmptyGraph:
+        ++s.empty_graphs;
+        break;
+      case Decision::kPrunedByUpperBound:
+        ++s.pruned_by_upper_bound;
+        break;
+      case Decision::kAcceptedByLowerBound:
+        ++s.accepted_by_lower_bound;
+        link = true;
+        break;
+      case Decision::kRefinedLink:
+        ++s.refined;
+        link = true;
+        break;
+      case Decision::kRefinedNoLink:
+        ++s.refined;
+        break;
+    }
+    if (link) {
+      linked.push_back(candidates[i]);
+      ++s.linked;
+    }
+  }
+  return linked;
+}
+
+std::vector<std::pair<int32_t, int32_t>> BruteForceBmLink(
+    const Dataset& dataset, const RecordSimFn& sim,
+    const std::vector<std::pair<int32_t, int32_t>>& candidates,
+    const FilterRefineConfig& config, FilterRefineStats* stats) {
+  FilterRefineConfig no_bounds = config;
+  no_bounds.use_upper_bound_filter = false;
+  no_bounds.use_lower_bound_accept = false;
+  return FilterRefineLink(dataset, sim, candidates, no_bounds, stats);
+}
+
+}  // namespace grouplink

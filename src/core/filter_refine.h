@@ -1,0 +1,74 @@
+#ifndef GROUPLINK_CORE_FILTER_REFINE_H_
+#define GROUPLINK_CORE_FILTER_REFINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/group_measures.h"
+
+namespace grouplink {
+
+/// Configuration of the two-phase BM evaluation.
+struct FilterRefineConfig {
+  /// Record-level edge threshold θ (must be > 0).
+  double theta = 0.7;
+  /// Group-level link threshold Θ.
+  double group_threshold = 0.4;
+  /// Prune candidates with UB < Θ before computing exact BM.
+  bool use_upper_bound_filter = true;
+  /// Accept candidates with LB >= Θ without computing exact BM.
+  bool use_lower_bound_accept = true;
+};
+
+/// Per-phase counters of one FilterRefineLink run.
+struct FilterRefineStats {
+  /// Candidate group pairs examined.
+  size_t candidates = 0;
+  /// Dropped because the thresholded graph had no edges at all.
+  size_t empty_graphs = 0;
+  /// Pruned by UB < Θ.
+  size_t pruned_by_upper_bound = 0;
+  /// Accepted by LB >= Θ (no exact matching run).
+  size_t accepted_by_lower_bound = 0;
+  /// Survivors sent to the Hungarian refine step.
+  size_t refined = 0;
+  /// Final links emitted.
+  size_t linked = 0;
+  /// Wall time spent building similarity graphs / in bounds / in refine.
+  double seconds_graphs = 0.0;
+  double seconds_bounds = 0.0;
+  double seconds_refine = 0.0;
+};
+
+/// Decides, for each candidate group pair, whether BM_θ >= Θ, using the
+/// filter-and-refine strategy. With sound bounds (the default) the output
+/// is *identical* to evaluating exact BM on every candidate — that
+/// equivalence is covered by an integration test — while the Hungarian
+/// algorithm only runs on the small fraction of pairs where the bounds
+/// disagree.
+///
+/// Returns the linked pairs (subset of `candidates`, same order).
+///
+/// With a non-null `pool`, candidates are scored in parallel (`sim` must
+/// then be thread-safe — the engine's default TF-IDF cosine is, being a
+/// pure read of precomputed vectors). The output and stats counters are
+/// identical to the serial run; the per-phase timing breakdown is only
+/// populated serially.
+std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
+    const Dataset& dataset, const RecordSimFn& sim,
+    const std::vector<std::pair<int32_t, int32_t>>& candidates,
+    const FilterRefineConfig& config, FilterRefineStats* stats = nullptr,
+    ThreadPool* pool = nullptr);
+
+/// Reference path: exact BM on every candidate, no bounds. Same output
+/// contract as FilterRefineLink.
+std::vector<std::pair<int32_t, int32_t>> BruteForceBmLink(
+    const Dataset& dataset, const RecordSimFn& sim,
+    const std::vector<std::pair<int32_t, int32_t>>& candidates,
+    const FilterRefineConfig& config, FilterRefineStats* stats = nullptr);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_FILTER_REFINE_H_

@@ -1,0 +1,87 @@
+#include "core/group.h"
+
+#include <string>
+
+namespace grouplink {
+
+std::vector<int32_t> Dataset::RecordToGroup() const {
+  std::vector<int32_t> record_group(records.size(), -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const int32_t r : groups[g].record_ids) {
+      record_group[static_cast<size_t>(r)] = static_cast<int32_t>(g);
+    }
+  }
+  return record_group;
+}
+
+Status Dataset::Validate() const {
+  std::vector<int32_t> seen(records.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].record_ids.empty()) {
+      return Status::InvalidArgument("group " + std::to_string(g) + " is empty");
+    }
+    for (const int32_t r : groups[g].record_ids) {
+      if (r < 0 || r >= num_records()) {
+        return Status::OutOfRange("group " + std::to_string(g) +
+                                  " references record " + std::to_string(r));
+      }
+      if (++seen[static_cast<size_t>(r)] > 1) {
+        return Status::InvalidArgument("record " + std::to_string(r) +
+                                       " belongs to multiple groups");
+      }
+    }
+  }
+  for (size_t r = 0; r < seen.size(); ++r) {
+    if (seen[r] == 0) {
+      return Status::InvalidArgument("record " + std::to_string(r) +
+                                     " belongs to no group");
+    }
+  }
+  if (!group_entities.empty() && group_entities.size() != groups.size()) {
+    return Status::InvalidArgument("group_entities size mismatch");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::pair<int32_t, int32_t>> Dataset::TruePairs() const {
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  if (group_entities.empty()) return pairs;
+  for (int32_t i = 0; i < num_groups(); ++i) {
+    const int32_t entity_i = group_entities[static_cast<size_t>(i)];
+    if (entity_i == kUnknownEntity) continue;
+    for (int32_t j = i + 1; j < num_groups(); ++j) {
+      if (group_entities[static_cast<size_t>(j)] == entity_i) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+Result<Dataset> MakeDataset(std::vector<Record> records,
+                            std::vector<int32_t> record_group, int32_t num_groups,
+                            std::vector<int32_t> group_entities) {
+  if (records.size() != record_group.size()) {
+    return Status::InvalidArgument("records / record_group size mismatch");
+  }
+  Dataset dataset;
+  dataset.records = std::move(records);
+  dataset.groups.resize(static_cast<size_t>(num_groups));
+  for (int32_t g = 0; g < num_groups; ++g) {
+    dataset.groups[static_cast<size_t>(g)].id = std::to_string(g);
+    dataset.groups[static_cast<size_t>(g)].label = std::to_string(g);
+  }
+  for (size_t r = 0; r < record_group.size(); ++r) {
+    const int32_t g = record_group[r];
+    if (g < 0 || g >= num_groups) {
+      return Status::OutOfRange("record " + std::to_string(r) +
+                                " has invalid group " + std::to_string(g));
+    }
+    dataset.groups[static_cast<size_t>(g)].record_ids.push_back(static_cast<int32_t>(r));
+  }
+  dataset.group_entities = std::move(group_entities);
+  GL_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace grouplink

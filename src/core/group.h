@@ -1,0 +1,77 @@
+#ifndef GROUPLINK_CORE_GROUP_H_
+#define GROUPLINK_CORE_GROUP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grouplink {
+
+/// One record: the unit that record-level similarity compares. `text` is
+/// the primary comparable representation (e.g. the full citation string);
+/// `fields` optionally carries a structured view (title, venue, year, ...)
+/// for field-weighted similarity.
+struct Record {
+  std::string id;
+  std::string text;
+  std::vector<std::string> fields;
+};
+
+/// One group: a set of records believed to describe a single entity in one
+/// source (e.g. all citations filed under the author name variant
+/// "J. D. Ullman"). Group linkage decides which groups co-refer.
+struct Group {
+  std::string id;
+  /// Display label, e.g. the author name variant or household address.
+  std::string label;
+  /// Indexes into Dataset::records.
+  std::vector<int32_t> record_ids;
+};
+
+/// A group linkage instance: records, their grouping, and (optionally)
+/// ground-truth entity ids per group for evaluation.
+struct Dataset {
+  std::vector<Record> records;
+  std::vector<Group> groups;
+  /// Ground-truth entity id per group, or kUnknownEntity. Two groups
+  /// co-refer iff their entity ids are equal (and known).
+  std::vector<int32_t> group_entities;
+
+  static constexpr int32_t kUnknownEntity = -1;
+
+  int32_t num_records() const { return static_cast<int32_t>(records.size()); }
+  int32_t num_groups() const { return static_cast<int32_t>(groups.size()); }
+
+  /// Group size in records.
+  int32_t GroupSize(int32_t group) const {
+    return static_cast<int32_t>(groups[static_cast<size_t>(group)].record_ids.size());
+  }
+
+  /// Inverse mapping record index -> group index. Requires a valid
+  /// partition (every record in exactly one group); call Validate() first
+  /// on untrusted data.
+  std::vector<int32_t> RecordToGroup() const;
+
+  /// Checks structural invariants: record ids in range, every record in
+  /// exactly one group, non-empty groups, entity vector empty or sized to
+  /// the groups.
+  Status Validate() const;
+
+  /// All unordered co-referring group pairs (i < j) per the ground truth.
+  /// Groups with unknown entities never appear.
+  std::vector<std::pair<int32_t, int32_t>> TruePairs() const;
+};
+
+/// Builds a Dataset from parallel vectors: `record_group[r]` is the group
+/// index of record r in [0, num_groups). Group labels default to the group
+/// id string. Validates the result.
+Result<Dataset> MakeDataset(std::vector<Record> records,
+                            std::vector<int32_t> record_group, int32_t num_groups,
+                            std::vector<int32_t> group_entities = {});
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_GROUP_H_

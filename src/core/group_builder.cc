@@ -1,0 +1,117 @@
+#include "core/group_builder.h"
+
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/union_find.h"
+#include "text/jaccard.h"
+
+namespace grouplink {
+namespace {
+
+std::string NormalizeKey(const std::string& key) {
+  return Join(SplitWhitespace(AsciiToLower(key)), " ");
+}
+
+// Builds a Dataset from records and a per-record group label; labels in
+// order of first appearance. Empty labels become unique singletons.
+Dataset AssembleDataset(std::vector<Record> records,
+                        const std::vector<std::string>& labels) {
+  Dataset dataset;
+  std::map<std::string, int32_t> group_of_label;
+  size_t singleton_counter = 0;
+  for (size_t r = 0; r < records.size(); ++r) {
+    std::string label = labels[r];
+    if (label.empty()) {
+      label = "(unkeyed record " + std::to_string(singleton_counter++) + ")";
+    }
+    auto [it, inserted] =
+        group_of_label.try_emplace(label, static_cast<int32_t>(dataset.groups.size()));
+    if (inserted) {
+      Group group;
+      group.id = label;
+      group.label = label;
+      dataset.groups.push_back(std::move(group));
+    }
+    dataset.groups[static_cast<size_t>(it->second)].record_ids.push_back(
+        static_cast<int32_t>(dataset.records.size()));
+    dataset.records.push_back(std::move(records[r]));
+  }
+  GL_CHECK(dataset.Validate().ok());
+  return dataset;
+}
+
+}  // namespace
+
+Dataset BuildGroupsByKey(std::vector<Record> records, const GroupKeyFn& key_fn) {
+  std::vector<std::string> labels;
+  labels.reserve(records.size());
+  for (const Record& record : records) labels.push_back(NormalizeKey(key_fn(record)));
+  return AssembleDataset(std::move(records), labels);
+}
+
+Dataset BuildGroupsByFuzzyKey(std::vector<Record> records, const GroupKeyFn& key_fn,
+                              const FuzzyKeyConfig& config) {
+  // Distinct normalized keys.
+  std::vector<std::string> record_keys;
+  record_keys.reserve(records.size());
+  std::map<std::string, int32_t> key_index;
+  std::vector<std::string> keys;
+  for (const Record& record : records) {
+    const std::string key = NormalizeKey(key_fn(record));
+    record_keys.push_back(key);
+    if (key.empty()) continue;
+    if (key_index.try_emplace(key, static_cast<int32_t>(keys.size())).second) {
+      keys.push_back(key);
+    }
+  }
+
+  // Merge similar keys: blocking candidates + q-gram Jaccard verification.
+  UnionFind clusters(keys.size());
+  Blocker blocker(config.blocking);
+  for (size_t k = 0; k < keys.size(); ++k) {
+    blocker.Add(static_cast<int32_t>(k), keys[k]);
+  }
+  for (const auto& [k1, k2] : blocker.CandidatePairs()) {
+    if (QGramJaccard(keys[static_cast<size_t>(k1)], keys[static_cast<size_t>(k2)]) >=
+        config.similarity_threshold) {
+      clusters.Union(static_cast<size_t>(k1), static_cast<size_t>(k2));
+    }
+  }
+
+  // Canonical label per cluster: the key most records carry (ties by
+  // lexicographic order for determinism).
+  std::map<std::string, size_t> key_counts;
+  for (const std::string& key : record_keys) {
+    if (!key.empty()) ++key_counts[key];
+  }
+  std::vector<std::string> canonical(keys.size());
+  std::map<size_t, std::pair<size_t, std::string>> best_of_cluster;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const size_t root = clusters.Find(k);
+    const size_t count = key_counts[keys[k]];
+    auto it = best_of_cluster.find(root);
+    if (it == best_of_cluster.end() || count > it->second.first ||
+        (count == it->second.first && keys[k] < it->second.second)) {
+      best_of_cluster[root] = {count, keys[k]};
+    }
+  }
+  for (size_t k = 0; k < keys.size(); ++k) {
+    canonical[k] = best_of_cluster[clusters.Find(k)].second;
+  }
+
+  std::vector<std::string> labels;
+  labels.reserve(records.size());
+  for (const std::string& key : record_keys) {
+    if (key.empty()) {
+      labels.push_back("");
+    } else {
+      labels.push_back(canonical[static_cast<size_t>(key_index[key])]);
+    }
+  }
+  return AssembleDataset(std::move(records), labels);
+}
+
+}  // namespace grouplink

@@ -1,0 +1,46 @@
+#ifndef GROUPLINK_CORE_GROUP_BUILDER_H_
+#define GROUPLINK_CORE_GROUP_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/group.h"
+#include "index/blocking.h"
+
+namespace grouplink {
+
+/// The upstream step the paper assumes has already happened: turning a
+/// flat pile of records into groups. In a digital library, every citation
+/// record carries an author-name string; records sharing a name (variant)
+/// form one group, and group linkage then decides which *name variants*
+/// co-refer. These builders produce that grouping.
+
+/// Extracts the grouping key of a record (e.g. its author-name field).
+using GroupKeyFn = std::function<std::string(const Record&)>;
+
+/// Groups records by *exact* normalized key (lowercased, whitespace
+/// collapsed). Group id and label are the normalized key; groups appear
+/// in order of first key occurrence. Records with an empty key each get
+/// their own singleton group. The result always validates.
+Dataset BuildGroupsByKey(std::vector<Record> records, const GroupKeyFn& key_fn);
+
+/// Fuzzy variant: records whose keys are merely *similar* also share a
+/// group. Candidate key pairs come from blocking over the keys; pairs
+/// with q-gram Jaccard >= `similarity_threshold` are merged with
+/// union-find (transitive closure). Use when the grouping attribute
+/// itself is dirty — e.g. "jefrey ullman" should file with
+/// "jeffrey ullman" before group linkage ever runs.
+struct FuzzyKeyConfig {
+  /// Q-gram (3-gram) Jaccard threshold for merging two keys.
+  double similarity_threshold = 0.75;
+  /// Candidate key pairs: blocking scheme over key strings.
+  BlockingScheme blocking = BlockingScheme::kTokenPrefix;
+};
+
+Dataset BuildGroupsByFuzzyKey(std::vector<Record> records, const GroupKeyFn& key_fn,
+                              const FuzzyKeyConfig& config = {});
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_GROUP_BUILDER_H_

@@ -1,0 +1,160 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/union_find.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+
+IncrementalLinker::IncrementalLinker(const LinkageConfig& config) : config_(config) {}
+
+Status IncrementalLinker::Initialize(const Dataset& dataset) {
+  GL_CHECK(!initialized_) << "Initialize() must be called exactly once";
+  GL_RETURN_IF_ERROR(dataset.Validate());
+
+  // Batch-link the seed with the regular engine (same config), then
+  // import its state wholesale.
+  LinkageEngine engine(&dataset, config_);
+  GL_RETURN_IF_ERROR(engine.Prepare());
+  const LinkageResult seed_result = engine.Run();
+  linked_pairs_ = seed_result.linked_pairs;
+
+  // Freeze vocabulary/IDF on the seed corpus.
+  const auto tokenize = [this](const std::string& text) {
+    if (config_.representation == RecordRepresentation::kCharacterQGrams) {
+      return CharacterQGrams(text, 3, /*lowercase=*/true, '#');
+    }
+    return Tokenize(text);
+  };
+  for (const Record& record : dataset.records) {
+    vocabulary_.AddDocument(ToTokenSet(tokenize(record.text)));
+  }
+  initialized_ = true;
+
+  // Ingest seed records through the same path new records will use, so
+  // vectors/index/grouping are built consistently.
+  group_records_.resize(static_cast<size_t>(dataset.num_groups()));
+  group_labels_.resize(static_cast<size_t>(dataset.num_groups()));
+  record_group_.resize(dataset.records.size());
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    group_labels_[static_cast<size_t>(g)] = dataset.groups[static_cast<size_t>(g)].label;
+  }
+  // Records must be added in id order so record ids line up.
+  const std::vector<int32_t> seed_record_group = dataset.RecordToGroup();
+  for (int32_t r = 0; r < dataset.num_records(); ++r) {
+    const int32_t id = AddRecord(dataset.records[static_cast<size_t>(r)].text);
+    GL_CHECK_EQ(id, r);
+    const int32_t g = seed_record_group[static_cast<size_t>(r)];
+    record_group_[static_cast<size_t>(r)] = g;
+    group_records_[static_cast<size_t>(g)].push_back(r);
+  }
+  return Status::Ok();
+}
+
+int32_t IncrementalLinker::AddRecord(const std::string& text) {
+  const auto tokenize = [this](const std::string& t) {
+    if (config_.representation == RecordRepresentation::kCharacterQGrams) {
+      return CharacterQGrams(t, 3, /*lowercase=*/true, '#');
+    }
+    return Tokenize(t);
+  };
+  // Token ids against the frozen vocabulary; OOV tokens are dropped.
+  std::vector<int32_t> ids;
+  for (const std::string& token : ToTokenSet(tokenize(text))) {
+    const int32_t id = vocabulary_.GetId(token);
+    if (id != Vocabulary::kUnknownToken) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+
+  const TfIdfVectorizer vectorizer(&vocabulary_);
+  record_vectors_.push_back(vectorizer.Vectorize(tokenize(text)));
+  const int32_t record_id = token_index_.AddDocument(ids);
+  record_token_ids_.push_back(std::move(ids));
+  GL_CHECK_EQ(static_cast<size_t>(record_id) + 1, record_vectors_.size());
+  return record_id;
+}
+
+double IncrementalLinker::RecordSimilarity(int32_t a, int32_t b) const {
+  const SparseVector& va = record_vectors_[static_cast<size_t>(a)];
+  const SparseVector& vb = record_vectors_[static_cast<size_t>(b)];
+  if (va.empty() || vb.empty()) return 0.0;
+  return CosineSimilarity(va, vb);
+}
+
+IncrementalLinker::AddResult IncrementalLinker::AddGroup(
+    const std::string& label, const std::vector<std::string>& record_texts) {
+  GL_CHECK(initialized_) << "call Initialize() before AddGroup()";
+  GL_CHECK(!record_texts.empty());
+
+  const int32_t group_index = num_groups();
+  std::vector<int32_t> new_records;
+  // Candidate groups: any existing group sharing a token with a new record.
+  std::vector<int32_t> candidate_groups;
+  for (const std::string& text : record_texts) {
+    const int32_t record_id = AddRecord(text);
+    new_records.push_back(record_id);
+    for (const int32_t other :
+         token_index_.DocumentsSharingToken(
+             record_token_ids_[static_cast<size_t>(record_id)])) {
+      if (other >= new_records.front()) continue;  // Skip the new group itself.
+      candidate_groups.push_back(record_group_[static_cast<size_t>(other)]);
+    }
+    record_group_.push_back(group_index);
+  }
+  std::sort(candidate_groups.begin(), candidate_groups.end());
+  candidate_groups.erase(std::unique(candidate_groups.begin(), candidate_groups.end()),
+                         candidate_groups.end());
+  group_records_.push_back(new_records);
+  group_labels_.push_back(label);
+
+  AddResult result;
+  result.group_index = group_index;
+  result.candidates = candidate_groups.size();
+
+  const int32_t new_size = static_cast<int32_t>(new_records.size());
+  for (const int32_t other : candidate_groups) {
+    const std::vector<int32_t>& other_records = group_records_[static_cast<size_t>(other)];
+    const int32_t other_size = static_cast<int32_t>(other_records.size());
+    BipartiteGraph graph(new_size, other_size);
+    for (int32_t i = 0; i < new_size; ++i) {
+      for (int32_t j = 0; j < other_size; ++j) {
+        const double s = RecordSimilarity(new_records[static_cast<size_t>(i)],
+                                          other_records[static_cast<size_t>(j)]);
+        if (s >= config_.theta) graph.AddEdge(i, j, s);
+      }
+    }
+    if (graph.edges().empty()) continue;
+
+    bool decided = false;
+    bool link = false;
+    if (config_.use_upper_bound_filter &&
+        UpperBoundMeasure(graph, new_size, other_size) < config_.group_threshold) {
+      decided = true;
+    }
+    if (!decided && config_.use_lower_bound_accept &&
+        GreedyLowerBound(graph, new_size, other_size) >= config_.group_threshold) {
+      decided = true;
+      link = true;
+    }
+    if (!decided) {
+      link = BmMeasure(graph, new_size, other_size).value >= config_.group_threshold;
+    }
+    if (link) {
+      linked_pairs_.emplace_back(other, group_index);
+      result.linked_to.push_back(other);
+    }
+  }
+  return result;
+}
+
+std::vector<size_t> IncrementalLinker::ClusterLabels() const {
+  UnionFind clusters(static_cast<size_t>(num_groups()));
+  for (const auto& [g1, g2] : linked_pairs_) {
+    clusters.Union(static_cast<size_t>(g1), static_cast<size_t>(g2));
+  }
+  return clusters.ComponentLabels();
+}
+
+}  // namespace grouplink

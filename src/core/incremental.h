@@ -1,0 +1,94 @@
+#ifndef GROUPLINK_CORE_INCREMENTAL_H_
+#define GROUPLINK_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/group.h"
+#include "core/group_measures.h"
+#include "core/linkage_engine.h"
+#include "index/inverted_index.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace grouplink {
+
+/// Streaming group linkage: after seeding with an initial corpus, new
+/// groups arrive one at a time and are linked against everything seen so
+/// far — without rescoring any existing pair. The arrival path is the
+/// filter-and-refine pipeline in miniature: an inverted index over record
+/// tokens proposes candidate groups, the UB/LB bounds decide most of
+/// them, the Hungarian matching refines the rest.
+///
+/// Approximations vs a batch rerun (both documented and tested):
+///   * TF-IDF statistics are *frozen* at Initialize — new records are
+///     vectorized against the seed vocabulary and out-of-vocabulary
+///     tokens are dropped. Keeps all previously computed scores valid.
+///   * Candidates for a new group are groups sharing at least one seed
+///     token with it (inverted-index lookup), so a pair with edges only
+///     through unseen tokens can be missed.
+///
+/// Example:
+///   IncrementalLinker linker(config);
+///   GL_CHECK(linker.Initialize(seed_dataset).ok());
+///   auto added = linker.AddGroup("j ullman", citation_texts);
+///   for (int32_t g : added.linked_to) { ... }
+class IncrementalLinker {
+ public:
+  explicit IncrementalLinker(const LinkageConfig& config);
+
+  /// Seeds the linker: validates the dataset, freezes TF-IDF statistics,
+  /// builds the record index, and links the seed groups with a full
+  /// batch run (same semantics as LinkageEngine).
+  Status Initialize(const Dataset& dataset);
+
+  /// Outcome of one AddGroup call.
+  struct AddResult {
+    /// Index assigned to the new group.
+    int32_t group_index = 0;
+    /// Existing groups the new group linked to (ascending).
+    std::vector<int32_t> linked_to;
+    /// Candidate groups that were scored (diagnostics).
+    size_t candidates = 0;
+  };
+
+  /// Adds one group (its label and record texts) and links it against
+  /// every group seen so far. Empty `record_texts` is invalid (GL_CHECK).
+  AddResult AddGroup(const std::string& label,
+                     const std::vector<std::string>& record_texts);
+
+  /// All links accumulated so far, (i < j) pairs over group indexes.
+  const std::vector<std::pair<int32_t, int32_t>>& linked_pairs() const {
+    return linked_pairs_;
+  }
+
+  /// Entity label per group — the transitive closure of linked_pairs(),
+  /// recomputed on demand.
+  std::vector<size_t> ClusterLabels() const;
+
+  int32_t num_groups() const { return static_cast<int32_t>(group_records_.size()); }
+
+ private:
+  double RecordSimilarity(int32_t a, int32_t b) const;
+  /// Ingests one record text; returns its record id.
+  int32_t AddRecord(const std::string& text);
+
+  LinkageConfig config_;
+  bool initialized_ = false;
+
+  Vocabulary vocabulary_;  // Frozen after Initialize.
+  std::vector<SparseVector> record_vectors_;
+  std::vector<std::vector<int32_t>> record_token_ids_;
+  std::vector<int32_t> record_group_;
+  std::vector<std::vector<int32_t>> group_records_;
+  std::vector<std::string> group_labels_;
+  InvertedIndex token_index_;  // Record id postings per token id.
+  std::vector<std::pair<int32_t, int32_t>> linked_pairs_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_INCREMENTAL_H_

@@ -1,0 +1,260 @@
+#include "core/linkage_engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "common/union_find.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+
+const char* CandidateMethodName(CandidateMethod method) {
+  switch (method) {
+    case CandidateMethod::kAllPairs:
+      return "all-pairs";
+    case CandidateMethod::kRecordJoin:
+      return "record-join";
+    case CandidateMethod::kBlocking:
+      return "blocking";
+    case CandidateMethod::kLabelBlocking:
+      return "label-blocking";
+    case CandidateMethod::kSortedNeighborhood:
+      return "sorted-neighborhood";
+    case CandidateMethod::kMinHash:
+      return "minhash";
+  }
+  return "unknown";
+}
+
+const char* RecordRepresentationName(RecordRepresentation representation) {
+  switch (representation) {
+    case RecordRepresentation::kWordTokens:
+      return "word-tokens";
+    case RecordRepresentation::kCharacterQGrams:
+      return "char-3grams";
+  }
+  return "unknown";
+}
+
+LinkageEngine::LinkageEngine(const Dataset* dataset, const LinkageConfig& config)
+    : dataset_(dataset), config_(config) {
+  GL_CHECK(dataset != nullptr);
+}
+
+Status LinkageEngine::Prepare() {
+  GL_RETURN_IF_ERROR(dataset_->Validate());
+  if (config_.theta <= 0.0 || config_.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  if (config_.group_threshold <= 0.0 || config_.group_threshold > 1.0) {
+    return Status::InvalidArgument("group_threshold must be in (0, 1]");
+  }
+
+  const auto tokenize = [this](const std::string& text) {
+    if (config_.representation == RecordRepresentation::kCharacterQGrams) {
+      return CharacterQGrams(text, 3, /*lowercase=*/true, '#');
+    }
+    return Tokenize(text);
+  };
+
+  const size_t n = dataset_->records.size();
+  std::vector<std::vector<std::string>> token_sets(n);
+  for (size_t r = 0; r < n; ++r) {
+    token_sets[r] = ToTokenSet(tokenize(dataset_->records[r].text));
+    vocabulary_.AddDocument(token_sets[r]);
+  }
+  record_token_ids_.resize(n);
+  record_vectors_.resize(n);
+  const TfIdfVectorizer vectorizer(&vocabulary_);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<int32_t>& ids = record_token_ids_[r];
+    ids.reserve(token_sets[r].size());
+    for (const std::string& token : token_sets[r]) {
+      ids.push_back(vocabulary_.GetId(token));
+    }
+    std::sort(ids.begin(), ids.end());
+    // Raw (non-set) tokens would weight repeats; the record text token
+    // multiset is what TF-IDF should see.
+    record_vectors_[r] = vectorizer.Vectorize(tokenize(dataset_->records[r].text));
+  }
+  record_group_ = dataset_->RecordToGroup();
+  prepared_ = true;
+  return Status::Ok();
+}
+
+double LinkageEngine::DefaultRecordSimilarity(int32_t a, int32_t b) const {
+  GL_CHECK(prepared_);
+  const SparseVector& va = record_vectors_[static_cast<size_t>(a)];
+  const SparseVector& vb = record_vectors_[static_cast<size_t>(b)];
+  // Two token-less records carry no evidence of co-reference; the
+  // mathematical "empty == empty -> 1" convention would link every group
+  // containing a blank record, so the engine scores them 0 instead.
+  if (va.empty() || vb.empty()) return 0.0;
+  return CosineSimilarity(va, vb);
+}
+
+std::vector<std::pair<int32_t, int32_t>> LinkageEngine::GenerateCandidates(
+    LinkageResult& result) {
+  switch (config_.candidates) {
+    case CandidateMethod::kAllPairs: {
+      auto pairs = AllGroupPairs(dataset_->num_groups());
+      result.candidate_stats.group_pairs = pairs.size();
+      return pairs;
+    }
+    case CandidateMethod::kRecordJoin:
+      return GroupCandidatesFromRecordJoin(
+          record_token_ids_, record_group_, static_cast<int32_t>(vocabulary_.size()),
+          dataset_->num_groups(), config_.candidate_jaccard, &result.candidate_stats);
+    case CandidateMethod::kMinHash:
+      return GroupCandidatesFromMinHash(
+          record_token_ids_, record_group_,
+          static_cast<size_t>(std::max(config_.minhash_bands, 1)),
+          static_cast<size_t>(std::max(config_.minhash_rows, 1)),
+          &result.candidate_stats);
+    case CandidateMethod::kSortedNeighborhood: {
+      std::vector<std::string> labels;
+      labels.reserve(dataset_->groups.size());
+      for (const Group& group : dataset_->groups) labels.push_back(group.label);
+      auto pairs = SortedNeighborhoodPairs(
+          labels, static_cast<size_t>(std::max(config_.neighborhood_window, 0)));
+      result.candidate_stats.group_pairs = pairs.size();
+      return pairs;
+    }
+    case CandidateMethod::kLabelBlocking: {
+      std::vector<std::string> labels;
+      labels.reserve(dataset_->groups.size());
+      for (const Group& group : dataset_->groups) labels.push_back(group.label);
+      return GroupCandidatesFromLabelBlocking(config_.blocking, labels,
+                                              &result.candidate_stats);
+    }
+    case CandidateMethod::kBlocking: {
+      std::vector<std::string> texts;
+      texts.reserve(dataset_->records.size());
+      for (const Record& record : dataset_->records) texts.push_back(record.text);
+      return GroupCandidatesFromBlocking(config_.blocking, texts, record_group_,
+                                         dataset_->num_groups(),
+                                         &result.candidate_stats);
+    }
+  }
+  return {};
+}
+
+std::vector<ScoredPair> LinkageEngine::ScoreCandidates(GroupMeasureKind measure) {
+  GL_CHECK(prepared_) << "call Prepare() before ScoreCandidates()";
+  LinkageResult scratch;
+  const auto candidates = GenerateCandidates(scratch);
+  const double edge_threshold = measure == GroupMeasureKind::kBinaryJaccard
+                                    ? config_.binary_cutoff
+                                    : config_.theta;
+  std::vector<ScoredPair> scored;
+  scored.reserve(candidates.size());
+  for (const auto& [g1, g2] : candidates) {
+    const BipartiteGraph graph = BuildSimilarityGraph(
+        *dataset_, g1, g2,
+        [this](int32_t a, int32_t b) { return DefaultRecordSimilarity(a, b); },
+        edge_threshold);
+    if (graph.edges().empty()) continue;
+    scored.push_back({g1, g2,
+                      EvaluateGroupMeasure(measure, graph, dataset_->GroupSize(g1),
+                                           dataset_->GroupSize(g2))});
+  }
+  return scored;
+}
+
+LinkageResult LinkageEngine::Run() {
+  return Run([this](int32_t a, int32_t b) { return DefaultRecordSimilarity(a, b); });
+}
+
+LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
+  GL_CHECK(prepared_) << "call Prepare() before Run()";
+  LinkageResult result;
+
+  if (config_.use_edge_join && config_.measure == GroupMeasureKind::kBm) {
+    // Global edge join replaces both candidate generation and per-pair
+    // graph construction.
+    WallTimer join_timer;
+    EdgeJoinConfig ej_config;
+    ej_config.theta = config_.theta;
+    ej_config.group_threshold = config_.group_threshold;
+    ej_config.join_jaccard = config_.join_jaccard;
+    ej_config.use_upper_bound_filter = config_.use_upper_bound_filter;
+    ej_config.use_lower_bound_accept = config_.use_lower_bound_accept;
+    result.linked_pairs = EdgeJoinLink(
+        *dataset_, record_token_ids_, static_cast<int32_t>(vocabulary_.size()),
+        record_group_, sim, ej_config, &result.edge_join_stats);
+    result.seconds_scoring = join_timer.ElapsedSeconds();
+    FinishClustering(result);
+    return result;
+  }
+
+  WallTimer timer;
+  const auto candidates = GenerateCandidates(result);
+  result.seconds_candidates = timer.ElapsedSeconds();
+
+  timer.Reset();
+  FilterRefineConfig fr_config;
+  fr_config.theta = config_.theta;
+  fr_config.group_threshold = config_.group_threshold;
+  fr_config.use_upper_bound_filter =
+      config_.use_filter_refine && config_.use_upper_bound_filter;
+  fr_config.use_lower_bound_accept =
+      config_.use_filter_refine && config_.use_lower_bound_accept;
+
+  if (config_.measure == GroupMeasureKind::kBm) {
+    std::unique_ptr<ThreadPool> pool;
+    if (config_.num_threads > 1) {
+      pool = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
+    }
+    result.linked_pairs = FilterRefineLink(*dataset_, sim, candidates, fr_config,
+                                           &result.score_stats, pool.get());
+  } else {
+    // Baseline measures: direct evaluation per candidate. The binary
+    // Jaccard baseline builds its graph at the (stricter) equality cutoff.
+    const double edge_threshold = config_.measure == GroupMeasureKind::kBinaryJaccard
+                                      ? config_.binary_cutoff
+                                      : config_.theta;
+    result.score_stats.candidates = candidates.size();
+    for (const auto& [g1, g2] : candidates) {
+      const BipartiteGraph graph =
+          BuildSimilarityGraph(*dataset_, g1, g2, sim, edge_threshold);
+      if (graph.edges().empty()) {
+        ++result.score_stats.empty_graphs;
+        continue;
+      }
+      const double score = EvaluateGroupMeasure(config_.measure, graph,
+                                                dataset_->GroupSize(g1),
+                                                dataset_->GroupSize(g2));
+      if (score >= config_.group_threshold) {
+        result.linked_pairs.emplace_back(g1, g2);
+        ++result.score_stats.linked;
+      }
+    }
+  }
+  result.seconds_scoring = timer.ElapsedSeconds();
+  FinishClustering(result);
+  return result;
+}
+
+void LinkageEngine::FinishClustering(LinkageResult& result) const {
+  UnionFind clusters(static_cast<size_t>(dataset_->num_groups()));
+  for (const auto& [g1, g2] : result.linked_pairs) {
+    clusters.Union(static_cast<size_t>(g1), static_cast<size_t>(g2));
+  }
+  result.group_cluster = clusters.ComponentLabels();
+  result.num_clusters = clusters.num_sets();
+}
+
+Result<LinkageResult> RunGroupLinkage(const Dataset& dataset,
+                                      const LinkageConfig& config) {
+  LinkageEngine engine(&dataset, config);
+  WallTimer timer;
+  GL_RETURN_IF_ERROR(engine.Prepare());
+  LinkageResult result = engine.Run();
+  result.seconds_prepare = timer.ElapsedSeconds() - result.seconds_candidates -
+                           result.seconds_scoring;
+  return result;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,177 @@
+#ifndef GROUPLINK_CORE_LINKAGE_ENGINE_H_
+#define GROUPLINK_CORE_LINKAGE_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/edge_join.h"
+#include "core/filter_refine.h"
+#include "core/group.h"
+#include "core/group_measures.h"
+#include "core/scored_pair.h"
+#include "index/blocking.h"
+#include "index/candidates.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace grouplink {
+
+/// How candidate group pairs are generated before scoring.
+enum class CandidateMethod {
+  kAllPairs,       // Every group pair (quadratic; baseline).
+  kRecordJoin,     // Prefix-filter Jaccard join over record token sets.
+  kBlocking,       // Blocker over record texts (see LinkageConfig::blocking).
+  kLabelBlocking,  // Blocker over group labels (names / addresses).
+  kSortedNeighborhood,  // Sliding window over sort-ordered group labels.
+  kMinHash,        // MinHash/LSH join over record token sets.
+};
+
+const char* CandidateMethodName(CandidateMethod method);
+
+/// How record texts are turned into the token/vector representation that
+/// the default similarity, the joins, and the TF-IDF weighting all use.
+enum class RecordRepresentation {
+  kWordTokens,      // Word tokens — the default; fast, readable.
+  kCharacterQGrams, // Padded character 3-grams — heavier but robust to
+                    // typos that mangle whole words (ablation E16).
+};
+
+const char* RecordRepresentationName(RecordRepresentation representation);
+
+/// End-to-end configuration of a group linkage run.
+struct LinkageConfig {
+  /// Record-level edge threshold θ. Calibrated for the default TF-IDF
+  /// cosine record similarity: dirty copies of one record usually score
+  /// 0.5-0.9, unrelated records below 0.3.
+  double theta = 0.4;
+  /// Group-level link threshold Θ.
+  double group_threshold = 0.25;
+  /// Group measure used for link decisions.
+  GroupMeasureKind measure = GroupMeasureKind::kBm;
+  /// Text representation behind the default record similarity and joins.
+  RecordRepresentation representation = RecordRepresentation::kWordTokens;
+  /// Edge threshold used *only* by the kBinaryJaccard baseline: records
+  /// count as "the same element" when sim >= binary_cutoff. The classical
+  /// Jaccard baseline demands near-identical records, which is exactly why
+  /// it collapses under noise while BM degrades gracefully.
+  double binary_cutoff = 0.9;
+  /// Candidate generation strategy.
+  CandidateMethod candidates = CandidateMethod::kRecordJoin;
+  /// Record-token Jaccard threshold of the kRecordJoin prefix filter.
+  /// Keep well below θ: the TF-IDF cosine used for edges is usually
+  /// higher than plain token Jaccard, so a loose join keeps recall.
+  double candidate_jaccard = 0.2;
+  /// Blocking scheme of kBlocking.
+  BlockingScheme blocking = BlockingScheme::kToken;
+  /// Window size of kSortedNeighborhood.
+  int32_t neighborhood_window = 10;
+  /// LSH shape of kMinHash: bands x rows signature banding. Defaults give
+  /// the S-curve midpoint near Jaccard 0.25 (1/16)^(1/2).
+  int32_t minhash_bands = 16;
+  int32_t minhash_rows = 2;
+  /// Use the filter-and-refine pipeline when measure == kBm.
+  bool use_filter_refine = true;
+  /// Individual bound switches (ablations; both on by default).
+  bool use_upper_bound_filter = true;
+  bool use_lower_bound_accept = true;
+  /// Use the global edge-join strategy instead of per-group-pair graph
+  /// construction (kBm only). Scales far better: record similarities are
+  /// evaluated once per joined record pair instead of once per record
+  /// pair per candidate group pair. See core/edge_join.h for the
+  /// join-threshold approximation caveat.
+  bool use_edge_join = false;
+  /// Token-Jaccard threshold of the edge join's prefix filter.
+  double join_jaccard = 0.3;
+  /// Worker threads for the scoring phase (1 = serial). Scoring a
+  /// candidate group pair is independent of every other pair, so the
+  /// per-pair pipeline parallelizes embarrassingly; results are
+  /// bit-identical to the serial run.
+  int32_t num_threads = 1;
+};
+
+/// Output of LinkageEngine::Run.
+struct LinkageResult {
+  /// Linked group pairs (i < j), the paper's primary output.
+  std::vector<std::pair<int32_t, int32_t>> linked_pairs;
+  /// Transitive closure of linked_pairs: one entity label per group.
+  std::vector<size_t> group_cluster;
+  /// Number of entity clusters.
+  size_t num_clusters = 0;
+
+  GroupCandidateStats candidate_stats;
+  FilterRefineStats score_stats;
+  /// Populated instead of score_stats when config.use_edge_join is set.
+  EdgeJoinStats edge_join_stats;
+  double seconds_prepare = 0.0;
+  double seconds_candidates = 0.0;
+  double seconds_scoring = 0.0;
+};
+
+/// Runs group linkage end to end:
+///   1. Prepare: tokenize record texts, build the corpus Vocabulary,
+///      vectorize every record with TF-IDF.
+///   2. Candidates: generate candidate group pairs (blocking / join).
+///   3. Score: decide each candidate with the configured measure — for BM
+///      through the filter-and-refine pipeline.
+///   4. Cluster: union-find over linked pairs -> entity labels.
+///
+/// The default record similarity is TF-IDF cosine over word tokens of
+/// Record::text. Pass a custom RecordSimFn to Run to override (e.g. the
+/// field-weighted RecordSimilarity from text/record_similarity.h).
+///
+/// Example:
+///   LinkageEngine engine(&dataset, config);
+///   GL_CHECK(engine.Prepare().ok());
+///   LinkageResult result = engine.Run();
+class LinkageEngine {
+ public:
+  /// `dataset` must outlive the engine and is not modified.
+  LinkageEngine(const Dataset* dataset, const LinkageConfig& config);
+
+  /// Validates the dataset and precomputes token sets and TF-IDF vectors.
+  /// Must be called (successfully) before Run.
+  Status Prepare();
+
+  /// Runs candidate generation, scoring, and clustering.
+  LinkageResult Run();
+
+  /// As Run, with a caller-supplied record similarity.
+  LinkageResult Run(const RecordSimFn& sim);
+
+  /// Default record similarity: TF-IDF cosine of the two records' texts.
+  /// Valid only after Prepare().
+  double DefaultRecordSimilarity(int32_t a, int32_t b) const;
+
+  /// Scores every candidate group pair with `measure` *without*
+  /// thresholding at the group level (θ still gates edges; pairs whose
+  /// similarity graph is empty are omitted — their score is 0). Feed the
+  /// result to eval/sweep.h to evaluate many Θ settings from one scoring
+  /// pass. Uses the configured candidate method and the default record
+  /// similarity.
+  std::vector<ScoredPair> ScoreCandidates(GroupMeasureKind measure);
+
+  const LinkageConfig& config() const { return config_; }
+
+ private:
+  std::vector<std::pair<int32_t, int32_t>> GenerateCandidates(LinkageResult& result);
+  void FinishClustering(LinkageResult& result) const;
+
+  const Dataset* dataset_;
+  LinkageConfig config_;
+  bool prepared_ = false;
+
+  Vocabulary vocabulary_;
+  std::vector<std::vector<int32_t>> record_token_ids_;  // Sorted-unique per record.
+  std::vector<SparseVector> record_vectors_;
+  std::vector<int32_t> record_group_;
+};
+
+/// Convenience wrapper: prepare + run with defaults.
+Result<LinkageResult> RunGroupLinkage(const Dataset& dataset,
+                                      const LinkageConfig& config);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_LINKAGE_ENGINE_H_

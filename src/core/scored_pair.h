@@ -1,0 +1,19 @@
+#ifndef GROUPLINK_CORE_SCORED_PAIR_H_
+#define GROUPLINK_CORE_SCORED_PAIR_H_
+
+#include <cstdint>
+
+namespace grouplink {
+
+/// One candidate group pair with its group-measure score — the
+/// score-once / threshold-many currency between the engine
+/// (LinkageEngine::ScoreCandidates) and the sweep helpers (eval/sweep.h).
+struct ScoredPair {
+  int32_t g1 = 0;
+  int32_t g2 = 0;
+  double score = 0.0;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_SCORED_PAIR_H_

@@ -1,0 +1,195 @@
+#include "data/bibliographic_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/name_corpus.h"
+#include "data/perturb.h"
+
+namespace grouplink {
+namespace {
+
+struct Citation {
+  std::string text;
+};
+
+// One author entity: canonical name, topic, citation pool.
+struct Entity {
+  std::string full_name;
+  int32_t topic = 0;
+  std::vector<Citation> citations;
+};
+
+std::string MakeFullName(Rng& rng) {
+  std::string name(rng.Choice(FirstNames()));
+  if (rng.Bernoulli(0.4)) {
+    // Middle initial.
+    name += ' ';
+    name += static_cast<char>('a' + rng.Uniform(26));
+  }
+  name += ' ';
+  name += rng.Choice(LastNames());
+  return name;
+}
+
+std::string MakeTitle(const BibliographicConfig& config,
+                      const std::vector<std::vector<std::string_view>>& topics,
+                      int32_t topic, const ZipfSampler& global_words, Rng& rng) {
+  const int64_t length =
+      rng.UniformInt(config.title_min_words, config.title_max_words);
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(length));
+  const auto& topic_vocab = topics[static_cast<size_t>(topic)];
+  for (int64_t w = 0; w < length; ++w) {
+    if (rng.Bernoulli(config.offtopic_word_prob) || topic_vocab.empty()) {
+      words.emplace_back(TitleWords()[global_words.Sample(rng)]);
+    } else {
+      words.emplace_back(rng.Choice(topic_vocab));
+    }
+  }
+  return Join(words, " ");
+}
+
+Citation MakeCitation(const BibliographicConfig& config,
+                      const std::vector<std::vector<std::string_view>>& topics,
+                      int32_t topic, const ZipfSampler& global_words,
+                      const std::vector<std::string>& coauthor_pool, Rng& rng) {
+  Citation citation;
+  std::string text = MakeTitle(config, topics, topic, global_words, rng);
+  text += ' ';
+  text += rng.Choice(VenueNames());
+  text += ' ';
+  text += std::to_string(rng.UniformInt(1985, 2006));
+  const int64_t num_coauthors = rng.UniformInt(1, 2);
+  for (int64_t c = 0; c < num_coauthors; ++c) {
+    text += ' ';
+    text += rng.Choice(coauthor_pool);
+  }
+  citation.text = std::move(text);
+  return citation;
+}
+
+PerturbOptions NoiseOptions(double noise) {
+  PerturbOptions options;
+  options.typo_rate = 0.04 * noise;
+  options.token_drop_rate = 0.30 * noise;
+  options.abbreviate_rate = 0.15 * noise;
+  options.token_swap_rate = 0.40 * noise;
+  return options;
+}
+
+}  // namespace
+
+Dataset GenerateBibliographic(const BibliographicConfig& config) {
+  GL_CHECK_GT(config.num_entities, 0);
+  GL_CHECK_GE(config.min_groups_per_entity, 1);
+  GL_CHECK_LE(config.min_groups_per_entity, config.max_groups_per_entity);
+  GL_CHECK_GE(config.min_citations_per_entity, 1);
+  GL_CHECK_LE(config.min_citations_per_entity, config.max_citations_per_entity);
+  GL_CHECK_GT(config.group_citation_fraction, 0.0);
+  GL_CHECK_LE(config.group_citation_fraction, 1.0);
+  GL_CHECK_GE(config.noise, 0.0);
+  GL_CHECK_GT(config.num_topics, 0);
+  GL_CHECK_GE(config.title_min_words, 1);
+  GL_CHECK_LE(config.title_min_words, config.title_max_words);
+
+  Rng rng(config.seed);
+
+  // Topic vocabularies: disjoint-ish random slices of the title words.
+  std::vector<std::vector<std::string_view>> topics(
+      static_cast<size_t>(config.num_topics));
+  for (auto& topic : topics) {
+    const size_t words =
+        std::min<size_t>(static_cast<size_t>(config.topic_words), TitleWords().size());
+    for (const size_t index :
+         rng.SampleWithoutReplacement(TitleWords().size(), words)) {
+      topic.push_back(TitleWords()[index]);
+    }
+  }
+
+  // Shared coauthor pool (name collisions across entities are realistic).
+  std::vector<std::string> coauthor_pool;
+  for (int i = 0; i < 200; ++i) coauthor_pool.push_back(MakeFullName(rng));
+
+  const ZipfSampler global_words(TitleWords().size(), 1.0);
+
+  // Entities with citation pools. Reuse surnames sometimes so that
+  // distinct entities carry confusable names (hard negatives).
+  std::vector<Entity> entities(static_cast<size_t>(config.num_entities));
+  for (size_t e = 0; e < entities.size(); ++e) {
+    Entity& entity = entities[e];
+    if (e > 0 && rng.Bernoulli(0.15)) {
+      // Same surname as an earlier entity, fresh first name.
+      const std::vector<std::string> prior =
+          SplitWhitespace(entities[static_cast<size_t>(rng.Uniform(e))].full_name);
+      entity.full_name = std::string(rng.Choice(FirstNames())) + ' ' + prior.back();
+    } else {
+      entity.full_name = MakeFullName(rng);
+    }
+    entity.topic = static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(config.num_topics)));
+    const int64_t pool = rng.UniformInt(config.min_citations_per_entity,
+                                        config.max_citations_per_entity);
+    entity.citations.reserve(static_cast<size_t>(pool));
+    for (int64_t c = 0; c < pool; ++c) {
+      entity.citations.push_back(MakeCitation(config, topics, entity.topic,
+                                              global_words, coauthor_pool, rng));
+    }
+  }
+
+  // Co-authored papers: copy some citations into another entity's pool,
+  // so distinct entities legitimately share records.
+  if (config.num_entities > 1) {
+    for (size_t e = 0; e < entities.size(); ++e) {
+      const size_t pool = entities[e].citations.size();
+      for (size_t c = 0; c < pool; ++c) {
+        if (!rng.Bernoulli(config.shared_citation_prob)) continue;
+        size_t other = static_cast<size_t>(rng.Uniform(entities.size() - 1));
+        if (other >= e) ++other;
+        entities[other].citations.push_back(entities[e].citations[c]);
+      }
+    }
+  }
+
+  const PerturbOptions noise_options = NoiseOptions(config.noise);
+
+  Dataset dataset;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    const Entity& entity = entities[e];
+    const bool singleton = rng.Bernoulli(config.singleton_entity_fraction);
+    const int64_t num_groups =
+        singleton ? 1
+                  : rng.UniformInt(config.min_groups_per_entity,
+                                   config.max_groups_per_entity);
+    for (int64_t g = 0; g < num_groups; ++g) {
+      Group group;
+      group.id = "e" + std::to_string(e) + "g" + std::to_string(g);
+      group.label = g == 0 ? entity.full_name : MakeNameVariant(entity.full_name, rng);
+
+      const size_t pool = entity.citations.size();
+      double fraction = config.group_citation_fraction;
+      if (config.group_citation_fraction_min > 0.0) {
+        fraction = rng.UniformDouble(config.group_citation_fraction_min,
+                                     config.group_citation_fraction);
+      }
+      size_t take = static_cast<size_t>(fraction * static_cast<double>(pool) + 0.5);
+      take = std::clamp<size_t>(take, 1, pool);
+      for (const size_t index : rng.SampleWithoutReplacement(pool, take)) {
+        Record record;
+        record.id = group.id + "r" + std::to_string(index);
+        record.text = PerturbText(entity.citations[index].text, noise_options, rng);
+        group.record_ids.push_back(static_cast<int32_t>(dataset.records.size()));
+        dataset.records.push_back(std::move(record));
+      }
+      dataset.groups.push_back(std::move(group));
+      dataset.group_entities.push_back(static_cast<int32_t>(e));
+    }
+  }
+  GL_CHECK(dataset.Validate().ok());
+  return dataset;
+}
+
+}  // namespace grouplink

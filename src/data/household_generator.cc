@@ -1,0 +1,133 @@
+#include "data/household_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/name_corpus.h"
+#include "data/perturb.h"
+
+namespace grouplink {
+namespace {
+
+struct Member {
+  std::string first_name;
+  std::string surname;
+  int64_t age = 0;
+};
+
+struct Household {
+  std::vector<Member> members;
+  std::string address;  // "<number> <street> <city>".
+  bool in_both = false;
+};
+
+PerturbOptions NoiseOptions(double noise) {
+  PerturbOptions options;
+  options.typo_rate = 0.03 * noise;
+  options.token_drop_rate = 0.10 * noise;
+  options.abbreviate_rate = 0.10 * noise;
+  options.token_swap_rate = 0.20 * noise;
+  return options;
+}
+
+std::string MemberText(const Member& member, const std::string& address, int64_t age) {
+  return member.first_name + ' ' + member.surname + ' ' + std::to_string(age) + ' ' +
+         address;
+}
+
+}  // namespace
+
+Dataset GenerateHouseholds(const HouseholdConfig& config) {
+  GL_CHECK_GT(config.num_households, 0);
+  GL_CHECK_GE(config.min_members, 1);
+  GL_CHECK_LE(config.min_members, config.max_members);
+  GL_CHECK_GE(config.noise, 0.0);
+
+  Rng rng(config.seed);
+  const PerturbOptions noise_options = NoiseOptions(config.noise);
+
+  std::vector<Household> households(static_cast<size_t>(config.num_households));
+  for (Household& household : households) {
+    const std::string surname(rng.Choice(LastNames()));
+    const int64_t size = rng.UniformInt(config.min_members, config.max_members);
+    for (int64_t m = 0; m < size; ++m) {
+      Member member;
+      member.first_name = std::string(rng.Choice(FirstNames()));
+      member.surname = rng.Bernoulli(0.85) ? surname : std::string(rng.Choice(LastNames()));
+      member.age = m < 2 ? rng.UniformInt(25, 70) : rng.UniformInt(1, 24);
+      household.members.push_back(std::move(member));
+    }
+    household.address = std::to_string(rng.UniformInt(1, 9999)) + ' ' +
+                        std::string(rng.Choice(StreetNames())) + ' ' +
+                        std::string(rng.Choice(CityNames()));
+    household.in_both = rng.Bernoulli(config.both_snapshots_fraction);
+  }
+
+  Dataset dataset;
+  const auto add_group = [&](size_t h, char snapshot,
+                             const std::vector<std::string>& member_texts) {
+    Group group;
+    group.id = "h" + std::to_string(h) + snapshot;
+    group.label = households[h].address;
+    for (size_t m = 0; m < member_texts.size(); ++m) {
+      Record record;
+      record.id = group.id + "m" + std::to_string(m);
+      record.text = member_texts[m];
+      group.record_ids.push_back(static_cast<int32_t>(dataset.records.size()));
+      dataset.records.push_back(std::move(record));
+    }
+    if (!group.record_ids.empty()) {
+      dataset.groups.push_back(std::move(group));
+      dataset.group_entities.push_back(static_cast<int32_t>(h));
+    }
+  };
+
+  for (size_t h = 0; h < households.size(); ++h) {
+    const Household& household = households[h];
+    // Households only in B are handled below; everyone else gets an
+    // A-snapshot group with clean-ish records.
+    const bool only_b = !household.in_both && rng.Bernoulli(0.5);
+    if (!only_b) {
+      std::vector<std::string> texts;
+      for (const Member& member : household.members) {
+        texts.push_back(PerturbText(MemberText(member, household.address, member.age),
+                                    noise_options, rng));
+      }
+      add_group(h, 'a', texts);
+    }
+    if (household.in_both || only_b) {
+      // Snapshot B: one year later with churn and drift.
+      std::vector<std::string> texts;
+      for (const Member& member : household.members) {
+        if (rng.Bernoulli(config.move_out_prob)) continue;
+        texts.push_back(PerturbText(
+            MemberText(member, household.address, member.age + 1), noise_options, rng));
+      }
+      const int64_t move_ins = static_cast<int64_t>(
+          config.move_in_rate * static_cast<double>(household.members.size()) + 0.5);
+      for (int64_t m = 0; m < move_ins; ++m) {
+        Member newcomer;
+        newcomer.first_name = std::string(rng.Choice(FirstNames()));
+        newcomer.surname = household.members.front().surname;
+        newcomer.age = rng.UniformInt(1, 40);
+        texts.push_back(PerturbText(
+            MemberText(newcomer, household.address, newcomer.age), noise_options, rng));
+      }
+      if (texts.empty()) {
+        // Everyone moved out; keep one perturbed member so the group exists.
+        const Member& member = household.members.front();
+        texts.push_back(PerturbText(MemberText(member, household.address, member.age + 1),
+                                    noise_options, rng));
+      }
+      add_group(h, 'b', texts);
+    }
+  }
+  GL_CHECK(dataset.Validate().ok());
+  return dataset;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,42 @@
+#ifndef GROUPLINK_DATA_HOUSEHOLD_GENERATOR_H_
+#define GROUPLINK_DATA_HOUSEHOLD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "core/group.h"
+
+namespace grouplink {
+
+/// Synthetic census-style workload, the second evaluation domain: a
+/// household is a group of person records at one address, observed in two
+/// survey snapshots a year apart. Linking decides which snapshot-A
+/// household equals which snapshot-B household.
+///
+/// Between snapshots: members move out / in, everyone ages by one year,
+/// names and addresses pick up typos and format drift — so the two
+/// observations of one household overlap only approximately.
+struct HouseholdConfig {
+  int32_t num_households = 500;
+  /// Members per household, uniform in [min, max].
+  int32_t min_members = 2;
+  int32_t max_members = 7;
+  /// Fraction of households observed in *both* snapshots (the rest appear
+  /// in exactly one and must stay unlinked).
+  double both_snapshots_fraction = 0.8;
+  /// Per-member probability of being absent from snapshot B.
+  double move_out_prob = 0.15;
+  /// Expected new members in snapshot B = move_in_rate × household size.
+  double move_in_rate = 0.10;
+  /// Master dirtiness dial in [0, 1] for record texts.
+  double noise = 0.2;
+  uint64_t seed = 7;
+};
+
+/// Generates the two-snapshot dataset; each group's entity id is its
+/// household, so the true links are exactly the A/B pairs of households
+/// present in both snapshots.
+Dataset GenerateHouseholds(const HouseholdConfig& config);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_DATA_HOUSEHOLD_GENERATOR_H_

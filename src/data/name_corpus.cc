@@ -1,0 +1,194 @@
+#include "data/name_corpus.h"
+
+namespace grouplink {
+namespace {
+
+const std::vector<std::string_view>* MakeFirstNames() {
+  return new std::vector<std::string_view>{
+      "james",    "mary",      "john",     "patricia", "robert",   "jennifer",
+      "michael",  "linda",     "william",  "elizabeth", "david",   "barbara",
+      "richard",  "susan",     "joseph",   "jessica",  "thomas",   "sarah",
+      "charles",  "karen",     "christopher", "nancy", "daniel",   "lisa",
+      "matthew",  "margaret",  "anthony",  "betty",    "donald",   "sandra",
+      "mark",     "ashley",    "paul",     "dorothy",  "steven",   "kimberly",
+      "andrew",   "emily",     "kenneth",  "donna",    "joshua",   "michelle",
+      "george",   "carol",     "kevin",    "amanda",   "brian",    "melissa",
+      "edward",   "deborah",   "ronald",   "stephanie", "timothy", "rebecca",
+      "jason",    "laura",     "jeffrey",  "sharon",   "ryan",     "cynthia",
+      "jacob",    "kathleen",  "gary",     "amy",      "nicholas", "shirley",
+      "eric",     "angela",    "jonathan", "helen",    "stephen",  "anna",
+      "larry",    "brenda",    "justin",   "pamela",   "scott",    "nicole",
+      "brandon",  "ruth",      "benjamin", "katherine", "samuel",  "samantha",
+      "gregory",  "christine", "frank",    "emma",     "alexander", "catherine",
+      "raymond",  "debra",     "patrick",  "virginia", "jack",     "rachel",
+      "dennis",   "carolyn",   "jerry",    "janet",    "tyler",    "maria",
+      "aaron",    "heather",   "jose",     "diane",    "adam",     "julie",
+      "nathan",   "joyce",     "henry",    "victoria", "douglas",  "kelly",
+      "zachary",  "christina", "peter",    "joan",     "kyle",     "evelyn",
+      "walter",   "lauren",    "ethan",    "judith",   "jeremy",   "olivia",
+      "harold",   "frances",   "keith",    "martha",   "christian", "cheryl",
+      "roger",    "megan",     "noah",     "andrea",   "gerald",   "hannah",
+      "carl",     "jacqueline", "terry",   "wei",      "arturo",   "priya",
+      "hiroshi",  "fatima",    "dmitri",   "ingrid",   "paolo",    "chen",
+  };
+}
+
+const std::vector<std::string_view>* MakeLastNames() {
+  return new std::vector<std::string_view>{
+      "smith",     "johnson",   "williams", "brown",    "jones",     "garcia",
+      "miller",    "davis",     "rodriguez", "martinez", "hernandez", "lopez",
+      "gonzalez",  "wilson",    "anderson", "thomas",   "taylor",    "moore",
+      "jackson",   "martin",    "lee",      "perez",    "thompson",  "white",
+      "harris",    "sanchez",   "clark",    "ramirez",  "lewis",     "robinson",
+      "walker",    "young",     "allen",    "king",     "wright",    "scott",
+      "torres",    "nguyen",    "hill",     "flores",   "green",     "adams",
+      "nelson",    "baker",     "hall",     "rivera",   "campbell",  "mitchell",
+      "carter",    "roberts",   "gomez",    "phillips", "evans",     "turner",
+      "diaz",      "parker",    "cruz",     "edwards",  "collins",   "reyes",
+      "stewart",   "morris",    "morales",  "murphy",   "cook",      "rogers",
+      "gutierrez", "ortiz",     "morgan",   "cooper",   "peterson",  "bailey",
+      "reed",      "kelly",     "howard",   "ramos",    "kim",       "cox",
+      "ward",      "richardson", "watson",  "brooks",   "chavez",    "wood",
+      "james",     "bennett",   "gray",     "mendoza",  "ruiz",      "hughes",
+      "price",     "alvarez",   "castillo", "sanders",  "patel",     "myers",
+      "long",      "ross",      "foster",   "jimenez",  "powell",    "jenkins",
+      "perry",     "russell",   "sullivan", "bell",     "coleman",   "butler",
+      "henderson", "barnes",    "gonzales", "fisher",   "vasquez",   "simmons",
+      "romero",    "jordan",    "patterson", "alexander", "hamilton", "graham",
+      "reynolds",  "griffin",   "wallace",  "moreno",   "west",      "cole",
+      "hayes",     "bryant",    "herrera",  "gibson",   "ellis",     "tran",
+      "medina",    "aguilar",   "stevens",  "murray",   "ford",      "castro",
+      "marshall",  "owens",     "harrison", "fernandez", "mcdonald", "woods",
+      "washington", "kennedy",  "wells",    "vargas",   "henry",     "chen",
+      "freeman",   "webb",      "tucker",   "guzman",   "burns",     "crawford",
+      "olson",     "simpson",   "porter",   "hunter",   "gordon",    "mendez",
+  };
+}
+
+const std::vector<std::string_view>* MakeTitleWords() {
+  return new std::vector<std::string_view>{
+      "adaptive",     "aggregation",  "algorithms",   "analysis",     "analytics",
+      "approximate",  "architecture", "association",  "asynchronous", "automated",
+      "benchmarking", "bitmap",       "blocking",     "bounds",       "buffer",
+      "caching",      "cardinality",  "classification", "cleaning",   "cloud",
+      "clustering",   "columnar",     "compression",  "computation",  "concurrency",
+      "consensus",    "consistency",  "constraints",  "cost",         "crawling",
+      "cube",         "data",         "database",     "decentralized", "declarative",
+      "deduplication", "dependencies", "detection",   "discovery",    "disk",
+      "distributed",  "duplicate",    "dynamic",      "efficient",    "elastic",
+      "embedding",    "entity",       "estimation",   "evaluation",   "execution",
+      "extraction",   "failover",     "fast",         "fault",        "federated",
+      "filtering",    "framework",    "frequent",     "fusion",       "fuzzy",
+      "generation",   "graph",        "hashing",      "heterogeneous", "hierarchical",
+      "histogram",    "hybrid",       "incremental",  "index",        "indexing",
+      "inference",    "integration",  "interactive",  "isolation",    "iterative",
+      "join",         "keyword",      "knowledge",    "language",     "large",
+      "latency",      "learning",     "linkage",      "locality",     "locking",
+      "logging",      "machine",      "maintenance",  "management",   "matching",
+      "materialized", "memory",       "metadata",     "mining",       "mobile",
+      "modeling",     "monitoring",   "multidimensional", "network",  "nonblocking",
+      "normalization", "online",      "optimization", "optimizer",    "ordering",
+      "parallel",     "partitioning", "patterns",     "performance",  "persistent",
+      "pipelined",    "placement",    "planning",     "predicate",    "prediction",
+      "prefetching",  "privacy",      "probabilistic", "processing",  "profiling",
+      "provenance",   "pruning",      "quality",      "queries",      "query",
+      "ranking",      "recovery",     "recursive",    "reduction",    "redundancy",
+      "relational",   "reliability",  "replication",  "repository",   "resolution",
+      "retrieval",    "robust",       "routing",      "rules",        "sampling",
+      "scalable",     "scheduling",   "schema",       "search",       "secondary",
+      "secure",       "selectivity",  "semantic",     "semantics",    "sensor",
+      "sequential",   "serializable", "sharing",      "similarity",   "sketches",
+      "skew",         "spatial",      "speculative",  "storage",      "stream",
+      "streaming",    "structured",   "summarization", "synchronization", "synopses",
+      "system",       "systems",      "temporal",     "text",         "throughput",
+      "tolerant",     "topology",     "tracking",     "transaction",  "transactions",
+      "transformation", "tuning",     "uncertain",    "unstructured", "updates",
+      "validation",   "vectorized",   "versioning",   "view",         "views",
+      "virtual",      "visualization", "warehouse",   "web",          "workload",
+      "xml",          "adaptive",     "anomaly",      "compaction",   "lineage",
+      "sharding",     "snapshot",     "checkpoint",   "encoding",     "windowed",
+  };
+}
+
+const std::vector<std::string_view>* MakeVenueNames() {
+  return new std::vector<std::string_view>{
+      "sigmod",  "vldb",    "icde",     "edbt",    "cidr",    "pods",
+      "kdd",     "icdm",    "sdm",      "cikm",    "wsdm",    "www",
+      "sigir",   "ecir",    "acl",      "emnlp",   "naacl",   "coling",
+      "nips",    "icml",    "aaai",     "ijcai",   "uai",     "aistats",
+      "sosp",    "osdi",    "nsdi",     "eurosys", "atc",     "fast",
+      "sigcomm", "infocom", "mobicom",  "podc",    "spaa",    "stoc",
+      "focs",    "soda",    "icalp",    "esa",
+  };
+}
+
+const std::vector<std::string_view>* MakeStreetNames() {
+  return new std::vector<std::string_view>{
+      "main street",      "oak avenue",      "maple drive",     "cedar lane",
+      "elm street",       "pine road",       "washington blvd", "park avenue",
+      "lake drive",       "hill street",     "river road",      "sunset blvd",
+      "highland avenue",  "forest lane",     "meadow drive",    "spring street",
+      "church street",    "market street",   "broad street",    "center street",
+      "franklin avenue",  "jefferson road",  "lincoln street",  "madison avenue",
+      "monroe drive",     "adams street",    "jackson blvd",    "harrison lane",
+      "cleveland avenue", "garfield street", "grant road",      "hayes drive",
+      "walnut street",    "chestnut avenue", "sycamore lane",   "willow road",
+      "birch street",     "aspen drive",     "poplar avenue",   "magnolia blvd",
+      "dogwood lane",     "juniper street",  "laurel road",     "hawthorn drive",
+      "mulberry street",  "hickory lane",    "locust avenue",   "cypress road",
+      "redwood drive",    "sequoia street",  "valley view road", "ridge crest drive",
+      "canyon lane",      "prairie avenue",  "orchard street",  "vineyard road",
+      "harbor drive",     "bayview avenue",  "seaside lane",    "cliffside road",
+  };
+}
+
+const std::vector<std::string_view>* MakeCityNames() {
+  return new std::vector<std::string_view>{
+      "springfield", "riverton",   "fairview",    "georgetown", "salem",
+      "madison",     "franklin",   "clinton",     "arlington",  "ashland",
+      "burlington",  "manchester", "milton",      "newport",    "oxford",
+      "clayton",     "dayton",     "lexington",   "milford",    "winchester",
+      "bristol",     "dover",      "hudson",      "kingston",   "lancaster",
+      "monroe",      "auburn",     "bedford",     "brighton",   "camden",
+      "chester",     "columbia",   "concord",     "danville",   "easton",
+      "florence",    "glendale",   "greenville",  "hamilton",   "harrison",
+      "jackson",     "jamestown",  "lebanon",     "lincoln",    "marion",
+      "midland",     "norwood",    "plymouth",    "portland",   "trenton",
+  };
+}
+
+}  // namespace
+
+// Function-local static references: constructed on first use, never
+// destroyed (trivial-destruction rule for static storage duration).
+const std::vector<std::string_view>& FirstNames() {
+  static const auto& names = *MakeFirstNames();
+  return names;
+}
+
+const std::vector<std::string_view>& LastNames() {
+  static const auto& names = *MakeLastNames();
+  return names;
+}
+
+const std::vector<std::string_view>& TitleWords() {
+  static const auto& words = *MakeTitleWords();
+  return words;
+}
+
+const std::vector<std::string_view>& VenueNames() {
+  static const auto& names = *MakeVenueNames();
+  return names;
+}
+
+const std::vector<std::string_view>& StreetNames() {
+  static const auto& names = *MakeStreetNames();
+  return names;
+}
+
+const std::vector<std::string_view>& CityNames() {
+  static const auto& names = *MakeCityNames();
+  return names;
+}
+
+}  // namespace grouplink

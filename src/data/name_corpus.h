@@ -1,0 +1,35 @@
+#ifndef GROUPLINK_DATA_NAME_CORPUS_H_
+#define GROUPLINK_DATA_NAME_CORPUS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace grouplink {
+
+/// Embedded word corpora backing the synthetic data generators. The paper
+/// evaluated on proprietary digital-library and census-style corpora; these
+/// lists let the generators produce data with the same shape (person names,
+/// paper-title vocabulary, venues, street addresses) fully offline and
+/// deterministically.
+
+/// ~130 common given names.
+const std::vector<std::string_view>& FirstNames();
+
+/// ~160 common surnames.
+const std::vector<std::string_view>& LastNames();
+
+/// ~240 research-paper title words (systems/databases flavored).
+const std::vector<std::string_view>& TitleWords();
+
+/// ~40 publication venue names.
+const std::vector<std::string_view>& VenueNames();
+
+/// ~60 street names.
+const std::vector<std::string_view>& StreetNames();
+
+/// ~50 city names.
+const std::vector<std::string_view>& CityNames();
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_DATA_NAME_CORPUS_H_

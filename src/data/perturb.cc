@@ -1,0 +1,126 @@
+#include "data/perturb.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+namespace {
+
+constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+
+char RandomLetter(Rng& rng) {
+  return kAlphabet[static_cast<size_t>(rng.Uniform(kAlphabet.size()))];
+}
+
+}  // namespace
+
+std::string ApplyRandomTypo(std::string_view text, Rng& rng) {
+  std::string out(text);
+  if (out.empty()) return out;
+  const size_t pos = static_cast<size_t>(rng.Uniform(out.size()));
+  switch (rng.Uniform(4)) {
+    case 0:  // Substitute.
+      out[pos] = RandomLetter(rng);
+      break;
+    case 1:  // Insert.
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), RandomLetter(rng));
+      break;
+    case 2:  // Delete.
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    case 3:  // Transpose with the next character.
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string InjectTypos(std::string_view text, double rate, Rng& rng) {
+  std::string out(text);
+  if (rate <= 0.0) return out;
+  // One Bernoulli per original character; edits apply sequentially.
+  const size_t original_length = out.size();
+  for (size_t i = 0; i < original_length; ++i) {
+    if (rng.Bernoulli(rate)) out = ApplyRandomTypo(out, rng);
+  }
+  return out;
+}
+
+std::string PerturbText(std::string_view text, const PerturbOptions& options, Rng& rng) {
+  std::vector<std::string> tokens = SplitWhitespace(text);
+  if (tokens.empty()) return std::string(text);
+
+  // Drops (keep at least one token).
+  std::vector<std::string> kept;
+  for (std::string& token : tokens) {
+    if (!rng.Bernoulli(options.token_drop_rate)) kept.push_back(std::move(token));
+  }
+  if (kept.empty()) kept.push_back(tokens[static_cast<size_t>(rng.Uniform(tokens.size()))]);
+
+  // Abbreviations.
+  for (std::string& token : kept) {
+    if (rng.Bernoulli(options.abbreviate_rate)) token = AbbreviateToken(token);
+  }
+
+  // One adjacent swap.
+  if (kept.size() >= 2 && rng.Bernoulli(options.token_swap_rate)) {
+    const size_t i = static_cast<size_t>(rng.Uniform(kept.size() - 1));
+    std::swap(kept[i], kept[i + 1]);
+  }
+
+  return InjectTypos(Join(kept, " "), options.typo_rate, rng);
+}
+
+std::string AbbreviateToken(std::string_view token) {
+  if (token.size() <= 1) return std::string(token);
+  return std::string(1, token[0]);
+}
+
+size_t PerturbGrouping(Dataset& dataset, double reassign_fraction, Rng& rng) {
+  if (dataset.num_groups() < 2) return 0;
+  std::vector<int32_t> record_group = dataset.RecordToGroup();
+  size_t moved = 0;
+  for (int32_t r = 0; r < dataset.num_records(); ++r) {
+    if (!rng.Bernoulli(reassign_fraction)) continue;
+    const int32_t source = record_group[static_cast<size_t>(r)];
+    Group& source_group = dataset.groups[static_cast<size_t>(source)];
+    if (source_group.record_ids.size() <= 1) continue;  // Keep groups non-empty.
+    int32_t target =
+        static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(dataset.num_groups() - 1)));
+    if (target >= source) ++target;
+    auto& ids = source_group.record_ids;
+    ids.erase(std::find(ids.begin(), ids.end(), r));
+    dataset.groups[static_cast<size_t>(target)].record_ids.push_back(r);
+    record_group[static_cast<size_t>(r)] = target;
+    ++moved;
+  }
+  GL_CHECK(dataset.Validate().ok());
+  return moved;
+}
+
+std::string MakeNameVariant(std::string_view full_name, Rng& rng) {
+  std::vector<std::string> tokens = SplitWhitespace(full_name);
+  if (tokens.empty()) return std::string(full_name);
+  switch (rng.Uniform(4)) {
+    case 0:  // Verbatim.
+      return Join(tokens, " ");
+    case 1: {  // Initials for all but the last token: "j d ullman".
+      std::vector<std::string> out = tokens;
+      for (size_t i = 0; i + 1 < out.size(); ++i) out[i] = AbbreviateToken(out[i]);
+      return Join(out, " ");
+    }
+    case 2: {  // "last first" inversion.
+      std::vector<std::string> out;
+      out.push_back(tokens.back());
+      for (size_t i = 0; i + 1 < tokens.size(); ++i) out.push_back(tokens[i]);
+      return Join(out, " ");
+    }
+    default:  // One typo somewhere.
+      return ApplyRandomTypo(Join(tokens, " "), rng);
+  }
+}
+
+}  // namespace grouplink

@@ -1,0 +1,56 @@
+#ifndef GROUPLINK_DATA_PERTURB_H_
+#define GROUPLINK_DATA_PERTURB_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "core/group.h"
+
+namespace grouplink {
+
+/// Controlled dirtiness for the synthetic generators: every knob is a
+/// probability, and all randomness flows through the caller's Rng, so a
+/// dataset is a pure function of (config, seed).
+struct PerturbOptions {
+  /// Per-character probability of a typo (substitute / insert / delete /
+  /// transpose, chosen uniformly).
+  double typo_rate = 0.0;
+  /// Per-token probability of being dropped.
+  double token_drop_rate = 0.0;
+  /// Per-token probability of being abbreviated to its first letter.
+  double abbreviate_rate = 0.0;
+  /// Probability of swapping one adjacent token pair.
+  double token_swap_rate = 0.0;
+};
+
+/// Applies a single random character edit to `text` (no-op on empty input).
+std::string ApplyRandomTypo(std::string_view text, Rng& rng);
+
+/// Applies per-character typos at `rate`.
+std::string InjectTypos(std::string_view text, double rate, Rng& rng);
+
+/// Rebuilds `text` token by token, applying drops / abbreviations / one
+/// optional adjacent swap per PerturbOptions, then per-character typos.
+/// Always keeps at least one token of a non-empty input.
+std::string PerturbText(std::string_view text, const PerturbOptions& options, Rng& rng);
+
+/// Abbreviates "jeffrey" -> "j". Tokens of length <= 1 pass through.
+std::string AbbreviateToken(std::string_view token);
+
+/// Produces a name variant of "first [middle] last":
+/// randomly chooses between the full name, first-initial form
+/// ("j ullman"), "last first" inversion, or a typo'ed full name.
+std::string MakeNameVariant(std::string_view full_name, Rng& rng);
+
+/// Simulates upstream record-linkage mistakes: each record is moved to a
+/// uniformly random *other* group with probability `reassign_fraction`
+/// (moves that would empty the source group are skipped). Ground truth
+/// entities are untouched — the point is measuring how group linkage
+/// degrades when the given grouping is partly wrong (benchmark E15).
+/// Returns the number of records actually moved; the dataset stays valid.
+size_t PerturbGrouping(Dataset& dataset, double reassign_fraction, Rng& rng);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_DATA_PERTURB_H_

@@ -1,0 +1,82 @@
+#include "data/record_io.h"
+
+#include <map>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace {
+
+constexpr size_t kFixedColumns = 5;  // record_id, group_id, label, entity, text.
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  GL_RETURN_IF_ERROR(dataset.Validate());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"record_id", "group_id", "group_label", "entity_id", "text"});
+  for (size_t g = 0; g < dataset.groups.size(); ++g) {
+    const Group& group = dataset.groups[g];
+    const int32_t entity =
+        dataset.group_entities.empty() ? Dataset::kUnknownEntity
+                                       : dataset.group_entities[g];
+    for (const int32_t r : group.record_ids) {
+      const Record& record = dataset.records[static_cast<size_t>(r)];
+      std::vector<std::string> row = {
+          record.id, group.id, group.label,
+          entity == Dataset::kUnknownEntity ? "" : std::to_string(entity),
+          record.text};
+      row.insert(row.end(), record.fields.begin(), record.fields.end());
+      rows.push_back(std::move(row));
+    }
+  }
+  return CsvWriteFile(path, rows);
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  auto rows = CsvReadFile(path);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::ParseError("empty dataset file: " + path);
+
+  Dataset dataset;
+  std::map<std::string, int32_t> group_index;
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const std::vector<std::string>& row = (*rows)[i];
+    if (row.size() == 1 && row[0].empty()) continue;  // Trailing blank line.
+    if (row.size() < kFixedColumns) {
+      return Status::ParseError("row " + std::to_string(i) + " has " +
+                                std::to_string(row.size()) + " columns, expected >= " +
+                                std::to_string(kFixedColumns));
+    }
+    Record record;
+    record.id = row[0];
+    record.text = row[4];
+    record.fields.assign(row.begin() + kFixedColumns, row.end());
+
+    const std::string& group_id = row[1];
+    auto [it, inserted] =
+        group_index.try_emplace(group_id, static_cast<int32_t>(dataset.groups.size()));
+    if (inserted) {
+      Group group;
+      group.id = group_id;
+      group.label = row[2];
+      dataset.groups.push_back(std::move(group));
+      if (row[3].empty()) {
+        dataset.group_entities.push_back(Dataset::kUnknownEntity);
+      } else {
+        auto entity = ParseInt64(row[3]);
+        if (!entity.ok()) return entity.status();
+        dataset.group_entities.push_back(static_cast<int32_t>(*entity));
+      }
+    }
+    dataset.groups[static_cast<size_t>(it->second)].record_ids.push_back(
+        static_cast<int32_t>(dataset.records.size()));
+    dataset.records.push_back(std::move(record));
+  }
+  GL_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,26 @@
+#ifndef GROUPLINK_DATA_RECORD_IO_H_
+#define GROUPLINK_DATA_RECORD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/group.h"
+
+namespace grouplink {
+
+/// CSV persistence for Dataset. One row per record:
+///
+///   record_id,group_id,group_label,entity_id,text,field_1,...,field_k
+///
+/// with a header row. `entity_id` is empty for unknown ground truth.
+/// Groups are reconstructed by `group_id` in order of first appearance,
+/// so Save followed by Load round-trips records, grouping, and truth.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset written by SaveDatasetCsv (or hand-authored in the same
+/// format). Returns ParseError / InvalidArgument on malformed input.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_DATA_RECORD_IO_H_

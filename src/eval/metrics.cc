@@ -1,0 +1,163 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+void NormalizePairs(std::vector<std::pair<int32_t, int32_t>>& pairs) {
+  for (auto& [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+}
+
+PairMetrics FromCounts(size_t tp, size_t fp, size_t fn) {
+  PairMetrics metrics;
+  metrics.true_positives = tp;
+  metrics.false_positives = fp;
+  metrics.false_negatives = fn;
+  metrics.precision =
+      tp + fp == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  metrics.recall =
+      tp + fn == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  metrics.f1 = F1Score(metrics.precision, metrics.recall);
+  return metrics;
+}
+
+}  // namespace
+
+double F1Score(double precision, double recall) {
+  const double sum = precision + recall;
+  return sum == 0.0 ? 0.0 : 2.0 * precision * recall / sum;
+}
+
+PairMetrics EvaluatePairs(std::vector<std::pair<int32_t, int32_t>> predicted,
+                          std::vector<std::pair<int32_t, int32_t>> truth) {
+  NormalizePairs(predicted);
+  NormalizePairs(truth);
+  size_t tp = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < predicted.size() && j < truth.size()) {
+    if (predicted[i] < truth[j]) {
+      ++i;
+    } else if (truth[j] < predicted[i]) {
+      ++j;
+    } else {
+      ++tp;
+      ++i;
+      ++j;
+    }
+  }
+  return FromCounts(tp, predicted.size() - tp, truth.size() - tp);
+}
+
+PairMetrics EvaluateClusterPairs(const std::vector<size_t>& predicted_labels,
+                                 const std::vector<int32_t>& true_labels) {
+  GL_CHECK_EQ(predicted_labels.size(), true_labels.size());
+  const size_t n = predicted_labels.size();
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool predicted_same = predicted_labels[i] == predicted_labels[j];
+      const bool true_same =
+          true_labels[i] >= 0 && true_labels[i] == true_labels[j];
+      if (predicted_same && true_same) {
+        ++tp;
+      } else if (predicted_same) {
+        ++fp;
+      } else if (true_same) {
+        ++fn;
+      }
+    }
+  }
+  return FromCounts(tp, fp, fn);
+}
+
+BCubedMetrics EvaluateBCubed(const std::vector<size_t>& predicted_labels,
+                             const std::vector<int32_t>& true_labels) {
+  GL_CHECK_EQ(predicted_labels.size(), true_labels.size());
+  const size_t n = predicted_labels.size();
+  BCubedMetrics metrics;
+  if (n == 0) return metrics;
+
+  // Give each -1 true label a unique negative key so it forms a singleton.
+  std::vector<int64_t> truth(n);
+  int64_t next_unique = -2;
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = true_labels[i] >= 0 ? true_labels[i] : next_unique--;
+  }
+
+  std::map<std::pair<size_t, int64_t>, size_t> joint;  // (pred, true) sizes.
+  std::map<size_t, size_t> predicted_size;
+  std::map<int64_t, size_t> true_size;
+  for (size_t i = 0; i < n; ++i) {
+    ++joint[{predicted_labels[i], truth[i]}];
+    ++predicted_size[predicted_labels[i]];
+    ++true_size[truth[i]];
+  }
+
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double overlap =
+        static_cast<double>(joint[{predicted_labels[i], truth[i]}]);
+    precision_sum += overlap / static_cast<double>(predicted_size[predicted_labels[i]]);
+    recall_sum += overlap / static_cast<double>(true_size[truth[i]]);
+  }
+  metrics.precision = precision_sum / static_cast<double>(n);
+  metrics.recall = recall_sum / static_cast<double>(n);
+  metrics.f1 = F1Score(metrics.precision, metrics.recall);
+  return metrics;
+}
+
+double AdjustedRandIndex(const std::vector<size_t>& predicted_labels,
+                         const std::vector<int32_t>& true_labels) {
+  GL_CHECK_EQ(predicted_labels.size(), true_labels.size());
+  const size_t n = predicted_labels.size();
+  if (n < 2) return 1.0;
+
+  std::vector<int64_t> truth(n);
+  int64_t next_unique = -2;
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = true_labels[i] >= 0 ? true_labels[i] : next_unique--;
+  }
+
+  std::map<std::pair<size_t, int64_t>, int64_t> joint;
+  std::map<size_t, int64_t> predicted_size;
+  std::map<int64_t, int64_t> true_size;
+  for (size_t i = 0; i < n; ++i) {
+    ++joint[{predicted_labels[i], truth[i]}];
+    ++predicted_size[predicted_labels[i]];
+    ++true_size[truth[i]];
+  }
+
+  const auto choose2 = [](int64_t count) {
+    return static_cast<double>(count) * static_cast<double>(count - 1) / 2.0;
+  };
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : joint) sum_joint += choose2(count);
+  double sum_predicted = 0.0;
+  for (const auto& [key, count] : predicted_size) sum_predicted += choose2(count);
+  double sum_true = 0.0;
+  for (const auto& [key, count] : true_size) sum_true += choose2(count);
+
+  const double total_pairs = choose2(static_cast<int64_t>(n));
+  const double expected = sum_predicted * sum_true / total_pairs;
+  const double maximum = 0.5 * (sum_predicted + sum_true);
+  if (maximum == expected) {
+    // Both clusterings are all-singletons or one giant cluster in a way
+    // that leaves no room for chance correction; identical => perfect.
+    return sum_joint == maximum ? 1.0 : 0.0;
+  }
+  return (sum_joint - expected) / (maximum - expected);
+}
+
+}  // namespace grouplink

@@ -1,0 +1,59 @@
+#ifndef GROUPLINK_EVAL_METRICS_H_
+#define GROUPLINK_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace grouplink {
+
+/// Pairwise linkage quality: predicted vs ground-truth unordered pairs.
+struct PairMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;  // 1.0 when nothing was predicted.
+  double recall = 0.0;     // 1.0 when nothing was true.
+  double f1 = 0.0;
+};
+
+/// Compares pair sets. Pairs are normalized to (min, max) and deduplicated
+/// internally, so order and orientation do not matter.
+PairMetrics EvaluatePairs(std::vector<std::pair<int32_t, int32_t>> predicted,
+                          std::vector<std::pair<int32_t, int32_t>> truth);
+
+/// Pairwise metrics induced by two clusterings of the same n items:
+/// a pair is predicted-positive if the items share a predicted label and
+/// true-positive if they share a true label. True labels equal to -1 mean
+/// "unique entity" (never co-referring with anything).
+PairMetrics EvaluateClusterPairs(const std::vector<size_t>& predicted_labels,
+                                 const std::vector<int32_t>& true_labels);
+
+/// B-cubed clustering metrics (Bagga & Baldwin): per-item precision =
+/// fraction of the item's predicted cluster sharing its true label,
+/// per-item recall = fraction of the item's true cluster sharing its
+/// predicted label; averaged over items. -1 true labels are unique.
+struct BCubedMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+BCubedMetrics EvaluateBCubed(const std::vector<size_t>& predicted_labels,
+                             const std::vector<int32_t>& true_labels);
+
+/// Adjusted Rand Index between a predicted and a true clustering of the
+/// same n items: the Rand index corrected for chance, in [-0.5, 1] with 1
+/// for identical clusterings and ~0 for random agreement. -1 true labels
+/// are unique singletons (as in EvaluateBCubed). Returns 1 for n < 2 or
+/// when both clusterings are trivially degenerate in the same way.
+double AdjustedRandIndex(const std::vector<size_t>& predicted_labels,
+                         const std::vector<int32_t>& true_labels);
+
+/// Harmonic mean helper (0 when both inputs are 0).
+double F1Score(double precision, double recall);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_EVAL_METRICS_H_

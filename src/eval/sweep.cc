@@ -1,0 +1,41 @@
+#include "eval/sweep.h"
+
+#include <algorithm>
+
+namespace grouplink {
+
+std::vector<SweepPoint> ThresholdSweep(
+    const std::vector<ScoredPair>& scored,
+    const std::vector<std::pair<int32_t, int32_t>>& truth,
+    const std::vector<double>& thresholds) {
+  std::vector<SweepPoint> points;
+  points.reserve(thresholds.size());
+  for (const double threshold : thresholds) {
+    std::vector<std::pair<int32_t, int32_t>> predicted;
+    for (const ScoredPair& pair : scored) {
+      if (pair.score >= threshold) predicted.emplace_back(pair.g1, pair.g2);
+    }
+    SweepPoint point;
+    point.threshold = threshold;
+    point.metrics = EvaluatePairs(std::move(predicted), truth);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+double BestF1Threshold(const std::vector<ScoredPair>& scored,
+                       const std::vector<std::pair<int32_t, int32_t>>& truth,
+                       const std::vector<double>& thresholds) {
+  const auto points = ThresholdSweep(scored, truth, thresholds);
+  double best_threshold = thresholds.empty() ? 0.0 : thresholds.front();
+  double best_f1 = -1.0;
+  for (const SweepPoint& point : points) {
+    if (point.metrics.f1 > best_f1) {
+      best_f1 = point.metrics.f1;
+      best_threshold = point.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace grouplink

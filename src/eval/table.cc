@@ -1,0 +1,48 @@
+#include "eval/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GL_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  GL_CHECK_LE(cells.size(), headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  render_row(headers_, out);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) render_row(row, out);
+  return out;
+}
+
+}  // namespace grouplink

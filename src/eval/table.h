@@ -1,0 +1,36 @@
+#ifndef GROUPLINK_EVAL_TABLE_H_
+#define GROUPLINK_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace grouplink {
+
+/// Column-aligned plain-text table used by the benchmark harnesses to
+/// print paper-style result tables.
+///
+/// Example output:
+///   measure     | precision | recall | F1
+///   ------------+-----------+--------+------
+///   BM          | 0.981     | 0.954  | 0.967
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; missing trailing cells render empty, extra cells are
+  /// a programmer error (GL_CHECK).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator, ending in a newline.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_EVAL_TABLE_H_

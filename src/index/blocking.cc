@@ -1,0 +1,115 @@
+#include "index/blocking.h"
+
+#include <algorithm>
+
+#include "text/soundex.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+
+const char* BlockingSchemeName(BlockingScheme scheme) {
+  switch (scheme) {
+    case BlockingScheme::kNone:
+      return "none";
+    case BlockingScheme::kToken:
+      return "token";
+    case BlockingScheme::kFirstToken:
+      return "first-token";
+    case BlockingScheme::kTokenPrefix:
+      return "token-prefix";
+    case BlockingScheme::kSoundex:
+      return "soundex";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> BlockingKeys(BlockingScheme scheme, std::string_view text) {
+  if (scheme == BlockingScheme::kNone) return {"*"};
+  std::vector<std::string> tokens = ToTokenSet(Tokenize(text));
+  std::vector<std::string> keys;
+  switch (scheme) {
+    case BlockingScheme::kNone:
+      break;  // Handled above.
+    case BlockingScheme::kToken:
+      keys = std::move(tokens);
+      break;
+    case BlockingScheme::kFirstToken:
+      if (!tokens.empty()) keys.push_back(tokens.front());
+      break;
+    case BlockingScheme::kTokenPrefix:
+      for (const std::string& token : tokens) {
+        keys.push_back(token.substr(0, 4));
+      }
+      break;
+    case BlockingScheme::kSoundex:
+      for (const std::string& token : tokens) {
+        const std::string code = Soundex(token);
+        if (!code.empty()) keys.push_back(code);
+      }
+      break;
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::vector<std::pair<int32_t, int32_t>> SortedNeighborhoodPairs(
+    const std::vector<std::string>& texts, size_t window) {
+  // Sorting key: tokens sorted and joined, so word order doesn't matter.
+  std::vector<std::pair<std::string, int32_t>> keyed;
+  keyed.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    std::string key;
+    for (const std::string& token : ToTokenSet(Tokenize(texts[i]))) {
+      key += token;
+      key += ' ';
+    }
+    keyed.emplace_back(std::move(key), static_cast<int32_t>(i));
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  if (window < 2) return pairs;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    for (size_t j = i + 1; j < keyed.size() && j < i + window; ++j) {
+      const int32_t a = std::min(keyed[i].second, keyed[j].second);
+      const int32_t b = std::max(keyed[i].second, keyed[j].second);
+      pairs.emplace_back(a, b);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+void Blocker::Add(int32_t item, std::string_view text) {
+  for (const std::string& key : BlockingKeys(scheme_, text)) {
+    blocks_[key].push_back(item);
+  }
+}
+
+std::vector<std::pair<int32_t, int32_t>> Blocker::CandidatePairs() const {
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  for (const auto& [key, items] : blocks_) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        const int32_t a = std::min(items[i], items[j]);
+        const int32_t b = std::max(items[i], items[j]);
+        if (a != b) pairs.emplace_back(a, b);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+size_t Blocker::max_block_size() const {
+  size_t max_size = 0;
+  for (const auto& [key, items] : blocks_) {
+    max_size = std::max(max_size, items.size());
+  }
+  return max_size;
+}
+
+}  // namespace grouplink

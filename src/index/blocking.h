@@ -1,0 +1,67 @@
+#ifndef GROUPLINK_INDEX_BLOCKING_H_
+#define GROUPLINK_INDEX_BLOCKING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace grouplink {
+
+/// Blocking reduces the quadratic comparison space: items only compare
+/// against items sharing a blocking key. Schemes trade recall (does every
+/// true pair share a key?) against block sizes (how many comparisons
+/// remain?). Benchmark E8 measures both.
+enum class BlockingScheme {
+  kNone,         // No blocking: every pair is a candidate.
+  kToken,        // One key per word token.
+  kFirstToken,   // Single key: the lexicographically first token.
+  kTokenPrefix,  // One key per 4-character token prefix.
+  kSoundex,      // One key per token's Soundex code (phonetic).
+};
+
+/// Returns a human-readable scheme name ("token", "soundex", ...).
+const char* BlockingSchemeName(BlockingScheme scheme);
+
+/// Computes the blocking keys of `text` under `scheme` (kNone yields one
+/// universal key so everything lands in a single block).
+std::vector<std::string> BlockingKeys(BlockingScheme scheme, std::string_view text);
+
+/// Sorted-neighborhood method: items are ordered by a sorting key (here
+/// the normalized token-sorted text) and every pair within a sliding
+/// window of size `window` becomes a candidate. Unlike key-based
+/// blocking, near-miss keys still land near each other, so single typos
+/// rarely separate true pairs; the candidate count is ~n·(window-1)/2 by
+/// construction. Returns sorted unique (i, j) pairs with i < j being
+/// *item ids*, not positions.
+std::vector<std::pair<int32_t, int32_t>> SortedNeighborhoodPairs(
+    const std::vector<std::string>& texts, size_t window);
+
+/// Accumulates (key, item) assignments and enumerates candidate pairs.
+class Blocker {
+ public:
+  explicit Blocker(BlockingScheme scheme) : scheme_(scheme) {}
+
+  /// Files `item` under every key of `text`.
+  void Add(int32_t item, std::string_view text);
+
+  /// All unordered item pairs (i < j) co-occurring in some block,
+  /// deduplicated and sorted.
+  std::vector<std::pair<int32_t, int32_t>> CandidatePairs() const;
+
+  /// Number of blocks and the size of the largest one (diagnostics).
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t max_block_size() const;
+
+  BlockingScheme scheme() const { return scheme_; }
+
+ private:
+  BlockingScheme scheme_;
+  std::map<std::string, std::vector<int32_t>> blocks_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_INDEX_BLOCKING_H_

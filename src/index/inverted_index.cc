@@ -1,0 +1,47 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+int32_t InvertedIndex::AddDocument(std::vector<int32_t> token_ids) {
+  GL_DCHECK(std::is_sorted(token_ids.begin(), token_ids.end()));
+  GL_DCHECK(std::adjacent_find(token_ids.begin(), token_ids.end()) == token_ids.end());
+  const int32_t doc_id = static_cast<int32_t>(documents_.size());
+  for (const int32_t token : token_ids) {
+    postings_[token].push_back(doc_id);
+  }
+  documents_.push_back(std::move(token_ids));
+  return doc_id;
+}
+
+const std::vector<int32_t>& InvertedIndex::Postings(int32_t token) const {
+  const auto it = postings_.find(token);
+  return it == postings_.end() ? empty_postings_ : it->second;
+}
+
+int64_t InvertedIndex::DocumentFrequency(int32_t token) const {
+  return static_cast<int64_t>(Postings(token).size());
+}
+
+const std::vector<int32_t>& InvertedIndex::DocumentTokens(int32_t doc) const {
+  GL_CHECK_GE(doc, 0);
+  GL_CHECK_LT(doc, num_documents());
+  return documents_[static_cast<size_t>(doc)];
+}
+
+std::vector<int32_t> InvertedIndex::DocumentsSharingToken(
+    const std::vector<int32_t>& token_ids) const {
+  std::vector<int32_t> result;
+  for (const int32_t token : token_ids) {
+    const std::vector<int32_t>& list = Postings(token);
+    result.insert(result.end(), list.begin(), list.end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,47 @@
+#ifndef GROUPLINK_INDEX_INVERTED_INDEX_H_
+#define GROUPLINK_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace grouplink {
+
+/// Token-id -> posting-list index over a corpus of documents, where a
+/// document is a sorted, deduplicated vector of token ids. Posting lists
+/// are sorted by document id (documents are appended in id order).
+///
+/// This is the data structure behind blocking and set-similarity joins:
+/// it turns "which documents share a token with d?" into posting-list
+/// lookups instead of all-pairs comparisons.
+class InvertedIndex {
+ public:
+  /// Adds a document and returns its id (sequential from 0).
+  /// `token_ids` must be sorted and unique; enforced with GL_DCHECK.
+  int32_t AddDocument(std::vector<int32_t> token_ids);
+
+  /// Documents containing `token` (empty list if none).
+  const std::vector<int32_t>& Postings(int32_t token) const;
+
+  /// Number of documents containing `token`.
+  int64_t DocumentFrequency(int32_t token) const;
+
+  /// Token set of a document (as passed to AddDocument).
+  const std::vector<int32_t>& DocumentTokens(int32_t doc) const;
+
+  int32_t num_documents() const { return static_cast<int32_t>(documents_.size()); }
+
+  /// Returns document ids sharing at least one token with `token_ids`,
+  /// sorted and deduplicated (includes the probe document itself if it was
+  /// added). The basic token-blocking primitive.
+  std::vector<int32_t> DocumentsSharingToken(const std::vector<int32_t>& token_ids) const;
+
+ private:
+  std::unordered_map<int32_t, std::vector<int32_t>> postings_;
+  std::vector<std::vector<int32_t>> documents_;
+  std::vector<int32_t> empty_postings_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_INDEX_INVERTED_INDEX_H_

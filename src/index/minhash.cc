@@ -1,0 +1,108 @@
+#include "index/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace {
+
+constexpr uint64_t kEmptySentinel = std::numeric_limits<uint64_t>::max();
+
+// Strong 64-bit mixer applied to (a * token + b).
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed) {
+  GL_CHECK_GE(num_hashes, 1u);
+  Rng rng(seed);
+  a_.reserve(num_hashes);
+  b_.reserve(num_hashes);
+  for (size_t i = 0; i < num_hashes; ++i) {
+    a_.push_back(rng.Next() | 1);  // Odd multiplier.
+    b_.push_back(rng.Next());
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(const std::vector<int32_t>& tokens) const {
+  std::vector<uint64_t> signature(a_.size(), kEmptySentinel);
+  for (const int32_t token : tokens) {
+    const uint64_t t = static_cast<uint64_t>(static_cast<uint32_t>(token)) + 1;
+    for (size_t h = 0; h < a_.size(); ++h) {
+      const uint64_t value = Mix(a_[h] * t + b_[h]);
+      signature[h] = std::min(signature[h], value);
+    }
+  }
+  return signature;
+}
+
+double MinHasher::SignatureAgreement(const std::vector<uint64_t>& a,
+                                     const std::vector<uint64_t>& b) {
+  GL_CHECK_EQ(a.size(), b.size());
+  GL_CHECK(!a.empty());
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i] && a[i] != kEmptySentinel) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+std::vector<std::pair<int32_t, int32_t>> LshCandidatePairs(
+    const std::vector<std::vector<uint64_t>>& signatures, size_t bands,
+    size_t rows_per_band) {
+  GL_CHECK_GE(bands, 1u);
+  GL_CHECK_GE(rows_per_band, 1u);
+  if (!signatures.empty()) {
+    GL_CHECK_LE(bands * rows_per_band, signatures[0].size());
+  }
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  for (size_t band = 0; band < bands; ++band) {
+    // Bucket documents by the hash of this band's signature slice.
+    std::unordered_map<uint64_t, std::vector<int32_t>> buckets;
+    for (size_t d = 0; d < signatures.size(); ++d) {
+      uint64_t key = 0x2545f4914f6cdd1dULL + band;
+      bool empty_document = true;
+      for (size_t r = 0; r < rows_per_band; ++r) {
+        const uint64_t row = signatures[d][band * rows_per_band + r];
+        if (row != kEmptySentinel) empty_document = false;
+        key = HashCombine(key, row);
+      }
+      if (empty_document) continue;  // Empty sets never collide.
+      buckets[key].push_back(static_cast<int32_t>(d));
+    }
+    for (const auto& [key, docs] : buckets) {
+      for (size_t i = 0; i < docs.size(); ++i) {
+        for (size_t j = i + 1; j < docs.size(); ++j) {
+          pairs.emplace_back(docs[i], docs[j]);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+std::vector<std::pair<int32_t, int32_t>> MinHashSelfJoin(
+    const std::vector<std::vector<int32_t>>& documents, size_t bands,
+    size_t rows_per_band, uint64_t seed) {
+  const MinHasher hasher(bands * rows_per_band, seed);
+  std::vector<std::vector<uint64_t>> signatures;
+  signatures.reserve(documents.size());
+  for (const auto& doc : documents) signatures.push_back(hasher.Signature(doc));
+  return LshCandidatePairs(signatures, bands, rows_per_band);
+}
+
+}  // namespace grouplink

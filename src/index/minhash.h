@@ -1,0 +1,57 @@
+#ifndef GROUPLINK_INDEX_MINHASH_H_
+#define GROUPLINK_INDEX_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace grouplink {
+
+/// MinHash signatures + LSH banding: the probabilistic alternative to
+/// prefix filtering for Jaccard candidate generation. A signature of k
+/// independent min-hashes satisfies P[sig_i(A) == sig_i(B)] = J(A, B);
+/// banding b bands of r rows makes the candidate probability an S-curve
+/// 1 - (1 - J^r)^b centered near (1/b)^(1/r).
+///
+/// Unlike the prefix filter, LSH is *not* complete — qualifying pairs can
+/// be missed with small probability — but its cost is independent of how
+/// skewed the token frequencies are, which is exactly where prefix
+/// filtering degrades (benchmark E8's record-join rows).
+class MinHasher {
+ public:
+  /// `num_hashes` independent permutations, seeded deterministically.
+  MinHasher(size_t num_hashes, uint64_t seed);
+
+  /// Signature of a token-id set (need not be sorted). An empty set gets
+  /// a sentinel signature that never collides with non-empty sets.
+  std::vector<uint64_t> Signature(const std::vector<int32_t>& tokens) const;
+
+  size_t num_hashes() const { return a_.size(); }
+
+  /// Fraction of positions where the signatures agree — an unbiased
+  /// estimate of the Jaccard similarity of the underlying sets.
+  static double SignatureAgreement(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b);
+
+ private:
+  std::vector<uint64_t> a_;
+  std::vector<uint64_t> b_;
+};
+
+/// LSH self-join: documents whose signatures agree on all rows of at
+/// least one band become candidates. Signatures must all come from the
+/// same MinHasher. `bands * rows_per_band` must not exceed the signature
+/// length. Returns sorted unique (i, j) pairs, i < j.
+std::vector<std::pair<int32_t, int32_t>> LshCandidatePairs(
+    const std::vector<std::vector<uint64_t>>& signatures, size_t bands,
+    size_t rows_per_band);
+
+/// Convenience: signatures + banding over token-id documents.
+std::vector<std::pair<int32_t, int32_t>> MinHashSelfJoin(
+    const std::vector<std::vector<int32_t>>& documents, size_t bands,
+    size_t rows_per_band, uint64_t seed = 17);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_INDEX_MINHASH_H_

@@ -1,0 +1,162 @@
+#include "index/prefix_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+// Jaccard over sorted-unique int vectors.
+double JaccardInt(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+size_t JaccardPrefixLength(size_t size, double t) {
+  if (size == 0) return 0;
+  t = std::clamp(t, 0.0, 1.0);
+  const size_t required_overlap = static_cast<size_t>(std::ceil(t * static_cast<double>(size)));
+  if (required_overlap == 0) return size;
+  return size - required_overlap + 1;
+}
+
+std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& documents,
+                                 int32_t num_tokens) {
+  std::vector<int64_t> frequency(static_cast<size_t>(num_tokens), 0);
+  for (const auto& doc : documents) {
+    for (const int32_t token : doc) {
+      GL_CHECK_GE(token, 0);
+      GL_CHECK_LT(token, num_tokens);
+      ++frequency[static_cast<size_t>(token)];
+    }
+  }
+  std::vector<int32_t> order(static_cast<size_t>(num_tokens));
+  for (int32_t t = 0; t < num_tokens; ++t) order[static_cast<size_t>(t)] = t;
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    const int64_t fa = frequency[static_cast<size_t>(a)];
+    const int64_t fb = frequency[static_cast<size_t>(b)];
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+  std::vector<int32_t> rank(static_cast<size_t>(num_tokens));
+  for (int32_t r = 0; r < num_tokens; ++r) {
+    rank[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+  }
+  return rank;
+}
+
+std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
+    const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
+    double threshold) {
+  const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
+
+  // Re-express each document in rank space, sorted so the rarest tokens
+  // come first; remember original sizes for the length filter.
+  std::vector<std::vector<int32_t>> ranked(documents.size());
+  for (size_t d = 0; d < documents.size(); ++d) {
+    ranked[d].reserve(documents[d].size());
+    for (const int32_t token : documents[d]) {
+      ranked[d].push_back(rank[static_cast<size_t>(token)]);
+    }
+    std::sort(ranked[d].begin(), ranked[d].end());
+  }
+
+  // Index: rank-token -> documents whose prefix contains it (in doc order).
+  std::unordered_map<int32_t, std::vector<int32_t>> prefix_index;
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  for (size_t d = 0; d < ranked.size(); ++d) {
+    const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
+    const double size_d = static_cast<double>(ranked[d].size());
+    for (size_t k = 0; k < prefix; ++k) {
+      const int32_t token = ranked[d][k];
+      for (const int32_t other : prefix_index[token]) {
+        // Length filter: |smaller| >= t * |larger| is necessary for
+        // Jaccard >= t. Probing doc d against earlier docs only (other < d)
+        // yields each unordered pair once per shared prefix token.
+        const double size_o = static_cast<double>(ranked[static_cast<size_t>(other)].size());
+        const double smaller = std::min(size_d, size_o);
+        const double larger = std::max(size_d, size_o);
+        if (smaller + 0.5 < threshold * larger) continue;  // +0.5: integer guard.
+        candidates.emplace_back(other, static_cast<int32_t>(d));
+      }
+      prefix_index[token].push_back(static_cast<int32_t>(d));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  return candidates;
+}
+
+void PrefixFilterSelfJoinStreaming(
+    const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
+    double threshold, const std::function<void(int32_t, int32_t)>& callback) {
+  const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
+
+  std::vector<std::vector<int32_t>> ranked(documents.size());
+  for (size_t d = 0; d < documents.size(); ++d) {
+    ranked[d].reserve(documents[d].size());
+    for (const int32_t token : documents[d]) {
+      ranked[d].push_back(rank[static_cast<size_t>(token)]);
+    }
+    std::sort(ranked[d].begin(), ranked[d].end());
+  }
+
+  std::unordered_map<int32_t, std::vector<int32_t>> prefix_index;
+  // last_probe[other] == current doc id marks `other` as already emitted
+  // for this probe, deduplicating across shared prefix tokens without a
+  // global sort.
+  std::vector<int32_t> last_probe(documents.size(), -1);
+  for (size_t d = 0; d < ranked.size(); ++d) {
+    const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
+    const double size_d = static_cast<double>(ranked[d].size());
+    for (size_t k = 0; k < prefix; ++k) {
+      const int32_t token = ranked[d][k];
+      for (const int32_t other : prefix_index[token]) {
+        if (last_probe[static_cast<size_t>(other)] == static_cast<int32_t>(d)) continue;
+        last_probe[static_cast<size_t>(other)] = static_cast<int32_t>(d);
+        const double size_o =
+            static_cast<double>(ranked[static_cast<size_t>(other)].size());
+        const double smaller = std::min(size_d, size_o);
+        const double larger = std::max(size_d, size_o);
+        if (smaller + 0.5 < threshold * larger) continue;
+        callback(other, static_cast<int32_t>(d));
+      }
+      prefix_index[token].push_back(static_cast<int32_t>(d));
+    }
+  }
+}
+
+std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(
+    const std::vector<std::vector<int32_t>>& documents, double threshold) {
+  std::vector<std::pair<int32_t, int32_t>> result;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    for (size_t j = i + 1; j < documents.size(); ++j) {
+      if (JaccardInt(documents[i], documents[j]) >= threshold) {
+        result.emplace_back(static_cast<int32_t>(i), static_cast<int32_t>(j));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,59 @@
+#ifndef GROUPLINK_INDEX_PREFIX_FILTER_H_
+#define GROUPLINK_INDEX_PREFIX_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace grouplink {
+
+/// Prefix-filtering set-similarity self-join (the SSJoin / AllPairs family
+/// of techniques the paper leans on for scalable candidate generation).
+///
+/// Key fact: order the universe of tokens by a fixed global order
+/// (rarest-first works best). If Jaccard(x, y) >= t, then x and y must
+/// share a token within the first
+///     prefix(x) = |x| - ceil(t * |x|) + 1
+/// tokens of x (and likewise for y). So indexing only prefixes yields a
+/// candidate set guaranteed to contain every qualifying pair — the
+/// completeness property is property-tested against a brute-force join.
+
+/// Returns the number of prefix tokens to index for a set of `size`
+/// elements under Jaccard threshold `t` (0 for an empty set).
+size_t JaccardPrefixLength(size_t size, double t);
+
+/// A global token order: token ids sorted by ascending frequency in
+/// `documents` (ties by id). Returns rank[token_id] for dense token ids in
+/// [0, num_tokens).
+std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& documents,
+                                 int32_t num_tokens);
+
+/// Candidate pairs (i < j) of documents that may satisfy
+/// Jaccard(documents[i], documents[j]) >= `threshold`.
+///
+/// Documents are sorted-unique token-id vectors over dense ids in
+/// [0, num_tokens). Applies both the prefix filter and the length filter
+/// (|y| >= t * |x|). The result is sorted and deduplicated; it is a
+/// superset of the true result and typically far smaller than all pairs.
+std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
+    const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
+    double threshold);
+
+/// Streaming variant of PrefixFilterSelfJoin: invokes `callback(i, j)`
+/// (i < j) exactly once per candidate pair, without materializing or
+/// sorting the candidate set. Preferred for large joins — the edge-join
+/// linkage strategy verifies each candidate inline as it streams out.
+void PrefixFilterSelfJoinStreaming(
+    const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
+    double threshold, const std::function<void(int32_t, int32_t)>& callback);
+
+/// Reference implementation: all pairs with exact Jaccard >= threshold.
+/// O(n²); used by tests and as the no-index baseline in benchmarks.
+std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(
+    const std::vector<std::vector<int32_t>>& documents, double threshold);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_INDEX_PREFIX_FILTER_H_

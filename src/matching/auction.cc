@@ -1,0 +1,125 @@
+#include "matching/auction.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+// One ε round of the forward auction on a dense value matrix
+// (`bidders` x `objects`, bidders <= objects). Prices persist across
+// rounds; assignments restart.
+void AuctionRound(const std::vector<std::vector<double>>& value, double epsilon,
+                  std::vector<double>& price, std::vector<int32_t>& bidder_to_object,
+                  std::vector<int32_t>& object_to_bidder) {
+  const int32_t num_bidders = static_cast<int32_t>(value.size());
+  const int32_t num_objects = static_cast<int32_t>(price.size());
+  bidder_to_object.assign(static_cast<size_t>(num_bidders), -1);
+  object_to_bidder.assign(static_cast<size_t>(num_objects), -1);
+
+  std::vector<int32_t> unassigned;
+  for (int32_t i = 0; i < num_bidders; ++i) unassigned.push_back(i);
+
+  while (!unassigned.empty()) {
+    const int32_t bidder = unassigned.back();
+    unassigned.pop_back();
+
+    // Best and second-best net value over all objects.
+    int32_t best_object = -1;
+    double best_net = -std::numeric_limits<double>::infinity();
+    double second_net = -std::numeric_limits<double>::infinity();
+    for (int32_t j = 0; j < num_objects; ++j) {
+      const double net =
+          value[static_cast<size_t>(bidder)][static_cast<size_t>(j)] -
+          price[static_cast<size_t>(j)];
+      if (net > best_net) {
+        second_net = best_net;
+        best_net = net;
+        best_object = j;
+      } else if (net > second_net) {
+        second_net = net;
+      }
+    }
+    GL_CHECK_GE(best_object, 0);
+    if (num_objects == 1) second_net = best_net;  // No competitor exists.
+
+    // Bid up to indifference with the runner-up, plus epsilon.
+    price[static_cast<size_t>(best_object)] += best_net - second_net + epsilon;
+
+    const int32_t evicted = object_to_bidder[static_cast<size_t>(best_object)];
+    if (evicted != -1) {
+      bidder_to_object[static_cast<size_t>(evicted)] = -1;
+      unassigned.push_back(evicted);
+    }
+    object_to_bidder[static_cast<size_t>(best_object)] = bidder;
+    bidder_to_object[static_cast<size_t>(bidder)] = best_object;
+  }
+}
+
+}  // namespace
+
+Matching AuctionMaxWeightMatching(const BipartiteGraph& graph, double epsilon) {
+  GL_CHECK_GT(epsilon, 0.0);
+  const int32_t num_left = graph.num_left();
+  const int32_t num_right = graph.num_right();
+  Matching result = Matching::Empty(num_left, num_right);
+  if (num_left == 0 || num_right == 0 || graph.edges().empty()) return result;
+
+  // The ε-complementary-slackness optimality argument needs every object
+  // priced by a live assignment, so the problem is squared: real bidders
+  // are the first rows, and zero-value dummy bidders pad the smaller
+  // side. Missing edges also have value 0; pairs worth 0 are dropped at
+  // the end.
+  const auto weights = graph.ToDenseWeights();
+  const bool transposed = num_left > num_right;
+  const int32_t real_bidders = transposed ? num_right : num_left;
+  const int32_t objects = transposed ? num_left : num_right;
+  const int32_t bidders = objects;  // real_bidders <= objects.
+  std::vector<std::vector<double>> value(
+      static_cast<size_t>(bidders),
+      std::vector<double>(static_cast<size_t>(objects), 0.0));
+  double max_value = 0.0;
+  for (int32_t l = 0; l < num_left; ++l) {
+    for (int32_t r = 0; r < num_right; ++r) {
+      const double w = weights[static_cast<size_t>(l)][static_cast<size_t>(r)];
+      if (transposed) {
+        value[static_cast<size_t>(r)][static_cast<size_t>(l)] = w;
+      } else {
+        value[static_cast<size_t>(l)][static_cast<size_t>(r)] = w;
+      }
+      max_value = std::max(max_value, w);
+    }
+  }
+
+  // ε-scaling: each round tightens ε by 4x; prices carry over, which is
+  // what makes later (small-ε) rounds cheap.
+  std::vector<double> price(static_cast<size_t>(objects), 0.0);
+  std::vector<int32_t> bidder_to_object;
+  std::vector<int32_t> object_to_bidder;
+  double eps = std::max(max_value / 2.0, epsilon);
+  while (true) {
+    AuctionRound(value, eps, price, bidder_to_object, object_to_bidder);
+    if (eps <= epsilon) break;
+    eps = std::max(eps / 4.0, epsilon);
+  }
+
+  for (int32_t bidder = 0; bidder < real_bidders; ++bidder) {
+    const int32_t object = bidder_to_object[static_cast<size_t>(bidder)];
+    if (object < 0) continue;
+    const int32_t l = transposed ? object : bidder;
+    const int32_t r = transposed ? bidder : object;
+    const double w = weights[static_cast<size_t>(l)][static_cast<size_t>(r)];
+    if (w <= 0.0) continue;  // Parked on a non-edge.
+    result.left_to_right[static_cast<size_t>(l)] = r;
+    result.right_to_left[static_cast<size_t>(r)] = l;
+    result.total_weight += w;
+    ++result.size;
+  }
+  GL_DCHECK(result.IsConsistent());
+  return result;
+}
+
+}  // namespace grouplink

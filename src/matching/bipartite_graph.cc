@@ -1,0 +1,78 @@
+#include "matching/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+BipartiteGraph::BipartiteGraph(int32_t num_left, int32_t num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      left_adjacency_(static_cast<size_t>(std::max(num_left, 0))) {
+  GL_CHECK_GE(num_left, 0);
+  GL_CHECK_GE(num_right, 0);
+}
+
+void BipartiteGraph::AddEdge(int32_t left, int32_t right, double weight) {
+  GL_CHECK_GE(left, 0);
+  GL_CHECK_LT(left, num_left_);
+  GL_CHECK_GE(right, 0);
+  GL_CHECK_LT(right, num_right_);
+  left_adjacency_[static_cast<size_t>(left)].push_back(
+      static_cast<int32_t>(edges_.size()));
+  edges_.push_back({left, right, weight});
+}
+
+const std::vector<int32_t>& BipartiteGraph::LeftAdjacency(int32_t left) const {
+  GL_CHECK_GE(left, 0);
+  GL_CHECK_LT(left, num_left_);
+  return left_adjacency_[static_cast<size_t>(left)];
+}
+
+std::vector<std::vector<double>> BipartiteGraph::ToDenseWeights() const {
+  std::vector<std::vector<double>> weights(
+      static_cast<size_t>(num_left_),
+      std::vector<double>(static_cast<size_t>(num_right_), 0.0));
+  for (const BipartiteEdge& e : edges_) {
+    double& cell = weights[static_cast<size_t>(e.left)][static_cast<size_t>(e.right)];
+    cell = std::max(cell, e.weight);
+  }
+  return weights;
+}
+
+Matching Matching::Empty(int32_t num_left, int32_t num_right) {
+  Matching m;
+  m.left_to_right.assign(static_cast<size_t>(num_left), kUnmatched);
+  m.right_to_left.assign(static_cast<size_t>(num_right), kUnmatched);
+  return m;
+}
+
+void Matching::RecomputeTotals(const std::vector<std::vector<double>>& weights) {
+  total_weight = 0.0;
+  size = 0;
+  for (size_t l = 0; l < left_to_right.size(); ++l) {
+    const int32_t r = left_to_right[l];
+    if (r == kUnmatched) continue;
+    ++size;
+    total_weight += weights[l][static_cast<size_t>(r)];
+  }
+}
+
+bool Matching::IsConsistent() const {
+  for (size_t l = 0; l < left_to_right.size(); ++l) {
+    const int32_t r = left_to_right[l];
+    if (r == kUnmatched) continue;
+    if (r < 0 || static_cast<size_t>(r) >= right_to_left.size()) return false;
+    if (right_to_left[static_cast<size_t>(r)] != static_cast<int32_t>(l)) return false;
+  }
+  for (size_t r = 0; r < right_to_left.size(); ++r) {
+    const int32_t l = right_to_left[r];
+    if (l == kUnmatched) continue;
+    if (l < 0 || static_cast<size_t>(l) >= left_to_right.size()) return false;
+    if (left_to_right[static_cast<size_t>(l)] != static_cast<int32_t>(r)) return false;
+  }
+  return true;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,72 @@
+#ifndef GROUPLINK_MATCHING_BIPARTITE_GRAPH_H_
+#define GROUPLINK_MATCHING_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace grouplink {
+
+/// One weighted edge between left node `left` and right node `right`.
+struct BipartiteEdge {
+  int32_t left = 0;
+  int32_t right = 0;
+  double weight = 0.0;
+};
+
+/// A weighted bipartite graph with `num_left` × `num_right` node sets and
+/// an explicit edge list plus left-adjacency index. Edge weights are
+/// expected in (0, 1] — the similarity graphs of the group linkage measure
+/// only contain edges whose record similarity passed the threshold θ > 0.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int32_t num_left, int32_t num_right);
+
+  /// Adds an edge; duplicate (left, right) pairs are allowed but the
+  /// matching algorithms will effectively use the heaviest one.
+  void AddEdge(int32_t left, int32_t right, double weight);
+
+  int32_t num_left() const { return num_left_; }
+  int32_t num_right() const { return num_right_; }
+  const std::vector<BipartiteEdge>& edges() const { return edges_; }
+
+  /// Indexes of edges incident to left node `left`.
+  const std::vector<int32_t>& LeftAdjacency(int32_t left) const;
+
+  /// Dense weight matrix W[l][r] (0 where no edge; max over duplicates).
+  /// O(num_left × num_right) space — callers keep groups to matchable size.
+  std::vector<std::vector<double>> ToDenseWeights() const;
+
+ private:
+  int32_t num_left_;
+  int32_t num_right_;
+  std::vector<BipartiteEdge> edges_;
+  std::vector<std::vector<int32_t>> left_adjacency_;
+};
+
+/// The result of a matching computation over a BipartiteGraph.
+struct Matching {
+  /// Partner of each left node (index into right side), or kUnmatched.
+  std::vector<int32_t> left_to_right;
+  /// Partner of each right node, or kUnmatched.
+  std::vector<int32_t> right_to_left;
+  /// Sum of matched edge weights.
+  double total_weight = 0.0;
+  /// Number of matched pairs.
+  int32_t size = 0;
+
+  static constexpr int32_t kUnmatched = -1;
+
+  /// Initializes an empty matching for a graph with the given dimensions.
+  static Matching Empty(int32_t num_left, int32_t num_right);
+
+  /// Recomputes `size` and `total_weight` from the pair arrays and the
+  /// given dense weights (used internally by the algorithms).
+  void RecomputeTotals(const std::vector<std::vector<double>>& weights);
+
+  /// True if the pair arrays are mutually consistent.
+  bool IsConsistent() const;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_MATCHING_BIPARTITE_GRAPH_H_

@@ -1,0 +1,33 @@
+#include "matching/greedy.h"
+
+#include <algorithm>
+
+namespace grouplink {
+
+Matching GreedyMaxWeightMatching(const BipartiteGraph& graph) {
+  std::vector<BipartiteEdge> edges = graph.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const BipartiteEdge& a, const BipartiteEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+
+  Matching result = Matching::Empty(graph.num_left(), graph.num_right());
+  for (const BipartiteEdge& e : edges) {
+    if (e.weight <= 0.0) continue;
+    if (result.left_to_right[static_cast<size_t>(e.left)] != Matching::kUnmatched) {
+      continue;
+    }
+    if (result.right_to_left[static_cast<size_t>(e.right)] != Matching::kUnmatched) {
+      continue;
+    }
+    result.left_to_right[static_cast<size_t>(e.left)] = e.right;
+    result.right_to_left[static_cast<size_t>(e.right)] = e.left;
+    result.total_weight += e.weight;
+    ++result.size;
+  }
+  return result;
+}
+
+}  // namespace grouplink

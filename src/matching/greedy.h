@@ -1,0 +1,22 @@
+#ifndef GROUPLINK_MATCHING_GREEDY_H_
+#define GROUPLINK_MATCHING_GREEDY_H_
+
+#include "matching/bipartite_graph.h"
+
+namespace grouplink {
+
+/// Builds a maximal matching by scanning edges in descending weight order
+/// (ties broken by (left, right) index for determinism) and keeping every
+/// edge whose endpoints are both still free.
+///
+/// Guarantees: the result is a maximal matching, and its total weight is at
+/// least half the maximum-weight matching's (the classic 1/2-approximation)
+/// — both properties are exercised by the test suite. O(E log E) time.
+///
+/// This is the cheap matching behind the group measure's greedy lower
+/// bound and the fast path of the filter-and-refine pipeline.
+Matching GreedyMaxWeightMatching(const BipartiteGraph& graph);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_MATCHING_GREEDY_H_

@@ -1,0 +1,97 @@
+#include "matching/hopcroft_karp.h"
+
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace grouplink {
+namespace {
+
+constexpr int32_t kInfiniteDistance = std::numeric_limits<int32_t>::max();
+
+// State for one Hopcroft-Karp run; adjacency is deduplicated per left node.
+struct HkState {
+  std::vector<std::vector<int32_t>> adjacency;  // left -> right nodes.
+  std::vector<int32_t> match_left;              // left -> right or -1.
+  std::vector<int32_t> match_right;             // right -> left or -1.
+  std::vector<int32_t> distance;                // BFS layer per left node.
+
+  bool Bfs() {
+    std::queue<int32_t> queue;
+    bool found_augmenting_layer = false;
+    for (size_t l = 0; l < adjacency.size(); ++l) {
+      if (match_left[l] == -1) {
+        distance[l] = 0;
+        queue.push(static_cast<int32_t>(l));
+      } else {
+        distance[l] = kInfiniteDistance;
+      }
+    }
+    while (!queue.empty()) {
+      const int32_t l = queue.front();
+      queue.pop();
+      for (const int32_t r : adjacency[static_cast<size_t>(l)]) {
+        const int32_t next = match_right[static_cast<size_t>(r)];
+        if (next == -1) {
+          found_augmenting_layer = true;
+        } else if (distance[static_cast<size_t>(next)] == kInfiniteDistance) {
+          distance[static_cast<size_t>(next)] = distance[static_cast<size_t>(l)] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_augmenting_layer;
+  }
+
+  bool Dfs(int32_t l) {
+    for (const int32_t r : adjacency[static_cast<size_t>(l)]) {
+      const int32_t next = match_right[static_cast<size_t>(r)];
+      if (next == -1 || (distance[static_cast<size_t>(next)] ==
+                             distance[static_cast<size_t>(l)] + 1 &&
+                         Dfs(next))) {
+        match_left[static_cast<size_t>(l)] = r;
+        match_right[static_cast<size_t>(r)] = l;
+        return true;
+      }
+    }
+    distance[static_cast<size_t>(l)] = kInfiniteDistance;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching HopcroftKarpMatching(const BipartiteGraph& graph) {
+  HkState state;
+  state.adjacency.resize(static_cast<size_t>(graph.num_left()));
+  {
+    // Deduplicate parallel edges.
+    std::vector<std::vector<bool>> seen(
+        static_cast<size_t>(graph.num_left()),
+        std::vector<bool>(static_cast<size_t>(graph.num_right()), false));
+    for (const BipartiteEdge& e : graph.edges()) {
+      if (seen[static_cast<size_t>(e.left)][static_cast<size_t>(e.right)]) continue;
+      seen[static_cast<size_t>(e.left)][static_cast<size_t>(e.right)] = true;
+      state.adjacency[static_cast<size_t>(e.left)].push_back(e.right);
+    }
+  }
+  state.match_left.assign(static_cast<size_t>(graph.num_left()), -1);
+  state.match_right.assign(static_cast<size_t>(graph.num_right()), -1);
+  state.distance.assign(static_cast<size_t>(graph.num_left()), 0);
+
+  while (state.Bfs()) {
+    for (int32_t l = 0; l < graph.num_left(); ++l) {
+      if (state.match_left[static_cast<size_t>(l)] == -1) state.Dfs(l);
+    }
+  }
+
+  Matching result = Matching::Empty(graph.num_left(), graph.num_right());
+  result.left_to_right = state.match_left;
+  result.right_to_left = state.match_right;
+  const auto weights = graph.ToDenseWeights();
+  result.RecomputeTotals(weights);
+  return result;
+}
+
+}  // namespace grouplink

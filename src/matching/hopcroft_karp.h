@@ -1,0 +1,19 @@
+#ifndef GROUPLINK_MATCHING_HOPCROFT_KARP_H_
+#define GROUPLINK_MATCHING_HOPCROFT_KARP_H_
+
+#include "matching/bipartite_graph.h"
+
+namespace grouplink {
+
+/// Maximum-cardinality bipartite matching (Hopcroft-Karp, O(E·√V)).
+/// Edge weights are ignored for the matching itself; the returned
+/// Matching's total_weight sums the weights of the chosen edges.
+///
+/// Used for the binary-similarity case, where BM degenerates to Jaccard
+/// and only the matching's *size* matters, and as a cardinality oracle in
+/// tests and the bound analyses.
+Matching HopcroftKarpMatching(const BipartiteGraph& graph);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_MATCHING_HOPCROFT_KARP_H_

@@ -1,0 +1,131 @@
+#include "matching/hungarian.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Solves the rectangular assignment problem: assigns every row (n rows) to
+// a distinct column (m >= n columns) minimizing total cost. Standard
+// potential-based Kuhn-Munkres (1-indexed internally); O(n^2 m).
+// Returns column_of_row (0-indexed), all rows assigned.
+std::vector<int32_t> MinCostAssignment(const std::vector<std::vector<double>>& cost) {
+  const int32_t n = static_cast<int32_t>(cost.size());
+  GL_CHECK_GT(n, 0);
+  const int32_t m = static_cast<int32_t>(cost[0].size());
+  GL_CHECK_GE(m, n);
+
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<int32_t> p(static_cast<size_t>(m) + 1, 0);    // Row matched to column j.
+  std::vector<int32_t> way(static_cast<size_t>(m) + 1, 0);  // Alternating-path links.
+
+  for (int32_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    int32_t j0 = 0;
+    std::vector<double> min_value(static_cast<size_t>(m) + 1, kInfinity);
+    std::vector<bool> used(static_cast<size_t>(m) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int32_t i0 = p[static_cast<size_t>(j0)];
+      int32_t j1 = -1;
+      double delta = kInfinity;
+      for (int32_t j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double current = cost[static_cast<size_t>(i0) - 1][static_cast<size_t>(j) - 1] -
+                               u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (current < min_value[static_cast<size_t>(j)]) {
+          min_value[static_cast<size_t>(j)] = current;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (min_value[static_cast<size_t>(j)] < delta) {
+          delta = min_value[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      GL_CHECK_GE(j1, 0);
+      for (int32_t j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          min_value[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    // Unwind the alternating path, flipping assignments.
+    do {
+      const int32_t j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int32_t> column_of_row(static_cast<size_t>(n), -1);
+  for (int32_t j = 1; j <= m; ++j) {
+    if (p[static_cast<size_t>(j)] > 0) {
+      column_of_row[static_cast<size_t>(p[static_cast<size_t>(j)]) - 1] = j - 1;
+    }
+  }
+  return column_of_row;
+}
+
+}  // namespace
+
+Matching HungarianMaxWeightMatchingDense(
+    const std::vector<std::vector<double>>& weights) {
+  const int32_t num_left = static_cast<int32_t>(weights.size());
+  const int32_t num_right =
+      num_left == 0 ? 0 : static_cast<int32_t>(weights[0].size());
+  Matching result = Matching::Empty(num_left, num_right);
+  if (num_left == 0 || num_right == 0) return result;
+
+  // Orient so that rows are the smaller side (the assignment solver
+  // requires n <= m), and negate weights to turn max-weight into min-cost.
+  // Missing edges have weight 0 (= cost 0), so the forced "perfect on the
+  // small side" assignment can always park surplus rows on cost-0 cells;
+  // those pairs are dropped below.
+  const bool transposed = num_left > num_right;
+  const int32_t n = transposed ? num_right : num_left;
+  const int32_t m = transposed ? num_left : num_right;
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(m), 0.0));
+  for (int32_t l = 0; l < num_left; ++l) {
+    for (int32_t r = 0; r < num_right; ++r) {
+      const double w = weights[static_cast<size_t>(l)][static_cast<size_t>(r)];
+      if (transposed) {
+        cost[static_cast<size_t>(r)][static_cast<size_t>(l)] = -w;
+      } else {
+        cost[static_cast<size_t>(l)][static_cast<size_t>(r)] = -w;
+      }
+    }
+  }
+
+  const std::vector<int32_t> column_of_row = MinCostAssignment(cost);
+  for (int32_t row = 0; row < n; ++row) {
+    const int32_t col = column_of_row[static_cast<size_t>(row)];
+    if (col < 0) continue;
+    const int32_t l = transposed ? col : row;
+    const int32_t r = transposed ? row : col;
+    const double w = weights[static_cast<size_t>(l)][static_cast<size_t>(r)];
+    if (w <= 0.0) continue;  // Padding pair (no real edge); drop it.
+    result.left_to_right[static_cast<size_t>(l)] = r;
+    result.right_to_left[static_cast<size_t>(r)] = l;
+    result.total_weight += w;
+    ++result.size;
+  }
+  GL_DCHECK(result.IsConsistent());
+  return result;
+}
+
+Matching HungarianMaxWeightMatching(const BipartiteGraph& graph) {
+  return HungarianMaxWeightMatchingDense(graph.ToDenseWeights());
+}
+
+}  // namespace grouplink

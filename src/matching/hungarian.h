@@ -1,0 +1,28 @@
+#ifndef GROUPLINK_MATCHING_HUNGARIAN_H_
+#define GROUPLINK_MATCHING_HUNGARIAN_H_
+
+#include "matching/bipartite_graph.h"
+
+namespace grouplink {
+
+/// Computes a maximum-weight bipartite matching of `graph` with the
+/// Hungarian (Kuhn-Munkres) algorithm using dual potentials.
+///
+/// The graph need not be balanced or complete; nodes may stay unmatched.
+/// Zero-weight pairs never appear in the result (with all real edge
+/// weights > 0, the result is exactly a maximum-weight matching; it is
+/// also maximal, because adding any remaining positive edge would increase
+/// the weight).
+///
+/// Complexity: O(n² · m) time with n = min side size, m = max side size,
+/// O(n · m) space (dense weight matrix). This is the "refine" workhorse of
+/// the group linkage measure BM.
+Matching HungarianMaxWeightMatching(const BipartiteGraph& graph);
+
+/// As above, operating directly on a dense weight matrix
+/// (weights[l][r] == 0 means "no edge"). Exposed for benchmarks.
+Matching HungarianMaxWeightMatchingDense(const std::vector<std::vector<double>>& weights);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_MATCHING_HUNGARIAN_H_

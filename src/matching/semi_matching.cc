@@ -1,0 +1,41 @@
+#include "matching/semi_matching.h"
+
+#include <algorithm>
+
+namespace grouplink {
+
+double SemiMatching::SumBestLeft() const {
+  double sum = 0.0;
+  for (const double w : best_left) sum += w;
+  return sum;
+}
+
+double SemiMatching::SumBestRight() const {
+  double sum = 0.0;
+  for (const double w : best_right) sum += w;
+  return sum;
+}
+
+SemiMatching ComputeSemiMatching(const BipartiteGraph& graph) {
+  SemiMatching result;
+  result.best_left.assign(static_cast<size_t>(graph.num_left()), 0.0);
+  result.best_right.assign(static_cast<size_t>(graph.num_right()), 0.0);
+  std::vector<bool> left_covered(static_cast<size_t>(graph.num_left()), false);
+  std::vector<bool> right_covered(static_cast<size_t>(graph.num_right()), false);
+  for (const BipartiteEdge& e : graph.edges()) {
+    if (e.weight <= 0.0) continue;
+    const size_t l = static_cast<size_t>(e.left);
+    const size_t r = static_cast<size_t>(e.right);
+    result.best_left[l] = std::max(result.best_left[l], e.weight);
+    result.best_right[r] = std::max(result.best_right[r], e.weight);
+    left_covered[l] = true;
+    right_covered[r] = true;
+  }
+  result.covered_left =
+      static_cast<int32_t>(std::count(left_covered.begin(), left_covered.end(), true));
+  result.covered_right = static_cast<int32_t>(
+      std::count(right_covered.begin(), right_covered.end(), true));
+  return result;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,35 @@
+#ifndef GROUPLINK_MATCHING_SEMI_MATCHING_H_
+#define GROUPLINK_MATCHING_SEMI_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/bipartite_graph.h"
+
+namespace grouplink {
+
+/// Best-partner semi-matching: every node is paired with its heaviest
+/// incident edge, partners may repeat. This relaxation of a matching is
+/// computable in O(E) and is the engine of the group measure's upper
+/// bound UB (see core/group_measures.h for the bound proof).
+struct SemiMatching {
+  /// Per left node: weight of its heaviest incident edge (0 if isolated).
+  std::vector<double> best_left;
+  /// Per right node: weight of its heaviest incident edge (0 if isolated).
+  std::vector<double> best_right;
+  /// Number of left / right nodes with at least one edge.
+  int32_t covered_left = 0;
+  int32_t covered_right = 0;
+
+  /// Σ best_left.
+  double SumBestLeft() const;
+  /// Σ best_right.
+  double SumBestRight() const;
+};
+
+/// Computes the semi-matching of `graph` in one pass over the edges.
+SemiMatching ComputeSemiMatching(const BipartiteGraph& graph);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_MATCHING_SEMI_MATCHING_H_

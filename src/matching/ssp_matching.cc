@@ -1,0 +1,113 @@
+#include "matching/ssp_matching.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::vector<double> MaxWeightByCardinality(const BipartiteGraph& graph) {
+  const int32_t num_left = graph.num_left();
+  const int32_t num_right = graph.num_right();
+  const auto weights = graph.ToDenseWeights();
+
+  std::vector<int32_t> match_left(static_cast<size_t>(num_left), -1);
+  std::vector<int32_t> match_right(static_cast<size_t>(num_right), -1);
+  std::vector<double> profile = {0.0};
+
+  // Each iteration: Bellman-Ford over "cost to reach right node r via an
+  // alternating path from some free left node", where using edge (l, r)
+  // costs -w(l, r) and retreating along a matched edge refunds +w.
+  // The best free right node with finite cost gives the max-gain
+  // augmenting path; gain = -cost.
+  while (true) {
+    std::vector<double> distance(static_cast<size_t>(num_right), kInfinity);
+    std::vector<int32_t> reached_from(static_cast<size_t>(num_right), -1);
+
+    // Initialize from free left nodes.
+    for (int32_t l = 0; l < num_left; ++l) {
+      if (match_left[static_cast<size_t>(l)] != -1) continue;
+      for (int32_t r = 0; r < num_right; ++r) {
+        const double w = weights[static_cast<size_t>(l)][static_cast<size_t>(r)];
+        if (w <= 0.0) continue;
+        if (-w < distance[static_cast<size_t>(r)]) {
+          distance[static_cast<size_t>(r)] = -w;
+          reached_from[static_cast<size_t>(r)] = l;
+        }
+      }
+    }
+
+    // Relax through matched right nodes: r -> (its matched left l') -> r'.
+    // At most num_right rounds (simple paths).
+    bool changed = true;
+    for (int32_t round = 0; round < num_right && changed; ++round) {
+      changed = false;
+      for (int32_t r = 0; r < num_right; ++r) {
+        if (distance[static_cast<size_t>(r)] == kInfinity) continue;
+        const int32_t l = match_right[static_cast<size_t>(r)];
+        if (l == -1) continue;  // Free right node: path ends here.
+        const double refund =
+            weights[static_cast<size_t>(l)][static_cast<size_t>(r)];
+        for (int32_t next = 0; next < num_right; ++next) {
+          if (next == r) continue;
+          const double w = weights[static_cast<size_t>(l)][static_cast<size_t>(next)];
+          if (w <= 0.0) continue;
+          const double candidate = distance[static_cast<size_t>(r)] + refund - w;
+          if (candidate < distance[static_cast<size_t>(next)] - 1e-15) {
+            distance[static_cast<size_t>(next)] = candidate;
+            reached_from[static_cast<size_t>(next)] = l;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Pick the best free right endpoint.
+    int32_t best_right = -1;
+    double best_cost = kInfinity;
+    for (int32_t r = 0; r < num_right; ++r) {
+      if (match_right[static_cast<size_t>(r)] != -1) continue;
+      if (distance[static_cast<size_t>(r)] < best_cost) {
+        best_cost = distance[static_cast<size_t>(r)];
+        best_right = r;
+      }
+    }
+    if (best_right == -1) break;  // No augmenting path: matching is maximum.
+
+    // Flip the alternating path ending at best_right.
+    int32_t r = best_right;
+    while (r != -1) {
+      const int32_t l = reached_from[static_cast<size_t>(r)];
+      GL_CHECK_GE(l, 0);
+      const int32_t previous_right = match_left[static_cast<size_t>(l)];
+      match_left[static_cast<size_t>(l)] = r;
+      match_right[static_cast<size_t>(r)] = l;
+      r = previous_right;
+    }
+    profile.push_back(profile.back() - best_cost);
+  }
+  return profile;
+}
+
+double MaxNormalizedMatchingScore(const BipartiteGraph& graph, int32_t size_left,
+                                  int32_t size_right) {
+  const int32_t total = size_left + size_right;
+  if (total == 0) return 1.0;
+  if (size_left == 0 || size_right == 0) return 0.0;
+  const std::vector<double> profile = MaxWeightByCardinality(graph);
+  double best = 0.0;
+  for (size_t k = 0; k < profile.size(); ++k) {
+    const double denominator = static_cast<double>(total) - static_cast<double>(k);
+    GL_DCHECK(denominator > 0.0);
+    best = std::max(best, profile[k] / denominator);
+  }
+  return best;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,41 @@
+#ifndef GROUPLINK_MATCHING_SSP_MATCHING_H_
+#define GROUPLINK_MATCHING_SSP_MATCHING_H_
+
+#include <vector>
+
+#include "matching/bipartite_graph.h"
+
+namespace grouplink {
+
+/// Maximum matching weight per cardinality, by successive augmenting
+/// paths: `result[k]` is the maximum total weight over all matchings with
+/// exactly `k` edges, for k = 0..ν (ν = maximum matching cardinality).
+///
+/// Computed as a min-cost flow: starting from the empty matching, each
+/// step augments along the maximum-gain alternating path (Bellman-Ford on
+/// negated weights, which handles the negative reduced costs directly).
+/// By min-cost-flow optimality, after k augmentations the matching is
+/// weight-optimal among all size-k matchings, so the whole profile comes
+/// out of one pass; the sequence of gains is non-increasing (the profile
+/// is concave), and max_k result[k] equals the unrestricted maximum
+/// matching weight (cross-checked against the Hungarian algorithm in the
+/// test suite).
+///
+/// O(ν · V · E) time — fine for group-sized graphs.
+std::vector<double> MaxWeightByCardinality(const BipartiteGraph& graph);
+
+/// The exact maximizer of the normalized group score over *all* matchings
+/// (the BM* variant):
+///
+///   BM*(g1, g2) = max_M  W(M) / (|g1| + |g2| − |M|)
+///               = max_k  MaxWeightByCardinality[k] / (L + R − k)
+///
+/// BM uses the maximum-weight matching's cardinality, which under ties
+/// can under-count matched pairs; BM* is tie-proof and upper-bounds BM.
+/// Returns 1 when both sizes are 0 and 0 when exactly one is.
+double MaxNormalizedMatchingScore(const BipartiteGraph& graph, int32_t size_left,
+                                  int32_t size_right);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_MATCHING_SSP_MATCHING_H_

@@ -1,0 +1,269 @@
+#include "relational/expression.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+class ColumnExpression final : public Expression {
+ public:
+  explicit ColumnExpression(int32_t index) : index_(index) {
+    GL_CHECK_GE(index, 0);
+  }
+  Value Evaluate(const Row& row) const override {
+    GL_DCHECK(static_cast<size_t>(index_) < row.size());
+    return row[static_cast<size_t>(index_)];
+  }
+  std::string ToString() const override { return "#" + std::to_string(index_); }
+
+ private:
+  int32_t index_;
+};
+
+class LiteralExpression final : public Expression {
+ public:
+  explicit LiteralExpression(Value value) : value_(std::move(value)) {}
+  Value Evaluate(const Row&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+class CompareExpression final : public Expression {
+ public:
+  CompareExpression(CompareOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  Value Evaluate(const Row& row) const override {
+    const Value va = a_->Evaluate(row);
+    const Value vb = b_->Evaluate(row);
+    if (va.is_null() || vb.is_null()) return Value();
+    bool result = false;
+    switch (op_) {
+      case CompareOp::kEq:
+        result = va == vb;
+        break;
+      case CompareOp::kNe:
+        result = !(va == vb);
+        break;
+      case CompareOp::kLt:
+        result = va < vb;
+        break;
+      case CompareOp::kLe:
+        result = !(vb < va);
+        break;
+      case CompareOp::kGt:
+        result = vb < va;
+        break;
+      case CompareOp::kGe:
+        result = !(va < vb);
+        break;
+    }
+    return Value(static_cast<int64_t>(result ? 1 : 0));
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " " + CompareOpName(op_) + " " + b_->ToString() + ")";
+  }
+
+ private:
+  CompareOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+bool Truthy(const Value& value) {
+  if (value.is_null()) return false;
+  if (value.is_string()) return !value.AsString().empty();
+  return value.AsDouble() != 0.0;
+}
+
+class AndExpression final : public Expression {
+ public:
+  AndExpression(ExprPtr a, ExprPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  Value Evaluate(const Row& row) const override {
+    return Value(static_cast<int64_t>(
+        Truthy(a_->Evaluate(row)) && Truthy(b_->Evaluate(row)) ? 1 : 0));
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " AND " + b_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class OrExpression final : public Expression {
+ public:
+  OrExpression(ExprPtr a, ExprPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  Value Evaluate(const Row& row) const override {
+    return Value(static_cast<int64_t>(
+        Truthy(a_->Evaluate(row)) || Truthy(b_->Evaluate(row)) ? 1 : 0));
+  }
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " OR " + b_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class NotExpression final : public Expression {
+ public:
+  explicit NotExpression(ExprPtr a) : a_(std::move(a)) {}
+  Value Evaluate(const Row& row) const override {
+    return Value(static_cast<int64_t>(Truthy(a_->Evaluate(row)) ? 0 : 1));
+  }
+  std::string ToString() const override { return "(NOT " + a_->ToString() + ")"; }
+
+ private:
+  ExprPtr a_;
+};
+
+enum class ArithmeticOp { kAdd, kSub, kMul, kDiv };
+
+class ArithmeticExpression final : public Expression {
+ public:
+  ArithmeticExpression(ArithmeticOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  Value Evaluate(const Row& row) const override {
+    const Value va = a_->Evaluate(row);
+    const Value vb = b_->Evaluate(row);
+    if (va.is_null() || vb.is_null()) return Value();
+    const double x = va.AsDouble();
+    const double y = vb.AsDouble();
+    switch (op_) {
+      case ArithmeticOp::kAdd:
+        return Value(x + y);
+      case ArithmeticOp::kSub:
+        return Value(x - y);
+      case ArithmeticOp::kMul:
+        return Value(x * y);
+      case ArithmeticOp::kDiv:
+        return y == 0.0 ? Value() : Value(x / y);
+    }
+    return Value();
+  }
+  std::string ToString() const override {
+    const char* symbol = op_ == ArithmeticOp::kAdd   ? "+"
+                         : op_ == ArithmeticOp::kSub ? "-"
+                         : op_ == ArithmeticOp::kMul ? "*"
+                                                     : "/";
+    return "(" + a_->ToString() + " " + symbol + " " + b_->ToString() + ")";
+  }
+
+ private:
+  ArithmeticOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class UdfExpression final : public Expression {
+ public:
+  UdfExpression(std::string name, std::function<Value(const Row&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  Value Evaluate(const Row& row) const override { return fn_(row); }
+  std::string ToString() const override { return name_ + "(...)"; }
+
+ private:
+  std::string name_;
+  std::function<Value(const Row&)> fn_;
+};
+
+}  // namespace
+
+ExprPtr Column(int32_t index) { return std::make_shared<ColumnExpression>(index); }
+
+ExprPtr Literal(Value value) {
+  return std::make_shared<LiteralExpression>(std::move(value));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpression>(CompareOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpression>(CompareOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpression>(CompareOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpression>(CompareOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpression>(CompareOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpression>(CompareOp::kGe, std::move(a), std::move(b));
+}
+
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<AndExpression>(std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<OrExpression>(std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) { return std::make_shared<NotExpression>(std::move(a)); }
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpression>(ArithmeticOp::kAdd, std::move(a),
+                                                std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpression>(ArithmeticOp::kSub, std::move(a),
+                                                std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpression>(ArithmeticOp::kMul, std::move(a),
+                                                std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithmeticExpression>(ArithmeticOp::kDiv, std::move(a),
+                                                std::move(b));
+}
+
+ExprPtr Udf(std::string name, std::function<Value(const Row&)> fn) {
+  return std::make_shared<UdfExpression>(std::move(name), std::move(fn));
+}
+
+std::function<bool(const Row&)> AsPredicate(ExprPtr expression) {
+  return [expression = std::move(expression)](const Row& row) {
+    return Truthy(expression->Evaluate(row));
+  };
+}
+
+ProjectColumn AsProjection(ExprPtr expression, std::string name, ColumnType type) {
+  ProjectColumn column;
+  column.name = std::move(name);
+  column.type = type;
+  column.compute = [expression = std::move(expression)](const Row& row) {
+    return expression->Evaluate(row);
+  };
+  return column;
+}
+
+}  // namespace grouplink

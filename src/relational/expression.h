@@ -1,0 +1,72 @@
+#ifndef GROUPLINK_RELATIONAL_EXPRESSION_H_
+#define GROUPLINK_RELATIONAL_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "relational/operators.h"
+#include "relational/value.h"
+
+namespace grouplink {
+
+/// A scalar expression over a row — the declarative alternative to raw
+/// lambdas in Filter/Project plans. Expressions are immutable trees
+/// shared via ExprPtr.
+///
+/// NULL semantics (simplified SQL): any comparison or arithmetic input
+/// that is NULL yields NULL; AsPredicate treats NULL as false; And/Or
+/// short-circuit with NULL treated as false.
+///
+/// Example — WHERE r1 < r2 AND g1 <> g2:
+///   auto predicate = AsPredicate(
+///       And(Lt(Column(0), Column(3)), Ne(Column(1), Column(4))));
+///   auto plan = Filter(std::move(input), predicate);
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  virtual Value Evaluate(const Row& row) const = 0;
+  /// Debug rendering, e.g. "(#0 < #3)".
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Column reference by position.
+ExprPtr Column(int32_t index);
+
+/// Constant.
+ExprPtr Literal(Value value);
+
+/// Comparisons (NULL if either side is NULL; cross-type numeric
+/// comparison as in Value::operator<).
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+/// Boolean connectives over int(0/1)/NULL operands.
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+
+/// Arithmetic (double result; NULL-propagating).
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);  // NULL on division by zero.
+
+/// Scalar user-defined function (how similarity UDFs enter plans).
+ExprPtr Udf(std::string name, std::function<Value(const Row&)> fn);
+
+/// Adapts an expression to a Filter predicate (NULL / 0 -> false).
+std::function<bool(const Row&)> AsPredicate(ExprPtr expression);
+
+/// Adapts an expression to a Project column.
+ProjectColumn AsProjection(ExprPtr expression, std::string name, ColumnType type);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,181 @@
+#include "relational/linkage_plans.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "relational/expression.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+namespace {
+
+// Wraps a materialized table in a scan over a heap copy kept alive by the
+// returned operator (plans below are built and executed within one call,
+// so a small holder keeps ownership simple).
+class OwnedScan final : public Operator {
+ public:
+  explicit OwnedScan(Table table) : table_(std::move(table)) {}
+  const Schema& OutputSchema() const override { return table_.schema(); }
+  void Open() override { position_ = 0; }
+  bool Next(Row* row) override {
+    if (position_ >= table_.num_rows()) return false;
+    *row = table_.rows()[position_++];
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  Table table_;
+  size_t position_ = 0;
+};
+
+OperatorPtr ScanOwned(Table table) {
+  return std::make_unique<OwnedScan>(std::move(table));
+}
+
+}  // namespace
+
+Table MakeTokensTable(const Dataset& dataset) {
+  Table table(Schema{{"record_id", "group_id", "token"},
+                     {ColumnType::kInt, ColumnType::kInt, ColumnType::kString}});
+  const std::vector<int32_t> record_group = dataset.RecordToGroup();
+  for (int32_t r = 0; r < dataset.num_records(); ++r) {
+    for (const std::string& token :
+         ToTokenSet(Tokenize(dataset.records[static_cast<size_t>(r)].text))) {
+      table.AppendUnchecked({static_cast<int64_t>(r),
+                             static_cast<int64_t>(record_group[static_cast<size_t>(r)]),
+                             token});
+    }
+  }
+  return table;
+}
+
+Table MakeGroupSizesTable(const Dataset& dataset) {
+  Table table(Schema{{"group_id", "group_size"}, {ColumnType::kInt, ColumnType::kInt}});
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    table.AppendUnchecked(
+        {static_cast<int64_t>(g), static_cast<int64_t>(dataset.GroupSize(g))});
+  }
+  return table;
+}
+
+Table SqlRecordPairCandidates(const Table& tokens, int64_t min_overlap) {
+  // tokens columns: 0 record_id, 1 group_id, 2 token.
+  // Join output: 0 r1, 1 g1, 2 token, 3 r2, 4 g2, 5 token_r.
+  auto joined = HashJoin(Scan(&tokens), Scan(&tokens), {2}, {2});
+  // WHERE t1.record_id < t2.record_id AND t1.group_id <> t2.group_id.
+  auto filtered =
+      Filter(std::move(joined),
+             AsPredicate(And(Lt(Column(0), Column(3)), Ne(Column(1), Column(4)))));
+  auto grouped = GroupAggregate(std::move(filtered), {0, 1, 3, 4},
+                                {{AggregateKind::kCount, -1, "overlap"}});
+  // HAVING COUNT(*) >= :min_overlap.
+  auto having =
+      Filter(std::move(grouped),
+             AsPredicate(Ge(Column(4), Literal(Value(min_overlap)))));
+  // Rename to the documented schema.
+  auto projected = Project(
+      std::move(having),
+      {{"r1", ColumnType::kInt, [](const Row& row) { return row[0]; }},
+       {"g1", ColumnType::kInt, [](const Row& row) { return row[1]; }},
+       {"r2", ColumnType::kInt, [](const Row& row) { return row[2]; }},
+       {"g2", ColumnType::kInt, [](const Row& row) { return row[3]; }},
+       {"overlap", ColumnType::kInt, [](const Row& row) { return row[4]; }}});
+  return Materialize(*projected);
+}
+
+Table SqlVerifiedEdges(const Table& candidates, const RecordSimFn& sim, double theta) {
+  // candidates columns: 0 r1, 1 g1, 2 r2, 3 g2 (overlap ignored).
+  auto scored = Project(
+      Scan(&candidates),
+      {{"r1", ColumnType::kInt, [](const Row& row) { return row[0]; }},
+       {"g1", ColumnType::kInt, [](const Row& row) { return row[1]; }},
+       {"r2", ColumnType::kInt, [](const Row& row) { return row[2]; }},
+       {"g2", ColumnType::kInt, [](const Row& row) { return row[3]; }},
+       {"sim", ColumnType::kDouble, [&sim](const Row& row) {
+          return Value(sim(static_cast<int32_t>(row[0].AsInt()),
+                           static_cast<int32_t>(row[2].AsInt())));
+        }}});
+  auto thresholded = Filter(std::move(scored), [theta](const Row& row) {
+    return row[4].AsDouble() >= theta;
+  });
+  // Orient so g1 < g2.
+  auto oriented = Project(
+      std::move(thresholded),
+      {{"g1", ColumnType::kInt,
+        [](const Row& row) { return row[1].AsInt() < row[3].AsInt() ? row[1] : row[3]; }},
+       {"g2", ColumnType::kInt,
+        [](const Row& row) { return row[1].AsInt() < row[3].AsInt() ? row[3] : row[1]; }},
+       {"r1", ColumnType::kInt,
+        [](const Row& row) { return row[1].AsInt() < row[3].AsInt() ? row[0] : row[2]; }},
+       {"r2", ColumnType::kInt,
+        [](const Row& row) { return row[1].AsInt() < row[3].AsInt() ? row[2] : row[0]; }},
+       {"sim", ColumnType::kDouble, [](const Row& row) { return row[4]; }}});
+  return Materialize(*oriented);
+}
+
+Table SqlUpperBoundScores(const Table& edges, const Table& group_sizes) {
+  // edges columns: 0 g1, 1 g2, 2 r1, 3 r2, 4 sim.
+  // Per-record best on each side, then per-pair sums and coverage counts.
+  auto best_left = GroupAggregate(Scan(&edges), {0, 1, 2},
+                                  {{AggregateKind::kMax, 4, "best"}});
+  // best_left: 0 g1, 1 g2, 2 r1, 3 best.
+  auto agg_left = GroupAggregate(std::move(best_left), {0, 1},
+                                 {{AggregateKind::kSum, 3, "sum_l"},
+                                  {AggregateKind::kCount, -1, "cov_l"}});
+  // agg_left: 0 g1, 1 g2, 2 sum_l, 3 cov_l.
+  auto best_right = GroupAggregate(Scan(&edges), {0, 1, 3},
+                                   {{AggregateKind::kMax, 4, "best"}});
+  auto agg_right = GroupAggregate(std::move(best_right), {0, 1},
+                                  {{AggregateKind::kSum, 3, "sum_r"},
+                                   {AggregateKind::kCount, -1, "cov_r"}});
+
+  // Join the two sides on (g1, g2), then the size table twice.
+  auto joined = HashJoin(std::move(agg_left), std::move(agg_right), {0, 1}, {0, 1});
+  // joined: 0 g1, 1 g2, 2 sum_l, 3 cov_l, 4 g1_r, 5 g2_r, 6 sum_r, 7 cov_r.
+  auto with_size1 = HashJoin(std::move(joined), Scan(&group_sizes), {0}, {0});
+  // ... 8 group_id, 9 group_size.
+  auto with_size2 = HashJoin(std::move(with_size1), Scan(&group_sizes), {1}, {0});
+  // ... 10 group_id, 11 group_size.
+  auto ub = Project(
+      std::move(with_size2),
+      {{"g1", ColumnType::kInt, [](const Row& row) { return row[0]; }},
+       {"g2", ColumnType::kInt, [](const Row& row) { return row[1]; }},
+       {"ub", ColumnType::kDouble, [](const Row& row) {
+          const double s = 0.5 * (row[2].AsDouble() + row[6].AsDouble());
+          const double coverage =
+              static_cast<double>(std::min(row[3].AsInt(), row[7].AsInt()));
+          const double denominator =
+              static_cast<double>(row[9].AsInt() + row[11].AsInt()) - coverage;
+          GL_DCHECK(denominator > 0.0);
+          return Value(s / denominator);
+        }}});
+  auto sorted = Sort(std::move(ub), {0, 1});
+  return Materialize(*sorted);
+}
+
+std::vector<std::pair<int32_t, int32_t>> SqlUpperBoundFilter(
+    const Dataset& dataset, const RecordSimFn& sim, double theta,
+    double group_threshold, int64_t min_overlap) {
+  const Table tokens = MakeTokensTable(dataset);
+  const Table sizes = MakeGroupSizesTable(dataset);
+  const Table candidates = SqlRecordPairCandidates(tokens, min_overlap);
+  const Table edges = SqlVerifiedEdges(candidates, sim, theta);
+  Table scores = SqlUpperBoundScores(edges, sizes);
+
+  auto filtered = Filter(ScanOwned(std::move(scores)), [group_threshold](const Row& row) {
+    return row[2].AsDouble() >= group_threshold;
+  });
+  const Table survivors = Materialize(*filtered);
+
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  pairs.reserve(survivors.num_rows());
+  for (const Row& row : survivors.rows()) {
+    pairs.emplace_back(static_cast<int32_t>(row[0].AsInt()),
+                       static_cast<int32_t>(row[1].AsInt()));
+  }
+  return pairs;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,469 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace {
+
+// Hashes selected key columns of a row, consistent with Value::operator==.
+uint64_t HashKeys(const Row& row, const std::vector<int32_t>& keys) {
+  uint64_t hash = 0x51ed270b;
+  for (const int32_t k : keys) {
+    hash = HashCombine(hash, row[static_cast<size_t>(k)].Hash());
+  }
+  return hash;
+}
+
+bool KeysEqual(const Row& a, const std::vector<int32_t>& a_keys, const Row& b,
+               const std::vector<int32_t>& b_keys) {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    if (!(a[static_cast<size_t>(a_keys[i])] == b[static_cast<size_t>(b_keys[i])])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ScanOperator final : public Operator {
+ public:
+  explicit ScanOperator(const Table* table) : table_(table) {
+    GL_CHECK(table != nullptr);
+  }
+  const Schema& OutputSchema() const override { return table_->schema(); }
+  void Open() override { position_ = 0; }
+  bool Next(Row* row) override {
+    if (position_ >= table_->num_rows()) return false;
+    *row = table_->rows()[position_++];
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  const Table* table_;
+  size_t position_ = 0;
+};
+
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(OperatorPtr input, std::function<bool(const Row&)> predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+  const Schema& OutputSchema() const override { return input_->OutputSchema(); }
+  void Open() override { input_->Open(); }
+  bool Next(Row* row) override {
+    while (input_->Next(row)) {
+      if (predicate_(*row)) return true;
+    }
+    return false;
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  OperatorPtr input_;
+  std::function<bool(const Row&)> predicate_;
+};
+
+class ProjectOperator final : public Operator {
+ public:
+  ProjectOperator(OperatorPtr input, std::vector<ProjectColumn> columns)
+      : input_(std::move(input)), columns_(std::move(columns)) {
+    for (const ProjectColumn& column : columns_) {
+      schema_.names.push_back(column.name);
+      schema_.types.push_back(column.type);
+    }
+  }
+  const Schema& OutputSchema() const override { return schema_; }
+  void Open() override { input_->Open(); }
+  bool Next(Row* row) override {
+    Row in;
+    if (!input_->Next(&in)) return false;
+    row->clear();
+    row->reserve(columns_.size());
+    for (const ProjectColumn& column : columns_) row->push_back(column.compute(in));
+    return true;
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  OperatorPtr input_;
+  std::vector<ProjectColumn> columns_;
+  Schema schema_;
+};
+
+class HashJoinOperator final : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right, std::vector<int32_t> left_keys,
+                   std::vector<int32_t> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {
+    GL_CHECK_EQ(left_keys_.size(), right_keys_.size());
+    const Schema& ls = left_->OutputSchema();
+    const Schema& rs = right_->OutputSchema();
+    schema_ = ls;
+    for (size_t c = 0; c < rs.num_columns(); ++c) {
+      std::string name = rs.names[c];
+      if (schema_.ColumnIndex(name) >= 0) name += "_r";
+      schema_.names.push_back(std::move(name));
+      schema_.types.push_back(rs.types[c]);
+    }
+  }
+  const Schema& OutputSchema() const override { return schema_; }
+
+  void Open() override {
+    // Build side: the right input.
+    right_->Open();
+    hash_table_.clear();
+    build_rows_.clear();
+    Row row;
+    while (right_->Next(&row)) {
+      const uint64_t hash = HashKeys(row, right_keys_);
+      hash_table_[hash].push_back(build_rows_.size());
+      build_rows_.push_back(row);
+    }
+    right_->Close();
+    left_->Open();
+    have_probe_ = false;
+  }
+
+  bool Next(Row* row) override {
+    while (true) {
+      if (!have_probe_) {
+        if (!left_->Next(&probe_)) return false;
+        const auto it = hash_table_.find(HashKeys(probe_, left_keys_));
+        matches_ = it == hash_table_.end() ? nullptr : &it->second;
+        match_index_ = 0;
+        have_probe_ = true;
+      }
+      while (matches_ != nullptr && match_index_ < matches_->size()) {
+        const Row& build = build_rows_[(*matches_)[match_index_++]];
+        if (!KeysEqual(probe_, left_keys_, build, right_keys_)) continue;
+        *row = probe_;
+        row->insert(row->end(), build.begin(), build.end());
+        return true;
+      }
+      have_probe_ = false;
+    }
+  }
+
+  void Close() override {
+    left_->Close();
+    hash_table_.clear();
+    build_rows_.clear();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<int32_t> left_keys_;
+  std::vector<int32_t> right_keys_;
+  Schema schema_;
+  std::unordered_map<uint64_t, std::vector<size_t>> hash_table_;
+  std::vector<Row> build_rows_;
+  Row probe_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_index_ = 0;
+  bool have_probe_ = false;
+};
+
+// Running state of one aggregate within one group.
+struct AggregateState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  int64_t count = 0;
+};
+
+class GroupAggregateOperator final : public Operator {
+ public:
+  GroupAggregateOperator(OperatorPtr input, std::vector<int32_t> group_columns,
+                         std::vector<AggregateSpec> aggregates)
+      : input_(std::move(input)),
+        group_columns_(std::move(group_columns)),
+        aggregates_(std::move(aggregates)) {
+    const Schema& in = input_->OutputSchema();
+    for (const int32_t c : group_columns_) {
+      schema_.names.push_back(in.names[static_cast<size_t>(c)]);
+      schema_.types.push_back(in.types[static_cast<size_t>(c)]);
+    }
+    for (const AggregateSpec& spec : aggregates_) {
+      schema_.names.push_back(spec.output_name);
+      schema_.types.push_back(spec.kind == AggregateKind::kCount ? ColumnType::kInt
+                                                                 : ColumnType::kDouble);
+    }
+  }
+  const Schema& OutputSchema() const override { return schema_; }
+
+  void Open() override {
+    input_->Open();
+    groups_.clear();
+    group_keys_.clear();
+    group_states_.clear();
+    Row row;
+    while (input_->Next(&row)) {
+      const uint64_t hash = HashKeys(row, group_columns_);
+      size_t group_index = static_cast<size_t>(-1);
+      auto& bucket = groups_[hash];
+      for (const size_t candidate : bucket) {
+        if (KeysEqual(row, group_columns_, group_keys_[candidate], identity_keys_())) {
+          group_index = candidate;
+          break;
+        }
+      }
+      if (group_index == static_cast<size_t>(-1)) {
+        group_index = group_keys_.size();
+        Row key;
+        key.reserve(group_columns_.size());
+        for (const int32_t c : group_columns_) key.push_back(row[static_cast<size_t>(c)]);
+        group_keys_.push_back(std::move(key));
+        group_states_.emplace_back(aggregates_.size());
+        bucket.push_back(group_index);
+      }
+      std::vector<AggregateState>& states = group_states_[group_index];
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        AggregateState& state = states[a];
+        ++state.count;
+        if (aggregates_[a].kind == AggregateKind::kCount) continue;
+        const double v =
+            row[static_cast<size_t>(aggregates_[a].column)].AsDouble();
+        state.sum += v;
+        state.min = std::min(state.min, v);
+        state.max = std::max(state.max, v);
+      }
+    }
+    input_->Close();
+    // Global aggregate over empty input still yields one row.
+    if (group_columns_.empty() && group_keys_.empty()) {
+      group_keys_.emplace_back();
+      group_states_.emplace_back(aggregates_.size());
+    }
+    emit_index_ = 0;
+  }
+
+  bool Next(Row* row) override {
+    if (emit_index_ >= group_keys_.size()) return false;
+    const size_t g = emit_index_++;
+    *row = group_keys_[g];
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateState& state = group_states_[g][a];
+      switch (aggregates_[a].kind) {
+        case AggregateKind::kCount:
+          row->push_back(state.count);
+          break;
+        case AggregateKind::kSum:
+          row->push_back(state.count == 0 ? Value() : Value(state.sum));
+          break;
+        case AggregateKind::kMin:
+          row->push_back(state.count == 0 ? Value() : Value(state.min));
+          break;
+        case AggregateKind::kMax:
+          row->push_back(state.count == 0 ? Value() : Value(state.max));
+          break;
+        case AggregateKind::kAvg:
+          row->push_back(state.count == 0
+                             ? Value()
+                             : Value(state.sum / static_cast<double>(state.count)));
+          break;
+      }
+    }
+    return true;
+  }
+
+  void Close() override {}
+
+ private:
+  // Key columns of the stored group keys are 0..k-1 by construction.
+  const std::vector<int32_t>& identity_keys_() {
+    if (identity_.size() != group_columns_.size()) {
+      identity_.resize(group_columns_.size());
+      for (size_t i = 0; i < identity_.size(); ++i) {
+        identity_[i] = static_cast<int32_t>(i);
+      }
+    }
+    return identity_;
+  }
+
+  OperatorPtr input_;
+  std::vector<int32_t> group_columns_;
+  std::vector<AggregateSpec> aggregates_;
+  Schema schema_;
+  std::unordered_map<uint64_t, std::vector<size_t>> groups_;
+  std::vector<Row> group_keys_;
+  std::vector<std::vector<AggregateState>> group_states_;
+  std::vector<int32_t> identity_;
+  size_t emit_index_ = 0;
+};
+
+class SortOperator final : public Operator {
+ public:
+  SortOperator(OperatorPtr input, std::vector<int32_t> sort_columns, bool descending)
+      : input_(std::move(input)),
+        sort_columns_(std::move(sort_columns)),
+        descending_(descending) {}
+  const Schema& OutputSchema() const override { return input_->OutputSchema(); }
+
+  void Open() override {
+    input_->Open();
+    rows_.clear();
+    Row row;
+    while (input_->Next(&row)) rows_.push_back(row);
+    input_->Close();
+    std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
+      for (const int32_t c : sort_columns_) {
+        const Value& va = a[static_cast<size_t>(c)];
+        const Value& vb = b[static_cast<size_t>(c)];
+        if (va < vb) return !descending_;
+        if (vb < va) return descending_;
+      }
+      return false;
+    });
+    emit_index_ = 0;
+  }
+
+  bool Next(Row* row) override {
+    if (emit_index_ >= rows_.size()) return false;
+    *row = rows_[emit_index_++];
+    return true;
+  }
+  void Close() override { rows_.clear(); }
+
+ private:
+  OperatorPtr input_;
+  std::vector<int32_t> sort_columns_;
+  bool descending_;
+  std::vector<Row> rows_;
+  size_t emit_index_ = 0;
+};
+
+class DistinctOperator final : public Operator {
+ public:
+  explicit DistinctOperator(OperatorPtr input) : input_(std::move(input)) {
+    const size_t columns = input_->OutputSchema().num_columns();
+    all_columns_.resize(columns);
+    for (size_t c = 0; c < columns; ++c) all_columns_[c] = static_cast<int32_t>(c);
+  }
+  const Schema& OutputSchema() const override { return input_->OutputSchema(); }
+  void Open() override {
+    input_->Open();
+    seen_.clear();
+    seen_rows_.clear();
+  }
+  bool Next(Row* row) override {
+    while (input_->Next(row)) {
+      const uint64_t hash = HashKeys(*row, all_columns_);
+      auto& bucket = seen_[hash];
+      bool duplicate = false;
+      for (const size_t candidate : bucket) {
+        if (KeysEqual(*row, all_columns_, seen_rows_[candidate], all_columns_)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bucket.push_back(seen_rows_.size());
+      seen_rows_.push_back(*row);
+      return true;
+    }
+    return false;
+  }
+  void Close() override {
+    input_->Close();
+    seen_.clear();
+    seen_rows_.clear();
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<int32_t> all_columns_;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen_;
+  std::vector<Row> seen_rows_;
+};
+
+class LimitOperator final : public Operator {
+ public:
+  LimitOperator(OperatorPtr input, size_t limit)
+      : input_(std::move(input)), limit_(limit) {}
+  const Schema& OutputSchema() const override { return input_->OutputSchema(); }
+  void Open() override {
+    input_->Open();
+    produced_ = 0;
+  }
+  bool Next(Row* row) override {
+    if (produced_ >= limit_) return false;
+    if (!input_->Next(row)) return false;
+    ++produced_;
+    return true;
+  }
+  void Close() override { input_->Close(); }
+
+ private:
+  OperatorPtr input_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+}  // namespace
+
+OperatorPtr Scan(const Table* table) { return std::make_unique<ScanOperator>(table); }
+
+OperatorPtr Filter(OperatorPtr input, std::function<bool(const Row&)> predicate) {
+  return std::make_unique<FilterOperator>(std::move(input), std::move(predicate));
+}
+
+OperatorPtr Project(OperatorPtr input, std::vector<ProjectColumn> columns) {
+  return std::make_unique<ProjectOperator>(std::move(input), std::move(columns));
+}
+
+OperatorPtr ProjectColumns(OperatorPtr input, std::vector<int32_t> columns) {
+  const Schema& in = input->OutputSchema();
+  std::vector<ProjectColumn> projections;
+  projections.reserve(columns.size());
+  for (const int32_t c : columns) {
+    projections.push_back({in.names[static_cast<size_t>(c)],
+                           in.types[static_cast<size_t>(c)],
+                           [c](const Row& row) { return row[static_cast<size_t>(c)]; }});
+  }
+  return Project(std::move(input), std::move(projections));
+}
+
+OperatorPtr HashJoin(OperatorPtr left, OperatorPtr right,
+                     std::vector<int32_t> left_keys, std::vector<int32_t> right_keys) {
+  return std::make_unique<HashJoinOperator>(std::move(left), std::move(right),
+                                            std::move(left_keys), std::move(right_keys));
+}
+
+OperatorPtr GroupAggregate(OperatorPtr input, std::vector<int32_t> group_columns,
+                           std::vector<AggregateSpec> aggregates) {
+  return std::make_unique<GroupAggregateOperator>(std::move(input),
+                                                  std::move(group_columns),
+                                                  std::move(aggregates));
+}
+
+OperatorPtr Sort(OperatorPtr input, std::vector<int32_t> sort_columns, bool descending) {
+  return std::make_unique<SortOperator>(std::move(input), std::move(sort_columns),
+                                        descending);
+}
+
+OperatorPtr Distinct(OperatorPtr input) {
+  return std::make_unique<DistinctOperator>(std::move(input));
+}
+
+OperatorPtr Limit(OperatorPtr input, size_t limit) {
+  return std::make_unique<LimitOperator>(std::move(input), limit);
+}
+
+Table Materialize(Operator& root) {
+  Table table(root.OutputSchema());
+  root.Open();
+  Row row;
+  while (root.Next(&row)) table.AppendUnchecked(std::move(row));
+  root.Close();
+  return table;
+}
+
+}  // namespace grouplink

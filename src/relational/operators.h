@@ -1,0 +1,96 @@
+#ifndef GROUPLINK_RELATIONAL_OPERATORS_H_
+#define GROUPLINK_RELATIONAL_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace grouplink {
+
+/// Volcano-style physical operator: Open, pull rows with Next, Close.
+/// Plans are trees of operators built with the factory functions below;
+/// Materialize executes a plan into a Table.
+///
+/// Example — citation pairs sharing >= 2 tokens:
+///   auto plan = GroupAggregate(
+///       HashJoin(Scan(&tokens), Scan(&tokens), {1}, {1}),   // token == token
+///       /*group_columns=*/{0, 2},                           // (rec_a, rec_b)
+///       {{AggregateKind::kCount, -1, "overlap"}});
+///   Table result = Materialize(*plan);
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual const Schema& OutputSchema() const = 0;
+  virtual void Open() = 0;
+  /// Produces the next row; returns false when exhausted.
+  virtual bool Next(Row* row) = 0;
+  virtual void Close() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full-table scan. `table` must outlive the plan.
+OperatorPtr Scan(const Table* table);
+
+/// Rows for which `predicate` returns true.
+OperatorPtr Filter(OperatorPtr input, std::function<bool(const Row&)> predicate);
+
+/// One output column: a name, a declared type, and a row-level compute
+/// function (this is where similarity UDFs plug into SQL plans, exactly
+/// the paper's "similarity function as UDF" device).
+struct ProjectColumn {
+  std::string name;
+  ColumnType type;
+  std::function<Value(const Row&)> compute;
+};
+
+/// Computed projection.
+OperatorPtr Project(OperatorPtr input, std::vector<ProjectColumn> columns);
+
+/// Convenience projection: keep the given input columns (by index).
+OperatorPtr ProjectColumns(OperatorPtr input, std::vector<int32_t> columns);
+
+/// Inner equi-join on left_keys == right_keys (positional, same length).
+/// Output schema = left columns followed by right columns; duplicate
+/// names are suffixed with "_r". Hash join: the right side is built into
+/// a hash table on Open, the left side streams.
+OperatorPtr HashJoin(OperatorPtr left, OperatorPtr right,
+                     std::vector<int32_t> left_keys, std::vector<int32_t> right_keys);
+
+enum class AggregateKind { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate: kind + input column (ignored for kCount) + output name.
+struct AggregateSpec {
+  AggregateKind kind;
+  int32_t column;
+  std::string output_name;
+};
+
+/// Hash group-by. Output schema = group columns then one column per
+/// aggregate (kCount -> int, kSum/kMin/kMax/kAvg -> double). With no
+/// group columns produces exactly one global row (even for empty input).
+/// Output order is deterministic (first-seen group order).
+OperatorPtr GroupAggregate(OperatorPtr input, std::vector<int32_t> group_columns,
+                           std::vector<AggregateSpec> aggregates);
+
+/// Full sort by the given columns (Value ordering), ascending unless
+/// `descending`. Materializes its input.
+OperatorPtr Sort(OperatorPtr input, std::vector<int32_t> sort_columns,
+                 bool descending = false);
+
+/// Duplicate elimination over whole rows (first occurrence wins).
+OperatorPtr Distinct(OperatorPtr input);
+
+/// At most `limit` rows.
+OperatorPtr Limit(OperatorPtr input, size_t limit);
+
+/// Executes `root` to completion and returns the result relation.
+Table Materialize(Operator& root);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,43 @@
+#include "relational/table.h"
+
+#include "eval/table.h"
+
+namespace grouplink {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_.num_columns()));
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].is_null()) continue;
+    const bool ok = (schema_.types[c] == ColumnType::kInt && row[c].is_int()) ||
+                    (schema_.types[c] == ColumnType::kDouble &&
+                     (row[c].is_double() || row[c].is_int())) ||
+                    (schema_.types[c] == ColumnType::kString && row[c].is_string());
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch in column " + schema_.names[c] +
+                                     ": " + row[c].ToString());
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  TextTable text(schema_.names);
+  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(rows_[r].size());
+    for (const Value& v : rows_[r]) cells.push_back(v.ToString());
+    text.AddRow(std::move(cells));
+  }
+  std::string out = text.ToString();
+  if (rows_.size() > max_rows) {
+    out += "... (" + std::to_string(rows_.size() - max_rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace grouplink

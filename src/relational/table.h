@@ -1,0 +1,40 @@
+#ifndef GROUPLINK_RELATIONAL_TABLE_H_
+#define GROUPLINK_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace grouplink {
+
+/// An in-memory relation: schema + row store. The storage half of the
+/// mini relational engine.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a row after checking arity and column types (NULL is
+  /// accepted in any column).
+  Status Append(Row row);
+
+  /// Appends without validation (trusted internal producers).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table like eval/TextTable (debugging aid, tests).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_RELATIONAL_TABLE_H_

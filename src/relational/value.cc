@@ -1,0 +1,75 @@
+#include "relational/value.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+
+int64_t Value::AsInt() const {
+  GL_CHECK(is_int()) << "Value is not an int: " << ToString();
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+  GL_CHECK(is_double()) << "Value is not numeric: " << ToString();
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  GL_CHECK(is_string()) << "Value is not a string: " << ToString();
+  return std::get<std::string>(data_);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  // Numeric cross-type equality.
+  if ((is_int() || is_double()) && (other.is_int() || other.is_double())) {
+    return AsDouble() == other.AsDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  // NULL < numbers < strings; within kinds, natural order.
+  const auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_int() || v.is_double()) return 1;
+    return 2;
+  };
+  if (rank(*this) != rank(other)) return rank(*this) < rank(other);
+  if (is_null()) return false;
+  if (rank(*this) == 1) return AsDouble() < other.AsDouble();
+  return AsString() < other.AsString();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(std::get<int64_t>(data_));
+  if (is_double()) return FormatDouble(std::get<double>(data_), 6);
+  return std::get<std::string>(data_);
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x9ae16a3b2f90404fULL;
+  if (is_int() || is_double()) {
+    // Hash numerics through double so 1 and 1.0 collide (== consistent).
+    const double d = AsDouble();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    if (d == 0.0) bits = 0;  // +0.0 / -0.0.
+    return HashCombine(0x1234, bits);
+  }
+  return Fingerprint64(AsString());
+}
+
+int32_t Schema::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (names[c] == name) return static_cast<int32_t>(c);
+  }
+  return -1;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,68 @@
+#ifndef GROUPLINK_RELATIONAL_VALUE_H_
+#define GROUPLINK_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace grouplink {
+
+/// The relational substrate's scalar value: NULL, 64-bit integer, double,
+/// or string. Used by the mini volcano-style engine that reproduces the
+/// paper's "group linkage measures inside a DBMS" evaluation path.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}             // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Typed accessors; aborting on type mismatch (programmer error).
+  int64_t AsInt() const;
+  double AsDouble() const;  // Also accepts int (widening).
+  const std::string& AsString() const;
+
+  /// SQL-style comparison: NULLs compare equal to NULLs and less than
+  /// everything else (total order for sorting/grouping); numeric types
+  /// compare by value across int/double.
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+
+  /// Debug rendering ("NULL", "42", "3.5", "abc").
+  std::string ToString() const;
+
+  /// Stable hash consistent with operator== (for hash join/group-by).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// One tuple.
+using Row = std::vector<Value>;
+
+/// Column types for schema declarations.
+enum class ColumnType { kInt, kDouble, kString };
+
+/// A named, typed column list.
+struct Schema {
+  std::vector<std::string> names;
+  std::vector<ColumnType> types;
+
+  size_t num_columns() const { return names.size(); }
+
+  /// Index of `name`, or -1 if absent.
+  int32_t ColumnIndex(const std::string& name) const;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_RELATIONAL_VALUE_H_

@@ -1,0 +1,55 @@
+#include "text/alignment.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace grouplink {
+
+double NeedlemanWunschScore(std::string_view a, std::string_view b,
+                            const AlignmentScores& scores) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<double> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = scores.gap * static_cast<double>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    double diagonal = row[0];
+    row[0] = scores.gap * static_cast<double>(i);
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const double above = row[j];
+      const double substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? scores.match : scores.mismatch);
+      row[j] = std::max({substitution, above + scores.gap, row[j - 1] + scores.gap});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+double SmithWatermanScore(std::string_view a, std::string_view b,
+                          const AlignmentScores& scores) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<double> row(b.size() + 1, 0.0);
+  double best = 0.0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    double diagonal = row[0];
+    row[0] = 0.0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const double above = row[j];
+      const double substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? scores.match : scores.mismatch);
+      row[j] = std::max(
+          {0.0, substitution, above + scores.gap, row[j - 1] + scores.gap});
+      best = std::max(best, row[j]);
+      diagonal = above;
+    }
+  }
+  return best;
+}
+
+double AlignmentSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double score = NeedlemanWunschScore(a, b);
+  const double longest = static_cast<double>(std::max(a.size(), b.size()));
+  return std::max(0.0, score) / longest;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,89 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace grouplink {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string.
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];  // D[i-1][j-1].
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t above = row[j];  // D[i-1][j].
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, above + 1, substitution});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b, size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > bound) return bound + 1;
+  if (b.empty()) return a.size();
+
+  // Banded DP: only cells with |i - j| <= bound can hold values <= bound.
+  constexpr size_t kInf = static_cast<size_t>(-1) / 2;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), bound); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const size_t j_lo = i > bound ? i - bound : 1;
+    const size_t j_hi = std::min(b.size(), i + bound);
+    if (j_lo > j_hi) return bound + 1;
+    size_t diagonal = row[j_lo - 1];
+    row[j_lo - 1] = (i <= bound && j_lo == 1) ? i : kInf;
+    size_t row_min = row[j_lo - 1];
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const size_t above = row[j];
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      const size_t left = (j > j_lo || (i <= bound && j_lo == 1)) ? row[j - 1] : kInf;
+      row[j] = std::min({left == kInf ? kInf : left + 1,
+                         above == kInf ? kInf : above + 1, substitution});
+      diagonal = above;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (j_hi < b.size()) row[j_hi + 1] = kInf;  // Invalidate stale cell.
+    if (row_min > bound) return bound + 1;
+  }
+  return row[b.size()] > bound ? bound + 1 : row[b.size()];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  if (m == 0) return n;
+  if (n == 0) return m;
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> two_above(n + 1);
+  std::vector<size_t> above(n + 1);
+  std::vector<size_t> current(n + 1);
+  for (size_t j = 0; j <= n; ++j) above[j] = j;
+  for (size_t i = 1; i <= m; ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= n; ++j) {
+      const size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      current[j] = std::min({current[j - 1] + 1, above[j] + 1, above[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        current[j] = std::min(current[j], two_above[j - 2] + 1);
+      }
+    }
+    std::swap(two_above, above);
+    std::swap(above, current);
+  }
+  return above[n];  // `above` holds the final row after the last swap.
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t distance = LevenshteinDistance(a, b);
+  const size_t longest = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+}  // namespace grouplink

@@ -1,0 +1,60 @@
+#include "text/jaccard.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace grouplink {
+
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = SortedIntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(a.size() + b.size());
+}
+
+double OverlapSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t inter = SortedIntersectionSize(a, b);
+  return static_cast<double>(inter) / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(ToTokenSet(Tokenize(a)), ToTokenSet(Tokenize(b)));
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  return JaccardSimilarity(ToTokenSet(CharacterQGrams(a, q, /*lowercase=*/true, '#')),
+                           ToTokenSet(CharacterQGrams(b, q, /*lowercase=*/true, '#')));
+}
+
+}  // namespace grouplink

@@ -1,0 +1,38 @@
+#ifndef GROUPLINK_TEXT_JACCARD_H_
+#define GROUPLINK_TEXT_JACCARD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grouplink {
+
+/// Set-overlap similarity measures over *sorted, deduplicated* token sets
+/// (see ToTokenSet). All return values in [0, 1]; two empty sets are
+/// defined to have similarity 1 (identical), an empty vs non-empty set 0.
+
+/// |A ∩ B| computed by a linear merge; both inputs must be sorted sets.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+/// Jaccard coefficient |A∩B| / |A∪B|.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Dice coefficient 2|A∩B| / (|A|+|B|).
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// Overlap coefficient |A∩B| / min(|A|,|B|).
+double OverlapSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Convenience: Jaccard over word tokens of two raw strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Convenience: Jaccard over padded character q-gram sets of two strings.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_JACCARD_H_

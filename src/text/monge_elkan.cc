@@ -1,0 +1,39 @@
+#include "text/monge_elkan.h"
+
+#include <algorithm>
+
+#include "text/jaro.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+
+double MongeElkanDirected(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b,
+                          const TokenSimilarityFn& inner) {
+  if (a.empty()) return b.empty() ? 1.0 : 0.0;
+  if (b.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& token_a : a) {
+    double best = 0.0;
+    for (const std::string& token_b : b) {
+      best = std::max(best, inner(token_a, token_b));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b,
+                            const TokenSimilarityFn& inner) {
+  return 0.5 * (MongeElkanDirected(a, b, inner) + MongeElkanDirected(b, a, inner));
+}
+
+double MongeElkanJaroWinkler(std::string_view a, std::string_view b) {
+  const auto inner = [](std::string_view x, std::string_view y) {
+    return JaroWinklerSimilarity(x, y);
+  };
+  return MongeElkanSimilarity(Tokenize(a), Tokenize(b), inner);
+}
+
+}  // namespace grouplink

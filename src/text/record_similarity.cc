@@ -1,0 +1,75 @@
+#include "text/record_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/alignment.h"
+#include "text/edit_distance.h"
+#include "text/jaccard.h"
+#include "text/jaro.h"
+#include "text/monge_elkan.h"
+
+namespace grouplink {
+
+double FieldSimilarity(FieldMeasure measure, std::string_view a, std::string_view b,
+                       double numeric_scale) {
+  switch (measure) {
+    case FieldMeasure::kExact:
+      return AsciiToLower(a) == AsciiToLower(b) ? 1.0 : 0.0;
+    case FieldMeasure::kTokenJaccard:
+      return TokenJaccard(a, b);
+    case FieldMeasure::kQGramJaccard:
+      return QGramJaccard(a, b, 3);
+    case FieldMeasure::kLevenshtein:
+      return LevenshteinSimilarity(AsciiToLower(a), AsciiToLower(b));
+    case FieldMeasure::kJaroWinkler:
+      return JaroWinklerSimilarity(AsciiToLower(a), AsciiToLower(b));
+    case FieldMeasure::kMongeElkan:
+      return MongeElkanJaroWinkler(a, b);
+    case FieldMeasure::kAlignment:
+      return AlignmentSimilarity(AsciiToLower(a), AsciiToLower(b));
+    case FieldMeasure::kNumericAbs: {
+      const auto va = ParseDouble(a);
+      const auto vb = ParseDouble(b);
+      if (!va.ok() || !vb.ok()) return a == b ? 1.0 : 0.0;
+      if (numeric_scale <= 0.0) return *va == *vb ? 1.0 : 0.0;
+      const double diff = std::abs(*va - *vb) / numeric_scale;
+      return std::max(0.0, 1.0 - diff);
+    }
+  }
+  return 0.0;
+}
+
+RecordSimilarity::RecordSimilarity(std::vector<FieldSpec> specs)
+    : specs_(std::move(specs)) {}
+
+Status RecordSimilarity::Validate() const {
+  if (specs_.empty()) return Status::InvalidArgument("no field specs");
+  for (const FieldSpec& spec : specs_) {
+    if (spec.weight <= 0.0) {
+      return Status::InvalidArgument("field weight must be positive");
+    }
+  }
+  return Status::Ok();
+}
+
+double RecordSimilarity::Similarity(const std::vector<std::string>& a,
+                                    const std::vector<std::string>& b) const {
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const FieldSpec& spec : specs_) {
+    const std::string_view va =
+        spec.field_index < a.size() ? std::string_view(a[spec.field_index]) : "";
+    const std::string_view vb =
+        spec.field_index < b.size() ? std::string_view(b[spec.field_index]) : "";
+    if (va.empty() && vb.empty()) continue;  // Missing on both sides: skip.
+    weight_total += spec.weight;
+    if (va.empty() || vb.empty()) continue;  // One-sided missing: disagreement.
+    weighted_sum += spec.weight * FieldSimilarity(spec.measure, va, vb, spec.numeric_scale);
+  }
+  if (weight_total == 0.0) return 1.0;  // All fields missing on both sides.
+  return weighted_sum / weight_total;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,71 @@
+#ifndef GROUPLINK_TEXT_RECORD_SIMILARITY_H_
+#define GROUPLINK_TEXT_RECORD_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grouplink {
+
+/// Built-in string-pair similarity measures selectable per field.
+enum class FieldMeasure {
+  kExact,         // 1 if equal (case-insensitive), else 0.
+  kTokenJaccard,  // Jaccard over word-token sets.
+  kQGramJaccard,  // Jaccard over padded character 3-gram sets.
+  kLevenshtein,   // Normalized edit similarity.
+  kJaroWinkler,   // Jaro-Winkler.
+  kMongeElkan,    // Symmetric Monge-Elkan with Jaro-Winkler inner measure.
+  kNumericAbs,    // 1 - |a-b| / scale for numeric fields, clamped to [0,1].
+  kAlignment,     // Normalized Needleman-Wunsch global alignment.
+};
+
+/// Evaluates one FieldMeasure on a pair of field values.
+/// `numeric_scale` applies to kNumericAbs only (difference at which the
+/// similarity reaches 0). Unparseable numeric values score 0 unless equal.
+double FieldSimilarity(FieldMeasure measure, std::string_view a, std::string_view b,
+                       double numeric_scale = 1.0);
+
+/// One field's contribution to a composite record similarity.
+struct FieldSpec {
+  size_t field_index = 0;
+  FieldMeasure measure = FieldMeasure::kTokenJaccard;
+  double weight = 1.0;
+  double numeric_scale = 1.0;  // Only used by kNumericAbs.
+};
+
+/// Weighted combination of per-field similarities for schema-full records
+/// (records as vectors of field strings). This is the classic Fellegi-
+/// Sunter-style record comparison vector collapsed to one score.
+///
+/// Missing values: when both fields are empty the pair is skipped and the
+/// weights renormalize over present fields; when exactly one side is empty
+/// the field contributes 0 (a disagreement).
+///
+/// Example:
+///   RecordSimilarity sim({{0, FieldMeasure::kJaroWinkler, 2.0},
+///                         {1, FieldMeasure::kTokenJaccard, 1.0}});
+///   double s = sim.Similarity(record_a.fields, record_b.fields);
+class RecordSimilarity {
+ public:
+  explicit RecordSimilarity(std::vector<FieldSpec> specs);
+
+  /// Composite similarity in [0, 1]. Field indexes beyond a record's size
+  /// are treated as empty values.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  /// Validates that weights are positive and at least one spec exists.
+  Status Validate() const;
+
+  const std::vector<FieldSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<FieldSpec> specs_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_RECORD_SIMILARITY_H_

@@ -1,0 +1,68 @@
+#include "text/soundex.h"
+
+#include <cctype>
+
+namespace grouplink {
+namespace {
+
+// Soundex digit for an uppercase letter, or '0' for vowels/H/W/Y.
+char SoundexDigit(char upper) {
+  switch (upper) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  // Find the first letter.
+  size_t start = 0;
+  while (start < word.size() && !std::isalpha(static_cast<unsigned char>(word[start]))) {
+    ++start;
+  }
+  if (start == word.size()) return "";
+
+  const char first = static_cast<char>(std::toupper(static_cast<unsigned char>(word[start])));
+  std::string code(1, first);
+  char previous_digit = SoundexDigit(first);
+
+  for (size_t i = start + 1; i < word.size() && code.size() < 4; ++i) {
+    const unsigned char raw = static_cast<unsigned char>(word[i]);
+    if (!std::isalpha(raw)) continue;
+    const char upper = static_cast<char>(std::toupper(raw));
+    // H and W are transparent: they do not break a run of equal digits.
+    if (upper == 'H' || upper == 'W') continue;
+    const char digit = SoundexDigit(upper);
+    if (digit != '0' && digit != previous_digit) code += digit;
+    previous_digit = digit;
+  }
+  code.resize(4, '0');
+  return code;
+}
+
+}  // namespace grouplink

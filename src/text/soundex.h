@@ -1,0 +1,17 @@
+#ifndef GROUPLINK_TEXT_SOUNDEX_H_
+#define GROUPLINK_TEXT_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace grouplink {
+
+/// American Soundex code of `word`: first letter plus three digits
+/// ("Robert" -> "R163"). Non-ASCII-alpha characters are ignored; an input
+/// with no letters yields the empty string. Used as a phonetic blocking key
+/// for person names.
+std::string Soundex(std::string_view word);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_SOUNDEX_H_

@@ -1,0 +1,75 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+double L2Norm(const SparseVector& v) {
+  double sum = 0.0;
+  for (const double w : v.weights) sum += w * w;
+  return std::sqrt(sum);
+}
+
+void L2Normalize(SparseVector& v) {
+  const double norm = L2Norm(v);
+  if (norm == 0.0) return;
+  for (double& w : v.weights) w /= norm;
+}
+
+double DotProduct(const SparseVector& a, const SparseVector& b) {
+  GL_DCHECK(a.ids.size() == a.weights.size());
+  GL_DCHECK(b.ids.size() == b.weights.size());
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.ids[i] < b.ids[j]) {
+      ++i;
+    } else if (b.ids[j] < a.ids[i]) {
+      ++j;
+    } else {
+      sum += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const double norm_a = L2Norm(a);
+  const double norm_b = L2Norm(b);
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return DotProduct(a, b) / (norm_a * norm_b);
+}
+
+TfIdfVectorizer::TfIdfVectorizer(const Vocabulary* vocabulary)
+    : vocabulary_(vocabulary) {
+  GL_CHECK(vocabulary != nullptr);
+}
+
+SparseVector TfIdfVectorizer::Vectorize(const std::vector<std::string>& tokens) const {
+  // std::map keeps ids sorted, which the sparse representation requires.
+  std::map<int32_t, double> term_frequency;
+  for (const std::string& token : tokens) {
+    const int32_t id = vocabulary_->GetId(token);
+    if (id == Vocabulary::kUnknownToken) continue;
+    term_frequency[id] += 1.0;
+  }
+  SparseVector vector;
+  vector.ids.reserve(term_frequency.size());
+  vector.weights.reserve(term_frequency.size());
+  for (const auto& [id, tf] : term_frequency) {
+    vector.ids.push_back(id);
+    vector.weights.push_back(tf * vocabulary_->IdfOf(id));
+  }
+  L2Normalize(vector);
+  return vector;
+}
+
+}  // namespace grouplink

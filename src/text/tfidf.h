@@ -1,0 +1,61 @@
+#ifndef GROUPLINK_TEXT_TFIDF_H_
+#define GROUPLINK_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace grouplink {
+
+/// A sparse vector as (token id, weight) entries sorted by id.
+/// Produced by TfIdfVectorizer; consumed by CosineSimilarity.
+struct SparseVector {
+  std::vector<int32_t> ids;
+  std::vector<double> weights;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// Euclidean norm of `v`.
+double L2Norm(const SparseVector& v);
+
+/// Scales `v` in place to unit norm (no-op for the zero vector).
+void L2Normalize(SparseVector& v);
+
+/// Dot product of two id-sorted sparse vectors (linear merge).
+double DotProduct(const SparseVector& a, const SparseVector& b);
+
+/// Cosine similarity; 0 if either vector is zero, except two *empty*
+/// vectors which compare equal (1), matching the set-measure conventions.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Turns token lists into L2-normalized TF-IDF vectors against a
+/// Vocabulary built over the corpus.
+///
+/// Example:
+///   Vocabulary vocab;
+///   for (doc : corpus) vocab.AddDocument(ToTokenSet(Tokenize(doc)));
+///   TfIdfVectorizer vectorizer(&vocab);
+///   SparseVector v = vectorizer.Vectorize(Tokenize(doc));
+class TfIdfVectorizer {
+ public:
+  /// `vocabulary` must outlive the vectorizer and is not modified:
+  /// out-of-vocabulary tokens are dropped.
+  explicit TfIdfVectorizer(const Vocabulary* vocabulary);
+
+  /// TF-IDF weights (raw term frequency × smoothed IDF), L2-normalized.
+  /// Tokens may repeat; repeats raise the term frequency.
+  SparseVector Vectorize(const std::vector<std::string>& tokens) const;
+
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+
+ private:
+  const Vocabulary* vocabulary_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_TFIDF_H_

@@ -1,0 +1,67 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace grouplink {
+namespace {
+
+bool IsSeparator(char c, const TokenizerOptions& options) {
+  const unsigned char uc = static_cast<unsigned char>(c);
+  if (std::isspace(uc)) return true;
+  if (options.split_on_punctuation && !std::isalnum(uc)) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text, const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (IsSeparator(c, options)) {
+      if (current.size() >= options.min_token_length) tokens.push_back(current);
+      current.clear();
+      continue;
+    }
+    const char out = options.lowercase
+                         ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                         : c;
+    current += out;
+  }
+  if (current.size() >= options.min_token_length) tokens.push_back(current);
+  return tokens;
+}
+
+std::vector<std::string> CharacterQGrams(std::string_view text, size_t q, bool lowercase,
+                                         char pad) {
+  std::string normalized(text);
+  if (lowercase) {
+    std::transform(normalized.begin(), normalized.end(), normalized.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  }
+  if (q == 0) return {};
+  if (pad != '\0' && !normalized.empty()) {
+    const std::string padding(q - 1, pad);
+    normalized = padding + normalized + padding;
+  }
+  std::vector<std::string> grams;
+  if (normalized.empty()) return grams;
+  if (normalized.size() < q) {
+    grams.push_back(normalized);
+    return grams;
+  }
+  grams.reserve(normalized.size() - q + 1);
+  for (size_t i = 0; i + q <= normalized.size(); ++i) {
+    grams.push_back(normalized.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> ToTokenSet(std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace grouplink

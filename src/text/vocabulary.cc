@@ -1,0 +1,50 @@
+#include "text/vocabulary.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+void Vocabulary::AddDocument(const std::vector<std::string>& token_set) {
+  ++num_documents_;
+  for (const std::string& token : token_set) {
+    const int32_t id = GetOrInsertId(token);
+    ++document_frequency_[id];
+  }
+}
+
+int32_t Vocabulary::GetId(std::string_view token) const {
+  const auto it = token_to_id_.find(std::string(token));
+  return it == token_to_id_.end() ? kUnknownToken : it->second;
+}
+
+int32_t Vocabulary::GetOrInsertId(std::string_view token) {
+  const auto [it, inserted] =
+      token_to_id_.try_emplace(std::string(token), static_cast<int32_t>(tokens_.size()));
+  if (inserted) {
+    tokens_.push_back(it->first);
+    document_frequency_.push_back(0);
+  }
+  return it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int32_t id) const {
+  GL_CHECK_GE(id, 0);
+  GL_CHECK_LT(static_cast<size_t>(id), tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+int64_t Vocabulary::DocumentFrequencyOf(int32_t id) const {
+  GL_CHECK_GE(id, 0);
+  GL_CHECK_LT(static_cast<size_t>(id), document_frequency_.size());
+  return document_frequency_[static_cast<size_t>(id)];
+}
+
+double Vocabulary::IdfOf(int32_t id) const {
+  const double df = static_cast<double>(DocumentFrequencyOf(id));
+  const double n = static_cast<double>(num_documents_);
+  return std::log((1.0 + n) / (1.0 + df)) + 1.0;
+}
+
+}  // namespace grouplink

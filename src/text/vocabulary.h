@@ -1,0 +1,54 @@
+#ifndef GROUPLINK_TEXT_VOCABULARY_H_
+#define GROUPLINK_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace grouplink {
+
+/// Token dictionary with document frequencies, the corpus statistics
+/// behind TF-IDF weighting and df-ordered prefix filtering.
+///
+/// Build it once over a corpus by calling AddDocument for every document's
+/// *deduplicated* token set, then query ids and IDF weights.
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknownToken = -1;
+
+  /// Registers one document's token set; each distinct token's document
+  /// frequency is incremented once (callers pass deduplicated tokens; a
+  /// repeated token in one call would be counted repeatedly).
+  void AddDocument(const std::vector<std::string>& token_set);
+
+  /// Returns the id of `token`, or kUnknownToken.
+  int32_t GetId(std::string_view token) const;
+
+  /// Returns the id of `token`, inserting it (with df 0) if missing.
+  int32_t GetOrInsertId(std::string_view token);
+
+  /// Token text for an id. Requires a valid id.
+  const std::string& TokenOf(int32_t id) const;
+
+  /// Document frequency of a token id. Requires a valid id.
+  int64_t DocumentFrequencyOf(int32_t id) const;
+
+  /// Smoothed inverse document frequency:
+  /// idf(t) = ln((1 + N) / (1 + df(t))) + 1, always > 0.
+  double IdfOf(int32_t id) const;
+
+  int64_t num_documents() const { return num_documents_; }
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, int32_t> token_to_id_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> document_frequency_;
+  int64_t num_documents_ = 0;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_VOCABULARY_H_

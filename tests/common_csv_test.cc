@@ -1,0 +1,165 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+
+namespace grouplink {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+TEST(CsvEscapeTest, PlainFieldUnquoted) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvFormatRowTest, JoinsWithDelimiter) {
+  EXPECT_EQ(CsvFormatRow({"a", "b,c", ""}), "a,\"b,c\",");
+}
+
+TEST(CsvParseLineTest, SimpleFields) {
+  const auto fields = CsvParseLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParseLineTest, QuotedFields) {
+  const auto fields = CsvParseLine("\"a,b\",\"x\"\"y\",plain");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a,b", "x\"y", "plain"}));
+}
+
+TEST(CsvParseLineTest, EmptyFields) {
+  const auto fields = CsvParseLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvParseLineTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(CsvParseLine("\"abc").ok());
+}
+
+TEST(CsvParseDocumentTest, MultipleRowsAndLineEndings) {
+  const auto rows = CsvParseDocument("a,b\r\nc,d\ne,f");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(CsvParseDocumentTest, QuotedNewlineStaysInField) {
+  const auto rows = CsvParseDocument("a,\"line1\nline2\"\nb,c");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "line1\nline2");
+}
+
+TEST(CsvParseDocumentTest, EmptyDocument) {
+  const auto rows = CsvParseDocument("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvParseDocumentTest, TrailingNewlineNoPhantomRow) {
+  const auto rows = CsvParseDocument("a,b\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(CsvRoundTripTest, EscapeThenParseRecoversFields) {
+  const Rows original = {
+      {"plain", "with,comma", "with\"quote"},
+      {"multi\nline", "", "tail"},
+  };
+  std::string doc;
+  for (const auto& row : original) doc += CsvFormatRow(row) + "\n";
+  const auto parsed = CsvParseDocument(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(CsvFileTest, WriteThenReadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/grouplink_csv_test.csv";
+  const Rows rows = {{"h1", "h2"}, {"a,b", "c"}, {"", "x\ny"}};
+  ASSERT_TRUE(CsvWriteFile(path, rows).ok());
+  const auto loaded = CsvReadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  const auto loaded = CsvReadFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// Fuzz-style round trip: random field contents over a hostile alphabet
+// (quotes, commas, newlines, CRs) must survive escape -> parse exactly.
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomRowsRoundTrip) {
+  Rng rng(GetParam());
+  constexpr std::string_view kAlphabet = "ab\",\n\r ;x";
+  for (int trial = 0; trial < 50; ++trial) {
+    Rows original;
+    const size_t num_rows = 1 + rng.Uniform(5);
+    const size_t num_cols = 1 + rng.Uniform(4);
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < num_cols; ++c) {
+        std::string field;
+        const size_t length = rng.Uniform(8);
+        for (size_t i = 0; i < length; ++i) {
+          field += kAlphabet[static_cast<size_t>(rng.Uniform(kAlphabet.size()))];
+        }
+        row.push_back(std::move(field));
+      }
+      original.push_back(std::move(row));
+    }
+    std::string document;
+    for (const auto& row : original) document += CsvFormatRow(row) + "\n";
+    const auto parsed = CsvParseDocument(document);
+    ASSERT_TRUE(parsed.ok()) << document;
+    EXPECT_EQ(*parsed, original) << document;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(CsvFuzzTest, ArbitraryInputNeverCrashes) {
+  // Any byte soup either parses or returns an error — no aborts.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const size_t length = rng.Uniform(60);
+    for (size_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.Uniform(128));
+    }
+    const auto parsed = CsvParseDocument(garbage);
+    if (parsed.ok()) {
+      for (const auto& row : *parsed) EXPECT_GE(row.size(), 1u);
+    }
+  }
+}
+
+TEST(CsvCustomDelimiterTest, Semicolon) {
+  EXPECT_EQ(CsvFormatRow({"a;b", "c"}, ';'), "\"a;b\";c");
+  const auto fields = CsvParseLine("a;b;c", ';');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,119 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace grouplink {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddString("name", "default", "a string flag");
+  flags.AddInt64("count", 10, "an int flag");
+  flags.AddDouble("rate", 0.5, "a double flag");
+  flags.AddBool("verbose", false, "a bool flag");
+  return flags;
+}
+
+Status ParseArgs(FlagParser& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt64("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(flags, {"--name=alice", "--count=42", "--rate=0.75", "--verbose=true"})
+          .ok());
+  EXPECT_EQ(flags.GetString("name"), "alice");
+  EXPECT_EQ(flags.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.75);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--name", "bob", "--count", "7"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "bob");
+  EXPECT_EQ(flags.GetInt64("count"), 7);
+}
+
+TEST(FlagParserTest, BareBoolFlag) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  for (const char* value : {"true", "1", "yes"}) {
+    FlagParser flags = MakeParser();
+    ASSERT_TRUE(ParseArgs(flags, {"--verbose", value}).ok());
+    EXPECT_TRUE(flags.GetBool("verbose")) << value;
+  }
+  for (const char* value : {"false", "0", "no"}) {
+    FlagParser flags = MakeParser();
+    ASSERT_TRUE(ParseArgs(flags, {"--verbose", value}).ok());
+    EXPECT_FALSE(flags.GetBool("verbose")) << value;
+  }
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--bogus=1"}).ok());
+}
+
+TEST(FlagParserTest, BadIntFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--count=abc"}).ok());
+}
+
+TEST(FlagParserTest, BadBoolFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  FlagParser flags = MakeParser();
+  EXPECT_FALSE(ParseArgs(flags, {"--count"}).ok());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"input.csv", "--count=3", "out.csv"}).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "out.csv"}));
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--help"}).ok());
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagParserTest, UsageMentionsFlagsAndDefaults) {
+  FlagParser flags = MakeParser();
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a double flag"), std::string::npos);
+  EXPECT_NE(usage.find("default"), std::string::npos);
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser flags = MakeParser();
+  ASSERT_TRUE(ParseArgs(flags, {"--count=1", "--count=2"}).ok());
+  EXPECT_EQ(flags.GetInt64("count"), 2);
+}
+
+}  // namespace
+}  // namespace grouplink

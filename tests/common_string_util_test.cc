@@ -1,0 +1,104 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+TEST(AsciiCaseTest, Lower) {
+  EXPECT_EQ(AsciiToLower("AbC-12z"), "abc-12z");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(AsciiCaseTest, Upper) { EXPECT_EQ(AsciiToUpper("aBc"), "ABC"); }
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  const std::vector<std::string> expected = {"a", "", "b"};
+  EXPECT_EQ(Split("a,,b", ','), expected);
+}
+
+TEST(SplitTest, SingleField) {
+  EXPECT_EQ(Split("abc", ','), std::vector<std::string>{"abc"});
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyPieces) {
+  const std::vector<std::string> expected = {"a", "b", "c"};
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc "), expected);
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(EndsWith("ef", "def"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64(" 13 ").value(), 13);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 0.5 ").value(), 0.5);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // Non-overlapping, left to right.
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // Empty pattern is a no-op.
+}
+
+TEST(FingerprintTest, StableAndDistinct) {
+  EXPECT_EQ(Fingerprint64("hello"), Fingerprint64("hello"));
+  EXPECT_NE(Fingerprint64("hello"), Fingerprint64("hellp"));
+  EXPECT_NE(Fingerprint64(""), Fingerprint64("a"));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  const uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace grouplink

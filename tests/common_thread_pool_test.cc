@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace grouplink {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+  }  // Destructor joins after draining.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  // With 4 workers, 4 tasks that wait on a shared rendezvous can only
+  // finish if they run simultaneously.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&arrived] {
+      ++arrived;
+      while (arrived.load() < 4) std::this_thread::yield();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, ResultsMatchSerialComputation) {
+  ThreadPool pool(8);
+  std::vector<double> parallel_out(5000);
+  std::vector<double> serial_out(5000);
+  const auto compute = [](size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 10; ++k) x = x * 1.0001 + 1.0;
+    return x;
+  };
+  ParallelFor(&pool, parallel_out.size(),
+              [&](size_t i) { parallel_out[i] = compute(i); });
+  for (size_t i = 0; i < serial_out.size(); ++i) serial_out[i] = compute(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, ReusablePool) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    ParallelFor(&pool, 20, [&](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+}  // namespace
+}  // namespace grouplink

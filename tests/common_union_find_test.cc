@@ -1,0 +1,82 @@
+#include "common/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace grouplink {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+}
+
+TEST(UnionFindTest, RedundantUnionReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, Transitivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(3, 4));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  EXPECT_EQ(uf.num_sets(), 3u);  // {0,1,2}, {3,4}, {5}.
+}
+
+TEST(UnionFindTest, ComponentLabelsDeterministic) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  const auto labels = uf.ComponentLabels();
+  ASSERT_EQ(labels.size(), 6u);
+  // Labels assigned by first appearance: 0 -> 0, 1 -> 1, 2 -> 2, ...
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[3], 0u);
+  EXPECT_EQ(labels[4], 1u);
+  EXPECT_EQ(labels[5], 3u);
+}
+
+TEST(UnionFindTest, LabelsPartitionMatchesConnectivity) {
+  UnionFind uf(50);
+  for (size_t i = 0; i < 50; i += 5) {
+    for (size_t j = i + 1; j < i + 5; ++j) uf.Union(i, j);
+  }
+  auto labels = uf.ComponentLabels();
+  std::set<size_t> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 50; ++j) {
+      EXPECT_EQ(labels[i] == labels[j], uf.Connected(i, j));
+    }
+  }
+}
+
+TEST(UnionFindTest, LargeChain) {
+  constexpr size_t kN = 10000;
+  UnionFind uf(kN);
+  for (size_t i = 0; i + 1 < kN; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.Connected(0, kN - 1));
+}
+
+}  // namespace
+}  // namespace grouplink

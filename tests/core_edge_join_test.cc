@@ -1,0 +1,147 @@
+#include "core/edge_join.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+#include "data/household_generator.h"
+#include "eval/metrics.h"
+
+namespace grouplink {
+namespace {
+
+BibliographicConfig SmallConfig() {
+  BibliographicConfig config;
+  config.num_entities = 60;
+  config.noise = 0.2;
+  config.seed = 99;
+  return config;
+}
+
+LinkageConfig EdgeJoinLinkage(double join_jaccard = 0.15) {
+  LinkageConfig config;
+  config.theta = 0.35;
+  config.group_threshold = 0.2;
+  config.use_edge_join = true;
+  config.join_jaccard = join_jaccard;
+  return config;
+}
+
+TEST(EdgeJoinTest, MatchesPerPairPipelineOnBibliographicData) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  LinkageConfig per_pair = EdgeJoinLinkage();
+  per_pair.use_edge_join = false;
+  per_pair.candidates = CandidateMethod::kAllPairs;
+  const auto a = RunGroupLinkage(dataset, EdgeJoinLinkage());
+  const auto b = RunGroupLinkage(dataset, per_pair);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->linked_pairs, b->linked_pairs);
+}
+
+TEST(EdgeJoinTest, MatchesPerPairPipelineOnHouseholdData) {
+  HouseholdConfig config;
+  config.num_households = 80;
+  config.noise = 0.25;
+  const Dataset dataset = GenerateHouseholds(config);
+  LinkageConfig per_pair = EdgeJoinLinkage();
+  per_pair.use_edge_join = false;
+  per_pair.candidates = CandidateMethod::kAllPairs;
+  const auto a = RunGroupLinkage(dataset, EdgeJoinLinkage());
+  const auto b = RunGroupLinkage(dataset, per_pair);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->linked_pairs, b->linked_pairs);
+}
+
+TEST(EdgeJoinTest, StatsAreConsistent) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  const auto result = RunGroupLinkage(dataset, EdgeJoinLinkage());
+  ASSERT_TRUE(result.ok());
+  const EdgeJoinStats& stats = result->edge_join_stats;
+  EXPECT_GT(stats.record_candidates, 0u);
+  EXPECT_GT(stats.edges, 0u);
+  EXPECT_LE(stats.edges, stats.record_candidates);
+  EXPECT_GT(stats.group_pairs, 0u);
+  EXPECT_EQ(stats.group_pairs, stats.pruned_by_upper_bound +
+                                   stats.accepted_by_lower_bound + stats.refined);
+  EXPECT_EQ(stats.linked, result->linked_pairs.size());
+}
+
+TEST(EdgeJoinTest, LinkedPairsSortedAndOriented) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  const auto result = RunGroupLinkage(dataset, EdgeJoinLinkage());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::is_sorted(result->linked_pairs.begin(), result->linked_pairs.end()));
+  for (const auto& [g1, g2] : result->linked_pairs) {
+    EXPECT_LT(g1, g2);
+    EXPECT_GE(g1, 0);
+    EXPECT_LT(g2, dataset.num_groups());
+  }
+}
+
+TEST(EdgeJoinTest, ClusteringStillComputed) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  const auto result = RunGroupLinkage(dataset, EdgeJoinLinkage());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->group_cluster.size(), static_cast<size_t>(dataset.num_groups()));
+  for (const auto& [g1, g2] : result->linked_pairs) {
+    EXPECT_EQ(result->group_cluster[static_cast<size_t>(g1)],
+              result->group_cluster[static_cast<size_t>(g2)]);
+  }
+}
+
+TEST(EdgeJoinTest, QualityComparableToExhaustive) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  const auto result = RunGroupLinkage(dataset, EdgeJoinLinkage(0.3));
+  ASSERT_TRUE(result.ok());
+  const PairMetrics metrics = EvaluatePairs(result->linked_pairs, dataset.TruePairs());
+  EXPECT_GT(metrics.f1, 0.9);
+}
+
+TEST(EdgeJoinTest, DisablingBoundsForcesRefineEverywhere) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  LinkageConfig config = EdgeJoinLinkage();
+  config.use_upper_bound_filter = false;
+  config.use_lower_bound_accept = false;
+  const auto result = RunGroupLinkage(dataset, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edge_join_stats.pruned_by_upper_bound, 0u);
+  EXPECT_EQ(result->edge_join_stats.accepted_by_lower_bound, 0u);
+  EXPECT_EQ(result->edge_join_stats.refined, result->edge_join_stats.group_pairs);
+  // Output unchanged (bounds are an optimization, never a semantics change).
+  const auto with_bounds = RunGroupLinkage(dataset, EdgeJoinLinkage());
+  ASSERT_TRUE(with_bounds.ok());
+  EXPECT_EQ(result->linked_pairs, with_bounds->linked_pairs);
+}
+
+TEST(EdgeJoinTest, DirectCallOnTinyDataset) {
+  // Two groups of two identical singleton texts, one unrelated group.
+  Dataset dataset;
+  const auto add = [&](const std::string& id, std::vector<std::string> texts) {
+    Group group;
+    group.id = id;
+    for (const std::string& text : texts) {
+      Record record;
+      record.id = id + std::to_string(group.record_ids.size());
+      record.text = text;
+      group.record_ids.push_back(static_cast<int32_t>(dataset.records.size()));
+      dataset.records.push_back(std::move(record));
+    }
+    dataset.groups.push_back(std::move(group));
+  };
+  add("a", {"alpha beta gamma", "delta epsilon zeta"});
+  add("b", {"alpha beta gamma", "delta epsilon zeta"});
+  add("c", {"omega psi chi"});
+
+  LinkageEngine engine(&dataset, EdgeJoinLinkage());
+  ASSERT_TRUE(engine.Prepare().ok());
+  const LinkageResult result = engine.Run();
+  ASSERT_EQ(result.linked_pairs.size(), 1u);
+  EXPECT_EQ(result.linked_pairs[0], std::make_pair(0, 1));
+}
+
+}  // namespace
+}  // namespace grouplink

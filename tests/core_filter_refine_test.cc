@@ -1,0 +1,173 @@
+#include "core/filter_refine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/candidates.h"
+
+namespace grouplink {
+namespace {
+
+// A random dataset of `num_groups` groups with sizes in [1, max_size] and
+// a symmetric random similarity lookup table.
+struct RandomInstance {
+  Dataset dataset;
+  std::vector<std::vector<double>> sims;
+
+  RecordSimFn SimFn() const {
+    return [this](int32_t a, int32_t b) { return sims[a][b]; };
+  }
+};
+
+RandomInstance MakeInstance(Rng& rng, int32_t num_groups, int32_t max_size) {
+  RandomInstance instance;
+  std::vector<int32_t> record_group;
+  for (int32_t g = 0; g < num_groups; ++g) {
+    const int64_t size = rng.UniformInt(1, max_size);
+    for (int64_t i = 0; i < size; ++i) record_group.push_back(g);
+  }
+  std::vector<Record> records(record_group.size());
+  for (size_t r = 0; r < records.size(); ++r) {
+    records[r].id = std::to_string(r);
+    records[r].text = "record " + std::to_string(r);
+  }
+  auto dataset = MakeDataset(std::move(records), record_group, num_groups);
+  instance.dataset = std::move(dataset.value());
+
+  const size_t n = instance.dataset.records.size();
+  instance.sims.assign(n, std::vector<double>(n, 0.0));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a; b < n; ++b) {
+      // Mix of strong and weak similarities.
+      const double s = rng.Bernoulli(0.3) ? 0.5 + 0.5 * rng.UniformDouble()
+                                          : 0.5 * rng.UniformDouble();
+      instance.sims[a][b] = s;
+      instance.sims[b][a] = s;
+    }
+  }
+  for (size_t a = 0; a < n; ++a) instance.sims[a][a] = 1.0;
+  return instance;
+}
+
+TEST(FilterRefineTest, EquivalentToBruteForceAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    RandomInstance instance = MakeInstance(rng, 10, 5);
+    const auto candidates = AllGroupPairs(instance.dataset.num_groups());
+
+    FilterRefineConfig config;
+    config.theta = 0.55;
+    config.group_threshold = 0.35;
+
+    FilterRefineStats fast_stats;
+    const auto fast = FilterRefineLink(instance.dataset, instance.SimFn(), candidates,
+                                       config, &fast_stats);
+    FilterRefineStats slow_stats;
+    const auto slow = BruteForceBmLink(instance.dataset, instance.SimFn(), candidates,
+                                       config, &slow_stats);
+    EXPECT_EQ(fast, slow) << "seed " << seed;
+    EXPECT_EQ(fast_stats.linked, slow_stats.linked);
+    EXPECT_EQ(slow_stats.pruned_by_upper_bound, 0u);
+    EXPECT_EQ(slow_stats.accepted_by_lower_bound, 0u);
+  }
+}
+
+TEST(FilterRefineTest, StatsPartitionCandidates) {
+  Rng rng(99);
+  RandomInstance instance = MakeInstance(rng, 12, 4);
+  const auto candidates = AllGroupPairs(instance.dataset.num_groups());
+  FilterRefineConfig config;
+  config.theta = 0.5;
+  config.group_threshold = 0.4;
+  FilterRefineStats stats;
+  FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
+  EXPECT_EQ(stats.candidates, candidates.size());
+  EXPECT_EQ(stats.candidates, stats.empty_graphs + stats.pruned_by_upper_bound +
+                                  stats.accepted_by_lower_bound + stats.refined);
+}
+
+TEST(FilterRefineTest, BoundsActuallyPruneAndAccept) {
+  Rng rng(7);
+  RandomInstance instance = MakeInstance(rng, 20, 5);
+  const auto candidates = AllGroupPairs(instance.dataset.num_groups());
+  FilterRefineConfig config;
+  config.theta = 0.5;
+  config.group_threshold = 0.4;
+  FilterRefineStats stats;
+  FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
+  // On random data at these thresholds both bound paths should fire, and
+  // refine should handle strictly fewer pairs than the candidate count.
+  EXPECT_GT(stats.pruned_by_upper_bound + stats.empty_graphs, 0u);
+  EXPECT_LT(stats.refined, stats.candidates);
+}
+
+TEST(FilterRefineTest, DisablingBoundsForcesRefine) {
+  Rng rng(13);
+  RandomInstance instance = MakeInstance(rng, 8, 4);
+  const auto candidates = AllGroupPairs(instance.dataset.num_groups());
+  FilterRefineConfig config;
+  config.theta = 0.5;
+  config.group_threshold = 0.4;
+  config.use_upper_bound_filter = false;
+  config.use_lower_bound_accept = false;
+  FilterRefineStats stats;
+  FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
+  EXPECT_EQ(stats.pruned_by_upper_bound, 0u);
+  EXPECT_EQ(stats.accepted_by_lower_bound, 0u);
+  EXPECT_EQ(stats.refined + stats.empty_graphs, stats.candidates);
+}
+
+TEST(FilterRefineTest, ThresholdOneOnlyLinksIdenticalGroups) {
+  // Two identical singleton groups (similarity 1) and one different group.
+  std::vector<Record> records(3);
+  for (int i = 0; i < 3; ++i) records[i].id = std::to_string(i);
+  auto dataset = MakeDataset(std::move(records), {0, 1, 2}, 3);
+  ASSERT_TRUE(dataset.ok());
+  const auto sim = [](int32_t a, int32_t b) {
+    if (a == b) return 1.0;
+    return (a < 2 && b < 2) ? 1.0 : 0.2;
+  };
+  FilterRefineConfig config;
+  config.theta = 0.5;
+  config.group_threshold = 1.0;
+  const auto linked =
+      FilterRefineLink(*dataset, sim, AllGroupPairs(3), config, nullptr);
+  ASSERT_EQ(linked.size(), 1u);
+  EXPECT_EQ(linked[0], std::make_pair(0, 1));
+}
+
+TEST(FilterRefineTest, NullStatsPointerAccepted) {
+  Rng rng(3);
+  RandomInstance instance = MakeInstance(rng, 4, 3);
+  FilterRefineConfig config;
+  EXPECT_NO_FATAL_FAILURE(FilterRefineLink(
+      instance.dataset, instance.SimFn(),
+      AllGroupPairs(instance.dataset.num_groups()), config, nullptr));
+}
+
+// Sweep over group thresholds: the linked set shrinks monotonically as Θ
+// rises, and filter-refine stays equivalent to brute force at every Θ.
+class FilterRefineThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterRefineThresholdSweep, EquivalenceAtEveryTheta) {
+  Rng rng(1234);
+  RandomInstance instance = MakeInstance(rng, 12, 5);
+  const auto candidates = AllGroupPairs(instance.dataset.num_groups());
+  FilterRefineConfig config;
+  config.theta = 0.5;
+  config.group_threshold = GetParam();
+  const auto fast =
+      FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config);
+  const auto slow =
+      BruteForceBmLink(instance.dataset, instance.SimFn(), candidates, config);
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FilterRefineThresholdSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0));
+
+}  // namespace
+}  // namespace grouplink

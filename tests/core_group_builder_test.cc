@@ -1,0 +1,126 @@
+#include "core/group_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+Record MakeRecord(const std::string& id, const std::string& author,
+                  const std::string& text) {
+  Record record;
+  record.id = id;
+  record.text = text;
+  record.fields = {author};
+  return record;
+}
+
+GroupKeyFn AuthorKey() {
+  return [](const Record& record) {
+    return record.fields.empty() ? "" : record.fields[0];
+  };
+}
+
+TEST(BuildGroupsByKeyTest, GroupsByNormalizedKey) {
+  std::vector<Record> records = {
+      MakeRecord("a", "Jeffrey Ullman", "paper one"),
+      MakeRecord("b", "  jeffrey   ULLMAN ", "paper two"),  // Normalizes equal.
+      MakeRecord("c", "Maria Garcia", "paper three"),
+  };
+  const Dataset dataset = BuildGroupsByKey(std::move(records), AuthorKey());
+  ASSERT_EQ(dataset.num_groups(), 2);
+  EXPECT_EQ(dataset.groups[0].label, "jeffrey ullman");
+  EXPECT_EQ(dataset.GroupSize(0), 2);
+  EXPECT_EQ(dataset.GroupSize(1), 1);
+}
+
+TEST(BuildGroupsByKeyTest, EmptyKeysBecomeSingletons) {
+  std::vector<Record> records = {
+      MakeRecord("a", "", "one"),
+      MakeRecord("b", "", "two"),
+  };
+  const Dataset dataset = BuildGroupsByKey(std::move(records), AuthorKey());
+  EXPECT_EQ(dataset.num_groups(), 2);  // Not merged despite equal (empty) keys.
+}
+
+TEST(BuildGroupsByKeyTest, GroupOrderIsFirstAppearance) {
+  std::vector<Record> records = {
+      MakeRecord("a", "zeta", "1"),
+      MakeRecord("b", "alpha", "2"),
+      MakeRecord("c", "zeta", "3"),
+  };
+  const Dataset dataset = BuildGroupsByKey(std::move(records), AuthorKey());
+  EXPECT_EQ(dataset.groups[0].label, "zeta");
+  EXPECT_EQ(dataset.groups[1].label, "alpha");
+}
+
+TEST(BuildGroupsByFuzzyKeyTest, MergesTypoKeys) {
+  std::vector<Record> records = {
+      MakeRecord("a", "jeffrey ullman", "1"),
+      MakeRecord("b", "jefrey ullman", "2"),   // One-letter typo.
+      MakeRecord("c", "jeffrey ullman", "3"),
+      MakeRecord("d", "maria garcia", "4"),
+  };
+  const Dataset dataset = BuildGroupsByFuzzyKey(std::move(records), AuthorKey());
+  ASSERT_EQ(dataset.num_groups(), 2);
+  // Canonical label: the majority key.
+  EXPECT_EQ(dataset.groups[0].label, "jeffrey ullman");
+  EXPECT_EQ(dataset.GroupSize(0), 3);
+}
+
+TEST(BuildGroupsByFuzzyKeyTest, DistinctNamesStayApart) {
+  std::vector<Record> records = {
+      MakeRecord("a", "jeffrey ullman", "1"),
+      MakeRecord("b", "laura hernandez", "2"),
+      MakeRecord("c", "wei chen", "3"),
+  };
+  const Dataset dataset = BuildGroupsByFuzzyKey(std::move(records), AuthorKey());
+  EXPECT_EQ(dataset.num_groups(), 3);
+}
+
+TEST(BuildGroupsByFuzzyKeyTest, TransitiveMerge) {
+  // a~b and b~c but a and c are two edits apart: the union-find closure
+  // still puts all three together.
+  std::vector<Record> records = {
+      MakeRecord("a", "katherine johnson", "1"),
+      MakeRecord("b", "katherine jonson", "2"),
+      MakeRecord("c", "katherin jonson", "3"),
+  };
+  const Dataset dataset = BuildGroupsByFuzzyKey(std::move(records), AuthorKey());
+  EXPECT_EQ(dataset.num_groups(), 1);
+}
+
+TEST(BuildGroupsByFuzzyKeyTest, ThresholdOneReducesToExact) {
+  std::vector<Record> records = {
+      MakeRecord("a", "jeffrey ullman", "1"),
+      MakeRecord("b", "jefrey ullman", "2"),
+  };
+  FuzzyKeyConfig config;
+  config.similarity_threshold = 1.0;
+  const Dataset dataset =
+      BuildGroupsByFuzzyKey(std::move(records), AuthorKey(), config);
+  EXPECT_EQ(dataset.num_groups(), 2);
+}
+
+TEST(BuildGroupsByFuzzyKeyTest, CanonicalLabelIsMajorityKey) {
+  std::vector<Record> records = {
+      MakeRecord("a", "jon smith", "1"),
+      MakeRecord("b", "john smith", "2"),
+      MakeRecord("c", "john smith", "3"),
+  };
+  FuzzyKeyConfig config;
+  config.similarity_threshold = 0.5;  // "jon" vs "john" sits around 0.6.
+  const Dataset dataset =
+      BuildGroupsByFuzzyKey(std::move(records), AuthorKey(), config);
+  ASSERT_EQ(dataset.num_groups(), 1);
+  EXPECT_EQ(dataset.groups[0].label, "john smith");
+}
+
+TEST(BuildGroupsByFuzzyKeyTest, EmptyInput) {
+  const Dataset dataset = BuildGroupsByFuzzyKey({}, AuthorKey());
+  EXPECT_EQ(dataset.num_records(), 0);
+  EXPECT_EQ(dataset.num_groups(), 0);
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+}  // namespace
+}  // namespace grouplink

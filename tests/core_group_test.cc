@@ -1,0 +1,95 @@
+#include "core/group.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+Record MakeRecord(const std::string& text) {
+  Record record;
+  record.id = text;
+  record.text = text;
+  return record;
+}
+
+TEST(DatasetTest, MakeDatasetPartitionsRecords) {
+  const auto dataset = MakeDataset({MakeRecord("a"), MakeRecord("b"), MakeRecord("c")},
+                                   {0, 1, 0}, 2);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->num_records(), 3);
+  EXPECT_EQ(dataset->num_groups(), 2);
+  EXPECT_EQ(dataset->GroupSize(0), 2);
+  EXPECT_EQ(dataset->GroupSize(1), 1);
+  EXPECT_EQ(dataset->groups[0].record_ids, (std::vector<int32_t>{0, 2}));
+}
+
+TEST(DatasetTest, MakeDatasetRejectsBadGroupIndex) {
+  EXPECT_FALSE(MakeDataset({MakeRecord("a")}, {5}, 2).ok());
+  EXPECT_FALSE(MakeDataset({MakeRecord("a")}, {-1}, 2).ok());
+}
+
+TEST(DatasetTest, MakeDatasetRejectsSizeMismatch) {
+  EXPECT_FALSE(MakeDataset({MakeRecord("a"), MakeRecord("b")}, {0}, 1).ok());
+}
+
+TEST(DatasetTest, MakeDatasetRejectsEmptyGroup) {
+  // Group 1 gets no records.
+  EXPECT_FALSE(MakeDataset({MakeRecord("a")}, {0}, 2).ok());
+}
+
+TEST(DatasetTest, ValidateCatchesDoubleMembership) {
+  Dataset dataset;
+  dataset.records = {MakeRecord("a")};
+  Group g1;
+  g1.id = "g1";
+  g1.record_ids = {0};
+  Group g2;
+  g2.id = "g2";
+  g2.record_ids = {0};
+  dataset.groups = {g1, g2};
+  EXPECT_FALSE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesOrphanRecord) {
+  Dataset dataset;
+  dataset.records = {MakeRecord("a"), MakeRecord("b")};
+  Group g;
+  g.id = "g";
+  g.record_ids = {0};
+  dataset.groups = {g};
+  EXPECT_FALSE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesEntityVectorMismatch) {
+  auto dataset = MakeDataset({MakeRecord("a")}, {0}, 1);
+  ASSERT_TRUE(dataset.ok());
+  dataset->group_entities = {0, 1};
+  EXPECT_FALSE(dataset->Validate().ok());
+}
+
+TEST(DatasetTest, RecordToGroupInverse) {
+  const auto dataset = MakeDataset(
+      {MakeRecord("a"), MakeRecord("b"), MakeRecord("c"), MakeRecord("d")},
+      {1, 0, 1, 2}, 3);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->RecordToGroup(), (std::vector<int32_t>{1, 0, 1, 2}));
+}
+
+TEST(DatasetTest, TruePairsFromEntities) {
+  const auto dataset =
+      MakeDataset({MakeRecord("a"), MakeRecord("b"), MakeRecord("c"), MakeRecord("d")},
+                  {0, 1, 2, 3}, 4, {7, 9, 7, Dataset::kUnknownEntity});
+  ASSERT_TRUE(dataset.ok());
+  const auto pairs = dataset->TruePairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0, 2));
+}
+
+TEST(DatasetTest, TruePairsEmptyWithoutGroundTruth) {
+  const auto dataset = MakeDataset({MakeRecord("a"), MakeRecord("b")}, {0, 1}, 2);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->TruePairs().empty());
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,148 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "data/bibliographic_generator.h"
+#include "eval/metrics.h"
+
+namespace grouplink {
+namespace {
+
+LinkageConfig TestConfig() {
+  LinkageConfig config;
+  config.theta = 0.35;
+  config.group_threshold = 0.2;
+  return config;
+}
+
+Dataset SeedDataset(int32_t entities = 50, uint64_t seed = 77) {
+  BibliographicConfig config;
+  config.num_entities = entities;
+  config.noise = 0.2;
+  config.num_topics = 6;
+  config.offtopic_word_prob = 0.5;
+  config.seed = seed;
+  return GenerateBibliographic(config);
+}
+
+TEST(IncrementalLinkerTest, InitializeReproducesBatchLinks) {
+  const Dataset dataset = SeedDataset();
+  IncrementalLinker linker(TestConfig());
+  ASSERT_TRUE(linker.Initialize(dataset).ok());
+
+  const auto batch = RunGroupLinkage(dataset, TestConfig());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(linker.linked_pairs(), batch->linked_pairs);
+  EXPECT_EQ(linker.num_groups(), dataset.num_groups());
+}
+
+TEST(IncrementalLinkerTest, InitializeRejectsInvalidDataset) {
+  Dataset bad;
+  Record record;
+  record.id = "r";
+  record.text = "orphan";
+  bad.records.push_back(record);  // Record in no group.
+  IncrementalLinker linker(TestConfig());
+  EXPECT_FALSE(linker.Initialize(bad).ok());
+}
+
+TEST(IncrementalLinkerTest, DuplicateGroupLinksToItsTwin) {
+  const Dataset dataset = SeedDataset();
+  IncrementalLinker linker(TestConfig());
+  ASSERT_TRUE(linker.Initialize(dataset).ok());
+
+  // Re-add an existing group's exact record texts as a new group.
+  const int32_t twin = 3;
+  std::vector<std::string> texts;
+  for (const int32_t r : dataset.groups[static_cast<size_t>(twin)].record_ids) {
+    texts.push_back(dataset.records[static_cast<size_t>(r)].text);
+  }
+  const auto added = linker.AddGroup("twin", texts);
+  EXPECT_EQ(added.group_index, dataset.num_groups());
+  EXPECT_TRUE(std::find(added.linked_to.begin(), added.linked_to.end(), twin) !=
+              added.linked_to.end());
+}
+
+TEST(IncrementalLinkerTest, UnrelatedGroupStaysUnlinked) {
+  const Dataset dataset = SeedDataset();
+  IncrementalLinker linker(TestConfig());
+  ASSERT_TRUE(linker.Initialize(dataset).ok());
+  const auto added = linker.AddGroup(
+      "stranger", {"zzqx wvut completely alien nonsense", "qqqq pppp rrrr"});
+  EXPECT_TRUE(added.linked_to.empty());
+}
+
+TEST(IncrementalLinkerTest, ClusterLabelsReflectNewLinks) {
+  const Dataset dataset = SeedDataset();
+  IncrementalLinker linker(TestConfig());
+  ASSERT_TRUE(linker.Initialize(dataset).ok());
+
+  const int32_t twin = 0;
+  std::vector<std::string> texts;
+  for (const int32_t r : dataset.groups[static_cast<size_t>(twin)].record_ids) {
+    texts.push_back(dataset.records[static_cast<size_t>(r)].text);
+  }
+  const auto added = linker.AddGroup("twin", texts);
+  ASSERT_FALSE(added.linked_to.empty());
+  const auto labels = linker.ClusterLabels();
+  ASSERT_EQ(labels.size(), static_cast<size_t>(linker.num_groups()));
+  EXPECT_EQ(labels[static_cast<size_t>(added.group_index)],
+            labels[static_cast<size_t>(added.linked_to.front())]);
+}
+
+TEST(IncrementalLinkerTest, StreamedGroupsRecoverHeldOutLinks) {
+  // Seed with the first 70% of groups; stream the rest; evaluate the full
+  // accumulated linkage against the full ground truth.
+  const Dataset full = SeedDataset(60);
+  const int32_t held_out_start = full.num_groups() * 7 / 10;
+
+  // Rebuild a self-contained seed dataset from the kept groups.
+  Dataset seed;
+  for (int32_t g = 0; g < held_out_start; ++g) {
+    Group group = full.groups[static_cast<size_t>(g)];
+    Group rebased;
+    rebased.id = group.id;
+    rebased.label = group.label;
+    for (const int32_t r : group.record_ids) {
+      rebased.record_ids.push_back(static_cast<int32_t>(seed.records.size()));
+      seed.records.push_back(full.records[static_cast<size_t>(r)]);
+    }
+    seed.groups.push_back(std::move(rebased));
+    seed.group_entities.push_back(full.group_entities[static_cast<size_t>(g)]);
+  }
+  ASSERT_TRUE(seed.Validate().ok());
+
+  IncrementalLinker linker(TestConfig());
+  ASSERT_TRUE(linker.Initialize(seed).ok());
+  for (int32_t g = held_out_start; g < full.num_groups(); ++g) {
+    std::vector<std::string> texts;
+    for (const int32_t r : full.groups[static_cast<size_t>(g)].record_ids) {
+      texts.push_back(full.records[static_cast<size_t>(r)].text);
+    }
+    const auto added =
+        linker.AddGroup(full.groups[static_cast<size_t>(g)].label, texts);
+    EXPECT_EQ(added.group_index, g);
+  }
+
+  // Group indexes line up with `full` by construction, so evaluate
+  // directly against its ground truth.
+  const PairMetrics metrics = EvaluatePairs(linker.linked_pairs(), full.TruePairs());
+  EXPECT_GT(metrics.f1, 0.85) << "P=" << metrics.precision
+                              << " R=" << metrics.recall;
+}
+
+TEST(IncrementalLinkerTest, LinkedPairsStayOriented) {
+  const Dataset dataset = SeedDataset(20);
+  IncrementalLinker linker(TestConfig());
+  ASSERT_TRUE(linker.Initialize(dataset).ok());
+  linker.AddGroup("g1", {"query optimization in large databases sigmod 1999"});
+  linker.AddGroup("g2", {"query optimization in large databases sigmod 1999"});
+  for (const auto& [a, b] : linker.linked_pairs()) {
+    EXPECT_LT(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(b, linker.num_groups());
+  }
+}
+
+}  // namespace
+}  // namespace grouplink

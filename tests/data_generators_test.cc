@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/bibliographic_generator.h"
+#include "data/household_generator.h"
+#include "data/name_corpus.h"
+
+namespace grouplink {
+namespace {
+
+// ---------------------------------------------------------------- Corpora.
+
+TEST(NameCorpusTest, NonEmptyAndLowercase) {
+  for (const auto* corpus : {&FirstNames(), &LastNames(), &TitleWords(),
+                             &VenueNames(), &StreetNames(), &CityNames()}) {
+    EXPECT_GT(corpus->size(), 30u);
+    for (const std::string_view word : *corpus) {
+      EXPECT_FALSE(word.empty());
+      for (const char c : word) {
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) || c == ' ')
+            << word;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- Bibliographic.
+
+TEST(BibliographicTest, ProducesValidDataset) {
+  BibliographicConfig config;
+  config.num_entities = 50;
+  const Dataset dataset = GenerateBibliographic(config);
+  EXPECT_TRUE(dataset.Validate().ok());
+  EXPECT_GT(dataset.num_groups(), 0);
+  EXPECT_EQ(dataset.group_entities.size(), static_cast<size_t>(dataset.num_groups()));
+}
+
+TEST(BibliographicTest, DeterministicForSeed) {
+  BibliographicConfig config;
+  config.num_entities = 30;
+  config.seed = 77;
+  const Dataset a = GenerateBibliographic(config);
+  const Dataset b = GenerateBibliographic(config);
+  ASSERT_EQ(a.num_records(), b.num_records());
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  for (int32_t r = 0; r < a.num_records(); ++r) {
+    EXPECT_EQ(a.records[static_cast<size_t>(r)].text,
+              b.records[static_cast<size_t>(r)].text);
+  }
+  EXPECT_EQ(a.group_entities, b.group_entities);
+}
+
+TEST(BibliographicTest, DifferentSeedsDiffer) {
+  BibliographicConfig config;
+  config.num_entities = 30;
+  config.seed = 1;
+  const Dataset a = GenerateBibliographic(config);
+  config.seed = 2;
+  const Dataset b = GenerateBibliographic(config);
+  bool any_difference = a.num_records() != b.num_records();
+  for (int32_t r = 0; !any_difference && r < a.num_records(); ++r) {
+    any_difference = a.records[static_cast<size_t>(r)].text !=
+                     b.records[static_cast<size_t>(r)].text;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BibliographicTest, GroupCountsRespectConfig) {
+  BibliographicConfig config;
+  config.num_entities = 100;
+  config.singleton_entity_fraction = 0.0;
+  config.min_groups_per_entity = 2;
+  config.max_groups_per_entity = 3;
+  const Dataset dataset = GenerateBibliographic(config);
+  std::map<int32_t, int> groups_per_entity;
+  for (const int32_t entity : dataset.group_entities) ++groups_per_entity[entity];
+  EXPECT_EQ(groups_per_entity.size(), 100u);
+  for (const auto& [entity, count] : groups_per_entity) {
+    EXPECT_GE(count, 2);
+    EXPECT_LE(count, 3);
+  }
+}
+
+TEST(BibliographicTest, AllSingletonsWhenFractionOne) {
+  BibliographicConfig config;
+  config.num_entities = 40;
+  config.singleton_entity_fraction = 1.0;
+  const Dataset dataset = GenerateBibliographic(config);
+  EXPECT_EQ(dataset.num_groups(), 40);
+  EXPECT_TRUE(dataset.TruePairs().empty());
+}
+
+TEST(BibliographicTest, GroupSizesWithinCitationBounds) {
+  BibliographicConfig config;
+  config.num_entities = 50;
+  config.min_citations_per_entity = 5;
+  config.max_citations_per_entity = 10;
+  config.group_citation_fraction = 0.5;
+  const Dataset dataset = GenerateBibliographic(config);
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    EXPECT_GE(dataset.GroupSize(g), 2);   // ceil(0.5 * 5) with rounding.
+    EXPECT_LE(dataset.GroupSize(g), 10);  // Never more than the pool.
+  }
+}
+
+TEST(BibliographicTest, ZeroNoiseSharedCitationsIdentical) {
+  BibliographicConfig config;
+  config.num_entities = 20;
+  config.noise = 0.0;
+  config.singleton_entity_fraction = 0.0;
+  config.group_citation_fraction = 1.0;  // Every group copies the full pool.
+  const Dataset dataset = GenerateBibliographic(config);
+  // Groups of the same entity must contain identical record-text multisets.
+  std::map<int32_t, std::multiset<std::string>> texts_by_entity;
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    std::multiset<std::string> texts;
+    for (const int32_t r : dataset.groups[static_cast<size_t>(g)].record_ids) {
+      texts.insert(dataset.records[static_cast<size_t>(r)].text);
+    }
+    const int32_t entity = dataset.group_entities[static_cast<size_t>(g)];
+    auto [it, inserted] = texts_by_entity.emplace(entity, texts);
+    if (!inserted) EXPECT_EQ(it->second, texts) << "entity " << entity;
+  }
+}
+
+TEST(BibliographicTest, NoiseChangesTexts) {
+  BibliographicConfig clean;
+  clean.num_entities = 20;
+  clean.noise = 0.0;
+  BibliographicConfig noisy = clean;
+  noisy.noise = 0.5;
+  const Dataset a = GenerateBibliographic(clean);
+  const Dataset b = GenerateBibliographic(noisy);
+  int differing = 0;
+  const int32_t n = std::min(a.num_records(), b.num_records());
+  for (int32_t r = 0; r < n; ++r) {
+    if (a.records[static_cast<size_t>(r)].text !=
+        b.records[static_cast<size_t>(r)].text) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, n / 4);
+}
+
+// ------------------------------------------------------------- Household.
+
+TEST(HouseholdTest, ProducesValidDataset) {
+  HouseholdConfig config;
+  config.num_households = 50;
+  const Dataset dataset = GenerateHouseholds(config);
+  EXPECT_TRUE(dataset.Validate().ok());
+  EXPECT_EQ(dataset.group_entities.size(), static_cast<size_t>(dataset.num_groups()));
+}
+
+TEST(HouseholdTest, DeterministicForSeed) {
+  HouseholdConfig config;
+  config.num_households = 30;
+  config.seed = 5;
+  const Dataset a = GenerateHouseholds(config);
+  const Dataset b = GenerateHouseholds(config);
+  ASSERT_EQ(a.num_records(), b.num_records());
+  for (int32_t r = 0; r < a.num_records(); ++r) {
+    EXPECT_EQ(a.records[static_cast<size_t>(r)].text,
+              b.records[static_cast<size_t>(r)].text);
+  }
+}
+
+TEST(HouseholdTest, AtMostTwoGroupsPerHousehold) {
+  HouseholdConfig config;
+  config.num_households = 100;
+  const Dataset dataset = GenerateHouseholds(config);
+  std::map<int32_t, int> per_household;
+  for (const int32_t entity : dataset.group_entities) ++per_household[entity];
+  for (const auto& [entity, count] : per_household) {
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 2);
+  }
+}
+
+TEST(HouseholdTest, BothSnapshotFractionControlsTruePairs) {
+  HouseholdConfig all;
+  all.num_households = 80;
+  all.both_snapshots_fraction = 1.0;
+  EXPECT_EQ(GenerateHouseholds(all).TruePairs().size(), 80u);
+
+  HouseholdConfig none;
+  none.num_households = 80;
+  none.both_snapshots_fraction = 0.0;
+  EXPECT_TRUE(GenerateHouseholds(none).TruePairs().empty());
+}
+
+TEST(HouseholdTest, MemberCountsWithinBounds) {
+  HouseholdConfig config;
+  config.num_households = 60;
+  config.min_members = 3;
+  config.max_members = 5;
+  config.move_out_prob = 0.0;
+  config.move_in_rate = 0.0;
+  const Dataset dataset = GenerateHouseholds(config);
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    EXPECT_GE(dataset.GroupSize(g), 3);
+    EXPECT_LE(dataset.GroupSize(g), 5);
+  }
+}
+
+}  // namespace
+}  // namespace grouplink

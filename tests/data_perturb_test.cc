@@ -1,0 +1,178 @@
+#include "data/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "data/bibliographic_generator.h"
+#include "text/edit_distance.h"
+
+namespace grouplink {
+namespace {
+
+TEST(TypoTest, RandomTypoIsSingleEdit) {
+  Rng rng(1);
+  const std::string original = "group linkage";
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string mutated = ApplyRandomTypo(original, rng);
+    EXPECT_LE(DamerauLevenshteinDistance(original, mutated), 1u);
+  }
+}
+
+TEST(TypoTest, EmptyInputNoop) {
+  Rng rng(2);
+  EXPECT_EQ(ApplyRandomTypo("", rng), "");
+}
+
+TEST(TypoTest, ZeroRateIsIdentity) {
+  Rng rng(3);
+  EXPECT_EQ(InjectTypos("unchanged text", 0.0, rng), "unchanged text");
+}
+
+TEST(TypoTest, HighRateChangesText) {
+  Rng rng(4);
+  int changed = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    if (InjectTypos("some reasonably long input string", 0.2, rng) !=
+        "some reasonably long input string") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 45);
+}
+
+TEST(PerturbTextTest, NoOptionsIsIdentity) {
+  Rng rng(5);
+  const PerturbOptions options;  // All rates zero.
+  EXPECT_EQ(PerturbText("alpha beta gamma", options, rng), "alpha beta gamma");
+}
+
+TEST(PerturbTextTest, KeepsAtLeastOneToken) {
+  Rng rng(6);
+  PerturbOptions options;
+  options.token_drop_rate = 1.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string out = PerturbText("a b c d", options, rng);
+    EXPECT_FALSE(SplitWhitespace(out).empty());
+  }
+}
+
+TEST(PerturbTextTest, DropReducesTokenCountOnAverage) {
+  Rng rng(7);
+  PerturbOptions options;
+  options.token_drop_rate = 0.5;
+  size_t total = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    total += SplitWhitespace(PerturbText("a b c d e f g h", options, rng)).size();
+  }
+  const double mean = static_cast<double>(total) / kTrials;
+  EXPECT_NEAR(mean, 4.0, 0.6);
+}
+
+TEST(PerturbTextTest, AbbreviationShortensTokens) {
+  Rng rng(8);
+  PerturbOptions options;
+  options.abbreviate_rate = 1.0;
+  EXPECT_EQ(PerturbText("jeffrey david ullman", options, rng), "j d u");
+}
+
+TEST(PerturbTextTest, SwapPreservesTokenMultiset) {
+  Rng rng(9);
+  PerturbOptions options;
+  options.token_swap_rate = 1.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto tokens = SplitWhitespace(PerturbText("one two three four", options, rng));
+    std::sort(tokens.begin(), tokens.end());
+    EXPECT_EQ(tokens, (std::vector<std::string>{"four", "one", "three", "two"}));
+  }
+}
+
+TEST(AbbreviateTokenTest, FirstLetter) {
+  EXPECT_EQ(AbbreviateToken("jeffrey"), "j");
+  EXPECT_EQ(AbbreviateToken("a"), "a");
+  EXPECT_EQ(AbbreviateToken(""), "");
+}
+
+TEST(PerturbGroupingTest, ZeroFractionIsNoop) {
+  BibliographicConfig config;
+  config.num_entities = 20;
+  Dataset dataset = GenerateBibliographic(config);
+  const auto before = dataset.RecordToGroup();
+  Rng rng(1);
+  EXPECT_EQ(PerturbGrouping(dataset, 0.0, rng), 0u);
+  EXPECT_EQ(dataset.RecordToGroup(), before);
+}
+
+TEST(PerturbGroupingTest, MovesApproximatelyRequestedFraction) {
+  BibliographicConfig config;
+  config.num_entities = 40;
+  Dataset dataset = GenerateBibliographic(config);
+  const auto before = dataset.RecordToGroup();
+  Rng rng(2);
+  const size_t moved = PerturbGrouping(dataset, 0.2, rng);
+  EXPECT_TRUE(dataset.Validate().ok());
+  const auto after = dataset.RecordToGroup();
+  size_t changed = 0;
+  for (size_t r = 0; r < before.size(); ++r) {
+    if (before[r] != after[r]) ++changed;
+  }
+  EXPECT_EQ(changed, moved);
+  const double rate = static_cast<double>(moved) / static_cast<double>(before.size());
+  EXPECT_NEAR(rate, 0.2, 0.05);
+}
+
+TEST(PerturbGroupingTest, GroupsStayNonEmpty) {
+  BibliographicConfig config;
+  config.num_entities = 20;
+  Dataset dataset = GenerateBibliographic(config);
+  Rng rng(3);
+  PerturbGrouping(dataset, 0.9, rng);  // Extreme churn.
+  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
+    EXPECT_GE(dataset.GroupSize(g), 1);
+  }
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(PerturbGroupingTest, SingleGroupDatasetUntouched) {
+  Dataset dataset;
+  Record record;
+  record.id = "r";
+  record.text = "text";
+  dataset.records = {record};
+  Group group;
+  group.id = "g";
+  group.record_ids = {0};
+  dataset.groups = {group};
+  Rng rng(4);
+  EXPECT_EQ(PerturbGrouping(dataset, 1.0, rng), 0u);
+}
+
+TEST(NameVariantTest, ProducesRelatedName) {
+  Rng rng(10);
+  const std::string full = "jeffrey d ullman";
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string variant = MakeNameVariant(full, rng);
+    EXPECT_FALSE(variant.empty());
+    // Every variant keeps the surname (possibly with one typo).
+    bool surname_close = false;
+    for (const std::string& token : SplitWhitespace(variant)) {
+      if (DamerauLevenshteinDistance(token, "ullman") <= 1) surname_close = true;
+    }
+    EXPECT_TRUE(surname_close) << variant;
+  }
+}
+
+TEST(NameVariantTest, CoversMultipleStyles) {
+  Rng rng(11);
+  std::set<std::string> variants;
+  for (int trial = 0; trial < 100; ++trial) {
+    variants.insert(MakeNameVariant("maria garcia", rng));
+  }
+  EXPECT_GE(variants.size(), 3u);  // Verbatim, initials, inversion, typos.
+  EXPECT_TRUE(variants.count("maria garcia"));
+  EXPECT_TRUE(variants.count("m garcia"));
+  EXPECT_TRUE(variants.count("garcia maria"));
+}
+
+}  // namespace
+}  // namespace grouplink

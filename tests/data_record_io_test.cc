@@ -1,0 +1,135 @@
+#include "data/record_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/bibliographic_generator.h"
+
+namespace grouplink {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset SampleDataset() {
+  Dataset dataset;
+  Record r0;
+  r0.id = "r0";
+  r0.text = "query, optimization";  // Comma forces CSV quoting.
+  r0.fields = {"query optimization", "1999"};
+  Record r1;
+  r1.id = "r1";
+  r1.text = "stream processing";
+  Record r2;
+  r2.id = "r2";
+  r2.text = "entity \"resolution\"";
+  dataset.records = {r0, r1, r2};
+  Group g0;
+  g0.id = "g0";
+  g0.label = "author one";
+  g0.record_ids = {0, 1};
+  Group g1;
+  g1.id = "g1";
+  g1.label = "author two";
+  g1.record_ids = {2};
+  dataset.groups = {g0, g1};
+  dataset.group_entities = {4, Dataset::kUnknownEntity};
+  return dataset;
+}
+
+TEST(RecordIoTest, RoundTripPreservesEverything) {
+  const std::string path = TempPath("roundtrip.csv");
+  const Dataset original = SampleDataset();
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->num_records(), original.num_records());
+  ASSERT_EQ(loaded->num_groups(), original.num_groups());
+  for (int32_t g = 0; g < original.num_groups(); ++g) {
+    EXPECT_EQ(loaded->groups[static_cast<size_t>(g)].id,
+              original.groups[static_cast<size_t>(g)].id);
+    EXPECT_EQ(loaded->groups[static_cast<size_t>(g)].label,
+              original.groups[static_cast<size_t>(g)].label);
+    EXPECT_EQ(loaded->GroupSize(g), original.GroupSize(g));
+  }
+  EXPECT_EQ(loaded->group_entities, original.group_entities);
+  // Record content survives, including quoting-hostile characters.
+  EXPECT_EQ(loaded->records[0].text, "query, optimization");
+  EXPECT_EQ(loaded->records[0].fields,
+            (std::vector<std::string>{"query optimization", "1999"}));
+  EXPECT_EQ(loaded->records[2].text, "entity \"resolution\"");
+  std::remove(path.c_str());
+}
+
+TEST(RecordIoTest, GeneratedDatasetRoundTrips) {
+  BibliographicConfig config;
+  config.num_entities = 20;
+  const Dataset original = GenerateBibliographic(config);
+  const std::string path = TempPath("generated.csv");
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_records(), original.num_records());
+  for (int32_t r = 0; r < original.num_records(); ++r) {
+    EXPECT_EQ(loaded->records[static_cast<size_t>(r)].text,
+              original.records[static_cast<size_t>(r)].text);
+  }
+  EXPECT_EQ(loaded->group_entities, original.group_entities);
+  std::remove(path.c_str());
+}
+
+TEST(RecordIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadDatasetCsv("/no/such/file.csv").ok());
+}
+
+TEST(RecordIoTest, TooFewColumnsFails) {
+  const std::string path = TempPath("short_row.csv");
+  {
+    std::ofstream out(path);
+    out << "record_id,group_id,group_label,entity_id,text\n";
+    out << "r0,g0\n";
+  }
+  const auto loaded = LoadDatasetCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordIoTest, BadEntityIdFails) {
+  const std::string path = TempPath("bad_entity.csv");
+  {
+    std::ofstream out(path);
+    out << "record_id,group_id,group_label,entity_id,text\n";
+    out << "r0,g0,label,notanumber,text\n";
+  }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordIoTest, EmptyFileFails) {
+  const std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordIoTest, HeaderOnlyYieldsInvalidDataset) {
+  // No records at all: Validate passes only if there are no groups either;
+  // a header-only file produces an empty (valid) dataset.
+  const std::string path = TempPath("header_only.csv");
+  {
+    std::ofstream out(path);
+    out << "record_id,group_id,group_label,entity_id,text\n";
+  }
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_records(), 0);
+  EXPECT_EQ(loaded->num_groups(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grouplink

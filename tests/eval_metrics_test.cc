@@ -1,0 +1,154 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+using Pairs = std::vector<std::pair<int32_t, int32_t>>;
+
+TEST(F1ScoreTest, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(F1Score(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(1.0, 0.0), 0.0);
+  EXPECT_NEAR(F1Score(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluatePairsTest, PerfectPrediction) {
+  const Pairs truth = {{0, 1}, {2, 3}};
+  const PairMetrics m = EvaluatePairs(truth, truth);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvaluatePairsTest, MixedPrediction) {
+  const PairMetrics m = EvaluatePairs({{0, 1}, {4, 5}}, {{0, 1}, {2, 3}});
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(EvaluatePairsTest, OrientationAndDuplicatesNormalized) {
+  const PairMetrics m = EvaluatePairs({{1, 0}, {0, 1}, {1, 0}}, {{0, 1}});
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvaluatePairsTest, EmptyConventions) {
+  const PairMetrics nothing = EvaluatePairs({}, {});
+  EXPECT_DOUBLE_EQ(nothing.precision, 1.0);
+  EXPECT_DOUBLE_EQ(nothing.recall, 1.0);
+  const PairMetrics no_prediction = EvaluatePairs({}, {{0, 1}});
+  EXPECT_DOUBLE_EQ(no_prediction.precision, 1.0);
+  EXPECT_DOUBLE_EQ(no_prediction.recall, 0.0);
+  const PairMetrics no_truth = EvaluatePairs({{0, 1}}, {});
+  EXPECT_DOUBLE_EQ(no_truth.precision, 0.0);
+  EXPECT_DOUBLE_EQ(no_truth.recall, 1.0);
+}
+
+TEST(EvaluateClusterPairsTest, MatchesManualCounts) {
+  // Predicted: {0,1}, {2}; truth: {0,1,2} (entity 5).
+  const std::vector<size_t> predicted = {0, 0, 1};
+  const std::vector<int32_t> truth = {5, 5, 5};
+  const PairMetrics m = EvaluateClusterPairs(predicted, truth);
+  EXPECT_EQ(m.true_positives, 1u);   // (0,1).
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 2u);  // (0,2), (1,2).
+}
+
+TEST(EvaluateClusterPairsTest, UnknownTruthNeverCoRefers) {
+  const std::vector<size_t> predicted = {0, 0};
+  const std::vector<int32_t> truth = {-1, -1};
+  const PairMetrics m = EvaluateClusterPairs(predicted, truth);
+  EXPECT_EQ(m.true_positives, 0u);
+  EXPECT_EQ(m.false_positives, 1u);
+}
+
+TEST(BCubedTest, PerfectClustering) {
+  const BCubedMetrics m = EvaluateBCubed({0, 0, 1, 1}, {7, 7, 9, 9});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(BCubedTest, AllMergedLosesPrecision) {
+  const BCubedMetrics m = EvaluateBCubed({0, 0, 0, 0}, {1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(BCubedTest, AllSplitLosesRecall) {
+  const BCubedMetrics m = EvaluateBCubed({0, 1, 2, 3}, {1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(BCubedTest, UnknownLabelsAreSingletons) {
+  // Two -1 items predicted together: precision suffers, recall perfect
+  // (each singleton fully covered by any containing cluster).
+  const BCubedMetrics m = EvaluateBCubed({0, 0}, {-1, -1});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(BCubedTest, EmptyInput) {
+  const BCubedMetrics m = EvaluateBCubed({}, {});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+}
+
+TEST(AdjustedRandTest, IdenticalClusteringsScoreOne) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 1, 1, 2}, {5, 5, 9, 9, 7}), 1.0);
+}
+
+TEST(AdjustedRandTest, KnownValue) {
+  // Classic example: X = {a,a,a,b,b,b}, Y = {a,a,b,b,c,c}.
+  const std::vector<size_t> predicted = {0, 0, 0, 1, 1, 1};
+  const std::vector<int32_t> truth = {0, 0, 1, 1, 2, 2};
+  // sum_joint = C(2,2)+C(1,2)+C(1,2)+C(2,2) = 1+0+0+1 = 2;
+  // sum_pred = 2*C(3,2) = 6; sum_true = 3*C(2,2) = 3; total = C(6,2) = 15.
+  // expected = 6*3/15 = 1.2; max = 4.5; ARI = (2-1.2)/(4.5-1.2) = 0.242424...
+  EXPECT_NEAR(AdjustedRandIndex(predicted, truth), 0.8 / 3.3, 1e-12);
+}
+
+TEST(AdjustedRandTest, AllSingletonsVsAllMergedIsZero) {
+  const std::vector<size_t> predicted = {0, 1, 2, 3};
+  const std::vector<int32_t> truth = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(predicted, truth), 0.0);
+}
+
+TEST(AdjustedRandTest, BothAllSingletonsScoreOne) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 1, 2}, {-1, -1, -1}), 1.0);
+}
+
+TEST(AdjustedRandTest, TinyInputsAreTriviallyPerfect) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0}, {3}), 1.0);
+}
+
+TEST(AdjustedRandTest, DisagreementCanGoNegative) {
+  // Maximally crossed clusterings of 4 items.
+  const std::vector<size_t> predicted = {0, 0, 1, 1};
+  const std::vector<int32_t> truth = {0, 1, 0, 1};
+  EXPECT_LT(AdjustedRandIndex(predicted, truth), 0.0);
+}
+
+TEST(BCubedTest, TextbookExample) {
+  // Predicted clusters: {a,b,c}, {d,e}; truth: {a,b}, {c,d,e}.
+  const std::vector<size_t> predicted = {0, 0, 0, 1, 1};
+  const std::vector<int32_t> truth = {0, 0, 1, 1, 1};
+  const BCubedMetrics m = EvaluateBCubed(predicted, truth);
+  // Precision: a,b: 2/3 each; c: 1/3; d,e: 1 each -> (2/3+2/3+1/3+1+1)/5.
+  EXPECT_NEAR(m.precision, (2.0 / 3 + 2.0 / 3 + 1.0 / 3 + 1 + 1) / 5, 1e-12);
+  // Recall: a,b: 1 each; c: 1/3; d,e: 2/3 each.
+  EXPECT_NEAR(m.recall, (1 + 1 + 1.0 / 3 + 2.0 / 3 + 2.0 / 3) / 5, 1e-12);
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,106 @@
+#include "eval/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+
+namespace grouplink {
+namespace {
+
+using Pairs = std::vector<std::pair<int32_t, int32_t>>;
+
+TEST(ThresholdSweepTest, BasicPartition) {
+  const std::vector<ScoredPair> scored = {
+      {0, 1, 0.9}, {0, 2, 0.5}, {1, 2, 0.1}};
+  const Pairs truth = {{0, 1}, {0, 2}};
+  const auto points = ThresholdSweep(scored, truth, {0.0, 0.4, 0.8, 1.0});
+  ASSERT_EQ(points.size(), 4u);
+  // t=0.0: all three predicted -> P=2/3, R=1.
+  EXPECT_NEAR(points[0].metrics.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(points[0].metrics.recall, 1.0);
+  // t=0.4: two predicted, both true -> perfect.
+  EXPECT_DOUBLE_EQ(points[1].metrics.f1, 1.0);
+  // t=0.8: only (0,1) -> P=1, R=0.5.
+  EXPECT_DOUBLE_EQ(points[2].metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].metrics.recall, 0.5);
+  // t=1.0: nothing predicted.
+  EXPECT_EQ(points[3].metrics.true_positives, 0u);
+}
+
+TEST(ThresholdSweepTest, RecallMonotoneNonIncreasing) {
+  const std::vector<ScoredPair> scored = {
+      {0, 1, 0.3}, {0, 2, 0.6}, {1, 2, 0.9}, {2, 3, 0.2}};
+  const Pairs truth = {{0, 1}, {1, 2}, {2, 3}};
+  std::vector<double> thresholds;
+  for (double t = 0.0; t <= 1.0; t += 0.05) thresholds.push_back(t);
+  const auto points = ThresholdSweep(scored, truth, thresholds);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].metrics.recall, points[i - 1].metrics.recall + 1e-12);
+  }
+}
+
+TEST(BestF1ThresholdTest, PicksOptimum) {
+  const std::vector<ScoredPair> scored = {
+      {0, 1, 0.9}, {0, 2, 0.5}, {1, 2, 0.1}};
+  const Pairs truth = {{0, 1}, {0, 2}};
+  EXPECT_DOUBLE_EQ(BestF1Threshold(scored, truth, {0.0, 0.4, 0.8}), 0.4);
+}
+
+TEST(BestF1ThresholdTest, EmptyThresholdsReturnsZero) {
+  EXPECT_DOUBLE_EQ(BestF1Threshold({}, {}, {}), 0.0);
+}
+
+TEST(ScoreCandidatesTest, SweepMatchesPerThresholdRuns) {
+  // The score-once sweep must reproduce exactly what full engine runs at
+  // each Θ produce.
+  BibliographicConfig data_config;
+  data_config.num_entities = 40;
+  data_config.noise = 0.2;
+  data_config.seed = 12;
+  const Dataset dataset = GenerateBibliographic(data_config);
+
+  LinkageConfig config;
+  config.theta = 0.35;
+  LinkageEngine engine(&dataset, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  const auto scored = engine.ScoreCandidates(GroupMeasureKind::kBm);
+  ASSERT_FALSE(scored.empty());
+
+  const auto truth = dataset.TruePairs();
+  for (const double threshold : {0.1, 0.3, 0.5}) {
+    // Reference: a full run at this Θ.
+    LinkageConfig run_config = config;
+    run_config.group_threshold = threshold;
+    const auto reference = RunGroupLinkage(dataset, run_config);
+    ASSERT_TRUE(reference.ok());
+    const PairMetrics reference_metrics =
+        EvaluatePairs(reference->linked_pairs, truth);
+
+    const auto points = ThresholdSweep(scored, truth, {threshold});
+    EXPECT_NEAR(points[0].metrics.precision, reference_metrics.precision, 1e-12)
+        << threshold;
+    EXPECT_NEAR(points[0].metrics.recall, reference_metrics.recall, 1e-12)
+        << threshold;
+  }
+}
+
+TEST(ScoreCandidatesTest, ScoresWithinUnitInterval) {
+  BibliographicConfig data_config;
+  data_config.num_entities = 30;
+  const Dataset dataset = GenerateBibliographic(data_config);
+  LinkageEngine engine(&dataset, LinkageConfig{});
+  ASSERT_TRUE(engine.Prepare().ok());
+  for (const GroupMeasureKind measure :
+       {GroupMeasureKind::kBm, GroupMeasureKind::kGreedy,
+        GroupMeasureKind::kUpperBound, GroupMeasureKind::kSingleBest}) {
+    for (const ScoredPair& pair : engine.ScoreCandidates(measure)) {
+      EXPECT_GE(pair.score, 0.0);
+      EXPECT_LE(pair.score, 1.0 + 1e-9);
+      EXPECT_LT(pair.g1, pair.g2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grouplink

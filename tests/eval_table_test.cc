@@ -1,0 +1,63 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table({"h", "x"});
+  table.AddRow({"longer", "1"});
+  const std::string out = table.ToString();
+  // Every line has the same position for the separator.
+  size_t position = std::string::npos;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const std::string line = out.substr(start, end - start);
+    size_t bar = line.find('|');
+    if (bar == std::string::npos) bar = line.find('+');
+    if (position == std::string::npos) {
+      position = bar;
+    } else {
+      EXPECT_EQ(bar, position) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_NE(table.ToString().find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable table({"col"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TextTableTest, EndsWithNewline) {
+  TextTable table({"x"});
+  table.AddRow({"1"});
+  const std::string out = table.ToString();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,99 @@
+#include "relational/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+Row SampleRow() { return {int64_t{3}, 2.5, "abc", Value()}; }
+
+TEST(ExpressionTest, ColumnAndLiteral) {
+  const Row row = SampleRow();
+  EXPECT_EQ(Column(0)->Evaluate(row).AsInt(), 3);
+  EXPECT_EQ(Column(2)->Evaluate(row).AsString(), "abc");
+  EXPECT_TRUE(Column(3)->Evaluate(row).is_null());
+  EXPECT_DOUBLE_EQ(Literal(Value(7.5))->Evaluate(row).AsDouble(), 7.5);
+}
+
+TEST(ExpressionTest, Comparisons) {
+  const Row row = SampleRow();
+  EXPECT_EQ(Gt(Column(0), Column(1))->Evaluate(row).AsInt(), 1);  // 3 > 2.5.
+  EXPECT_EQ(Lt(Column(0), Column(1))->Evaluate(row).AsInt(), 0);
+  EXPECT_EQ(Eq(Column(0), Literal(Value(3.0)))->Evaluate(row).AsInt(), 1);
+  EXPECT_EQ(Ne(Column(2), Literal(Value("abc")))->Evaluate(row).AsInt(), 0);
+  EXPECT_EQ(Le(Column(1), Column(1))->Evaluate(row).AsInt(), 1);
+  EXPECT_EQ(Ge(Column(1), Column(0))->Evaluate(row).AsInt(), 0);
+}
+
+TEST(ExpressionTest, NullComparisonsYieldNull) {
+  const Row row = SampleRow();
+  EXPECT_TRUE(Eq(Column(3), Column(0))->Evaluate(row).is_null());
+  EXPECT_TRUE(Lt(Column(3), Literal(Value(int64_t{1})))->Evaluate(row).is_null());
+}
+
+TEST(ExpressionTest, BooleanConnectives) {
+  const Row row = SampleRow();
+  const ExprPtr yes = Literal(Value(int64_t{1}));
+  const ExprPtr no = Literal(Value(int64_t{0}));
+  const ExprPtr null = Literal(Value());
+  EXPECT_EQ(And(yes, yes)->Evaluate(row).AsInt(), 1);
+  EXPECT_EQ(And(yes, no)->Evaluate(row).AsInt(), 0);
+  EXPECT_EQ(And(yes, null)->Evaluate(row).AsInt(), 0);  // NULL is falsy.
+  EXPECT_EQ(Or(no, yes)->Evaluate(row).AsInt(), 1);
+  EXPECT_EQ(Or(no, null)->Evaluate(row).AsInt(), 0);
+  EXPECT_EQ(Not(no)->Evaluate(row).AsInt(), 1);
+  EXPECT_EQ(Not(yes)->Evaluate(row).AsInt(), 0);
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  const Row row = SampleRow();
+  EXPECT_DOUBLE_EQ(Add(Column(0), Column(1))->Evaluate(row).AsDouble(), 5.5);
+  EXPECT_DOUBLE_EQ(Sub(Column(0), Column(1))->Evaluate(row).AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Mul(Column(0), Column(1))->Evaluate(row).AsDouble(), 7.5);
+  EXPECT_DOUBLE_EQ(Div(Column(1), Column(0))->Evaluate(row).AsDouble(), 2.5 / 3.0);
+}
+
+TEST(ExpressionTest, ArithmeticNullPropagation) {
+  const Row row = SampleRow();
+  EXPECT_TRUE(Add(Column(3), Column(0))->Evaluate(row).is_null());
+  EXPECT_TRUE(
+      Div(Column(0), Literal(Value(int64_t{0})))->Evaluate(row).is_null());
+}
+
+TEST(ExpressionTest, UdfEvaluates) {
+  const Row row = SampleRow();
+  const ExprPtr udf = Udf("double_first", [](const Row& r) {
+    return Value(r[0].AsDouble() * 2.0);
+  });
+  EXPECT_DOUBLE_EQ(udf->Evaluate(row).AsDouble(), 6.0);
+  EXPECT_EQ(udf->ToString(), "double_first(...)");
+}
+
+TEST(ExpressionTest, ToStringRendering) {
+  const ExprPtr expression =
+      And(Lt(Column(0), Column(3)), Ne(Column(1), Literal(Value(int64_t{4}))));
+  EXPECT_EQ(expression->ToString(), "((#0 < #3) AND (#1 <> 4))");
+}
+
+TEST(ExpressionTest, AsPredicateInFilterPlan) {
+  Table table(Schema{{"a", "b"}, {ColumnType::kInt, ColumnType::kInt}});
+  table.AppendUnchecked({int64_t{1}, int64_t{10}});
+  table.AppendUnchecked({int64_t{5}, int64_t{2}});
+  table.AppendUnchecked({int64_t{3}, int64_t{3}});
+  auto plan = Filter(Scan(&table), AsPredicate(Lt(Column(0), Column(1))));
+  EXPECT_EQ(Materialize(*plan).num_rows(), 1u);
+}
+
+TEST(ExpressionTest, AsProjectionInProjectPlan) {
+  Table table(Schema{{"x"}, {ColumnType::kDouble}});
+  table.AppendUnchecked({2.0});
+  auto plan = Project(
+      Scan(&table),
+      {AsProjection(Mul(Column(0), Literal(Value(10.0))), "x10", ColumnType::kDouble)});
+  const Table result = Materialize(*plan);
+  EXPECT_EQ(result.schema().names[0], "x10");
+  EXPECT_DOUBLE_EQ(result.rows()[0][0].AsDouble(), 20.0);
+}
+
+}  // namespace
+}  // namespace grouplink

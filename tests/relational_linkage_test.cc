@@ -1,0 +1,185 @@
+#include "relational/linkage_plans.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+#include "text/jaccard.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+namespace {
+
+Dataset SmallDataset() {
+  BibliographicConfig config;
+  config.num_entities = 25;
+  config.noise = 0.2;
+  config.seed = 31;
+  return GenerateBibliographic(config);
+}
+
+TEST(TokensTableTest, OneRowPerDistinctTokenPerRecord) {
+  Dataset dataset;
+  Record r0;
+  r0.id = "r0";
+  r0.text = "alpha beta alpha";
+  Record r1;
+  r1.id = "r1";
+  r1.text = "gamma";
+  dataset.records = {r0, r1};
+  Group g;
+  g.id = "g";
+  g.record_ids = {0, 1};
+  dataset.groups = {g};
+
+  const Table tokens = MakeTokensTable(dataset);
+  EXPECT_EQ(tokens.num_rows(), 3u);  // alpha, beta, gamma.
+  for (const Row& row : tokens.rows()) {
+    EXPECT_EQ(row[1].AsInt(), 0);  // All in group 0.
+  }
+}
+
+TEST(GroupSizesTableTest, MatchesDataset) {
+  const Dataset dataset = SmallDataset();
+  const Table sizes = MakeGroupSizesTable(dataset);
+  ASSERT_EQ(sizes.num_rows(), static_cast<size_t>(dataset.num_groups()));
+  for (const Row& row : sizes.rows()) {
+    EXPECT_EQ(row[1].AsInt(),
+              dataset.GroupSize(static_cast<int32_t>(row[0].AsInt())));
+  }
+}
+
+TEST(SqlCandidatesTest, MatchesBruteForceTokenOverlap) {
+  const Dataset dataset = SmallDataset();
+  const Table tokens = MakeTokensTable(dataset);
+  constexpr int64_t kMinOverlap = 2;
+  const Table candidates = SqlRecordPairCandidates(tokens, kMinOverlap);
+
+  // Brute force: distinct-token overlap between all cross-group records.
+  std::vector<std::vector<std::string>> token_sets(dataset.records.size());
+  for (size_t r = 0; r < dataset.records.size(); ++r) {
+    token_sets[r] = ToTokenSet(Tokenize(dataset.records[r].text));
+  }
+  const std::vector<int32_t> record_group = dataset.RecordToGroup();
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (size_t a = 0; a < token_sets.size(); ++a) {
+    for (size_t b = a + 1; b < token_sets.size(); ++b) {
+      if (record_group[a] == record_group[b]) continue;
+      if (SortedIntersectionSize(token_sets[a], token_sets[b]) >=
+          static_cast<size_t>(kMinOverlap)) {
+        expected.insert({static_cast<int64_t>(a), static_cast<int64_t>(b)});
+      }
+    }
+  }
+
+  std::set<std::pair<int64_t, int64_t>> actual;
+  for (const Row& row : candidates.rows()) {
+    actual.insert({row[0].AsInt(), row[2].AsInt()});
+    // Overlap column is the true intersection size.
+    EXPECT_EQ(row[4].AsInt(),
+              static_cast<int64_t>(SortedIntersectionSize(
+                  token_sets[static_cast<size_t>(row[0].AsInt())],
+                  token_sets[static_cast<size_t>(row[2].AsInt())])));
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(SqlEdgesTest, AppliesUdfThresholdAndOrientation) {
+  const Dataset dataset = SmallDataset();
+  LinkageEngine engine(&dataset, LinkageConfig{});
+  ASSERT_TRUE(engine.Prepare().ok());
+  const auto sim = [&](int32_t a, int32_t b) {
+    return engine.DefaultRecordSimilarity(a, b);
+  };
+  const Table tokens = MakeTokensTable(dataset);
+  const Table candidates = SqlRecordPairCandidates(tokens, 1);
+  constexpr double kTheta = 0.4;
+  const Table edges = SqlVerifiedEdges(candidates, sim, kTheta);
+  EXPECT_GT(edges.num_rows(), 0u);
+  for (const Row& row : edges.rows()) {
+    EXPECT_LT(row[0].AsInt(), row[1].AsInt());  // g1 < g2.
+    EXPECT_GE(row[4].AsDouble(), kTheta);
+    EXPECT_NEAR(row[4].AsDouble(),
+                sim(static_cast<int32_t>(row[2].AsInt()),
+                    static_cast<int32_t>(row[3].AsInt())),
+                1e-12);
+  }
+}
+
+TEST(SqlUpperBoundTest, AgreesWithNativeUpperBoundMeasure) {
+  // Feed the SQL aggregation the *complete* edge relation (every record
+  // pair with sim >= theta) and check the UB values equal the native
+  // semi-matching computation per group pair.
+  const Dataset dataset = SmallDataset();
+  LinkageEngine engine(&dataset, LinkageConfig{});
+  ASSERT_TRUE(engine.Prepare().ok());
+  const auto sim = [&](int32_t a, int32_t b) {
+    return engine.DefaultRecordSimilarity(a, b);
+  };
+  constexpr double kTheta = 0.35;
+
+  // Complete edges across all group pairs.
+  Table edges(Schema{{"g1", "g2", "r1", "r2", "sim"},
+                     {ColumnType::kInt, ColumnType::kInt, ColumnType::kInt,
+                      ColumnType::kInt, ColumnType::kDouble}});
+  const std::vector<int32_t> record_group = dataset.RecordToGroup();
+  for (int32_t a = 0; a < dataset.num_records(); ++a) {
+    for (int32_t b = a + 1; b < dataset.num_records(); ++b) {
+      const int32_t g1 = record_group[static_cast<size_t>(a)];
+      const int32_t g2 = record_group[static_cast<size_t>(b)];
+      if (g1 == g2) continue;
+      const double s = sim(a, b);
+      if (s < kTheta) continue;
+      const bool in_order = g1 < g2;
+      edges.AppendUnchecked({static_cast<int64_t>(in_order ? g1 : g2),
+                             static_cast<int64_t>(in_order ? g2 : g1),
+                             static_cast<int64_t>(in_order ? a : b),
+                             static_cast<int64_t>(in_order ? b : a), s});
+    }
+  }
+  const Table sizes = MakeGroupSizesTable(dataset);
+  const Table scores = SqlUpperBoundScores(edges, sizes);
+  ASSERT_GT(scores.num_rows(), 0u);
+
+  for (const Row& row : scores.rows()) {
+    const int32_t g1 = static_cast<int32_t>(row[0].AsInt());
+    const int32_t g2 = static_cast<int32_t>(row[1].AsInt());
+    const BipartiteGraph graph = BuildSimilarityGraph(dataset, g1, g2, sim, kTheta);
+    const double native =
+        UpperBoundMeasure(graph, dataset.GroupSize(g1), dataset.GroupSize(g2));
+    EXPECT_NEAR(row[2].AsDouble(), native, 1e-9) << "pair " << g1 << "," << g2;
+  }
+}
+
+TEST(SqlFilterTest, SurvivorsSupersetOfBmLinks) {
+  // UB >= BM, so every group pair the native BM pipeline links must
+  // survive the SQL UB filter (when the SQL candidate join is lossless,
+  // i.e. min_overlap = 1 and theta filters below the engine's theta).
+  const Dataset dataset = SmallDataset();
+  LinkageConfig config;
+  config.theta = 0.4;
+  config.group_threshold = 0.25;
+  config.candidates = CandidateMethod::kAllPairs;
+  LinkageEngine engine(&dataset, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  const LinkageResult native = engine.Run();
+
+  const auto sim = [&](int32_t a, int32_t b) {
+    return engine.DefaultRecordSimilarity(a, b);
+  };
+  const auto survivors = SqlUpperBoundFilter(dataset, sim, config.theta,
+                                             config.group_threshold, 1);
+  const std::set<std::pair<int32_t, int32_t>> survivor_set(survivors.begin(),
+                                                           survivors.end());
+  for (const auto& pair : native.linked_pairs) {
+    EXPECT_TRUE(survivor_set.count(pair))
+        << "linked pair (" << pair.first << "," << pair.second
+        << ") missing from SQL UB survivors";
+  }
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,244 @@
+#include "relational/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/value.h"
+
+namespace grouplink {
+namespace {
+
+// ------------------------------------------------------------------ Value.
+
+TEST(ValueTest, NullSemantics) {
+  Value null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_TRUE(null == Value());
+  EXPECT_FALSE(null == Value(int64_t{0}));
+  EXPECT_TRUE(null < Value(int64_t{0}));
+  EXPECT_EQ(null.ToString(), "NULL");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(int64_t{1}) == Value(1.0));
+  EXPECT_EQ(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.5));
+  EXPECT_TRUE(Value(int64_t{1}) < Value(1.5));
+}
+
+TEST(ValueTest, StringsCompareNaturally) {
+  EXPECT_TRUE(Value("abc") == Value(std::string("abc")));
+  EXPECT_TRUE(Value("abc") < Value("abd"));
+  EXPECT_FALSE(Value("abc") == Value(int64_t{0}));
+  EXPECT_TRUE(Value(int64_t{5}) < Value("a"));  // Numbers before strings.
+}
+
+TEST(ValueTest, AsDoubleWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsDouble(), 7.0);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema schema{{"a", "b"}, {ColumnType::kInt, ColumnType::kString}};
+  EXPECT_EQ(schema.ColumnIndex("a"), 0);
+  EXPECT_EQ(schema.ColumnIndex("b"), 1);
+  EXPECT_EQ(schema.ColumnIndex("missing"), -1);
+}
+
+// ------------------------------------------------------------------ Table.
+
+TEST(TableTest, AppendValidatesArityAndTypes) {
+  Table table(Schema{{"id", "name"}, {ColumnType::kInt, ColumnType::kString}});
+  EXPECT_TRUE(table.Append({int64_t{1}, "alice"}).ok());
+  EXPECT_TRUE(table.Append({Value(), "bob"}).ok());  // NULL allowed.
+  EXPECT_FALSE(table.Append({int64_t{1}}).ok());     // Arity.
+  EXPECT_FALSE(table.Append({"x", "y"}).ok());       // Type.
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, DoubleColumnAcceptsInt) {
+  Table table(Schema{{"x"}, {ColumnType::kDouble}});
+  EXPECT_TRUE(table.Append({int64_t{3}}).ok());
+}
+
+// Helper tables for operator tests.
+Table People() {
+  Table table(Schema{{"id", "name", "age"},
+                     {ColumnType::kInt, ColumnType::kString, ColumnType::kInt}});
+  table.AppendUnchecked({int64_t{1}, "alice", int64_t{30}});
+  table.AppendUnchecked({int64_t{2}, "bob", int64_t{25}});
+  table.AppendUnchecked({int64_t{3}, "carol", int64_t{35}});
+  table.AppendUnchecked({int64_t{4}, "dave", int64_t{25}});
+  return table;
+}
+
+Table Cities() {
+  Table table(Schema{{"person_id", "city"}, {ColumnType::kInt, ColumnType::kString}});
+  table.AppendUnchecked({int64_t{1}, "oslo"});
+  table.AppendUnchecked({int64_t{2}, "berlin"});
+  table.AppendUnchecked({int64_t{2}, "paris"});
+  table.AppendUnchecked({int64_t{9}, "nowhere"});
+  return table;
+}
+
+// --------------------------------------------------------------- Operators.
+
+TEST(OperatorTest, ScanProducesAllRows) {
+  const Table people = People();
+  auto plan = Scan(&people);
+  const Table result = Materialize(*plan);
+  EXPECT_EQ(result.num_rows(), 4u);
+  EXPECT_EQ(result.schema().names, people.schema().names);
+}
+
+TEST(OperatorTest, FilterByPredicate) {
+  const Table people = People();
+  auto plan = Filter(Scan(&people), [](const Row& row) { return row[2].AsInt() < 30; });
+  const Table result = Materialize(*plan);
+  EXPECT_EQ(result.num_rows(), 2u);  // bob, dave.
+}
+
+TEST(OperatorTest, ProjectComputedColumn) {
+  const Table people = People();
+  auto plan = Project(Scan(&people),
+                      {{"name_upper", ColumnType::kString,
+                        [](const Row& row) { return Value(row[1].AsString() + "!"); }},
+                       {"age2", ColumnType::kInt,
+                        [](const Row& row) { return Value(row[2].AsInt() * 2); }}});
+  const Table result = Materialize(*plan);
+  EXPECT_EQ(result.schema().names, (std::vector<std::string>{"name_upper", "age2"}));
+  EXPECT_EQ(result.rows()[0][0].AsString(), "alice!");
+  EXPECT_EQ(result.rows()[0][1].AsInt(), 60);
+}
+
+TEST(OperatorTest, ProjectColumnsKeepsSubset) {
+  const Table people = People();
+  auto plan = ProjectColumns(Scan(&people), {2, 0});
+  const Table result = Materialize(*plan);
+  EXPECT_EQ(result.schema().names, (std::vector<std::string>{"age", "id"}));
+  EXPECT_EQ(result.rows()[1][0].AsInt(), 25);
+  EXPECT_EQ(result.rows()[1][1].AsInt(), 2);
+}
+
+TEST(OperatorTest, HashJoinInnerSemantics) {
+  const Table people = People();
+  const Table cities = Cities();
+  auto plan = HashJoin(Scan(&people), Scan(&cities), {0}, {0});
+  const Table result = Materialize(*plan);
+  // alice-oslo, bob-berlin, bob-paris; carol/dave/nowhere unmatched.
+  EXPECT_EQ(result.num_rows(), 3u);
+  EXPECT_EQ(result.schema().num_columns(), 5u);
+  for (const Row& row : result.rows()) {
+    EXPECT_TRUE(row[0] == row[3]);  // Join keys equal.
+  }
+}
+
+TEST(OperatorTest, HashJoinRenamesDuplicateColumns) {
+  const Table people = People();
+  auto plan = HashJoin(Scan(&people), Scan(&people), {0}, {0});
+  const Table result = Materialize(*plan);
+  EXPECT_EQ(result.num_rows(), 4u);  // Self-join on key.
+  EXPECT_GE(result.schema().ColumnIndex("id_r"), 0);
+  EXPECT_GE(result.schema().ColumnIndex("name_r"), 0);
+}
+
+TEST(OperatorTest, HashJoinMultiColumnKeys) {
+  Table left(Schema{{"a", "b"}, {ColumnType::kInt, ColumnType::kInt}});
+  left.AppendUnchecked({int64_t{1}, int64_t{2}});
+  left.AppendUnchecked({int64_t{1}, int64_t{3}});
+  Table right(Schema{{"x", "y", "z"},
+                     {ColumnType::kInt, ColumnType::kInt, ColumnType::kString}});
+  right.AppendUnchecked({int64_t{1}, int64_t{2}, "hit"});
+  right.AppendUnchecked({int64_t{1}, int64_t{9}, "miss"});
+  auto plan = HashJoin(Scan(&left), Scan(&right), {0, 1}, {0, 1});
+  const Table result = Materialize(*plan);
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][4].AsString(), "hit");
+}
+
+TEST(OperatorTest, GroupAggregateAllKinds) {
+  const Table people = People();
+  auto plan = GroupAggregate(Scan(&people), {2},  // By age.
+                             {{AggregateKind::kCount, -1, "n"},
+                              {AggregateKind::kSum, 0, "sum_id"},
+                              {AggregateKind::kMin, 0, "min_id"},
+                              {AggregateKind::kMax, 0, "max_id"},
+                              {AggregateKind::kAvg, 0, "avg_id"}});
+  const Table result = Materialize(*plan);
+  ASSERT_EQ(result.num_rows(), 3u);  // Ages 30, 25, 35 (first-seen order).
+  // Age 25 group: bob(2) and dave(4).
+  const Row& age25 = result.rows()[1];
+  EXPECT_EQ(age25[0].AsInt(), 25);
+  EXPECT_EQ(age25[1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(age25[2].AsDouble(), 6.0);
+  EXPECT_DOUBLE_EQ(age25[3].AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(age25[4].AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(age25[5].AsDouble(), 3.0);
+}
+
+TEST(OperatorTest, GlobalAggregateOnEmptyInput) {
+  Table empty(Schema{{"x"}, {ColumnType::kDouble}});
+  auto plan = GroupAggregate(Scan(&empty), {},
+                             {{AggregateKind::kCount, -1, "n"},
+                              {AggregateKind::kSum, 0, "s"}});
+  const Table result = Materialize(*plan);
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0].AsInt(), 0);
+  EXPECT_TRUE(result.rows()[0][1].is_null());  // SUM of nothing is NULL.
+}
+
+TEST(OperatorTest, SortAscendingAndDescending) {
+  const Table people = People();
+  auto ascending = Sort(Scan(&people), {2, 0});
+  const Table asc = Materialize(*ascending);
+  EXPECT_EQ(asc.rows()[0][0].AsInt(), 2);   // bob (25, id 2).
+  EXPECT_EQ(asc.rows()[1][0].AsInt(), 4);   // dave (25, id 4).
+  EXPECT_EQ(asc.rows()[3][0].AsInt(), 3);   // carol (35).
+  auto descending = Sort(Scan(&people), {2}, /*descending=*/true);
+  const Table desc = Materialize(*descending);
+  EXPECT_EQ(desc.rows()[0][0].AsInt(), 3);
+}
+
+TEST(OperatorTest, DistinctRemovesDuplicates) {
+  Table table(Schema{{"x"}, {ColumnType::kInt}});
+  for (const int64_t v : {1, 2, 1, 3, 2, 1}) table.AppendUnchecked({v});
+  auto plan = Distinct(Scan(&table));
+  const Table result = Materialize(*plan);
+  ASSERT_EQ(result.num_rows(), 3u);
+  EXPECT_EQ(result.rows()[0][0].AsInt(), 1);  // First occurrence order.
+  EXPECT_EQ(result.rows()[1][0].AsInt(), 2);
+  EXPECT_EQ(result.rows()[2][0].AsInt(), 3);
+}
+
+TEST(OperatorTest, LimitTruncates) {
+  const Table people = People();
+  auto plan = Limit(Scan(&people), 2);
+  EXPECT_EQ(Materialize(*plan).num_rows(), 2u);
+  auto zero = Limit(Scan(&people), 0);
+  EXPECT_EQ(Materialize(*zero).num_rows(), 0u);
+}
+
+TEST(OperatorTest, ComposedPipeline) {
+  // SELECT age, COUNT(*) FROM people WHERE id < 4 GROUP BY age
+  // ORDER BY age LIMIT 2.
+  const Table people = People();
+  auto plan = Limit(
+      Sort(GroupAggregate(
+               Filter(Scan(&people), [](const Row& row) { return row[0].AsInt() < 4; }),
+               {2}, {{AggregateKind::kCount, -1, "n"}}),
+           {0}),
+      2);
+  const Table result = Materialize(*plan);
+  ASSERT_EQ(result.num_rows(), 2u);
+  EXPECT_EQ(result.rows()[0][0].AsInt(), 25);
+  EXPECT_EQ(result.rows()[0][1].AsInt(), 1);  // Only bob (dave excluded).
+  EXPECT_EQ(result.rows()[1][0].AsInt(), 30);
+}
+
+TEST(OperatorTest, PlanIsRerunnable) {
+  const Table people = People();
+  auto plan = Filter(Scan(&people), [](const Row& row) { return row[2].AsInt() == 25; });
+  EXPECT_EQ(Materialize(*plan).num_rows(), 2u);
+  EXPECT_EQ(Materialize(*plan).num_rows(), 2u);  // Open resets state.
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,109 @@
+#include "text/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "text/edit_distance.h"
+
+namespace grouplink {
+namespace {
+
+TEST(NeedlemanWunschTest, IdenticalStringsScoreLength) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("abcd", "abcd"), 4.0);
+}
+
+TEST(NeedlemanWunschTest, EmptyAgainstNonEmptyIsAllGaps) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("", "abc"), -3.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("abc", ""), -3.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("", ""), 0.0);
+}
+
+TEST(NeedlemanWunschTest, KnownSmallCase) {
+  // "gattaca" vs "gcatgcu" classic example: optimal global score 0 under
+  // match=+1, mismatch=-1, gap=-1.
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("gattaca", "gcatgcu"), 0.0);
+}
+
+TEST(NeedlemanWunschTest, CustomScores) {
+  AlignmentScores scores;
+  scores.match = 2.0;
+  scores.mismatch = -3.0;
+  scores.gap = -2.0;
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("aa", "aa", scores), 4.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschScore("a", "b", scores), -3.0);
+}
+
+TEST(NeedlemanWunschTest, Symmetric) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0, n = 1 + rng.Uniform(8); i < n; ++i) {
+      a += static_cast<char>('a' + rng.Uniform(3));
+    }
+    for (size_t i = 0, n = 1 + rng.Uniform(8); i < n; ++i) {
+      b += static_cast<char>('a' + rng.Uniform(3));
+    }
+    EXPECT_DOUBLE_EQ(NeedlemanWunschScore(a, b), NeedlemanWunschScore(b, a));
+  }
+}
+
+TEST(NeedlemanWunschTest, UnitCostsDualToLevenshtein) {
+  // With match=0, mismatch=-1, gap=-1, NW = -Levenshtein.
+  AlignmentScores unit;
+  unit.match = 0.0;
+  unit.mismatch = -1.0;
+  unit.gap = -1.0;
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0, n = rng.Uniform(10); i < n; ++i) {
+      a += static_cast<char>('a' + rng.Uniform(4));
+    }
+    for (size_t i = 0, n = rng.Uniform(10); i < n; ++i) {
+      b += static_cast<char>('a' + rng.Uniform(4));
+    }
+    EXPECT_DOUBLE_EQ(NeedlemanWunschScore(a, b, unit),
+                     -static_cast<double>(LevenshteinDistance(a, b)));
+  }
+}
+
+TEST(SmithWatermanTest, FindsLocalMatch) {
+  // Shared substring "match" scores 5 regardless of surroundings.
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("xxmatchyy", "qqqmatchqq"), 5.0);
+}
+
+TEST(SmithWatermanTest, NeverNegative) {
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanScore("", "xyz"), 0.0);
+}
+
+TEST(SmithWatermanTest, AtLeastGlobalScore) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a;
+    std::string b;
+    for (size_t i = 0, n = 1 + rng.Uniform(10); i < n; ++i) {
+      a += static_cast<char>('a' + rng.Uniform(3));
+    }
+    for (size_t i = 0, n = 1 + rng.Uniform(10); i < n; ++i) {
+      b += static_cast<char>('a' + rng.Uniform(3));
+    }
+    EXPECT_GE(SmithWatermanScore(a, b), NeedlemanWunschScore(a, b));
+  }
+}
+
+TEST(AlignmentSimilarityTest, RangeAndAnchors) {
+  EXPECT_DOUBLE_EQ(AlignmentSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(AlignmentSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(AlignmentSimilarity("abc", "xyz"), 0.0);
+  const double s = AlignmentSimilarity("database", "databse");
+  EXPECT_GT(s, 0.6);
+  EXPECT_LT(s, 1.0);
+}
+
+}  // namespace
+}  // namespace grouplink

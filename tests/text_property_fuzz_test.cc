@@ -1,0 +1,133 @@
+// Randomized property tests over the string-similarity substrate: the
+// invariants here (metric axioms, bound agreements, output formats) must
+// hold for arbitrary inputs, not just the curated cases in the per-module
+// suites.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "text/edit_distance.h"
+#include "text/jaccard.h"
+#include "text/jaro.h"
+#include "text/soundex.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+namespace {
+
+std::string RandomWord(Rng& rng, size_t max_length, int alphabet = 6) {
+  std::string word;
+  const size_t length = rng.Uniform(max_length + 1);
+  for (size_t i = 0; i < length; ++i) {
+    word += static_cast<char>('a' + rng.Uniform(static_cast<uint64_t>(alphabet)));
+  }
+  return word;
+}
+
+TEST(LevenshteinPropertyTest, MetricAxioms) {
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = RandomWord(rng, 10);
+    const std::string b = RandomWord(rng, 10);
+    const std::string c = RandomWord(rng, 10);
+    const size_t ab = LevenshteinDistance(a, b);
+    const size_t ba = LevenshteinDistance(b, a);
+    const size_t ac = LevenshteinDistance(a, c);
+    const size_t cb = LevenshteinDistance(c, b);
+    EXPECT_EQ(ab, ba);                                     // Symmetry.
+    EXPECT_EQ(LevenshteinDistance(a, a), 0u);              // Identity.
+    EXPECT_LE(ab, ac + cb) << a << " " << b << " " << c;   // Triangle.
+    // Length-difference lower bound and max-length upper bound.
+    const size_t gap = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(ab, gap);
+    EXPECT_LE(ab, std::max(a.size(), b.size()));
+  }
+}
+
+TEST(BoundedLevenshteinPropertyTest, AgreesWithExactOnRandomStrings) {
+  Rng rng(72);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = RandomWord(rng, 12, 4);
+    const std::string b = RandomWord(rng, 12, 4);
+    const size_t exact = LevenshteinDistance(a, b);
+    const size_t bound = rng.Uniform(10);
+    const size_t bounded = BoundedLevenshteinDistance(a, b, bound);
+    if (exact <= bound) {
+      EXPECT_EQ(bounded, exact) << a << "/" << b << " bound " << bound;
+    } else {
+      EXPECT_GT(bounded, bound) << a << "/" << b << " bound " << bound;
+    }
+  }
+}
+
+TEST(DamerauPropertyTest, SandwichedByLevenshtein) {
+  // Lev/2 <= Damerau <= Lev (each transposition replaces two unit edits).
+  Rng rng(73);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = RandomWord(rng, 10, 3);
+    const std::string b = RandomWord(rng, 10, 3);
+    const size_t lev = LevenshteinDistance(a, b);
+    const size_t damerau = DamerauLevenshteinDistance(a, b);
+    EXPECT_LE(damerau, lev);
+    EXPECT_GE(2 * damerau, lev) << a << " " << b;
+  }
+}
+
+TEST(JaroWinklerPropertyTest, AlwaysAtLeastJaro) {
+  Rng rng(74);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = RandomWord(rng, 10);
+    const std::string b = RandomWord(rng, 10);
+    EXPECT_GE(JaroWinklerSimilarity(a, b) + 1e-12, JaroSimilarity(a, b))
+        << a << " " << b;
+  }
+}
+
+TEST(SoundexPropertyTest, OutputFormatOnRandomAlphaInput) {
+  Rng rng(75);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string word = RandomWord(rng, 12, 26);
+    const std::string code = Soundex(word);
+    if (word.empty()) {
+      EXPECT_TRUE(code.empty());
+      continue;
+    }
+    ASSERT_EQ(code.size(), 4u) << word;
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(code[0]))) << word;
+    for (size_t i = 1; i < 4; ++i) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(code[i]))) << word;
+    }
+    // Case-insensitive.
+    std::string upper = word;
+    for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    EXPECT_EQ(Soundex(upper), code);
+  }
+}
+
+TEST(SetSimilarityPropertyTest, OrderingsAmongMeasures) {
+  // Jaccard <= Dice <= Overlap for any pair of non-empty sets.
+  Rng rng(76);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    const size_t na = 1 + rng.Uniform(8);
+    const size_t nb = 1 + rng.Uniform(8);
+    for (size_t i = 0; i < na; ++i) a.push_back(RandomWord(rng, 3, 4));
+    for (size_t i = 0; i < nb; ++i) b.push_back(RandomWord(rng, 3, 4));
+    a = ToTokenSet(a);
+    b = ToTokenSet(b);
+    if (a.empty() || b.empty()) continue;
+    const double jaccard = JaccardSimilarity(a, b);
+    const double dice = DiceSimilarity(a, b);
+    const double overlap = OverlapSimilarity(a, b);
+    EXPECT_LE(jaccard, dice + 1e-12);
+    EXPECT_LE(dice, overlap + 1e-12);
+    EXPECT_GE(jaccard, 0.0);
+    EXPECT_LE(overlap, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,98 @@
+#include "text/record_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+using Fields = std::vector<std::string>;
+
+TEST(FieldSimilarityTest, ExactIsCaseInsensitive) {
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kExact, "ABC", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kExact, "abc", "abd"), 0.0);
+}
+
+TEST(FieldSimilarityTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kTokenJaccard, "a b", "b a"), 1.0);
+}
+
+TEST(FieldSimilarityTest, NumericAbsScalesDifference) {
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kNumericAbs, "10", "10", 5.0), 1.0);
+  EXPECT_NEAR(FieldSimilarity(FieldMeasure::kNumericAbs, "10", "12.5", 5.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kNumericAbs, "10", "100", 5.0), 0.0);
+}
+
+TEST(FieldSimilarityTest, NumericAbsUnparseableFallsBackToEquality) {
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kNumericAbs, "n/a", "n/a", 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(FieldSimilarity(FieldMeasure::kNumericAbs, "n/a", "5", 5.0), 0.0);
+}
+
+TEST(FieldSimilarityTest, AllMeasuresInRange) {
+  for (const FieldMeasure measure :
+       {FieldMeasure::kExact, FieldMeasure::kTokenJaccard, FieldMeasure::kQGramJaccard,
+        FieldMeasure::kLevenshtein, FieldMeasure::kJaroWinkler,
+        FieldMeasure::kMongeElkan}) {
+    const double s = FieldSimilarity(measure, "john smith", "jon smyth");
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+RecordSimilarity MakeNameYearSim() {
+  return RecordSimilarity({
+      {0, FieldMeasure::kJaroWinkler, 2.0, 1.0},
+      {1, FieldMeasure::kNumericAbs, 1.0, 10.0},
+  });
+}
+
+TEST(RecordSimilarityTest, IdenticalRecordsScoreOne) {
+  const RecordSimilarity sim = MakeNameYearSim();
+  EXPECT_NEAR(sim.Similarity({"john smith", "1990"}, {"john smith", "1990"}), 1.0,
+              1e-12);
+}
+
+TEST(RecordSimilarityTest, WeightsShiftScore) {
+  // Name agrees (weight 2), year disagrees completely (weight 1) -> 2/3.
+  const RecordSimilarity sim = MakeNameYearSim();
+  EXPECT_NEAR(sim.Similarity({"john smith", "1900"}, {"john smith", "2020"}),
+              2.0 / 3.0, 1e-9);
+}
+
+TEST(RecordSimilarityTest, BothMissingFieldSkipped) {
+  const RecordSimilarity sim = MakeNameYearSim();
+  // Year missing on both sides: renormalizes over the name only.
+  EXPECT_NEAR(sim.Similarity({"john smith", ""}, {"john smith", ""}), 1.0, 1e-12);
+}
+
+TEST(RecordSimilarityTest, OneSidedMissingIsDisagreement) {
+  const RecordSimilarity sim = MakeNameYearSim();
+  const double s = sim.Similarity({"john smith", "1990"}, {"john smith", ""});
+  EXPECT_NEAR(s, 2.0 / 3.0, 1e-9);
+}
+
+TEST(RecordSimilarityTest, ShortRecordsTreatedAsMissing) {
+  const RecordSimilarity sim = MakeNameYearSim();
+  EXPECT_NEAR(sim.Similarity({"john smith"}, {"john smith"}), 1.0, 1e-12);
+}
+
+TEST(RecordSimilarityTest, AllFieldsMissingScoresOne) {
+  const RecordSimilarity sim = MakeNameYearSim();
+  EXPECT_DOUBLE_EQ(sim.Similarity({"", ""}, {"", ""}), 1.0);
+}
+
+TEST(RecordSimilarityTest, ValidateRejectsBadSpecs) {
+  EXPECT_FALSE(RecordSimilarity({}).Validate().ok());
+  EXPECT_FALSE(
+      RecordSimilarity({{0, FieldMeasure::kExact, 0.0, 1.0}}).Validate().ok());
+  EXPECT_TRUE(MakeNameYearSim().Validate().ok());
+}
+
+TEST(RecordSimilarityTest, SymmetricOnMixedRecords) {
+  const RecordSimilarity sim = MakeNameYearSim();
+  const Fields a = {"maria gonzalez", "1984"};
+  const Fields b = {"m gonzales", "1985"};
+  EXPECT_NEAR(sim.Similarity(a, b), sim.Similarity(b, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace grouplink

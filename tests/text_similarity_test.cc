@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/edit_distance.h"
+#include "text/jaccard.h"
+#include "text/jaro.h"
+#include "text/monge_elkan.h"
+#include "text/soundex.h"
+
+namespace grouplink {
+namespace {
+
+using Set = std::vector<std::string>;
+
+// ---------------------------------------------------------------- Jaccard.
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"a"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(JaccardTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {"a"}), 0.0);
+}
+
+TEST(DiceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+}
+
+TEST(OverlapTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(OverlapSimilarity({"a", "b"}, {"a", "b", "c", "d"}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity({}, {"a"}), 0.0);
+}
+
+TEST(SortedIntersectionTest, Merge) {
+  EXPECT_EQ(SortedIntersectionSize({"a", "c", "e"}, {"b", "c", "d", "e"}), 2u);
+  EXPECT_EQ(SortedIntersectionSize({}, {"a"}), 0u);
+}
+
+TEST(TokenJaccardTest, NormalizesText) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("The Quick Fox", "quick fox the"), 1.0);
+  EXPECT_GT(TokenJaccard("query optimization", "query processing"), 0.0);
+}
+
+TEST(QGramJaccardTest, SimilarStringsScoreHigh) {
+  EXPECT_GT(QGramJaccard("jonathan", "johnathan"), 0.5);
+  EXPECT_LT(QGramJaccard("jonathan", "elizabeth"), 0.2);
+  EXPECT_DOUBLE_EQ(QGramJaccard("same", "same"), 1.0);
+}
+
+// ---------------------------------------------------------- Edit distance.
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("abcdef", "azced"),
+            LevenshteinDistance("azced", "abcdef"));
+}
+
+TEST(BoundedLevenshteinTest, AgreesWithExactWithinBound) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"kitten", "sitting"}, {"abc", "abc"},     {"", "xyz"},
+      {"database", "databse"}, {"aaaa", "bbbb"}, {"linkage", "language"},
+  };
+  for (const auto& [a, b] : cases) {
+    const size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound = 0; bound <= 8; ++bound) {
+      const size_t bounded = BoundedLevenshteinDistance(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(bounded, bound) << a << " vs " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(BoundedLevenshteinTest, LengthGapShortCircuits) {
+  EXPECT_GT(BoundedLevenshteinDistance("a", "abcdefgh", 3), 3u);
+}
+
+TEST(DamerauTest, TranspositionCountsOnce) {
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u);
+  EXPECT_EQ(DamerauLevenshteinDistance("abcdef", "abcdfe"), 1u);
+}
+
+TEST(DamerauTest, NeverExceedsLevenshtein) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a;
+    std::string b;
+    for (int i = 0; i < 8; ++i) {
+      a += static_cast<char>('a' + rng.Uniform(4));
+      b += static_cast<char>('a' + rng.Uniform(4));
+    }
+    EXPECT_LE(DamerauLevenshteinDistance(a, b), LevenshteinDistance(a, b));
+  }
+}
+
+TEST(LevenshteinSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0, 1e-12);
+}
+
+// -------------------------------------------------------------------- Jaro.
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444444, 1e-6);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7666667, 1e-6);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroWinklerTest, KnownValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611111, 1e-6);
+  EXPECT_NEAR(JaroWinklerSimilarity("dwayne", "duane"), 0.84, 1e-2);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  const double jaro = JaroSimilarity("prefixed", "prefixes");
+  const double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, jaro);
+}
+
+TEST(JaroWinklerTest, NeverExceedsOne) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a;
+    std::string b;
+    const size_t la = 1 + rng.Uniform(10);
+    const size_t lb = 1 + rng.Uniform(10);
+    for (size_t i = 0; i < la; ++i) a += static_cast<char>('a' + rng.Uniform(5));
+    for (size_t i = 0; i < lb; ++i) b += static_cast<char>('a' + rng.Uniform(5));
+    const double s = JaroWinklerSimilarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_NEAR(s, JaroWinklerSimilarity(b, a), 1e-12);  // Symmetry.
+  }
+}
+
+// ------------------------------------------------------------- Monge-Elkan.
+
+TEST(MongeElkanTest, IdenticalTokenSets) {
+  const auto inner = [](std::string_view x, std::string_view y) {
+    return x == y ? 1.0 : 0.0;
+  };
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"a", "b"}, {"b", "a"}, inner), 1.0);
+}
+
+TEST(MongeElkanTest, EmptyConventions) {
+  const auto inner = [](std::string_view, std::string_view) { return 1.0; };
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}, inner), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"a"}, {}, inner), 0.0);
+}
+
+TEST(MongeElkanTest, DirectedAsymmetry) {
+  const auto inner = [](std::string_view x, std::string_view y) {
+    return x == y ? 1.0 : 0.0;
+  };
+  // Every token of {a} matches into {a,b}; only half of {a,b} matches {a}.
+  EXPECT_DOUBLE_EQ(MongeElkanDirected({"a"}, {"a", "b"}, inner), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanDirected({"a", "b"}, {"a"}, inner), 0.5);
+}
+
+TEST(MongeElkanJaroWinklerTest, NameVariants) {
+  EXPECT_GT(MongeElkanJaroWinkler("jeffrey d ullman", "ullman jeffrey"), 0.8);
+  EXPECT_LT(MongeElkanJaroWinkler("jeffrey ullman", "maria rodriguez"), 0.6);
+}
+
+// ----------------------------------------------------------------- Soundex.
+
+TEST(SoundexTest, ClassicExamples) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // H is transparent.
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseInsensitive) { EXPECT_EQ(Soundex("robert"), Soundex("ROBERT")); }
+
+TEST(SoundexTest, NoLettersYieldsEmpty) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+}
+
+TEST(SoundexTest, ShortNamesPadded) { EXPECT_EQ(Soundex("Lee"), "L000"); }
+
+// ------------------------------------------- Cross-measure property sweep.
+
+struct SimilarityCase {
+  const char* a;
+  const char* b;
+};
+
+class MetricPropertyTest : public ::testing::TestWithParam<SimilarityCase> {};
+
+TEST_P(MetricPropertyTest, RangeSymmetryIdentity) {
+  const auto& [a, b] = GetParam();
+  const std::vector<double> scores = {
+      TokenJaccard(a, b),     QGramJaccard(a, b),
+      LevenshteinSimilarity(a, b), JaroSimilarity(a, b),
+      JaroWinklerSimilarity(a, b), MongeElkanJaroWinkler(a, b),
+  };
+  const std::vector<double> reversed = {
+      TokenJaccard(b, a),     QGramJaccard(b, a),
+      LevenshteinSimilarity(b, a), JaroSimilarity(b, a),
+      JaroWinklerSimilarity(b, a), MongeElkanJaroWinkler(b, a),
+  };
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i], 0.0) << i;
+    EXPECT_LE(scores[i], 1.0 + 1e-12) << i;
+    EXPECT_NEAR(scores[i], reversed[i], 1e-12) << i;
+  }
+  // Identity: every measure scores a string against itself as 1.
+  const std::vector<double> self = {
+      TokenJaccard(a, a),     QGramJaccard(a, a),
+      LevenshteinSimilarity(a, a), JaroSimilarity(a, a),
+      JaroWinklerSimilarity(a, a), MongeElkanJaroWinkler(a, a),
+  };
+  for (size_t i = 0; i < self.size(); ++i) EXPECT_DOUBLE_EQ(self[i], 1.0) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MetricPropertyTest,
+    ::testing::Values(SimilarityCase{"query optimization in databases",
+                                     "database query optimisation"},
+                      SimilarityCase{"jeffrey ullman", "j d ullman"},
+                      SimilarityCase{"abc", "xyz"}, SimilarityCase{"a", "a"},
+                      SimilarityCase{"", "nonempty"},
+                      SimilarityCase{"the same string", "the same string"}));
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,118 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace grouplink {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(TokenizeTest, DefaultSplitsOnPunctuationAndLowercases) {
+  EXPECT_EQ(Tokenize("Dr. J. Ullman"), (Tokens{"dr", "j", "ullman"}));
+  EXPECT_EQ(Tokenize("data-base systems!"), (Tokens{"data", "base", "systems"}));
+}
+
+TEST(TokenizeTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n ").empty());
+  EXPECT_TRUE(Tokenize("...!!!").empty());
+}
+
+TEST(TokenizeTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("vldb 1998"), (Tokens{"vldb", "1998"}));
+}
+
+TEST(TokenizeTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Tokenize("Ab Cd", options), (Tokens{"Ab", "Cd"}));
+}
+
+TEST(TokenizeTest, WhitespaceOnlySplitting) {
+  TokenizerOptions options;
+  options.split_on_punctuation = false;
+  EXPECT_EQ(Tokenize("a-b c", options), (Tokens{"a-b", "c"}));
+}
+
+TEST(TokenizeTest, MinTokenLengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 2;
+  EXPECT_EQ(Tokenize("a bc d ef", options), (Tokens{"bc", "ef"}));
+}
+
+TEST(QGramTest, BasicTrigrams) {
+  EXPECT_EQ(CharacterQGrams("abcd", 3, /*lowercase=*/true),
+            (Tokens{"abc", "bcd"}));
+}
+
+TEST(QGramTest, PaddingExtendsEnds) {
+  EXPECT_EQ(CharacterQGrams("ab", 3, /*lowercase=*/true, '#'),
+            (Tokens{"##a", "#ab", "ab#", "b##"}));
+}
+
+TEST(QGramTest, ShortInputWithoutPadding) {
+  EXPECT_EQ(CharacterQGrams("ab", 3, /*lowercase=*/true), (Tokens{"ab"}));
+}
+
+TEST(QGramTest, EmptyInput) {
+  EXPECT_TRUE(CharacterQGrams("", 3).empty());
+  EXPECT_TRUE(CharacterQGrams("", 3, true, '#').empty());
+}
+
+TEST(QGramTest, LowercaseApplied) {
+  EXPECT_EQ(CharacterQGrams("AbC", 2, /*lowercase=*/true), (Tokens{"ab", "bc"}));
+  EXPECT_EQ(CharacterQGrams("AbC", 2, /*lowercase=*/false), (Tokens{"Ab", "bC"}));
+}
+
+TEST(QGramTest, ZeroQYieldsNothing) { EXPECT_TRUE(CharacterQGrams("abc", 0).empty()); }
+
+TEST(ToTokenSetTest, SortsAndDeduplicates) {
+  EXPECT_EQ(ToTokenSet({"b", "a", "b", "c", "a"}), (Tokens{"a", "b", "c"}));
+  EXPECT_TRUE(ToTokenSet({}).empty());
+}
+
+// Property sweep: tokenization then joining never produces separators.
+class TokenizeSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizeSweepTest, TokensContainNoSeparators) {
+  for (const std::string& token : Tokenize(GetParam())) {
+    EXPECT_FALSE(token.empty());
+    for (const char c : token) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c))) << token;
+      EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c))) << token;
+    }
+  }
+}
+
+TEST(TokenizeFuzzTest, ArbitraryBytesProduceWellFormedTokens) {
+  // Any byte soup tokenizes without crashing, and every token obeys the
+  // tokenizer contract (non-empty, alnum-only, lowercase).
+  uint64_t state = 0x1234;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<char>((state >> 33) & 0xff);
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage;
+    for (int i = 0; i < 80; ++i) garbage += next();
+    for (const std::string& token : Tokenize(garbage)) {
+      ASSERT_FALSE(token.empty());
+      for (const char c : token) {
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+        EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+      }
+    }
+    // Q-grams over garbage are also well-formed (correct width).
+    for (const std::string& gram : CharacterQGrams(garbage, 3, true, '#')) {
+      EXPECT_LE(gram.size(), 3u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TokenizeSweepTest,
+                         ::testing::Values("Hello, World!", "a--b..c", "UPPER lower",
+                                           "123 mixed-45", "", "trailing...",
+                                           "  spaces   everywhere  "));
+
+}  // namespace
+}  // namespace grouplink
