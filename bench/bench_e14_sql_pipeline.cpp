@@ -17,6 +17,7 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/linkage_engine.h"
 #include "eval/table.h"
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 60, "author entities");
   flags.AddInt64("min-overlap", 2, "token overlap for the SQL candidate join");
+  flags.AddInt64("threads", static_cast<int64_t>(DefaultThreadCount()),
+                 "worker threads for the native edge join");
   GL_CHECK(flags.Parse(argc, argv).ok());
 
   const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
   LinkageConfig native_config = config;
   native_config.use_edge_join = true;
   native_config.join_jaccard = 0.2;
+  native_config.num_threads =
+      static_cast<int32_t>(std::max<int64_t>(1, flags.GetInt64("threads")));
   LinkageEngine native(&dataset, native_config);
   GL_CHECK(native.Prepare().ok());
   const LinkageResult native_result = native.Run();

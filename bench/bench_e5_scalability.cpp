@@ -9,13 +9,21 @@
 //                 Hungarian only on the residue
 // The brute strategy is skipped above --brute-cap groups (quadratic blowup,
 // exactly the paper's motivation).
+//
+// The edge-join strategy is additionally run at every thread count in
+// --thread-sweep; linked pairs and edge/bucket counters are asserted
+// bit-identical across all settings, and every timing is appended to
+// --json (BENCH_e5.json) so later changes can track the perf trajectory.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/linkage_engine.h"
 #include "eval/table.h"
@@ -26,27 +34,63 @@ using namespace grouplink;
 
 struct RunOutcome {
   double seconds = 0.0;
-  size_t links = 0;
-  size_t refined = 0;
+  std::vector<std::pair<int32_t, int32_t>> links;
+  EdgeJoinStats edge_join_stats;
 };
 
 RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool bounds,
-                   bool edge_join = false) {
+                   bool edge_join, int64_t threads) {
   LinkageConfig config;
   config.theta = bench::kTheta;
   config.group_threshold = bench::kGroupThreshold;
   config.candidates = candidates;
   config.use_filter_refine = bounds;
   config.use_edge_join = edge_join;
+  config.num_threads = static_cast<int32_t>(threads);
   WallTimer timer;
   const auto result = RunGroupLinkage(dataset, config);
   GL_CHECK(result.ok());
   RunOutcome outcome;
   outcome.seconds = timer.ElapsedSeconds();
-  outcome.links = result->linked_pairs.size();
-  outcome.refined =
-      edge_join ? result->edge_join_stats.refined : result->score_stats.refined;
+  outcome.links = result->linked_pairs;
+  outcome.edge_join_stats = result->edge_join_stats;
   return outcome;
+}
+
+// One row of the JSON baseline.
+struct JsonRun {
+  int32_t groups;
+  int32_t records;
+  std::string strategy;
+  int64_t threads;
+  double seconds;
+  size_t links;
+};
+
+void WriteJson(const std::string& path, const std::vector<JsonRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "W: cannot open %s for writing, skipping JSON\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"e5_scalability\",\n");
+  std::fprintf(f, "  \"theta\": %.2f,\n  \"group_threshold\": %.2f,\n",
+               bench::kTheta, bench::kGroupThreshold);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n  \"runs\": [\n",
+               DefaultThreadCount());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const JsonRun& r = runs[i];
+    std::fprintf(f,
+                 "    {\"groups\": %d, \"records\": %d, \"strategy\": \"%s\", "
+                 "\"threads\": %lld, \"seconds\": %.4f, \"links\": %zu}%s\n",
+                 r.groups, r.records, r.strategy.c_str(),
+                 static_cast<long long>(r.threads), r.seconds, r.links,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nBaseline written to %s (%zu runs).\n", path.c_str(), runs.size());
 }
 
 }  // namespace
@@ -55,43 +99,100 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("brute-cap", 700, "skip the brute-force strategy above this many groups");
   flags.AddString("sizes", "60,125,250,500", "comma-separated entity counts");
+  flags.AddInt64("threads", static_cast<int64_t>(DefaultThreadCount()),
+                 "worker threads for the per-pair strategy");
+  flags.AddString("thread-sweep", "1,2,4,8",
+                  "comma-separated thread counts for the edge-join sweep");
+  flags.AddString("json", "BENCH_e5.json", "perf-baseline output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int64_t brute_cap = flags.GetInt64("brute-cap");
+  const int64_t threads = std::max<int64_t>(1, flags.GetInt64("threads"));
 
-  std::printf("E5: wall time vs number of groups (theta=%.2f, Theta=%.2f)\n\n",
-              bench::kTheta, bench::kGroupThreshold);
+  std::vector<int64_t> thread_sweep;
+  for (const std::string& t : Split(flags.GetString("thread-sweep"), ',')) {
+    const auto parsed = ParseInt64(t);
+    GL_CHECK(parsed.ok()) << t;
+    thread_sweep.push_back(std::max<int64_t>(1, *parsed));
+  }
+  GL_CHECK(!thread_sweep.empty());
 
-  TextTable table({"groups", "records", "brute (s)", "per-pair+bounds (s)",
-                   "edge-join (s)", "speedup", "links"});
+  std::printf(
+      "E5: wall time vs number of groups (theta=%.2f, Theta=%.2f, "
+      "%zu hardware threads)\n\n",
+      bench::kTheta, bench::kGroupThreshold, DefaultThreadCount());
+
+  std::vector<std::string> header = {"groups", "records", "brute (s)",
+                                     "per-pair+bounds (s)"};
+  for (const int64_t t : thread_sweep) {
+    header.push_back("edge-join " + std::to_string(t) + "t (s)");
+  }
+  header.push_back("speedup");
+  header.push_back("links");
+  TextTable table(header);
+
+  std::vector<JsonRun> json_runs;
   for (const std::string& size_text : Split(flags.GetString("sizes"), ',')) {
     const auto entities = ParseInt64(size_text);
     GL_CHECK(entities.ok()) << size_text;
     const Dataset dataset = GenerateBibliographic(
         bench::HardBibliographic(static_cast<int32_t>(*entities), 0.25));
+    const int32_t groups = dataset.num_groups();
+    const int32_t records = dataset.num_records();
 
-    const RunOutcome edge_join =
-        TimeRun(dataset, CandidateMethod::kRecordJoin, true, /*edge_join=*/true);
-    const RunOutcome bounded = TimeRun(dataset, CandidateMethod::kRecordJoin, true);
-    GL_CHECK_EQ(edge_join.links, bounded.links);
+    // Edge join at every thread count; output must be bit-identical.
+    std::vector<RunOutcome> edge_runs;
+    for (const int64_t t : thread_sweep) {
+      edge_runs.push_back(
+          TimeRun(dataset, CandidateMethod::kRecordJoin, true, /*edge_join=*/true, t));
+      const RunOutcome& run = edge_runs.back();
+      const RunOutcome& first = edge_runs.front();
+      GL_CHECK(run.links == first.links)
+          << "edge-join links diverge at " << t << " threads";
+      GL_CHECK_EQ(run.edge_join_stats.edges, first.edge_join_stats.edges);
+      GL_CHECK_EQ(run.edge_join_stats.group_pairs, first.edge_join_stats.group_pairs);
+      GL_CHECK_EQ(run.edge_join_stats.record_candidates,
+                  first.edge_join_stats.record_candidates);
+      json_runs.push_back({groups, records, "edge-join", t, run.seconds,
+                           run.links.size()});
+    }
+
+    const RunOutcome bounded =
+        TimeRun(dataset, CandidateMethod::kRecordJoin, true, /*edge_join=*/false,
+                threads);
+    GL_CHECK(edge_runs.front().links == bounded.links);
+    json_runs.push_back({groups, records, "per-pair+bounds", threads,
+                         bounded.seconds, bounded.links.size()});
 
     std::string brute_cell = "-";
     double reference_seconds = bounded.seconds;
-    if (dataset.num_groups() <= brute_cap) {
-      const RunOutcome brute = TimeRun(dataset, CandidateMethod::kAllPairs, false);
-      GL_CHECK_EQ(brute.links, bounded.links);
+    if (groups <= brute_cap) {
+      const RunOutcome brute =
+          TimeRun(dataset, CandidateMethod::kAllPairs, false, /*edge_join=*/false, 1);
+      GL_CHECK(brute.links == bounded.links);
       brute_cell = FormatDouble(brute.seconds, 2);
       reference_seconds = brute.seconds;
+      json_runs.push_back({groups, records, "brute", 1, brute.seconds,
+                           brute.links.size()});
     }
-    table.AddRow({std::to_string(dataset.num_groups()),
-                  std::to_string(dataset.num_records()), brute_cell,
-                  FormatDouble(bounded.seconds, 2),
-                  FormatDouble(edge_join.seconds, 2),
-                  FormatDouble(reference_seconds / edge_join.seconds, 1) + "x",
-                  std::to_string(edge_join.links)});
+
+    double best_edge_seconds = edge_runs.front().seconds;
+    std::vector<std::string> row = {std::to_string(groups), std::to_string(records),
+                                    brute_cell, FormatDouble(bounded.seconds, 2)};
+    for (const RunOutcome& run : edge_runs) {
+      row.push_back(FormatDouble(run.seconds, 2));
+      best_edge_seconds = std::min(best_edge_seconds, run.seconds);
+    }
+    row.push_back(FormatDouble(reference_seconds / best_edge_seconds, 1) + "x");
+    row.push_back(std::to_string(edge_runs.front().links.size()));
+    table.AddRow(row);
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(
-      "\nAll strategies returned identical link sets on every size "
-      "(checked).\n");
+      "\nAll strategies returned identical link sets on every size, and the "
+      "edge join's links, edges, and buckets were bit-identical at every "
+      "thread count (checked).\n");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) WriteJson(json_path, json_runs);
   return 0;
 }

@@ -4,10 +4,15 @@
 # EXPERIMENTS.md is written from.
 #
 #   scripts/run_experiments.sh [build-dir]
+#
+# THREADS controls the worker-thread count passed to the benches that
+# accept --threads (E5, E14); defaults to the machine's hardware
+# concurrency.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+THREADS="${THREADS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 
 cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
@@ -16,7 +21,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 
 for bench in "$BUILD_DIR"/bench/*; do
   [ -x "$bench" ] || continue
-  echo "===== $bench"
-  "$bench"
+  args=()
+  case "$(basename "$bench")" in
+    bench_e5_scalability|bench_e14_sql_pipeline)
+      args=(--threads "$THREADS")
+      ;;
+  esac
+  echo "===== $bench ${args[*]}"
+  "$bench" "${args[@]}"
   echo
 done 2>&1 | tee bench_output.txt

@@ -80,4 +80,9 @@ void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& 
   pool->Wait();
 }
 
+size_t DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
 }  // namespace grouplink

@@ -52,6 +52,10 @@ class ThreadPool {
 /// parallel and serial paths identically.
 void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
 
+/// The hardware thread count, never less than 1 (hardware_concurrency
+/// may report 0 on exotic platforms). Default for `--threads` flags.
+size_t DefaultThreadCount();
+
 }  // namespace grouplink
 
 #endif  // GROUPLINK_COMMON_THREAD_POOL_H_

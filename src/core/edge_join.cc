@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -16,12 +17,35 @@ struct Edge {
   double weight;
 };
 
+// A verified cross-group edge tagged with its (oriented) bucket key.
+struct BucketedEdge {
+  int32_t group_left;
+  int32_t group_right;
+  Edge edge;
+};
+
+// Join-stage output of one shard of probe documents. Each shard is
+// written by exactly one worker; no synchronization needed.
+struct ShardOutput {
+  size_t candidates = 0;
+  std::vector<BucketedEdge> edges;
+};
+
+// Outcome category of one bucket (mirrors filter_refine.cc).
+enum class Decision : uint8_t {
+  kPrunedByUpperBound,
+  kAcceptedByLowerBound,
+  kRefinedLink,
+  kRefinedNoLink,
+};
+
 }  // namespace
 
 std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
-    const RecordSimFn& sim, const EdgeJoinConfig& config, EdgeJoinStats* stats) {
+    const RecordSimFn& sim, const EdgeJoinConfig& config, EdgeJoinStats* stats,
+    ThreadPool* pool) {
   GL_CHECK_GT(config.theta, 0.0);
   GL_CHECK_EQ(record_tokens.size(), dataset.records.size());
   GL_CHECK_EQ(record_group.size(), dataset.records.size());
@@ -29,6 +53,14 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   EdgeJoinStats local_stats;
   EdgeJoinStats& s = stats != nullptr ? *stats : local_stats;
   s = EdgeJoinStats();
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && config.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(static_cast<size_t>(config.num_threads));
+    pool = owned_pool.get();
+  }
+  const size_t threads = pool != nullptr ? pool->num_threads() : 1;
+  s.threads_used = static_cast<int32_t>(threads);
 
   // Position of each record within its group (graph node index).
   std::vector<int32_t> local_pos(dataset.records.size(), 0);
@@ -38,64 +70,114 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     }
   }
 
-  // Stream candidates out of the prefix-filter join, verifying each with
-  // `sim` inline and bucketing surviving cross-group edges by group pair.
-  // std::map keeps group pairs in deterministic order.
+  // Stage 1+2 (join + verify): shard probe documents across the pool; each
+  // worker verifies its candidates with `sim` inline (the fn must be
+  // thread-safe — the engine's TF-IDF cosine is a pure read) and appends
+  // surviving cross-group edges to its shard's buffer. A few shards per
+  // worker absorb the skew of later probes seeing more candidates.
   WallTimer timer;
-  std::map<std::pair<int32_t, int32_t>, std::vector<Edge>> buckets;
-  PrefixFilterSelfJoinStreaming(
-      record_tokens, num_tokens, config.join_jaccard,
-      [&](int32_t r1, int32_t r2) {
-        ++s.record_candidates;
+  const size_t num_shards =
+      threads <= 1 ? 1
+                   : std::min(std::max<size_t>(record_tokens.size(), 1), threads * 4);
+  std::vector<ShardOutput> shard_outputs(num_shards);
+  PrefixFilterSelfJoinSharded(
+      record_tokens, num_tokens, config.join_jaccard, threads > 1 ? pool : nullptr,
+      num_shards, [&](size_t shard, int32_t r1, int32_t r2) {
+        ShardOutput& out = shard_outputs[shard];
+        ++out.candidates;
         const int32_t g1 = record_group[static_cast<size_t>(r1)];
         const int32_t g2 = record_group[static_cast<size_t>(r2)];
         if (g1 == g2) return;
         const double weight = sim(r1, r2);
         if (weight < config.theta) return;
-        ++s.edges;
         // Orient the bucket key as (min group, max group); the edge
         // endpoints follow the same orientation.
         const bool in_order = g1 < g2;
         const int32_t left_record = in_order ? r1 : r2;
         const int32_t right_record = in_order ? r2 : r1;
-        buckets[{std::min(g1, g2), std::max(g1, g2)}].push_back(
-            {local_pos[static_cast<size_t>(left_record)],
-             local_pos[static_cast<size_t>(right_record)], weight});
+        out.edges.push_back({std::min(g1, g2), std::max(g1, g2),
+                             {local_pos[static_cast<size_t>(left_record)],
+                              local_pos[static_cast<size_t>(right_record)], weight}});
       });
   s.seconds_join = timer.ElapsedSeconds();
-  s.seconds_verify = 0.0;  // Folded into the streaming join.
-  s.group_pairs = buckets.size();
+  s.seconds_verify = 0.0;  // Folded into the streaming join workers.
 
+  // Deterministic merge: shards cover ascending contiguous probe ranges
+  // and stream candidates in serial order within each range, so
+  // concatenating buffers in shard index order reproduces the serial
+  // emission order exactly — independent of thread count and scheduling.
+  // std::map keeps group pairs in deterministic order.
   timer.Reset();
-  std::vector<std::pair<int32_t, int32_t>> linked;
+  std::map<std::pair<int32_t, int32_t>, std::vector<Edge>> buckets;
+  for (const ShardOutput& out : shard_outputs) {
+    s.record_candidates += out.candidates;
+    s.edges += out.edges.size();
+    for (const BucketedEdge& bucketed : out.edges) {
+      buckets[{bucketed.group_left, bucketed.group_right}].push_back(bucketed.edge);
+    }
+  }
+  s.group_pairs = buckets.size();
+  s.seconds_bucket = timer.ElapsedSeconds();
+
+  // Stage 3 (score): buckets are independent, so score them in parallel
+  // into preallocated decision slots and aggregate serially in bucket
+  // order (mirrors filter_refine.cc).
+  timer.Reset();
+  struct BucketRef {
+    std::pair<int32_t, int32_t> groups;
+    const std::vector<Edge>* edges;
+  };
+  std::vector<BucketRef> bucket_refs;
+  bucket_refs.reserve(buckets.size());
   for (const auto& [group_pair, edges] : buckets) {
-    const auto& [g1, g2] = group_pair;
+    bucket_refs.push_back({group_pair, &edges});
+  }
+
+  std::vector<Decision> decisions(bucket_refs.size());
+  ParallelFor(pool, bucket_refs.size(), [&](size_t i) {
+    const auto& [g1, g2] = bucket_refs[i].groups;
     const int32_t size_left = dataset.GroupSize(g1);
     const int32_t size_right = dataset.GroupSize(g2);
     BipartiteGraph graph(size_left, size_right);
-    for (const Edge& edge : edges) {
+    for (const Edge& edge : *bucket_refs[i].edges) {
       graph.AddEdge(edge.left_pos, edge.right_pos, edge.weight);
     }
-
-    bool decided = false;
-    bool link = false;
     if (config.use_upper_bound_filter &&
         UpperBoundMeasure(graph, size_left, size_right) < config.group_threshold) {
-      ++s.pruned_by_upper_bound;
-      decided = true;
+      decisions[i] = Decision::kPrunedByUpperBound;
+      return;
     }
-    if (!decided && config.use_lower_bound_accept &&
+    if (config.use_lower_bound_accept &&
         GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold) {
-      ++s.accepted_by_lower_bound;
-      decided = true;
-      link = true;
+      decisions[i] = Decision::kAcceptedByLowerBound;
+      return;
     }
-    if (!decided) {
-      ++s.refined;
-      link = BmMeasure(graph, size_left, size_right).value >= config.group_threshold;
+    decisions[i] = BmMeasure(graph, size_left, size_right).value >= config.group_threshold
+                       ? Decision::kRefinedLink
+                       : Decision::kRefinedNoLink;
+  });
+
+  std::vector<std::pair<int32_t, int32_t>> linked;
+  for (size_t i = 0; i < bucket_refs.size(); ++i) {
+    bool link = false;
+    switch (decisions[i]) {
+      case Decision::kPrunedByUpperBound:
+        ++s.pruned_by_upper_bound;
+        break;
+      case Decision::kAcceptedByLowerBound:
+        ++s.accepted_by_lower_bound;
+        link = true;
+        break;
+      case Decision::kRefinedLink:
+        ++s.refined;
+        link = true;
+        break;
+      case Decision::kRefinedNoLink:
+        ++s.refined;
+        break;
     }
     if (link) {
-      linked.push_back(group_pair);
+      linked.push_back(bucket_refs[i].groups);
       ++s.linked;
     }
   }

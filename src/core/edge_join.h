@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/group_measures.h"
 
 namespace grouplink {
@@ -22,6 +23,12 @@ struct EdgeJoinConfig {
   /// Bound switches (as in FilterRefineConfig).
   bool use_upper_bound_filter = true;
   bool use_lower_bound_accept = true;
+  /// Worker threads (1 = serial). With more than one thread the join
+  /// shards probe documents across a pool, workers verify candidates
+  /// inline into per-shard buffers, and buckets are scored in parallel.
+  /// Output is bit-identical for every setting (see EdgeJoinLink).
+  /// Ignored when a non-null pool is passed to EdgeJoinLink.
+  int32_t num_threads = 1;
 };
 
 /// Counters of one EdgeJoinLink run.
@@ -36,9 +43,15 @@ struct EdgeJoinStats {
   size_t accepted_by_lower_bound = 0;
   size_t refined = 0;
   size_t linked = 0;
+  /// Per-stage wall times. Verification runs inline inside the join
+  /// workers (seconds_verify stays 0; it is folded into seconds_join);
+  /// seconds_bucket covers the deterministic shard merge + bucketing.
   double seconds_join = 0.0;
   double seconds_verify = 0.0;
+  double seconds_bucket = 0.0;
   double seconds_score = 0.0;
+  /// Worker threads the run actually used (pool size, or 1).
+  int32_t threads_used = 1;
 };
 
 /// The scalable evaluation strategy of the paper, built on a global
@@ -57,6 +70,17 @@ struct EdgeJoinStats {
 /// Total record-similarity evaluations: O(join candidates), instead of
 /// O(Σ |g1|·|g2|) over candidate group pairs for the per-pair pipeline.
 ///
+/// Parallel execution: with `pool` non-null (or config.num_threads > 1,
+/// in which case an internal pool is created), stage 1+2 shard probe
+/// documents into contiguous ranges, each worker verifying candidates
+/// inline against the (thread-safe) `sim` into a per-shard edge buffer;
+/// buffers are merged in shard order — which reproduces the serial
+/// emission order exactly — before bucketing, and stage 3 scores buckets
+/// with ParallelFor into preallocated decision slots. Every output
+/// (linked pairs, edges, buckets, stats counters) is therefore
+/// bit-identical across thread counts and scheduling orders; the
+/// invariant is covered by unit tests and benchmark E5.
+///
 /// Caveat (documented approximation): an edge whose token Jaccard falls
 /// below `join_jaccard` is invisible to the join even if sim >= θ, so the
 /// result can differ from exhaustive evaluation when the join threshold
@@ -69,7 +93,7 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
     const RecordSimFn& sim, const EdgeJoinConfig& config,
-    EdgeJoinStats* stats = nullptr);
+    EdgeJoinStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace grouplink
 

@@ -59,16 +59,25 @@ Status LinkageEngine::Prepare() {
     return Tokenize(text);
   };
 
+  // Tokenization is independent per record; keep the raw token lists so
+  // the vectorize pass below doesn't re-tokenize.
   const size_t n = dataset_->records.size();
+  std::vector<std::vector<std::string>> raw_tokens(n);
   std::vector<std::vector<std::string>> token_sets(n);
+  ParallelFor(pool(), n, [&](size_t r) {
+    raw_tokens[r] = tokenize(dataset_->records[r].text);
+    token_sets[r] = ToTokenSet(raw_tokens[r]);
+  });
+  // Vocabulary ids depend on first-seen order, so the build stays a
+  // serial pass in record order — the id space (and hence every
+  // downstream join and vector) is identical to the single-thread run.
   for (size_t r = 0; r < n; ++r) {
-    token_sets[r] = ToTokenSet(tokenize(dataset_->records[r].text));
     vocabulary_.AddDocument(token_sets[r]);
   }
   record_token_ids_.resize(n);
   record_vectors_.resize(n);
   const TfIdfVectorizer vectorizer(&vocabulary_);
-  for (size_t r = 0; r < n; ++r) {
+  ParallelFor(pool(), n, [&](size_t r) {
     std::vector<int32_t>& ids = record_token_ids_[r];
     ids.reserve(token_sets[r].size());
     for (const std::string& token : token_sets[r]) {
@@ -77,11 +86,18 @@ Status LinkageEngine::Prepare() {
     std::sort(ids.begin(), ids.end());
     // Raw (non-set) tokens would weight repeats; the record text token
     // multiset is what TF-IDF should see.
-    record_vectors_[r] = vectorizer.Vectorize(tokenize(dataset_->records[r].text));
-  }
+    record_vectors_[r] = vectorizer.Vectorize(raw_tokens[r]);
+  });
   record_group_ = dataset_->RecordToGroup();
   prepared_ = true;
   return Status::Ok();
+}
+
+ThreadPool* LinkageEngine::pool() {
+  if (pool_ == nullptr && config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
+  }
+  return pool_.get();
 }
 
 double LinkageEngine::DefaultRecordSimilarity(int32_t a, int32_t b) const {
@@ -181,9 +197,10 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
     ej_config.join_jaccard = config_.join_jaccard;
     ej_config.use_upper_bound_filter = config_.use_upper_bound_filter;
     ej_config.use_lower_bound_accept = config_.use_lower_bound_accept;
+    ej_config.num_threads = config_.num_threads;
     result.linked_pairs = EdgeJoinLink(
         *dataset_, record_token_ids_, static_cast<int32_t>(vocabulary_.size()),
-        record_group_, sim, ej_config, &result.edge_join_stats);
+        record_group_, sim, ej_config, &result.edge_join_stats, pool());
     result.seconds_scoring = join_timer.ElapsedSeconds();
     FinishClustering(result);
     return result;
@@ -203,12 +220,8 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
       config_.use_filter_refine && config_.use_lower_bound_accept;
 
   if (config_.measure == GroupMeasureKind::kBm) {
-    std::unique_ptr<ThreadPool> pool;
-    if (config_.num_threads > 1) {
-      pool = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
-    }
     result.linked_pairs = FilterRefineLink(*dataset_, sim, candidates, fr_config,
-                                           &result.score_stats, pool.get());
+                                           &result.score_stats, pool());
   } else {
     // Baseline measures: direct evaluation per candidate. The binary
     // Jaccard baseline builds its graph at the (stricter) equality cutoff.

@@ -2,10 +2,12 @@
 #define GROUPLINK_CORE_LINKAGE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/edge_join.h"
 #include "core/filter_refine.h"
 #include "core/group.h"
@@ -84,10 +86,12 @@ struct LinkageConfig {
   bool use_edge_join = false;
   /// Token-Jaccard threshold of the edge join's prefix filter.
   double join_jaccard = 0.3;
-  /// Worker threads for the scoring phase (1 = serial). Scoring a
-  /// candidate group pair is independent of every other pair, so the
-  /// per-pair pipeline parallelizes embarrassingly; results are
-  /// bit-identical to the serial run.
+  /// Worker threads (1 = serial). Honored by *both* strategies and by
+  /// Prepare: the per-pair pipeline scores candidate group pairs in
+  /// parallel, the edge-join strategy shards its streaming join, verifies
+  /// candidates inline per worker, and scores buckets in parallel, and
+  /// Prepare tokenizes + TF-IDF-vectorizes records in parallel. Results
+  /// are bit-identical to the serial run in every case.
   int32_t num_threads = 1;
 };
 
@@ -116,6 +120,11 @@ struct LinkageResult {
 ///   3. Score: decide each candidate with the configured measure — for BM
 ///      through the filter-and-refine pipeline.
 ///   4. Cluster: union-find over linked pairs -> entity labels.
+///
+/// With LinkageConfig::num_threads > 1 the engine owns a ThreadPool that
+/// Prepare and Run share; both evaluation strategies (per-pair
+/// filter-refine and the edge join) honor it and produce output identical
+/// to the serial run.
 ///
 /// The default record similarity is TF-IDF cosine over word tokens of
 /// Record::text. Pass a custom RecordSimFn to Run to override (e.g. the
@@ -157,10 +166,14 @@ class LinkageEngine {
  private:
   std::vector<std::pair<int32_t, int32_t>> GenerateCandidates(LinkageResult& result);
   void FinishClustering(LinkageResult& result) const;
+  /// The engine's worker pool (null when num_threads <= 1); created once,
+  /// shared by Prepare and Run.
+  ThreadPool* pool();
 
   const Dataset* dataset_;
   LinkageConfig config_;
   bool prepared_ = false;
+  std::unique_ptr<ThreadPool> pool_;
 
   Vocabulary vocabulary_;
   std::vector<std::vector<int32_t>> record_token_ids_;  // Sorted-unique per record.

@@ -146,6 +146,63 @@ void PrefixFilterSelfJoinStreaming(
   }
 }
 
+void PrefixFilterSelfJoinSharded(
+    const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
+    double threshold, ThreadPool* pool, size_t num_shards,
+    const std::function<void(size_t, int32_t, int32_t)>& callback) {
+  const size_t n = documents.size();
+  if (n == 0) return;
+  const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
+
+  // Rank-space re-expression is independent per document.
+  std::vector<std::vector<int32_t>> ranked(n);
+  ParallelFor(pool, n, [&](size_t d) {
+    ranked[d].reserve(documents[d].size());
+    for (const int32_t token : documents[d]) {
+      ranked[d].push_back(rank[static_cast<size_t>(token)]);
+    }
+    std::sort(ranked[d].begin(), ranked[d].end());
+  });
+
+  // Full prefix index over *all* documents, built serially in document
+  // order so every posting list is ascending; read-only afterwards.
+  // Probing doc d keeps only postings `other < d`, which reproduces the
+  // serial join's index-as-you-go candidate set exactly.
+  std::vector<std::vector<int32_t>> prefix_index(static_cast<size_t>(num_tokens));
+  for (size_t d = 0; d < n; ++d) {
+    const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
+    for (size_t k = 0; k < prefix; ++k) {
+      prefix_index[static_cast<size_t>(ranked[d][k])].push_back(static_cast<int32_t>(d));
+    }
+  }
+
+  num_shards = std::clamp<size_t>(num_shards, 1, n);
+  const size_t shard_size = (n + num_shards - 1) / num_shards;
+  ParallelFor(pool, num_shards, [&](size_t shard) {
+    const size_t begin = shard * shard_size;
+    const size_t end = std::min(n, begin + shard_size);
+    // Worker-local dedup state; each probe doc is owned by one shard.
+    std::vector<int32_t> last_probe(n, -1);
+    for (size_t d = begin; d < end; ++d) {
+      const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
+      const double size_d = static_cast<double>(ranked[d].size());
+      for (size_t k = 0; k < prefix; ++k) {
+        for (const int32_t other : prefix_index[static_cast<size_t>(ranked[d][k])]) {
+          if (other >= static_cast<int32_t>(d)) break;  // Postings ascend.
+          if (last_probe[static_cast<size_t>(other)] == static_cast<int32_t>(d)) continue;
+          last_probe[static_cast<size_t>(other)] = static_cast<int32_t>(d);
+          const double size_o =
+              static_cast<double>(ranked[static_cast<size_t>(other)].size());
+          const double smaller = std::min(size_d, size_o);
+          const double larger = std::max(size_d, size_o);
+          if (smaller + 0.5 < threshold * larger) continue;
+          callback(shard, other, static_cast<int32_t>(d));
+        }
+      }
+    }
+  });
+}
+
 std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, double threshold) {
   std::vector<std::pair<int32_t, int32_t>> result;

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
+
 namespace grouplink {
 
 /// Prefix-filtering set-similarity self-join (the SSJoin / AllPairs family
@@ -48,6 +50,26 @@ std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
 void PrefixFilterSelfJoinStreaming(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, const std::function<void(int32_t, int32_t)>& callback);
+
+/// Sharded parallel variant of the streaming join. The prefix inverted
+/// index is built once up front (then read-only); probe documents are
+/// split into `num_shards` contiguous ascending ranges and probed across
+/// `pool` (inline, in shard order, when `pool` is null or single-thread).
+/// `callback(shard, i, j)` fires exactly once per candidate pair (i < j),
+/// concurrently across shards but sequentially within one shard — each
+/// shard typically appends to its own buffer, no locking needed.
+///
+/// Determinism contract: every probe document belongs to exactly one
+/// shard, shards cover ascending probe ranges, and within a shard
+/// candidates stream in the same order as the serial join. Concatenating
+/// the per-shard outputs in shard index order therefore reproduces the
+/// serial emission order exactly, for every `num_shards` and thread
+/// count. The candidate *set* is identical to PrefixFilterSelfJoinStreaming
+/// (property-tested).
+void PrefixFilterSelfJoinSharded(
+    const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
+    double threshold, ThreadPool* pool, size_t num_shards,
+    const std::function<void(size_t, int32_t, int32_t)>& callback);
 
 /// Reference implementation: all pairs with exact Jaccard >= threshold.
 /// O(n²); used by tests and as the no-index baseline in benchmarks.

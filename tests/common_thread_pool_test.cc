@@ -90,6 +90,40 @@ TEST(ParallelForTest, ResultsMatchSerialComputation) {
   EXPECT_EQ(parallel_out, serial_out);
 }
 
+TEST(ParallelForTest, UnevenChunkSizes) {
+  // n chosen so the chunk math leaves a short tail chunk; every index must
+  // still be hit exactly once with no out-of-range calls.
+  ThreadPool pool(7);
+  for (const size_t n : {size_t{1}, size_t{13}, size_t{29}, size_t{1001}}) {
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<bool> out_of_range{false};
+    ParallelFor(&pool, n, [&](size_t i) {
+      if (i >= n) {
+        out_of_range = true;
+        return;
+      }
+      ++hits[i];
+    });
+    EXPECT_FALSE(out_of_range.load()) << n;
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "n=" << n;
+  }
+}
+
+TEST(ParallelForTest, FewerIterationsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsWithNullPool) {
+  ParallelFor(nullptr, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(DefaultThreadCountTest, AtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
 TEST(ParallelForTest, ReusablePool) {
   ThreadPool pool(3);
   std::atomic<int> total{0};

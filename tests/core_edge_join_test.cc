@@ -117,6 +117,95 @@ TEST(EdgeJoinTest, DisablingBoundsForcesRefineEverywhere) {
   EXPECT_EQ(result->linked_pairs, with_bounds->linked_pairs);
 }
 
+TEST(EdgeJoinTest, OutputIdenticalAcrossThreadCounts) {
+  // The determinism contract of the parallel edge join: linked pairs,
+  // clustering, and every join/bucket counter are bit-identical for any
+  // thread count (sharded join merged in shard order; buckets scored into
+  // preallocated slots). Seeded workload; 7 threads exercises uneven
+  // shard sizes.
+  BibliographicConfig data_config = SmallConfig();
+  data_config.num_entities = 80;
+  const Dataset dataset = GenerateBibliographic(data_config);
+
+  LinkageConfig serial = EdgeJoinLinkage();
+  serial.num_threads = 1;
+  const auto reference = RunGroupLinkage(dataset, serial);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->edge_join_stats.threads_used, 1);
+
+  for (const int32_t threads : {2, 7}) {
+    LinkageConfig parallel = EdgeJoinLinkage();
+    parallel.num_threads = threads;
+    const auto result = RunGroupLinkage(dataset, parallel);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->linked_pairs, reference->linked_pairs) << threads;
+    EXPECT_EQ(result->group_cluster, reference->group_cluster) << threads;
+    const EdgeJoinStats& got = result->edge_join_stats;
+    const EdgeJoinStats& want = reference->edge_join_stats;
+    EXPECT_EQ(got.record_candidates, want.record_candidates) << threads;
+    EXPECT_EQ(got.edges, want.edges) << threads;
+    EXPECT_EQ(got.group_pairs, want.group_pairs) << threads;
+    EXPECT_EQ(got.pruned_by_upper_bound, want.pruned_by_upper_bound) << threads;
+    EXPECT_EQ(got.accepted_by_lower_bound, want.accepted_by_lower_bound) << threads;
+    EXPECT_EQ(got.refined, want.refined) << threads;
+    EXPECT_EQ(got.linked, want.linked) << threads;
+    EXPECT_EQ(got.threads_used, threads);
+  }
+}
+
+TEST(EdgeJoinTest, DirectCallHonorsExternalPool) {
+  // Tiny hand-built workload so EdgeJoinLink can be exercised directly: a
+  // caller-owned pool must be used (threads_used reports its size, not
+  // config.num_threads) and the output must match the serial call.
+  Dataset dataset;
+  std::vector<std::vector<int32_t>> record_tokens;
+  const auto add = [&](const std::string& id,
+                       std::vector<std::vector<int32_t>> token_sets) {
+    Group group;
+    group.id = id;
+    for (std::vector<int32_t>& tokens : token_sets) {
+      Record record;
+      record.id = id + std::to_string(group.record_ids.size());
+      group.record_ids.push_back(static_cast<int32_t>(dataset.records.size()));
+      dataset.records.push_back(std::move(record));
+      record_tokens.push_back(std::move(tokens));
+    }
+    dataset.groups.push_back(std::move(group));
+  };
+  add("a", {{0, 1, 2}, {3, 4, 5}});
+  add("b", {{0, 1, 2}, {3, 4, 5}});
+  add("c", {{6, 7, 8}});
+  const std::vector<int32_t> record_group = dataset.RecordToGroup();
+  // Token-overlap similarity: identical sets score 1, disjoint 0.
+  const RecordSimFn sim = [&](int32_t a, int32_t b) {
+    return record_tokens[static_cast<size_t>(a)] ==
+                   record_tokens[static_cast<size_t>(b)]
+               ? 1.0
+               : 0.0;
+  };
+
+  EdgeJoinConfig config;
+  config.theta = 0.5;
+  config.group_threshold = 0.3;
+  config.join_jaccard = 0.5;
+
+  EdgeJoinStats serial_stats;
+  const auto serial =
+      EdgeJoinLink(dataset, record_tokens, 9, record_group, sim, config, &serial_stats);
+  EXPECT_EQ(serial_stats.threads_used, 1);
+
+  ThreadPool pool(3);
+  EdgeJoinStats pooled_stats;
+  const auto pooled = EdgeJoinLink(dataset, record_tokens, 9, record_group, sim,
+                                   config, &pooled_stats, &pool);
+  EXPECT_EQ(pooled_stats.threads_used, 3);
+  EXPECT_EQ(pooled, serial);
+  ASSERT_EQ(serial.size(), 1u);
+  EXPECT_EQ(serial[0], std::make_pair(0, 1));
+  EXPECT_EQ(pooled_stats.edges, serial_stats.edges);
+  EXPECT_EQ(pooled_stats.group_pairs, serial_stats.group_pairs);
+}
+
 TEST(EdgeJoinTest, DirectCallOnTinyDataset) {
   // Two groups of two identical singleton texts, one unrelated group.
   Dataset dataset;
