@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("min-overlap", 2, "token overlap for the SQL candidate join");
   flags.AddInt64("threads", static_cast<int64_t>(DefaultThreadCount()),
                  "worker threads for the native edge join");
+  flags.AddString("metrics-json", "BENCH_e14.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
 
   const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
@@ -47,28 +50,50 @@ int main(int argc, char** argv) {
     return engine.DefaultRecordSimilarity(a, b);
   };
 
+  // The SQL route's stages feed the same unified RunReport schema as the
+  // engine-produced reports, so BENCH_e14.json and BENCH_e5.json line up.
+  RunReport sql_report;
+  sql_report.strategy = "sql-pipeline";
+  sql_report.candidate_method = "token-overlap-join";
+  sql_report.measure = "upper_bound";
+  sql_report.threads = 1;
+  sql_report.records = dataset.num_records();
+  sql_report.groups = dataset.num_groups();
+
   TextTable table({"stage", "output rows", "time (s)"});
   WallTimer timer;
   const Table tokens = MakeTokensTable(dataset);
+  double seconds = timer.ElapsedSeconds();
   table.AddRow({"tokens table", std::to_string(tokens.num_rows()),
-                FormatDouble(timer.ElapsedSeconds(), 3)});
+                FormatDouble(seconds, 3)});
+  sql_report.AddStage("tokens", seconds)
+      .AddCounter("rows", static_cast<int64_t>(tokens.num_rows()));
 
   timer.Reset();
   const Table candidates =
       SqlRecordPairCandidates(tokens, flags.GetInt64("min-overlap"));
+  seconds = timer.ElapsedSeconds();
   table.AddRow({"candidate join (SQL)", std::to_string(candidates.num_rows()),
-                FormatDouble(timer.ElapsedSeconds(), 3)});
+                FormatDouble(seconds, 3)});
+  sql_report.AddStage("candidates", seconds)
+      .AddCounter("rows", static_cast<int64_t>(candidates.num_rows()));
 
   timer.Reset();
   const Table edges = SqlVerifiedEdges(candidates, sim, config.theta);
+  seconds = timer.ElapsedSeconds();
   table.AddRow({"UDF verification (SQL)", std::to_string(edges.num_rows()),
-                FormatDouble(timer.ElapsedSeconds(), 3)});
+                FormatDouble(seconds, 3)});
+  sql_report.AddStage("verify", seconds)
+      .AddCounter("rows", static_cast<int64_t>(edges.num_rows()));
 
   timer.Reset();
   const Table sizes = MakeGroupSizesTable(dataset);
   const Table scores = SqlUpperBoundScores(edges, sizes);
+  seconds = timer.ElapsedSeconds();
   table.AddRow({"UB aggregation (SQL)", std::to_string(scores.num_rows()),
-                FormatDouble(timer.ElapsedSeconds(), 3)});
+                FormatDouble(seconds, 3)});
+  sql_report.AddStage("score", seconds)
+      .AddCounter("rows", static_cast<int64_t>(scores.num_rows()));
 
   size_t survivors = 0;
   std::set<std::pair<int32_t, int32_t>> survivor_set;
@@ -80,6 +105,9 @@ int main(int argc, char** argv) {
     }
   }
   table.AddRow({"UB filter survivors", std::to_string(survivors), "-"});
+  sql_report.links = static_cast<int64_t>(survivors);
+  sql_report.MutableStage("score")->AddCounter("ub_survivors",
+                                               static_cast<int64_t>(survivors));
 
   // Native reference.
   timer.Reset();
@@ -91,10 +119,14 @@ int main(int argc, char** argv) {
   LinkageEngine native(&dataset, native_config);
   GL_CHECK(native.Prepare().ok());
   const LinkageResult native_result = native.Run();
+  const double native_seconds = timer.ElapsedSeconds();
   table.AddRow({"native edge join (total)",
                 std::to_string(native_result.linked_pairs.size()) + " links",
-                FormatDouble(timer.ElapsedSeconds(), 3)});
+                FormatDouble(native_seconds, 3)});
   std::printf("%s", table.ToString().c_str());
+
+  RunReport native_report = native_result.report();
+  native_report.AddExtra("wall_seconds", native_seconds);
 
   size_t kept = 0;
   for (const auto& pair : native_result.linked_pairs) {
@@ -106,5 +138,9 @@ int main(int argc, char** argv) {
       "min-overlap=%lld trades a little recall for join size).\n",
       kept, native_result.linked_pairs.size(),
       static_cast<long long>(flags.GetInt64("min-overlap")));
+
+  sql_report.AddExtra("native_links_retained", static_cast<double>(kept));
+  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e14_sql_pipeline",
+                          {std::move(sql_report), std::move(native_report)});
   return 0;
 }

@@ -11,6 +11,7 @@
 // BM closely at lower cost; UB-as-a-measure over-links mildly.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("entities", 200, "author entities");
   flags.AddDouble("noise", 0.25, "generator noise");
   flags.AddInt64("seed", 42, "generator seed");
+  flags.AddString("metrics-json", "",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
 
   const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
 
   TextTable table(
       {"measure", "precision", "recall", "F1", "links", "time (s)"});
+  std::vector<RunReport> reports;
   for (const GroupMeasureKind measure :
        {GroupMeasureKind::kBm, GroupMeasureKind::kBmStar, GroupMeasureKind::kGreedy,
         GroupMeasureKind::kUpperBound, GroupMeasureKind::kBinaryJaccard,
@@ -59,7 +63,16 @@ int main(int argc, char** argv) {
                   FormatDouble(metrics.recall, 3), FormatDouble(metrics.f1, 3),
                   std::to_string(result->linked_pairs.size()),
                   FormatDouble(seconds, 3)});
+    RunReport report = result->report();
+    report.AddExtra("wall_seconds", seconds);
+    report.AddExtra("precision", metrics.precision);
+    report.AddExtra("recall", metrics.recall);
+    report.AddExtra("f1", metrics.f1);
+    reports.push_back(std::move(report));
   }
   std::printf("%s", table.ToString().c_str());
+
+  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e1_measure_accuracy",
+                          reports);
   return 0;
 }

@@ -12,8 +12,9 @@
 //
 // The edge-join strategy is additionally run at every thread count in
 // --thread-sweep; linked pairs and edge/bucket counters are asserted
-// bit-identical across all settings, and every timing is appended to
-// --json (BENCH_e5.json) so later changes can track the perf trajectory.
+// bit-identical across all settings, and every run's RunReport is written
+// to --metrics-json (BENCH_e5.json) in the unified grouplink.metrics.v1
+// schema so later changes can track the perf trajectory.
 
 #include <cstdio>
 #include <string>
@@ -35,7 +36,7 @@ using namespace grouplink;
 struct RunOutcome {
   double seconds = 0.0;
   std::vector<std::pair<int32_t, int32_t>> links;
-  EdgeJoinStats edge_join_stats;
+  RunReport report;
 };
 
 RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool bounds,
@@ -53,44 +54,9 @@ RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool boun
   RunOutcome outcome;
   outcome.seconds = timer.ElapsedSeconds();
   outcome.links = result->linked_pairs;
-  outcome.edge_join_stats = result->edge_join_stats;
+  outcome.report = result->report();
+  outcome.report.AddExtra("wall_seconds", outcome.seconds);
   return outcome;
-}
-
-// One row of the JSON baseline.
-struct JsonRun {
-  int32_t groups;
-  int32_t records;
-  std::string strategy;
-  int64_t threads;
-  double seconds;
-  size_t links;
-};
-
-void WriteJson(const std::string& path, const std::vector<JsonRun>& runs) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "W: cannot open %s for writing, skipping JSON\n",
-                 path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"experiment\": \"e5_scalability\",\n");
-  std::fprintf(f, "  \"theta\": %.2f,\n  \"group_threshold\": %.2f,\n",
-               bench::kTheta, bench::kGroupThreshold);
-  std::fprintf(f, "  \"hardware_threads\": %zu,\n  \"runs\": [\n",
-               DefaultThreadCount());
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const JsonRun& r = runs[i];
-    std::fprintf(f,
-                 "    {\"groups\": %d, \"records\": %d, \"strategy\": \"%s\", "
-                 "\"threads\": %lld, \"seconds\": %.4f, \"links\": %zu}%s\n",
-                 r.groups, r.records, r.strategy.c_str(),
-                 static_cast<long long>(r.threads), r.seconds, r.links,
-                 i + 1 < runs.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nBaseline written to %s (%zu runs).\n", path.c_str(), runs.size());
 }
 
 }  // namespace
@@ -103,7 +69,8 @@ int main(int argc, char** argv) {
                  "worker threads for the per-pair strategy");
   flags.AddString("thread-sweep", "1,2,4,8",
                   "comma-separated thread counts for the edge-join sweep");
-  flags.AddString("json", "BENCH_e5.json", "perf-baseline output path ('' to skip)");
+  flags.AddString("metrics-json", "BENCH_e5.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int64_t brute_cap = flags.GetInt64("brute-cap");
   const int64_t threads = std::max<int64_t>(1, flags.GetInt64("threads"));
@@ -130,7 +97,7 @@ int main(int argc, char** argv) {
   header.push_back("links");
   TextTable table(header);
 
-  std::vector<JsonRun> json_runs;
+  std::vector<RunReport> reports;
   for (const std::string& size_text : Split(flags.GetString("sizes"), ',')) {
     const auto entities = ParseInt64(size_text);
     GL_CHECK(entities.ok()) << size_text;
@@ -148,31 +115,31 @@ int main(int argc, char** argv) {
       const RunOutcome& first = edge_runs.front();
       GL_CHECK(run.links == first.links)
           << "edge-join links diverge at " << t << " threads";
-      GL_CHECK_EQ(run.edge_join_stats.edges, first.edge_join_stats.edges);
-      GL_CHECK_EQ(run.edge_join_stats.group_pairs, first.edge_join_stats.group_pairs);
-      GL_CHECK_EQ(run.edge_join_stats.record_candidates,
-                  first.edge_join_stats.record_candidates);
-      json_runs.push_back({groups, records, "edge-join", t, run.seconds,
-                           run.links.size()});
+      GL_CHECK_EQ(run.report.StageCounter("join", "edges"),
+                  first.report.StageCounter("join", "edges"));
+      GL_CHECK_EQ(run.report.StageCounter("bucket", "group_pairs"),
+                  first.report.StageCounter("bucket", "group_pairs"));
+      GL_CHECK_EQ(run.report.StageCounter("join", "record_candidates"),
+                  first.report.StageCounter("join", "record_candidates"));
+      reports.push_back(run.report);
     }
 
     const RunOutcome bounded =
         TimeRun(dataset, CandidateMethod::kRecordJoin, true, /*edge_join=*/false,
                 threads);
     GL_CHECK(edge_runs.front().links == bounded.links);
-    json_runs.push_back({groups, records, "per-pair+bounds", threads,
-                         bounded.seconds, bounded.links.size()});
+    reports.push_back(bounded.report);
 
     std::string brute_cell = "-";
     double reference_seconds = bounded.seconds;
     if (groups <= brute_cap) {
-      const RunOutcome brute =
+      RunOutcome brute =
           TimeRun(dataset, CandidateMethod::kAllPairs, false, /*edge_join=*/false, 1);
       GL_CHECK(brute.links == bounded.links);
       brute_cell = FormatDouble(brute.seconds, 2);
       reference_seconds = brute.seconds;
-      json_runs.push_back({groups, records, "brute", 1, brute.seconds,
-                           brute.links.size()});
+      brute.report.strategy = "brute";
+      reports.push_back(brute.report);
     }
 
     double best_edge_seconds = edge_runs.front().seconds;
@@ -192,7 +159,7 @@ int main(int argc, char** argv) {
       "edge join's links, edges, and buckets were bit-identical at every "
       "thread count (checked).\n");
 
-  const std::string json_path = flags.GetString("json");
-  if (!json_path.empty()) WriteJson(json_path, json_runs);
+  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e5_scalability",
+                          reports);
   return 0;
 }

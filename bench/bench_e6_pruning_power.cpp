@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     config.group_threshold = threshold;
     const auto result = RunGroupLinkage(dataset, config);
     GL_CHECK(result.ok());
-    const FilterRefineStats& stats = result->score_stats;
+    const FilterRefineStats stats = result->score_stats();
     const double total = static_cast<double>(stats.candidates);
     const auto percent = [&](size_t count) {
       return FormatDouble(total == 0 ? 0.0 : 100.0 * count / total, 1);

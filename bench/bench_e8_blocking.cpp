@@ -35,7 +35,7 @@ SchemeResult RunScheme(const Dataset& dataset, const LinkageConfig& config,
   GL_CHECK(result.ok());
   SchemeResult out;
   out.seconds = timer.ElapsedSeconds();
-  out.candidates = result->candidate_stats.group_pairs;
+  out.candidates = result->candidate_stats().group_pairs;
   out.links = result->linked_pairs.size();
   size_t kept = 0;
   for (const auto& pair : result->linked_pairs) {

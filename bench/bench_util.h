@@ -4,6 +4,12 @@
 // Shared configuration for the experiment harnesses, so every experiment
 // runs against the same "hard" workload unless it sweeps that knob itself.
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/run_report.h"
 #include "data/bibliographic_generator.h"
 #include "data/household_generator.h"
 
@@ -38,6 +44,27 @@ inline HouseholdConfig StandardHouseholds(int32_t households = 400,
 /// similarity on the hard bibliographic workload.
 constexpr double kTheta = 0.35;
 constexpr double kGroupThreshold = 0.2;
+
+/// Writes the unified experiment report ("grouplink.metrics.v1": run
+/// reports plus a metrics-registry snapshot) to `path`. Every bench's
+/// --metrics-json flag lands here, so all BENCH_*.json files share one
+/// schema (validated in CI with jq).
+inline void WriteMetricsJson(const std::string& path, std::string_view experiment,
+                             const std::vector<RunReport>& runs) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "W: cannot open %s for writing, skipping JSON\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = ExperimentReportJson(experiment, runs);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nMetrics report written to %s (%zu runs).\n", path.c_str(),
+              runs.size());
+}
 
 }  // namespace bench
 }  // namespace grouplink

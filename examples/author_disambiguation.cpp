@@ -66,18 +66,23 @@ int main(int argc, char** argv) {
   quality.AddRow({"clusters", std::to_string(result->num_clusters)});
   std::printf("\nLinkage quality vs ground truth:\n%s", quality.ToString().c_str());
 
-  const FilterRefineStats& stats = result->score_stats;
+  const RunReport& report = result->report();
   TextTable pipeline({"pipeline stage", "group pairs"});
-  pipeline.AddRow({"candidates (record join)", std::to_string(stats.candidates)});
-  pipeline.AddRow({"empty similarity graph", std::to_string(stats.empty_graphs)});
-  pipeline.AddRow({"pruned by UB", std::to_string(stats.pruned_by_upper_bound)});
-  pipeline.AddRow({"accepted by LB", std::to_string(stats.accepted_by_lower_bound)});
-  pipeline.AddRow({"refined (Hungarian)", std::to_string(stats.refined)});
-  pipeline.AddRow({"linked", std::to_string(stats.linked)});
+  pipeline.AddRow({"candidates (record join)",
+                   std::to_string(report.StageCounter("score", "candidates"))});
+  pipeline.AddRow({"empty similarity graph",
+                   std::to_string(report.StageCounter("score", "empty_graphs"))});
+  pipeline.AddRow({"pruned by UB",
+                   std::to_string(report.StageCounter("score", "ub_pruned"))});
+  pipeline.AddRow({"accepted by LB",
+                   std::to_string(report.StageCounter("score", "lb_accepted"))});
+  pipeline.AddRow({"refined (Hungarian)",
+                   std::to_string(report.StageCounter("score", "refined"))});
+  pipeline.AddRow({"linked", std::to_string(report.StageCounter("score", "linked"))});
   std::printf("\nFilter-and-refine breakdown:\n%s", pipeline.ToString().c_str());
 
   std::printf("\nTime: prepare %.3fs, candidates %.3fs, scoring %.3fs\n",
-              result->seconds_prepare, result->seconds_candidates,
-              result->seconds_scoring);
+              report.StageSeconds("prepare"), report.StageSeconds("candidates"),
+              report.StageSeconds("score"));
   return 0;
 }

@@ -99,8 +99,11 @@ int main() {
                   std::to_string(dataset.group_entities[static_cast<size_t>(g)])});
   }
   std::printf("\nEntity clusters:\n%s", table.ToString().c_str());
-  std::printf("\n%zu clusters from %d groups; %zu candidate pairs scored.\n",
+  const grouplink::RunReport& report = result->report();
+  std::printf("\n%zu clusters from %d groups; %lld candidate pairs scored.\n",
               result->num_clusters, dataset.num_groups(),
-              result->score_stats.candidates);
+              static_cast<long long>(report.StageCounter("score", "candidates")));
+  std::printf("\nPer-stage breakdown (RunReport::ToJson):\n%s\n",
+              report.ToJson().c_str());
   return 0;
 }

@@ -23,8 +23,16 @@ for bench in "$BUILD_DIR"/bench/*; do
   [ -x "$bench" ] || continue
   args=()
   case "$(basename "$bench")" in
-    bench_e5_scalability|bench_e14_sql_pipeline)
-      args=(--threads "$THREADS")
+    bench_e1_measure_accuracy)
+      # E1 skips the metrics report by default; the regenerated
+      # BENCH_e1.json is the canonical unified-schema sample.
+      args=(--metrics-json BENCH_e1.json)
+      ;;
+    bench_e5_scalability)
+      args=(--threads "$THREADS" --metrics-json BENCH_e5.json)
+      ;;
+    bench_e14_sql_pipeline)
+      args=(--threads "$THREADS" --metrics-json BENCH_e14.json)
       ;;
   esac
   echo "===== $bench ${args[*]}"

@@ -1,0 +1,177 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::NewlineAndIndent() {
+  if (indent_ <= 0) return;
+  out_.push_back('\n');
+  out_.append(scopes_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) return;  // Top-level value.
+  if (scopes_.back() == Scope::kObject) {
+    // Object values are emitted by Key(); only the key itself needs the
+    // comma/indent treatment, handled there.
+    GL_CHECK(pending_key_) << "JSON object value without a preceding Key()";
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_.push_back(',');
+  has_element_.back() = true;
+  NewlineAndIndent();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  GL_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject)
+      << "Key() outside an object";
+  GL_CHECK(!pending_key_) << "Key() after Key() without a value";
+  if (has_element_.back()) out_.push_back(',');
+  has_element_.back() = true;
+  NewlineAndIndent();
+  out_ += Escape(key);
+  out_ += indent_ > 0 ? ": " : ":";
+  pending_key_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  GL_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  GL_CHECK(!pending_key_) << "EndObject() with a dangling Key()";
+  const bool had_elements = has_element_.back();
+  scopes_.pop_back();
+  has_element_.pop_back();
+  if (had_elements) NewlineAndIndent();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  GL_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  const bool had_elements = has_element_.back();
+  scopes_.pop_back();
+  has_element_.pop_back();
+  if (had_elements) NewlineAndIndent();
+  out_.push_back(']');
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += Escape(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  UInt(value);
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace grouplink

@@ -1,0 +1,85 @@
+#ifndef GROUPLINK_COMMON_JSON_H_
+#define GROUPLINK_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grouplink {
+
+/// Minimal streaming JSON writer used by the observability layer (metrics
+/// snapshots, trace trees, run reports) and the benchmark harnesses, so
+/// every emitted file shares one escaping/formatting implementation
+/// instead of hand-rolled fprintf calls.
+///
+/// The writer tracks nesting and inserts commas/indentation; callers are
+/// responsible for well-formedness (every BeginObject matched by
+/// EndObject, Key before each object value). Misuse aborts via GL_CHECK.
+///
+/// Example:
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("runs");
+///   json.BeginArray();
+///   json.Int(1);
+///   json.EndArray();
+///   json.EndObject();
+///   std::string text = json.str();
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Doubles render with up to 10 significant digits; NaN/Inf (invalid
+  /// JSON) render as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value. The const char* overload exists because a
+  /// string literal would otherwise prefer the standard pointer-to-bool
+  /// conversion over the user-defined one to string_view and silently
+  /// emit `true`.
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+
+  /// The document so far. Typically called once all scopes are closed.
+  const std::string& str() const { return out_; }
+
+  /// Escapes `s` as a JSON string literal (with surrounding quotes).
+  static std::string Escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void NewlineAndIndent();
+
+  int indent_;
+  std::string out_;
+  std::vector<Scope> scopes_;
+  // Whether the current scope already holds at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_JSON_H_

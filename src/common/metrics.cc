@@ -1,0 +1,197 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+}  // namespace
+
+bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::ThisThreadShard() {
+  // Threads claim shard slots round-robin on first increment; short-lived
+  // worker threads recycle the modulo space, which only costs occasional
+  // sharing, never correctness.
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return slot;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    for (double b = 1e-6; b <= 1e3 + 1e-9; b *= 10.0) bounds_.push_back(b);
+  }
+  GL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  // lower_bound, not upper_bound: a value equal to a bound belongs in that
+  // bound's bucket ("le" semantics — counts_[i] counts observations
+  // <= bounds_[i]).
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.counts.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  JsonWriter json(indent);
+  WriteJson(&json);
+  return json.str();
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter* json_ptr) const {
+  JsonWriter& json = *json_ptr;
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : counters) {
+    json.Key(name);
+    json.UInt(value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : gauges) {
+    json.Key(name);
+    json.Double(value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, h] : histograms) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.UInt(h.count);
+    json.Key("sum");
+    json.Double(h.sum);
+    json.Key("buckets");
+    json.BeginArray();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      json.BeginObject();
+      json.Key("le");
+      if (i < h.bounds.size()) {
+        json.Double(h.bounds[i]);
+      } else {
+        json.String("inf");
+      }
+      json.Key("count");
+      json.UInt(h.counts[i]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::CounterRef(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GL_CHECK(gauges_.find(name) == gauges_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GaugeRef(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GL_CHECK(counters_.find(name) == counters_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::HistogramRef(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GL_CHECK(counters_.find(name) == counters_.end() &&
+           gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered as a different kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->TakeSnapshot();
+  }
+  return snapshot;
+}
+
+}  // namespace grouplink

@@ -1,0 +1,170 @@
+#ifndef GROUPLINK_COMMON_METRICS_H_
+#define GROUPLINK_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace grouplink {
+
+class JsonWriter;
+
+/// Process-wide metrics: named counters, gauges, and histograms behind a
+/// single registry, so every subsystem (joins, indexes, the linkage
+/// pipelines, the incremental linker) reports into one namespace and one
+/// snapshot/JSON export — instead of each bench hand-rolling its own
+/// counters. See DESIGN.md "Observability" for the metric name catalog.
+///
+/// Cost model: counters are sharded across cache-line-padded atomic slots
+/// keyed by thread, so a worker incrementing from inside the parallel
+/// edge join or a ParallelFor loop touches a (usually) uncontended line
+/// with one relaxed fetch_add — cheap enough to leave on in production.
+/// Registry lookups take a mutex; instrumentation sites hoist them:
+///
+///   static Counter& edges = MetricsRegistry::Default().CounterRef(
+///       "edge_join.edges");
+///   edges.Increment();
+///
+/// Metrics never feed back into linkage decisions: output is bit-identical
+/// with metrics enabled or disabled, at any thread count (tested).
+
+/// Global kill switch (default enabled). Relaxed-atomic read on every
+/// increment; flip once at startup, not mid-run.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter with thread-sharded storage. Increments from
+/// concurrent threads land on distinct shards; Value() sums them.
+/// Totals are exact once the incrementing threads have joined (quiescent
+/// reads); mid-run reads are a consistent-enough approximation.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  static constexpr size_t kNumShards = 32;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  static size_t ThisThreadShard();
+
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// Last-written-wins double value ("resident groups", "index load
+/// factor"). Single atomic slot — gauges are set, not hammered.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative-style buckets: counts_[i] counts
+/// observations <= bounds_[i]; the last slot is the +inf overflow). Bucket
+/// counts use plain atomics — histograms sit off the per-item hot path
+/// (per-bucket, per-arrival observations).
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending; empty uses a decade ladder
+  /// (1e-6 .. 1e3) suitable for both seconds and small counts.
+  explicit Histogram(std::vector<double> bounds = {});
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;    // Upper bound per bucket (no +inf entry).
+    std::vector<uint64_t> counts;  // bounds.size() + 1 slots (last = +inf).
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, sorted by name (so
+/// exports and test comparisons are deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  std::string ToJson(int indent = 2) const;
+  /// Emits the snapshot object into an in-progress document (the unified
+  /// experiment report embeds one under its "metrics" key).
+  void WriteJson(JsonWriter* json) const;
+};
+
+/// Name -> metric registry. Metrics are created on first use and live for
+/// the process lifetime (references stay valid across ResetAll).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. A name identifies one metric kind; re-registering a
+  /// name as a different kind aborts.
+  Counter& CounterRef(const std::string& name);
+  Gauge& GaugeRef(const std::string& name);
+  /// `bounds` only applies on first creation.
+  Histogram& HistogramRef(const std::string& name, std::vector<double> bounds = {});
+
+  /// Zeroes every metric (keeps registrations). Tests use this to measure
+  /// exact per-run counts.
+  void ResetAll();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_METRICS_H_

@@ -1,0 +1,149 @@
+#include "common/trace.h"
+
+#include <atomic>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Per-thread stack of open spans. The bottom entry additionally owns its
+// node (in t_open_root) until the root closes and moves to the Tracer.
+thread_local std::vector<TraceNode*> t_open_stack;
+thread_local std::unique_ptr<TraceNode> t_open_root;
+
+void AppendText(const TraceNode& node, size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  out->append(node.name);
+  // Pad to a fixed column so the durations line up for shallow trees.
+  const size_t width = 2 * depth + node.name.size();
+  out->append(width < 40 ? 40 - width : 1, ' ');
+  out->append(FormatDouble(node.seconds, 6));
+  out->append("s\n");
+  for (const auto& child : node.children) {
+    AppendText(*child, depth + 1, out);
+  }
+}
+
+void AppendJson(const TraceNode& node, JsonWriter* json) {
+  json->BeginObject();
+  json->Field("name", node.name);
+  json->Field("start_ns", static_cast<int64_t>(node.start_ns));
+  json->Field("seconds", node.seconds);
+  json->Key("children");
+  json->BeginArray();
+  for (const auto& child : node.children) {
+    AppendJson(*child, json);
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  roots_.clear();
+  dropped_ = 0;
+}
+
+size_t Tracer::num_roots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return roots_.size();
+}
+
+size_t Tracer::dropped_roots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::AddRoot(std::unique_ptr<TraceNode> root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (roots_.size() >= kMaxRoots) {
+    ++dropped_;
+    return;
+  }
+  roots_.push_back(std::move(root));
+}
+
+std::string Tracer::ToText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& root : roots_) {
+    AppendText(*root, 0, &out);
+  }
+  if (dropped_ > 0) {
+    out += "(" + std::to_string(dropped_) + " root spans dropped)\n";
+  }
+  return out;
+}
+
+std::string Tracer::ToJson(int indent) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json(indent);
+  json.BeginObject();
+  json.Key("spans");
+  json.BeginArray();
+  for (const auto& root : roots_) {
+    AppendJson(*root, &json);
+  }
+  json.EndArray();
+  json.Field("dropped_roots", static_cast<int64_t>(dropped_));
+  json.EndObject();
+  return json.str();
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!TracingEnabled()) return;
+  start_ = std::chrono::steady_clock::now();
+  auto node = std::make_unique<TraceNode>();
+  node->name = name;
+  node->start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_ - TraceEpoch())
+          .count();
+  node_ = node.get();
+  if (t_open_stack.empty()) {
+    t_open_root = std::move(node);
+  } else {
+    t_open_stack.back()->children.push_back(std::move(node));
+  }
+  t_open_stack.push_back(node_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  node_->seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // Spans are scoped objects, so destruction order matches reverse
+  // construction order within a thread; the closing span is the top of
+  // this thread's stack.
+  if (!t_open_stack.empty() && t_open_stack.back() == node_) {
+    t_open_stack.pop_back();
+  }
+  if (t_open_stack.empty() && t_open_root != nullptr && t_open_root.get() == node_) {
+    Tracer::Default().AddRoot(std::move(t_open_root));
+  }
+}
+
+}  // namespace grouplink

@@ -1,0 +1,102 @@
+#ifndef GROUPLINK_COMMON_TRACE_H_
+#define GROUPLINK_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace grouplink {
+
+/// Lightweight per-stage wall-time tracing: RAII spans record into a span
+/// tree on the process-wide Tracer, with text and JSON exporters. Spans
+/// mark *stages* (prepare, join, bucket, score, one incremental arrival),
+/// not per-item work — a run produces a handful of nodes, so the layer
+/// stays on by default.
+///
+///   {
+///     GL_TRACE_SPAN("candidates");
+///     ...  // Nested GL_TRACE_SPANs become children.
+///   }
+///
+/// Thread model: each thread keeps its own open-span stack, so spans
+/// opened on a worker thread start their own root rather than racing to
+/// attach under another thread's open span. Completed roots are appended
+/// to the Tracer under a mutex (bounded: excess roots are dropped and
+/// counted, so long incremental streams can't grow memory unboundedly).
+/// Tracing records timings only — it never affects linkage output.
+
+/// Global switch (default enabled). Flip at startup, not mid-span.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// One completed (or still-open) span.
+struct TraceNode {
+  std::string name;
+  /// Start offset from the process trace epoch, nanoseconds.
+  int64_t start_ns = 0;
+  double seconds = 0.0;
+  std::vector<std::unique_ptr<TraceNode>> children;
+};
+
+/// Owner of completed root spans.
+class Tracer {
+ public:
+  static Tracer& Default();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Drops every recorded root (open spans are unaffected; they attach on
+  /// close as usual). Call between runs, not mid-run.
+  void Clear();
+
+  size_t num_roots() const;
+  /// Roots dropped because the kMaxRoots cap was reached since Clear().
+  size_t dropped_roots() const;
+
+  /// Indented tree, one span per line: "name  seconds".
+  std::string ToText() const;
+  /// {"spans": [{"name", "start_ns", "seconds", "children": [...]}, ...],
+  ///  "dropped_roots": N}
+  std::string ToJson(int indent = 2) const;
+
+ private:
+  friend class TraceSpan;
+  static constexpr size_t kMaxRoots = 8192;
+
+  void AddRoot(std::unique_ptr<TraceNode> root);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceNode>> roots_;
+  size_t dropped_ = 0;
+};
+
+/// RAII span. Prefer the GL_TRACE_SPAN macro.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  // Null when tracing was disabled at construction.
+  TraceNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace grouplink
+
+#define GL_TRACE_CONCAT_INNER(a, b) a##b
+#define GL_TRACE_CONCAT(a, b) GL_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define GL_TRACE_SPAN(name) \
+  ::grouplink::TraceSpan GL_TRACE_CONCAT(gl_trace_span_, __LINE__)(name)
+
+#endif  // GROUPLINK_COMMON_TRACE_H_

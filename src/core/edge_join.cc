@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "index/prefix_filter.h"
 
 namespace grouplink {
@@ -76,29 +78,37 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   // surviving cross-group edges to its shard's buffer. A few shards per
   // worker absorb the skew of later probes seeing more candidates.
   WallTimer timer;
+  // Sharded counter on the verify hot path: workers increment concurrently
+  // from inside the join, one relaxed add on a thread-local shard each.
+  static Counter& m_sim_evals =
+      MetricsRegistry::Default().CounterRef("edge_join.sim_evaluations");
   const size_t num_shards =
       threads <= 1 ? 1
                    : std::min(std::max<size_t>(record_tokens.size(), 1), threads * 4);
   std::vector<ShardOutput> shard_outputs(num_shards);
-  PrefixFilterSelfJoinSharded(
-      record_tokens, num_tokens, config.join_jaccard, threads > 1 ? pool : nullptr,
-      num_shards, [&](size_t shard, int32_t r1, int32_t r2) {
-        ShardOutput& out = shard_outputs[shard];
-        ++out.candidates;
-        const int32_t g1 = record_group[static_cast<size_t>(r1)];
-        const int32_t g2 = record_group[static_cast<size_t>(r2)];
-        if (g1 == g2) return;
-        const double weight = sim(r1, r2);
-        if (weight < config.theta) return;
-        // Orient the bucket key as (min group, max group); the edge
-        // endpoints follow the same orientation.
-        const bool in_order = g1 < g2;
-        const int32_t left_record = in_order ? r1 : r2;
-        const int32_t right_record = in_order ? r2 : r1;
-        out.edges.push_back({std::min(g1, g2), std::max(g1, g2),
-                             {local_pos[static_cast<size_t>(left_record)],
-                              local_pos[static_cast<size_t>(right_record)], weight}});
-      });
+  {
+    GL_TRACE_SPAN("edge_join.join");
+    PrefixFilterSelfJoinSharded(
+        record_tokens, num_tokens, config.join_jaccard, threads > 1 ? pool : nullptr,
+        num_shards, [&](size_t shard, int32_t r1, int32_t r2) {
+          ShardOutput& out = shard_outputs[shard];
+          ++out.candidates;
+          const int32_t g1 = record_group[static_cast<size_t>(r1)];
+          const int32_t g2 = record_group[static_cast<size_t>(r2)];
+          if (g1 == g2) return;
+          m_sim_evals.Increment();
+          const double weight = sim(r1, r2);
+          if (weight < config.theta) return;
+          // Orient the bucket key as (min group, max group); the edge
+          // endpoints follow the same orientation.
+          const bool in_order = g1 < g2;
+          const int32_t left_record = in_order ? r1 : r2;
+          const int32_t right_record = in_order ? r2 : r1;
+          out.edges.push_back({std::min(g1, g2), std::max(g1, g2),
+                               {local_pos[static_cast<size_t>(left_record)],
+                                local_pos[static_cast<size_t>(right_record)], weight}});
+        });
+  }
   s.seconds_join = timer.ElapsedSeconds();
   s.seconds_verify = 0.0;  // Folded into the streaming join workers.
 
@@ -109,11 +119,14 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   // std::map keeps group pairs in deterministic order.
   timer.Reset();
   std::map<std::pair<int32_t, int32_t>, std::vector<Edge>> buckets;
-  for (const ShardOutput& out : shard_outputs) {
-    s.record_candidates += out.candidates;
-    s.edges += out.edges.size();
-    for (const BucketedEdge& bucketed : out.edges) {
-      buckets[{bucketed.group_left, bucketed.group_right}].push_back(bucketed.edge);
+  {
+    GL_TRACE_SPAN("edge_join.bucket");
+    for (const ShardOutput& out : shard_outputs) {
+      s.record_candidates += out.candidates;
+      s.edges += out.edges.size();
+      for (const BucketedEdge& bucketed : out.edges) {
+        buckets[{bucketed.group_left, bucketed.group_right}].push_back(bucketed.edge);
+      }
     }
   }
   s.group_pairs = buckets.size();
@@ -123,6 +136,7 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   // into preallocated decision slots and aggregate serially in bucket
   // order (mirrors filter_refine.cc).
   timer.Reset();
+  GL_TRACE_SPAN("edge_join.score");
   struct BucketRef {
     std::pair<int32_t, int32_t> groups;
     const std::vector<Edge>* edges;
@@ -182,6 +196,28 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     }
   }
   s.seconds_score = timer.ElapsedSeconds();
+
+  // Registry mirror (aggregated once per run) + bucket-size distribution.
+  auto& registry = MetricsRegistry::Default();
+  static Counter& m_candidates = registry.CounterRef("edge_join.record_candidates");
+  static Counter& m_edges = registry.CounterRef("edge_join.edges");
+  static Counter& m_group_pairs = registry.CounterRef("edge_join.group_pairs");
+  static Counter& m_ub = registry.CounterRef("edge_join.ub_pruned");
+  static Counter& m_lb = registry.CounterRef("edge_join.lb_accepted");
+  static Counter& m_refined = registry.CounterRef("edge_join.refined");
+  static Counter& m_linked = registry.CounterRef("edge_join.linked");
+  static Histogram& m_bucket_size = registry.HistogramRef(
+      "edge_join.bucket_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  m_candidates.Increment(s.record_candidates);
+  m_edges.Increment(s.edges);
+  m_group_pairs.Increment(s.group_pairs);
+  m_ub.Increment(s.pruned_by_upper_bound);
+  m_lb.Increment(s.accepted_by_lower_bound);
+  m_refined.Increment(s.refined);
+  m_linked.Increment(s.linked);
+  for (const BucketRef& bucket : bucket_refs) {
+    m_bucket_size.Observe(static_cast<double>(bucket.edges->size()));
+  }
   return linked;
 }
 

@@ -1,5 +1,6 @@
 #include "core/filter_refine.h"
 
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace grouplink {
@@ -92,6 +93,22 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
       ++s.linked;
     }
   }
+
+  // Registry mirror of the per-run stats (aggregated once per call, so the
+  // cost is independent of candidate count and thread count).
+  auto& registry = MetricsRegistry::Default();
+  static Counter& m_candidates = registry.CounterRef("filter_refine.candidates");
+  static Counter& m_empty = registry.CounterRef("filter_refine.empty_graphs");
+  static Counter& m_ub = registry.CounterRef("filter_refine.ub_pruned");
+  static Counter& m_lb = registry.CounterRef("filter_refine.lb_accepted");
+  static Counter& m_refined = registry.CounterRef("filter_refine.refined");
+  static Counter& m_linked = registry.CounterRef("filter_refine.linked");
+  m_candidates.Increment(s.candidates);
+  m_empty.Increment(s.empty_graphs);
+  m_ub.Increment(s.pruned_by_upper_bound);
+  m_lb.Increment(s.accepted_by_lower_bound);
+  m_refined.Increment(s.refined);
+  m_linked.Increment(s.linked);
   return linked;
 }
 

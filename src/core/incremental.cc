@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "common/union_find.h"
 #include "text/tokenizer.h"
 
@@ -11,6 +13,7 @@ namespace grouplink {
 IncrementalLinker::IncrementalLinker(const LinkageConfig& config) : config_(config) {}
 
 Status IncrementalLinker::Initialize(const Dataset& dataset) {
+  GL_TRACE_SPAN("incremental.initialize");
   GL_CHECK(!initialized_) << "Initialize() must be called exactly once";
   GL_RETURN_IF_ERROR(dataset.Validate());
 
@@ -85,6 +88,8 @@ double IncrementalLinker::RecordSimilarity(int32_t a, int32_t b) const {
 
 IncrementalLinker::AddResult IncrementalLinker::AddGroup(
     const std::string& label, const std::vector<std::string>& record_texts) {
+  // Per-arrival span: long streams stay bounded by the Tracer's root cap.
+  GL_TRACE_SPAN("incremental.add_group");
   GL_CHECK(initialized_) << "call Initialize() before AddGroup()";
   GL_CHECK(!record_texts.empty());
 
@@ -146,6 +151,17 @@ IncrementalLinker::AddResult IncrementalLinker::AddGroup(
       result.linked_to.push_back(other);
     }
   }
+
+  auto& registry = MetricsRegistry::Default();
+  static Counter& m_groups = registry.CounterRef("incremental.groups_added");
+  static Counter& m_candidates = registry.CounterRef("incremental.candidates_scored");
+  static Counter& m_links = registry.CounterRef("incremental.links");
+  static Histogram& m_per_arrival = registry.HistogramRef(
+      "incremental.candidates_per_arrival", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+  m_groups.Increment();
+  m_candidates.Increment(result.candidates);
+  m_links.Increment(result.linked_to.size());
+  m_per_arrival.Observe(static_cast<double>(result.candidates));
   return result;
 }
 

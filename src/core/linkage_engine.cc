@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "common/union_find.h"
 #include "text/tokenizer.h"
 
@@ -38,19 +40,53 @@ const char* RecordRepresentationName(RecordRepresentation representation) {
   return "unknown";
 }
 
+Status LinkageConfig::Validate() const {
+  if (theta <= 0.0 || theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  if (group_threshold <= 0.0 || group_threshold > 1.0) {
+    return Status::InvalidArgument("group_threshold must be in (0, 1]");
+  }
+  if (binary_cutoff <= 0.0 || binary_cutoff > 1.0) {
+    return Status::InvalidArgument("binary_cutoff must be in (0, 1]");
+  }
+  if (candidate_jaccard < 0.0 || candidate_jaccard > 1.0) {
+    return Status::InvalidArgument("candidate_jaccard must be in [0, 1]");
+  }
+  if (join_jaccard < 0.0 || join_jaccard > 1.0) {
+    return Status::InvalidArgument("join_jaccard must be in [0, 1]");
+  }
+  if (neighborhood_window <= 0) {
+    return Status::InvalidArgument("neighborhood_window must be positive");
+  }
+  if (minhash_bands <= 0) {
+    return Status::InvalidArgument("minhash_bands must be positive");
+  }
+  if (minhash_rows <= 0) {
+    return Status::InvalidArgument("minhash_rows must be positive");
+  }
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (use_edge_join && join_jaccard > theta) {
+    // Token Jaccard rarely exceeds the TF-IDF cosine used for edges, so a
+    // join threshold above θ guarantees silently dropped true edges.
+    return Status::InvalidArgument(
+        "join_jaccard must not exceed theta when use_edge_join is set");
+  }
+  return Status::Ok();
+}
+
 LinkageEngine::LinkageEngine(const Dataset* dataset, const LinkageConfig& config)
     : dataset_(dataset), config_(config) {
   GL_CHECK(dataset != nullptr);
 }
 
 Status LinkageEngine::Prepare() {
+  GL_TRACE_SPAN("linkage.prepare");
+  WallTimer prepare_timer;
   GL_RETURN_IF_ERROR(dataset_->Validate());
-  if (config_.theta <= 0.0 || config_.theta > 1.0) {
-    return Status::InvalidArgument("theta must be in (0, 1]");
-  }
-  if (config_.group_threshold <= 0.0 || config_.group_threshold > 1.0) {
-    return Status::InvalidArgument("group_threshold must be in (0, 1]");
-  }
+  GL_RETURN_IF_ERROR(config_.Validate());
 
   const auto tokenize = [this](const std::string& text) {
     if (config_.representation == RecordRepresentation::kCharacterQGrams) {
@@ -90,6 +126,7 @@ Status LinkageEngine::Prepare() {
   });
   record_group_ = dataset_->RecordToGroup();
   prepared_ = true;
+  prepare_seconds_ = prepare_timer.ElapsedSeconds();
   return Status::Ok();
 }
 
@@ -112,46 +149,43 @@ double LinkageEngine::DefaultRecordSimilarity(int32_t a, int32_t b) const {
 }
 
 std::vector<std::pair<int32_t, int32_t>> LinkageEngine::GenerateCandidates(
-    LinkageResult& result) {
+    GroupCandidateStats* stats) {
   switch (config_.candidates) {
     case CandidateMethod::kAllPairs: {
       auto pairs = AllGroupPairs(dataset_->num_groups());
-      result.candidate_stats.group_pairs = pairs.size();
+      stats->group_pairs = pairs.size();
       return pairs;
     }
     case CandidateMethod::kRecordJoin:
       return GroupCandidatesFromRecordJoin(
           record_token_ids_, record_group_, static_cast<int32_t>(vocabulary_.size()),
-          dataset_->num_groups(), config_.candidate_jaccard, &result.candidate_stats);
+          dataset_->num_groups(), config_.candidate_jaccard, stats);
     case CandidateMethod::kMinHash:
       return GroupCandidatesFromMinHash(
           record_token_ids_, record_group_,
           static_cast<size_t>(std::max(config_.minhash_bands, 1)),
-          static_cast<size_t>(std::max(config_.minhash_rows, 1)),
-          &result.candidate_stats);
+          static_cast<size_t>(std::max(config_.minhash_rows, 1)), stats);
     case CandidateMethod::kSortedNeighborhood: {
       std::vector<std::string> labels;
       labels.reserve(dataset_->groups.size());
       for (const Group& group : dataset_->groups) labels.push_back(group.label);
       auto pairs = SortedNeighborhoodPairs(
           labels, static_cast<size_t>(std::max(config_.neighborhood_window, 0)));
-      result.candidate_stats.group_pairs = pairs.size();
+      stats->group_pairs = pairs.size();
       return pairs;
     }
     case CandidateMethod::kLabelBlocking: {
       std::vector<std::string> labels;
       labels.reserve(dataset_->groups.size());
       for (const Group& group : dataset_->groups) labels.push_back(group.label);
-      return GroupCandidatesFromLabelBlocking(config_.blocking, labels,
-                                              &result.candidate_stats);
+      return GroupCandidatesFromLabelBlocking(config_.blocking, labels, stats);
     }
     case CandidateMethod::kBlocking: {
       std::vector<std::string> texts;
       texts.reserve(dataset_->records.size());
       for (const Record& record : dataset_->records) texts.push_back(record.text);
       return GroupCandidatesFromBlocking(config_.blocking, texts, record_group_,
-                                         dataset_->num_groups(),
-                                         &result.candidate_stats);
+                                         dataset_->num_groups(), stats);
     }
   }
   return {};
@@ -159,8 +193,8 @@ std::vector<std::pair<int32_t, int32_t>> LinkageEngine::GenerateCandidates(
 
 std::vector<ScoredPair> LinkageEngine::ScoreCandidates(GroupMeasureKind measure) {
   GL_CHECK(prepared_) << "call Prepare() before ScoreCandidates()";
-  LinkageResult scratch;
-  const auto candidates = GenerateCandidates(scratch);
+  GroupCandidateStats scratch;
+  const auto candidates = GenerateCandidates(&scratch);
   const double edge_threshold = measure == GroupMeasureKind::kBinaryJaccard
                                     ? config_.binary_cutoff
                                     : config_.theta;
@@ -183,14 +217,37 @@ LinkageResult LinkageEngine::Run() {
   return Run([this](int32_t a, int32_t b) { return DefaultRecordSimilarity(a, b); });
 }
 
+void LinkageEngine::FillRunFacts(RunReport& report) const {
+  const bool edge_join =
+      config_.use_edge_join && config_.measure == GroupMeasureKind::kBm;
+  report.strategy = edge_join ? "edge-join" : "per-pair";
+  // The edge join replaces candidate generation wholesale, so the
+  // configured candidate method never runs under that strategy.
+  report.candidate_method =
+      edge_join ? "edge-join" : CandidateMethodName(config_.candidates);
+  report.measure = GroupMeasureKindName(config_.measure);
+  report.threads = config_.num_threads;
+  report.records = static_cast<int64_t>(dataset_->records.size());
+  report.groups = static_cast<int64_t>(dataset_->num_groups());
+  StageStats& prepare = report.AddStage("prepare", prepare_seconds_);
+  prepare.AddCounter("records", static_cast<int64_t>(dataset_->records.size()));
+  prepare.AddCounter("groups", static_cast<int64_t>(dataset_->num_groups()));
+  prepare.AddCounter("vocabulary", static_cast<int64_t>(vocabulary_.size()));
+}
+
 LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
   GL_CHECK(prepared_) << "call Prepare() before Run()";
+  GL_TRACE_SPAN("linkage.run");
+  static Counter& runs = MetricsRegistry::Default().CounterRef("engine.runs");
+  runs.Increment();
+
   LinkageResult result;
+  RunReport& report = result.mutable_report();
+  FillRunFacts(report);
 
   if (config_.use_edge_join && config_.measure == GroupMeasureKind::kBm) {
     // Global edge join replaces both candidate generation and per-pair
     // graph construction.
-    WallTimer join_timer;
     EdgeJoinConfig ej_config;
     ej_config.theta = config_.theta;
     ej_config.group_threshold = config_.group_threshold;
@@ -198,17 +255,24 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
     ej_config.use_upper_bound_filter = config_.use_upper_bound_filter;
     ej_config.use_lower_bound_accept = config_.use_lower_bound_accept;
     ej_config.num_threads = config_.num_threads;
+    EdgeJoinStats ej_stats;
     result.linked_pairs = EdgeJoinLink(
         *dataset_, record_token_ids_, static_cast<int32_t>(vocabulary_.size()),
-        record_group_, sim, ej_config, &result.edge_join_stats, pool());
-    result.seconds_scoring = join_timer.ElapsedSeconds();
+        record_group_, sim, ej_config, &ej_stats, pool());
+    AppendEdgeJoinStages(ej_stats, &report);
     FinishClustering(result);
     return result;
   }
 
   WallTimer timer;
-  const auto candidates = GenerateCandidates(result);
-  result.seconds_candidates = timer.ElapsedSeconds();
+  GroupCandidateStats cand_stats;
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  {
+    GL_TRACE_SPAN("linkage.candidates");
+    candidates = GenerateCandidates(&cand_stats);
+  }
+  report.stages.push_back(
+      CandidatesStageFromStats(cand_stats, timer.ElapsedSeconds()));
 
   timer.Reset();
   FilterRefineConfig fr_config;
@@ -219,55 +283,65 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
   fr_config.use_lower_bound_accept =
       config_.use_filter_refine && config_.use_lower_bound_accept;
 
-  if (config_.measure == GroupMeasureKind::kBm) {
-    result.linked_pairs = FilterRefineLink(*dataset_, sim, candidates, fr_config,
-                                           &result.score_stats, pool());
-  } else {
-    // Baseline measures: direct evaluation per candidate. The binary
-    // Jaccard baseline builds its graph at the (stricter) equality cutoff.
-    const double edge_threshold = config_.measure == GroupMeasureKind::kBinaryJaccard
-                                      ? config_.binary_cutoff
-                                      : config_.theta;
-    result.score_stats.candidates = candidates.size();
-    for (const auto& [g1, g2] : candidates) {
-      const BipartiteGraph graph =
-          BuildSimilarityGraph(*dataset_, g1, g2, sim, edge_threshold);
-      if (graph.edges().empty()) {
-        ++result.score_stats.empty_graphs;
-        continue;
-      }
-      const double score = EvaluateGroupMeasure(config_.measure, graph,
-                                                dataset_->GroupSize(g1),
-                                                dataset_->GroupSize(g2));
-      if (score >= config_.group_threshold) {
-        result.linked_pairs.emplace_back(g1, g2);
-        ++result.score_stats.linked;
+  FilterRefineStats fr_stats;
+  {
+    GL_TRACE_SPAN("linkage.score");
+    if (config_.measure == GroupMeasureKind::kBm) {
+      result.linked_pairs = FilterRefineLink(*dataset_, sim, candidates, fr_config,
+                                             &fr_stats, pool());
+    } else {
+      // Baseline measures: direct evaluation per candidate. The binary
+      // Jaccard baseline builds its graph at the (stricter) equality cutoff.
+      const double edge_threshold =
+          config_.measure == GroupMeasureKind::kBinaryJaccard
+              ? config_.binary_cutoff
+              : config_.theta;
+      fr_stats.candidates = candidates.size();
+      for (const auto& [g1, g2] : candidates) {
+        const BipartiteGraph graph =
+            BuildSimilarityGraph(*dataset_, g1, g2, sim, edge_threshold);
+        if (graph.edges().empty()) {
+          ++fr_stats.empty_graphs;
+          continue;
+        }
+        const double score = EvaluateGroupMeasure(config_.measure, graph,
+                                                  dataset_->GroupSize(g1),
+                                                  dataset_->GroupSize(g2));
+        if (score >= config_.group_threshold) {
+          result.linked_pairs.emplace_back(g1, g2);
+          ++fr_stats.linked;
+        }
       }
     }
   }
-  result.seconds_scoring = timer.ElapsedSeconds();
+  report.stages.push_back(ScoreStageFromStats(fr_stats, timer.ElapsedSeconds()));
   FinishClustering(result);
   return result;
 }
 
 void LinkageEngine::FinishClustering(LinkageResult& result) const {
+  GL_TRACE_SPAN("linkage.cluster");
+  WallTimer timer;
   UnionFind clusters(static_cast<size_t>(dataset_->num_groups()));
   for (const auto& [g1, g2] : result.linked_pairs) {
     clusters.Union(static_cast<size_t>(g1), static_cast<size_t>(g2));
   }
   result.group_cluster = clusters.ComponentLabels();
   result.num_clusters = clusters.num_sets();
+
+  RunReport& report = result.mutable_report();
+  report.links = static_cast<int64_t>(result.linked_pairs.size());
+  report.clusters = static_cast<int64_t>(result.num_clusters);
+  StageStats& cluster = report.AddStage("cluster", timer.ElapsedSeconds());
+  cluster.AddCounter("links", report.links);
+  cluster.AddCounter("clusters", report.clusters);
 }
 
 Result<LinkageResult> RunGroupLinkage(const Dataset& dataset,
                                       const LinkageConfig& config) {
   LinkageEngine engine(&dataset, config);
-  WallTimer timer;
   GL_RETURN_IF_ERROR(engine.Prepare());
-  LinkageResult result = engine.Run();
-  result.seconds_prepare = timer.ElapsedSeconds() - result.seconds_candidates -
-                           result.seconds_scoring;
-  return result;
+  return engine.Run();
 }
 
 }  // namespace grouplink

@@ -12,6 +12,7 @@
 #include "core/filter_refine.h"
 #include "core/group.h"
 #include "core/group_measures.h"
+#include "core/run_report.h"
 #include "core/scored_pair.h"
 #include "index/blocking.h"
 #include "index/candidates.h"
@@ -93,10 +94,18 @@ struct LinkageConfig {
   /// Prepare tokenizes + TF-IDF-vectorizes records in parallel. Results
   /// are bit-identical to the serial run in every case.
   int32_t num_threads = 1;
+
+  /// Checks every field for consistency: thresholds in range, positive
+  /// window/band/row/thread counts, and join_jaccard <= theta when the
+  /// edge join is enabled (a join threshold above θ would silently drop
+  /// true edges). Prepare() calls this; call it directly to fail fast
+  /// when configs come from user input.
+  Status Validate() const;
 };
 
 /// Output of LinkageEngine::Run.
-struct LinkageResult {
+class LinkageResult {
+ public:
   /// Linked group pairs (i < j), the paper's primary output.
   std::vector<std::pair<int32_t, int32_t>> linked_pairs;
   /// Transitive closure of linked_pairs: one entity label per group.
@@ -104,13 +113,36 @@ struct LinkageResult {
   /// Number of entity clusters.
   size_t num_clusters = 0;
 
-  GroupCandidateStats candidate_stats;
-  FilterRefineStats score_stats;
-  /// Populated instead of score_stats when config.use_edge_join is set.
-  EdgeJoinStats edge_join_stats;
-  double seconds_prepare = 0.0;
-  double seconds_candidates = 0.0;
-  double seconds_scoring = 0.0;
+  /// All run statistics — per-stage wall times and counters — behind one
+  /// struct with one ToJson(). See core/run_report.h.
+  const RunReport& report() const { return report_; }
+  RunReport& mutable_report() { return report_; }
+
+  /// Deprecated accessors, kept for source compatibility with the old
+  /// field sprawl (candidate_stats / score_stats / edge_join_stats /
+  /// seconds_*). They reconstruct the legacy structs from report();
+  /// prefer report().StageCounter(...) / StageSeconds(...) in new code.
+  GroupCandidateStats candidate_stats() const {
+    return CandidateStatsFromReport(report_);
+  }
+  FilterRefineStats score_stats() const {
+    return FilterRefineStatsFromReport(report_);
+  }
+  EdgeJoinStats edge_join_stats() const {
+    return EdgeJoinStatsFromReport(report_);
+  }
+  double seconds_prepare() const { return report_.StageSeconds("prepare"); }
+  double seconds_candidates() const {
+    return report_.StageSeconds("candidates");
+  }
+  /// Per-pair runs: the score stage. Edge-join runs: join+bucket+score.
+  double seconds_scoring() const {
+    return report_.StageSeconds("join") + report_.StageSeconds("bucket") +
+           report_.StageSeconds("score");
+  }
+
+ private:
+  RunReport report_;
 };
 
 /// Runs group linkage end to end:
@@ -164,8 +196,10 @@ class LinkageEngine {
   const LinkageConfig& config() const { return config_; }
 
  private:
-  std::vector<std::pair<int32_t, int32_t>> GenerateCandidates(LinkageResult& result);
+  std::vector<std::pair<int32_t, int32_t>> GenerateCandidates(
+      GroupCandidateStats* stats);
   void FinishClustering(LinkageResult& result) const;
+  void FillRunFacts(RunReport& report) const;
   /// The engine's worker pool (null when num_threads <= 1); created once,
   /// shared by Prepare and Run.
   ThreadPool* pool();
@@ -173,6 +207,7 @@ class LinkageEngine {
   const Dataset* dataset_;
   LinkageConfig config_;
   bool prepared_ = false;
+  double prepare_seconds_ = 0.0;
   std::unique_ptr<ThreadPool> pool_;
 
   Vocabulary vocabulary_;

@@ -1,0 +1,257 @@
+#include "core/run_report.h"
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace grouplink {
+
+int64_t StageStats::Counter(std::string_view key) const {
+  for (const auto& [name, value] : counters) {
+    if (name == key) return value;
+  }
+  return 0;
+}
+
+double StageStats::Timing(std::string_view key) const {
+  for (const auto& [name, value] : timings) {
+    if (name == key) return value;
+  }
+  return 0.0;
+}
+
+StageStats& StageStats::AddCounter(std::string_view key, int64_t value) {
+  for (auto& [name, existing] : counters) {
+    if (name == key) {
+      existing = value;
+      return *this;
+    }
+  }
+  counters.emplace_back(std::string(key), value);
+  return *this;
+}
+
+StageStats& StageStats::AddTiming(std::string_view key, double value) {
+  for (auto& [name, existing] : timings) {
+    if (name == key) {
+      existing = value;
+      return *this;
+    }
+  }
+  timings.emplace_back(std::string(key), value);
+  return *this;
+}
+
+StageStats& RunReport::AddStage(std::string_view name, double seconds) {
+  if (StageStats* stage = MutableStage(name)) {
+    // Get-or-create: a lookup with the default seconds must not clobber a
+    // previously recorded time.
+    if (seconds != 0.0) stage->seconds = seconds;
+    return *stage;
+  }
+  StageStats stage;
+  stage.name = std::string(name);
+  stage.seconds = seconds;
+  stages.push_back(std::move(stage));
+  return stages.back();
+}
+
+const StageStats* RunReport::FindStage(std::string_view name) const {
+  for (const StageStats& stage : stages) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+StageStats* RunReport::MutableStage(std::string_view name) {
+  for (StageStats& stage : stages) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+double RunReport::StageSeconds(std::string_view name) const {
+  const StageStats* stage = FindStage(name);
+  return stage == nullptr ? 0.0 : stage->seconds;
+}
+
+int64_t RunReport::StageCounter(std::string_view name, std::string_view key) const {
+  const StageStats* stage = FindStage(name);
+  return stage == nullptr ? 0 : stage->Counter(key);
+}
+
+double RunReport::TotalSeconds() const {
+  double total = 0.0;
+  for (const StageStats& stage : stages) total += stage.seconds;
+  return total;
+}
+
+void RunReport::AddExtra(std::string_view key, double value) {
+  for (auto& [name, existing] : extra) {
+    if (name == key) {
+      existing = value;
+      return;
+    }
+  }
+  extra.emplace_back(std::string(key), value);
+}
+
+void RunReport::WriteJson(JsonWriter* json_ptr) const {
+  JsonWriter& json = *json_ptr;
+  json.BeginObject();
+  json.Field("strategy", strategy);
+  json.Field("candidate_method", candidate_method);
+  json.Field("measure", measure);
+  json.Field("threads", static_cast<int64_t>(threads));
+  json.Field("records", records);
+  json.Field("groups", groups);
+  json.Field("links", links);
+  json.Field("clusters", clusters);
+  json.Field("seconds_total", TotalSeconds());
+  json.Key("stages");
+  json.BeginArray();
+  for (const StageStats& stage : stages) {
+    json.BeginObject();
+    json.Field("stage", stage.name);
+    json.Field("seconds", stage.seconds);
+    json.Key("counters");
+    json.BeginObject();
+    for (const auto& [key, value] : stage.counters) json.Field(key, value);
+    json.EndObject();
+    json.Key("timings");
+    json.BeginObject();
+    for (const auto& [key, value] : stage.timings) json.Field(key, value);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("extra");
+  json.BeginObject();
+  for (const auto& [key, value] : extra) json.Field(key, value);
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string RunReport::ToJson(int indent) const {
+  JsonWriter json(indent);
+  WriteJson(&json);
+  return json.str();
+}
+
+StageStats CandidatesStageFromStats(const GroupCandidateStats& stats,
+                                    double seconds) {
+  StageStats stage;
+  stage.name = "candidates";
+  stage.seconds = seconds;
+  stage.AddCounter("record_pairs", static_cast<int64_t>(stats.record_pairs));
+  stage.AddCounter("group_pairs", static_cast<int64_t>(stats.group_pairs));
+  return stage;
+}
+
+StageStats ScoreStageFromStats(const FilterRefineStats& stats, double seconds) {
+  StageStats stage;
+  stage.name = "score";
+  stage.seconds = seconds;
+  stage.AddCounter("candidates", static_cast<int64_t>(stats.candidates));
+  stage.AddCounter("empty_graphs", static_cast<int64_t>(stats.empty_graphs));
+  stage.AddCounter("ub_pruned", static_cast<int64_t>(stats.pruned_by_upper_bound));
+  stage.AddCounter("lb_accepted",
+                   static_cast<int64_t>(stats.accepted_by_lower_bound));
+  stage.AddCounter("refined", static_cast<int64_t>(stats.refined));
+  stage.AddCounter("linked", static_cast<int64_t>(stats.linked));
+  stage.AddTiming("graphs", stats.seconds_graphs);
+  stage.AddTiming("bounds", stats.seconds_bounds);
+  stage.AddTiming("refine", stats.seconds_refine);
+  return stage;
+}
+
+void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report) {
+  StageStats& join = report->AddStage("join", stats.seconds_join);
+  join.AddCounter("record_candidates",
+                  static_cast<int64_t>(stats.record_candidates));
+  join.AddCounter("edges", static_cast<int64_t>(stats.edges));
+  join.AddCounter("threads_used", static_cast<int64_t>(stats.threads_used));
+  join.AddTiming("verify", stats.seconds_verify);
+
+  StageStats& bucket = report->AddStage("bucket", stats.seconds_bucket);
+  bucket.AddCounter("group_pairs", static_cast<int64_t>(stats.group_pairs));
+
+  StageStats& score = report->AddStage("score", stats.seconds_score);
+  score.AddCounter("group_pairs", static_cast<int64_t>(stats.group_pairs));
+  score.AddCounter("ub_pruned", static_cast<int64_t>(stats.pruned_by_upper_bound));
+  score.AddCounter("lb_accepted",
+                   static_cast<int64_t>(stats.accepted_by_lower_bound));
+  score.AddCounter("refined", static_cast<int64_t>(stats.refined));
+  score.AddCounter("linked", static_cast<int64_t>(stats.linked));
+}
+
+GroupCandidateStats CandidateStatsFromReport(const RunReport& report) {
+  GroupCandidateStats stats;
+  stats.record_pairs =
+      static_cast<size_t>(report.StageCounter("candidates", "record_pairs"));
+  stats.group_pairs =
+      static_cast<size_t>(report.StageCounter("candidates", "group_pairs"));
+  return stats;
+}
+
+FilterRefineStats FilterRefineStatsFromReport(const RunReport& report) {
+  FilterRefineStats stats;
+  stats.candidates = static_cast<size_t>(report.StageCounter("score", "candidates"));
+  stats.empty_graphs =
+      static_cast<size_t>(report.StageCounter("score", "empty_graphs"));
+  stats.pruned_by_upper_bound =
+      static_cast<size_t>(report.StageCounter("score", "ub_pruned"));
+  stats.accepted_by_lower_bound =
+      static_cast<size_t>(report.StageCounter("score", "lb_accepted"));
+  stats.refined = static_cast<size_t>(report.StageCounter("score", "refined"));
+  stats.linked = static_cast<size_t>(report.StageCounter("score", "linked"));
+  if (const StageStats* score = report.FindStage("score")) {
+    stats.seconds_graphs = score->Timing("graphs");
+    stats.seconds_bounds = score->Timing("bounds");
+    stats.seconds_refine = score->Timing("refine");
+  }
+  return stats;
+}
+
+EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report) {
+  EdgeJoinStats stats;
+  stats.record_candidates =
+      static_cast<size_t>(report.StageCounter("join", "record_candidates"));
+  stats.edges = static_cast<size_t>(report.StageCounter("join", "edges"));
+  stats.group_pairs =
+      static_cast<size_t>(report.StageCounter("bucket", "group_pairs"));
+  stats.pruned_by_upper_bound =
+      static_cast<size_t>(report.StageCounter("score", "ub_pruned"));
+  stats.accepted_by_lower_bound =
+      static_cast<size_t>(report.StageCounter("score", "lb_accepted"));
+  stats.refined = static_cast<size_t>(report.StageCounter("score", "refined"));
+  stats.linked = static_cast<size_t>(report.StageCounter("score", "linked"));
+  stats.seconds_join = report.StageSeconds("join");
+  if (const StageStats* join = report.FindStage("join")) {
+    stats.seconds_verify = join->Timing("verify");
+    stats.threads_used = static_cast<int32_t>(join->Counter("threads_used"));
+    if (stats.threads_used <= 0) stats.threads_used = 1;
+  }
+  stats.seconds_bucket = report.StageSeconds("bucket");
+  stats.seconds_score = report.StageSeconds("score");
+  return stats;
+}
+
+std::string ExperimentReportJson(std::string_view experiment,
+                                 const std::vector<RunReport>& runs, int indent) {
+  JsonWriter json(indent);
+  json.BeginObject();
+  json.Field("schema", "grouplink.metrics.v1");
+  json.Field("experiment", experiment);
+  json.Field("hardware_threads", static_cast<int64_t>(DefaultThreadCount()));
+  json.Key("runs");
+  json.BeginArray();
+  for (const RunReport& run : runs) run.WriteJson(&json);
+  json.EndArray();
+  json.Key("metrics");
+  MetricsRegistry::Default().Snapshot().WriteJson(&json);
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace grouplink

@@ -1,0 +1,123 @@
+#ifndef GROUPLINK_CORE_RUN_REPORT_H_
+#define GROUPLINK_CORE_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/edge_join.h"
+#include "core/filter_refine.h"
+#include "index/candidates.h"
+
+namespace grouplink {
+
+class JsonWriter;
+
+/// Unified run-statistics API. One LinkageEngine::Run produces one
+/// RunReport: a row of run-level facts (strategy, measure, thread count,
+/// dataset size, links, clusters) plus an ordered list of StageStats —
+/// one entry per pipeline stage — each carrying that stage's wall time
+/// and named counters. The report replaces the old LinkageResult sprawl
+/// of candidate_stats / score_stats / edge_join_stats / seconds_*; those
+/// survive as deprecated accessors reconstructed from the stages here.
+///
+/// Stage vocabulary (see DESIGN.md "Observability" for the full catalog):
+///   per-pair pipeline:  prepare, candidates, score, cluster
+///   edge-join pipeline: prepare, join, bucket, score, cluster
+///
+/// Everything serializes through one ToJson(), and benches aggregate
+/// whole experiments with ExperimentReportJson(), so every BENCH_*.json
+/// shares a single schema ("grouplink.metrics.v1").
+
+/// One pipeline stage: wall time plus named counters and sub-phase
+/// timings, in insertion order.
+struct StageStats {
+  std::string name;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, int64_t>> counters;
+  /// Sub-phase wall times (e.g. score -> graphs/bounds/refine).
+  std::vector<std::pair<std::string, double>> timings;
+
+  /// Value of counter `key`, or 0 when absent.
+  int64_t Counter(std::string_view key) const;
+  /// Value of timing `key`, or 0.0 when absent.
+  double Timing(std::string_view key) const;
+  /// Appends (or overwrites an existing) counter / timing.
+  StageStats& AddCounter(std::string_view key, int64_t value);
+  StageStats& AddTiming(std::string_view key, double value);
+};
+
+/// Full statistics of one linkage run.
+struct RunReport {
+  /// "per-pair" or "edge-join".
+  std::string strategy;
+  /// CandidateMethodName(...) for the per-pair pipeline, "edge-join" for
+  /// the global join (which replaces candidate generation).
+  std::string candidate_method;
+  /// GroupMeasureKindName(...).
+  std::string measure;
+  int32_t threads = 1;
+  int64_t records = 0;
+  int64_t groups = 0;
+  int64_t links = 0;
+  int64_t clusters = 0;
+  /// Pipeline stages in execution order.
+  std::vector<StageStats> stages;
+  /// Experiment-attached numbers outside the engine's knowledge
+  /// (precision, recall, f1, ...). Benches fill these.
+  std::vector<std::pair<std::string, double>> extra;
+
+  /// Get-or-create the stage named `name` (appended at the back when new).
+  /// A non-zero `seconds` sets the stage time; the default 0 leaves any
+  /// previously recorded time untouched, so pure lookups are safe.
+  StageStats& AddStage(std::string_view name, double seconds = 0.0);
+  const StageStats* FindStage(std::string_view name) const;
+  StageStats* MutableStage(std::string_view name);
+  /// Stage wall time, or 0.0 when the stage is absent.
+  double StageSeconds(std::string_view name) const;
+  /// Counter `key` of stage `name`, or 0 when either is absent.
+  int64_t StageCounter(std::string_view name, std::string_view key) const;
+  /// Sum of all stage wall times.
+  double TotalSeconds() const;
+  void AddExtra(std::string_view key, double value);
+
+  /// Emits this run as one JSON object:
+  ///   {"strategy", "candidate_method", "measure", "threads", "records",
+  ///    "groups", "links", "clusters", "seconds_total",
+  ///    "stages": [{"stage", "seconds", "counters": {...},
+  ///                "timings": {...}}, ...],
+  ///    "extra": {...}}
+  void WriteJson(JsonWriter* json) const;
+  std::string ToJson(int indent = 2) const;
+};
+
+/// Stage builders from the legacy per-subsystem stat structs (the engine
+/// uses these to fill reports; benches never need them directly).
+StageStats CandidatesStageFromStats(const GroupCandidateStats& stats,
+                                    double seconds);
+StageStats ScoreStageFromStats(const FilterRefineStats& stats, double seconds);
+/// Appends the edge-join pipeline's join/bucket/score stages.
+void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report);
+
+/// Reconstruction helpers behind LinkageResult's deprecated accessors:
+/// rebuild the legacy structs from report stages (zero-filled for stages
+/// the run never executed).
+GroupCandidateStats CandidateStatsFromReport(const RunReport& report);
+FilterRefineStats FilterRefineStatsFromReport(const RunReport& report);
+EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report);
+
+/// The unified experiment file emitted by every bench and consumed by CI:
+///   {"schema": "grouplink.metrics.v1",
+///    "experiment": <name>,
+///    "hardware_threads": <DefaultThreadCount()>,
+///    "runs": [<RunReport::WriteJson objects>...],
+///    "metrics": <MetricsRegistry::Default() snapshot>}
+std::string ExperimentReportJson(std::string_view experiment,
+                                 const std::vector<RunReport>& runs,
+                                 int indent = 2);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_RUN_REPORT_H_

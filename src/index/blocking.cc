@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "text/soundex.h"
 #include "text/tokenizer.h"
 
@@ -83,7 +84,10 @@ std::vector<std::pair<int32_t, int32_t>> SortedNeighborhoodPairs(
 }
 
 void Blocker::Add(int32_t item, std::string_view text) {
-  for (const std::string& key : BlockingKeys(scheme_, text)) {
+  static Counter& m_keys = MetricsRegistry::Default().CounterRef("blocking.keys");
+  const std::vector<std::string> keys = BlockingKeys(scheme_, text);
+  m_keys.Increment(keys.size());
+  for (const std::string& key : keys) {
     blocks_[key].push_back(item);
   }
 }
@@ -101,6 +105,9 @@ std::vector<std::pair<int32_t, int32_t>> Blocker::CandidatePairs() const {
   }
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  static Counter& m_candidates =
+      MetricsRegistry::Default().CounterRef("blocking.candidates");
+  m_candidates.Increment(pairs.size());
   return pairs;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -92,6 +93,9 @@ std::vector<std::pair<int32_t, int32_t>> LshCandidatePairs(
   }
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  static Counter& m_candidates =
+      MetricsRegistry::Default().CounterRef("minhash.candidates");
+  m_candidates.Increment(pairs.size());
   return pairs;
 }
 
@@ -102,6 +106,9 @@ std::vector<std::pair<int32_t, int32_t>> MinHashSelfJoin(
   std::vector<std::vector<uint64_t>> signatures;
   signatures.reserve(documents.size());
   for (const auto& doc : documents) signatures.push_back(hasher.Signature(doc));
+  static Counter& m_signatures =
+      MetricsRegistry::Default().CounterRef("minhash.signatures");
+  m_signatures.Increment(signatures.size());
   return LshCandidatePairs(signatures, bands, rows_per_band);
 }
 

@@ -5,9 +5,25 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace grouplink {
 namespace {
+
+// Probe/posting counters shared by the join variants. Hot loops batch into
+// locals and flush once per probe set, so instrumentation adds no atomic
+// traffic to the posting scan itself.
+Counter& ProbeCounter() {
+  static Counter& counter =
+      MetricsRegistry::Default().CounterRef("prefix_filter.probes");
+  return counter;
+}
+
+Counter& PostingsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Default().CounterRef("prefix_filter.postings_scanned");
+  return counter;
+}
 
 // Jaccard over sorted-unique int vectors.
 double JaccardInt(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
@@ -84,11 +100,13 @@ std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
   // Index: rank-token -> documents whose prefix contains it (in doc order).
   std::unordered_map<int32_t, std::vector<int32_t>> prefix_index;
   std::vector<std::pair<int32_t, int32_t>> candidates;
+  uint64_t postings_scanned = 0;
   for (size_t d = 0; d < ranked.size(); ++d) {
     const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
     const double size_d = static_cast<double>(ranked[d].size());
     for (size_t k = 0; k < prefix; ++k) {
       const int32_t token = ranked[d][k];
+      postings_scanned += prefix_index[token].size();
       for (const int32_t other : prefix_index[token]) {
         // Length filter: |smaller| >= t * |larger| is necessary for
         // Jaccard >= t. Probing doc d against earlier docs only (other < d)
@@ -102,6 +120,8 @@ std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
       prefix_index[token].push_back(static_cast<int32_t>(d));
     }
   }
+  ProbeCounter().Increment(ranked.size());
+  PostingsCounter().Increment(postings_scanned);
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
   return candidates;
@@ -126,11 +146,13 @@ void PrefixFilterSelfJoinStreaming(
   // for this probe, deduplicating across shared prefix tokens without a
   // global sort.
   std::vector<int32_t> last_probe(documents.size(), -1);
+  uint64_t postings_scanned = 0;
   for (size_t d = 0; d < ranked.size(); ++d) {
     const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
     const double size_d = static_cast<double>(ranked[d].size());
     for (size_t k = 0; k < prefix; ++k) {
       const int32_t token = ranked[d][k];
+      postings_scanned += prefix_index[token].size();
       for (const int32_t other : prefix_index[token]) {
         if (last_probe[static_cast<size_t>(other)] == static_cast<int32_t>(d)) continue;
         last_probe[static_cast<size_t>(other)] = static_cast<int32_t>(d);
@@ -144,6 +166,8 @@ void PrefixFilterSelfJoinStreaming(
       prefix_index[token].push_back(static_cast<int32_t>(d));
     }
   }
+  ProbeCounter().Increment(ranked.size());
+  PostingsCounter().Increment(postings_scanned);
 }
 
 void PrefixFilterSelfJoinSharded(
@@ -183,12 +207,17 @@ void PrefixFilterSelfJoinSharded(
     const size_t end = std::min(n, begin + shard_size);
     // Worker-local dedup state; each probe doc is owned by one shard.
     std::vector<int32_t> last_probe(n, -1);
+    // Batched per shard: the scanned-posting count per probe doc depends
+    // only on the doc (postings ascend, scan stops at the doc id), so the
+    // flushed total is identical at every thread count.
+    uint64_t postings_scanned = 0;
     for (size_t d = begin; d < end; ++d) {
       const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
       const double size_d = static_cast<double>(ranked[d].size());
       for (size_t k = 0; k < prefix; ++k) {
         for (const int32_t other : prefix_index[static_cast<size_t>(ranked[d][k])]) {
           if (other >= static_cast<int32_t>(d)) break;  // Postings ascend.
+          ++postings_scanned;
           if (last_probe[static_cast<size_t>(other)] == static_cast<int32_t>(d)) continue;
           last_probe[static_cast<size_t>(other)] = static_cast<int32_t>(d);
           const double size_o =
@@ -200,6 +229,9 @@ void PrefixFilterSelfJoinSharded(
         }
       }
     }
+    // Trailing shards can be empty (begin past the last document).
+    if (end > begin) ProbeCounter().Increment(end - begin);
+    PostingsCounter().Increment(postings_scanned);
   });
 }
 

@@ -1,0 +1,135 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace grouplink {
+namespace {
+
+// A leading unique prefix keeps these tests from colliding with the
+// pipeline's own metric names in the shared default registry.
+constexpr char kPrefix[] = "test.metrics.";
+
+std::string Name(const std::string& suffix) { return kPrefix + suffix; }
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, DisabledIncrementsAreDropped) {
+  Counter counter;
+  SetMetricsEnabled(false);
+  counter.Increment(100);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment(5);
+  EXPECT_EQ(counter.Value(), 5u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, ObservationsLandInBucketsByUpperBound) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);  // <= 1
+  histogram.Observe(1.0);  // Boundary values count as <= the bound.
+  histogram.Observe(3.0);  // (2, 4]
+  histogram.Observe(9.0);  // +inf overflow.
+  const Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 0u);
+  EXPECT_EQ(snapshot.counts[2], 1u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 13.5);
+}
+
+TEST(HistogramTest, DefaultDecadeLadder) {
+  Histogram histogram;
+  const Histogram::Snapshot snapshot = histogram.TakeSnapshot();
+  ASSERT_FALSE(snapshot.bounds.empty());
+  EXPECT_DOUBLE_EQ(snapshot.bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(snapshot.bounds.back(), 1e3);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsSameInstance) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  Counter& a = registry.CounterRef(Name("same"));
+  Counter& b = registry.CounterRef(Name("same"));
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.GaugeRef(Name("gauge"));
+  Gauge& g2 = registry.GaugeRef(Name("gauge"));
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = registry.HistogramRef(Name("hist"), {1.0, 2.0});
+  Histogram& h2 = registry.HistogramRef(Name("hist"));
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsReferencesValid) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  Counter& counter = registry.CounterRef(Name("reset"));
+  counter.Increment(7);
+  registry.ResetAll();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment(3);  // The reference must still point at the metric.
+  EXPECT_EQ(registry.Snapshot().counters.at(Name("reset")), 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllKinds) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.CounterRef(Name("snap.counter")).Increment(11);
+  registry.GaugeRef(Name("snap.gauge")).Set(0.5);
+  registry.HistogramRef(Name("snap.hist"), {1.0}).Observe(0.25);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at(Name("snap.counter")), 11u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at(Name("snap.gauge")), 0.5);
+  EXPECT_EQ(snapshot.histograms.at(Name("snap.hist")).count, 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonHasExpectedShape) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.CounterRef(Name("json.counter")).Increment();
+  registry.HistogramRef(Name("json.hist"), {2.0}).Observe(1.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find(Name("json.counter")), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+  EXPECT_NE(json.find("\"inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,110 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace grouplink {
+namespace {
+
+// Every test clears the process-wide tracer up front; other suites in
+// this binary do not trace, so the state is ours alone.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Default().Clear(); }
+  void TearDown() override {
+    SetTracingEnabled(true);
+    Tracer::Default().Clear();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansBecomeChildrenOfOneRoot) {
+  {
+    GL_TRACE_SPAN("outer");
+    {
+      GL_TRACE_SPAN("inner");
+    }
+    {
+      GL_TRACE_SPAN("sibling");
+    }
+  }
+  EXPECT_EQ(Tracer::Default().num_roots(), 1u);
+  const std::string text = Tracer::Default().ToText();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+  EXPECT_NE(text.find("sibling"), std::string::npos);
+}
+
+TEST_F(TraceTest, SequentialTopLevelSpansAreSeparateRoots) {
+  {
+    GL_TRACE_SPAN("first");
+  }
+  {
+    GL_TRACE_SPAN("second");
+  }
+  EXPECT_EQ(Tracer::Default().num_roots(), 2u);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetTracingEnabled(false);
+  {
+    GL_TRACE_SPAN("ghost");
+  }
+  SetTracingEnabled(true);
+  EXPECT_EQ(Tracer::Default().num_roots(), 0u);
+  EXPECT_EQ(Tracer::Default().ToText().find("ghost"), std::string::npos);
+}
+
+TEST_F(TraceTest, WorkerThreadSpansStartTheirOwnRoot) {
+  {
+    GL_TRACE_SPAN("main_root");
+    std::thread worker([] { GL_TRACE_SPAN("worker_root"); });
+    worker.join();
+  }
+  // The worker's span must not attach under the main thread's open span.
+  EXPECT_EQ(Tracer::Default().num_roots(), 2u);
+  const std::string json = Tracer::Default().ToJson();
+  EXPECT_NE(json.find("\"main_root\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_root\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsRecordedRoots) {
+  {
+    GL_TRACE_SPAN("gone");
+  }
+  ASSERT_EQ(Tracer::Default().num_roots(), 1u);
+  Tracer::Default().Clear();
+  EXPECT_EQ(Tracer::Default().num_roots(), 0u);
+  EXPECT_EQ(Tracer::Default().dropped_roots(), 0u);
+}
+
+TEST_F(TraceTest, JsonHasSpansAndDroppedRoots) {
+  {
+    GL_TRACE_SPAN("alpha");
+    {
+      GL_TRACE_SPAN("beta");
+    }
+  }
+  const std::string json = Tracer::Default().ToJson();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_roots\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(json.find("\"seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_ns\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RootCapDropsExcessAndCounts) {
+  // One past the cap: the tracer keeps the first kMaxRoots (8192) roots
+  // and counts the rest instead of growing without bound.
+  for (int i = 0; i < 8193; ++i) {
+    GL_TRACE_SPAN("bulk");
+  }
+  EXPECT_EQ(Tracer::Default().num_roots(), 8192u);
+  EXPECT_EQ(Tracer::Default().dropped_roots(), 1u);
+  Tracer::Default().Clear();
+  EXPECT_EQ(Tracer::Default().dropped_roots(), 0u);
+}
+
+}  // namespace
+}  // namespace grouplink

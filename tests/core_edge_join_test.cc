@@ -60,7 +60,7 @@ TEST(EdgeJoinTest, StatsAreConsistent) {
   const Dataset dataset = GenerateBibliographic(SmallConfig());
   const auto result = RunGroupLinkage(dataset, EdgeJoinLinkage());
   ASSERT_TRUE(result.ok());
-  const EdgeJoinStats& stats = result->edge_join_stats;
+  const EdgeJoinStats stats = result->edge_join_stats();
   EXPECT_GT(stats.record_candidates, 0u);
   EXPECT_GT(stats.edges, 0u);
   EXPECT_LE(stats.edges, stats.record_candidates);
@@ -108,9 +108,10 @@ TEST(EdgeJoinTest, DisablingBoundsForcesRefineEverywhere) {
   config.use_lower_bound_accept = false;
   const auto result = RunGroupLinkage(dataset, config);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->edge_join_stats.pruned_by_upper_bound, 0u);
-  EXPECT_EQ(result->edge_join_stats.accepted_by_lower_bound, 0u);
-  EXPECT_EQ(result->edge_join_stats.refined, result->edge_join_stats.group_pairs);
+  EXPECT_EQ(result->report().StageCounter("score", "ub_pruned"), 0);
+  EXPECT_EQ(result->report().StageCounter("score", "lb_accepted"), 0);
+  EXPECT_EQ(result->report().StageCounter("score", "refined"),
+            result->report().StageCounter("bucket", "group_pairs"));
   // Output unchanged (bounds are an optimization, never a semantics change).
   const auto with_bounds = RunGroupLinkage(dataset, EdgeJoinLinkage());
   ASSERT_TRUE(with_bounds.ok());
@@ -131,7 +132,7 @@ TEST(EdgeJoinTest, OutputIdenticalAcrossThreadCounts) {
   serial.num_threads = 1;
   const auto reference = RunGroupLinkage(dataset, serial);
   ASSERT_TRUE(reference.ok());
-  EXPECT_EQ(reference->edge_join_stats.threads_used, 1);
+  EXPECT_EQ(reference->edge_join_stats().threads_used, 1);
 
   for (const int32_t threads : {2, 7}) {
     LinkageConfig parallel = EdgeJoinLinkage();
@@ -140,8 +141,8 @@ TEST(EdgeJoinTest, OutputIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->linked_pairs, reference->linked_pairs) << threads;
     EXPECT_EQ(result->group_cluster, reference->group_cluster) << threads;
-    const EdgeJoinStats& got = result->edge_join_stats;
-    const EdgeJoinStats& want = reference->edge_join_stats;
+    const EdgeJoinStats got = result->edge_join_stats();
+    const EdgeJoinStats want = reference->edge_join_stats();
     EXPECT_EQ(got.record_candidates, want.record_candidates) << threads;
     EXPECT_EQ(got.edges, want.edges) << threads;
     EXPECT_EQ(got.group_pairs, want.group_pairs) << threads;

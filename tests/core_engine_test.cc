@@ -33,6 +33,53 @@ TEST(LinkageEngineTest, PrepareRejectsBadThresholds) {
   EXPECT_FALSE(LinkageEngine(&dataset, config).Prepare().ok());
 }
 
+TEST(LinkageConfigTest, ValidateAcceptsDefaultsAndTestConfigs) {
+  EXPECT_TRUE(LinkageConfig().Validate().ok());
+  EXPECT_TRUE(DefaultLinkage().Validate().ok());
+}
+
+TEST(LinkageConfigTest, ValidateRejectsEachBadField) {
+  const auto rejects = [](void (*mutate)(LinkageConfig&)) {
+    LinkageConfig config;
+    config.theta = 0.6;
+    config.group_threshold = 0.3;
+    mutate(config);
+    return !config.Validate().ok();
+  };
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.theta = 0.0; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.theta = 1.5; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.group_threshold = -0.1; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.group_threshold = 2.0; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.binary_cutoff = 0.0; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.binary_cutoff = 1.1; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.candidate_jaccard = -0.2; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.candidate_jaccard = 1.2; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.join_jaccard = -0.2; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.join_jaccard = 1.2; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.neighborhood_window = 0; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.minhash_bands = 0; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.minhash_rows = -1; }));
+  EXPECT_TRUE(rejects([](LinkageConfig& c) { c.num_threads = 0; }));
+  // join_jaccard above theta is only a problem when the edge join runs.
+  EXPECT_TRUE(rejects([](LinkageConfig& c) {
+    c.use_edge_join = true;
+    c.join_jaccard = 0.9;
+  }));
+  LinkageConfig per_pair;
+  per_pair.theta = 0.6;
+  per_pair.join_jaccard = 0.9;
+  EXPECT_TRUE(per_pair.Validate().ok());
+}
+
+TEST(LinkageConfigTest, PrepareRejectsInvalidConfig) {
+  const Dataset dataset = GenerateBibliographic(SmallConfig());
+  LinkageConfig config = DefaultLinkage();
+  config.num_threads = 0;
+  const Status status = LinkageEngine(&dataset, config).Prepare();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(LinkageEngineTest, PrepareRejectsInvalidDataset) {
   Dataset dataset;  // Empty groups vector but also no records: valid?
   Record record;
@@ -115,9 +162,9 @@ TEST(LinkageEngineTest, FilterRefineMatchesExactPipeline) {
   ASSERT_TRUE(fast.ok());
   ASSERT_TRUE(slow.ok());
   EXPECT_EQ(fast->linked_pairs, slow->linked_pairs);
-  EXPECT_GT(fast->score_stats.pruned_by_upper_bound +
-                fast->score_stats.accepted_by_lower_bound,
-            0u);
+  EXPECT_GT(fast->report().StageCounter("score", "ub_pruned") +
+                fast->report().StageCounter("score", "lb_accepted"),
+            0);
 }
 
 TEST(LinkageEngineTest, CandidateMethodsAgreeOnLinks) {
@@ -148,7 +195,7 @@ TEST(LinkageEngineTest, BlockingCandidatesReduceWork) {
   const LinkageResult result = engine.Run();
   const size_t all =
       static_cast<size_t>(dataset.num_groups()) * (dataset.num_groups() - 1) / 2;
-  EXPECT_LE(result.candidate_stats.group_pairs, all);
+  EXPECT_LE(result.candidate_stats().group_pairs, all);
 }
 
 TEST(LinkageEngineTest, BaselineMeasuresRun) {
@@ -222,9 +269,9 @@ TEST(LinkageEngineTest, ParallelScoringMatchesSerial) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->linked_pairs, b->linked_pairs);
   EXPECT_EQ(a->group_cluster, b->group_cluster);
-  EXPECT_EQ(a->score_stats.pruned_by_upper_bound,
-            b->score_stats.pruned_by_upper_bound);
-  EXPECT_EQ(a->score_stats.refined, b->score_stats.refined);
+  EXPECT_EQ(a->score_stats().pruned_by_upper_bound,
+            b->score_stats().pruned_by_upper_bound);
+  EXPECT_EQ(a->score_stats().refined, b->score_stats().refined);
 }
 
 TEST(LinkageEngineTest, AllCandidateMethodsProduceValidResults) {

@@ -1,0 +1,209 @@
+// End-to-end tests of the observability layer: RunReport stage identities,
+// registry counter exactness across thread counts, and the guarantee that
+// metrics/tracing never change linkage output.
+
+#include "core/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+
+namespace grouplink {
+namespace {
+
+Dataset TestDataset() {
+  BibliographicConfig config;
+  config.num_entities = 60;
+  config.noise = 0.2;
+  config.seed = 99;
+  return GenerateBibliographic(config);
+}
+
+LinkageConfig PerPairConfig() {
+  LinkageConfig config;
+  config.theta = 0.35;
+  config.group_threshold = 0.2;
+  return config;
+}
+
+LinkageConfig EdgeJoinConfig(int32_t threads = 1) {
+  LinkageConfig config = PerPairConfig();
+  config.use_edge_join = true;
+  config.join_jaccard = 0.15;
+  config.num_threads = threads;
+  return config;
+}
+
+TEST(RunReportTest, PerPairStagesAndIdentities) {
+  const Dataset dataset = TestDataset();
+  const auto result = RunGroupLinkage(dataset, PerPairConfig());
+  ASSERT_TRUE(result.ok());
+  const RunReport& report = result->report();
+
+  EXPECT_EQ(report.strategy, "per-pair");
+  EXPECT_EQ(report.measure, "BM");
+  EXPECT_EQ(report.records, dataset.num_records());
+  EXPECT_EQ(report.groups, dataset.num_groups());
+  EXPECT_EQ(report.links, static_cast<int64_t>(result->linked_pairs.size()));
+  EXPECT_EQ(report.clusters, static_cast<int64_t>(result->num_clusters));
+  for (const char* stage : {"prepare", "candidates", "score", "cluster"}) {
+    EXPECT_NE(report.FindStage(stage), nullptr) << stage;
+  }
+  EXPECT_GT(report.TotalSeconds(), 0.0);
+
+  // Every candidate pair is decided exactly once by the filter-refine
+  // cascade: empty graph, UB prune, LB accept, or Hungarian refine.
+  EXPECT_GT(report.StageCounter("score", "candidates"), 0);
+  EXPECT_EQ(report.StageCounter("score", "candidates"),
+            report.StageCounter("score", "empty_graphs") +
+                report.StageCounter("score", "ub_pruned") +
+                report.StageCounter("score", "lb_accepted") +
+                report.StageCounter("score", "refined"));
+  // The candidates stage hands exactly its group pairs to scoring.
+  EXPECT_EQ(report.StageCounter("candidates", "group_pairs"),
+            report.StageCounter("score", "candidates"));
+}
+
+TEST(RunReportTest, EdgeJoinStagesAndIdentities) {
+  const Dataset dataset = TestDataset();
+  const auto result = RunGroupLinkage(dataset, EdgeJoinConfig());
+  ASSERT_TRUE(result.ok());
+  const RunReport& report = result->report();
+
+  EXPECT_EQ(report.strategy, "edge-join");
+  for (const char* stage : {"prepare", "join", "bucket", "score", "cluster"}) {
+    EXPECT_NE(report.FindStage(stage), nullptr) << stage;
+  }
+  EXPECT_EQ(report.StageCounter("bucket", "group_pairs"),
+            report.StageCounter("score", "ub_pruned") +
+                report.StageCounter("score", "lb_accepted") +
+                report.StageCounter("score", "refined"));
+  EXPECT_EQ(report.StageCounter("score", "linked"),
+            static_cast<int64_t>(result->linked_pairs.size()));
+  EXPECT_LE(report.StageCounter("join", "edges"),
+            report.StageCounter("join", "record_candidates"));
+}
+
+TEST(RunReportTest, DeprecatedAccessorsMatchReport) {
+  const Dataset dataset = TestDataset();
+  const auto result = RunGroupLinkage(dataset, PerPairConfig());
+  ASSERT_TRUE(result.ok());
+  const RunReport& report = result->report();
+
+  const FilterRefineStats score = result->score_stats();
+  EXPECT_EQ(static_cast<int64_t>(score.candidates),
+            report.StageCounter("score", "candidates"));
+  EXPECT_EQ(static_cast<int64_t>(score.refined),
+            report.StageCounter("score", "refined"));
+  EXPECT_EQ(static_cast<int64_t>(score.linked),
+            report.StageCounter("score", "linked"));
+
+  const GroupCandidateStats candidates = result->candidate_stats();
+  EXPECT_EQ(static_cast<int64_t>(candidates.group_pairs),
+            report.StageCounter("candidates", "group_pairs"));
+
+  EXPECT_DOUBLE_EQ(result->seconds_prepare(), report.StageSeconds("prepare"));
+  EXPECT_DOUBLE_EQ(result->seconds_candidates(), report.StageSeconds("candidates"));
+  EXPECT_DOUBLE_EQ(result->seconds_scoring(), report.StageSeconds("score"));
+}
+
+TEST(RunReportTest, RegistryCountersIdenticalAcrossThreadCounts) {
+  const Dataset dataset = TestDataset();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+
+  registry.ResetAll();
+  const auto reference = RunGroupLinkage(dataset, EdgeJoinConfig(1));
+  ASSERT_TRUE(reference.ok());
+  const MetricsSnapshot want = registry.Snapshot();
+  ASSERT_GT(want.counters.at("edge_join.sim_evaluations"), 0u);
+  ASSERT_GT(want.counters.at("prefix_filter.postings_scanned"), 0u);
+
+  for (const int32_t threads : {2, 7}) {
+    registry.ResetAll();
+    const auto result = RunGroupLinkage(dataset, EdgeJoinConfig(threads));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->linked_pairs, reference->linked_pairs) << threads;
+    const MetricsSnapshot got = registry.Snapshot();
+    EXPECT_EQ(got.counters, want.counters) << threads << " threads";
+    EXPECT_EQ(got.histograms.at("edge_join.bucket_size").count,
+              want.histograms.at("edge_join.bucket_size").count)
+        << threads << " threads";
+  }
+}
+
+TEST(RunReportTest, BucketHistogramCountsEveryGroupPair) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.ResetAll();
+  const Dataset dataset = TestDataset();
+  const auto result = RunGroupLinkage(dataset, EdgeJoinConfig());
+  ASSERT_TRUE(result.ok());
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.histograms.at("edge_join.bucket_size").count,
+            snapshot.counters.at("edge_join.group_pairs"));
+  EXPECT_EQ(snapshot.counters.at("edge_join.group_pairs"),
+            static_cast<uint64_t>(
+                result->report().StageCounter("bucket", "group_pairs")));
+}
+
+TEST(RunReportTest, DisablingObservabilityDoesNotChangeOutput) {
+  const Dataset dataset = TestDataset();
+  const auto baseline = RunGroupLinkage(dataset, EdgeJoinConfig(2));
+  ASSERT_TRUE(baseline.ok());
+
+  MetricsRegistry::Default().ResetAll();
+  SetMetricsEnabled(false);
+  SetTracingEnabled(false);
+  const auto dark = RunGroupLinkage(dataset, EdgeJoinConfig(2));
+  SetMetricsEnabled(true);
+  SetTracingEnabled(true);
+  ASSERT_TRUE(dark.ok());
+
+  EXPECT_EQ(dark->linked_pairs, baseline->linked_pairs);
+  EXPECT_EQ(dark->group_cluster, baseline->group_cluster);
+  EXPECT_EQ(dark->num_clusters, baseline->num_clusters);
+  // Nothing was recorded while the switch was off.
+  for (const auto& [name, value] : MetricsRegistry::Default().Snapshot().counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+}
+
+TEST(RunReportTest, JsonExportsHaveExpectedShape) {
+  const Dataset dataset = TestDataset();
+  const auto result = RunGroupLinkage(dataset, EdgeJoinConfig());
+  ASSERT_TRUE(result.ok());
+
+  const std::string run_json = result->report().ToJson();
+  for (const char* key :
+       {"\"strategy\"", "\"measure\"", "\"threads\"", "\"records\"", "\"groups\"",
+        "\"links\"", "\"clusters\"", "\"seconds_total\"", "\"stages\"",
+        "\"counters\"", "\"timings\""}) {
+    EXPECT_NE(run_json.find(key), std::string::npos) << key;
+  }
+
+  const std::string doc = ExperimentReportJson("report_test", {result->report()});
+  for (const char* key : {"\"grouplink.metrics.v1\"", "\"experiment\"",
+                          "\"hardware_threads\"", "\"runs\"", "\"metrics\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(RunReportTest, StageAccessorsOnMissingStagesAreZero) {
+  RunReport report;
+  EXPECT_EQ(report.FindStage("nope"), nullptr);
+  EXPECT_EQ(report.StageCounter("nope", "x"), 0);
+  EXPECT_DOUBLE_EQ(report.StageSeconds("nope"), 0.0);
+  StageStats& stage = report.AddStage("only", 1.5);
+  stage.AddCounter("k", 7);
+  EXPECT_EQ(&report.AddStage("only"), &stage);  // Get-or-create.
+  EXPECT_EQ(report.StageCounter("only", "k"), 7);
+  EXPECT_EQ(report.StageCounter("only", "missing"), 0);
+  EXPECT_DOUBLE_EQ(report.TotalSeconds(), 1.5);
+}
+
+}  // namespace
+}  // namespace grouplink
