@@ -27,10 +27,14 @@ int main(int argc, char** argv) {
   flags.AddDouble("noise", 0.3, "generator noise");
   flags.AddDouble("theta", 0.4, "record-level edge threshold");
   flags.AddDouble("group-threshold", 0.3, "group-level link threshold");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t households =
+      flags.GetBool("smoke") ? 40
+                             : static_cast<int32_t>(flags.GetInt64("households"));
 
-  const Dataset dataset = GenerateHouseholds(bench::StandardHouseholds(
-      static_cast<int32_t>(flags.GetInt64("households")), flags.GetDouble("noise")));
+  const Dataset dataset = GenerateHouseholds(
+      bench::StandardHouseholds(households, flags.GetDouble("noise")));
   const auto truth = dataset.TruePairs();
   std::printf(
       "E10: household linkage — %d person records, %d snapshot groups, "

@@ -25,10 +25,13 @@ int main(int argc, char** argv) {
 
   FlagParser flags;
   flags.AddInt64("entities", 120, "author entities");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
-  BibliographicConfig data_config = bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), 0.2);
+  BibliographicConfig data_config = bench::HardBibliographic(entities, 0.2);
   data_config.group_citation_fraction = 0.9;
   data_config.group_citation_fraction_min = 0.15;  // Heavy size imbalance.
   const Dataset dataset = GenerateBibliographic(data_config);

@@ -34,10 +34,14 @@ int main(int argc, char** argv) {
                  "worker threads for the native edge join");
   flags.AddString("metrics-json", "BENCH_e14.json",
                   "unified metrics report output path ('' to skip)");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
-  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), 0.25));
+  const Dataset dataset =
+      GenerateBibliographic(bench::HardBibliographic(entities, 0.25));
   std::printf("E14: SQL pipeline vs native edge join (%d records, %d groups)\n\n",
               dataset.num_records(), dataset.num_groups());
 

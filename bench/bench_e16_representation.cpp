@@ -22,8 +22,11 @@ int main(int argc, char** argv) {
 
   FlagParser flags;
   flags.AddInt64("entities", 80, "author entities");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
-  const int32_t entities = static_cast<int32_t>(flags.GetInt64("entities"));
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 12
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
   std::printf("E16: word tokens vs character 3-grams (theta=%.2f, Theta=%.2f)\n\n",
               bench::kTheta, bench::kGroupThreshold);

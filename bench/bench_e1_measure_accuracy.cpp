@@ -31,10 +31,14 @@ int main(int argc, char** argv) {
   flags.AddInt64("seed", 42, "generator seed");
   flags.AddString("metrics-json", "",
                   "unified metrics report output path ('' to skip)");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
   const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), flags.GetDouble("noise"),
+      entities, flags.GetDouble("noise"),
       static_cast<uint64_t>(flags.GetInt64("seed"))));
   const auto truth = dataset.TruePairs();
   std::printf(

@@ -27,10 +27,14 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 100, "author entities");
   flags.AddDouble("noise", 0.25, "generator noise");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
-  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), flags.GetDouble("noise")));
+  const Dataset dataset = GenerateBibliographic(
+      bench::HardBibliographic(entities, flags.GetDouble("noise")));
   const auto truth = dataset.TruePairs();
   std::printf("E2: F1 vs group threshold Theta (theta=%.2f, %d groups)\n\n",
               bench::kTheta, dataset.num_groups());

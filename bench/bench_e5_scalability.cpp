@@ -71,12 +71,17 @@ int main(int argc, char** argv) {
                   "comma-separated thread counts for the edge-join sweep");
   flags.AddString("metrics-json", "BENCH_e5.json",
                   "unified metrics report output path ('' to skip)");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const bool smoke = flags.GetBool("smoke");
   const int64_t brute_cap = flags.GetInt64("brute-cap");
   const int64_t threads = std::max<int64_t>(1, flags.GetInt64("threads"));
+  const std::string sizes = smoke ? "15,30" : flags.GetString("sizes");
+  const std::string sweep_text =
+      smoke ? "1,2" : flags.GetString("thread-sweep");
 
   std::vector<int64_t> thread_sweep;
-  for (const std::string& t : Split(flags.GetString("thread-sweep"), ',')) {
+  for (const std::string& t : Split(sweep_text, ',')) {
     const auto parsed = ParseInt64(t);
     GL_CHECK(parsed.ok()) << t;
     thread_sweep.push_back(std::max<int64_t>(1, *parsed));
@@ -98,7 +103,7 @@ int main(int argc, char** argv) {
   TextTable table(header);
 
   std::vector<RunReport> reports;
-  for (const std::string& size_text : Split(flags.GetString("sizes"), ',')) {
+  for (const std::string& size_text : Split(sizes, ',')) {
     const auto entities = ParseInt64(size_text);
     GL_CHECK(entities.ok()) << size_text;
     const Dataset dataset = GenerateBibliographic(

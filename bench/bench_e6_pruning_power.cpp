@@ -20,10 +20,14 @@ int main(int argc, char** argv) {
 
   FlagParser flags;
   flags.AddInt64("entities", 150, "author entities");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
-  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), 0.25));
+  const Dataset dataset =
+      GenerateBibliographic(bench::HardBibliographic(entities, 0.25));
   std::printf("E6: bound pruning power vs Theta (%d groups, theta=%.2f)\n\n",
               dataset.num_groups(), bench::kTheta);
 

@@ -53,9 +53,11 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddDouble("density", 0.3, "edge probability");
   flags.AddInt64("max-side", 512, "largest group size to time");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const double density = flags.GetDouble("density");
-  const int64_t max_side = flags.GetInt64("max-side");
+  const int64_t max_side =
+      flags.GetBool("smoke") ? 16 : flags.GetInt64("max-side");
 
   std::printf("E7: matching cost vs group size (density=%.2f)\n\n", density);
 

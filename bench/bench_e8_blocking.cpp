@@ -52,10 +52,14 @@ SchemeResult RunScheme(const Dataset& dataset, const LinkageConfig& config,
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 150, "author entities");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
-  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), 0.25));
+  const Dataset dataset =
+      GenerateBibliographic(bench::HardBibliographic(entities, 0.25));
   std::printf("E8: candidate generation schemes (%d groups)\n\n",
               dataset.num_groups());
 

@@ -26,10 +26,14 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 100, "author entities");
   flags.AddInt64("max-pairs", 5000, "maximum candidate pairs to sample");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
   GL_CHECK(flags.Parse(argc, argv).ok());
+  const int32_t entities = flags.GetBool("smoke")
+                               ? 15
+                               : static_cast<int32_t>(flags.GetInt64("entities"));
 
-  const Dataset dataset = GenerateBibliographic(bench::HardBibliographic(
-      static_cast<int32_t>(flags.GetInt64("entities")), 0.25));
+  const Dataset dataset =
+      GenerateBibliographic(bench::HardBibliographic(entities, 0.25));
 
   LinkageConfig config;
   config.theta = bench::kTheta;

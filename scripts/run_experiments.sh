@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Rebuilds the project, runs the full test suite, and regenerates every
-# experiment (E1..E16 + microbenchmarks), capturing the outputs that
+# experiment (E1..E17 + microbenchmarks), capturing the outputs that
 # EXPERIMENTS.md is written from.
 #
 #   scripts/run_experiments.sh [build-dir]
 #
 # THREADS controls the worker-thread count passed to the benches that
-# accept --threads (E5, E14); defaults to the machine's hardware
+# accept --threads (E5, E14, E17); defaults to the machine's hardware
 # concurrency.
 
 set -euo pipefail
@@ -33,6 +33,9 @@ for bench in "$BUILD_DIR"/bench/*; do
       ;;
     bench_e14_sql_pipeline)
       args=(--threads "$THREADS" --metrics-json BENCH_e14.json)
+      ;;
+    bench_e17_streaming)
+      args=(--threads "$THREADS" --metrics-json BENCH_e17.json)
       ;;
   esac
   echo "===== $bench ${args[*]}"

@@ -8,6 +8,14 @@ UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0), num_sets_(n) {
   for (size_t i = 0; i < n; ++i) parent_[i] = i;
 }
 
+size_t UnionFind::AddElement() {
+  const size_t id = parent_.size();
+  parent_.push_back(id);
+  rank_.push_back(0);
+  ++num_sets_;
+  return id;
+}
+
 size_t UnionFind::Find(size_t x) {
   GL_DCHECK(x < parent_.size());
   size_t root = x;

@@ -14,6 +14,11 @@ class UnionFind {
   /// Creates `n` singleton sets {0}, ..., {n-1}.
   explicit UnionFind(size_t n);
 
+  /// Appends one new singleton set and returns its element id (== the old
+  /// size()). Lets incremental consumers grow the universe without
+  /// rebuilding the forest.
+  size_t AddElement();
+
   /// Returns the representative of `x`'s set (with path compression).
   size_t Find(size_t x);
 

@@ -1,176 +1,535 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "common/trace.h"
-#include "common/union_find.h"
 #include "text/tokenizer.h"
 
 namespace grouplink {
+namespace {
 
-IncrementalLinker::IncrementalLinker(const LinkageConfig& config) : config_(config) {}
+struct IncrementalMetrics {
+  Counter& groups_added;
+  Counter& batches;
+  Counter& candidates_scored;
+  Counter& links;
+  Counter& refreshes;
+  Counter& refresh_rescored_pairs;
+  Counter& removals;
+  Counter& merges;
+  Counter& oov_tokens;
+  Gauge& oov_ratio;
+  Histogram& candidates_per_arrival;
+  Histogram& arrival_seconds;
+  Histogram& refresh_seconds;
 
-Status IncrementalLinker::Initialize(const Dataset& dataset) {
-  GL_TRACE_SPAN("incremental.initialize");
-  GL_CHECK(!initialized_) << "Initialize() must be called exactly once";
-  GL_RETURN_IF_ERROR(dataset.Validate());
-
-  // Batch-link the seed with the regular engine (same config), then
-  // import its state wholesale.
-  LinkageEngine engine(&dataset, config_);
-  GL_RETURN_IF_ERROR(engine.Prepare());
-  const LinkageResult seed_result = engine.Run();
-  linked_pairs_ = seed_result.linked_pairs;
-
-  // Freeze vocabulary/IDF on the seed corpus.
-  const auto tokenize = [this](const std::string& text) {
-    if (config_.representation == RecordRepresentation::kCharacterQGrams) {
-      return CharacterQGrams(text, 3, /*lowercase=*/true, '#');
-    }
-    return Tokenize(text);
-  };
-  for (const Record& record : dataset.records) {
-    vocabulary_.AddDocument(ToTokenSet(tokenize(record.text)));
+  static IncrementalMetrics& Get() {
+    auto& registry = MetricsRegistry::Default();
+    static IncrementalMetrics metrics{
+        registry.CounterRef("incremental.groups_added"),
+        registry.CounterRef("incremental.batches"),
+        registry.CounterRef("incremental.candidates_scored"),
+        registry.CounterRef("incremental.links"),
+        registry.CounterRef("incremental.refreshes"),
+        registry.CounterRef("incremental.refresh_rescored_pairs"),
+        registry.CounterRef("incremental.removals"),
+        registry.CounterRef("incremental.merges"),
+        registry.CounterRef("incremental.oov_tokens"),
+        registry.GaugeRef("incremental.oov_ratio"),
+        registry.HistogramRef("incremental.candidates_per_arrival",
+                              {0, 1, 2, 4, 8, 16, 32, 64, 128, 256}),
+        registry.HistogramRef("incremental.arrival_seconds"),
+        registry.HistogramRef("incremental.refresh_seconds")};
+    return metrics;
   }
-  initialized_ = true;
+};
 
-  // Ingest seed records through the same path new records will use, so
-  // vectors/index/grouping are built consistently.
-  group_records_.resize(static_cast<size_t>(dataset.num_groups()));
-  group_labels_.resize(static_cast<size_t>(dataset.num_groups()));
-  record_group_.resize(dataset.records.size());
-  for (int32_t g = 0; g < dataset.num_groups(); ++g) {
-    group_labels_[static_cast<size_t>(g)] = dataset.groups[static_cast<size_t>(g)].label;
+}  // namespace
+
+Status StreamingConfig::Validate() const {
+  if (refresh_every_n_groups < 0) {
+    return Status::InvalidArgument("refresh_every_n_groups must be >= 0");
   }
-  // Records must be added in id order so record ids line up.
-  const std::vector<int32_t> seed_record_group = dataset.RecordToGroup();
-  for (int32_t r = 0; r < dataset.num_records(); ++r) {
-    const int32_t id = AddRecord(dataset.records[static_cast<size_t>(r)].text);
-    GL_CHECK_EQ(id, r);
-    const int32_t g = seed_record_group[static_cast<size_t>(r)];
-    record_group_[static_cast<size_t>(r)] = g;
-    group_records_[static_cast<size_t>(g)].push_back(r);
+  if (refresh_on_oov_ratio < 0.0 || refresh_on_oov_ratio > 1.0) {
+    return Status::InvalidArgument("refresh_on_oov_ratio must be in [0, 1]");
   }
   return Status::Ok();
 }
 
-int32_t IncrementalLinker::AddRecord(const std::string& text) {
-  const auto tokenize = [this](const std::string& t) {
-    if (config_.representation == RecordRepresentation::kCharacterQGrams) {
-      return CharacterQGrams(t, 3, /*lowercase=*/true, '#');
-    }
-    return Tokenize(t);
-  };
-  // Token ids against the frozen vocabulary; OOV tokens are dropped.
-  std::vector<int32_t> ids;
-  for (const std::string& token : ToTokenSet(tokenize(text))) {
-    const int32_t id = vocabulary_.GetId(token);
-    if (id != Vocabulary::kUnknownToken) ids.push_back(id);
-  }
-  std::sort(ids.begin(), ids.end());
+IncrementalLinker::IncrementalLinker(const LinkageConfig& config,
+                                     const StreamingConfig& streaming)
+    : config_(config), streaming_(streaming) {
+  // Normalize to the configuration whose batch output a refreshed linker
+  // reproduces. Token blocking is the one candidate scheme the maintained
+  // inverted index implements exactly, BM is the measure the arrival path
+  // scores, and the global edge join has no incremental formulation.
+  // Word tokens: the engine's token blocking always keys on word tokens,
+  // so a q-gram index would generate different candidates.
+  config_.candidates = CandidateMethod::kBlocking;
+  config_.blocking = BlockingScheme::kToken;
+  config_.measure = GroupMeasureKind::kBm;
+  config_.representation = RecordRepresentation::kWordTokens;
+  config_.use_edge_join = false;
+}
 
-  const TfIdfVectorizer vectorizer(&vocabulary_);
-  record_vectors_.push_back(vectorizer.Vectorize(tokenize(text)));
-  const int32_t record_id = token_index_.AddDocument(ids);
-  record_token_ids_.push_back(std::move(ids));
-  GL_CHECK_EQ(static_cast<size_t>(record_id) + 1, record_vectors_.size());
-  return record_id;
+ThreadPool* IncrementalLinker::pool() {
+  if (pool_ == nullptr && config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
+  }
+  return pool_.get();
+}
+
+std::vector<std::string> IncrementalLinker::TokenizeText(const std::string& text) const {
+  return Tokenize(text);
 }
 
 double IncrementalLinker::RecordSimilarity(int32_t a, int32_t b) const {
   const SparseVector& va = record_vectors_[static_cast<size_t>(a)];
   const SparseVector& vb = record_vectors_[static_cast<size_t>(b)];
+  // Same convention as LinkageEngine::DefaultRecordSimilarity: token-less
+  // records carry no co-reference evidence and score 0.
   if (va.empty() || vb.empty()) return 0.0;
   return CosineSimilarity(va, vb);
 }
 
+Status IncrementalLinker::Initialize(const Dataset& dataset) {
+  GL_CHECK(!initialized_) << "Initialize() must be called exactly once";
+  GL_TRACE_SPAN("incremental.initialize");
+  GL_RETURN_IF_ERROR(dataset.Validate());
+  GL_RETURN_IF_ERROR(config_.Validate());
+  GL_RETURN_IF_ERROR(streaming_.Validate());
+
+  const size_t n = dataset.records.size();
+  record_raw_tokens_.resize(n);
+  record_token_sets_.resize(n);
+  ParallelFor(pool(), n, [&](size_t r) {
+    record_raw_tokens_[r] = TokenizeText(dataset.records[r].text);
+    record_token_sets_[r] = ToTokenSet(record_raw_tokens_[r]);
+  });
+  record_group_ = dataset.RecordToGroup();
+  record_alive_.assign(n, 1);
+  record_vectors_.resize(n);  // Filled by the Refresh below.
+
+  // Index ingestion is a serial pass in record-id order: index token ids
+  // depend on first-seen order, and AddDocument assigns doc id == record
+  // id by appending.
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<int32_t> ids;
+    ids.reserve(record_token_sets_[r].size());
+    for (const std::string& token : record_token_sets_[r]) {
+      ids.push_back(index_vocab_.GetOrInsertId(token));
+    }
+    std::sort(ids.begin(), ids.end());
+    const int32_t doc = token_index_.AddDocument(std::move(ids));
+    GL_CHECK_EQ(static_cast<size_t>(doc), r);
+  }
+
+  const size_t num_seed_groups = dataset.groups.size();
+  group_records_.reserve(num_seed_groups);
+  group_labels_.reserve(num_seed_groups);
+  for (const Group& group : dataset.groups) {
+    group_records_.push_back(group.record_ids);
+    group_labels_.push_back(group.label);
+  }
+  group_alive_.assign(num_seed_groups, 1);
+  num_alive_groups_ = static_cast<int32_t>(num_seed_groups);
+
+  initialized_ = true;
+  Refresh();  // Builds epoch statistics, vectors, and the seed link set.
+  return Status::Ok();
+}
+
 IncrementalLinker::AddResult IncrementalLinker::AddGroup(
     const std::string& label, const std::vector<std::string>& record_texts) {
-  // Per-arrival span: long streams stay bounded by the Tracer's root cap.
-  GL_TRACE_SPAN("incremental.add_group");
-  GL_CHECK(initialized_) << "call Initialize() before AddGroup()";
-  GL_CHECK(!record_texts.empty());
+  std::vector<AddResult> results = AddGroups({{label, record_texts}});
+  return std::move(results.front());
+}
 
-  const int32_t group_index = num_groups();
-  std::vector<int32_t> new_records;
-  // Candidate groups: any existing group sharing a token with a new record.
-  std::vector<int32_t> candidate_groups;
-  for (const std::string& text : record_texts) {
-    const int32_t record_id = AddRecord(text);
-    new_records.push_back(record_id);
-    for (const int32_t other :
-         token_index_.DocumentsSharingToken(
-             record_token_ids_[static_cast<size_t>(record_id)])) {
-      if (other >= new_records.front()) continue;  // Skip the new group itself.
-      candidate_groups.push_back(record_group_[static_cast<size_t>(other)]);
-    }
-    record_group_.push_back(group_index);
+std::vector<IncrementalLinker::AddResult> IncrementalLinker::AddGroups(
+    const std::vector<GroupArrival>& batch) {
+  GL_CHECK(initialized_) << "call Initialize() before AddGroups()";
+  if (batch.empty()) return {};
+  GL_TRACE_SPAN("incremental.add_batch");
+  WallTimer timer;
+  auto& metrics = IncrementalMetrics::Get();
+
+  const size_t batch_size = batch.size();
+  size_t batch_records = 0;
+  for (const GroupArrival& arrival : batch) {
+    GL_CHECK(!arrival.record_texts.empty()) << "groups must have records";
+    batch_records += arrival.record_texts.size();
   }
-  std::sort(candidate_groups.begin(), candidate_groups.end());
-  candidate_groups.erase(std::unique(candidate_groups.begin(), candidate_groups.end()),
-                         candidate_groups.end());
-  group_records_.push_back(new_records);
-  group_labels_.push_back(label);
 
-  AddResult result;
-  result.group_index = group_index;
-  result.candidates = candidate_groups.size();
+  // Phase A (parallel, pure): tokenize every arriving record into
+  // per-record slots; nothing here depends on ids.
+  std::vector<std::vector<std::vector<std::string>>> raw(batch_size);
+  std::vector<std::vector<std::vector<std::string>>> sets(batch_size);
+  {
+    std::vector<std::pair<size_t, size_t>> flat;  // (arrival, record)
+    flat.reserve(batch_records);
+    for (size_t k = 0; k < batch_size; ++k) {
+      raw[k].resize(batch[k].record_texts.size());
+      sets[k].resize(batch[k].record_texts.size());
+      for (size_t i = 0; i < batch[k].record_texts.size(); ++i) flat.emplace_back(k, i);
+    }
+    ParallelFor(pool(), flat.size(), [&](size_t f) {
+      const auto [k, i] = flat[f];
+      raw[k][i] = TokenizeText(batch[k].record_texts[i]);
+      sets[k][i] = ToTokenSet(raw[k][i]);
+    });
+  }
 
-  const int32_t new_size = static_cast<int32_t>(new_records.size());
-  for (const int32_t other : candidate_groups) {
-    const std::vector<int32_t>& other_records = group_records_[static_cast<size_t>(other)];
-    const int32_t other_size = static_cast<int32_t>(other_records.size());
-    BipartiteGraph graph(new_size, other_size);
-    for (int32_t i = 0; i < new_size; ++i) {
-      for (int32_t j = 0; j < other_size; ++j) {
-        const double s = RecordSimilarity(new_records[static_cast<size_t>(i)],
-                                          other_records[static_cast<size_t>(j)]);
-        if (s >= config_.theta) graph.AddEdge(i, j, s);
+  // Phase B (serial, batch order): assign group/record ids, register
+  // records in the live index (absorbing new tokens immediately), count
+  // OOV against the epoch vocabulary. Everything id-dependent happens
+  // here, so the outcome is fixed by arrival order alone — never by
+  // thread scheduling.
+  std::vector<AddResult> results(batch_size);
+  std::vector<int32_t> first_record(batch_size);
+  const int32_t base_group = num_groups();
+  for (size_t k = 0; k < batch_size; ++k) {
+    const int32_t group = base_group + static_cast<int32_t>(k);
+    results[k].group_index = group;
+    first_record[k] = static_cast<int32_t>(record_raw_tokens_.size());
+    std::vector<int32_t> records;
+    records.reserve(raw[k].size());
+    for (size_t i = 0; i < raw[k].size(); ++i) {
+      const int32_t r = static_cast<int32_t>(record_raw_tokens_.size());
+      std::vector<int32_t> ids;
+      ids.reserve(sets[k][i].size());
+      for (const std::string& token : sets[k][i]) {
+        ids.push_back(index_vocab_.GetOrInsertId(token));
+        ++tokens_since_refresh_;
+        if (epoch_vocab_.GetId(token) == Vocabulary::kUnknownToken) {
+          ++oov_since_refresh_;
+          ++results[k].oov_tokens;
+        }
+      }
+      std::sort(ids.begin(), ids.end());
+      const int32_t doc = token_index_.AddDocument(std::move(ids));
+      GL_CHECK_EQ(doc, r);
+      record_raw_tokens_.push_back(std::move(raw[k][i]));
+      record_token_sets_.push_back(std::move(sets[k][i]));
+      record_group_.push_back(group);
+      record_alive_.push_back(1);
+      records.push_back(r);
+    }
+    group_records_.push_back(std::move(records));
+    group_labels_.push_back(batch[k].label);
+    group_alive_.push_back(1);
+    ++num_alive_groups_;
+    GL_CHECK_EQ(clusters_.AddElement(), static_cast<size_t>(group));
+    metrics.oov_tokens.Increment(static_cast<uint64_t>(results[k].oov_tokens));
+  }
+  groups_since_refresh_ += static_cast<int32_t>(batch_size);
+  metrics.groups_added.Increment(batch_size);
+  metrics.batches.Increment();
+
+  // Phase C (parallel, pure): vectorize the new records against the
+  // frozen epoch statistics.
+  record_vectors_.resize(record_raw_tokens_.size());
+  {
+    const TfIdfVectorizer vectorizer(&epoch_vocab_);
+    const size_t first = static_cast<size_t>(first_record[0]);
+    ParallelFor(pool(), record_raw_tokens_.size() - first, [&](size_t i) {
+      const size_t r = first + i;
+      record_vectors_[r] = vectorizer.Vectorize(record_raw_tokens_[r]);
+    });
+  }
+
+  // Phase D (parallel, pure): each arrival generates its candidates from
+  // the index and decides links into its own slot. The record-id cutoff
+  // (this arrival's first record) restricts candidates to the prior
+  // corpus plus *earlier* batch arrivals, so every cross-arrival pair is
+  // scored exactly once — by the later group — and the batch result
+  // matches adding the groups one at a time.
+  std::vector<std::vector<int32_t>> linked(batch_size);
+  ParallelFor(pool(), batch_size, [&](size_t k) {
+    const int32_t group = results[k].group_index;
+    const std::vector<int32_t> candidates = CandidateGroups(
+        group_records_[static_cast<size_t>(group)], first_record[k], group);
+    results[k].candidates = candidates.size();
+    for (const int32_t other : candidates) {
+      // `other` always precedes `group`, so it is the left (smaller) side.
+      if (DecideLink(other, group)) linked[k].push_back(other);
+    }
+  });
+
+  // Phase E (serial, batch order): merge links, maintain the sorted
+  // linked-pairs invariant and the incremental union-find.
+  const size_t old_size = linked_pairs_.size();
+  size_t scored = 0;
+  for (size_t k = 0; k < batch_size; ++k) {
+    scored += results[k].candidates;
+    metrics.candidates_per_arrival.Observe(static_cast<double>(results[k].candidates));
+    for (const int32_t other : linked[k]) {
+      linked_pairs_.emplace_back(other, results[k].group_index);
+      clusters_.Union(static_cast<size_t>(other),
+                      static_cast<size_t>(results[k].group_index));
+    }
+    results[k].linked_to = std::move(linked[k]);
+  }
+  std::sort(linked_pairs_.begin() + static_cast<ptrdiff_t>(old_size),
+            linked_pairs_.end());
+  std::inplace_merge(linked_pairs_.begin(),
+                     linked_pairs_.begin() + static_cast<ptrdiff_t>(old_size),
+                     linked_pairs_.end());
+  metrics.candidates_scored.Increment(scored);
+  metrics.links.Increment(linked_pairs_.size() - old_size);
+  metrics.oov_ratio.Set(EpochOovRatio());
+  metrics.arrival_seconds.Observe(timer.ElapsedSeconds());
+
+  if (PolicyWantsRefresh()) {
+    for (AddResult& result : results) result.triggered_refresh = true;
+    Refresh();
+  }
+  return results;
+}
+
+std::vector<int32_t> IncrementalLinker::CandidateGroups(
+    const std::vector<int32_t>& records, int32_t record_cutoff, int32_t self) const {
+  std::vector<int32_t> groups;
+  for (const int32_t r : records) {
+    for (const int32_t doc :
+         token_index_.DocumentsSharingToken(token_index_.DocumentTokens(r))) {
+      if (doc >= record_cutoff) continue;
+      const int32_t g = record_group_[static_cast<size_t>(doc)];
+      if (g == self || !group_alive_[static_cast<size_t>(g)]) continue;
+      groups.push_back(g);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+bool IncrementalLinker::DecideLink(int32_t g1, int32_t g2) const {
+  // Mirrors filter_refine.cc's DecidePair: graph -> empty check -> UB
+  // prune -> LB accept -> Hungarian refine, in that order, so arrival
+  // decisions agree bitwise with the engine's scoring of the same pair.
+  const std::vector<int32_t>& left = group_records_[static_cast<size_t>(g1)];
+  const std::vector<int32_t>& right = group_records_[static_cast<size_t>(g2)];
+  const int32_t size_left = static_cast<int32_t>(left.size());
+  const int32_t size_right = static_cast<int32_t>(right.size());
+  BipartiteGraph graph(size_left, size_right);
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      const double s = RecordSimilarity(left[i], right[j]);
+      if (s >= config_.theta) {
+        graph.AddEdge(static_cast<int32_t>(i), static_cast<int32_t>(j), s);
       }
     }
-    if (graph.edges().empty()) continue;
+  }
+  if (graph.edges().empty()) return false;
+  const bool use_ub = config_.use_filter_refine && config_.use_upper_bound_filter;
+  const bool use_lb = config_.use_filter_refine && config_.use_lower_bound_accept;
+  if (use_ub &&
+      UpperBoundMeasure(graph, size_left, size_right) < config_.group_threshold) {
+    return false;
+  }
+  if (use_lb &&
+      GreedyLowerBound(graph, size_left, size_right) >= config_.group_threshold) {
+    return true;
+  }
+  return BmMeasure(graph, size_left, size_right).value >= config_.group_threshold;
+}
 
-    bool decided = false;
-    bool link = false;
-    if (config_.use_upper_bound_filter &&
-        UpperBoundMeasure(graph, new_size, other_size) < config_.group_threshold) {
-      decided = true;
-    }
-    if (!decided && config_.use_lower_bound_accept &&
-        GreedyLowerBound(graph, new_size, other_size) >= config_.group_threshold) {
-      decided = true;
-      link = true;
-    }
-    if (!decided) {
-      link = BmMeasure(graph, new_size, other_size).value >= config_.group_threshold;
-    }
-    if (link) {
-      linked_pairs_.emplace_back(other, group_index);
+void IncrementalLinker::RemoveGroup(int32_t group) {
+  GL_CHECK(initialized_);
+  GL_CHECK(IsAlive(group)) << "RemoveGroup requires a live group";
+  GL_TRACE_SPAN("incremental.remove");
+  const size_t g = static_cast<size_t>(group);
+  for (const int32_t r : group_records_[g]) {
+    record_alive_[static_cast<size_t>(r)] = 0;
+    token_index_.RemoveDocument(r);
+    // Free the per-record state; dead record ids are never reused.
+    record_vectors_[static_cast<size_t>(r)] = SparseVector();
+    record_raw_tokens_[static_cast<size_t>(r)].clear();
+    record_raw_tokens_[static_cast<size_t>(r)].shrink_to_fit();
+    record_token_sets_[static_cast<size_t>(r)].clear();
+    record_token_sets_[static_cast<size_t>(r)].shrink_to_fit();
+  }
+  group_records_[g].clear();
+  group_alive_[g] = 0;
+  --num_alive_groups_;
+  EraseLinksInvolving(group);
+  RebuildClusters();
+  IncrementalMetrics::Get().removals.Increment();
+}
+
+IncrementalLinker::AddResult IncrementalLinker::MergeGroups(int32_t into,
+                                                            int32_t from) {
+  GL_CHECK(initialized_);
+  GL_CHECK(IsAlive(into)) << "MergeGroups requires a live target group";
+  GL_CHECK(IsAlive(from)) << "MergeGroups requires a live source group";
+  GL_CHECK_NE(into, from);
+  GL_TRACE_SPAN("incremental.merge");
+  auto& metrics = IncrementalMetrics::Get();
+
+  // The merged group is a different comparison unit than either input, so
+  // its old links are discarded and it is rescored like an arrival.
+  EraseLinksInvolving(into);
+  EraseLinksInvolving(from);
+
+  std::vector<int32_t>& target = group_records_[static_cast<size_t>(into)];
+  std::vector<int32_t>& source = group_records_[static_cast<size_t>(from)];
+  for (const int32_t r : source) record_group_[static_cast<size_t>(r)] = into;
+  target.insert(target.end(), source.begin(), source.end());
+  std::sort(target.begin(), target.end());
+  source.clear();
+  group_alive_[static_cast<size_t>(from)] = 0;  // Records stay alive and indexed.
+  --num_alive_groups_;
+
+  AddResult result;
+  result.group_index = into;
+  const std::vector<int32_t> candidates =
+      CandidateGroups(target, static_cast<int32_t>(record_group_.size()), into);
+  result.candidates = candidates.size();
+  const size_t old_size = linked_pairs_.size();
+  for (const int32_t other : candidates) {
+    const int32_t lo = std::min(other, into);
+    const int32_t hi = std::max(other, into);
+    if (DecideLink(lo, hi)) {
+      linked_pairs_.emplace_back(lo, hi);
       result.linked_to.push_back(other);
     }
   }
-
-  auto& registry = MetricsRegistry::Default();
-  static Counter& m_groups = registry.CounterRef("incremental.groups_added");
-  static Counter& m_candidates = registry.CounterRef("incremental.candidates_scored");
-  static Counter& m_links = registry.CounterRef("incremental.links");
-  static Histogram& m_per_arrival = registry.HistogramRef(
-      "incremental.candidates_per_arrival", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
-  m_groups.Increment();
-  m_candidates.Increment(result.candidates);
-  m_links.Increment(result.linked_to.size());
-  m_per_arrival.Observe(static_cast<double>(result.candidates));
+  std::sort(linked_pairs_.begin() + static_cast<ptrdiff_t>(old_size),
+            linked_pairs_.end());
+  std::inplace_merge(linked_pairs_.begin(),
+                     linked_pairs_.begin() + static_cast<ptrdiff_t>(old_size),
+                     linked_pairs_.end());
+  RebuildClusters();
+  metrics.merges.Increment();
+  metrics.candidates_scored.Increment(result.candidates);
+  metrics.links.Increment(result.linked_to.size());
   return result;
 }
 
-std::vector<size_t> IncrementalLinker::ClusterLabels() const {
-  UnionFind clusters(static_cast<size_t>(num_groups()));
-  for (const auto& [g1, g2] : linked_pairs_) {
-    clusters.Union(static_cast<size_t>(g1), static_cast<size_t>(g2));
+void IncrementalLinker::Refresh() {
+  GL_CHECK(initialized_);
+  GL_TRACE_SPAN("incremental.refresh");
+  WallTimer timer;
+  auto& metrics = IncrementalMetrics::Get();
+
+  token_index_.Compact();
+
+  // Rebuild the epoch vocabulary over live records in record-id order —
+  // the exact AddDocument sequence the batch engine's Prepare issues for
+  // a dataset holding these records in arrival order, so the id space
+  // (and every downstream vector) is bitwise identical.
+  epoch_vocab_ = Vocabulary();
+  const size_t n = record_raw_tokens_.size();
+  for (size_t r = 0; r < n; ++r) {
+    if (record_alive_[r]) epoch_vocab_.AddDocument(record_token_sets_[r]);
   }
-  return clusters.ComponentLabels();
+  // Dead records have empty token lists, so they get empty vectors.
+  record_vectors_ = RecomputeVectors(epoch_vocab_, record_raw_tokens_, pool());
+
+  // Candidates from the maintained postings: live groups sharing a token.
+  // Per-record neighbor lists are gathered in parallel into slots; the
+  // serial concatenation + sort/unique yields the same sorted pair set as
+  // the engine's token Blocker + LiftToGroupPairs.
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> per_record(n);
+  ParallelFor(pool(), n, [&](size_t r) {
+    if (!record_alive_[r]) return;
+    const int32_t g2 = record_group_[r];
+    for (const int32_t doc : token_index_.DocumentsSharingToken(
+             token_index_.DocumentTokens(static_cast<int32_t>(r)))) {
+      if (static_cast<size_t>(doc) >= r) break;  // Count each record pair once.
+      const int32_t g1 = record_group_[static_cast<size_t>(doc)];
+      if (g1 == g2) continue;
+      per_record[r].emplace_back(std::min(g1, g2), std::max(g1, g2));
+    }
+  });
+  std::vector<std::pair<int32_t, int32_t>> candidates;
+  for (std::vector<std::pair<int32_t, int32_t>>& pairs : per_record) {
+    candidates.insert(candidates.end(), pairs.begin(), pairs.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Rescore through the engine's own filter-and-refine code on a
+  // group-view dataset (records are reached by id via the sim callback).
+  FilterRefineConfig fr_config;
+  fr_config.theta = config_.theta;
+  fr_config.group_threshold = config_.group_threshold;
+  fr_config.use_upper_bound_filter =
+      config_.use_filter_refine && config_.use_upper_bound_filter;
+  fr_config.use_lower_bound_accept =
+      config_.use_filter_refine && config_.use_lower_bound_accept;
+  const Dataset view = GroupView();
+  linked_pairs_ = FilterRefineLink(
+      view, [this](int32_t a, int32_t b) { return RecordSimilarity(a, b); },
+      candidates, fr_config, /*stats=*/nullptr, pool());
+  RebuildClusters();
+
+  ++epoch_;
+  groups_since_refresh_ = 0;
+  oov_since_refresh_ = 0;
+  tokens_since_refresh_ = 0;
+  metrics.refreshes.Increment();
+  metrics.refresh_rescored_pairs.Increment(candidates.size());
+  metrics.oov_ratio.Set(0.0);
+  metrics.refresh_seconds.Observe(timer.ElapsedSeconds());
+}
+
+Dataset IncrementalLinker::GroupView() const {
+  Dataset view;
+  view.groups.resize(group_records_.size());
+  for (size_t g = 0; g < group_records_.size(); ++g) {
+    view.groups[g].label = group_labels_[g];
+    view.groups[g].record_ids = group_records_[g];
+  }
+  return view;
+}
+
+void IncrementalLinker::EraseLinksInvolving(int32_t group) {
+  linked_pairs_.erase(
+      std::remove_if(linked_pairs_.begin(), linked_pairs_.end(),
+                     [group](const std::pair<int32_t, int32_t>& pair) {
+                       return pair.first == group || pair.second == group;
+                     }),
+      linked_pairs_.end());
+}
+
+void IncrementalLinker::RebuildClusters() {
+  clusters_ = UnionFind(static_cast<size_t>(num_groups()));
+  for (const auto& [g1, g2] : linked_pairs_) {
+    clusters_.Union(static_cast<size_t>(g1), static_cast<size_t>(g2));
+  }
+}
+
+std::vector<size_t> IncrementalLinker::ClusterLabels() const {
+  return clusters_.ComponentLabels();
+}
+
+bool IncrementalLinker::IsAlive(int32_t group) const {
+  return group >= 0 && group < num_groups() &&
+         group_alive_[static_cast<size_t>(group)] != 0;
+}
+
+double IncrementalLinker::EpochOovRatio() const {
+  if (tokens_since_refresh_ == 0) return 0.0;
+  return static_cast<double>(oov_since_refresh_) /
+         static_cast<double>(tokens_since_refresh_);
+}
+
+bool IncrementalLinker::PolicyWantsRefresh() const {
+  if (streaming_.refresh_every_n_groups > 0 &&
+      groups_since_refresh_ >= streaming_.refresh_every_n_groups) {
+    return true;
+  }
+  if (streaming_.refresh_on_oov_ratio > 0.0 &&
+      EpochOovRatio() > streaming_.refresh_on_oov_ratio) {
+    return true;
+  }
+  return false;
 }
 
 }  // namespace grouplink

@@ -107,9 +107,9 @@ Status LinkageEngine::Prepare() {
   // Vocabulary ids depend on first-seen order, so the build stays a
   // serial pass in record order — the id space (and hence every
   // downstream join and vector) is identical to the single-thread run.
-  for (size_t r = 0; r < n; ++r) {
-    vocabulary_.AddDocument(token_sets[r]);
-  }
+  // BuildVocabulary is shared with the streaming linker's epoch refresh,
+  // which must reproduce this id space exactly.
+  vocabulary_ = BuildVocabulary(token_sets);
   record_token_ids_.resize(n);
   record_vectors_.resize(n);
   const TfIdfVectorizer vectorizer(&vocabulary_);

@@ -14,7 +14,40 @@ int32_t InvertedIndex::AddDocument(std::vector<int32_t> token_ids) {
     postings_[token].push_back(doc_id);
   }
   documents_.push_back(std::move(token_ids));
+  removed_.push_back(0);
   return doc_id;
+}
+
+void InvertedIndex::RemoveDocument(int32_t doc) {
+  GL_CHECK_GE(doc, 0);
+  GL_CHECK_LT(doc, num_documents());
+  if (removed_[static_cast<size_t>(doc)]) return;
+  removed_[static_cast<size_t>(doc)] = 1;
+  ++num_removed_;
+}
+
+bool InvertedIndex::IsRemoved(int32_t doc) const {
+  GL_CHECK_GE(doc, 0);
+  GL_CHECK_LT(doc, num_documents());
+  return removed_[static_cast<size_t>(doc)] != 0;
+}
+
+void InvertedIndex::Compact() {
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    std::vector<int32_t>& list = it->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [this](int32_t doc) {
+                                return removed_[static_cast<size_t>(doc)] != 0;
+                              }),
+               list.end());
+    it = list.empty() ? postings_.erase(it) : std::next(it);
+  }
+  for (size_t doc = 0; doc < documents_.size(); ++doc) {
+    if (removed_[doc]) {
+      documents_[doc].clear();
+      documents_[doc].shrink_to_fit();
+    }
+  }
 }
 
 const std::vector<int32_t>& InvertedIndex::Postings(int32_t token) const {
@@ -36,8 +69,9 @@ std::vector<int32_t> InvertedIndex::DocumentsSharingToken(
     const std::vector<int32_t>& token_ids) const {
   std::vector<int32_t> result;
   for (const int32_t token : token_ids) {
-    const std::vector<int32_t>& list = Postings(token);
-    result.insert(result.end(), list.begin(), list.end());
+    for (const int32_t doc : Postings(token)) {
+      if (!removed_[static_cast<size_t>(doc)]) result.push_back(doc);
+    }
   }
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());

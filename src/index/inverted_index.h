@@ -20,10 +20,28 @@ class InvertedIndex {
   /// `token_ids` must be sorted and unique; enforced with GL_DCHECK.
   int32_t AddDocument(std::vector<int32_t> token_ids);
 
-  /// Documents containing `token` (empty list if none).
+  /// Tombstones `doc`: it stops appearing in DocumentsSharingToken
+  /// results immediately; its posting entries linger in Postings() until
+  /// Compact() reclaims them. Document ids are never reused.
+  void RemoveDocument(int32_t doc);
+
+  /// True if `doc` was tombstoned by RemoveDocument.
+  bool IsRemoved(int32_t doc) const;
+
+  /// Documents tombstoned since construction (compaction keeps the count;
+  /// removed ids stay dead forever).
+  int32_t num_removed() const { return num_removed_; }
+
+  /// Erases every tombstoned document's posting entries and token list,
+  /// reclaiming the space. Postings stay sorted by document id.
+  void Compact();
+
+  /// Documents containing `token` (empty list if none). May include
+  /// tombstoned ids until Compact().
   const std::vector<int32_t>& Postings(int32_t token) const;
 
-  /// Number of documents containing `token`.
+  /// Number of documents containing `token` (including tombstoned ones
+  /// until Compact()).
   int64_t DocumentFrequency(int32_t token) const;
 
   /// Token set of a document (as passed to AddDocument).
@@ -33,12 +51,15 @@ class InvertedIndex {
 
   /// Returns document ids sharing at least one token with `token_ids`,
   /// sorted and deduplicated (includes the probe document itself if it was
-  /// added). The basic token-blocking primitive.
+  /// added). Tombstoned documents never appear. The basic token-blocking
+  /// primitive.
   std::vector<int32_t> DocumentsSharingToken(const std::vector<int32_t>& token_ids) const;
 
  private:
   std::unordered_map<int32_t, std::vector<int32_t>> postings_;
   std::vector<std::vector<int32_t>> documents_;
+  std::vector<char> removed_;
+  int32_t num_removed_ = 0;
   std::vector<int32_t> empty_postings_;
 };
 

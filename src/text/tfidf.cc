@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace grouplink {
 
@@ -70,6 +71,17 @@ SparseVector TfIdfVectorizer::Vectorize(const std::vector<std::string>& tokens) 
   }
   L2Normalize(vector);
   return vector;
+}
+
+std::vector<SparseVector> RecomputeVectors(
+    const Vocabulary& vocabulary,
+    const std::vector<std::vector<std::string>>& raw_tokens, ThreadPool* pool) {
+  const TfIdfVectorizer vectorizer(&vocabulary);
+  std::vector<SparseVector> vectors(raw_tokens.size());
+  ParallelFor(pool, raw_tokens.size(), [&](size_t r) {
+    if (!raw_tokens[r].empty()) vectors[r] = vectorizer.Vectorize(raw_tokens[r]);
+  });
+  return vectors;
 }
 
 }  // namespace grouplink

@@ -56,6 +56,20 @@ class TfIdfVectorizer {
   const Vocabulary* vocabulary_;
 };
 
+class ThreadPool;
+
+/// Recomputes the TF-IDF vector of every token list in `raw_tokens`
+/// against `vocabulary`, in parallel across records when `pool` is
+/// non-null. Entry i of the result is Vectorize(raw_tokens[i]); an empty
+/// token list yields an empty vector. This is the epoch-refresh primitive
+/// of the streaming linker: after corpus statistics change, the whole
+/// vector store is rebuilt in one pass without re-tokenizing any text.
+/// Output is bit-identical at any thread count.
+std::vector<SparseVector> RecomputeVectors(
+    const Vocabulary& vocabulary,
+    const std::vector<std::vector<std::string>>& raw_tokens,
+    ThreadPool* pool = nullptr);
+
 }  // namespace grouplink
 
 #endif  // GROUPLINK_TEXT_TFIDF_H_

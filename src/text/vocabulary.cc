@@ -47,4 +47,12 @@ double Vocabulary::IdfOf(int32_t id) const {
   return std::log((1.0 + n) / (1.0 + df)) + 1.0;
 }
 
+Vocabulary BuildVocabulary(const std::vector<std::vector<std::string>>& token_sets) {
+  Vocabulary vocabulary;
+  for (const std::vector<std::string>& token_set : token_sets) {
+    vocabulary.AddDocument(token_set);
+  }
+  return vocabulary;
+}
+
 }  // namespace grouplink

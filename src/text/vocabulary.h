@@ -49,6 +49,13 @@ class Vocabulary {
   int64_t num_documents_ = 0;
 };
 
+/// Builds a Vocabulary over `token_sets` in order. Token ids depend on
+/// first-seen order, so every consumer that feeds the same sequence —
+/// the batch engine's Prepare over a dataset's records, or the streaming
+/// linker's epoch refresh over its live records — gets an identical id
+/// space and hence bit-identical downstream vectors.
+Vocabulary BuildVocabulary(const std::vector<std::vector<std::string>>& token_sets);
+
 }  // namespace grouplink
 
 #endif  // GROUPLINK_TEXT_VOCABULARY_H_

@@ -70,6 +70,37 @@ TEST(UnionFindTest, LabelsPartitionMatchesConnectivity) {
   }
 }
 
+TEST(UnionFindTest, AddElementGrowsTheUniverse) {
+  UnionFind uf(2);
+  uf.Union(0, 1);
+  EXPECT_EQ(uf.AddElement(), 2u);  // New element id == old size().
+  EXPECT_EQ(uf.size(), 3u);
+  EXPECT_EQ(uf.num_sets(), 2u);  // {0,1} and the fresh singleton {2}.
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_TRUE(uf.Connected(0, 2));
+
+  // Growing never disturbs existing labels: the appended singleton takes
+  // the next fresh label and every earlier element keeps its own.
+  UnionFind labeled(4);
+  labeled.Union(0, 2);
+  const auto before = labeled.ComponentLabels();
+  labeled.AddElement();
+  const auto after = labeled.ComponentLabels();
+  ASSERT_EQ(after.size(), before.size() + 1);
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(after[i], before[i]);
+  EXPECT_EQ(after.back(), 3u);
+}
+
+TEST(UnionFindTest, AddElementFromEmpty) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.AddElement(), 0u);
+  EXPECT_EQ(uf.AddElement(), 1u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 1u);
+}
+
 TEST(UnionFindTest, LargeChain) {
   constexpr size_t kN = 10000;
   UnionFind uf(kN);
