@@ -9,6 +9,7 @@
 // citation strings) but still behind BM.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("theta", 0.4, "record-level edge threshold");
   flags.AddDouble("group-threshold", 0.3, "group-level link threshold");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e10.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t households =
       flags.GetBool("smoke") ? 40
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
       dataset.num_records(), dataset.num_groups(), truth.size());
 
   TextTable table({"measure", "precision", "recall", "F1", "links", "time (s)"});
+  std::vector<RunReport> reports;
   for (const GroupMeasureKind measure :
        {GroupMeasureKind::kBm, GroupMeasureKind::kGreedy,
         GroupMeasureKind::kUpperBound, GroupMeasureKind::kBinaryJaccard,
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
     WallTimer timer;
     const auto result = RunGroupLinkage(dataset, config);
     GL_CHECK(result.ok());
+    reports.push_back(result->report());
     const double seconds = timer.ElapsedSeconds();
     const PairMetrics metrics = EvaluatePairs(result->linked_pairs, truth);
     table.AddRow({GroupMeasureKindName(measure), FormatDouble(metrics.precision, 3),
@@ -61,5 +66,6 @@ int main(int argc, char** argv) {
                   FormatDouble(seconds, 3)});
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(flags.GetString("metrics-json"),
+                                                 "e10_household", reports));
 }

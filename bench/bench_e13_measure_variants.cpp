@@ -11,6 +11,7 @@
 // risk. BM* tracks BM (it only repairs matching-cardinality ties).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 120, "author entities");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e13.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 15
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
       dataset.num_groups(), truth.size(), bench::kTheta);
 
   TextTable table({"measure", "Theta", "precision", "recall", "F1"});
+  std::vector<RunReport> reports;
   for (const GroupMeasureKind measure :
        {GroupMeasureKind::kBm, GroupMeasureKind::kBmStar,
         GroupMeasureKind::kContainment}) {
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
       config.measure = measure;
       const auto result = RunGroupLinkage(dataset, config);
       GL_CHECK(result.ok());
+      reports.push_back(result->report());
       const PairMetrics metrics = EvaluatePairs(result->linked_pairs, truth);
       table.AddRow({GroupMeasureKindName(measure), FormatDouble(threshold, 1),
                     FormatDouble(metrics.precision, 3),
@@ -59,5 +64,6 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e13_measure_variants", reports));
 }

@@ -35,6 +35,15 @@ int main(int argc, char** argv) {
   flags.AddString("metrics-json", "BENCH_e14.json",
                   "unified metrics report output path ('' to skip)");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddDouble("deadline-ms", 0.0,
+                  "resilience: deadline for the native run in ms (0 = off)");
+  flags.AddInt64("max-candidates", 0,
+                 "resilience: cap on buckets the native run scores (0 = off)");
+  flags.AddInt64("max-matcher-cost", 0,
+                 "resilience: per-pair |g1|*|g2| matcher budget (0 = off)");
+  flags.AddString("inject", "",
+                  "resilience: fault specs 'point[:k=v,...][;...]' armed "
+                  "before the native run");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 15
@@ -120,9 +129,14 @@ int main(int argc, char** argv) {
   native_config.join_jaccard = 0.2;
   native_config.num_threads =
       static_cast<int32_t>(std::max<int64_t>(1, flags.GetInt64("threads")));
+  native_config.deadline_ms = flags.GetDouble("deadline-ms");
+  native_config.max_candidate_pairs = flags.GetInt64("max-candidates");
+  native_config.max_matcher_cost = flags.GetInt64("max-matcher-cost");
   LinkageEngine native(&dataset, native_config);
   GL_CHECK(native.Prepare().ok());
+  GL_CHECK(bench::ArmFaults(flags.GetString("inject")).ok());
   const LinkageResult native_result = native.Run();
+  FaultInjector::Default().DisarmAll();
   const double native_seconds = timer.ElapsedSeconds();
   table.AddRow({"native edge join (total)",
                 std::to_string(native_result.linked_pairs.size()) + " links",
@@ -143,8 +157,16 @@ int main(int argc, char** argv) {
       kept, native_result.linked_pairs.size(),
       static_cast<long long>(flags.GetInt64("min-overlap")));
 
+  if (native_report.degraded) {
+    std::printf("Native run degraded (stop_reason=%s): its links are a valid "
+                "subset of the unconstrained run's.\n",
+                native_report.stop_reason.empty()
+                    ? "-"
+                    : native_report.stop_reason.c_str());
+  }
+
   sql_report.AddExtra("native_links_retained", static_cast<double>(kept));
-  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e14_sql_pipeline",
-                          {std::move(sql_report), std::move(native_report)});
-  return 0;
+  return bench::ExitCode(
+      bench::WriteMetricsJson(flags.GetString("metrics-json"), "e14_sql_pipeline",
+                              {std::move(sql_report), std::move(native_report)}));
 }

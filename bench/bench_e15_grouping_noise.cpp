@@ -10,6 +10,7 @@
 // that lands near a foreign group.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 100, "author entities");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e15.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 12
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"misgrouped", "records moved", "F1(BM)", "P(BM)", "R(BM)",
                    "F1(SingleBest)", "P(SingleBest)"});
+  std::vector<RunReport> reports;
   for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
     Dataset dataset = GenerateBibliographic(bench::HardBibliographic(entities, 0.2));
     Rng rng(99);
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
       config.measure = measure;
       const auto result = RunGroupLinkage(dataset, config);
       GL_CHECK(result.ok());
+      reports.push_back(result->report());
       const PairMetrics metrics = EvaluatePairs(result->linked_pairs, truth);
       if (measure == GroupMeasureKind::kBm) {
         bm_f1 = metrics.f1;
@@ -72,5 +77,6 @@ int main(int argc, char** argv) {
                   FormatDouble(single_p, 3)});
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e15_grouping_noise", reports));
 }

@@ -7,6 +7,7 @@
 // token), at a constant-factor cost in vector size / join width.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 80, "author entities");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e16.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 12
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"noise", "F1(words)", "F1(3-grams)", "time words (s)",
                    "time 3-grams (s)"});
+  std::vector<RunReport> reports;
   for (const double noise : {0.1, 0.3, 0.5, 0.7}) {
     const Dataset dataset =
         GenerateBibliographic(bench::HardBibliographic(entities, noise));
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
       WallTimer timer;
       const auto result = RunGroupLinkage(dataset, config);
       GL_CHECK(result.ok());
+      reports.push_back(result->report());
       times.push_back(FormatDouble(timer.ElapsedSeconds(), 2));
       row.push_back(FormatDouble(EvaluatePairs(result->linked_pairs, truth).f1, 3));
     }
@@ -56,5 +61,6 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e16_representation", reports));
 }

@@ -102,6 +102,15 @@ int main(int argc, char** argv) {
   flags.AddString("metrics-json", "BENCH_e17.json",
                   "unified metrics report output path ('' to skip)");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddDouble("deadline-ms", 0.0,
+                  "resilience: per-batch/refresh deadline in ms (0 = off)");
+  flags.AddInt64("max-candidates", 0,
+                 "resilience: cap on candidates scored per arrival (0 = off)");
+  flags.AddInt64("max-matcher-cost", 0,
+                 "resilience: per-pair |g1|*|g2| matcher budget (0 = off)");
+  flags.AddString("inject", "",
+                  "resilience: fault specs 'point[:k=v,...][;...]' armed during "
+                  "the stream, disarmed before the final refresh");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const bool smoke = flags.GetBool("smoke");
   const std::string sizes = smoke ? "15" : flags.GetString("sizes");
@@ -121,6 +130,18 @@ int main(int argc, char** argv) {
   config.theta = bench::kTheta;
   config.group_threshold = bench::kGroupThreshold;
   config.num_threads = static_cast<int32_t>(threads);
+  config.deadline_ms = flags.GetDouble("deadline-ms");
+  config.max_candidate_pairs = flags.GetInt64("max-candidates");
+  config.max_matcher_cost = flags.GetInt64("max-matcher-cost");
+  const std::string inject = flags.GetString("inject");
+  const bool has_limits = config.deadline_ms > 0.0 ||
+                          config.max_candidate_pairs > 0 ||
+                          config.max_matcher_cost > 0;
+  // Resilience mode: arrivals may shed work (armed faults, limits), so
+  // after the final *clean* refresh streaming must be a subset of batch —
+  // and exactly equal when only faults were armed (they are disarmed
+  // before that refresh; config limits still apply to it).
+  const bool resilience = has_limits || !inject.empty();
   StreamingConfig streaming;
   streaming.refresh_every_n_groups =
       static_cast<int32_t>(flags.GetInt64("refresh-every"));
@@ -151,6 +172,9 @@ int main(int argc, char** argv) {
 
     IncrementalLinker linker(config, streaming);
     GL_CHECK(linker.Initialize(seed).ok());
+    // Faults cover the stream only: seeding above ran clean, and the
+    // final refresh below must run clean to prove recoverability.
+    GL_CHECK(bench::ArmFaults(inject).ok());
 
     // Stream the arrivals in fixed-size batches, timing each batch.
     std::vector<double> batch_millis;
@@ -159,6 +183,7 @@ int main(int argc, char** argv) {
     int64_t stream_links = 0;
     int64_t stream_oov = 0;
     int64_t refreshes_triggered = 0;
+    int64_t degraded_arrivals = 0;
     size_t next = 0;
     while (next < arrivals.size()) {
       const size_t take =
@@ -176,11 +201,14 @@ int main(int argc, char** argv) {
         stream_links += static_cast<int64_t>(result.linked_to.size());
         stream_oov += static_cast<int64_t>(result.oov_tokens);
         refreshes_triggered += result.triggered_refresh ? 1 : 0;
+        degraded_arrivals += result.degraded ? 1 : 0;
       }
       next += take;
     }
+    FaultInjector::Default().DisarmAll();
 
-    // Final epoch refresh: after it, streaming must equal batch exactly.
+    // Final epoch refresh: after it, streaming must equal batch exactly
+    // (or stay a subset when config limits also constrain the refresh).
     WallTimer refresh_timer;
     linker.Refresh();
     const double refresh_seconds = refresh_timer.ElapsedSeconds();
@@ -188,17 +216,35 @@ int main(int argc, char** argv) {
     const Dataset accumulated = Accumulate(seed, arrivals);
     GL_CHECK(accumulated.Validate().ok());
     WallTimer batch_timer;
-    const auto batch_result = RunGroupLinkage(accumulated, linker.engine_config());
+    LinkageConfig batch_config = linker.engine_config();
+    // The batch comparator runs unconstrained — it is the reference.
+    batch_config.deadline_ms = 0.0;
+    batch_config.max_candidate_pairs = 0;
+    batch_config.max_matcher_cost = 0;
+    const auto batch_result = RunGroupLinkage(accumulated, batch_config);
     GL_CHECK(batch_result.ok());
     const double batch_seconds = batch_timer.ElapsedSeconds();
-    GL_CHECK(linker.linked_pairs() == batch_result->linked_pairs)
-        << "streaming diverged from batch after refresh at " << *entities
-        << " entities";
+    if (has_limits) {
+      std::vector<std::pair<int32_t, int32_t>> batch_sorted =
+          batch_result->linked_pairs;
+      std::sort(batch_sorted.begin(), batch_sorted.end());
+      GL_CHECK(std::includes(batch_sorted.begin(), batch_sorted.end(),
+                             linker.linked_pairs().begin(),
+                             linker.linked_pairs().end()))
+          << "limited streaming run linked pairs the batch run did not at "
+          << *entities << " entities";
+    } else {
+      GL_CHECK(linker.linked_pairs() == batch_result->linked_pairs)
+          << "streaming diverged from batch after refresh at " << *entities
+          << " entities";
+    }
 
     // Determinism: one big AddGroups batch at every thread count must
     // produce bit-identical links (checked on the first size only; the
     // property is size-independent and the sweep re-streams everything).
-    if (first_size) {
+    // Skipped in resilience mode: a deadline trips at a wall-clock time,
+    // so where it lands is legitimately timing-dependent.
+    if (first_size && !resilience) {
       std::vector<std::pair<int32_t, int32_t>> reference;
       for (size_t i = 0; i < thread_sweep.size(); ++i) {
         LinkageConfig sweep_config = config;
@@ -242,7 +288,9 @@ int main(int argc, char** argv) {
         .AddCounter("candidates", stream_candidates)
         .AddCounter("links_found", stream_links)
         .AddCounter("oov_tokens", stream_oov)
-        .AddCounter("refreshes_triggered", refreshes_triggered);
+        .AddCounter("refreshes_triggered", refreshes_triggered)
+        .AddCounter("degraded_arrivals", degraded_arrivals);
+    report.degraded = degraded_arrivals > 0;
     report.AddStage("refresh", refresh_seconds)
         .AddCounter("epoch", linker.epoch());
     report.AddStage("batch-rerun", batch_seconds)
@@ -253,12 +301,19 @@ int main(int argc, char** argv) {
     reports.push_back(std::move(report));
   }
   std::printf("%s", table.ToString().c_str());
-  std::printf(
-      "\nAfter the final refresh the streaming link set was identical to the "
-      "batch engine's on every size, and AddGroups was bit-identical at every "
-      "thread count in the sweep (checked).\n");
+  if (resilience) {
+    std::printf(
+        "\nResilience mode: the stream survived the armed faults/limits, and "
+        "after the final clean refresh the link set was %s the batch "
+        "engine's on every size (checked).\n",
+        has_limits ? "a subset of" : "identical to");
+  } else {
+    std::printf(
+        "\nAfter the final refresh the streaming link set was identical to the "
+        "batch engine's on every size, and AddGroups was bit-identical at every "
+        "thread count in the sweep (checked).\n");
+  }
 
-  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e17_streaming",
-                          reports);
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(flags.GetString("metrics-json"),
+                                                 "e17_streaming", reports));
 }

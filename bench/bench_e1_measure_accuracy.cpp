@@ -76,7 +76,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.ToString().c_str());
 
-  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e1_measure_accuracy",
-                          reports);
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e1_measure_accuracy", reports));
 }

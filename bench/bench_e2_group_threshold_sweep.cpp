@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
   LinkageConfig config;
   config.theta = bench::kTheta;
   LinkageEngine engine(&dataset, config);
-  GL_CHECK(engine.Prepare().ok());
+  if (const Status prepared = engine.Prepare(); !prepared.ok()) {
+    return bench::ExitCode(prepared);
+  }
 
   const GroupMeasureKind measures[] = {
       GroupMeasureKind::kBm, GroupMeasureKind::kGreedy,

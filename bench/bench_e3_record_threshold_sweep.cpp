@@ -7,6 +7,7 @@
 // too-high θ starves the matching (recall collapse).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("entities", 100, "author entities");
   flags.AddDouble("noise", 0.25, "generator noise");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e3.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 15
@@ -40,12 +43,14 @@ int main(int argc, char** argv) {
   GL_CHECK(probe.Prepare().ok());
 
   TextTable table({"theta", "precision", "recall", "F1", "avg edges/true pair"});
+  std::vector<RunReport> reports;
   for (const double theta : {0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7}) {
     LinkageConfig config;
     config.theta = theta;
     config.group_threshold = bench::kGroupThreshold;
     const auto result = RunGroupLinkage(dataset, config);
     GL_CHECK(result.ok());
+    reports.push_back(result->report());
     const PairMetrics metrics = EvaluatePairs(result->linked_pairs, truth);
 
     size_t edges = 0;
@@ -65,5 +70,6 @@ int main(int argc, char** argv) {
                   FormatDouble(avg_edges, 1)});
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e3_record_threshold_sweep", reports));
 }

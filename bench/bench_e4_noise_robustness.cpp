@@ -7,6 +7,7 @@
 // baseline's precision stays poor throughout.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 100, "author entities");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e4.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 12
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"noise", "F1(BM)", "F1(Greedy)", "F1(Jaccard)", "F1(SingleBest)",
                    "R(BM)", "R(Jaccard)"});
+  std::vector<RunReport> reports;
   for (const double noise : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
     const Dataset dataset =
         GenerateBibliographic(bench::HardBibliographic(entities, noise));
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
       config.measure = measure;
       const auto result = RunGroupLinkage(dataset, config);
       GL_CHECK(result.ok());
+      reports.push_back(result->report());
       const PairMetrics metrics = EvaluatePairs(result->linked_pairs, truth);
       row.push_back(FormatDouble(metrics.f1, 3));
       if (measure == GroupMeasureKind::kBm) bm_recall = metrics.recall;
@@ -58,5 +63,6 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e4_noise_robustness", reports));
 }

@@ -16,8 +16,10 @@
 // to --metrics-json (BENCH_e5.json) in the unified grouplink.metrics.v1
 // schema so later changes can track the perf trajectory.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -39,8 +41,19 @@ struct RunOutcome {
   RunReport report;
 };
 
+// Resilience limits applied to a run (all zero = unconstrained).
+struct Limits {
+  double deadline_ms = 0.0;
+  int64_t max_candidates = 0;
+  int64_t max_matcher_cost = 0;
+
+  bool any() const {
+    return deadline_ms > 0.0 || max_candidates > 0 || max_matcher_cost > 0;
+  }
+};
+
 RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool bounds,
-                   bool edge_join, int64_t threads) {
+                   bool edge_join, int64_t threads, const Limits& limits = {}) {
   LinkageConfig config;
   config.theta = bench::kTheta;
   config.group_threshold = bench::kGroupThreshold;
@@ -48,6 +61,9 @@ RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool boun
   config.use_filter_refine = bounds;
   config.use_edge_join = edge_join;
   config.num_threads = static_cast<int32_t>(threads);
+  config.deadline_ms = limits.deadline_ms;
+  config.max_candidate_pairs = limits.max_candidates;
+  config.max_matcher_cost = limits.max_matcher_cost;
   WallTimer timer;
   const auto result = RunGroupLinkage(dataset, config);
   GL_CHECK(result.ok());
@@ -57,6 +73,15 @@ RunOutcome TimeRun(const Dataset& dataset, CandidateMethod candidates, bool boun
   outcome.report = result->report();
   outcome.report.AddExtra("wall_seconds", outcome.seconds);
   return outcome;
+}
+
+// True when `sub` ⊆ `super` as link sets (copies sorted before comparing;
+// the engine emits pairs in strategy-dependent order).
+bool IsSubset(std::vector<std::pair<int32_t, int32_t>> sub,
+              std::vector<std::pair<int32_t, int32_t>> super) {
+  std::sort(sub.begin(), sub.end());
+  std::sort(super.begin(), super.end());
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
 }
 
 }  // namespace
@@ -72,6 +97,15 @@ int main(int argc, char** argv) {
   flags.AddString("metrics-json", "BENCH_e5.json",
                   "unified metrics report output path ('' to skip)");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddDouble("deadline-ms", 0.0,
+                  "resilience mode: per-run deadline in milliseconds (0 = off)");
+  flags.AddInt64("max-candidates", 0,
+                 "resilience mode: cap on candidate pairs scored (0 = off)");
+  flags.AddInt64("max-matcher-cost", 0,
+                 "resilience mode: per-pair |g1|*|g2| matcher budget (0 = off)");
+  flags.AddString("inject", "",
+                  "resilience mode: fault specs 'point[:k=v,...][;...]' armed "
+                  "before the limited run");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const bool smoke = flags.GetBool("smoke");
   const int64_t brute_cap = flags.GetInt64("brute-cap");
@@ -87,6 +121,59 @@ int main(int argc, char** argv) {
     thread_sweep.push_back(std::max<int64_t>(1, *parsed));
   }
   GL_CHECK(!thread_sweep.empty());
+
+  Limits limits;
+  limits.deadline_ms = flags.GetDouble("deadline-ms");
+  limits.max_candidates = flags.GetInt64("max-candidates");
+  limits.max_matcher_cost = flags.GetInt64("max-matcher-cost");
+  const std::string inject = flags.GetString("inject");
+
+  if (limits.any() || !inject.empty()) {
+    // Resilience mode: one unconstrained reference run, then the same
+    // configuration under the limits (and any armed faults). The limited
+    // run must stay a *subset* of the reference links — the partial-result
+    // contract of DESIGN.md §8 — on both evaluation strategies. The
+    // equality sweeps of the normal mode are meaningless here (a degraded
+    // run is allowed to shed work), so they are skipped.
+    const auto first_size = ParseInt64(Split(sizes, ',').front());
+    GL_CHECK(first_size.ok());
+    const Dataset dataset = GenerateBibliographic(
+        bench::HardBibliographic(static_cast<int32_t>(*first_size), 0.25));
+    std::printf("E5 (resilience mode): %d groups, deadline=%.3fms, "
+                "max-candidates=%lld, max-matcher-cost=%lld, inject='%s'\n\n",
+                dataset.num_groups(), limits.deadline_ms,
+                static_cast<long long>(limits.max_candidates),
+                static_cast<long long>(limits.max_matcher_cost), inject.c_str());
+
+    std::vector<RunReport> reports;
+    for (const bool edge_join : {false, true}) {
+      const char* strategy = edge_join ? "edge-join" : "per-pair";
+      const RunOutcome full =
+          TimeRun(dataset, CandidateMethod::kRecordJoin, true, edge_join, threads);
+      GL_CHECK(bench::ArmFaults(inject).ok());
+      RunOutcome limited = TimeRun(dataset, CandidateMethod::kRecordJoin, true,
+                                   edge_join, threads, limits);
+      FaultInjector::Default().DisarmAll();
+      GL_CHECK(IsSubset(limited.links, full.links))
+          << strategy << ": degraded run linked pairs the full run did not";
+      limited.report.AddExtra("reference_links",
+                              static_cast<double>(full.links.size()));
+      std::printf(
+          "  %-9s full=%zu links, limited=%zu links (subset: yes), "
+          "degraded=%s, stop_reason=%s\n",
+          strategy, full.links.size(), limited.links.size(),
+          limited.report.degraded ? "true" : "false",
+          limited.report.stop_reason.empty() ? "-"
+                                             : limited.report.stop_reason.c_str());
+      reports.push_back(full.report);
+      reports.push_back(limited.report);
+    }
+    std::printf(
+        "\nBoth strategies honored the limits and returned valid partial "
+        "results (subset of the unconstrained links).\n");
+    return bench::ExitCode(bench::WriteMetricsJson(
+        flags.GetString("metrics-json"), "e5_scalability_resilience", reports));
+  }
 
   std::printf(
       "E5: wall time vs number of groups (theta=%.2f, Theta=%.2f, "
@@ -164,7 +251,6 @@ int main(int argc, char** argv) {
       "edge join's links, edges, and buckets were bit-identical at every "
       "thread count (checked).\n");
 
-  bench::WriteMetricsJson(flags.GetString("metrics-json"), "e5_scalability",
-                          reports);
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(flags.GetString("metrics-json"),
+                                                 "e5_scalability", reports));
 }

@@ -7,6 +7,7 @@
 // every Θ; higher Θ shifts mass from LB-accepts to UB-prunes.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 150, "author entities");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e6.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 15
@@ -33,12 +36,14 @@ int main(int argc, char** argv) {
 
   TextTable table({"Theta", "candidates", "empty %", "UB-pruned %", "LB-accepted %",
                    "refined %", "links"});
+  std::vector<RunReport> reports;
   for (const double threshold : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8}) {
     LinkageConfig config;
     config.theta = bench::kTheta;
     config.group_threshold = threshold;
     const auto result = RunGroupLinkage(dataset, config);
     GL_CHECK(result.ok());
+    reports.push_back(result->report());
     const FilterRefineStats stats = result->score_stats();
     const double total = static_cast<double>(stats.candidates);
     const auto percent = [&](size_t count) {
@@ -50,5 +55,6 @@ int main(int argc, char** argv) {
                   std::to_string(stats.linked)});
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(
+      flags.GetString("metrics-json"), "e6_pruning_power", reports));
 }

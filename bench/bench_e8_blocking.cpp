@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/flags.h"
@@ -26,6 +27,7 @@ struct SchemeResult {
   size_t links = 0;
   double link_recall = 0.0;
   double seconds = 0.0;
+  RunReport report;
 };
 
 SchemeResult RunScheme(const Dataset& dataset, const LinkageConfig& config,
@@ -34,6 +36,7 @@ SchemeResult RunScheme(const Dataset& dataset, const LinkageConfig& config,
   const auto result = RunGroupLinkage(dataset, config);
   GL_CHECK(result.ok());
   SchemeResult out;
+  out.report = result->report();
   out.seconds = timer.ElapsedSeconds();
   out.candidates = result->candidate_stats().group_pairs;
   out.links = result->linked_pairs.size();
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("entities", 150, "author entities");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddString("metrics-json", "BENCH_e8.json",
+                  "unified metrics report output path ('' to skip)");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const int32_t entities = flags.GetBool("smoke")
                                ? 15
@@ -76,10 +81,13 @@ int main(int argc, char** argv) {
       reference_result->linked_pairs.begin(), reference_result->linked_pairs.end());
 
   TextTable table({"scheme", "candidate pairs", "links", "link recall", "time (s)"});
+  std::vector<RunReport> reports;
+  reports.push_back(reference_result->report());
   const auto add_row = [&](const std::string& name, const LinkageConfig& config) {
-    const SchemeResult r = RunScheme(dataset, config, reference);
+    SchemeResult r = RunScheme(dataset, config, reference);
     table.AddRow({name, std::to_string(r.candidates), std::to_string(r.links),
                   FormatDouble(r.link_recall, 3), FormatDouble(r.seconds, 2)});
+    reports.push_back(std::move(r.report));
   };
 
   add_row("all-pairs", all_pairs);
@@ -124,5 +132,6 @@ int main(int argc, char** argv) {
     add_row("sorted-neighborhood w=" + std::to_string(window), neighborhood);
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(bench::WriteMetricsJson(flags.GetString("metrics-json"),
+                                                 "e8_blocking", reports));
 }

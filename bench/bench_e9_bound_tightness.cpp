@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
   LinkageConfig config;
   config.theta = bench::kTheta;
   LinkageEngine engine(&dataset, config);
-  GL_CHECK(engine.Prepare().ok());
+  if (const Status prepared = engine.Prepare(); !prepared.ok()) {
+    return bench::ExitCode(prepared);
+  }
   const auto sim = [&](int32_t a, int32_t b) {
     return engine.DefaultRecordSimilarity(a, b);
   };

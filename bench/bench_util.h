@@ -9,6 +9,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "common/string_util.h"
 #include "core/run_report.h"
 #include "data/bibliographic_generator.h"
 #include "data/household_generator.h"
@@ -48,22 +51,46 @@ constexpr double kGroupThreshold = 0.2;
 /// Writes the unified experiment report ("grouplink.metrics.v1": run
 /// reports plus a metrics-registry snapshot) to `path`. Every bench's
 /// --metrics-json flag lands here, so all BENCH_*.json files share one
-/// schema (validated in CI with jq).
-inline void WriteMetricsJson(const std::string& path, std::string_view experiment,
-                             const std::vector<RunReport>& runs) {
-  if (path.empty()) return;
+/// schema (validated in CI with jq). An unwritable path is an error the
+/// bench must surface as a non-zero exit — CI reads these files, so
+/// "warn and carry on" would let a broken run pass vacuously.
+inline Status WriteMetricsJson(const std::string& path, std::string_view experiment,
+                               const std::vector<RunReport>& runs) {
+  if (path.empty()) return Status::Ok();
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "W: cannot open %s for writing, skipping JSON\n",
-                 path.c_str());
-    return;
+    return Status::IoError("cannot open " + path + " for writing");
   }
   const std::string json = ExperimentReportJson(experiment, runs);
-  std::fwrite(json.data(), 1, json.size(), f);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fputc('\n', f);
-  std::fclose(f);
+  if (std::fclose(f) != 0 || written != json.size()) {
+    return Status::IoError("short write to " + path);
+  }
   std::printf("\nMetrics report written to %s (%zu runs).\n", path.c_str(),
               runs.size());
+  return Status::Ok();
+}
+
+/// Maps a Status onto a process exit code, printing the failure. Use as
+/// the bench's final statement: `return ExitCode(WriteMetricsJson(...));`.
+inline int ExitCode(const Status& status) {
+  if (status.ok()) return 0;
+  std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Arms fault-injection points from a --inject flag value: one or more
+/// "point" / "point:key=value,key=value" specs separated by ';' (see
+/// FaultInjector::ArmFromSpec for keys). Empty value is a no-op.
+inline Status ArmFaults(const std::string& specs) {
+  if (specs.empty()) return Status::Ok();
+  for (const std::string& spec : Split(specs, ';')) {
+    if (TrimWhitespace(spec).empty()) continue;
+    GL_RETURN_IF_ERROR(
+        FaultInjector::Default().ArmFromSpec(TrimWhitespace(spec)));
+  }
+  return Status::Ok();
 }
 
 }  // namespace bench

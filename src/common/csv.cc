@@ -30,8 +30,9 @@ std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter)
   return out;
 }
 
-Result<std::vector<std::string>> CsvParseLine(std::string_view line, char delimiter) {
-  auto rows = CsvParseDocument(line, delimiter);
+Result<std::vector<std::string>> CsvParseLine(std::string_view line, char delimiter,
+                                              const CsvParseOptions& options) {
+  auto rows = CsvParseDocument(line, delimiter, options);
   if (!rows.ok()) return rows.status();
   if (rows->empty()) return std::vector<std::string>{""};
   if (rows->size() != 1) {
@@ -40,16 +41,29 @@ Result<std::vector<std::string>> CsvParseLine(std::string_view line, char delimi
   return std::move((*rows)[0]);
 }
 
-Result<std::vector<std::vector<std::string>>> CsvParseDocument(std::string_view text,
-                                                               char delimiter) {
+Result<std::vector<std::vector<std::string>>> CsvParseDocument(
+    std::string_view text, char delimiter, const CsvParseOptions& options) {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_has_content = false;  // Current field saw a char or a quote.
   bool pending_field = false;      // A delimiter promised one more field.
+  Status limit_error;  // First limit violation; aborts the parse loop.
 
   const auto end_field = [&] {
+    if (options.max_field_bytes > 0 && field.size() > options.max_field_bytes) {
+      limit_error = Status::ParseError(
+          "field in row " + std::to_string(rows.size()) + " exceeds " +
+          std::to_string(options.max_field_bytes) + " bytes");
+      return;
+    }
+    if (options.max_columns > 0 && row.size() >= options.max_columns) {
+      limit_error = Status::ParseError(
+          "row " + std::to_string(rows.size()) + " exceeds " +
+          std::to_string(options.max_columns) + " columns");
+      return;
+    }
     row.push_back(std::move(field));
     field.clear();
     field_has_content = false;
@@ -61,8 +75,20 @@ Result<std::vector<std::vector<std::string>>> CsvParseDocument(std::string_view 
     row.clear();
   };
 
-  for (size_t i = 0; i < text.size(); ++i) {
+  for (size_t i = 0; i < text.size() && limit_error.ok(); ++i) {
     const char c = text[i];
+    if (c == '\0') {
+      return Status::ParseError("embedded NUL byte at offset " + std::to_string(i));
+    }
+    // Strictly greater: a field of exactly max_field_bytes is legal, so the
+    // error can only be decided once the field has outgrown the limit (the
+    // in-memory overshoot is bounded to one byte; end_field re-checks the
+    // final size for fields terminated by end-of-text).
+    if (options.max_field_bytes > 0 && field.size() > options.max_field_bytes) {
+      return Status::ParseError(
+          "field in row " + std::to_string(rows.size()) + " exceeds " +
+          std::to_string(options.max_field_bytes) + " bytes");
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -93,19 +119,21 @@ Result<std::vector<std::vector<std::string>>> CsvParseDocument(std::string_view 
       field_has_content = true;
     }
   }
+  if (!limit_error.ok()) return limit_error;
   if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
   if (field_has_content || pending_field || !row.empty()) end_row();
+  if (!limit_error.ok()) return limit_error;
   return rows;
 }
 
-Result<std::vector<std::vector<std::string>>> CsvReadFile(const std::string& path,
-                                                          char delimiter) {
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path, char delimiter, const CsvParseOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failed: " + path);
-  return CsvParseDocument(buffer.str(), delimiter);
+  return CsvParseDocument(buffer.str(), delimiter, options);
 }
 
 Status CsvWriteFile(const std::string& path,

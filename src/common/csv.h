@@ -1,6 +1,7 @@
 #ifndef GROUPLINK_COMMON_CSV_H_
 #define GROUPLINK_COMMON_CSV_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,16 @@ namespace grouplink {
 /// RFC-4180-style CSV support: fields containing the delimiter, a quote, or
 /// a newline are quoted; embedded quotes are doubled. Used by dataset I/O.
 
+/// Input hardening limits for the parser. Malformed or hostile input
+/// (embedded NUL bytes, runaway unquoted fields, column bombs) returns
+/// Status::ParseError instead of crashing or consuming unbounded memory.
+struct CsvParseOptions {
+  /// Largest single field, bytes. 0 disables the check.
+  size_t max_field_bytes = size_t{1} << 20;
+  /// Most columns allowed in one row. 0 disables the check.
+  size_t max_columns = 4096;
+};
+
 /// Escapes one field for CSV output (quotes only when needed).
 std::string CsvEscape(std::string_view field, char delimiter = ',');
 
@@ -21,15 +32,18 @@ std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter 
 /// Parses one logical CSV line into fields. The line must not contain an
 /// unterminated quoted field (multi-line fields are handled by CsvReader).
 Result<std::vector<std::string>> CsvParseLine(std::string_view line,
-                                              char delimiter = ',');
+                                              char delimiter = ',',
+                                              const CsvParseOptions& options = {});
 
 /// Parses a whole CSV document (supports quoted fields spanning lines).
 Result<std::vector<std::vector<std::string>>> CsvParseDocument(
-    std::string_view text, char delimiter = ',');
+    std::string_view text, char delimiter = ',',
+    const CsvParseOptions& options = {});
 
 /// Reads and parses a CSV file from disk.
-Result<std::vector<std::vector<std::string>>> CsvReadFile(const std::string& path,
-                                                          char delimiter = ',');
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path, char delimiter = ',',
+    const CsvParseOptions& options = {});
 
 /// Writes rows to a CSV file, replacing any existing content.
 Status CsvWriteFile(const std::string& path,

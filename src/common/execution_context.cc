@@ -1,0 +1,87 @@
+#include "common/execution_context.h"
+
+#include <algorithm>
+
+#include "common/fault_injection.h"
+
+namespace grouplink {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadlineExpired:
+      return "deadline";
+    case StopReason::kFaultInjected:
+      return "fault-injected";
+  }
+  return "";
+}
+
+void ExecutionContext::SetDeadline(double ms) {
+  if (ms <= 0.0) {
+    has_deadline_ = false;
+    return;
+  }
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+}
+
+void ExecutionContext::NoteStop(StopReason reason) const {
+  // First cause wins; later polls keep returning the sticky state.
+  bool expected = false;
+  if (stopped_.compare_exchange_strong(expected, true,
+                                       std::memory_order_relaxed)) {
+    stop_reason_.store(static_cast<int>(reason), std::memory_order_relaxed);
+    degraded_.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool ExecutionContext::StopRequested() const {
+  if (stopped_.load(std::memory_order_relaxed)) return true;
+  if (has_token_ && token_.cancelled()) {
+    NoteStop(StopReason::kCancelled);
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    NoteStop(StopReason::kDeadlineExpired);
+    return true;
+  }
+  if (FaultInjector::Default().ShouldFire(faults::kDeadline)) {
+    NoteStop(StopReason::kFaultInjected);
+    return true;
+  }
+  return false;
+}
+
+size_t ExecutionContext::EffectiveCandidateCap(size_t n) const {
+  size_t cap = n;
+  if (max_candidate_pairs_ > 0) {
+    cap = std::min(cap, static_cast<size_t>(max_candidate_pairs_));
+  }
+  if (FaultInjector::Default().ShouldFire(faults::kOversizedCandidates)) {
+    const int64_t magnitude =
+        FaultInjector::Default().magnitude(faults::kOversizedCandidates);
+    cap = std::min(cap, magnitude > 0 ? static_cast<size_t>(magnitude) : n / 2);
+  }
+  return cap;
+}
+
+Status ExecutionContext::ToStatus() const {
+  switch (stop_reason()) {
+    case StopReason::kNone:
+      return Status::Ok();
+    case StopReason::kCancelled:
+      return Status::Cancelled("run cancelled");
+    case StopReason::kDeadlineExpired:
+    case StopReason::kFaultInjected:
+      return Status::DeadlineExceeded("run deadline expired");
+  }
+  return Status::Ok();
+}
+
+}  // namespace grouplink

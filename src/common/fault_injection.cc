@@ -1,0 +1,174 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace {
+
+// Deterministic uniform draw in [0, 1) for the spec's Nth eligible hit.
+// HashCombine alone leaves small seed differences in the low bits, and the
+// probability comparison is dominated by the high bits — finalize with a
+// full avalanche (murmur3 fmix64) so every seed bit reaches every draw bit.
+double SeededDraw(uint64_t seed, int64_t ordinal) {
+  uint64_t mixed =
+      HashCombine(seed ^ 0x9e3779b97f4a7c15ULL, static_cast<uint64_t>(ordinal));
+  mixed ^= mixed >> 33;
+  mixed *= 0xff51afd7ed558ccdULL;
+  mixed ^= mixed >> 33;
+  mixed *= 0xc4ceb9fe1a85ec53ULL;
+  mixed ^= mixed >> 33;
+  return static_cast<double>(mixed >> 11) / 9007199254740992.0;  // 2^53
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::string_view point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    it = points_.try_emplace(std::string(point)).first;
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  it->second.spec = spec;
+  it->second.hits.store(0, std::memory_order_relaxed);
+  it->second.fires.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(std::string_view spec_text) {
+  const size_t colon = spec_text.find(':');
+  const std::string_view point = spec_text.substr(0, colon);
+  if (point.empty()) {
+    return Status::InvalidArgument("fault spec has no point name: '" +
+                                   std::string(spec_text) + "'");
+  }
+  FaultSpec spec;
+  bool delay_set = false;
+  if (colon != std::string_view::npos) {
+    for (const std::string& piece : Split(spec_text.substr(colon + 1), ',')) {
+      const size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault spec option '" + piece +
+                                       "' is not key=value");
+      }
+      const std::string key = piece.substr(0, eq);
+      const std::string value = piece.substr(eq + 1);
+      if (key == "probability" || key == "delay_ms") {
+        const auto parsed = ParseDouble(value);
+        if (!parsed.ok()) return parsed.status();
+        if (key == "probability") {
+          spec.probability = *parsed;
+        } else {
+          spec.delay_ms = *parsed;
+          delay_set = true;
+        }
+      } else {
+        const auto parsed = ParseInt64(value);
+        if (!parsed.ok()) return parsed.status();
+        if (key == "after") {
+          spec.after = *parsed;
+        } else if (key == "every") {
+          spec.every = *parsed;
+        } else if (key == "seed") {
+          spec.seed = static_cast<uint64_t>(*parsed);
+        } else if (key == "magnitude") {
+          spec.magnitude = *parsed;
+        } else if (key == "max_fires") {
+          spec.max_fires = *parsed;
+        } else {
+          return Status::InvalidArgument("unknown fault spec key '" + key + "'");
+        }
+      }
+    }
+  }
+  if (spec.every < 1) {
+    return Status::InvalidArgument("fault spec 'every' must be >= 1");
+  }
+  if (point == faults::kSlowTask && !delay_set) spec.delay_ms = 1.0;
+  Arm(point, spec);
+  return Status::Ok();
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return;
+  points_.erase(it);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(const char* point) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(std::string_view(point));
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  const FaultSpec& spec = state.spec;
+  const int64_t hit = state.hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit < spec.after) return false;
+  const int64_t eligible = hit - spec.after;
+  if (eligible % spec.every != 0) return false;
+  if (spec.probability < 1.0 &&
+      SeededDraw(spec.seed, eligible / spec.every) >= spec.probability) {
+    return false;
+  }
+  if (spec.max_fires > 0 &&
+      state.fires.load(std::memory_order_relaxed) >= spec.max_fires) {
+    return false;
+  }
+  state.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::FireWithDelay(const char* point) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(std::string_view(point));
+    if (it != points_.end()) delay_ms = it->second.spec.delay_ms;
+  }
+  if (!ShouldFire(point)) return false;
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return true;
+}
+
+int64_t FaultInjector::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::magnitude(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.spec.magnitude;
+}
+
+bool FaultInjector::armed(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_.find(point) != points_.end();
+}
+
+}  // namespace grouplink

@@ -1,0 +1,126 @@
+#ifndef GROUPLINK_COMMON_FAULT_INJECTION_H_
+#define GROUPLINK_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grouplink {
+
+/// Deterministic, seeded fault injection for tests and benches.
+///
+/// Call sites name a fault point and ask `ShouldFire(point)` at the spot
+/// where the fault would occur; what "firing" means (sleep, skip, corrupt,
+/// pretend-expired) is decided by the call site. Points are disarmed by
+/// default and the disarmed fast path is a single relaxed atomic load, so
+/// the hooks stay compiled into production binaries at negligible cost.
+///
+/// Determinism: a point's decision for its Nth evaluation depends only on
+/// the armed FaultSpec and N (probability draws hash the seed with the
+/// hit ordinal), never on wall time or thread identity. Points evaluated
+/// from a deterministic call sequence therefore fire deterministically.
+///
+///   FaultInjector::Default().Arm(faults::kFailTask, {.after = 2});
+///   ...
+///   if (FaultInjector::Default().ShouldFire(faults::kFailTask)) { ... }
+
+namespace faults {
+/// Worker chunk sleeps `delay_ms` before running (latency/skew injection).
+inline constexpr const char* kSlowTask = "thread_pool.slow_task";
+/// Worker chunk is dropped; its iterations are marked skipped/degraded.
+inline constexpr const char* kFailTask = "thread_pool.fail_task";
+/// Candidate list is treated as oversized: the effective cap becomes
+/// `magnitude` (or half the natural size when magnitude is 0).
+inline constexpr const char* kOversizedCandidates = "candidates.oversized";
+/// A CSV row is treated as corrupt and surfaces Status::ParseError.
+inline constexpr const char* kCorruptRecord = "record_io.corrupt_record";
+/// ExecutionContext reports its deadline as already expired.
+inline constexpr const char* kDeadline = "execution.deadline";
+}  // namespace faults
+
+/// When and how an armed point fires.
+struct FaultSpec {
+  /// Skip the first `after` evaluations (0 = eligible immediately).
+  int64_t after = 0;
+  /// Of the eligible evaluations, fire every `every`th (1 = all).
+  int64_t every = 1;
+  /// Independent per-eligible-evaluation chance, drawn from
+  /// hash(seed, hit ordinal) so it is reproducible. 1.0 = always.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// For kSlowTask-style points: how long FireWithDelay sleeps.
+  double delay_ms = 0.0;
+  /// Point-specific size knob (e.g. injected candidate cap).
+  int64_t magnitude = 0;
+  /// Stop firing after this many fires (0 = unlimited).
+  int64_t max_fires = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector used by all built-in fault points.
+  static FaultInjector& Default();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point`; replaces any previous spec and resets its counters.
+  void Arm(std::string_view point, const FaultSpec& spec);
+
+  /// Parses "point" or "point:key=value,key=value" and arms it. Keys:
+  /// after, every, probability, seed, delay_ms, magnitude, max_fires.
+  /// kSlowTask defaults to delay_ms=1 when left unspecified, so arming it
+  /// bare from a --inject flag still visibly slows tasks.
+  Status ArmFromSpec(std::string_view spec_text);
+
+  void Disarm(std::string_view point);
+  void DisarmAll();
+
+  /// True when `point` is armed and this evaluation is selected by the
+  /// spec. Every call on an armed point counts one hit.
+  bool ShouldFire(const char* point);
+
+  /// ShouldFire plus sleeping `delay_ms` when it fires. Returns whether
+  /// the point fired.
+  bool FireWithDelay(const char* point);
+
+  /// Counters and the armed magnitude, for assertions. A disarmed point
+  /// reports zero hits/fires and magnitude 0.
+  int64_t hits(std::string_view point) const;
+  int64_t fires(std::string_view point) const;
+  int64_t magnitude(std::string_view point) const;
+  bool armed(std::string_view point) const;
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> fires{0};
+  };
+
+  // Fast disarmed-path gate: number of armed points.
+  std::atomic<int64_t> armed_count_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState, std::less<>> points_;
+};
+
+/// Test helper: disarms every point on destruction so one test's armed
+/// faults can never leak into the next.
+class ScopedFaultClear {
+ public:
+  ScopedFaultClear() = default;
+  ~ScopedFaultClear() { FaultInjector::Default().DisarmAll(); }
+  ScopedFaultClear(const ScopedFaultClear&) = delete;
+  ScopedFaultClear& operator=(const ScopedFaultClear&) = delete;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_FAULT_INJECTION_H_

@@ -19,6 +19,8 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -131,6 +131,46 @@ std::string ReplaceAll(std::string_view s, std::string_view from, std::string_vi
   }
 }
 
+bool IsValidUtf8(std::string_view s) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(s.data());
+  const unsigned char* const end = p + s.size();
+  while (p < end) {
+    const unsigned char lead = *p;
+    if (lead < 0x80) {
+      ++p;
+      continue;
+    }
+    int continuation;
+    uint32_t code_point;
+    uint32_t min_value;  // Smallest code point this length may encode.
+    if ((lead & 0xE0) == 0xC0) {
+      continuation = 1;
+      code_point = lead & 0x1F;
+      min_value = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      continuation = 2;
+      code_point = lead & 0x0F;
+      min_value = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      continuation = 3;
+      code_point = lead & 0x07;
+      min_value = 0x10000;
+    } else {
+      return false;  // Stray continuation byte or invalid lead (0xF8+).
+    }
+    if (end - p <= continuation) return false;  // Truncated sequence.
+    for (int i = 1; i <= continuation; ++i) {
+      if ((p[i] & 0xC0) != 0x80) return false;
+      code_point = (code_point << 6) | (p[i] & 0x3F);
+    }
+    if (code_point < min_value) return false;                    // Overlong.
+    if (code_point >= 0xD800 && code_point <= 0xDFFF) return false;  // Surrogate.
+    if (code_point > 0x10FFFF) return false;
+    p += continuation + 1;
+  }
+  return true;
+}
+
 uint64_t Fingerprint64(std::string_view s) {
   uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis.
   for (const char c : s) {

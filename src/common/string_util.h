@@ -43,6 +43,10 @@ std::string FormatDouble(double value, int digits);
 /// Replaces every occurrence of `from` (non-empty) with `to`.
 std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
 
+/// True when `s` is well-formed UTF-8: no bad continuation bytes,
+/// overlong encodings, surrogate code points, or values above U+10FFFF.
+bool IsValidUtf8(std::string_view s);
+
 /// 64-bit FNV-1a hash of `s`; stable across runs and platforms.
 uint64_t Fingerprint64(std::string_view s);
 

@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace grouplink {
@@ -78,6 +81,54 @@ void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& 
     });
   }
   pool->Wait();
+}
+
+namespace {
+
+// Runs one contiguous chunk under the context's stop/fault policy and
+// returns how many iterations executed.
+size_t RunChunk(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                ExecutionContext* ctx) {
+  FaultInjector::Default().FireWithDelay(faults::kSlowTask);
+  if (FaultInjector::Default().ShouldFire(faults::kFailTask)) {
+    ctx->NoteDegraded();
+    return 0;
+  }
+  size_t executed = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (ctx->StopRequested()) break;
+    fn(i);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace
+
+size_t ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn,
+                   ExecutionContext* ctx) {
+  if (ctx == nullptr) {
+    ParallelFor(pool, n, fn);
+    return n;
+  }
+  if (n == 0) return 0;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return RunChunk(0, n, fn, ctx);
+  }
+  const size_t chunks = std::min(n, pool->num_threads() * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  std::atomic<size_t> executed{0};
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    pool->Submit([begin, end, &fn, ctx, &executed] {
+      executed.fetch_add(RunChunk(begin, end, fn, ctx),
+                         std::memory_order_relaxed);
+    });
+  }
+  pool->Wait();
+  return executed.load(std::memory_order_relaxed);
 }
 
 size_t DefaultThreadCount() {

@@ -11,6 +11,8 @@
 
 namespace grouplink {
 
+class ExecutionContext;
+
 /// Fixed-size worker pool executing submitted tasks FIFO. Used by the
 /// parallel scoring paths; determinism is preserved by writing results
 /// into preallocated per-index slots (see ParallelFor).
@@ -51,6 +53,18 @@ class ThreadPool {
 /// pool (or a single-thread pool) runs inline — callers can treat the
 /// parallel and serial paths identically.
 void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+/// Resilient variant: polls `ctx->StopRequested()` before every iteration
+/// and sheds the remainder once it trips, so cancellation latency is one
+/// task quantum (one iteration of `fn`). Honors the thread_pool.slow_task
+/// and thread_pool.fail_task fault points per chunk (a failed chunk's
+/// iterations are shed and the context is marked degraded). Returns the
+/// number of iterations actually executed; callers with skip-sensitive
+/// state must leave un-executed slots in a well-defined default state.
+/// With ctx == nullptr behaves exactly like the 3-arg overload (and
+/// returns n).
+size_t ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn,
+                   ExecutionContext* ctx);
 
 /// The hardware thread count, never less than 1 (hardware_concurrency
 /// may report 0 on exotic platforms). Default for `--threads` flags.

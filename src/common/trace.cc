@@ -28,7 +28,14 @@ void AppendText(const TraceNode& node, size_t depth, std::string* out) {
   const size_t width = 2 * depth + node.name.size();
   out->append(width < 40 ? 40 - width : 1, ' ');
   out->append(FormatDouble(node.seconds, 6));
-  out->append("s\n");
+  out->append("s");
+  for (const auto& [key, value] : node.tags) {
+    out->append("  ");
+    out->append(key);
+    out->append("=");
+    out->append(value);
+  }
+  out->append("\n");
   for (const auto& child : node.children) {
     AppendText(*child, depth + 1, out);
   }
@@ -39,6 +46,14 @@ void AppendJson(const TraceNode& node, JsonWriter* json) {
   json->Field("name", node.name);
   json->Field("start_ns", static_cast<int64_t>(node.start_ns));
   json->Field("seconds", node.seconds);
+  if (!node.tags.empty()) {
+    json->Key("tags");
+    json->BeginObject();
+    for (const auto& [key, value] : node.tags) {
+      json->Field(key, value);
+    }
+    json->EndObject();
+  }
   json->Key("children");
   json->BeginArray();
   for (const auto& child : node.children) {
@@ -51,6 +66,11 @@ void AppendJson(const TraceNode& node, JsonWriter* json) {
 }  // namespace
 
 bool TracingEnabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+
+void TagCurrentSpan(std::string_view key, std::string_view value) {
+  if (!TracingEnabled() || t_open_stack.empty()) return;
+  t_open_stack.back()->tags.emplace_back(std::string(key), std::string(value));
+}
 
 void SetTracingEnabled(bool enabled) {
   g_tracing_enabled.store(enabled, std::memory_order_relaxed);

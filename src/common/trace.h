@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace grouplink {
@@ -38,8 +40,15 @@ struct TraceNode {
   /// Start offset from the process trace epoch, nanoseconds.
   int64_t start_ns = 0;
   double seconds = 0.0;
+  /// Key/value annotations added via TagCurrentSpan (e.g. degraded=true,
+  /// shed counts). Usually empty.
+  std::vector<std::pair<std::string, std::string>> tags;
   std::vector<std::unique_ptr<TraceNode>> children;
 };
+
+/// Attaches a tag to this thread's innermost open span. No-op when
+/// tracing is disabled or no span is open.
+void TagCurrentSpan(std::string_view key, std::string_view value);
 
 /// Owner of completed root spans.
 class Tracer {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -33,12 +34,18 @@ struct ShardOutput {
   std::vector<BucketedEdge> edges;
 };
 
-// Outcome category of one bucket (mirrors filter_refine.cc).
+// Outcome category of one bucket (mirrors filter_refine.cc). kSkipped is
+// the preallocated default, so a bucket a stop request prevented from
+// scoring stays in a well-defined state.
 enum class Decision : uint8_t {
+  kSkipped = 0,
+  kShedByCap,
   kPrunedByUpperBound,
   kAcceptedByLowerBound,
   kRefinedLink,
   kRefinedNoLink,
+  kDegradedLink,
+  kDegradedNoLink,
 };
 
 }  // namespace
@@ -47,7 +54,7 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
     const RecordSimFn& sim, const EdgeJoinConfig& config, EdgeJoinStats* stats,
-    ThreadPool* pool) {
+    ThreadPool* pool, ExecutionContext* ctx) {
   GL_CHECK_GT(config.theta, 0.0);
   GL_CHECK_EQ(record_tokens.size(), dataset.records.size());
   GL_CHECK_EQ(record_group.size(), dataset.records.size());
@@ -88,7 +95,7 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   std::vector<ShardOutput> shard_outputs(num_shards);
   {
     GL_TRACE_SPAN("edge_join.join");
-    PrefixFilterSelfJoinSharded(
+    s.probes_skipped = PrefixFilterSelfJoinSharded(
         record_tokens, num_tokens, config.join_jaccard, threads > 1 ? pool : nullptr,
         num_shards, [&](size_t shard, int32_t r1, int32_t r2) {
           ShardOutput& out = shard_outputs[shard];
@@ -107,7 +114,10 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
           out.edges.push_back({std::min(g1, g2), std::max(g1, g2),
                                {local_pos[static_cast<size_t>(left_record)],
                                 local_pos[static_cast<size_t>(right_record)], weight}});
-        });
+        },
+        ctx);
+    if (s.probes_skipped > 0) TagCurrentSpan("probes_skipped",
+                                             std::to_string(s.probes_skipped));
   }
   s.seconds_join = timer.ElapsedSeconds();
   s.seconds_verify = 0.0;  // Folded into the streaming join workers.
@@ -147,34 +157,91 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     bucket_refs.push_back({group_pair, &edges});
   }
 
-  std::vector<Decision> decisions(bucket_refs.size());
-  ParallelFor(pool, bucket_refs.size(), [&](size_t i) {
+  // Builds the bucket's bipartite graph from its edge list.
+  const auto build_graph = [&](size_t i) {
     const auto& [g1, g2] = bucket_refs[i].groups;
-    const int32_t size_left = dataset.GroupSize(g1);
-    const int32_t size_right = dataset.GroupSize(g2);
-    BipartiteGraph graph(size_left, size_right);
+    BipartiteGraph graph(dataset.GroupSize(g1), dataset.GroupSize(g2));
     for (const Edge& edge : *bucket_refs[i].edges) {
       graph.AddEdge(edge.left_pos, edge.right_pos, edge.weight);
     }
-    if (config.use_upper_bound_filter &&
-        UpperBoundMeasure(graph, size_left, size_right) < config.group_threshold) {
-      decisions[i] = Decision::kPrunedByUpperBound;
-      return;
+    return graph;
+  };
+
+  std::vector<Decision> decisions(bucket_refs.size(), Decision::kSkipped);
+
+  // Candidate budget (and the candidates.oversized fault): keep the best
+  // buckets by UB score — deterministic, it depends only on the buckets.
+  std::vector<char> keep;
+  const size_t cap =
+      ctx != nullptr ? ctx->EffectiveCandidateCap(bucket_refs.size()) : bucket_refs.size();
+  if (cap < bucket_refs.size()) {
+    std::vector<double> ub(bucket_refs.size(), 0.0);
+    ParallelFor(pool, bucket_refs.size(), [&](size_t i) {
+      const auto& [g1, g2] = bucket_refs[i].groups;
+      ub[i] = UpperBoundMeasure(build_graph(i), dataset.GroupSize(g1),
+                                dataset.GroupSize(g2));
+    });
+    std::vector<size_t> order(bucket_refs.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(cap),
+                     order.end(), [&](size_t a, size_t b) {
+                       if (ub[a] != ub[b]) return ub[a] > ub[b];
+                       return a < b;
+                     });
+    keep.assign(bucket_refs.size(), 0);
+    for (size_t k = 0; k < cap; ++k) keep[order[k]] = 1;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (!keep[i]) decisions[i] = Decision::kShedByCap;
     }
-    if (config.use_lower_bound_accept &&
-        GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold) {
-      decisions[i] = Decision::kAcceptedByLowerBound;
-      return;
-    }
-    decisions[i] = BmMeasure(graph, size_left, size_right).value >= config.group_threshold
-                       ? Decision::kRefinedLink
-                       : Decision::kRefinedNoLink;
-  });
+    ctx->NoteDegraded();
+  }
+
+  ParallelFor(
+      pool, bucket_refs.size(),
+      [&](size_t i) {
+        if (!keep.empty() && !keep[i]) return;  // Stays kShedByCap.
+        const auto& [g1, g2] = bucket_refs[i].groups;
+        const int32_t size_left = dataset.GroupSize(g1);
+        const int32_t size_right = dataset.GroupSize(g2);
+        const BipartiteGraph graph = build_graph(i);
+        if (config.use_upper_bound_filter &&
+            UpperBoundMeasure(graph, size_left, size_right) < config.group_threshold) {
+          decisions[i] = Decision::kPrunedByUpperBound;
+          return;
+        }
+        if (config.use_lower_bound_accept &&
+            GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold) {
+          decisions[i] = Decision::kAcceptedByLowerBound;
+          return;
+        }
+        // Matcher budget: bounds-only decision on oversized pairs (LB is a
+        // sound lower bound on BM, so this only ever under-links).
+        const int64_t matcher_cost =
+            static_cast<int64_t>(size_left) * static_cast<int64_t>(size_right);
+        if (ctx != nullptr && ctx->ExceedsMatcherBudget(matcher_cost)) {
+          decisions[i] =
+              GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold
+                  ? Decision::kDegradedLink
+                  : Decision::kDegradedNoLink;
+          return;
+        }
+        decisions[i] =
+            BmMeasure(graph, size_left, size_right, ctx).value >= config.group_threshold
+                ? Decision::kRefinedLink
+                : Decision::kRefinedNoLink;
+      },
+      ctx);
 
   std::vector<std::pair<int32_t, int32_t>> linked;
   for (size_t i = 0; i < bucket_refs.size(); ++i) {
     bool link = false;
     switch (decisions[i]) {
+      case Decision::kSkipped:
+        ++s.skipped;
+        break;
+      case Decision::kShedByCap:
+        ++s.shed_candidates;
+        break;
       case Decision::kPrunedByUpperBound:
         ++s.pruned_by_upper_bound;
         break;
@@ -189,11 +256,25 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
       case Decision::kRefinedNoLink:
         ++s.refined;
         break;
+      case Decision::kDegradedLink:
+        ++s.degraded_refines;
+        link = true;
+        break;
+      case Decision::kDegradedNoLink:
+        ++s.degraded_refines;
+        break;
     }
     if (link) {
       linked.push_back(bucket_refs[i].groups);
       ++s.linked;
     }
+  }
+  if (ctx != nullptr && (s.skipped > 0 || s.degraded_refines > 0)) {
+    ctx->NoteDegraded();
+  }
+  if (s.skipped > 0) TagCurrentSpan("buckets_skipped", std::to_string(s.skipped));
+  if (s.shed_candidates > 0) {
+    TagCurrentSpan("buckets_shed", std::to_string(s.shed_candidates));
   }
   s.seconds_score = timer.ElapsedSeconds();
 
@@ -206,6 +287,10 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   static Counter& m_lb = registry.CounterRef("edge_join.lb_accepted");
   static Counter& m_refined = registry.CounterRef("edge_join.refined");
   static Counter& m_linked = registry.CounterRef("edge_join.linked");
+  static Counter& m_probes_skipped = registry.CounterRef("edge_join.probes_skipped");
+  static Counter& m_shed = registry.CounterRef("edge_join.shed_candidates");
+  static Counter& m_degraded = registry.CounterRef("edge_join.degraded_refines");
+  static Counter& m_skipped = registry.CounterRef("edge_join.skipped");
   static Histogram& m_bucket_size = registry.HistogramRef(
       "edge_join.bucket_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
   m_candidates.Increment(s.record_candidates);
@@ -215,6 +300,10 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
   m_lb.Increment(s.accepted_by_lower_bound);
   m_refined.Increment(s.refined);
   m_linked.Increment(s.linked);
+  m_probes_skipped.Increment(s.probes_skipped);
+  m_shed.Increment(s.shed_candidates);
+  m_degraded.Increment(s.degraded_refines);
+  m_skipped.Increment(s.skipped);
   for (const BucketRef& bucket : bucket_refs) {
     m_bucket_size.Observe(static_cast<double>(bucket.edges->size()));
   }

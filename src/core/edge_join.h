@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/thread_pool.h"
 #include "core/group_measures.h"
 
@@ -43,6 +44,15 @@ struct EdgeJoinStats {
   size_t accepted_by_lower_bound = 0;
   size_t refined = 0;
   size_t linked = 0;
+  /// Probe documents the join shed after a deadline/cancellation trip.
+  size_t probes_skipped = 0;
+  /// Buckets shed by the candidate cap (budget or injected oversize),
+  /// decided by UB order, deterministically.
+  size_t shed_candidates = 0;
+  /// Buckets decided by the bounds-only fallback (matcher budget trip).
+  size_t degraded_refines = 0;
+  /// Buckets never scored: the deadline or cancellation tripped first.
+  size_t skipped = 0;
   /// Per-stage wall times. Verification runs inline inside the join
   /// workers (seconds_verify stays 0; it is folded into seconds_join);
   /// seconds_bucket covers the deterministic shard merge + bucketing.
@@ -89,11 +99,17 @@ struct EdgeJoinStats {
 /// `record_tokens` holds each record's sorted-unique token ids over a
 /// dense id space of size `num_tokens`; `record_group` maps records to
 /// group indexes.
+/// With a non-null `ctx`, the join/score stages poll for deadline or
+/// cancellation and degrade instead of running unbounded: shed probes,
+/// a UB-ordered bucket cap, and a bounds-only matcher fallback — every
+/// degraded decision only removes links, so the output is a subset of
+/// the unconstrained run's (see DESIGN.md §8).
 std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
     const RecordSimFn& sim, const EdgeJoinConfig& config,
-    EdgeJoinStats* stats = nullptr, ThreadPool* pool = nullptr);
+    EdgeJoinStats* stats = nullptr, ThreadPool* pool = nullptr,
+    ExecutionContext* ctx = nullptr);
 
 }  // namespace grouplink
 

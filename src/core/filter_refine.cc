@@ -1,24 +1,32 @@
 #include "core/filter_refine.h"
 
+#include <algorithm>
+
 #include "common/metrics.h"
 #include "common/timer.h"
 
 namespace grouplink {
 namespace {
 
-// Outcome category of one candidate pair.
+// Outcome category of one candidate pair. kSkipped is the preallocated
+// default, so a pair a stop request prevented from running stays in a
+// well-defined state.
 enum class Decision : uint8_t {
+  kSkipped = 0,
+  kShedByCap,
   kEmptyGraph,
   kPrunedByUpperBound,
   kAcceptedByLowerBound,
   kRefinedLink,
   kRefinedNoLink,
+  kDegradedLink,
+  kDegradedNoLink,
 };
 
 // Scores one candidate pair; phase timers are optional (serial path only).
 Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
                     int32_t g2, const FilterRefineConfig& config,
-                    FilterRefineStats* timing) {
+                    FilterRefineStats* timing, const ExecutionContext* ctx) {
   const int32_t size_left = dataset.GroupSize(g1);
   const int32_t size_right = dataset.GroupSize(g2);
 
@@ -42,10 +50,50 @@ Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
   if (timing != nullptr) timing->seconds_bounds += timer.ElapsedSeconds();
 
   timer.Reset();
+  // Matcher budget: on oversized pairs decide from the sound greedy lower
+  // bound instead of running Hungarian. LB <= BM, so a degraded accept is
+  // always a true link and a degraded reject can only under-link —
+  // subset-safe, and deterministic (the cost depends only on the pair).
+  const int64_t matcher_cost =
+      static_cast<int64_t>(size_left) * static_cast<int64_t>(size_right);
+  if (ctx != nullptr && ctx->ExceedsMatcherBudget(matcher_cost)) {
+    const bool link =
+        GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold;
+    if (timing != nullptr) timing->seconds_refine += timer.ElapsedSeconds();
+    return link ? Decision::kDegradedLink : Decision::kDegradedNoLink;
+  }
   const bool link =
-      BmMeasure(graph, size_left, size_right).value >= config.group_threshold;
+      BmMeasure(graph, size_left, size_right, ctx).value >= config.group_threshold;
   if (timing != nullptr) timing->seconds_refine += timer.ElapsedSeconds();
   return link ? Decision::kRefinedLink : Decision::kRefinedNoLink;
+}
+
+// Deterministic candidate cap: keeps the `cap` pairs with the highest
+// upper-bound score (ties to the lower index), sheds the rest. Returns
+// the kept flags. The UB pass itself is not stop-checked so the kept set
+// depends only on the candidates, never on timing or thread count.
+std::vector<char> CapCandidatesByUpperBound(
+    const Dataset& dataset, const RecordSimFn& sim,
+    const std::vector<std::pair<int32_t, int32_t>>& candidates, double theta,
+    size_t cap, ThreadPool* pool) {
+  std::vector<double> ub(candidates.size(), 0.0);
+  ParallelFor(pool, candidates.size(), [&](size_t i) {
+    const auto [g1, g2] = candidates[i];
+    const BipartiteGraph graph = BuildSimilarityGraph(dataset, g1, g2, sim, theta);
+    if (!graph.edges().empty()) {
+      ub[i] = UpperBoundMeasure(graph, dataset.GroupSize(g1), dataset.GroupSize(g2));
+    }
+  });
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(cap),
+                   order.end(), [&](size_t a, size_t b) {
+                     if (ub[a] != ub[b]) return ub[a] > ub[b];
+                     return a < b;
+                   });
+  std::vector<char> keep(candidates.size(), 0);
+  for (size_t k = 0; k < cap; ++k) keep[order[k]] = 1;
+  return keep;
 }
 
 }  // namespace
@@ -53,23 +101,50 @@ Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
 std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,
-    const FilterRefineConfig& config, FilterRefineStats* stats, ThreadPool* pool) {
+    const FilterRefineConfig& config, FilterRefineStats* stats, ThreadPool* pool,
+    ExecutionContext* ctx) {
   FilterRefineStats local_stats;
   FilterRefineStats& s = stats != nullptr ? *stats : local_stats;
   s = FilterRefineStats();
   s.candidates = candidates.size();
 
-  std::vector<Decision> decisions(candidates.size());
   const bool parallel = pool != nullptr && pool->num_threads() > 1;
-  ParallelFor(parallel ? pool : nullptr, candidates.size(), [&](size_t i) {
-    decisions[i] = DecidePair(dataset, sim, candidates[i].first, candidates[i].second,
-                              config, parallel ? nullptr : &s);
-  });
+  std::vector<Decision> decisions(candidates.size(), Decision::kSkipped);
+
+  // Candidate budget (and the candidates.oversized fault): keep the best
+  // pairs by UB score, shed the rest before any exact scoring.
+  std::vector<char> keep;
+  const size_t cap =
+      ctx != nullptr ? ctx->EffectiveCandidateCap(candidates.size()) : candidates.size();
+  if (cap < candidates.size()) {
+    keep = CapCandidatesByUpperBound(dataset, sim, candidates, config.theta, cap,
+                                     parallel ? pool : nullptr);
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (!keep[i]) decisions[i] = Decision::kShedByCap;
+    }
+    ctx->NoteDegraded();
+  }
+
+  ParallelFor(
+      parallel ? pool : nullptr, candidates.size(),
+      [&](size_t i) {
+        if (!keep.empty() && !keep[i]) return;  // Stays kShedByCap.
+        decisions[i] = DecidePair(dataset, sim, candidates[i].first,
+                                  candidates[i].second, config,
+                                  parallel ? nullptr : &s, ctx);
+      },
+      ctx);
 
   std::vector<std::pair<int32_t, int32_t>> linked;
   for (size_t i = 0; i < candidates.size(); ++i) {
     bool link = false;
     switch (decisions[i]) {
+      case Decision::kSkipped:
+        ++s.skipped;
+        break;
+      case Decision::kShedByCap:
+        ++s.shed_candidates;
+        break;
       case Decision::kEmptyGraph:
         ++s.empty_graphs;
         break;
@@ -87,11 +162,21 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
       case Decision::kRefinedNoLink:
         ++s.refined;
         break;
+      case Decision::kDegradedLink:
+        ++s.degraded_refines;
+        link = true;
+        break;
+      case Decision::kDegradedNoLink:
+        ++s.degraded_refines;
+        break;
     }
     if (link) {
       linked.push_back(candidates[i]);
       ++s.linked;
     }
+  }
+  if (ctx != nullptr && (s.skipped > 0 || s.degraded_refines > 0)) {
+    ctx->NoteDegraded();
   }
 
   // Registry mirror of the per-run stats (aggregated once per call, so the
@@ -103,12 +188,18 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
   static Counter& m_lb = registry.CounterRef("filter_refine.lb_accepted");
   static Counter& m_refined = registry.CounterRef("filter_refine.refined");
   static Counter& m_linked = registry.CounterRef("filter_refine.linked");
+  static Counter& m_shed = registry.CounterRef("filter_refine.shed_candidates");
+  static Counter& m_degraded = registry.CounterRef("filter_refine.degraded_refines");
+  static Counter& m_skipped = registry.CounterRef("filter_refine.skipped");
   m_candidates.Increment(s.candidates);
   m_empty.Increment(s.empty_graphs);
   m_ub.Increment(s.pruned_by_upper_bound);
   m_lb.Increment(s.accepted_by_lower_bound);
   m_refined.Increment(s.refined);
   m_linked.Increment(s.linked);
+  m_shed.Increment(s.shed_candidates);
+  m_degraded.Increment(s.degraded_refines);
+  m_skipped.Increment(s.skipped);
   return linked;
 }
 

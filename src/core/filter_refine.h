@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/thread_pool.h"
 #include "core/group_measures.h"
 
@@ -36,6 +37,14 @@ struct FilterRefineStats {
   size_t refined = 0;
   /// Final links emitted.
   size_t linked = 0;
+  /// Shed by the candidate cap (budget or injected oversize) before any
+  /// scoring; decided by UB order, deterministically.
+  size_t shed_candidates = 0;
+  /// Decided with the bounds-only fallback instead of Hungarian because
+  /// the per-pair matcher budget tripped.
+  size_t degraded_refines = 0;
+  /// Never scored: the deadline or cancellation tripped first.
+  size_t skipped = 0;
   /// Wall time spent building similarity graphs / in bounds / in refine.
   double seconds_graphs = 0.0;
   double seconds_bounds = 0.0;
@@ -56,11 +65,19 @@ struct FilterRefineStats {
 /// pure read of precomputed vectors). The output and stats counters are
 /// identical to the serial run; the per-phase timing breakdown is only
 /// populated serially.
+///
+/// With a non-null `ctx`, the run degrades instead of running unbounded:
+/// a candidate budget keeps only the top pairs by upper-bound score
+/// (deterministic — depends on the pairs alone, not timing), the matcher
+/// budget swaps Hungarian for the sound bounds-only fallback on oversized
+/// pairs, and a deadline/cancellation trip sheds the remaining pairs.
+/// Every degraded decision can only *remove* links relative to the
+/// unconstrained run, so the output is always a subset of it.
 std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,
     const FilterRefineConfig& config, FilterRefineStats* stats = nullptr,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, ExecutionContext* ctx = nullptr);
 
 /// Reference path: exact BM on every candidate, no bounds. Same output
 /// contract as FilterRefineLink.

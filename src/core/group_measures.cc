@@ -56,8 +56,9 @@ GroupScore ScoreFromMatching(const Matching& matching, int32_t size_left,
 }  // namespace
 
 GroupScore BmMeasure(const BipartiteGraph& graph, int32_t size_left,
-                     int32_t size_right) {
-  return ScoreFromMatching(HungarianMaxWeightMatching(graph), size_left, size_right);
+                     int32_t size_right, const ExecutionContext* ctx) {
+  return ScoreFromMatching(HungarianMaxWeightMatching(graph, ctx), size_left,
+                           size_right);
 }
 
 GroupScore GreedyMeasure(const BipartiteGraph& graph, int32_t size_left,

@@ -9,6 +9,8 @@
 
 namespace grouplink {
 
+class ExecutionContext;
+
 /// Record-level similarity callback over record indexes of a Dataset.
 /// Must be symmetric and return values in [0, 1].
 using RecordSimFn = std::function<double(int32_t, int32_t)>;
@@ -40,8 +42,11 @@ double NormalizeMatchingScore(double weight, int32_t size, int32_t size_left,
 /// The paper's group linkage measure BM: normalized maximum-weight
 /// matching of `graph` (Hungarian algorithm). `size_left` / `size_right`
 /// are |g1| / |g2| (the graph only has cross edges, so they cannot be
-/// derived from it when records are isolated).
-GroupScore BmMeasure(const BipartiteGraph& graph, int32_t size_left, int32_t size_right);
+/// derived from it when records are isolated). With a non-null `ctx` a
+/// stop request makes the matcher return early with a partial (valid,
+/// weight <= optimal) matching, so the score can only under-report.
+GroupScore BmMeasure(const BipartiteGraph& graph, int32_t size_left, int32_t size_right,
+                     const ExecutionContext* ctx = nullptr);
 
 /// Normalized greedy-matching score — the cheap heuristic companion of BM
 /// (1/2-approximate matching weight; the score is *not* guaranteed to

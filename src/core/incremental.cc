@@ -22,6 +22,7 @@ struct IncrementalMetrics {
   Counter& removals;
   Counter& merges;
   Counter& oov_tokens;
+  Counter& degraded_arrivals;
   Gauge& oov_ratio;
   Histogram& candidates_per_arrival;
   Histogram& arrival_seconds;
@@ -39,6 +40,7 @@ struct IncrementalMetrics {
         registry.CounterRef("incremental.removals"),
         registry.CounterRef("incremental.merges"),
         registry.CounterRef("incremental.oov_tokens"),
+        registry.CounterRef("incremental.degraded_arrivals"),
         registry.GaugeRef("incremental.oov_ratio"),
         registry.HistogramRef("incremental.candidates_per_arrival",
                               {0, 1, 2, 4, 8, 16, 32, 64, 128, 256}),
@@ -247,24 +249,61 @@ std::vector<IncrementalLinker::AddResult> IncrementalLinker::AddGroups(
   // corpus plus *earlier* batch arrivals, so every cross-arrival pair is
   // scored exactly once — by the later group — and the batch result
   // matches adding the groups one at a time.
+  //
+  // This is the one phase the batch's ExecutionContext governs: phases
+  // A-C are unconditional (skipping them would leave the index or the
+  // vectors inconsistent), while a skipped scoring pass only costs links
+  // — which the next Refresh() recovers.
+  ExecutionContext ctx;
+  if (config_.deadline_ms > 0.0) ctx.SetDeadline(config_.deadline_ms);
+  ctx.SetCancellation(config_.cancellation);
+  ctx.SetMaxCandidatePairs(config_.max_candidate_pairs);
+  ctx.SetMaxMatcherCost(config_.max_matcher_cost);
   std::vector<std::vector<int32_t>> linked(batch_size);
-  ParallelFor(pool(), batch_size, [&](size_t k) {
-    const int32_t group = results[k].group_index;
-    const std::vector<int32_t> candidates = CandidateGroups(
-        group_records_[static_cast<size_t>(group)], first_record[k], group);
-    results[k].candidates = candidates.size();
-    for (const int32_t other : candidates) {
-      // `other` always precedes `group`, so it is the left (smaller) side.
-      if (DecideLink(other, group)) linked[k].push_back(other);
+  std::vector<char> scored(batch_size, 0);
+  ParallelFor(
+      pool(), batch_size,
+      [&](size_t k) {
+        const int32_t group = results[k].group_index;
+        std::vector<int32_t> candidates = CandidateGroups(
+            group_records_[static_cast<size_t>(group)], first_record[k], group);
+        // Candidate budget: truncate the (sorted, hence deterministic)
+        // candidate list tail.
+        const size_t cap = ctx.EffectiveCandidateCap(candidates.size());
+        if (cap < candidates.size()) {
+          candidates.resize(cap);
+          results[k].degraded = true;
+          ctx.NoteDegraded();
+        }
+        results[k].candidates = candidates.size();
+        for (const int32_t other : candidates) {
+          if (ctx.StopRequested()) {
+            results[k].degraded = true;
+            break;
+          }
+          // `other` always precedes `group`, so it is the left (smaller) side.
+          if (DecideLink(other, group, &ctx)) linked[k].push_back(other);
+        }
+        scored[k] = 1;
+      },
+      &ctx);
+  // Arrivals whose scoring pass never ran (stop request or injected task
+  // failure) contribute no links; their group state is already complete.
+  for (size_t k = 0; k < batch_size; ++k) {
+    if (!scored[k]) {
+      results[k].degraded = true;
+      ctx.NoteDegraded();
     }
-  });
+  }
 
   // Phase E (serial, batch order): merge links, maintain the sorted
   // linked-pairs invariant and the incremental union-find.
   const size_t old_size = linked_pairs_.size();
-  size_t scored = 0;
+  size_t scored_candidates = 0;
+  size_t degraded_arrivals = 0;
   for (size_t k = 0; k < batch_size; ++k) {
-    scored += results[k].candidates;
+    scored_candidates += results[k].candidates;
+    if (results[k].degraded) ++degraded_arrivals;
     metrics.candidates_per_arrival.Observe(static_cast<double>(results[k].candidates));
     for (const int32_t other : linked[k]) {
       linked_pairs_.emplace_back(other, results[k].group_index);
@@ -278,8 +317,12 @@ std::vector<IncrementalLinker::AddResult> IncrementalLinker::AddGroups(
   std::inplace_merge(linked_pairs_.begin(),
                      linked_pairs_.begin() + static_cast<ptrdiff_t>(old_size),
                      linked_pairs_.end());
-  metrics.candidates_scored.Increment(scored);
+  metrics.candidates_scored.Increment(scored_candidates);
   metrics.links.Increment(linked_pairs_.size() - old_size);
+  if (degraded_arrivals > 0) {
+    metrics.degraded_arrivals.Increment(degraded_arrivals);
+    TagCurrentSpan("degraded_arrivals", std::to_string(degraded_arrivals));
+  }
   metrics.oov_ratio.Set(EpochOovRatio());
   metrics.arrival_seconds.Observe(timer.ElapsedSeconds());
 
@@ -307,7 +350,8 @@ std::vector<int32_t> IncrementalLinker::CandidateGroups(
   return groups;
 }
 
-bool IncrementalLinker::DecideLink(int32_t g1, int32_t g2) const {
+bool IncrementalLinker::DecideLink(int32_t g1, int32_t g2,
+                                   const ExecutionContext* ctx) const {
   // Mirrors filter_refine.cc's DecidePair: graph -> empty check -> UB
   // prune -> LB accept -> Hungarian refine, in that order, so arrival
   // decisions agree bitwise with the engine's scoring of the same pair.
@@ -335,7 +379,16 @@ bool IncrementalLinker::DecideLink(int32_t g1, int32_t g2) const {
       GreedyLowerBound(graph, size_left, size_right) >= config_.group_threshold) {
     return true;
   }
-  return BmMeasure(graph, size_left, size_right).value >= config_.group_threshold;
+  // Matcher budget (same fallback as filter_refine.cc): decide oversized
+  // pairs from the sound greedy lower bound — subset-safe either way.
+  const int64_t matcher_cost =
+      static_cast<int64_t>(size_left) * static_cast<int64_t>(size_right);
+  if (ctx != nullptr && ctx->ExceedsMatcherBudget(matcher_cost)) {
+    ctx->NoteDegraded();
+    return GreedyLowerBound(graph, size_left, size_right) >= config_.group_threshold;
+  }
+  return BmMeasure(graph, size_left, size_right, ctx).value >=
+         config_.group_threshold;
 }
 
 void IncrementalLinker::RemoveGroup(int32_t group) {
@@ -464,9 +517,18 @@ void IncrementalLinker::Refresh() {
   fr_config.use_lower_bound_accept =
       config_.use_filter_refine && config_.use_lower_bound_accept;
   const Dataset view = GroupView();
+  // Refresh gets its own context (the deadline clock restarts here): a
+  // degraded refresh still leaves a consistent, subset-valid link set,
+  // and with no limits and no faults armed it reproduces the batch
+  // engine exactly.
+  ExecutionContext ctx;
+  if (config_.deadline_ms > 0.0) ctx.SetDeadline(config_.deadline_ms);
+  ctx.SetCancellation(config_.cancellation);
+  ctx.SetMaxCandidatePairs(config_.max_candidate_pairs);
+  ctx.SetMaxMatcherCost(config_.max_matcher_cost);
   linked_pairs_ = FilterRefineLink(
       view, [this](int32_t a, int32_t b) { return RecordSimilarity(a, b); },
-      candidates, fr_config, /*stats=*/nullptr, pool());
+      candidates, fr_config, /*stats=*/nullptr, pool(), &ctx);
   RebuildClusters();
 
   ++epoch_;

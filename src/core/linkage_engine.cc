@@ -1,6 +1,7 @@
 #include "core/linkage_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "common/logging.h"
@@ -41,6 +42,23 @@ const char* RecordRepresentationName(RecordRepresentation representation) {
 }
 
 Status LinkageConfig::Validate() const {
+  // Explicit finiteness checks first: a NaN compares false against every
+  // range bound, so without these it would sail through the checks below.
+  if (!std::isfinite(theta)) {
+    return Status::InvalidArgument("theta must be a finite number");
+  }
+  if (!std::isfinite(group_threshold)) {
+    return Status::InvalidArgument("group_threshold must be a finite number");
+  }
+  if (!std::isfinite(binary_cutoff)) {
+    return Status::InvalidArgument("binary_cutoff must be a finite number");
+  }
+  if (!std::isfinite(candidate_jaccard)) {
+    return Status::InvalidArgument("candidate_jaccard must be a finite number");
+  }
+  if (!std::isfinite(join_jaccard)) {
+    return Status::InvalidArgument("join_jaccard must be a finite number");
+  }
   if (theta <= 0.0 || theta > 1.0) {
     return Status::InvalidArgument("theta must be in (0, 1]");
   }
@@ -55,6 +73,15 @@ Status LinkageConfig::Validate() const {
   }
   if (join_jaccard < 0.0 || join_jaccard > 1.0) {
     return Status::InvalidArgument("join_jaccard must be in [0, 1]");
+  }
+  if (!std::isfinite(deadline_ms) || deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline_ms must be finite and >= 0");
+  }
+  if (max_candidate_pairs < 0) {
+    return Status::InvalidArgument("max_candidate_pairs must be >= 0");
+  }
+  if (max_matcher_cost < 0) {
+    return Status::InvalidArgument("max_matcher_cost must be >= 0");
   }
   if (neighborhood_window <= 0) {
     return Status::InvalidArgument("neighborhood_window must be positive");
@@ -235,11 +262,40 @@ void LinkageEngine::FillRunFacts(RunReport& report) const {
   prepare.AddCounter("vocabulary", static_cast<int64_t>(vocabulary_.size()));
 }
 
+namespace {
+
+// Stamps the context's final resilience state into the report (and the
+// open "linkage.run" trace span + registry) after the stages finished.
+void FinishResilienceFacts(const ExecutionContext& ctx, RunReport* report) {
+  report->degraded = ctx.degraded();
+  report->stop_reason = ctx.stop_reason_name();
+  if (report->degraded) {
+    TagCurrentSpan("degraded", "true");
+    if (!report->stop_reason.empty()) {
+      TagCurrentSpan("stop_reason", report->stop_reason);
+    }
+    static Counter& degraded_runs =
+        MetricsRegistry::Default().CounterRef("engine.degraded_runs");
+    degraded_runs.Increment();
+  }
+}
+
+}  // namespace
+
 LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
   GL_CHECK(prepared_) << "call Prepare() before Run()";
   GL_TRACE_SPAN("linkage.run");
   static Counter& runs = MetricsRegistry::Default().CounterRef("engine.runs");
   runs.Increment();
+
+  // Every run carries a context; with the default config (no deadline,
+  // no budgets, token never cancelled, no faults armed) every check in
+  // the hot paths reduces to one relaxed atomic load.
+  ExecutionContext ctx;
+  if (config_.deadline_ms > 0.0) ctx.SetDeadline(config_.deadline_ms);
+  ctx.SetCancellation(config_.cancellation);
+  ctx.SetMaxCandidatePairs(config_.max_candidate_pairs);
+  ctx.SetMaxMatcherCost(config_.max_matcher_cost);
 
   LinkageResult result;
   RunReport& report = result.mutable_report();
@@ -258,9 +314,10 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
     EdgeJoinStats ej_stats;
     result.linked_pairs = EdgeJoinLink(
         *dataset_, record_token_ids_, static_cast<int32_t>(vocabulary_.size()),
-        record_group_, sim, ej_config, &ej_stats, pool());
+        record_group_, sim, ej_config, &ej_stats, pool(), &ctx);
     AppendEdgeJoinStages(ej_stats, &report);
     FinishClustering(result);
+    FinishResilienceFacts(ctx, &report);
     return result;
   }
 
@@ -288,7 +345,7 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
     GL_TRACE_SPAN("linkage.score");
     if (config_.measure == GroupMeasureKind::kBm) {
       result.linked_pairs = FilterRefineLink(*dataset_, sim, candidates, fr_config,
-                                             &fr_stats, pool());
+                                             &fr_stats, pool(), &ctx);
     } else {
       // Baseline measures: direct evaluation per candidate. The binary
       // Jaccard baseline builds its graph at the (stricter) equality cutoff.
@@ -297,7 +354,16 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
               ? config_.binary_cutoff
               : config_.theta;
       fr_stats.candidates = candidates.size();
-      for (const auto& [g1, g2] : candidates) {
+      // Baseline measures have no UB ranking, so the candidate cap sheds
+      // the list tail — still deterministic (depends only on the list).
+      const size_t cap = ctx.EffectiveCandidateCap(candidates.size());
+      fr_stats.shed_candidates = candidates.size() - cap;
+      for (size_t i = 0; i < cap; ++i) {
+        if (ctx.StopRequested()) {
+          fr_stats.skipped = cap - i;
+          break;
+        }
+        const auto [g1, g2] = candidates[i];
         const BipartiteGraph graph =
             BuildSimilarityGraph(*dataset_, g1, g2, sim, edge_threshold);
         if (graph.edges().empty()) {
@@ -312,10 +378,14 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
           ++fr_stats.linked;
         }
       }
+      if (fr_stats.shed_candidates > 0 || fr_stats.skipped > 0) {
+        ctx.NoteDegraded();
+      }
     }
   }
   report.stages.push_back(ScoreStageFromStats(fr_stats, timer.ElapsedSeconds()));
   FinishClustering(result);
+  FinishResilienceFacts(ctx, &report);
   return result;
 }
 

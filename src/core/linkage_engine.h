@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/edge_join.h"
@@ -95,11 +96,32 @@ struct LinkageConfig {
   /// are bit-identical to the serial run in every case.
   int32_t num_threads = 1;
 
-  /// Checks every field for consistency: thresholds in range, positive
-  /// window/band/row/thread counts, and join_jaccard <= theta when the
-  /// edge join is enabled (a join threshold above θ would silently drop
-  /// true edges). Prepare() calls this; call it directly to fail fast
-  /// when configs come from user input.
+  /// Resilience controls (all off by default; see DESIGN.md §8).
+  /// Wall-clock deadline of one Run() call, in milliseconds (<= 0 = no
+  /// deadline). The clock starts when Run is entered — Prepare is not
+  /// covered. On expiry the run stops within one task quantum and returns
+  /// a valid partial result whose links are a subset of the unconstrained
+  /// run's, with report().degraded == true.
+  double deadline_ms = 0.0;
+  /// Cap on candidate group pairs (per-pair strategy) or edge buckets
+  /// (edge join) scored exactly. Excess pairs are shed deterministically
+  /// — by upper-bound score for BM, by list prefix for baseline measures.
+  /// 0 = unlimited.
+  int64_t max_candidate_pairs = 0;
+  /// Per-pair matcher budget: pairs whose cost |g1|*|g2| exceeds this are
+  /// decided from the sound bounds instead of running the Hungarian
+  /// matcher. 0 = unlimited.
+  int64_t max_matcher_cost = 0;
+  /// Cooperative cancellation: Cancel() from any thread makes Run stop
+  /// within one task quantum and return a valid partial result.
+  CancellationToken cancellation;
+
+  /// Checks every field for consistency: thresholds finite and in range,
+  /// positive window/band/row/thread counts, non-negative deadline and
+  /// budgets, and join_jaccard <= theta when the edge join is enabled (a
+  /// join threshold above θ would silently drop true edges). Prepare()
+  /// calls this; call it directly to fail fast when configs come from
+  /// user input.
   Status Validate() const;
 };
 

@@ -107,6 +107,8 @@ void RunReport::WriteJson(JsonWriter* json_ptr) const {
   json.Field("groups", groups);
   json.Field("links", links);
   json.Field("clusters", clusters);
+  json.Field("degraded", degraded);
+  json.Field("stop_reason", stop_reason);
   json.Field("seconds_total", TotalSeconds());
   json.Key("stages");
   json.BeginArray();
@@ -159,6 +161,19 @@ StageStats ScoreStageFromStats(const FilterRefineStats& stats, double seconds) {
                    static_cast<int64_t>(stats.accepted_by_lower_bound));
   stage.AddCounter("refined", static_cast<int64_t>(stats.refined));
   stage.AddCounter("linked", static_cast<int64_t>(stats.linked));
+  // Shed-work counters appear only on degraded runs, so the classic
+  // candidates == empty + ub_pruned + lb_accepted + refined identity (and
+  // the exact JSON shape) of unconstrained runs is untouched.
+  if (stats.shed_candidates > 0) {
+    stage.AddCounter("shed_candidates", static_cast<int64_t>(stats.shed_candidates));
+  }
+  if (stats.degraded_refines > 0) {
+    stage.AddCounter("degraded_refines",
+                     static_cast<int64_t>(stats.degraded_refines));
+  }
+  if (stats.skipped > 0) {
+    stage.AddCounter("skipped", static_cast<int64_t>(stats.skipped));
+  }
   stage.AddTiming("graphs", stats.seconds_graphs);
   stage.AddTiming("bounds", stats.seconds_bounds);
   stage.AddTiming("refine", stats.seconds_refine);
@@ -171,6 +186,9 @@ void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report) {
                   static_cast<int64_t>(stats.record_candidates));
   join.AddCounter("edges", static_cast<int64_t>(stats.edges));
   join.AddCounter("threads_used", static_cast<int64_t>(stats.threads_used));
+  if (stats.probes_skipped > 0) {
+    join.AddCounter("probes_skipped", static_cast<int64_t>(stats.probes_skipped));
+  }
   join.AddTiming("verify", stats.seconds_verify);
 
   StageStats& bucket = report->AddStage("bucket", stats.seconds_bucket);
@@ -183,6 +201,16 @@ void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report) {
                    static_cast<int64_t>(stats.accepted_by_lower_bound));
   score.AddCounter("refined", static_cast<int64_t>(stats.refined));
   score.AddCounter("linked", static_cast<int64_t>(stats.linked));
+  if (stats.shed_candidates > 0) {
+    score.AddCounter("shed_candidates", static_cast<int64_t>(stats.shed_candidates));
+  }
+  if (stats.degraded_refines > 0) {
+    score.AddCounter("degraded_refines",
+                     static_cast<int64_t>(stats.degraded_refines));
+  }
+  if (stats.skipped > 0) {
+    score.AddCounter("skipped", static_cast<int64_t>(stats.skipped));
+  }
 }
 
 GroupCandidateStats CandidateStatsFromReport(const RunReport& report) {
@@ -205,6 +233,11 @@ FilterRefineStats FilterRefineStatsFromReport(const RunReport& report) {
       static_cast<size_t>(report.StageCounter("score", "lb_accepted"));
   stats.refined = static_cast<size_t>(report.StageCounter("score", "refined"));
   stats.linked = static_cast<size_t>(report.StageCounter("score", "linked"));
+  stats.shed_candidates =
+      static_cast<size_t>(report.StageCounter("score", "shed_candidates"));
+  stats.degraded_refines =
+      static_cast<size_t>(report.StageCounter("score", "degraded_refines"));
+  stats.skipped = static_cast<size_t>(report.StageCounter("score", "skipped"));
   if (const StageStats* score = report.FindStage("score")) {
     stats.seconds_graphs = score->Timing("graphs");
     stats.seconds_bounds = score->Timing("bounds");
@@ -226,11 +259,17 @@ EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report) {
       static_cast<size_t>(report.StageCounter("score", "lb_accepted"));
   stats.refined = static_cast<size_t>(report.StageCounter("score", "refined"));
   stats.linked = static_cast<size_t>(report.StageCounter("score", "linked"));
+  stats.shed_candidates =
+      static_cast<size_t>(report.StageCounter("score", "shed_candidates"));
+  stats.degraded_refines =
+      static_cast<size_t>(report.StageCounter("score", "degraded_refines"));
+  stats.skipped = static_cast<size_t>(report.StageCounter("score", "skipped"));
   stats.seconds_join = report.StageSeconds("join");
   if (const StageStats* join = report.FindStage("join")) {
     stats.seconds_verify = join->Timing("verify");
     stats.threads_used = static_cast<int32_t>(join->Counter("threads_used"));
     if (stats.threads_used <= 0) stats.threads_used = 1;
+    stats.probes_skipped = static_cast<size_t>(join->Counter("probes_skipped"));
   }
   stats.seconds_bucket = report.StageSeconds("bucket");
   stats.seconds_score = report.StageSeconds("score");

@@ -63,6 +63,13 @@ struct RunReport {
   int64_t groups = 0;
   int64_t links = 0;
   int64_t clusters = 0;
+  /// True when any stage shed work (deadline, cancellation, budget trip,
+  /// or injected fault). A degraded run's links are a subset of the
+  /// unconstrained run's — never a superset (see DESIGN.md §8).
+  bool degraded = false;
+  /// First stop cause ("cancelled", "deadline", "fault-injected"), empty
+  /// when the run completed without a stop request.
+  std::string stop_reason;
   /// Pipeline stages in execution order.
   std::vector<StageStats> stages;
   /// Experiment-attached numbers outside the engine's knowledge
@@ -85,7 +92,8 @@ struct RunReport {
 
   /// Emits this run as one JSON object:
   ///   {"strategy", "candidate_method", "measure", "threads", "records",
-  ///    "groups", "links", "clusters", "seconds_total",
+  ///    "groups", "links", "clusters", "degraded", "stop_reason",
+  ///    "seconds_total",
   ///    "stages": [{"stage", "seconds", "counters": {...},
   ///                "timings": {...}}, ...],
   ///    "extra": {...}}

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 
 namespace grouplink {
@@ -45,10 +46,21 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
   for (size_t i = 1; i < rows->size(); ++i) {
     const std::vector<std::string>& row = (*rows)[i];
     if (row.size() == 1 && row[0].empty()) continue;  // Trailing blank line.
+    if (FaultInjector::Default().ShouldFire(faults::kCorruptRecord)) {
+      return Status::ParseError("row " + std::to_string(i) +
+                                " is corrupt (injected fault)");
+    }
     if (row.size() < kFixedColumns) {
       return Status::ParseError("row " + std::to_string(i) + " has " +
                                 std::to_string(row.size()) + " columns, expected >= " +
                                 std::to_string(kFixedColumns));
+    }
+    for (const size_t column : {size_t{2}, size_t{4}}) {  // label, text.
+      if (!IsValidUtf8(row[column])) {
+        return Status::ParseError("row " + std::to_string(i) + " column " +
+                                  std::to_string(column) +
+                                  " contains invalid UTF-8");
+      }
     }
     Record record;
     record.id = row[0];
@@ -67,7 +79,11 @@ Result<Dataset> LoadDatasetCsv(const std::string& path) {
         dataset.group_entities.push_back(Dataset::kUnknownEntity);
       } else {
         auto entity = ParseInt64(row[3]);
-        if (!entity.ok()) return entity.status();
+        if (!entity.ok()) {
+          return Status::ParseError("row " + std::to_string(i) +
+                                    " has a bad entity_id '" + row[3] +
+                                    "': " + entity.status().message());
+        }
         dataset.group_entities.push_back(static_cast<int32_t>(*entity));
       }
     }

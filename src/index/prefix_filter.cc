@@ -1,9 +1,12 @@
 #include "index/prefix_filter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -170,12 +173,13 @@ void PrefixFilterSelfJoinStreaming(
   PostingsCounter().Increment(postings_scanned);
 }
 
-void PrefixFilterSelfJoinSharded(
+size_t PrefixFilterSelfJoinSharded(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, ThreadPool* pool, size_t num_shards,
-    const std::function<void(size_t, int32_t, int32_t)>& callback) {
+    const std::function<void(size_t, int32_t, int32_t)>& callback,
+    ExecutionContext* ctx) {
   const size_t n = documents.size();
-  if (n == 0) return;
+  if (n == 0) return 0;
   const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
 
   // Rank-space re-expression is independent per document.
@@ -202,9 +206,18 @@ void PrefixFilterSelfJoinSharded(
 
   num_shards = std::clamp<size_t>(num_shards, 1, n);
   const size_t shard_size = (n + num_shards - 1) / num_shards;
+  std::atomic<size_t> probes_shed{0};
   ParallelFor(pool, num_shards, [&](size_t shard) {
     const size_t begin = shard * shard_size;
     const size_t end = std::min(n, begin + shard_size);
+    if (ctx != nullptr) {
+      FaultInjector::Default().FireWithDelay(faults::kSlowTask);
+      if (FaultInjector::Default().ShouldFire(faults::kFailTask)) {
+        ctx->NoteDegraded();
+        probes_shed.fetch_add(end - begin, std::memory_order_relaxed);
+        return;
+      }
+    }
     // Worker-local dedup state; each probe doc is owned by one shard.
     std::vector<int32_t> last_probe(n, -1);
     // Batched per shard: the scanned-posting count per probe doc depends
@@ -212,6 +225,10 @@ void PrefixFilterSelfJoinSharded(
     // flushed total is identical at every thread count.
     uint64_t postings_scanned = 0;
     for (size_t d = begin; d < end; ++d) {
+      if (ctx != nullptr && ctx->StopRequested()) {
+        probes_shed.fetch_add(end - d, std::memory_order_relaxed);
+        break;
+      }
       const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
       const double size_d = static_cast<double>(ranked[d].size());
       for (size_t k = 0; k < prefix; ++k) {
@@ -233,6 +250,9 @@ void PrefixFilterSelfJoinSharded(
     if (end > begin) ProbeCounter().Increment(end - begin);
     PostingsCounter().Increment(postings_scanned);
   });
+  const size_t shed = probes_shed.load(std::memory_order_relaxed);
+  if (shed > 0 && ctx != nullptr) ctx->NoteDegraded();
+  return shed;
 }
 
 std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(

@@ -11,6 +11,8 @@
 
 namespace grouplink {
 
+class ExecutionContext;
+
 /// Prefix-filtering set-similarity self-join (the SSJoin / AllPairs family
 /// of techniques the paper leans on for scalable candidate generation).
 ///
@@ -66,10 +68,18 @@ void PrefixFilterSelfJoinStreaming(
 /// serial emission order exactly, for every `num_shards` and thread
 /// count. The candidate *set* is identical to PrefixFilterSelfJoinStreaming
 /// (property-tested).
-void PrefixFilterSelfJoinSharded(
+///
+/// With a non-null `ctx`, polls StopRequested() before each probe
+/// document and sheds the remainder of every shard once it trips (a
+/// shed probe only removes candidate pairs — subset-safe), and honors
+/// the thread_pool.slow_task / thread_pool.fail_task fault points per
+/// shard. Returns the number of probe documents shed (0 when the join
+/// ran to completion or ctx is null).
+size_t PrefixFilterSelfJoinSharded(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, ThreadPool* pool, size_t num_shards,
-    const std::function<void(size_t, int32_t, int32_t)>& callback);
+    const std::function<void(size_t, int32_t, int32_t)>& callback,
+    ExecutionContext* ctx = nullptr);
 
 /// Reference implementation: all pairs with exact Jaccard >= threshold.
 /// O(n²); used by tests and as the no-index baseline in benchmarks.

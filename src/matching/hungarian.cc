@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/logging.h"
 
 namespace grouplink {
@@ -14,7 +15,8 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 // a distinct column (m >= n columns) minimizing total cost. Standard
 // potential-based Kuhn-Munkres (1-indexed internally); O(n^2 m).
 // Returns column_of_row (0-indexed), all rows assigned.
-std::vector<int32_t> MinCostAssignment(const std::vector<std::vector<double>>& cost) {
+std::vector<int32_t> MinCostAssignment(const std::vector<std::vector<double>>& cost,
+                                       const ExecutionContext* ctx) {
   const int32_t n = static_cast<int32_t>(cost.size());
   GL_CHECK_GT(n, 0);
   const int32_t m = static_cast<int32_t>(cost[0].size());
@@ -26,6 +28,9 @@ std::vector<int32_t> MinCostAssignment(const std::vector<std::vector<double>>& c
   std::vector<int32_t> way(static_cast<size_t>(m) + 1, 0);  // Alternating-path links.
 
   for (int32_t i = 1; i <= n; ++i) {
+    // Each completed augmentation leaves a valid (partial) assignment of
+    // rows 1..i-1, so stopping between rows yields a usable matching.
+    if (ctx != nullptr && ctx->StopRequested()) break;
     p[0] = i;
     int32_t j0 = 0;
     std::vector<double> min_value(static_cast<size_t>(m) + 1, kInfinity);
@@ -79,7 +84,7 @@ std::vector<int32_t> MinCostAssignment(const std::vector<std::vector<double>>& c
 }  // namespace
 
 Matching HungarianMaxWeightMatchingDense(
-    const std::vector<std::vector<double>>& weights) {
+    const std::vector<std::vector<double>>& weights, const ExecutionContext* ctx) {
   const int32_t num_left = static_cast<int32_t>(weights.size());
   const int32_t num_right =
       num_left == 0 ? 0 : static_cast<int32_t>(weights[0].size());
@@ -107,7 +112,7 @@ Matching HungarianMaxWeightMatchingDense(
     }
   }
 
-  const std::vector<int32_t> column_of_row = MinCostAssignment(cost);
+  const std::vector<int32_t> column_of_row = MinCostAssignment(cost, ctx);
   for (int32_t row = 0; row < n; ++row) {
     const int32_t col = column_of_row[static_cast<size_t>(row)];
     if (col < 0) continue;
@@ -124,8 +129,9 @@ Matching HungarianMaxWeightMatchingDense(
   return result;
 }
 
-Matching HungarianMaxWeightMatching(const BipartiteGraph& graph) {
-  return HungarianMaxWeightMatchingDense(graph.ToDenseWeights());
+Matching HungarianMaxWeightMatching(const BipartiteGraph& graph,
+                                    const ExecutionContext* ctx) {
+  return HungarianMaxWeightMatchingDense(graph.ToDenseWeights(), ctx);
 }
 
 }  // namespace grouplink

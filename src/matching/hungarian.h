@@ -5,6 +5,8 @@
 
 namespace grouplink {
 
+class ExecutionContext;
+
 /// Computes a maximum-weight bipartite matching of `graph` with the
 /// Hungarian (Kuhn-Munkres) algorithm using dual potentials.
 ///
@@ -14,14 +16,22 @@ namespace grouplink {
 /// also maximal, because adding any remaining positive edge would increase
 /// the weight).
 ///
+/// With a non-null `ctx`, polls StopRequested() between row augmentations
+/// and returns early with the rows matched so far — a valid matching
+/// whose weight is <= the optimum, so measures built on it (BM) stay
+/// sound upper-boundable and a stopped refine can only under-link.
+///
 /// Complexity: O(n² · m) time with n = min side size, m = max side size,
 /// O(n · m) space (dense weight matrix). This is the "refine" workhorse of
 /// the group linkage measure BM.
-Matching HungarianMaxWeightMatching(const BipartiteGraph& graph);
+Matching HungarianMaxWeightMatching(const BipartiteGraph& graph,
+                                    const ExecutionContext* ctx = nullptr);
 
 /// As above, operating directly on a dense weight matrix
 /// (weights[l][r] == 0 means "no edge"). Exposed for benchmarks.
-Matching HungarianMaxWeightMatchingDense(const std::vector<std::vector<double>>& weights);
+Matching HungarianMaxWeightMatchingDense(
+    const std::vector<std::vector<double>>& weights,
+    const ExecutionContext* ctx = nullptr);
 
 }  // namespace grouplink
 

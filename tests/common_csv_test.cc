@@ -154,6 +154,51 @@ TEST(CsvFuzzTest, ArbitraryInputNeverCrashes) {
   }
 }
 
+TEST(CsvHardeningTest, EmbeddedNulByteIsParseError) {
+  const std::string with_nul = std::string("a,b") + '\0' + "c,d";
+  const auto rows = CsvParseDocument(with_nul);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rows.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(CsvHardeningTest, OversizedFieldIsParseError) {
+  CsvParseOptions options;
+  options.max_field_bytes = 8;
+  const auto rows =
+      CsvParseDocument("ok,waytoolongforthelimit", ',', options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rows.status().message().find("exceeds 8 bytes"), std::string::npos);
+  // A field exactly at the limit passes.
+  CsvParseOptions exact;
+  exact.max_field_bytes = 8;
+  EXPECT_TRUE(CsvParseDocument("12345678,ok", ',', exact).ok());
+  // Quoted fields are bounded too.
+  EXPECT_FALSE(CsvParseDocument("\"123456789\"", ',', exact).ok());
+}
+
+TEST(CsvHardeningTest, ColumnBombIsParseError) {
+  CsvParseOptions options;
+  options.max_columns = 4;
+  EXPECT_TRUE(CsvParseDocument("a,b,c,d", ',', options).ok());
+  const auto rows = CsvParseDocument("a,b,c,d,e", ',', options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rows.status().message().find("exceeds 4 columns"),
+            std::string::npos);
+}
+
+TEST(CsvHardeningTest, ZeroLimitsDisableTheChecks) {
+  CsvParseOptions unlimited;
+  unlimited.max_field_bytes = 0;
+  unlimited.max_columns = 0;
+  std::string wide;
+  for (int i = 0; i < 5000; ++i) wide += "x,";
+  wide += std::string(2000, 'y');
+  EXPECT_TRUE(CsvParseDocument(wide, ',', unlimited).ok());
+}
+
 TEST(CsvCustomDelimiterTest, Semicolon) {
   EXPECT_EQ(CsvFormatRow({"a;b", "c"}, ';'), "\"a;b\";c");
   const auto fields = CsvParseLine("a;b;c", ';');

@@ -1,0 +1,183 @@
+#include "common/execution_context.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace grouplink {
+namespace {
+
+TEST(ExecutionContextTest, DefaultContextNeverStops) {
+  ExecutionContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.StopRequested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kNone);
+  EXPECT_STREQ(ctx.stop_reason_name(), "");
+  EXPECT_FALSE(ctx.degraded());
+  EXPECT_TRUE(ctx.ToStatus().ok());
+}
+
+TEST(ExecutionContextTest, CancellationIsSharedAndSticky) {
+  CancellationToken token;
+  ExecutionContext ctx;
+  ctx.SetCancellation(token);
+  EXPECT_FALSE(ctx.StopRequested());
+  token.Cancel();
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+  EXPECT_STREQ(ctx.stop_reason_name(), "cancelled");
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, CopiedTokenObservesCancel) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  copy.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineStopsTheRun) {
+  ExecutionContext ctx;
+  ctx.SetDeadline(0.01);  // 10 microseconds: expires essentially at once.
+  EXPECT_TRUE(ctx.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadlineExpired);
+  EXPECT_STREQ(ctx.stop_reason_name(), "deadline");
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecutionContextTest, GenerousDeadlineDoesNotStop) {
+  ExecutionContext ctx;
+  ctx.SetDeadline(60'000.0);
+  EXPECT_FALSE(ctx.StopRequested());
+  ctx.SetDeadline(0.0);  // Disarm.
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(ExecutionContextTest, FirstStopCauseWins) {
+  CancellationToken token;
+  ExecutionContext ctx;
+  ctx.SetCancellation(token);
+  token.Cancel();
+  EXPECT_TRUE(ctx.StopRequested());
+  ctx.SetDeadline(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled)
+      << "the sticky first cause must not be overwritten";
+}
+
+TEST(ExecutionContextTest, InjectedDeadlineFaultStops) {
+  ScopedFaultClear clear;
+  ExecutionContext ctx;
+  EXPECT_FALSE(ctx.StopRequested());
+  FaultInjector::Default().Arm(faults::kDeadline, FaultSpec{});
+  EXPECT_TRUE(ctx.StopRequested());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kFaultInjected);
+  EXPECT_STREQ(ctx.stop_reason_name(), "fault-injected");
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  // Sticky even after the fault is disarmed.
+  FaultInjector::Default().DisarmAll();
+  EXPECT_TRUE(ctx.StopRequested());
+}
+
+TEST(ExecutionContextTest, MatcherBudget) {
+  ExecutionContext ctx;
+  EXPECT_FALSE(ctx.ExceedsMatcherBudget(1 << 30));  // Unlimited by default.
+  ctx.SetMaxMatcherCost(100);
+  EXPECT_FALSE(ctx.ExceedsMatcherBudget(100));
+  EXPECT_TRUE(ctx.ExceedsMatcherBudget(101));
+}
+
+TEST(ExecutionContextTest, CandidateCap) {
+  ExecutionContext ctx;
+  EXPECT_EQ(ctx.EffectiveCandidateCap(50), 50u);
+  ctx.SetMaxCandidatePairs(10);
+  EXPECT_EQ(ctx.EffectiveCandidateCap(50), 10u);
+  EXPECT_EQ(ctx.EffectiveCandidateCap(5), 5u);  // Never raises the count.
+}
+
+TEST(ExecutionContextTest, OversizedCandidatesFaultShrinksTheCap) {
+  ScopedFaultClear clear;
+  ExecutionContext ctx;
+  FaultSpec spec;
+  spec.magnitude = 3;
+  FaultInjector::Default().Arm(faults::kOversizedCandidates, spec);
+  EXPECT_EQ(ctx.EffectiveCandidateCap(50), 3u);
+
+  FaultInjector::Default().Arm(faults::kOversizedCandidates, FaultSpec{});
+  EXPECT_EQ(ctx.EffectiveCandidateCap(50), 25u) << "magnitude 0 halves the list";
+}
+
+TEST(ExecutionContextTest, NoteDegradedIsObservableAndIdempotent) {
+  ExecutionContext ctx;
+  ctx.NoteDegraded();
+  ctx.NoteDegraded();
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_FALSE(ctx.StopRequested()) << "degraded alone is not a stop request";
+}
+
+TEST(ExecutionContextTest, ParallelForStopsWithinOneTaskQuantum) {
+  // Tentpole proof #1 (serial half): once the token is cancelled, at most
+  // the in-flight iteration finishes; every later iteration is shed.
+  CancellationToken token;
+  ExecutionContext ctx;
+  ctx.SetCancellation(token);
+  size_t executed_iterations = 0;
+  const size_t executed = ParallelFor(
+      /*pool=*/nullptr, 1000,
+      [&](size_t i) {
+        ++executed_iterations;
+        if (i == 4) token.Cancel();
+      },
+      &ctx);
+  EXPECT_EQ(executed, 5u) << "iterations 0..4 ran; 5 onward were shed";
+  EXPECT_EQ(executed_iterations, 5u);
+  EXPECT_TRUE(ctx.StopRequested());
+}
+
+TEST(ExecutionContextTest, ParallelForStopsWithinOneQuantumPerWorker) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  ExecutionContext ctx;
+  ctx.SetCancellation(token);
+  std::atomic<size_t> executed_iterations{0};
+  constexpr size_t kN = 10'000;
+  token.Cancel();  // Cancelled before the loop even starts.
+  const size_t executed = ParallelFor(
+      &pool, kN, [&](size_t) { executed_iterations.fetch_add(1); }, &ctx);
+  // Each chunk observes the stop on its first poll, so nothing runs.
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(executed_iterations.load(), 0u);
+}
+
+TEST(ExecutionContextTest, ParallelForWithoutContextRunsEverything) {
+  std::atomic<size_t> executed_iterations{0};
+  const size_t executed = ParallelFor(
+      /*pool=*/nullptr, 100, [&](size_t) { executed_iterations.fetch_add(1); },
+      /*ctx=*/nullptr);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_EQ(executed_iterations.load(), 100u);
+}
+
+TEST(ExecutionContextTest, FailTaskFaultShedsChunksAndMarksDegraded) {
+  ScopedFaultClear clear;
+  FaultInjector::Default().Arm(faults::kFailTask, FaultSpec{});
+  ExecutionContext ctx;
+  std::atomic<size_t> executed_iterations{0};
+  const size_t executed = ParallelFor(
+      /*pool=*/nullptr, 100, [&](size_t) { executed_iterations.fetch_add(1); },
+      &ctx);
+  EXPECT_EQ(executed, 0u) << "the single serial chunk was dropped";
+  EXPECT_EQ(executed_iterations.load(), 0u);
+  EXPECT_TRUE(ctx.degraded());
+  EXPECT_FALSE(ctx.StopRequested()) << "a failed task is shed, not a stop";
+}
+
+}  // namespace
+}  // namespace grouplink

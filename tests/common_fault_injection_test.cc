@@ -1,0 +1,176 @@
+#include "common/fault_injection.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace grouplink {
+namespace {
+
+TEST(FaultInjectionTest, DisarmedPointNeverFires) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  EXPECT_FALSE(injector.armed(faults::kFailTask));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFire(faults::kFailTask));
+  }
+  EXPECT_EQ(injector.hits(faults::kFailTask), 0);
+  EXPECT_EQ(injector.fires(faults::kFailTask), 0);
+}
+
+TEST(FaultInjectionTest, ArmedPointFiresEveryEvaluationByDefault) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  injector.Arm(faults::kFailTask, FaultSpec{});
+  EXPECT_TRUE(injector.armed(faults::kFailTask));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.ShouldFire(faults::kFailTask));
+  }
+  EXPECT_EQ(injector.hits(faults::kFailTask), 10);
+  EXPECT_EQ(injector.fires(faults::kFailTask), 10);
+}
+
+TEST(FaultInjectionTest, AfterSkipsLeadingEvaluations) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  FaultSpec spec;
+  spec.after = 3;
+  injector.Arm(faults::kFailTask, spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(injector.ShouldFire(faults::kFailTask));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, true, true}));
+}
+
+TEST(FaultInjectionTest, EverySelectsPeriodicEvaluations) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  FaultSpec spec;
+  spec.every = 3;
+  injector.Arm(faults::kFailTask, spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 7; ++i) fired.push_back(injector.ShouldFire(faults::kFailTask));
+  EXPECT_EQ(fired,
+            (std::vector<bool>{true, false, false, true, false, false, true}));
+}
+
+TEST(FaultInjectionTest, MaxFiresCapsTotalFires) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  FaultSpec spec;
+  spec.max_fires = 2;
+  injector.Arm(faults::kFailTask, spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += injector.ShouldFire(faults::kFailTask) ? 1 : 0;
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(injector.fires(faults::kFailTask), 2);
+  EXPECT_EQ(injector.hits(faults::kFailTask), 10);
+}
+
+TEST(FaultInjectionTest, ProbabilityDrawIsDeterministicPerSeed) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  FaultSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 12345;
+  const auto draw_sequence = [&] {
+    injector.Arm(faults::kFailTask, spec);  // Re-arming resets counters.
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(injector.ShouldFire(faults::kFailTask));
+    }
+    return fired;
+  };
+  const std::vector<bool> first = draw_sequence();
+  const std::vector<bool> second = draw_sequence();
+  EXPECT_EQ(first, second);
+  // A fair-ish draw: neither all-true nor all-false over 64 evaluations.
+  int fires = 0;
+  for (const bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+
+  spec.seed = 54321;
+  injector.Arm(faults::kFailTask, spec);
+  std::vector<bool> other_seed;
+  for (int i = 0; i < 64; ++i) {
+    other_seed.push_back(injector.ShouldFire(faults::kFailTask));
+  }
+  EXPECT_NE(first, other_seed) << "different seeds should draw differently";
+}
+
+TEST(FaultInjectionTest, ArmFromSpecParsesPointAndKeys) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector
+                  .ArmFromSpec("candidates.oversized:after=2,every=3,magnitude=7,"
+                               "max_fires=1")
+                  .ok());
+  EXPECT_TRUE(injector.armed(faults::kOversizedCandidates));
+  EXPECT_EQ(injector.magnitude(faults::kOversizedCandidates), 7);
+  // after=2 skips two, every=3 then selects the 3rd eligible, max_fires=1.
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) {
+    fired.push_back(injector.ShouldFire(faults::kOversizedCandidates));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false,
+                                      false, false}));
+}
+
+TEST(FaultInjectionTest, ArmFromSpecBareSlowTaskGetsDefaultDelay) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector.ArmFromSpec(faults::kSlowTask).ok());
+  EXPECT_TRUE(injector.armed(faults::kSlowTask));
+  EXPECT_TRUE(injector.FireWithDelay(faults::kSlowTask));
+}
+
+TEST(FaultInjectionTest, ArmFromSpecRejectsMalformedSpecs) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  EXPECT_FALSE(injector.ArmFromSpec("").ok());
+  EXPECT_FALSE(injector.ArmFromSpec(":after=1").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("thread_pool.fail_task:bogus_key=1").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("thread_pool.fail_task:every=0").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("thread_pool.fail_task:after=notanumber").ok());
+  EXPECT_FALSE(injector.armed(faults::kFailTask));
+}
+
+TEST(FaultInjectionTest, DisarmStopsFiringAndClearsCounters) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  injector.Arm(faults::kFailTask, FaultSpec{});
+  EXPECT_TRUE(injector.ShouldFire(faults::kFailTask));
+  injector.Disarm(faults::kFailTask);
+  EXPECT_FALSE(injector.armed(faults::kFailTask));
+  EXPECT_FALSE(injector.ShouldFire(faults::kFailTask));
+  EXPECT_EQ(injector.hits(faults::kFailTask), 0);
+}
+
+TEST(FaultInjectionTest, ConcurrentEvaluationsCountEveryHit) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  FaultSpec spec;
+  spec.every = 2;
+  injector.Arm(faults::kFailTask, spec);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::atomic<int> fires{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (injector.ShouldFire(faults::kFailTask)) fires.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(injector.hits(faults::kFailTask), kThreads * kPerThread);
+  // every=2 selects exactly half of the hits regardless of interleaving.
+  EXPECT_EQ(fires.load(), kThreads * kPerThread / 2);
+  EXPECT_EQ(injector.fires(faults::kFailTask), kThreads * kPerThread / 2);
+}
+
+}  // namespace
+}  // namespace grouplink

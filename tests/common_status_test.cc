@@ -23,6 +23,8 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
   EXPECT_FALSE(Status::InvalidArgument("bad").ok());
 }
@@ -42,6 +44,15 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, ResilienceStatusesFormatLikeTheOthers) {
+  EXPECT_EQ(Status::Cancelled("user stop").ToString(), "Cancelled: user stop");
+  EXPECT_EQ(Status::DeadlineExceeded("5ms budget").ToString(),
+            "DeadlineExceeded: 5ms budget");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -6,6 +6,9 @@
 #include <numeric>
 #include <vector>
 
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
+
 namespace grouplink {
 namespace {
 
@@ -122,6 +125,52 @@ TEST(ParallelForTest, ZeroIterationsWithNullPool) {
 
 TEST(DefaultThreadCountTest, AtLeastOne) {
   EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ParallelForTest, ContextVariantWithoutStopsMatchesPlainVariant) {
+  // A context with no deadline, token, or armed faults must be a no-op:
+  // same coverage, and the executed count is exactly n.
+  ThreadPool pool(4);
+  ExecutionContext ctx;
+  std::vector<std::atomic<int>> hits(513);
+  const size_t executed =
+      ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; }, &ctx);
+  EXPECT_EQ(executed, hits.size());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ctx.degraded());
+}
+
+TEST(ParallelForTest, ExecutedCountMatchesActualWorkAfterCancel) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  ExecutionContext ctx;
+  ctx.SetCancellation(token);
+  std::atomic<size_t> performed{0};
+  const size_t executed = ParallelFor(
+      &pool, 100'000,
+      [&](size_t i) {
+        performed.fetch_add(1);
+        if (i == 10) token.Cancel();
+      },
+      &ctx);
+  EXPECT_EQ(executed, performed.load());
+  EXPECT_LT(executed, 100'000u) << "cancellation must shed the remainder";
+  EXPECT_TRUE(ctx.StopRequested());
+}
+
+TEST(ParallelForTest, SlowTaskFaultOnlyDelays) {
+  ScopedFaultClear clear;
+  ASSERT_TRUE(FaultInjector::Default()
+                  .ArmFromSpec("thread_pool.slow_task:delay_ms=1,max_fires=2")
+                  .ok());
+  ThreadPool pool(2);
+  ExecutionContext ctx;
+  std::vector<std::atomic<int>> hits(64);
+  const size_t executed =
+      ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; }, &ctx);
+  EXPECT_EQ(executed, hits.size()) << "a slow task still completes its chunk";
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GT(FaultInjector::Default().fires(faults::kSlowTask), 0);
 }
 
 TEST(ParallelForTest, ReusablePool) {

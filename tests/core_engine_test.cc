@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "data/bibliographic_generator.h"
 #include "eval/metrics.h"
 
@@ -69,6 +71,57 @@ TEST(LinkageConfigTest, ValidateRejectsEachBadField) {
   per_pair.theta = 0.6;
   per_pair.join_jaccard = 0.9;
   EXPECT_TRUE(per_pair.Validate().ok());
+}
+
+TEST(LinkageConfigTest, ValidateRejectsNonFiniteAndResilienceFields) {
+  // NaN compares false against every range bound, so each threshold needs
+  // its explicit finiteness rejection — checked here message by message,
+  // alongside the deadline/budget fields.
+  const auto rejection = [](void (*mutate)(LinkageConfig&)) {
+    LinkageConfig config;
+    config.theta = 0.6;
+    config.group_threshold = 0.3;
+    mutate(config);
+    const Status status = config.Validate();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    return status.message();
+  };
+  EXPECT_EQ(rejection([](LinkageConfig& c) {
+              c.theta = std::numeric_limits<double>::quiet_NaN();
+            }),
+            "theta must be a finite number");
+  EXPECT_EQ(rejection([](LinkageConfig& c) {
+              c.group_threshold = std::numeric_limits<double>::quiet_NaN();
+            }),
+            "group_threshold must be a finite number");
+  EXPECT_EQ(rejection([](LinkageConfig& c) {
+              c.binary_cutoff = std::numeric_limits<double>::quiet_NaN();
+            }),
+            "binary_cutoff must be a finite number");
+  EXPECT_EQ(rejection([](LinkageConfig& c) {
+              c.candidate_jaccard = std::numeric_limits<double>::quiet_NaN();
+            }),
+            "candidate_jaccard must be a finite number");
+  EXPECT_EQ(rejection([](LinkageConfig& c) {
+              c.join_jaccard = std::numeric_limits<double>::infinity();
+            }),
+            "join_jaccard must be a finite number");
+  EXPECT_EQ(rejection([](LinkageConfig& c) {
+              c.deadline_ms = std::numeric_limits<double>::quiet_NaN();
+            }),
+            "deadline_ms must be finite and >= 0");
+  EXPECT_EQ(rejection([](LinkageConfig& c) { c.deadline_ms = -1.0; }),
+            "deadline_ms must be finite and >= 0");
+  EXPECT_EQ(rejection([](LinkageConfig& c) { c.max_candidate_pairs = -5; }),
+            "max_candidate_pairs must be >= 0");
+  EXPECT_EQ(rejection([](LinkageConfig& c) { c.max_matcher_cost = -1; }),
+            "max_matcher_cost must be >= 0");
+  // The resilience defaults (all limits off) and explicit settings pass.
+  LinkageConfig limited;
+  limited.deadline_ms = 250.0;
+  limited.max_candidate_pairs = 1000;
+  limited.max_matcher_cost = 10000;
+  EXPECT_TRUE(limited.Validate().ok());
 }
 
 TEST(LinkageConfigTest, PrepareRejectsInvalidConfig) {

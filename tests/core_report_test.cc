@@ -192,6 +192,48 @@ TEST(RunReportTest, JsonExportsHaveExpectedShape) {
   }
 }
 
+TEST(RunReportTest, CleanRunsKeepTheClassicReportShape) {
+  // A run with no resilience limits must not grow shed-work counters: the
+  // classic stage identities and the exact counter key set are preserved,
+  // and the run-level degradation facts read clean.
+  const Dataset dataset = TestDataset();
+  const auto result = RunGroupLinkage(dataset, PerPairConfig());
+  ASSERT_TRUE(result.ok());
+  const RunReport& report = result->report();
+
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.stop_reason, "");
+  const StageStats* score = report.FindStage("score");
+  ASSERT_NE(score, nullptr);
+  for (const auto& [key, value] : score->counters) {
+    EXPECT_NE(key, "shed_candidates") << "clean runs carry no shed counters";
+    EXPECT_NE(key, "degraded_refines");
+    EXPECT_NE(key, "skipped");
+    (void)value;
+  }
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"degraded\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"stop_reason\": \"\""), std::string::npos);
+}
+
+TEST(RunReportTest, DegradedRunsExportTheirFactsInJson) {
+  const Dataset dataset = TestDataset();
+  LinkageConfig config = PerPairConfig();
+  config.max_candidate_pairs = 3;
+  const auto result = RunGroupLinkage(dataset, config);
+  ASSERT_TRUE(result.ok());
+  const RunReport& report = result->report();
+
+  EXPECT_TRUE(report.degraded);
+  EXPECT_GT(report.StageCounter("score", "shed_candidates"), 0);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"shed_candidates\""), std::string::npos);
+  // The budget sheds work without stopping the run.
+  EXPECT_NE(json.find("\"stop_reason\": \"\""), std::string::npos);
+}
+
 TEST(RunReportTest, StageAccessorsOnMissingStagesAreZero) {
   RunReport report;
   EXPECT_EQ(report.FindStage("nope"), nullptr);

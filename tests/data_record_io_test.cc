@@ -4,7 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
+#include "common/fault_injection.h"
+#include "common/status.h"
 #include "data/bibliographic_generator.h"
 
 namespace grouplink {
@@ -113,6 +116,81 @@ TEST(RecordIoTest, EmptyFileFails) {
   const std::string path = TempPath("empty.csv");
   { std::ofstream out(path); }
   EXPECT_FALSE(LoadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+// Table-driven malformed corpus: every entry is a complete CSV document
+// that must load as ParseError with a message that names the offense. The
+// header line is row 0, so the first data row is "row 1" in messages.
+struct MalformedCase {
+  const char* name;
+  std::string body;  // Appended after the standard header.
+  const char* message_fragment;
+};
+
+class RecordIoMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(RecordIoMalformedTest, LoadReportsParseError) {
+  const MalformedCase& c = GetParam();
+  const std::string path = TempPath(std::string("malformed_") + c.name + ".csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "record_id,group_id,group_label,entity_id,text\n";
+    out.write(c.body.data(), static_cast<std::streamsize>(c.body.size()));
+  }
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_FALSE(loaded.ok()) << c.name;
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError) << c.name;
+  EXPECT_NE(loaded.status().message().find(c.message_fragment),
+            std::string::npos)
+      << c.name << ": got '" << loaded.status().message() << "'";
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RecordIoMalformedTest,
+    ::testing::Values(
+        MalformedCase{"truncated_row", "r0,g0\n", "has 2 columns, expected >= 5"},
+        MalformedCase{"truncated_after_good_row",
+                      "r0,g0,label,,fine text\nr1,g0,label\n",
+                      "row 2 has 3 columns"},
+        MalformedCase{"bad_utf8_label", "r0,g0,lab\xFF" "el,,text\n",
+                      "column 2 contains invalid UTF-8"},
+        MalformedCase{"bad_utf8_text", "r0,g0,label,,te\xC3xt\n",
+                      "column 4 contains invalid UTF-8"},
+        MalformedCase{"overlong_utf8_text",
+                      "r0,g0,label,,bad \xC0\xAF encoding\n",
+                      "column 4 contains invalid UTF-8"},
+        MalformedCase{"bad_entity_id", "r0,g0,label,notanumber,text\n",
+                      "bad entity_id 'notanumber'"},
+        MalformedCase{"embedded_nul",
+                      std::string("r0,g0,la") + '\0' + "bel,,text\n",
+                      "embedded NUL byte"},
+        MalformedCase{"oversized_field",
+                      "r0,g0,label,," + std::string((size_t{1} << 20) + 2, 'a') +
+                          "\n",
+                      "exceeds 1048576 bytes"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RecordIoTest, CorruptRecordFaultFiresDeterministically) {
+  // The record_io.corrupt_record point turns a healthy load into the
+  // "row N is corrupt" failure path — exercised by the CI fault drills.
+  const std::string path = TempPath("fault_corpus.csv");
+  ASSERT_TRUE(SaveDatasetCsv(SampleDataset(), path).ok());
+
+  ScopedFaultClear clear;
+  ASSERT_TRUE(
+      FaultInjector::Default().ArmFromSpec("record_io.corrupt_record:after=1").ok());
+  const auto loaded = LoadDatasetCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  // after=1 lets row 1 through and corrupts the second data row.
+  EXPECT_EQ(loaded.status().message(), "row 2 is corrupt (injected fault)");
+
+  FaultInjector::Default().DisarmAll();
+  EXPECT_TRUE(LoadDatasetCsv(path).ok()) << "disarmed loads are clean";
   std::remove(path.c_str());
 }
 

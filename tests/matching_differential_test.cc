@@ -10,7 +10,9 @@
 #include <cmath>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/random.h"
+#include "core/group_measures.h"
 #include "matching/auction.h"
 #include "matching/bipartite_graph.h"
 #include "matching/brute_force.h"
@@ -136,6 +138,56 @@ TEST(MatchingDifferentialTest, LargerGraphsCrossValidate) {
     const double density = rng.UniformDouble(0.1, 0.7);
     const BipartiteGraph graph = RandomGraph(rng, num_left, num_right, density);
     CheckEngineAgreement(graph);
+  }
+}
+
+TEST(MatchingDifferentialTest, BoundsSandwichBmAndDegradedFallbacksAreSound) {
+  // The resilient fallbacks lean entirely on these relations: the matcher
+  // budget decides oversized pairs from GreedyLowerBound / the UB filter,
+  // and a stop request makes BmMeasure return a partial matching. Each
+  // must only ever err toward *under*-linking.
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int32_t num_left = static_cast<int32_t>(rng.UniformInt(1, 10));
+    const int32_t num_right = static_cast<int32_t>(rng.UniformInt(1, 10));
+    const double density = rng.UniformDouble(0.1, 0.9);
+    const BipartiteGraph graph = RandomGraph(rng, num_left, num_right, density);
+
+    const GroupScore bm = BmMeasure(graph, num_left, num_right);
+    const double ub = UpperBoundMeasure(graph, num_left, num_right);
+    const double lb = GreedyLowerBound(graph, num_left, num_right);
+
+    // The sandwich LB <= BM <= UB, and the documented LB >= BM/4 quality
+    // bound (greedy weight >= W*/2, denominator ratio <= 2).
+    EXPECT_LE(lb, bm.value + 1e-9) << "trial " << trial;
+    EXPECT_LE(bm.value, ub + 1e-9) << "trial " << trial;
+    EXPECT_GE(lb, bm.value / 4.0 - 1e-9) << "trial " << trial;
+
+    // Bounds-only decisions at any threshold: an LB accept is always a
+    // true link, a UB prune is always a true non-link — degradation can
+    // only drop the pairs in between.
+    for (const double threshold : {0.1, 0.25, 0.5, 0.75}) {
+      if (lb >= threshold) {
+        EXPECT_GE(bm.value, threshold - 1e-9)
+            << "degraded accept over-linked, trial " << trial;
+      }
+      if (ub < threshold) {
+        EXPECT_LT(bm.value, threshold)
+            << "UB prune dropped a true link, trial " << trial;
+      }
+    }
+
+    // A stop request mid-matcher yields a valid partial matching whose
+    // weight and normalized score never exceed the exact ones.
+    CancellationToken token;
+    token.Cancel();
+    ExecutionContext ctx;
+    ctx.SetCancellation(token);
+    const GroupScore partial = BmMeasure(graph, num_left, num_right, &ctx);
+    EXPECT_GE(partial.matching_weight, -1e-12);
+    EXPECT_LE(partial.matching_weight, bm.matching_weight + 1e-9);
+    EXPECT_LE(partial.matching_size, bm.matching_size);
+    EXPECT_LE(partial.value, bm.value + 1e-9) << "partial BM over-reported";
   }
 }
 
