@@ -4,7 +4,7 @@
 // through the filter-and-refine pipeline, and reports quality + pipeline
 // statistics against the generator's ground truth.
 //
-//   ./author_disambiguation --entities=400 --noise=0.25 --theta=0.6 \
+//   ./author_disambiguation --entities=400 --noise=0.25 --theta=0.6
 //       --group-threshold=0.3 [--save=authors.csv]
 
 #include <cstdio>

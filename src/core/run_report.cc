@@ -7,22 +7,22 @@
 namespace grouplink {
 
 int64_t StageStats::Counter(std::string_view key) const {
-  for (const auto& [name, value] : counters) {
-    if (name == key) return value;
+  for (const auto& [entry_name, value] : counters) {
+    if (entry_name == key) return value;
   }
   return 0;
 }
 
 double StageStats::Timing(std::string_view key) const {
-  for (const auto& [name, value] : timings) {
-    if (name == key) return value;
+  for (const auto& [entry_name, value] : timings) {
+    if (entry_name == key) return value;
   }
   return 0.0;
 }
 
 StageStats& StageStats::AddCounter(std::string_view key, int64_t value) {
-  for (auto& [name, existing] : counters) {
-    if (name == key) {
+  for (auto& [entry_name, existing] : counters) {
+    if (entry_name == key) {
       existing = value;
       return *this;
     }
@@ -32,8 +32,8 @@ StageStats& StageStats::AddCounter(std::string_view key, int64_t value) {
 }
 
 StageStats& StageStats::AddTiming(std::string_view key, double value) {
-  for (auto& [name, existing] : timings) {
-    if (name == key) {
+  for (auto& [entry_name, existing] : timings) {
+    if (entry_name == key) {
       existing = value;
       return *this;
     }

@@ -120,7 +120,9 @@ TEST(BibliographicTest, ZeroNoiseSharedCitationsIdentical) {
     }
     const int32_t entity = dataset.group_entities[static_cast<size_t>(g)];
     auto [it, inserted] = texts_by_entity.emplace(entity, texts);
-    if (!inserted) EXPECT_EQ(it->second, texts) << "entity " << entity;
+    if (!inserted) {
+      EXPECT_EQ(it->second, texts) << "entity " << entity;
+    }
   }
 }
 

@@ -170,8 +170,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "r0,g0,label,," + std::string((size_t{1} << 20) + 2, 'a') +
                           "\n",
                       "exceeds 1048576 bytes"}),
-    [](const ::testing::TestParamInfo<MalformedCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<MalformedCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(RecordIoTest, CorruptRecordFaultFiresDeterministically) {
