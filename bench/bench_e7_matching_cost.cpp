@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("density", 0.3, "edge probability");
   flags.AddInt64("max-side", 512, "largest group size to time");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
-  GL_CHECK(flags.Parse(argc, argv).ok());
+  const Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) return bench::ExitCode(parse_status);
   const double density = flags.GetDouble("density");
   const int64_t max_side =
       flags.GetBool("smoke") ? 16 : flags.GetInt64("max-side");
@@ -67,11 +69,11 @@ int main(int argc, char** argv) {
   for (int32_t side = 8; side <= max_side; side *= 2) {
     const BipartiteGraph graph = RandomGraph(rng, side, density);
     const double hungarian =
-        TimePerCall([&] { HungarianMaxWeightMatching(graph); });
+        TimePerCall([&] { (void)HungarianMaxWeightMatching(graph); });
     const double auction =
-        TimePerCall([&] { AuctionMaxWeightMatching(graph, 1e-4); });
-    const double greedy = TimePerCall([&] { GreedyMaxWeightMatching(graph); });
-    const double hopcroft = TimePerCall([&] { HopcroftKarpMatching(graph); });
+        TimePerCall([&] { (void)AuctionMaxWeightMatching(graph, 1e-4); });
+    const double greedy = TimePerCall([&] { (void)GreedyMaxWeightMatching(graph); });
+    const double hopcroft = TimePerCall([&] { (void)HopcroftKarpMatching(graph); });
     const double semi = TimePerCall([&] { ComputeSemiMatching(graph); });
     table.AddRow({std::to_string(side), std::to_string(graph.edges().size()),
                   FormatDouble(hungarian, 3), FormatDouble(auction, 3),
@@ -79,5 +81,5 @@ int main(int argc, char** argv) {
                   FormatDouble(semi, 4)});
   }
   std::printf("%s", table.ToString().c_str());
-  return 0;
+  return bench::ExitCode(Status::Ok());
 }

@@ -32,13 +32,13 @@ std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter)
 
 Result<std::vector<std::string>> CsvParseLine(std::string_view line, char delimiter,
                                               const CsvParseOptions& options) {
-  auto rows = CsvParseDocument(line, delimiter, options);
-  if (!rows.ok()) return rows.status();
-  if (rows->empty()) return std::vector<std::string>{""};
-  if (rows->size() != 1) {
+  GL_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                      CsvParseDocument(line, delimiter, options));
+  if (rows.empty()) return std::vector<std::string>{""};
+  if (rows.size() != 1) {
     return Status::ParseError("line contains an embedded newline; use CsvParseDocument");
   }
-  return std::move((*rows)[0]);
+  return std::move(rows[0]);
 }
 
 Result<std::vector<std::vector<std::string>>> CsvParseDocument(

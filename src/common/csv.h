@@ -24,24 +24,24 @@ struct CsvParseOptions {
 };
 
 /// Escapes one field for CSV output (quotes only when needed).
-std::string CsvEscape(std::string_view field, char delimiter = ',');
+[[nodiscard]] std::string CsvEscape(std::string_view field, char delimiter = ',');
 
 /// Renders one row (no trailing newline).
-std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter = ',');
+[[nodiscard]] std::string CsvFormatRow(const std::vector<std::string>& fields, char delimiter = ',');
 
 /// Parses one logical CSV line into fields. The line must not contain an
 /// unterminated quoted field (multi-line fields are handled by CsvReader).
-Result<std::vector<std::string>> CsvParseLine(std::string_view line,
+[[nodiscard]] Result<std::vector<std::string>> CsvParseLine(std::string_view line,
                                               char delimiter = ',',
                                               const CsvParseOptions& options = {});
 
 /// Parses a whole CSV document (supports quoted fields spanning lines).
-Result<std::vector<std::vector<std::string>>> CsvParseDocument(
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> CsvParseDocument(
     std::string_view text, char delimiter = ',',
     const CsvParseOptions& options = {});
 
 /// Reads and parses a CSV file from disk.
-Result<std::vector<std::vector<std::string>>> CsvReadFile(
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> CsvReadFile(
     const std::string& path, char delimiter = ',',
     const CsvParseOptions& options = {});
 

@@ -18,7 +18,7 @@ class CancellationToken {
   CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
   void Cancel() { flag_->store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
@@ -57,7 +57,7 @@ class ExecutionContext {
 
   /// Arms a deadline `ms` milliseconds from now (<= 0 disarms).
   void SetDeadline(double ms);
-  bool has_deadline() const { return has_deadline_; }
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
 
   void SetCancellation(CancellationToken token) {
     token_ = std::move(token);
@@ -76,7 +76,7 @@ class ExecutionContext {
   /// Sticky poll: true once the token is cancelled, the deadline has
   /// passed, or the `execution.deadline` fault point fires. Safe to call
   /// concurrently from worker threads.
-  bool StopRequested() const;
+  [[nodiscard]] bool StopRequested() const;
 
   StopReason stop_reason() const {
     return static_cast<StopReason>(stop_reason_.load(std::memory_order_relaxed));
@@ -85,7 +85,7 @@ class ExecutionContext {
   const char* stop_reason_name() const { return StopReasonName(stop_reason()); }
 
   /// True when the per-pair matcher budget rejects this cost.
-  bool ExceedsMatcherBudget(int64_t cost) const {
+  [[nodiscard]] bool ExceedsMatcherBudget(int64_t cost) const {
     return max_matcher_cost_ > 0 && cost > max_matcher_cost_;
   }
 
@@ -93,15 +93,15 @@ class ExecutionContext {
   /// configured budget, further shrunk when the `candidates.oversized`
   /// fault fires (to its magnitude, or n/2 when magnitude is 0).
   /// Returns n when nothing caps it.
-  size_t EffectiveCandidateCap(size_t n) const;
+  [[nodiscard]] size_t EffectiveCandidateCap(size_t n) const;
 
   /// Any stage that sheds or downgrades work calls this; degraded() then
   /// feeds RunReport.degraded.
   void NoteDegraded() const { degraded_.store(true, std::memory_order_relaxed); }
-  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   /// OK while running; Cancelled/DeadlineExceeded once stopped.
-  Status ToStatus() const;
+  [[nodiscard]] Status ToStatus() const;
 
  private:
   void NoteStop(StopReason reason) const;

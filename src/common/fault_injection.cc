@@ -61,27 +61,25 @@ Status FaultInjector::ArmFromSpec(std::string_view spec_text) {
       const std::string key = piece.substr(0, eq);
       const std::string value = piece.substr(eq + 1);
       if (key == "probability" || key == "delay_ms") {
-        const auto parsed = ParseDouble(value);
-        if (!parsed.ok()) return parsed.status();
+        GL_ASSIGN_OR_RETURN(const double parsed, ParseDouble(value));
         if (key == "probability") {
-          spec.probability = *parsed;
+          spec.probability = parsed;
         } else {
-          spec.delay_ms = *parsed;
+          spec.delay_ms = parsed;
           delay_set = true;
         }
       } else {
-        const auto parsed = ParseInt64(value);
-        if (!parsed.ok()) return parsed.status();
+        GL_ASSIGN_OR_RETURN(const int64_t parsed, ParseInt64(value));
         if (key == "after") {
-          spec.after = *parsed;
+          spec.after = parsed;
         } else if (key == "every") {
-          spec.every = *parsed;
+          spec.every = parsed;
         } else if (key == "seed") {
-          spec.seed = static_cast<uint64_t>(*parsed);
+          spec.seed = static_cast<uint64_t>(parsed);
         } else if (key == "magnitude") {
-          spec.magnitude = *parsed;
+          spec.magnitude = parsed;
         } else if (key == "max_fires") {
-          spec.max_fires = *parsed;
+          spec.max_fires = parsed;
         } else {
           return Status::InvalidArgument("unknown fault spec key '" + key + "'");
         }

@@ -35,7 +35,7 @@ class JsonWriter;
 
 /// Global kill switch (default enabled). Relaxed-atomic read on every
 /// increment; flip once at startup, not mid-run.
-bool MetricsEnabled();
+[[nodiscard]] bool MetricsEnabled();
 void SetMetricsEnabled(bool enabled);
 
 /// Monotonic counter with thread-sharded storage. Increments from

@@ -19,37 +19,37 @@ class Rng {
   explicit Rng(uint64_t seed);
 
   /// Returns the next raw 64-bit value.
-  uint64_t Next();
+  [[nodiscard]] uint64_t Next();
 
   /// Returns a uniform integer in [0, bound). `bound` must be > 0.
   /// Uses rejection sampling, so the distribution is exactly uniform.
-  uint64_t Uniform(uint64_t bound);
+  [[nodiscard]] uint64_t Uniform(uint64_t bound);
 
   /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  [[nodiscard]] int64_t UniformInt(int64_t lo, int64_t hi);
 
   /// Returns a uniform double in [0, 1).
-  double UniformDouble();
+  [[nodiscard]] double UniformDouble();
 
   /// Returns a uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  [[nodiscard]] double UniformDouble(double lo, double hi);
 
   /// Returns true with probability `p` (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  [[nodiscard]] bool Bernoulli(double p);
 
   /// Returns a sample from the standard normal distribution
   /// (Box-Muller; consumes two uniform draws per pair of outputs).
-  double Normal();
+  [[nodiscard]] double Normal();
 
   /// Returns a sample from N(mean, stddev^2).
-  double Normal(double mean, double stddev);
+  [[nodiscard]] double Normal(double mean, double stddev);
 
   /// Returns an integer in [0, n) following a Zipf distribution with
   /// exponent `s` (probability of rank r proportional to 1/(r+1)^s).
   /// Requires n > 0 and s >= 0. Uses inversion on the precomputed CDF when
   /// repeated sampling is needed — see ZipfSampler below; this method
   /// recomputes and is O(n), intended for one-off draws in tests.
-  uint64_t ZipfOnce(uint64_t n, double s);
+  [[nodiscard]] uint64_t ZipfOnce(uint64_t n, double s);
 
   /// Fisher-Yates shuffles `items` in place.
   template <typename T>
@@ -63,7 +63,7 @@ class Rng {
 
   /// Returns `k` distinct indices sampled uniformly without replacement
   /// from [0, n). Requires k <= n. O(n) time and space.
-  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+  [[nodiscard]] std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   /// Returns a reference to one element of `items` chosen uniformly.
   template <typename T>
@@ -83,7 +83,7 @@ class ZipfSampler {
   /// Distribution over {0, ..., n-1} with P(r) proportional to 1/(r+1)^s.
   ZipfSampler(uint64_t n, double s);
 
-  uint64_t Sample(Rng& rng) const;
+  [[nodiscard]] uint64_t Sample(Rng& rng) const;
 
   uint64_t n() const { return cdf_.size(); }
 

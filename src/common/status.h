@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
+
 namespace grouplink {
 
 /// Error categories used across the library. The library does not throw
@@ -32,7 +34,12 @@ const char* StatusCodeToString(StatusCode code);
 /// Example:
 ///   Status s = dataset.Validate();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides the error path, so a
+/// discarded return value is a compile error under -Werror. Intentional
+/// discards must be spelled out with a cast and a reason:
+///   (void)index.Refresh();  // Best-effort; failure handled by next epoch.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -71,12 +78,12 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -93,12 +100,16 @@ class Status {
 ///   Result<Dataset> ds = LoadDatasetCsv(path);
 ///   if (!ds.ok()) return ds.status();
 ///   Use(ds.value());
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result hides
+/// both the error and the value the caller asked for.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error, so functions can
   /// `return value;` or `return Status::...;` directly.
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(T value)  // NOLINT(runtime/explicit): implicit by design, mirrors absl::StatusOr
+      : data_(std::move(value)) {}
   Result(Status status) : data_(std::move(status)) {
     // An OK status carries no value; normalize to an internal error so the
     // object is never silently value-less.
@@ -107,25 +118,42 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
 
-  /// Requires ok(). The non-const overload allows moving the value out.
-  const T& value() const& { return std::get<T>(data_); }
-  T& value() & { return std::get<T>(data_); }
-  T&& value() && { return std::get<T>(std::move(data_)); }
+  /// Requires ok(); aborts with the carried error message otherwise (a
+  /// precondition violation, not a recoverable error — callers that may
+  /// see failure must branch on ok() or use GL_ASSIGN_OR_RETURN). The
+  /// non-const overload allows moving the value out.
+  [[nodiscard]] const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
 
   /// Returns the error, or OK if this holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(data_);
   }
 
-  const T& operator*() const& { return value(); }
-  T& operator*() & { return value(); }
-  const T* operator->() const { return &value(); }
-  T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    GL_CHECK(ok()) << "Result::value() on error Result: "
+                   << std::get<Status>(data_).ToString();
+  }
+
   std::variant<T, Status> data_;
 };
 
@@ -137,5 +165,26 @@ class Result {
     ::grouplink::Status gl_status__ = (expr);         \
     if (!gl_status__.ok()) return gl_status__;        \
   } while (false)
+
+#define GL_STATUS_CONCAT_IMPL_(a, b) a##b
+#define GL_STATUS_CONCAT_(a, b) GL_STATUS_CONCAT_IMPL_(a, b)
+
+#define GL_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+/// Evaluates `rexpr` (an expression yielding Result<T>); on error returns
+/// the error Status from the enclosing function, otherwise move-assigns
+/// the value into `lhs`, which may be a declaration:
+///
+///   GL_ASSIGN_OR_RETURN(Dataset dataset, LoadDatasetCsv(path));
+///   GL_ASSIGN_OR_RETURN(dataset, LoadDatasetCsv(path));  // Existing var.
+///
+/// Expands to multiple statements, so it cannot be used as a braceless
+/// `if` body. The temporary's name embeds __LINE__ so two uses in one
+/// scope do not collide.
+#define GL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  GL_ASSIGN_OR_RETURN_IMPL_(GL_STATUS_CONCAT_(gl_result_, __LINE__), lhs, rexpr)
 
 #endif  // GROUPLINK_COMMON_STATUS_H_

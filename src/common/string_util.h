@@ -11,47 +11,47 @@
 namespace grouplink {
 
 /// Returns a copy of `s` with ASCII letters lowered.
-std::string AsciiToLower(std::string_view s);
+[[nodiscard]] std::string AsciiToLower(std::string_view s);
 
 /// Returns a copy of `s` with ASCII letters uppered.
-std::string AsciiToUpper(std::string_view s);
+[[nodiscard]] std::string AsciiToUpper(std::string_view s);
 
 /// Returns `s` without leading/trailing ASCII whitespace.
-std::string_view TrimWhitespace(std::string_view s);
+[[nodiscard]] std::string_view TrimWhitespace(std::string_view s);
 
 /// Splits `s` on `delimiter`, keeping empty pieces ("a,,b" -> {"a","","b"}).
-std::vector<std::string> Split(std::string_view s, char delimiter);
+[[nodiscard]] std::vector<std::string> Split(std::string_view s, char delimiter);
 
 /// Splits `s` on runs of ASCII whitespace, dropping empty pieces.
-std::vector<std::string> SplitWhitespace(std::string_view s);
+[[nodiscard]] std::vector<std::string> SplitWhitespace(std::string_view s);
 
 /// Joins `pieces` with `separator`.
-std::string Join(const std::vector<std::string>& pieces, std::string_view separator);
+[[nodiscard]] std::string Join(const std::vector<std::string>& pieces, std::string_view separator);
 
 /// True if `s` starts with / ends with the given affix.
-bool StartsWith(std::string_view s, std::string_view prefix);
-bool EndsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
 
 /// Parses a whole string as a signed integer / double. Rejects trailing
 /// garbage, empty input, and out-of-range values.
-Result<int64_t> ParseInt64(std::string_view s);
-Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
 
 /// Formats `value` with `digits` fractional digits ("3.142").
-std::string FormatDouble(double value, int digits);
+[[nodiscard]] std::string FormatDouble(double value, int digits);
 
 /// Replaces every occurrence of `from` (non-empty) with `to`.
-std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+[[nodiscard]] std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
 
 /// True when `s` is well-formed UTF-8: no bad continuation bytes,
 /// overlong encodings, surrogate code points, or values above U+10FFFF.
-bool IsValidUtf8(std::string_view s);
+[[nodiscard]] bool IsValidUtf8(std::string_view s);
 
 /// 64-bit FNV-1a hash of `s`; stable across runs and platforms.
-uint64_t Fingerprint64(std::string_view s);
+[[nodiscard]] uint64_t Fingerprint64(std::string_view s);
 
 /// Mixes a new 64-bit value into a running hash (for composite keys).
-uint64_t HashCombine(uint64_t seed, uint64_t value);
+[[nodiscard]] uint64_t HashCombine(uint64_t seed, uint64_t value);
 
 }  // namespace grouplink
 

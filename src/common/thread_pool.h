@@ -68,7 +68,7 @@ size_t ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>
 
 /// The hardware thread count, never less than 1 (hardware_concurrency
 /// may report 0 on exotic platforms). Default for `--threads` flags.
-size_t DefaultThreadCount();
+[[nodiscard]] size_t DefaultThreadCount();
 
 }  // namespace grouplink
 

@@ -31,7 +31,7 @@ namespace grouplink {
 /// Tracing records timings only — it never affects linkage output.
 
 /// Global switch (default enabled). Flip at startup, not mid-span.
-bool TracingEnabled();
+[[nodiscard]] bool TracingEnabled();
 void SetTracingEnabled(bool enabled);
 
 /// One completed (or still-open) span.

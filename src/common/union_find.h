@@ -20,24 +20,24 @@ class UnionFind {
   size_t AddElement();
 
   /// Returns the representative of `x`'s set (with path compression).
-  size_t Find(size_t x);
+  [[nodiscard]] size_t Find(size_t x);
 
   /// Merges the sets of `a` and `b`; returns true if they were distinct.
   bool Union(size_t a, size_t b);
 
   /// True if `a` and `b` are in the same set.
-  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+  [[nodiscard]] bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
 
   /// Number of elements.
-  size_t size() const { return parent_.size(); }
+  [[nodiscard]] size_t size() const { return parent_.size(); }
 
   /// Number of disjoint sets remaining.
-  size_t num_sets() const { return num_sets_; }
+  [[nodiscard]] size_t num_sets() const { return num_sets_; }
 
   /// Returns a label in [0, num_sets()) per element; elements share a label
   /// iff they are in the same set. Labels are assigned in order of first
   /// appearance, so the output is deterministic.
-  std::vector<size_t> ComponentLabels();
+  [[nodiscard]] std::vector<size_t> ComponentLabels();
 
  private:
   std::vector<size_t> parent_;

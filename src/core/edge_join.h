@@ -104,7 +104,7 @@ struct EdgeJoinStats {
 /// a UB-ordered bucket cap, and a bounds-only matcher fallback — every
 /// degraded decision only removes links, so the output is a subset of
 /// the unconstrained run's (see DESIGN.md §8).
-std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
     const RecordSimFn& sim, const EdgeJoinConfig& config,

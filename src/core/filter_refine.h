@@ -73,7 +73,7 @@ struct FilterRefineStats {
 /// pairs, and a deadline/cancellation trip sheds the remaining pairs.
 /// Every degraded decision can only *remove* links relative to the
 /// unconstrained run, so the output is always a subset of it.
-std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,
     const FilterRefineConfig& config, FilterRefineStats* stats = nullptr,
@@ -81,7 +81,7 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
 
 /// Reference path: exact BM on every candidate, no bounds. Same output
 /// contract as FilterRefineLink.
-std::vector<std::pair<int32_t, int32_t>> BruteForceBmLink(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> BruteForceBmLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,
     const FilterRefineConfig& config, FilterRefineStats* stats = nullptr);

@@ -68,7 +68,7 @@ struct Dataset {
 /// Builds a Dataset from parallel vectors: `record_group[r]` is the group
 /// index of record r in [0, num_groups). Group labels default to the group
 /// id string. Validates the result.
-Result<Dataset> MakeDataset(std::vector<Record> records,
+[[nodiscard]] Result<Dataset> MakeDataset(std::vector<Record> records,
                             std::vector<int32_t> record_group, int32_t num_groups,
                             std::vector<int32_t> group_entities = {});
 

@@ -36,7 +36,7 @@ struct GroupScore {
 /// Normalizes a matching (weight W, size k) between groups of sizes L and
 /// R: W / (L + R − k). This is the common shape of every BM-family
 /// measure; with binary weights it is exactly Jaccard.
-double NormalizeMatchingScore(double weight, int32_t size, int32_t size_left,
+[[nodiscard]] double NormalizeMatchingScore(double weight, int32_t size, int32_t size_left,
                               int32_t size_right);
 
 /// The paper's group linkage measure BM: normalized maximum-weight
@@ -67,7 +67,7 @@ GroupScore GreedyMeasure(const BipartiteGraph& graph, int32_t size_left,
 /// Hence BM = W*/(L+R−|M*|) ≤ S/(L+R−min(L',R')) = UB. Moreover UB ≤ 1
 /// because S ≤ (L'+R')/2 and L+R−min(L',R') ≥ (L'+R')/2 for weights ≤ 1.
 /// Property-tested against exact BM in tests/core_measures_test.cc.
-double UpperBoundMeasure(const BipartiteGraph& graph, int32_t size_left,
+[[nodiscard]] double UpperBoundMeasure(const BipartiteGraph& graph, int32_t size_left,
                          int32_t size_right);
 
 /// Provable lower bound on BM from the greedy matching (weight W_g,
@@ -79,7 +79,7 @@ double UpperBoundMeasure(const BipartiteGraph& graph, int32_t size_left,
 /// positive weights is maximal, any maximal matching has at least ν/2
 /// edges (ν = maximum cardinality), and k_g ≤ ν, so |M*| ≥ ceil(k_g / 2)
 /// and BM's denominator is ≤ LB's. Hence BM ≥ LB.
-double GreedyLowerBound(const BipartiteGraph& graph, int32_t size_left,
+[[nodiscard]] double GreedyLowerBound(const BipartiteGraph& graph, int32_t size_left,
                         int32_t size_right);
 
 /// Binary-similarity Jaccard generalization: edges count 1 each, the
@@ -90,7 +90,7 @@ GroupScore BinaryJaccardMeasure(const BipartiteGraph& graph, int32_t size_left,
 
 /// Baseline: the single best record-pair similarity between the groups
 /// (max edge weight; 0 when the thresholded graph has no edge).
-double SingleBestMeasure(const BipartiteGraph& graph);
+[[nodiscard]] double SingleBestMeasure(const BipartiteGraph& graph);
 
 /// Asymmetric containment: maximum-weight matching normalized by the
 /// *smaller* group, W* / min(L, R) ∈ [0, 1]. Scores 1 when one group's
@@ -98,13 +98,13 @@ double SingleBestMeasure(const BipartiteGraph& graph);
 /// (e.g. an early-career author group inside a later, larger one) that
 /// BM's union-style denominator deliberately penalizes. An extension
 /// beyond the paper's symmetric setting.
-double ContainmentMeasure(const BipartiteGraph& graph, int32_t size_left,
+[[nodiscard]] double ContainmentMeasure(const BipartiteGraph& graph, int32_t size_left,
                           int32_t size_right);
 
 /// The exact maximizer of the normalized score over all matchings
 /// (BM* variant; tie-proof, >= BM). Computed by the cardinality-profile
 /// algorithm in matching/ssp_matching.h.
-double BmStarMeasure(const BipartiteGraph& graph, int32_t size_left,
+[[nodiscard]] double BmStarMeasure(const BipartiteGraph& graph, int32_t size_left,
                      int32_t size_right);
 
 /// The measures selectable end-to-end (benchmarks compare them head on).
@@ -121,7 +121,7 @@ enum class GroupMeasureKind {
 const char* GroupMeasureKindName(GroupMeasureKind kind);
 
 /// Evaluates `kind` on a prebuilt similarity graph.
-double EvaluateGroupMeasure(GroupMeasureKind kind, const BipartiteGraph& graph,
+[[nodiscard]] double EvaluateGroupMeasure(GroupMeasureKind kind, const BipartiteGraph& graph,
                             int32_t size_left, int32_t size_right);
 
 }  // namespace grouplink

@@ -239,7 +239,7 @@ class LinkageEngine {
 };
 
 /// Convenience wrapper: prepare + run with defaults.
-Result<LinkageResult> RunGroupLinkage(const Dataset& dataset,
+[[nodiscard]] Result<LinkageResult> RunGroupLinkage(const Dataset& dataset,
                                       const LinkageConfig& config);
 
 }  // namespace grouplink

@@ -122,7 +122,7 @@ EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report);
 ///    "hardware_threads": <DefaultThreadCount()>,
 ///    "runs": [<RunReport::WriteJson objects>...],
 ///    "metrics": <MetricsRegistry::Default() snapshot>}
-std::string ExperimentReportJson(std::string_view experiment,
+[[nodiscard]] std::string ExperimentReportJson(std::string_view experiment,
                                  const std::vector<RunReport>& runs,
                                  int indent = 2);
 

@@ -25,23 +25,23 @@ struct PerturbOptions {
 };
 
 /// Applies a single random character edit to `text` (no-op on empty input).
-std::string ApplyRandomTypo(std::string_view text, Rng& rng);
+[[nodiscard]] std::string ApplyRandomTypo(std::string_view text, Rng& rng);
 
 /// Applies per-character typos at `rate`.
-std::string InjectTypos(std::string_view text, double rate, Rng& rng);
+[[nodiscard]] std::string InjectTypos(std::string_view text, double rate, Rng& rng);
 
 /// Rebuilds `text` token by token, applying drops / abbreviations / one
 /// optional adjacent swap per PerturbOptions, then per-character typos.
 /// Always keeps at least one token of a non-empty input.
-std::string PerturbText(std::string_view text, const PerturbOptions& options, Rng& rng);
+[[nodiscard]] std::string PerturbText(std::string_view text, const PerturbOptions& options, Rng& rng);
 
 /// Abbreviates "jeffrey" -> "j". Tokens of length <= 1 pass through.
-std::string AbbreviateToken(std::string_view token);
+[[nodiscard]] std::string AbbreviateToken(std::string_view token);
 
 /// Produces a name variant of "first [middle] last":
 /// randomly chooses between the full name, first-initial form
 /// ("j ullman"), "last first" inversion, or a typo'ed full name.
-std::string MakeNameVariant(std::string_view full_name, Rng& rng);
+[[nodiscard]] std::string MakeNameVariant(std::string_view full_name, Rng& rng);
 
 /// Simulates upstream record-linkage mistakes: each record is moved to a
 /// uniformly random *other* group with probability `reassign_fraction`

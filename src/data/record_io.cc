@@ -37,14 +37,14 @@ Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> LoadDatasetCsv(const std::string& path) {
-  auto rows = CsvReadFile(path);
-  if (!rows.ok()) return rows.status();
-  if (rows->empty()) return Status::ParseError("empty dataset file: " + path);
+  GL_ASSIGN_OR_RETURN(const std::vector<std::vector<std::string>> rows,
+                      CsvReadFile(path));
+  if (rows.empty()) return Status::ParseError("empty dataset file: " + path);
 
   Dataset dataset;
   std::map<std::string, int32_t> group_index;
-  for (size_t i = 1; i < rows->size(); ++i) {
-    const std::vector<std::string>& row = (*rows)[i];
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const std::vector<std::string>& row = rows[i];
     if (row.size() == 1 && row[0].empty()) continue;  // Trailing blank line.
     if (FaultInjector::Default().ShouldFire(faults::kCorruptRecord)) {
       return Status::ParseError("row " + std::to_string(i) +

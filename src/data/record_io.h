@@ -19,7 +19,7 @@ Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
 
 /// Loads a dataset written by SaveDatasetCsv (or hand-authored in the same
 /// format). Returns ParseError / InvalidArgument on malformed input.
-Result<Dataset> LoadDatasetCsv(const std::string& path);
+[[nodiscard]] Result<Dataset> LoadDatasetCsv(const std::string& path);
 
 }  // namespace grouplink
 

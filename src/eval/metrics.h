@@ -48,11 +48,11 @@ BCubedMetrics EvaluateBCubed(const std::vector<size_t>& predicted_labels,
 /// for identical clusterings and ~0 for random agreement. -1 true labels
 /// are unique singletons (as in EvaluateBCubed). Returns 1 for n < 2 or
 /// when both clusterings are trivially degenerate in the same way.
-double AdjustedRandIndex(const std::vector<size_t>& predicted_labels,
+[[nodiscard]] double AdjustedRandIndex(const std::vector<size_t>& predicted_labels,
                          const std::vector<int32_t>& true_labels);
 
 /// Harmonic mean helper (0 when both inputs are 0).
-double F1Score(double precision, double recall);
+[[nodiscard]] double F1Score(double precision, double recall);
 
 }  // namespace grouplink
 

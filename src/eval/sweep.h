@@ -23,13 +23,13 @@ struct SweepPoint {
 ///
 /// A pair is predicted-positive at threshold t iff score >= t. Pairs
 /// absent from `scored` are implicitly scored 0.
-std::vector<SweepPoint> ThresholdSweep(
+[[nodiscard]] std::vector<SweepPoint> ThresholdSweep(
     const std::vector<ScoredPair>& scored,
     const std::vector<std::pair<int32_t, int32_t>>& truth,
     const std::vector<double>& thresholds);
 
 /// The threshold in `thresholds` maximizing F1 (ties: lowest threshold).
-double BestF1Threshold(const std::vector<ScoredPair>& scored,
+[[nodiscard]] double BestF1Threshold(const std::vector<ScoredPair>& scored,
                        const std::vector<std::pair<int32_t, int32_t>>& truth,
                        const std::vector<double>& thresholds);
 

@@ -27,7 +27,7 @@ const char* BlockingSchemeName(BlockingScheme scheme);
 
 /// Computes the blocking keys of `text` under `scheme` (kNone yields one
 /// universal key so everything lands in a single block).
-std::vector<std::string> BlockingKeys(BlockingScheme scheme, std::string_view text);
+[[nodiscard]] std::vector<std::string> BlockingKeys(BlockingScheme scheme, std::string_view text);
 
 /// Sorted-neighborhood method: items are ordered by a sorting key (here
 /// the normalized token-sorted text) and every pair within a sliding
@@ -36,7 +36,7 @@ std::vector<std::string> BlockingKeys(BlockingScheme scheme, std::string_view te
 /// rarely separate true pairs; the candidate count is ~n·(window-1)/2 by
 /// construction. Returns sorted unique (i, j) pairs with i < j being
 /// *item ids*, not positions.
-std::vector<std::pair<int32_t, int32_t>> SortedNeighborhoodPairs(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> SortedNeighborhoodPairs(
     const std::vector<std::string>& texts, size_t window);
 
 /// Accumulates (key, item) assignments and enumerates candidate pairs.

@@ -24,18 +24,18 @@ struct GroupCandidateStats {
 };
 
 /// Every unordered pair (i < j) of `num_groups` groups.
-std::vector<std::pair<int32_t, int32_t>> AllGroupPairs(int32_t num_groups);
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> AllGroupPairs(int32_t num_groups);
 
 /// Group candidates via the prefix-filter Jaccard self-join over record
 /// token sets at `record_threshold` (see index/prefix_filter.h).
 /// `record_group[r]` maps record r to its group id in [0, num_groups).
-std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromRecordJoin(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromRecordJoin(
     const std::vector<std::vector<int32_t>>& record_tokens,
     const std::vector<int32_t>& record_group, int32_t num_tokens, int32_t num_groups,
     double record_threshold, GroupCandidateStats* stats = nullptr);
 
 /// Group candidates via a Blocker over record texts.
-std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromBlocking(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromBlocking(
     BlockingScheme scheme, const std::vector<std::string>& record_texts,
     const std::vector<int32_t>& record_group, int32_t num_groups,
     GroupCandidateStats* stats = nullptr);
@@ -44,7 +44,7 @@ std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromBlocking(
 /// (see index/minhash.h). Probabilistic: qualifying pairs can be missed
 /// with small probability, but the cost is insensitive to token-frequency
 /// skew. `record_group[r]` maps records to groups.
-std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromMinHash(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromMinHash(
     const std::vector<std::vector<int32_t>>& record_tokens,
     const std::vector<int32_t>& record_group, size_t bands, size_t rows_per_band,
     GroupCandidateStats* stats = nullptr);
@@ -54,7 +54,7 @@ std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromMinHash(
 /// are candidates iff their labels share a blocking key. Aggressive
 /// schemes (kFirstToken) trade recall for far smaller candidate sets;
 /// benchmark E8 quantifies the trade-off.
-std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromLabelBlocking(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> GroupCandidatesFromLabelBlocking(
     BlockingScheme scheme, const std::vector<std::string>& group_labels,
     GroupCandidateStats* stats = nullptr);
 

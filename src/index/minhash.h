@@ -43,12 +43,12 @@ class MinHasher {
 /// least one band become candidates. Signatures must all come from the
 /// same MinHasher. `bands * rows_per_band` must not exceed the signature
 /// length. Returns sorted unique (i, j) pairs, i < j.
-std::vector<std::pair<int32_t, int32_t>> LshCandidatePairs(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> LshCandidatePairs(
     const std::vector<std::vector<uint64_t>>& signatures, size_t bands,
     size_t rows_per_band);
 
 /// Convenience: signatures + banding over token-id documents.
-std::vector<std::pair<int32_t, int32_t>> MinHashSelfJoin(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> MinHashSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, size_t bands,
     size_t rows_per_band, uint64_t seed = 17);
 

@@ -26,12 +26,12 @@ class ExecutionContext;
 
 /// Returns the number of prefix tokens to index for a set of `size`
 /// elements under Jaccard threshold `t` (0 for an empty set).
-size_t JaccardPrefixLength(size_t size, double t);
+[[nodiscard]] size_t JaccardPrefixLength(size_t size, double t);
 
 /// A global token order: token ids sorted by ascending frequency in
 /// `documents` (ties by id). Returns rank[token_id] for dense token ids in
 /// [0, num_tokens).
-std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& documents,
+[[nodiscard]] std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& documents,
                                  int32_t num_tokens);
 
 /// Candidate pairs (i < j) of documents that may satisfy
@@ -41,7 +41,7 @@ std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& docume
 /// [0, num_tokens). Applies both the prefix filter and the length filter
 /// (|y| >= t * |x|). The result is sorted and deduplicated; it is a
 /// superset of the true result and typically far smaller than all pairs.
-std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold);
 
@@ -83,7 +83,7 @@ size_t PrefixFilterSelfJoinSharded(
 
 /// Reference implementation: all pairs with exact Jaccard >= threshold.
 /// O(n²); used by tests and as the no-index baseline in benchmarks.
-std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, double threshold);
 
 }  // namespace grouplink

@@ -19,7 +19,7 @@ namespace grouplink {
 /// Hungarian matcher and as the classic alternative engine for the refine
 /// step — often faster in practice on dense graphs despite the same
 /// worst-case bound (benchmarked in bench_micro_matching).
-Matching AuctionMaxWeightMatching(const BipartiteGraph& graph,
+[[nodiscard]] Matching AuctionMaxWeightMatching(const BipartiteGraph& graph,
                                   double epsilon = 1e-7);
 
 }  // namespace grouplink

@@ -25,16 +25,16 @@ class BipartiteGraph {
   /// matching algorithms will effectively use the heaviest one.
   void AddEdge(int32_t left, int32_t right, double weight);
 
-  int32_t num_left() const { return num_left_; }
-  int32_t num_right() const { return num_right_; }
-  const std::vector<BipartiteEdge>& edges() const { return edges_; }
+  [[nodiscard]] int32_t num_left() const { return num_left_; }
+  [[nodiscard]] int32_t num_right() const { return num_right_; }
+  [[nodiscard]] const std::vector<BipartiteEdge>& edges() const { return edges_; }
 
   /// Indexes of edges incident to left node `left`.
-  const std::vector<int32_t>& LeftAdjacency(int32_t left) const;
+  [[nodiscard]] const std::vector<int32_t>& LeftAdjacency(int32_t left) const;
 
   /// Dense weight matrix W[l][r] (0 where no edge; max over duplicates).
   /// O(num_left × num_right) space — callers keep groups to matchable size.
-  std::vector<std::vector<double>> ToDenseWeights() const;
+  [[nodiscard]] std::vector<std::vector<double>> ToDenseWeights() const;
 
  private:
   int32_t num_left_;
@@ -64,7 +64,7 @@ struct Matching {
   void RecomputeTotals(const std::vector<std::vector<double>>& weights);
 
   /// True if the pair arrays are mutually consistent.
-  bool IsConsistent() const;
+  [[nodiscard]] bool IsConsistent() const;
 };
 
 }  // namespace grouplink

@@ -15,7 +15,7 @@ namespace grouplink {
 ///
 /// This is the cheap matching behind the group measure's greedy lower
 /// bound and the fast path of the filter-and-refine pipeline.
-Matching GreedyMaxWeightMatching(const BipartiteGraph& graph);
+[[nodiscard]] Matching GreedyMaxWeightMatching(const BipartiteGraph& graph);
 
 }  // namespace grouplink
 

@@ -12,7 +12,7 @@ namespace grouplink {
 /// Used for the binary-similarity case, where BM degenerates to Jaccard
 /// and only the matching's *size* matters, and as a cardinality oracle in
 /// tests and the bound analyses.
-Matching HopcroftKarpMatching(const BipartiteGraph& graph);
+[[nodiscard]] Matching HopcroftKarpMatching(const BipartiteGraph& graph);
 
 }  // namespace grouplink
 

@@ -24,12 +24,12 @@ class ExecutionContext;
 /// Complexity: O(n² · m) time with n = min side size, m = max side size,
 /// O(n · m) space (dense weight matrix). This is the "refine" workhorse of
 /// the group linkage measure BM.
-Matching HungarianMaxWeightMatching(const BipartiteGraph& graph,
+[[nodiscard]] Matching HungarianMaxWeightMatching(const BipartiteGraph& graph,
                                     const ExecutionContext* ctx = nullptr);
 
 /// As above, operating directly on a dense weight matrix
 /// (weights[l][r] == 0 means "no edge"). Exposed for benchmarks.
-Matching HungarianMaxWeightMatchingDense(
+[[nodiscard]] Matching HungarianMaxWeightMatchingDense(
     const std::vector<std::vector<double>>& weights,
     const ExecutionContext* ctx = nullptr);
 

@@ -22,7 +22,7 @@ namespace grouplink {
 /// test suite).
 ///
 /// O(ν · V · E) time — fine for group-sized graphs.
-std::vector<double> MaxWeightByCardinality(const BipartiteGraph& graph);
+[[nodiscard]] std::vector<double> MaxWeightByCardinality(const BipartiteGraph& graph);
 
 /// The exact maximizer of the normalized group score over *all* matchings
 /// (the BM* variant):
@@ -33,7 +33,7 @@ std::vector<double> MaxWeightByCardinality(const BipartiteGraph& graph);
 /// BM uses the maximum-weight matching's cardinality, which under ties
 /// can under-count matched pairs; BM* is tie-proof and upper-bounds BM.
 /// Returns 1 when both sizes are 0 and 0 when exactly one is.
-double MaxNormalizedMatchingScore(const BipartiteGraph& graph, int32_t size_left,
+[[nodiscard]] double MaxNormalizedMatchingScore(const BipartiteGraph& graph, int32_t size_left,
                                   int32_t size_right);
 
 }  // namespace grouplink

@@ -62,7 +62,7 @@ ExprPtr Div(ExprPtr a, ExprPtr b);  // NULL on division by zero.
 ExprPtr Udf(std::string name, std::function<Value(const Row&)> fn);
 
 /// Adapts an expression to a Filter predicate (NULL / 0 -> false).
-std::function<bool(const Row&)> AsPredicate(ExprPtr expression);
+[[nodiscard]] std::function<bool(const Row&)> AsPredicate(ExprPtr expression);
 
 /// Adapts an expression to a Project column.
 ProjectColumn AsProjection(ExprPtr expression, std::string name, ColumnType type);

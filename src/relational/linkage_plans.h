@@ -68,7 +68,7 @@ Table SqlUpperBoundScores(const Table& edges, const Table& group_sizes);
 /// `theta`, SQL UB aggregation, and the Θ filter. Returns the group pairs
 /// whose UB clears `group_threshold` — the SQL rendition of the filter
 /// phase, whose survivors the native refine step would then process.
-std::vector<std::pair<int32_t, int32_t>> SqlUpperBoundFilter(
+[[nodiscard]] std::vector<std::pair<int32_t, int32_t>> SqlUpperBoundFilter(
     const Dataset& dataset, const RecordSimFn& sim, double theta,
     double group_threshold, int64_t min_overlap = 1);
 

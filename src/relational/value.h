@@ -15,10 +15,12 @@ class Value {
  public:
   /// NULL value.
   Value() : data_(std::monostate{}) {}
-  Value(int64_t v) : data_(v) {}             // NOLINT(runtime/explicit)
-  Value(double v) : data_(v) {}              // NOLINT(runtime/explicit)
-  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
-  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  // NOLINT(runtime/explicit): implicit by design so relational literals read
+  // naturally, e.g. `row.Set("age", 42)`.
+  Value(int64_t v) : data_(v) {}                   // NOLINT(runtime/explicit): see above
+  Value(double v) : data_(v) {}                    // NOLINT(runtime/explicit): see above
+  Value(std::string v) : data_(std::move(v)) {}    // NOLINT(runtime/explicit): see above
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit): see above
 
   bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
   bool is_int() const { return std::holds_alternative<int64_t>(data_); }

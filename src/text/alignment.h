@@ -14,18 +14,18 @@ struct AlignmentScores {
 
 /// Needleman-Wunsch global alignment score of two strings under `scores`.
 /// O(|a|·|b|) time, O(min) space.
-double NeedlemanWunschScore(std::string_view a, std::string_view b,
+[[nodiscard]] double NeedlemanWunschScore(std::string_view a, std::string_view b,
                             const AlignmentScores& scores = {});
 
 /// Smith-Waterman local alignment score (best-scoring substring pair;
 /// never negative).
-double SmithWatermanScore(std::string_view a, std::string_view b,
+[[nodiscard]] double SmithWatermanScore(std::string_view a, std::string_view b,
                           const AlignmentScores& scores = {});
 
 /// Global alignment similarity normalized to [0, 1]:
 /// max(0, NW(a, b)) / max(|a|, |b|) under the default scores, so identical
 /// strings score 1 and unrelated strings 0. Two empty strings score 1.
-double AlignmentSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double AlignmentSimilarity(std::string_view a, std::string_view b);
 
 }  // namespace grouplink
 

@@ -8,20 +8,20 @@ namespace grouplink {
 
 /// Levenshtein edit distance (insertions, deletions, substitutions each
 /// cost 1). O(|a|·|b|) time, O(min(|a|,|b|)) space.
-size_t LevenshteinDistance(std::string_view a, std::string_view b);
+[[nodiscard]] size_t LevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Levenshtein distance with early exit: returns `bound + 1` as soon as the
 /// distance provably exceeds `bound`. Uses a banded computation,
 /// O(bound · min(|a|,|b|)) time.
-size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b, size_t bound);
+[[nodiscard]] size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b, size_t bound);
 
 /// Damerau-Levenshtein distance (additionally counts adjacent
 /// transpositions as one edit; restricted/optimal-string-alignment form).
-size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+[[nodiscard]] size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
 
 /// Normalized edit similarity 1 - distance / max(|a|,|b|), in [0, 1].
 /// Two empty strings have similarity 1.
-double LevenshteinSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double LevenshteinSimilarity(std::string_view a, std::string_view b);
 
 }  // namespace grouplink
 

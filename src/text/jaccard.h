@@ -12,26 +12,26 @@ namespace grouplink {
 /// defined to have similarity 1 (identical), an empty vs non-empty set 0.
 
 /// |A ∩ B| computed by a linear merge; both inputs must be sorted sets.
-size_t SortedIntersectionSize(const std::vector<std::string>& a,
+[[nodiscard]] size_t SortedIntersectionSize(const std::vector<std::string>& a,
                               const std::vector<std::string>& b);
 
 /// Jaccard coefficient |A∩B| / |A∪B|.
-double JaccardSimilarity(const std::vector<std::string>& a,
+[[nodiscard]] double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
 
 /// Dice coefficient 2|A∩B| / (|A|+|B|).
-double DiceSimilarity(const std::vector<std::string>& a,
+[[nodiscard]] double DiceSimilarity(const std::vector<std::string>& a,
                       const std::vector<std::string>& b);
 
 /// Overlap coefficient |A∩B| / min(|A|,|B|).
-double OverlapSimilarity(const std::vector<std::string>& a,
+[[nodiscard]] double OverlapSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
 
 /// Convenience: Jaccard over word tokens of two raw strings.
-double TokenJaccard(std::string_view a, std::string_view b);
+[[nodiscard]] double TokenJaccard(std::string_view a, std::string_view b);
 
 /// Convenience: Jaccard over padded character q-gram sets of two strings.
-double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+[[nodiscard]] double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
 
 }  // namespace grouplink
 

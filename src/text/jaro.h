@@ -8,12 +8,12 @@ namespace grouplink {
 /// Jaro similarity in [0, 1]: based on the number of matching characters
 /// within a sliding window and the number of transpositions among them.
 /// Two empty strings have similarity 1; empty vs non-empty 0.
-double JaroSimilarity(std::string_view a, std::string_view b);
+[[nodiscard]] double JaroSimilarity(std::string_view a, std::string_view b);
 
 /// Jaro-Winkler similarity: boosts Jaro by up to 4 characters of common
 /// prefix. `prefix_scale` is Winkler's p (default 0.1, must be <= 0.25 so
 /// the result stays in [0, 1]).
-double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+[[nodiscard]] double JaroWinklerSimilarity(std::string_view a, std::string_view b,
                              double prefix_scale = 0.1);
 
 }  // namespace grouplink

@@ -14,20 +14,20 @@ using TokenSimilarityFn = std::function<double(std::string_view, std::string_vie
 /// Directed Monge-Elkan similarity:
 ///   ME(A -> B) = (1/|A|) Σ_{a ∈ A} max_{b ∈ B} inner(a, b).
 /// Empty A vs empty B is 1; empty vs non-empty is 0.
-double MongeElkanDirected(const std::vector<std::string>& a,
+[[nodiscard]] double MongeElkanDirected(const std::vector<std::string>& a,
                           const std::vector<std::string>& b,
                           const TokenSimilarityFn& inner);
 
 /// Symmetric Monge-Elkan: mean of the two directed scores. Good at
 /// matching multi-token names where token order and count differ
 /// ("ullman jeffrey d" vs "j ullman").
-double MongeElkanSimilarity(const std::vector<std::string>& a,
+[[nodiscard]] double MongeElkanSimilarity(const std::vector<std::string>& a,
                             const std::vector<std::string>& b,
                             const TokenSimilarityFn& inner);
 
 /// Convenience: symmetric Monge-Elkan over word tokens of raw strings with
 /// Jaro-Winkler as the inner measure.
-double MongeElkanJaroWinkler(std::string_view a, std::string_view b);
+[[nodiscard]] double MongeElkanJaroWinkler(std::string_view a, std::string_view b);
 
 }  // namespace grouplink
 

@@ -25,7 +25,7 @@ enum class FieldMeasure {
 /// Evaluates one FieldMeasure on a pair of field values.
 /// `numeric_scale` applies to kNumericAbs only (difference at which the
 /// similarity reaches 0). Unparseable numeric values score 0 unless equal.
-double FieldSimilarity(FieldMeasure measure, std::string_view a, std::string_view b,
+[[nodiscard]] double FieldSimilarity(FieldMeasure measure, std::string_view a, std::string_view b,
                        double numeric_scale = 1.0);
 
 /// One field's contribution to a composite record similarity.

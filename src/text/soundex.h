@@ -10,7 +10,7 @@ namespace grouplink {
 /// ("Robert" -> "R163"). Non-ASCII-alpha characters are ignored; an input
 /// with no letters yields the empty string. Used as a phonetic blocking key
 /// for person names.
-std::string Soundex(std::string_view word);
+[[nodiscard]] std::string Soundex(std::string_view word);
 
 }  // namespace grouplink
 

@@ -20,17 +20,17 @@ struct SparseVector {
 };
 
 /// Euclidean norm of `v`.
-double L2Norm(const SparseVector& v);
+[[nodiscard]] double L2Norm(const SparseVector& v);
 
 /// Scales `v` in place to unit norm (no-op for the zero vector).
 void L2Normalize(SparseVector& v);
 
 /// Dot product of two id-sorted sparse vectors (linear merge).
-double DotProduct(const SparseVector& a, const SparseVector& b);
+[[nodiscard]] double DotProduct(const SparseVector& a, const SparseVector& b);
 
 /// Cosine similarity; 0 if either vector is zero, except two *empty*
 /// vectors which compare equal (1), matching the set-measure conventions.
-double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+[[nodiscard]] double CosineSimilarity(const SparseVector& a, const SparseVector& b);
 
 /// Turns token lists into L2-normalized TF-IDF vectors against a
 /// Vocabulary built over the corpus.
@@ -65,7 +65,7 @@ class ThreadPool;
 /// of the streaming linker: after corpus statistics change, the whole
 /// vector store is rebuilt in one pass without re-tokenizing any text.
 /// Output is bit-identical at any thread count.
-std::vector<SparseVector> RecomputeVectors(
+[[nodiscard]] std::vector<SparseVector> RecomputeVectors(
     const Vocabulary& vocabulary,
     const std::vector<std::vector<std::string>>& raw_tokens,
     ThreadPool* pool = nullptr);

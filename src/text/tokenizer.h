@@ -20,19 +20,19 @@ struct TokenizerOptions {
 
 /// Splits `text` into word tokens under `options`.
 /// "Dr. J. Ullman" -> {"dr", "j", "ullman"} with defaults.
-std::vector<std::string> Tokenize(std::string_view text,
+[[nodiscard]] std::vector<std::string> Tokenize(std::string_view text,
                                   const TokenizerOptions& options = {});
 
 /// Returns the multiset of character q-grams of `text` (after optional
 /// lowercasing), padded with `pad` (q-1 copies) on both ends when
 /// `pad != '\0'`. For text shorter than q with no padding, returns the
 /// whole text as a single gram (if non-empty).
-std::vector<std::string> CharacterQGrams(std::string_view text, size_t q,
+[[nodiscard]] std::vector<std::string> CharacterQGrams(std::string_view text, size_t q,
                                          bool lowercase = true, char pad = '\0');
 
 /// Deduplicates and sorts tokens, producing a set representation suitable
 /// for Jaccard / overlap computations.
-std::vector<std::string> ToTokenSet(std::vector<std::string> tokens);
+[[nodiscard]] std::vector<std::string> ToTokenSet(std::vector<std::string> tokens);
 
 }  // namespace grouplink
 

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <utility>
 
 namespace grouplink {
 namespace {
@@ -88,6 +90,24 @@ TEST(ResultTest, ArrowOperator) {
   EXPECT_EQ(r->size(), 3u);
 }
 
+TEST(ResultTest, ValueOnErrorAbortsWithCarriedMessage) {
+  // The hardened precondition: value() on an error Result dies with the
+  // carried Status rendered in the failure message, not an opaque variant
+  // exception.
+  Result<int> r = Status::NotFound("no such shard");
+  EXPECT_DEATH((void)r.value(), "Result::value\\(\\) on error Result.*"
+                                "NotFound: no such shard");
+  const Result<int>& cr = r;
+  EXPECT_DEATH((void)cr.value(), "NotFound: no such shard");
+  EXPECT_DEATH((void)std::move(r).value(), "NotFound: no such shard");
+}
+
+TEST(ResultTest, DereferenceOnErrorAborts) {
+  Result<std::string> r = Status::IoError("disk gone");
+  EXPECT_DEATH((void)r->size(), "IoError: disk gone");
+  EXPECT_DEATH((void)*r, "IoError: disk gone");
+}
+
 Status FailingOperation() { return Status::IoError("disk"); }
 
 Status Propagates() {
@@ -97,6 +117,59 @@ Status Propagates() {
 
 TEST(StatusMacroTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(Propagates().code(), StatusCode::kIoError);
+}
+
+Result<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("not positive");
+  return raw;
+}
+
+Result<int> DoubleOf(int raw) {
+  GL_ASSIGN_OR_RETURN(const int parsed, ParsePositive(raw));
+  return parsed * 2;
+}
+
+Status SumInto(int raw_a, int raw_b, int* out) {
+  // Two uses in one scope: the __LINE__-suffixed temporaries must not
+  // collide, and an existing variable works as the lhs.
+  GL_ASSIGN_OR_RETURN(int a, ParsePositive(raw_a));
+  int b = 0;
+  GL_ASSIGN_OR_RETURN(b, ParsePositive(raw_b));
+  *out = a + b;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsValue) {
+  const Result<int> doubled = DoubleOf(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesError) {
+  const Result<int> doubled = DoubleOf(-1);
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(doubled.status().message(), "not positive");
+}
+
+TEST(StatusMacroTest, AssignOrReturnTwiceInOneScope) {
+  int sum = 0;
+  ASSERT_TRUE(SumInto(19, 23, &sum).ok());
+  EXPECT_EQ(sum, 42);
+  EXPECT_EQ(SumInto(1, -5, &sum).code(), StatusCode::kInvalidArgument);
+}
+
+Result<std::unique_ptr<int>> MakeBox(int raw) {
+  GL_ASSIGN_OR_RETURN(std::unique_ptr<int> box,
+                      Result<std::unique_ptr<int>>(std::make_unique<int>(raw)));
+  *box += 1;
+  return box;
+}
+
+TEST(StatusMacroTest, AssignOrReturnMovesMoveOnlyValue) {
+  Result<std::unique_ptr<int>> box = MakeBox(41);
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(**box, 42);
 }
 
 }  // namespace

@@ -83,7 +83,8 @@ TEST(FilterRefineTest, StatsPartitionCandidates) {
   config.theta = 0.5;
   config.group_threshold = 0.4;
   FilterRefineStats stats;
-  FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
+  // Stats side channel is the subject under test; the link set is not.
+  (void)FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
   EXPECT_EQ(stats.candidates, candidates.size());
   EXPECT_EQ(stats.candidates, stats.empty_graphs + stats.pruned_by_upper_bound +
                                   stats.accepted_by_lower_bound + stats.refined);
@@ -97,7 +98,8 @@ TEST(FilterRefineTest, BoundsActuallyPruneAndAccept) {
   config.theta = 0.5;
   config.group_threshold = 0.4;
   FilterRefineStats stats;
-  FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
+  // Stats side channel is the subject under test; the link set is not.
+  (void)FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
   // On random data at these thresholds both bound paths should fire, and
   // refine should handle strictly fewer pairs than the candidate count.
   EXPECT_GT(stats.pruned_by_upper_bound + stats.empty_graphs, 0u);
@@ -114,7 +116,8 @@ TEST(FilterRefineTest, DisablingBoundsForcesRefine) {
   config.use_upper_bound_filter = false;
   config.use_lower_bound_accept = false;
   FilterRefineStats stats;
-  FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
+  // Stats side channel is the subject under test; the link set is not.
+  (void)FilterRefineLink(instance.dataset, instance.SimFn(), candidates, config, &stats);
   EXPECT_EQ(stats.pruned_by_upper_bound, 0u);
   EXPECT_EQ(stats.accepted_by_lower_bound, 0u);
   EXPECT_EQ(stats.refined + stats.empty_graphs, stats.candidates);
