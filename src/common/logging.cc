@@ -37,6 +37,14 @@ void SetMinLogLevel(LogLevel level) { g_min_level.store(level); }
 
 LogLevel MinLogLevel() { return g_min_level.load(); }
 
+bool DchecksEnabled() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {

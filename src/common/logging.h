@@ -14,6 +14,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
 
+/// True when the library was compiled with GL_DCHECK active (!NDEBUG).
+/// Tests use this to run contract death tests only in builds where the
+/// contracts exist; Release builds compile them out entirely.
+bool DchecksEnabled();
+
 namespace internal {
 
 /// Accumulates one log line and emits it (to stderr) on destruction.
@@ -69,10 +74,28 @@ struct LogMessageVoidify {
 #define GL_CHECK_GT(a, b) GL_CHECK_OP(>, a, b)
 #define GL_CHECK_GE(a, b) GL_CHECK_OP(>=, a, b)
 
+/// Debug-only contracts: active when NDEBUG is not defined, compiled to
+/// nothing (condition and stream operands unevaluated, folded away) in
+/// Release builds. Use for hot-path invariants whose checks would cost
+/// real time: posting-list sortedness, cost-matrix shape, bound ordering.
+/// Invariants cheap enough to keep in Release stay GL_CHECK.
+///
+/// Expensive predicates belong in a helper function referenced from the
+/// condition — `GL_DCHECK(PostingsSorted(list))` — so the Release build
+/// carries no scan loop at the call site.
 #ifdef NDEBUG
 #define GL_DCHECK(condition) GL_CHECK(true || (condition))
+#define GL_DCHECK_OP(op, a, b) GL_DCHECK((a)op(b))
 #else
 #define GL_DCHECK(condition) GL_CHECK(condition)
+#define GL_DCHECK_OP(op, a, b) GL_CHECK_OP(op, a, b)
 #endif
+
+#define GL_DCHECK_EQ(a, b) GL_DCHECK_OP(==, a, b)
+#define GL_DCHECK_NE(a, b) GL_DCHECK_OP(!=, a, b)
+#define GL_DCHECK_LT(a, b) GL_DCHECK_OP(<, a, b)
+#define GL_DCHECK_LE(a, b) GL_DCHECK_OP(<=, a, b)
+#define GL_DCHECK_GT(a, b) GL_DCHECK_OP(>, a, b)
+#define GL_DCHECK_GE(a, b) GL_DCHECK_OP(>=, a, b)
 
 #endif  // GROUPLINK_COMMON_LOGGING_H_

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 
 namespace grouplink {
 namespace {
+
+// Filter-and-refine is only sound if the upper bound really bounds the
+// refined measure (a pair pruned by UB must never have linked). Epsilon
+// absorbs the different summation orders of the two computations.
+constexpr double kBoundSlack = 1e-9;
 
 // Outcome category of one candidate pair. kSkipped is the preallocated
 // default, so a pair a stop request prevented from running stays in a
@@ -62,8 +68,14 @@ Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
     if (timing != nullptr) timing->seconds_refine += timer.ElapsedSeconds();
     return link ? Decision::kDegradedLink : Decision::kDegradedNoLink;
   }
-  const bool link =
-      BmMeasure(graph, size_left, size_right, ctx).value >= config.group_threshold;
+  const double refined = BmMeasure(graph, size_left, size_right, ctx).value;
+  // Even a stop-degraded partial matching weighs at most the optimum, so
+  // the upper bound must dominate the refined value unconditionally.
+  GL_DCHECK_LE(refined,
+               UpperBoundMeasure(graph, size_left, size_right) + kBoundSlack)
+      << "upper bound does not dominate refined BM for pair (" << g1 << ", "
+      << g2 << ")";
+  const bool link = refined >= config.group_threshold;
   if (timing != nullptr) timing->seconds_refine += timer.ElapsedSeconds();
   return link ? Decision::kRefinedLink : Decision::kRefinedNoLink;
 }

@@ -159,6 +159,10 @@ std::vector<IncrementalLinker::AddResult> IncrementalLinker::AddGroups(
   WallTimer timer;
   auto& metrics = IncrementalMetrics::Get();
 
+  // Arrival scoring is frozen to one epoch: nothing below may advance it
+  // until the explicit policy-triggered Refresh at the end.
+  [[maybe_unused]] const int64_t arrival_epoch = epoch_;
+
   const size_t batch_size = batch.size();
   size_t batch_records = 0;
   for (const GroupArrival& arrival : batch) {
@@ -326,9 +330,11 @@ std::vector<IncrementalLinker::AddResult> IncrementalLinker::AddGroups(
   metrics.oov_ratio.Set(EpochOovRatio());
   metrics.arrival_seconds.Observe(timer.ElapsedSeconds());
 
+  GL_DCHECK_EQ(epoch_, arrival_epoch);
   if (PolicyWantsRefresh()) {
     for (AddResult& result : results) result.triggered_refresh = true;
     Refresh();
+    GL_DCHECK_EQ(epoch_, arrival_epoch + 1);
   }
   return results;
 }
@@ -468,6 +474,10 @@ void IncrementalLinker::Refresh() {
   GL_TRACE_SPAN("incremental.refresh");
   WallTimer timer;
   auto& metrics = IncrementalMetrics::Get();
+  // Epoch contract: only Refresh advances the epoch, by exactly one —
+  // arrivals between refreshes are all scored against one frozen epoch.
+  [[maybe_unused]] const int64_t entry_epoch = epoch_;
+  GL_DCHECK_GE(entry_epoch, 0);
 
   token_index_.Compact();
 
@@ -482,6 +492,7 @@ void IncrementalLinker::Refresh() {
   }
   // Dead records have empty token lists, so they get empty vectors.
   record_vectors_ = RecomputeVectors(epoch_vocab_, record_raw_tokens_, pool());
+  GL_DCHECK_EQ(record_vectors_.size(), n);
 
   // Candidates from the maintained postings: live groups sharing a token.
   // Per-record neighbor lists are gathered in parallel into slots; the
@@ -532,6 +543,7 @@ void IncrementalLinker::Refresh() {
   RebuildClusters();
 
   ++epoch_;
+  GL_DCHECK_EQ(epoch_, entry_epoch + 1);
   groups_since_refresh_ = 0;
   oov_since_refresh_ = 0;
   tokens_since_refresh_ = 0;

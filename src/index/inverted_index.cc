@@ -7,8 +7,10 @@
 namespace grouplink {
 
 int32_t InvertedIndex::AddDocument(std::vector<int32_t> token_ids) {
-  GL_DCHECK(std::is_sorted(token_ids.begin(), token_ids.end()));
-  GL_DCHECK(std::adjacent_find(token_ids.begin(), token_ids.end()) == token_ids.end());
+  GL_DCHECK(std::is_sorted(token_ids.begin(), token_ids.end()))
+      << "document token ids must be sorted";
+  GL_DCHECK(std::adjacent_find(token_ids.begin(), token_ids.end()) == token_ids.end())
+      << "document token ids must be unique";
   const int32_t doc_id = static_cast<int32_t>(documents_.size());
   for (const int32_t token : token_ids) {
     postings_[token].push_back(doc_id);
@@ -16,6 +18,14 @@ int32_t InvertedIndex::AddDocument(std::vector<int32_t> token_ids) {
   documents_.push_back(std::move(token_ids));
   removed_.push_back(0);
   return doc_id;
+}
+
+bool InvertedIndex::PostingsAreSorted() const {
+  for (const auto& [token, list] : postings_) {
+    if (!std::is_sorted(list.begin(), list.end())) return false;
+    if (std::adjacent_find(list.begin(), list.end()) != list.end()) return false;
+  }
+  return true;
 }
 
 void InvertedIndex::RemoveDocument(int32_t doc) {
@@ -48,6 +58,7 @@ void InvertedIndex::Compact() {
       documents_[doc].shrink_to_fit();
     }
   }
+  GL_DCHECK(PostingsAreSorted()) << "Compact() must preserve posting order";
 }
 
 const std::vector<int32_t>& InvertedIndex::Postings(int32_t token) const {

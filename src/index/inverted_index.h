@@ -26,11 +26,11 @@ class InvertedIndex {
   void RemoveDocument(int32_t doc);
 
   /// True if `doc` was tombstoned by RemoveDocument.
-  bool IsRemoved(int32_t doc) const;
+  [[nodiscard]] bool IsRemoved(int32_t doc) const;
 
   /// Documents tombstoned since construction (compaction keeps the count;
   /// removed ids stay dead forever).
-  int32_t num_removed() const { return num_removed_; }
+  [[nodiscard]] int32_t num_removed() const { return num_removed_; }
 
   /// Erases every tombstoned document's posting entries and token list,
   /// reclaiming the space. Postings stay sorted by document id.
@@ -38,22 +38,28 @@ class InvertedIndex {
 
   /// Documents containing `token` (empty list if none). May include
   /// tombstoned ids until Compact().
-  const std::vector<int32_t>& Postings(int32_t token) const;
+  [[nodiscard]] const std::vector<int32_t>& Postings(int32_t token) const;
 
   /// Number of documents containing `token` (including tombstoned ones
   /// until Compact()).
-  int64_t DocumentFrequency(int32_t token) const;
+  [[nodiscard]] int64_t DocumentFrequency(int32_t token) const;
 
   /// Token set of a document (as passed to AddDocument).
-  const std::vector<int32_t>& DocumentTokens(int32_t doc) const;
+  [[nodiscard]] const std::vector<int32_t>& DocumentTokens(int32_t doc) const;
 
-  int32_t num_documents() const { return static_cast<int32_t>(documents_.size()); }
+  [[nodiscard]] int32_t num_documents() const { return static_cast<int32_t>(documents_.size()); }
 
   /// Returns document ids sharing at least one token with `token_ids`,
   /// sorted and deduplicated (includes the probe document itself if it was
   /// added). Tombstoned documents never appear. The basic token-blocking
   /// primitive.
-  std::vector<int32_t> DocumentsSharingToken(const std::vector<int32_t>& token_ids) const;
+  [[nodiscard]] std::vector<int32_t> DocumentsSharingToken(const std::vector<int32_t>& token_ids) const;
+
+  /// Contract predicate: every posting list is sorted by document id with
+  /// no duplicates. Always true for a correctly maintained index (ids are
+  /// appended in order and Compact preserves order); GL_DCHECKed after
+  /// mutations and exposed so tests can assert it directly.
+  [[nodiscard]] bool PostingsAreSorted() const;
 
  private:
   std::unordered_map<int32_t, std::vector<int32_t>> postings_;

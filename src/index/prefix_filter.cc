@@ -28,6 +28,25 @@ Counter& PostingsCounter() {
   return counter;
 }
 
+// Contract predicates for GL_DCHECK. Join inputs must be sorted-unique
+// token sets: duplicates skew the rarity ranks and break the linear-merge
+// Jaccard verify; disorder breaks the prefix selection. Posting lists in
+// the shared index must stay ascending for the `other < d` probe cut.
+bool DocumentsAreSortedSets(const std::vector<std::vector<int32_t>>& documents) {
+  for (const auto& doc : documents) {
+    if (!std::is_sorted(doc.begin(), doc.end())) return false;
+    if (std::adjacent_find(doc.begin(), doc.end()) != doc.end()) return false;
+  }
+  return true;
+}
+
+bool PostingListsAscending(const std::vector<std::vector<int32_t>>& index) {
+  for (const auto& list : index) {
+    if (!std::is_sorted(list.begin(), list.end())) return false;
+  }
+  return true;
+}
+
 // Jaccard over sorted-unique int vectors.
 double JaccardInt(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
   if (a.empty() && b.empty()) return 1.0;
@@ -87,6 +106,7 @@ std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& docume
 std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold) {
+  GL_DCHECK(DocumentsAreSortedSets(documents));
   const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
 
   // Re-express each document in rank space, sorted so the rarest tokens
@@ -133,6 +153,7 @@ std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
 void PrefixFilterSelfJoinStreaming(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, const std::function<void(int32_t, int32_t)>& callback) {
+  GL_DCHECK(DocumentsAreSortedSets(documents));
   const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
 
   std::vector<std::vector<int32_t>> ranked(documents.size());
@@ -180,6 +201,7 @@ size_t PrefixFilterSelfJoinSharded(
     ExecutionContext* ctx) {
   const size_t n = documents.size();
   if (n == 0) return 0;
+  GL_DCHECK(DocumentsAreSortedSets(documents));
   const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
 
   // Rank-space re-expression is independent per document.
@@ -203,6 +225,8 @@ size_t PrefixFilterSelfJoinSharded(
       prefix_index[static_cast<size_t>(ranked[d][k])].push_back(static_cast<int32_t>(d));
     }
   }
+  GL_DCHECK(PostingListsAscending(prefix_index))
+      << "shared prefix index must stay ascending for the other < d cut";
 
   num_shards = std::clamp<size_t>(num_shards, 1, n);
   const size_t shard_size = (n + num_shards - 1) / num_shards;
@@ -257,6 +281,7 @@ size_t PrefixFilterSelfJoinSharded(
 
 std::vector<std::pair<int32_t, int32_t>> BruteForceJaccardSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, double threshold) {
+  GL_DCHECK(DocumentsAreSortedSets(documents));
   std::vector<std::pair<int32_t, int32_t>> result;
   for (size_t i = 0; i < documents.size(); ++i) {
     for (size_t j = i + 1; j < documents.size(); ++j) {

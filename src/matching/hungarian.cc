@@ -1,5 +1,6 @@
 #include "matching/hungarian.h"
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -10,6 +11,21 @@ namespace grouplink {
 namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Contract predicate for GL_DCHECK: every row has exactly `num_right`
+// columns and every weight is finite. A ragged matrix indexes out of
+// bounds inside the solver; a NaN/inf weight corrupts the potentials and
+// produces a silently wrong matching rather than a crash.
+bool WeightsRectangularAndFinite(const std::vector<std::vector<double>>& weights,
+                                 int32_t num_right) {
+  for (const auto& row : weights) {
+    if (static_cast<int32_t>(row.size()) != num_right) return false;
+    for (const double w : row) {
+      if (!std::isfinite(w)) return false;
+    }
+  }
+  return true;
+}
 
 // Solves the rectangular assignment problem: assigns every row (n rows) to
 // a distinct column (m >= n columns) minimizing total cost. Standard
@@ -90,6 +106,8 @@ Matching HungarianMaxWeightMatchingDense(
       num_left == 0 ? 0 : static_cast<int32_t>(weights[0].size());
   Matching result = Matching::Empty(num_left, num_right);
   if (num_left == 0 || num_right == 0) return result;
+  GL_DCHECK(WeightsRectangularAndFinite(weights, num_right))
+      << "Hungarian matcher requires a rectangular, finite weight matrix";
 
   // Orient so that rows are the smaller side (the assignment solver
   // requires n <= m), and negate weights to turn max-weight into min-cost.

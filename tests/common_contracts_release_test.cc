@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+// NDEBUG is forced before including logging.h, so the contract macros in
+// THIS translation unit are always the Release (compiled-out) flavor:
+// conditions and stream operands must not be evaluated at all. This is
+// the zero-cost half of the GL_DCHECK contract — the active half lives in
+// common_contracts_test.cc.
+#define NDEBUG 1
+#include "common/logging.h"
+
+namespace grouplink {
+namespace {
+
+TEST(DcheckCompiledOutTest, ConditionNotEvaluated) {
+  int calls = 0;
+  const auto bump = [&calls] {
+    ++calls;
+    return false;  // Would abort if the contract were active.
+  };
+  GL_DCHECK(bump());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(DcheckCompiledOutTest, ComparisonOperandsNotEvaluated) {
+  int evaluations = 0;
+  const auto value = [&evaluations] {
+    ++evaluations;
+    return 5;
+  };
+  GL_DCHECK_LE(value(), 2);  // 5 <= 2 would abort if active.
+  GL_DCHECK_EQ(value(), 0);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DcheckCompiledOutTest, StreamOperandsNotEvaluated) {
+  int renders = 0;
+  const auto describe = [&renders] {
+    ++renders;
+    return "expensive context";
+  };
+  GL_DCHECK(false) << describe();
+  EXPECT_EQ(renders, 0);
+}
+
+}  // namespace
+}  // namespace grouplink
