@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: enforces grouplink rules generic tools can't.
+
+Rules (ids usable in suppressions):
+  raw-thread      std::thread / std::jthread / std::async anywhere except the
+                  thread_pool implementation. All parallelism must go through
+                  ParallelFor / ThreadPool so determinism, cancellation, and
+                  fault injection keep working.
+  raw-random      rand()/srand()/time()-seeding/std::random_device/std::mt19937
+                  anywhere except common/random.cc. Every random draw must come
+                  from the seeded Rng, or experiments stop being reproducible.
+  raw-stdio       std::cout / std::cerr / printf-to-console inside src/ outside
+                  the logging implementation. Library code reports through
+                  GL_LOG or returned Status values; only bench/example mains own
+                  stdout.
+  include-guard   Header guards must be GROUPLINK_<PATH>_H_ derived from the
+                  file path (src/ stripped), e.g. src/index/minhash.h ->
+                  GROUPLINK_INDEX_MINHASH_H_.
+  bench-exit-code Every bench/bench_e*.cpp must end its main with
+                  `return bench::ExitCode(...)` so CI sees Status failures as
+                  non-zero exits.
+  suppression-reason  NOLINT / gl-lint escapes must carry a reason:
+                  `// NOLINT(check): why` or `// gl-lint: allow(rule) why`.
+
+Suppressions: append `// gl-lint: allow(<rule>) <reason>` (C++) or
+`# gl-lint: allow(<rule>) <reason>` (scripts) to the offending line, or put it
+alone on the line above. Every suppression is counted and the total printed so
+the number stays visible in CI logs.
+
+Usage: check_invariants.py [path ...]   (default: src bench)
+Exit: 0 clean, 1 findings, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp")
+SCRIPT_EXTENSIONS = (".py", ".sh")
+
+GL_ALLOW_RE = re.compile(r"(?://|#)\s*gl-lint:\s*allow\(([\w-]+)\)\s*(.*)")
+NOLINT_RE = re.compile(r"//\s*NOLINT(?:NEXTLINE)?\(([^)]*)\)(.*)")
+
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|jthread|async)\b")
+RAW_RANDOM_RE = re.compile(
+    r"\bstd::(random_device|mt19937(?:_64)?|default_random_engine)\b"
+    r"|(?<![\w:])(?:s?rand)\s*\("
+    r"|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
+RAW_STDIO_RE = re.compile(
+    r"\bstd::(cout|cerr)\b|(?<![\w:.])f?printf\s*\(")
+GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
+
+
+def strip_code(text):
+    """Blanks out string/char literals and comments, preserving newlines.
+
+    Keeps line numbers stable so findings point at real lines, and keeps
+    comment text away from the code rules (comments may legitimately
+    mention printf or std::thread).
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state in ("line_comment",):
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Report:
+    def __init__(self):
+        self.findings = []
+        self.suppressions = []
+
+    def add(self, path, line, rule, message):
+        self.findings.append((path, line, rule, message))
+
+    def suppress(self, path, line, rule, reason):
+        self.suppressions.append((path, line, rule, reason))
+
+
+def collect_allows(raw_lines, report, path):
+    """Maps line number -> set of allowed rules (same line or line above).
+
+    A missing reason is itself a finding: the convention is grepable
+    *because* every escape documents why.
+    """
+    allows = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = GL_ALLOW_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if not reason:
+            report.add(path, idx, "suppression-reason",
+                       "gl-lint allow(%s) has no reason; write "
+                       "'gl-lint: allow(%s) <why>'" % (rule, rule))
+            continue
+        report.suppress(path, idx, rule, reason)
+        targets = [idx]
+        # A standalone marker (only the comment on the line) covers the
+        # next line as well.
+        if line.split("//")[0].split("#")[0].strip() == "":
+            targets.append(idx + 1)
+        for t in targets:
+            allows.setdefault(t, set()).add(rule)
+    return allows
+
+
+def check_nolint_reasons(raw_lines, report, path):
+    for idx, line in enumerate(raw_lines, start=1):
+        m = NOLINT_RE.search(line)
+        if not m:
+            continue
+        trailing = m.group(2).strip()
+        if not trailing.startswith(":") or not trailing.lstrip(": ").strip():
+            report.add(path, idx, "suppression-reason",
+                       "NOLINT(%s) has no reason; write "
+                       "'NOLINT(%s): <why>'" % (m.group(1), m.group(1)))
+        else:
+            report.suppress(path, idx, "NOLINT(%s)" % m.group(1),
+                            trailing.lstrip(": ").strip())
+
+
+def project_relative(path):
+    parts = os.path.normpath(path).split(os.sep)
+    # Interpret the path relative to the nearest src/bench/examples root so
+    # fixture trees (tests/lint_fixtures/src/...) scope exactly like the
+    # real tree.
+    for root in ("src", "bench", "examples"):
+        if root in parts:
+            idx = len(parts) - 1 - parts[::-1].index(root)
+            return root, "/".join(parts[idx + 1:])
+    return None, "/".join(parts)
+
+
+def expected_guard(path):
+    root, rel = project_relative(path)
+    rel = rel if root in (None, "src") else root + "/" + rel
+    return "GROUPLINK_" + re.sub(r"[/.]", "_", rel).upper() + "_"
+
+
+def basename(path):
+    return os.path.basename(path)
+
+
+def lint_cxx(path, report):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.split("\n")
+    allows = collect_allows(raw_lines, report, path)
+    check_nolint_reasons(raw_lines, report, path)
+    code_lines = strip_code(text).split("\n")
+    root, _ = project_relative(path)
+
+    def flag(idx, rule, message):
+        if rule in allows.get(idx, ()):  # Suppressed with a reason.
+            return
+        report.add(path, idx, rule, message)
+
+    in_thread_pool = basename(path).startswith("thread_pool.")
+    in_random = basename(path) in ("random.cc",)
+    in_logging = basename(path).startswith("logging.")
+
+    for idx, line in enumerate(code_lines, start=1):
+        if not in_thread_pool and RAW_THREAD_RE.search(line):
+            flag(idx, "raw-thread",
+                 "raw std::%s; use ThreadPool/ParallelFor (thread_pool.h) so "
+                 "determinism and cancellation hold"
+                 % RAW_THREAD_RE.search(line).group(1))
+        if not in_random and RAW_RANDOM_RE.search(line):
+            flag(idx, "raw-random",
+                 "unseeded/global randomness; draw from grouplink::Rng "
+                 "(common/random.h) for reproducibility")
+        if root == "src" and not in_logging and RAW_STDIO_RE.search(line):
+            flag(idx, "raw-stdio",
+                 "console I/O in library code; use GL_LOG or return Status")
+
+    if path.endswith(".h"):
+        guard = None
+        for line in code_lines:
+            m = GUARD_RE.match(line)
+            if m:
+                guard = m.group(1)
+                break
+        want = expected_guard(path)
+        if guard != want:
+            report.add(path, 1, "include-guard",
+                       "guard %s != expected %s" % (guard or "<missing>", want))
+
+    if re.match(r"bench_e\w*\.cpp$", basename(path)):
+        if "return bench::ExitCode(" not in text:
+            report.add(path, 1, "bench-exit-code",
+                       "bench main must exit via `return bench::ExitCode(...)` "
+                       "so Status failures become non-zero exits")
+
+
+def lint_script(path, report):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().split("\n")
+    collect_allows(raw_lines, report, path)  # Count + reason-check only.
+
+
+def iter_files(paths):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames.sort()
+            for name in sorted(filenames):
+                yield os.path.join(dirpath, name)
+
+
+def main(argv):
+    paths = argv[1:] or ["src", "bench"]
+    for p in paths:
+        if not os.path.exists(p):
+            print("check_invariants: no such path: %s" % p, file=sys.stderr)
+            return 2
+    report = Report()
+    for path in iter_files(paths):
+        if "lint_fixtures" in path and not any("lint_fixtures" in p for p in paths):
+            continue  # Planted violations; linted only by their own test.
+        if path.endswith(CXX_EXTENSIONS):
+            lint_cxx(path, report)
+        elif path.endswith(SCRIPT_EXTENSIONS):
+            lint_script(path, report)
+    for path, line, rule, message in report.findings:
+        print("%s:%d: [%s] %s" % (path, line, rule, message))
+    print("check_invariants: %d finding(s), %d suppression(s) with reasons"
+          % (len(report.findings), len(report.suppressions)))
+    for path, line, rule, reason in report.suppressions:
+        print("  suppressed %s at %s:%d — %s" % (rule, path, line, reason))
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every library
+# translation unit in src/, using a compile_commands.json export.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: build)
+# Needs: clang-tidy on PATH and a configured build dir with
+#        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing;" >&2
+  echo "  configure with: cmake -B $build_dir -S $repo -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(cd "$repo" && find src -name '*.cc' | sort)
+echo "run_clang_tidy: checking ${#sources[@]} translation units"
+
+status=0
+for src in "${sources[@]}"; do
+  clang-tidy -p "$build_dir" --quiet "$repo/$src" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "run_clang_tidy: findings above — fix or suppress with 'NOLINT(check): reason'" >&2
+fi
+exit $status

@@ -1,0 +1,5 @@
+// Planted violation: bench-exit-code. Bench mains must funnel their final
+// Status through bench::ExitCode so failures become non-zero process exits.
+int main() {
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Compile-fail fixture for the `nodiscard_enforced` ctest (WILL_FAIL):
+// dropping a Status on the floor must not compile under -Werror=unused-result.
+#include "common/status.h"
+
+namespace grouplink {
+
+Status MightFail() { return Status::Ok(); }
+
+void Caller() {
+  MightFail();  // Discarded [[nodiscard]] Status — the point of the test.
+}
+
+}  // namespace grouplink

@@ -1,0 +1,10 @@
+// Planted violation: include-guard. The guard below does not match the
+// GROUPLINK_<PATH>_H_ convention for this path (GROUPLINK_BAD_BAD_GUARD_H_).
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace grouplink {
+inline int Nothing() { return 0; }
+}  // namespace grouplink
+
+#endif  // WRONG_GUARD_NAME_H

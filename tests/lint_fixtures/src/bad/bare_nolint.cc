@@ -1,0 +1,10 @@
+// Planted violation: suppression-reason. Escapes without a documented reason
+// are findings themselves.
+namespace grouplink {
+
+struct Wrapper {
+  Wrapper(int v) : value(v) {}  // NOLINT(runtime/explicit)
+  int value;
+};
+
+}  // namespace grouplink

@@ -1,0 +1,15 @@
+// Planted violation: raw-random. Unseeded or wall-clock-seeded randomness
+// breaks experiment reproducibility.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace grouplink {
+
+int RogueDraw() {
+  std::random_device entropy;
+  srand(static_cast<unsigned>(time(nullptr)));
+  return rand() + static_cast<int>(entropy());
+}
+
+}  // namespace grouplink

@@ -1,0 +1,14 @@
+// Planted violation: raw-stdio. Library code must report through GL_LOG or
+// returned Status values, never write to the console directly.
+#include <cstdio>
+#include <iostream>
+
+namespace grouplink {
+
+void RogueLog() {
+  std::cout << "progress\n";
+  std::cerr << "warning\n";
+  printf("done\n");
+}
+
+}  // namespace grouplink

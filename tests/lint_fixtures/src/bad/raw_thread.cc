@@ -1,0 +1,12 @@
+// Planted violation: raw-thread. Spawning threads directly bypasses the
+// ThreadPool's determinism and cancellation plumbing.
+#include <thread>
+
+namespace grouplink {
+
+void SpawnRogueWorker() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace grouplink

@@ -1,0 +1,11 @@
+#ifndef GROUPLINK_OK_CLEAN_H_
+#define GROUPLINK_OK_CLEAN_H_
+
+// Clean fixture: correct guard, no rule hits. Comments mentioning printf(
+// or std::thread must NOT be flagged — the linter strips comments first.
+
+namespace grouplink {
+inline int Identity(int v) { return v; }
+}  // namespace grouplink
+
+#endif  // GROUPLINK_OK_CLEAN_H_

@@ -1,0 +1,21 @@
+// Clean fixture: each would-be violation carries a gl-lint allow with a
+// reason, so the linter must report zero findings here (and count the
+// suppressions).
+#include <iostream>
+#include <thread>
+
+namespace grouplink {
+
+void SanctionedUses() {
+  // gl-lint: allow(raw-thread) fixture exercising the standalone-marker form
+  std::thread probe([] {});
+  probe.join();
+  std::cout << "ok\n";  // gl-lint: allow(raw-stdio) fixture exercising the same-line form
+}
+
+struct Box {
+  Box(int v) : value(v) {}  // NOLINT(runtime/explicit): fixture; reasoned NOLINT is not a finding
+  int value;
+};
+
+}  // namespace grouplink
