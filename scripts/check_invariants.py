@@ -19,6 +19,10 @@ Rules (ids usable in suppressions):
   bench-exit-code Every bench/bench_e*.cpp must end its main with
                   `return bench::ExitCode(...)` so CI sees Status failures as
                   non-zero exits.
+  simd-include    <immintrin.h> (or any *intrin.h) outside the SIMD kernel and
+                  dispatch implementations (simd_kernels.*, simd_dispatch.*).
+                  Raw intrinsics elsewhere would dodge the runtime-dispatch /
+                  bit-identical-fallback contract of DESIGN.md §10.
   suppression-reason  NOLINT / gl-lint escapes must carry a reason:
                   `// NOLINT(check): why` or `// gl-lint: allow(rule) why`.
 
@@ -48,6 +52,7 @@ RAW_RANDOM_RE = re.compile(
     r"|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
 RAW_STDIO_RE = re.compile(
     r"\bstd::(cout|cerr)\b|(?<![\w:.])f?printf\s*\(")
+SIMD_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<(\w*intrin\.h)>")
 GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
 
 
@@ -207,6 +212,7 @@ def lint_cxx(path, report):
     in_thread_pool = basename(path).startswith("thread_pool.")
     in_random = basename(path) in ("random.cc",)
     in_logging = basename(path).startswith("logging.")
+    in_simd_impl = basename(path).startswith(("simd_kernels.", "simd_dispatch."))
 
     for idx, line in enumerate(code_lines, start=1):
         if not in_thread_pool and RAW_THREAD_RE.search(line):
@@ -221,6 +227,12 @@ def lint_cxx(path, report):
         if root == "src" and not in_logging and RAW_STDIO_RE.search(line):
             flag(idx, "raw-stdio",
                  "console I/O in library code; use GL_LOG or return Status")
+        if not in_simd_impl and SIMD_INCLUDE_RE.search(line):
+            flag(idx, "simd-include",
+                 "raw <%s> outside simd_kernels.*/simd_dispatch.*; go through "
+                 "text/simd_kernels.h so the runtime dispatch and the "
+                 "bit-identical scalar fallback stay the only ISA boundary"
+                 % SIMD_INCLUDE_RE.search(line).group(1))
 
     if path.endswith(".h"):
         guard = None

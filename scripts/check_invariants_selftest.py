@@ -28,6 +28,7 @@ EXPECTED = [
     ("include-guard", "bad_guard.h"),
     ("bench-exit-code", "bench_e99_fixture.cpp"),
     ("suppression-reason", "bare_nolint.cc"),
+    ("simd-include", "raw_simd_include.cc"),
 ]
 
 

@@ -1,0 +1,123 @@
+#ifndef GROUPLINK_COMMON_ARENA_H_
+#define GROUPLINK_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace grouplink {
+
+/// Non-owning view of a contiguous array: the currency of the flat,
+/// structure-of-arrays layouts used by the batched kernels (DESIGN.md
+/// §10). A Span is two words; copying one never copies elements.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// Span<T> converts to Span<const T> implicitly, like pointers do.
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  Span(const Span<U>& other) : data_(other.data()), size_(other.size()) {}
+
+  T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) const {
+    GL_DCHECK_LT(i, size_);
+    return data_[i];
+  }
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+  Span<T> subspan(size_t offset, size_t count) const {
+    GL_DCHECK_LE(offset + count, size_);
+    return {data_ + offset, count};
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Bump-pointer pool for trivially-destructible arrays: one malloc per
+/// chunk instead of one per document/posting list, 64-byte alignment so
+/// vector loads never straddle cache lines, zero per-array bookkeeping.
+/// Nothing is freed individually — the pool's lifetime IS the layout's
+/// lifetime (the VarPool idiom). Not thread-safe; allocate single-threaded
+/// (or per worker), share the resulting Spans read-only.
+class ArenaPool {
+ public:
+  static constexpr size_t kAlignment = 64;
+  static constexpr size_t kDefaultChunkBytes = size_t{1} << 20;
+
+  explicit ArenaPool(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < kAlignment ? kAlignment : chunk_bytes) {}
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+  ArenaPool(ArenaPool&&) = default;
+  ArenaPool& operator=(ArenaPool&&) = default;
+
+  /// Uninitialized, kAlignment-aligned array of `count` Ts. The memory
+  /// lives until the pool is destroyed or Reset.
+  template <typename T>
+  Span<T> AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    static_assert(alignof(T) <= kAlignment, "over-aligned type");
+    if (count == 0) return {};
+    return {static_cast<T*>(AllocateBytes(count * sizeof(T))), count};
+  }
+
+  /// Total bytes handed out (excluding alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Frees every chunk. All Spans from this pool become dangling.
+  void Reset() {
+    chunks_.clear();
+    bytes_allocated_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  void* AllocateBytes(size_t bytes) {
+    Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
+    // `used` may exceed `capacity` by up to kAlignment-1 from cursor
+    // round-up (the chunk is over-allocated by kAlignment to absorb it),
+    // so the room check must be in sum form, not subtraction.
+    if (chunk == nullptr || chunk->used + bytes > chunk->capacity) {
+      const size_t capacity = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      // Over-allocate so the base can be rounded up to kAlignment:
+      // operator new[] only guarantees alignof(max_align_t).
+      Chunk fresh;
+      fresh.data = std::make_unique<std::byte[]>(capacity + kAlignment);
+      fresh.capacity = capacity;
+      chunks_.push_back(std::move(fresh));
+      chunk = &chunks_.back();
+    }
+    const auto base = reinterpret_cast<uintptr_t>(chunk->data.get());
+    uintptr_t cursor = base + chunk->used;
+    cursor = (cursor + kAlignment - 1) & ~uintptr_t{kAlignment - 1};
+    chunk->used = cursor - base + bytes;
+    GL_DCHECK_LE(chunk->used, chunk->capacity + kAlignment);
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(cursor);
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_ARENA_H_

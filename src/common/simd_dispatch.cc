@@ -1,0 +1,78 @@
+#include "common/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace grouplink {
+namespace {
+
+// -1 = no override; otherwise the pinned SimdLevel as int.
+std::atomic<int> g_test_override{-1};
+
+// The tier the environment permits: build flag and env var can only lower
+// what the CPU reports, never raise it.
+SimdLevel EnvironmentCappedLevel() {
+#if defined(GROUPLINK_DISABLE_SIMD)
+  return SimdLevel::kScalar;
+#else
+  if (ForceScalarEnvValue(std::getenv("GROUPLINK_FORCE_SCALAR"))) {
+    return SimdLevel::kScalar;
+  }
+  return DetectCpuSimdLevel();
+#endif
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse4.2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectCpuSimdLevel() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+#endif
+  return SimdLevel::kScalar;
+}
+
+bool ForceScalarEnvValue(const char* value) {
+  if (value == nullptr) return false;
+  const std::string_view v(value);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int pinned = g_test_override.load(std::memory_order_relaxed);
+  if (pinned >= 0) return static_cast<SimdLevel>(pinned);
+  // Read the environment exactly once: kernels consult this per batch, and
+  // a mid-run flip would break the one-run-one-tier reporting contract.
+  static const SimdLevel level = EnvironmentCappedLevel();
+  return level;
+}
+
+void SetSimdLevelForTesting(SimdLevel level) {
+  SimdLevel cap = DetectCpuSimdLevel();
+#if defined(GROUPLINK_DISABLE_SIMD)
+  cap = SimdLevel::kScalar;  // The vector paths are compiled out.
+#endif
+  const int clamped =
+      static_cast<int>(level) < static_cast<int>(cap) ? static_cast<int>(level)
+                                                      : static_cast<int>(cap);
+  g_test_override.store(clamped, std::memory_order_relaxed);
+}
+
+void ClearSimdLevelForTesting() {
+  g_test_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace grouplink

@@ -1,0 +1,55 @@
+#ifndef GROUPLINK_COMMON_SIMD_DISPATCH_H_
+#define GROUPLINK_COMMON_SIMD_DISPATCH_H_
+
+namespace grouplink {
+
+/// Instruction-set tiers of the batched text kernels (text/simd_kernels.h).
+/// Ordered: every tier includes the capabilities of the tiers below it, so
+/// `level >= kSse42` is the idiomatic gate for a vectorized path.
+///
+/// The contract that makes dispatch safe to ignore everywhere else: every
+/// kernel returns a bit-identical result at every tier (see DESIGN.md §10).
+/// Integer kernels are exact by nature; the floating-point kernels commit
+/// to one canonical accumulation order that all tiers reproduce. Link sets
+/// therefore never depend on the machine the run happened to land on.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// Human-readable tier name ("scalar", "sse4.2", "avx2"); recorded in
+/// RunReport::kernel and the bench metrics so every BENCH_*.json says
+/// which path produced it.
+[[nodiscard]] const char* SimdLevelName(SimdLevel level);
+
+/// Raw CPU capability probe (cpuid). Ignores every override below.
+[[nodiscard]] SimdLevel DetectCpuSimdLevel();
+
+/// The tier the kernels actually dispatch to. Resolution order:
+///   1. SetSimdLevelForTesting override (if any);
+///   2. GROUPLINK_FORCE_SCALAR=1 in the environment -> kScalar;
+///   3. -DGROUPLINK_DISABLE_SIMD=ON build -> kScalar;
+///   4. DetectCpuSimdLevel().
+/// The environment is read once and cached: flipping the variable after
+/// the first call has no effect (use the test override instead).
+[[nodiscard]] SimdLevel ActiveSimdLevel();
+
+/// Test hook: pins ActiveSimdLevel() to `level`, clamped to what the CPU
+/// (and the build) actually supports — requesting kAvx2 on a non-AVX2
+/// machine yields the highest safe tier, never an illegal instruction.
+/// The differential suite uses this to run scalar and vectorized paths in
+/// one process and assert bitwise equality.
+void SetSimdLevelForTesting(SimdLevel level);
+
+/// Removes the test override; ActiveSimdLevel() resumes rules 2-4.
+void ClearSimdLevelForTesting();
+
+/// Parses a GROUPLINK_FORCE_SCALAR value ("1", "true", "yes", "on" =>
+/// true; null/anything else => false). Exposed so tests can cover the
+/// parse without mutating the process environment.
+[[nodiscard]] bool ForceScalarEnvValue(const char* value);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_SIMD_DISPATCH_H_

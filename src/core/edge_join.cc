@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "common/trace.h"
 #include "index/prefix_filter.h"
+#include "text/vector_store.h"
 
 namespace grouplink {
 namespace {
@@ -27,11 +28,22 @@ struct BucketedEdge {
   Edge edge;
 };
 
+// Batched verification flushes once this many candidates are pending for
+// the current probe (and always on a probe change / shard end).
+constexpr size_t kVerifyBatch = 256;
+
 // Join-stage output of one shard of probe documents. Each shard is
 // written by exactly one worker; no synchronization needed.
 struct ShardOutput {
   size_t candidates = 0;
   std::vector<BucketedEdge> edges;
+  // Batched-verify state (store path only): flat SoA buffers of the
+  // current probe's cross-group candidates and their scores.
+  int32_t pending_probe = -1;
+  std::vector<int32_t> pending;
+  std::vector<double> scores;
+  double seconds_verify = 0.0;
+  size_t verify_batches = 0;
 };
 
 // Outcome category of one bucket (mirrors filter_refine.cc). kSkipped is
@@ -54,7 +66,7 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
     const RecordSimFn& sim, const EdgeJoinConfig& config, EdgeJoinStats* stats,
-    ThreadPool* pool, ExecutionContext* ctx) {
+    ThreadPool* pool, ExecutionContext* ctx, const VectorStore* store) {
   GL_CHECK_GT(config.theta, 0.0);
   GL_CHECK_EQ(record_tokens.size(), dataset.records.size());
   GL_CHECK_EQ(record_group.size(), dataset.records.size());
@@ -93,34 +105,102 @@ std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
       threads <= 1 ? 1
                    : std::min(std::max<size_t>(record_tokens.size(), 1), threads * 4);
   std::vector<ShardOutput> shard_outputs(num_shards);
+
+  // Appends one verified edge (weight >= θ already checked). The bucket
+  // key is oriented as (min group, max group); the edge endpoints follow
+  // the same orientation.
+  const auto append_edge = [&](ShardOutput& out, int32_t r1, int32_t r2,
+                               int32_t g1, int32_t g2, double weight) {
+    const bool in_order = g1 < g2;
+    const int32_t left_record = in_order ? r1 : r2;
+    const int32_t right_record = in_order ? r2 : r1;
+    out.edges.push_back({std::min(g1, g2), std::max(g1, g2),
+                         {local_pos[static_cast<size_t>(left_record)],
+                          local_pos[static_cast<size_t>(right_record)], weight}});
+  };
+
   {
     GL_TRACE_SPAN("edge_join.join");
-    s.probes_skipped = PrefixFilterSelfJoinSharded(
-        record_tokens, num_tokens, config.join_jaccard, threads > 1 ? pool : nullptr,
-        num_shards, [&](size_t shard, int32_t r1, int32_t r2) {
-          ShardOutput& out = shard_outputs[shard];
-          ++out.candidates;
-          const int32_t g1 = record_group[static_cast<size_t>(r1)];
-          const int32_t g2 = record_group[static_cast<size_t>(r2)];
-          if (g1 == g2) return;
-          m_sim_evals.Increment();
-          const double weight = sim(r1, r2);
-          if (weight < config.theta) return;
-          // Orient the bucket key as (min group, max group); the edge
-          // endpoints follow the same orientation.
-          const bool in_order = g1 < g2;
-          const int32_t left_record = in_order ? r1 : r2;
-          const int32_t right_record = in_order ? r2 : r1;
-          out.edges.push_back({std::min(g1, g2), std::max(g1, g2),
-                               {local_pos[static_cast<size_t>(left_record)],
-                                local_pos[static_cast<size_t>(right_record)], weight}});
-        },
-        ctx);
+    if (store != nullptr) {
+      // Batched verification: per shard, buffer the current probe's
+      // cross-group candidates (SoA) and flush them through the dispatched
+      // scatter-dot kernel. Scores() is bitwise-equal to the default sim
+      // per pair, candidates stream grouped by probe within a shard, and
+      // edges are appended in candidate order — the edge sequence (and
+      // everything downstream) is identical to the inline path.
+      std::vector<VectorStore::Scratch> scratches(num_shards);
+      const auto flush = [&](size_t shard) {
+        ShardOutput& out = shard_outputs[shard];
+        const size_t pending = out.pending.size();
+        if (pending == 0) return;
+        out.scores.resize(pending);
+        WallTimer verify_timer;
+        store->Scores(scratches[shard], out.pending_probe, out.pending.data(),
+                      pending, out.scores.data());
+        out.seconds_verify += verify_timer.ElapsedSeconds();
+        ++out.verify_batches;
+        m_sim_evals.Increment(pending);
+        const int32_t r2 = out.pending_probe;
+        const int32_t g2 = record_group[static_cast<size_t>(r2)];
+        for (size_t k = 0; k < pending; ++k) {
+          if (out.scores[k] < config.theta) continue;
+          const int32_t r1 = out.pending[k];
+          append_edge(out, r1, r2, record_group[static_cast<size_t>(r1)], g2,
+                      out.scores[k]);
+        }
+        out.pending.clear();
+      };
+      s.probes_skipped = PrefixFilterSelfJoinSharded(
+          record_tokens, num_tokens, config.join_jaccard,
+          threads > 1 ? pool : nullptr, num_shards,
+          [&](size_t shard, int32_t r1, int32_t r2) {
+            ShardOutput& out = shard_outputs[shard];
+            ++out.candidates;
+            if (record_group[static_cast<size_t>(r1)] ==
+                record_group[static_cast<size_t>(r2)]) {
+              return;
+            }
+            // A mid-probe flush (batch cap) keeps the probe's scatter
+            // cached in the scratch, so oversized probes still batch.
+            if (r2 != out.pending_probe) {
+              flush(shard);
+              out.pending_probe = r2;
+            }
+            out.pending.push_back(r1);
+            if (out.pending.size() >= kVerifyBatch) flush(shard);
+          },
+          ctx, /*shard_done=*/flush);
+    } else {
+      // Custom similarity: verify inline, one call per candidate pair.
+      s.probes_skipped = PrefixFilterSelfJoinSharded(
+          record_tokens, num_tokens, config.join_jaccard,
+          threads > 1 ? pool : nullptr, num_shards,
+          [&](size_t shard, int32_t r1, int32_t r2) {
+            ShardOutput& out = shard_outputs[shard];
+            ++out.candidates;
+            const int32_t g1 = record_group[static_cast<size_t>(r1)];
+            const int32_t g2 = record_group[static_cast<size_t>(r2)];
+            if (g1 == g2) return;
+            m_sim_evals.Increment();
+            const double weight = sim(r1, r2);
+            if (weight < config.theta) return;
+            append_edge(out, r1, r2, g1, g2, weight);
+          },
+          ctx);
+    }
     if (s.probes_skipped > 0) TagCurrentSpan("probes_skipped",
                                              std::to_string(s.probes_skipped));
   }
   s.seconds_join = timer.ElapsedSeconds();
-  s.seconds_verify = 0.0;  // Folded into the streaming join workers.
+  // Store path: verify time is what the shard workers measured around the
+  // batched kernel (CPU-seconds; see EdgeJoinStats). Custom-sim path:
+  // folded into the streaming join workers, left at 0.
+  s.seconds_verify = 0.0;
+  s.verify_batches = 0;
+  for (const ShardOutput& out : shard_outputs) {
+    s.seconds_verify += out.seconds_verify;
+    s.verify_batches += out.verify_batches;
+  }
 
   // Deterministic merge: shards cover ascending contiguous probe ranges
   // and stream candidates in serial order within each range, so

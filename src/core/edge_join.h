@@ -11,6 +11,8 @@
 
 namespace grouplink {
 
+class VectorStore;
+
 /// Configuration of the edge-join evaluation strategy.
 struct EdgeJoinConfig {
   /// Record-level edge threshold θ (> 0).
@@ -53,8 +55,14 @@ struct EdgeJoinStats {
   size_t degraded_refines = 0;
   /// Buckets never scored: the deadline or cancellation tripped first.
   size_t skipped = 0;
-  /// Per-stage wall times. Verification runs inline inside the join
-  /// workers (seconds_verify stays 0; it is folded into seconds_join);
+  /// Batched-verify flushes (store path only; 0 for a custom sim).
+  size_t verify_batches = 0;
+  /// Per-stage wall times. seconds_join is the wall time of the whole
+  /// join+verify stage. With a VectorStore (the default-similarity path)
+  /// seconds_verify is the time the shard workers spent inside batched
+  /// scoring, summed across workers — CPU-seconds, so it can exceed the
+  /// stage wall time on multi-thread runs. With a custom sim the
+  /// verification is folded into seconds_join and seconds_verify stays 0.
   /// seconds_bucket covers the deterministic shard merge + bucketing.
   double seconds_join = 0.0;
   double seconds_verify = 0.0;
@@ -104,12 +112,22 @@ struct EdgeJoinStats {
 /// a UB-ordered bucket cap, and a bounds-only matcher fallback — every
 /// degraded decision only removes links, so the output is a subset of
 /// the unconstrained run's (see DESIGN.md §8).
+///
+/// With a non-null `store` (the engine passes its VectorStore when `sim`
+/// is the default TF-IDF similarity), candidate verification runs in
+/// batches through VectorStore::Scores instead of one `sim` call per
+/// pair: each shard accumulates the candidates of the current probe into
+/// a flat SoA buffer and flushes it through the dispatched scatter-dot
+/// kernel. Scores is bitwise-equal to the default sim for every pair at
+/// every SIMD tier, and edges are appended in candidate order, so links,
+/// edges, and counters are identical to the per-pair path — only faster.
+/// Callers overriding `sim` must pass store = nullptr.
 [[nodiscard]] std::vector<std::pair<int32_t, int32_t>> EdgeJoinLink(
     const Dataset& dataset, const std::vector<std::vector<int32_t>>& record_tokens,
     int32_t num_tokens, const std::vector<int32_t>& record_group,
     const RecordSimFn& sim, const EdgeJoinConfig& config,
     EdgeJoinStats* stats = nullptr, ThreadPool* pool = nullptr,
-    ExecutionContext* ctx = nullptr);
+    ExecutionContext* ctx = nullptr, const VectorStore* store = nullptr);
 
 }  // namespace grouplink
 

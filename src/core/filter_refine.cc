@@ -5,9 +5,27 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/timer.h"
+#include "text/simd_kernels.h"
 
 namespace grouplink {
 namespace {
+
+// Sorted-unique union of the vector-store token ids of one group's
+// records, as unsigned ids for the set-intersection kernel (ids are dense
+// and non-negative). Zero intersection between two groups' unions means no
+// record pair shares a weighted token, so every default-sim record
+// similarity is 0 and the θ-thresholded graph is provably empty.
+std::vector<uint32_t> GroupTokenUnion(const Group& group, const VectorStore& store) {
+  std::vector<uint32_t> tokens;
+  for (const int32_t record : group.record_ids) {
+    for (const int32_t id : store.TokenIds(record)) {
+      tokens.push_back(static_cast<uint32_t>(id));
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
 
 // Filter-and-refine is only sound if the upper bound really bounds the
 // refined measure (a pair pruned by UB must never have linked). Epsilon
@@ -29,15 +47,50 @@ enum class Decision : uint8_t {
   kDegradedNoLink,
 };
 
+// Batched-scoring context of one FilterRefineLink call: the engine's
+// vector store plus the per-group token unions for the zero-overlap
+// precheck. Null `store` means the generic `sim`-driven path.
+struct BatchContext {
+  const VectorStore* store = nullptr;
+  std::vector<std::vector<uint32_t>> group_tokens;
+};
+
+// Builds the pair's similarity graph — batched through the store when one
+// is available, per-pair `sim` calls otherwise. Bit-identical results.
+BipartiteGraph BuildGraph(const Dataset& dataset, const RecordSimFn& sim,
+                          int32_t g1, int32_t g2, double theta,
+                          const BatchContext& batch) {
+  if (batch.store != nullptr) {
+    // One scratch per worker thread, reused across pairs (self-cleaning).
+    thread_local VectorStore::Scratch scratch;
+    return BuildSimilarityGraphBatched(dataset, g1, g2, *batch.store, scratch, theta);
+  }
+  return BuildSimilarityGraph(dataset, g1, g2, sim, theta);
+}
+
 // Scores one candidate pair; phase timers are optional (serial path only).
 Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
                     int32_t g2, const FilterRefineConfig& config,
-                    FilterRefineStats* timing, const ExecutionContext* ctx) {
+                    FilterRefineStats* timing, const ExecutionContext* ctx,
+                    const BatchContext& batch) {
   const int32_t size_left = dataset.GroupSize(g1);
   const int32_t size_right = dataset.GroupSize(g2);
 
   WallTimer timer;
-  const BipartiteGraph graph = BuildSimilarityGraph(dataset, g1, g2, sim, config.theta);
+  // Zero-overlap precheck (store path): groups sharing no weighted token
+  // cannot produce a single edge, so the pair classifies as an empty
+  // graph without touching a record pair — the exact outcome the full
+  // graph build would reach.
+  if (batch.store != nullptr) {
+    const std::vector<uint32_t>& ta = batch.group_tokens[static_cast<size_t>(g1)];
+    const std::vector<uint32_t>& tb = batch.group_tokens[static_cast<size_t>(g2)];
+    if (SortedIntersectCount(ta.data(), ta.size(), tb.data(), tb.size()) == 0) {
+      if (timing != nullptr) timing->seconds_graphs += timer.ElapsedSeconds();
+      return Decision::kEmptyGraph;
+    }
+  }
+  const BipartiteGraph graph =
+      BuildGraph(dataset, sim, g1, g2, config.theta, batch);
   if (timing != nullptr) timing->seconds_graphs += timer.ElapsedSeconds();
 
   if (graph.edges().empty()) return Decision::kEmptyGraph;
@@ -87,11 +140,11 @@ Decision DecidePair(const Dataset& dataset, const RecordSimFn& sim, int32_t g1,
 std::vector<char> CapCandidatesByUpperBound(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates, double theta,
-    size_t cap, ThreadPool* pool) {
+    size_t cap, ThreadPool* pool, const BatchContext& batch) {
   std::vector<double> ub(candidates.size(), 0.0);
   ParallelFor(pool, candidates.size(), [&](size_t i) {
     const auto [g1, g2] = candidates[i];
-    const BipartiteGraph graph = BuildSimilarityGraph(dataset, g1, g2, sim, theta);
+    const BipartiteGraph graph = BuildGraph(dataset, sim, g1, g2, theta, batch);
     if (!graph.edges().empty()) {
       ub[i] = UpperBoundMeasure(graph, dataset.GroupSize(g1), dataset.GroupSize(g2));
     }
@@ -114,7 +167,7 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,
     const FilterRefineConfig& config, FilterRefineStats* stats, ThreadPool* pool,
-    ExecutionContext* ctx) {
+    ExecutionContext* ctx, const VectorStore* store) {
   FilterRefineStats local_stats;
   FilterRefineStats& s = stats != nullptr ? *stats : local_stats;
   s = FilterRefineStats();
@@ -123,6 +176,17 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
   const bool parallel = pool != nullptr && pool->num_threads() > 1;
   std::vector<Decision> decisions(candidates.size(), Decision::kSkipped);
 
+  // Batched-scoring setup: per-group token unions for the zero-overlap
+  // precheck (independent per group, so the build parallelizes).
+  BatchContext batch;
+  batch.store = store;
+  if (store != nullptr) {
+    batch.group_tokens.resize(dataset.groups.size());
+    ParallelFor(parallel ? pool : nullptr, dataset.groups.size(), [&](size_t g) {
+      batch.group_tokens[g] = GroupTokenUnion(dataset.groups[g], *store);
+    });
+  }
+
   // Candidate budget (and the candidates.oversized fault): keep the best
   // pairs by UB score, shed the rest before any exact scoring.
   std::vector<char> keep;
@@ -130,7 +194,7 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
       ctx != nullptr ? ctx->EffectiveCandidateCap(candidates.size()) : candidates.size();
   if (cap < candidates.size()) {
     keep = CapCandidatesByUpperBound(dataset, sim, candidates, config.theta, cap,
-                                     parallel ? pool : nullptr);
+                                     parallel ? pool : nullptr, batch);
     for (size_t i = 0; i < keep.size(); ++i) {
       if (!keep[i]) decisions[i] = Decision::kShedByCap;
     }
@@ -143,7 +207,7 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
         if (!keep.empty() && !keep[i]) return;  // Stays kShedByCap.
         decisions[i] = DecidePair(dataset, sim, candidates[i].first,
                                   candidates[i].second, config,
-                                  parallel ? nullptr : &s, ctx);
+                                  parallel ? nullptr : &s, ctx, batch);
       },
       ctx);
 

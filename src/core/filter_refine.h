@@ -73,11 +73,21 @@ struct FilterRefineStats {
 /// pairs, and a deadline/cancellation trip sheds the remaining pairs.
 /// Every degraded decision can only *remove* links relative to the
 /// unconstrained run, so the output is always a subset of it.
+///
+/// With a non-null `store` (the engine passes its VectorStore when `sim`
+/// is the default TF-IDF similarity), similarity graphs are built through
+/// the batched scatter-dot kernel (one VectorStore::Scores call per left
+/// record) and a sorted-set-intersection precheck on the groups' token
+/// unions classifies zero-overlap pairs as empty graphs without scoring a
+/// single record pair. Both are exact for the default sim — decisions,
+/// stats, and links are identical to the `sim`-driven path bit for bit.
+/// Callers overriding `sim` must pass store = nullptr.
 [[nodiscard]] std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,
     const FilterRefineConfig& config, FilterRefineStats* stats = nullptr,
-    ThreadPool* pool = nullptr, ExecutionContext* ctx = nullptr);
+    ThreadPool* pool = nullptr, ExecutionContext* ctx = nullptr,
+    const VectorStore* store = nullptr);
 
 /// Reference path: exact BM on every candidate, no bounds. Same output
 /// contract as FilterRefineLink.

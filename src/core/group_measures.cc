@@ -31,6 +31,32 @@ BipartiteGraph BuildSimilarityGraph(const Dataset& dataset, int32_t g1, int32_t 
   return graph;
 }
 
+BipartiteGraph BuildSimilarityGraphBatched(const Dataset& dataset, int32_t g1,
+                                           int32_t g2, const VectorStore& store,
+                                           VectorStore::Scratch& scratch,
+                                           double theta) {
+  GL_CHECK_GT(theta, 0.0);
+  const Group& left = dataset.groups[static_cast<size_t>(g1)];
+  const Group& right = dataset.groups[static_cast<size_t>(g2)];
+  BipartiteGraph graph(static_cast<int32_t>(left.record_ids.size()),
+                       static_cast<int32_t>(right.record_ids.size()));
+  if (right.record_ids.empty()) return graph;
+  std::vector<double> scores(right.record_ids.size());
+  for (size_t i = 0; i < left.record_ids.size(); ++i) {
+    // One batch per left record: Group::record_ids is already the
+    // contiguous candidate array the kernel wants.
+    store.Scores(scratch, left.record_ids[i], right.record_ids.data(),
+                 right.record_ids.size(), scores.data());
+    for (size_t j = 0; j < right.record_ids.size(); ++j) {
+      GL_DCHECK(scores[j] >= 0.0 && scores[j] <= 1.0 + 1e-9);
+      if (scores[j] >= theta) {
+        graph.AddEdge(static_cast<int32_t>(i), static_cast<int32_t>(j), scores[j]);
+      }
+    }
+  }
+  return graph;
+}
+
 double NormalizeMatchingScore(double weight, int32_t size, int32_t size_left,
                               int32_t size_right) {
   const int32_t denominator = size_left + size_right - size;

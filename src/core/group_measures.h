@@ -6,6 +6,7 @@
 
 #include "core/group.h"
 #include "matching/bipartite_graph.h"
+#include "text/vector_store.h"
 
 namespace grouplink {
 
@@ -21,6 +22,18 @@ using RecordSimFn = std::function<double(int32_t, int32_t)>;
 /// theta > 0 so that all edge weights are strictly positive.
 BipartiteGraph BuildSimilarityGraph(const Dataset& dataset, int32_t g1, int32_t g2,
                                     const RecordSimFn& sim, double theta);
+
+/// Batched counterpart of BuildSimilarityGraph for the default TF-IDF
+/// similarity: each left record scores the whole right group in one
+/// VectorStore::Scores call (dispatched scatter-dot kernel) instead of one
+/// std::function call per cross pair. Scores is bitwise-equal to the
+/// default sim and edges are added in the same (i, j) order, so the graph
+/// — and every measure computed from it — is identical at every SIMD tier.
+/// `scratch` is reused across calls (one per worker).
+BipartiteGraph BuildSimilarityGraphBatched(const Dataset& dataset, int32_t g1,
+                                           int32_t g2, const VectorStore& store,
+                                           VectorStore::Scratch& scratch,
+                                           double theta);
 
 /// A group-level similarity score together with the matching statistics
 /// that produced it.

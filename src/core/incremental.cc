@@ -90,12 +90,12 @@ std::vector<std::string> IncrementalLinker::TokenizeText(const std::string& text
 }
 
 double IncrementalLinker::RecordSimilarity(int32_t a, int32_t b) const {
-  const SparseVector& va = record_vectors_[static_cast<size_t>(a)];
-  const SparseVector& vb = record_vectors_[static_cast<size_t>(b)];
-  // Same convention as LinkageEngine::DefaultRecordSimilarity: token-less
-  // records carry no co-reference evidence and score 0.
-  if (va.empty() || vb.empty()) return 0.0;
-  return CosineSimilarity(va, vb);
+  // Same convention (and bit-identical values) as
+  // LinkageEngine::DefaultRecordSimilarity: token-less records carry no
+  // co-reference evidence and score 0; everything else is the dot product
+  // of the unit vectors — keeping streaming == batch link equality intact.
+  return PrenormalizedCosineSimilarity(record_vectors_[static_cast<size_t>(a)],
+                                       record_vectors_[static_cast<size_t>(b)]);
 }
 
 Status IncrementalLinker::Initialize(const Dataset& dataset) {

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/simd_dispatch.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "common/union_find.h"
@@ -151,6 +152,8 @@ Status LinkageEngine::Prepare() {
     // multiset is what TF-IDF should see.
     record_vectors_[r] = vectorizer.Vectorize(raw_tokens[r]);
   });
+  // Flat SoA mirror of the vectors for the batched scoring kernels.
+  vector_store_ = VectorStore::Build(record_vectors_, vocabulary_.size());
   record_group_ = dataset_->RecordToGroup();
   prepared_ = true;
   prepare_seconds_ = prepare_timer.ElapsedSeconds();
@@ -166,13 +169,13 @@ ThreadPool* LinkageEngine::pool() {
 
 double LinkageEngine::DefaultRecordSimilarity(int32_t a, int32_t b) const {
   GL_CHECK(prepared_);
-  const SparseVector& va = record_vectors_[static_cast<size_t>(a)];
-  const SparseVector& vb = record_vectors_[static_cast<size_t>(b)];
-  // Two token-less records carry no evidence of co-reference; the
+  // Token-less records carry no evidence of co-reference and score 0 (the
   // mathematical "empty == empty -> 1" convention would link every group
-  // containing a blank record, so the engine scores them 0 instead.
-  if (va.empty() || vb.empty()) return 0.0;
-  return CosineSimilarity(va, vb);
+  // containing a blank record); for everything else Vectorize already
+  // L2-normalized, so the cosine is the plain dot product — the same value
+  // VectorStore::Pair/Scores computes in the batched kernels, bit for bit.
+  return PrenormalizedCosineSimilarity(record_vectors_[static_cast<size_t>(a)],
+                                       record_vectors_[static_cast<size_t>(b)]);
 }
 
 std::vector<std::pair<int32_t, int32_t>> LinkageEngine::GenerateCandidates(
@@ -220,18 +223,17 @@ std::vector<std::pair<int32_t, int32_t>> LinkageEngine::GenerateCandidates(
 
 std::vector<ScoredPair> LinkageEngine::ScoreCandidates(GroupMeasureKind measure) {
   GL_CHECK(prepared_) << "call Prepare() before ScoreCandidates()";
-  GroupCandidateStats scratch;
-  const auto candidates = GenerateCandidates(&scratch);
+  GroupCandidateStats candidate_stats;
+  const auto candidates = GenerateCandidates(&candidate_stats);
   const double edge_threshold = measure == GroupMeasureKind::kBinaryJaccard
                                     ? config_.binary_cutoff
                                     : config_.theta;
   std::vector<ScoredPair> scored;
   scored.reserve(candidates.size());
+  VectorStore::Scratch scratch;
   for (const auto& [g1, g2] : candidates) {
-    const BipartiteGraph graph = BuildSimilarityGraph(
-        *dataset_, g1, g2,
-        [this](int32_t a, int32_t b) { return DefaultRecordSimilarity(a, b); },
-        edge_threshold);
+    const BipartiteGraph graph = BuildSimilarityGraphBatched(
+        *dataset_, g1, g2, vector_store_, scratch, edge_threshold);
     if (graph.edges().empty()) continue;
     scored.push_back({g1, g2,
                       EvaluateGroupMeasure(measure, graph, dataset_->GroupSize(g1),
@@ -241,7 +243,15 @@ std::vector<ScoredPair> LinkageEngine::ScoreCandidates(GroupMeasureKind measure)
 }
 
 LinkageResult LinkageEngine::Run() {
-  return Run([this](int32_t a, int32_t b) { return DefaultRecordSimilarity(a, b); });
+  // The default similarity scores through the batched kernel path; the
+  // std::function is only kept for code paths that still score per pair.
+  return RunInternal(
+      [this](int32_t a, int32_t b) { return DefaultRecordSimilarity(a, b); },
+      &vector_store_);
+}
+
+LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
+  return RunInternal(sim, /*store=*/nullptr);
 }
 
 void LinkageEngine::FillRunFacts(RunReport& report) const {
@@ -253,6 +263,7 @@ void LinkageEngine::FillRunFacts(RunReport& report) const {
   report.candidate_method =
       edge_join ? "edge-join" : CandidateMethodName(config_.candidates);
   report.measure = GroupMeasureKindName(config_.measure);
+  report.kernel = SimdLevelName(ActiveSimdLevel());
   report.threads = config_.num_threads;
   report.records = static_cast<int64_t>(dataset_->records.size());
   report.groups = static_cast<int64_t>(dataset_->num_groups());
@@ -282,7 +293,8 @@ void FinishResilienceFacts(const ExecutionContext& ctx, RunReport* report) {
 
 }  // namespace
 
-LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
+LinkageResult LinkageEngine::RunInternal(const RecordSimFn& sim,
+                                         const VectorStore* store) {
   GL_CHECK(prepared_) << "call Prepare() before Run()";
   GL_TRACE_SPAN("linkage.run");
   static Counter& runs = MetricsRegistry::Default().CounterRef("engine.runs");
@@ -314,7 +326,7 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
     EdgeJoinStats ej_stats;
     result.linked_pairs = EdgeJoinLink(
         *dataset_, record_token_ids_, static_cast<int32_t>(vocabulary_.size()),
-        record_group_, sim, ej_config, &ej_stats, pool(), &ctx);
+        record_group_, sim, ej_config, &ej_stats, pool(), &ctx, store);
     AppendEdgeJoinStages(ej_stats, &report);
     FinishClustering(result);
     FinishResilienceFacts(ctx, &report);
@@ -345,7 +357,7 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
     GL_TRACE_SPAN("linkage.score");
     if (config_.measure == GroupMeasureKind::kBm) {
       result.linked_pairs = FilterRefineLink(*dataset_, sim, candidates, fr_config,
-                                             &fr_stats, pool(), &ctx);
+                                             &fr_stats, pool(), &ctx, store);
     } else {
       // Baseline measures: direct evaluation per candidate. The binary
       // Jaccard baseline builds its graph at the (stricter) equality cutoff.
@@ -358,6 +370,7 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
       // the list tail — still deterministic (depends only on the list).
       const size_t cap = ctx.EffectiveCandidateCap(candidates.size());
       fr_stats.shed_candidates = candidates.size() - cap;
+      VectorStore::Scratch scratch;
       for (size_t i = 0; i < cap; ++i) {
         if (ctx.StopRequested()) {
           fr_stats.skipped = cap - i;
@@ -365,7 +378,10 @@ LinkageResult LinkageEngine::Run(const RecordSimFn& sim) {
         }
         const auto [g1, g2] = candidates[i];
         const BipartiteGraph graph =
-            BuildSimilarityGraph(*dataset_, g1, g2, sim, edge_threshold);
+            store != nullptr
+                ? BuildSimilarityGraphBatched(*dataset_, g1, g2, *store, scratch,
+                                              edge_threshold)
+                : BuildSimilarityGraph(*dataset_, g1, g2, sim, edge_threshold);
         if (graph.edges().empty()) {
           ++fr_stats.empty_graphs;
           continue;

@@ -18,6 +18,7 @@
 #include "index/blocking.h"
 #include "index/candidates.h"
 #include "text/tfidf.h"
+#include "text/vector_store.h"
 #include "text/vocabulary.h"
 
 namespace grouplink {
@@ -197,13 +198,18 @@ class LinkageEngine {
   /// Must be called (successfully) before Run.
   Status Prepare();
 
-  /// Runs candidate generation, scoring, and clustering.
+  /// Runs candidate generation, scoring, and clustering. Scoring goes
+  /// through the batched SIMD kernels (the engine's VectorStore), which
+  /// are bitwise-equal to DefaultRecordSimilarity per pair — same links
+  /// as the per-call path, at every dispatch tier and thread count.
   LinkageResult Run();
 
-  /// As Run, with a caller-supplied record similarity.
+  /// As Run, with a caller-supplied record similarity (scored per pair —
+  /// the batched kernels only apply to the default similarity).
   LinkageResult Run(const RecordSimFn& sim);
 
-  /// Default record similarity: TF-IDF cosine of the two records' texts.
+  /// Default record similarity: TF-IDF cosine of the two records' texts
+  /// (the vectors are unit-length, so this is their dot product).
   /// Valid only after Prepare().
   double DefaultRecordSimilarity(int32_t a, int32_t b) const;
 
@@ -218,6 +224,10 @@ class LinkageEngine {
   const LinkageConfig& config() const { return config_; }
 
  private:
+  /// Shared implementation of both Run overloads. `store` is the engine's
+  /// VectorStore for the default similarity (batched scoring), null for a
+  /// caller-supplied sim (per-pair scoring through `sim`).
+  LinkageResult RunInternal(const RecordSimFn& sim, const VectorStore* store);
   std::vector<std::pair<int32_t, int32_t>> GenerateCandidates(
       GroupCandidateStats* stats);
   void FinishClustering(LinkageResult& result) const;
@@ -235,6 +245,8 @@ class LinkageEngine {
   Vocabulary vocabulary_;
   std::vector<std::vector<int32_t>> record_token_ids_;  // Sorted-unique per record.
   std::vector<SparseVector> record_vectors_;
+  /// Flat SoA mirror of record_vectors_ feeding the batched kernels.
+  VectorStore vector_store_;
   std::vector<int32_t> record_group_;
 };
 

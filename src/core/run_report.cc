@@ -102,6 +102,7 @@ void RunReport::WriteJson(JsonWriter* json_ptr) const {
   json.Field("strategy", strategy);
   json.Field("candidate_method", candidate_method);
   json.Field("measure", measure);
+  json.Field("kernel", kernel);
   json.Field("threads", static_cast<int64_t>(threads));
   json.Field("records", records);
   json.Field("groups", groups);
@@ -189,6 +190,7 @@ void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report) {
   if (stats.probes_skipped > 0) {
     join.AddCounter("probes_skipped", static_cast<int64_t>(stats.probes_skipped));
   }
+  join.AddCounter("verify_batches", static_cast<int64_t>(stats.verify_batches));
   join.AddTiming("verify", stats.seconds_verify);
 
   StageStats& bucket = report->AddStage("bucket", stats.seconds_bucket);
@@ -270,6 +272,7 @@ EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report) {
     stats.threads_used = static_cast<int32_t>(join->Counter("threads_used"));
     if (stats.threads_used <= 0) stats.threads_used = 1;
     stats.probes_skipped = static_cast<size_t>(join->Counter("probes_skipped"));
+    stats.verify_batches = static_cast<size_t>(join->Counter("verify_batches"));
   }
   stats.seconds_bucket = report.StageSeconds("bucket");
   stats.seconds_score = report.StageSeconds("score");

@@ -58,6 +58,10 @@ struct RunReport {
   std::string candidate_method;
   /// GroupMeasureKindName(...).
   std::string measure;
+  /// SimdLevelName(ActiveSimdLevel()) at run time — which kernel tier
+  /// ("scalar", "sse4.2", "avx2") scored this run. Informational only:
+  /// the dispatch contract makes every tier produce the same links.
+  std::string kernel;
   int32_t threads = 1;
   int64_t records = 0;
   int64_t groups = 0;

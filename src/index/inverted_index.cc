@@ -12,8 +12,14 @@ int32_t InvertedIndex::AddDocument(std::vector<int32_t> token_ids) {
   GL_DCHECK(std::adjacent_find(token_ids.begin(), token_ids.end()) == token_ids.end())
       << "document token ids must be unique";
   const int32_t doc_id = static_cast<int32_t>(documents_.size());
+  if (!token_ids.empty()) {
+    GL_CHECK_GE(token_ids.front(), 0) << "token ids must be non-negative";
+    // Sorted input: the last token is the largest — one growth check.
+    const size_t needed = static_cast<size_t>(token_ids.back()) + 1;
+    if (postings_.size() < needed) postings_.resize(needed);
+  }
   for (const int32_t token : token_ids) {
-    postings_[token].push_back(doc_id);
+    postings_[static_cast<size_t>(token)].push_back(doc_id);
   }
   documents_.push_back(std::move(token_ids));
   removed_.push_back(0);
@@ -21,7 +27,7 @@ int32_t InvertedIndex::AddDocument(std::vector<int32_t> token_ids) {
 }
 
 bool InvertedIndex::PostingsAreSorted() const {
-  for (const auto& [token, list] : postings_) {
+  for (const std::vector<int32_t>& list : postings_) {
     if (!std::is_sorted(list.begin(), list.end())) return false;
     if (std::adjacent_find(list.begin(), list.end()) != list.end()) return false;
   }
@@ -43,14 +49,13 @@ bool InvertedIndex::IsRemoved(int32_t doc) const {
 }
 
 void InvertedIndex::Compact() {
-  for (auto it = postings_.begin(); it != postings_.end();) {
-    std::vector<int32_t>& list = it->second;
+  for (std::vector<int32_t>& list : postings_) {
     list.erase(std::remove_if(list.begin(), list.end(),
                               [this](int32_t doc) {
                                 return removed_[static_cast<size_t>(doc)] != 0;
                               }),
                list.end());
-    it = list.empty() ? postings_.erase(it) : std::next(it);
+    if (list.empty()) list.shrink_to_fit();
   }
   for (size_t doc = 0; doc < documents_.size(); ++doc) {
     if (removed_[doc]) {
@@ -62,8 +67,10 @@ void InvertedIndex::Compact() {
 }
 
 const std::vector<int32_t>& InvertedIndex::Postings(int32_t token) const {
-  const auto it = postings_.find(token);
-  return it == postings_.end() ? empty_postings_ : it->second;
+  if (token < 0 || static_cast<size_t>(token) >= postings_.size()) {
+    return empty_postings_;
+  }
+  return postings_[static_cast<size_t>(token)];
 }
 
 int64_t InvertedIndex::DocumentFrequency(int32_t token) const {

@@ -2,7 +2,6 @@
 #define GROUPLINK_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace grouplink {
@@ -62,7 +61,10 @@ class InvertedIndex {
   [[nodiscard]] bool PostingsAreSorted() const;
 
  private:
-  std::unordered_map<int32_t, std::vector<int32_t>> postings_;
+  /// Dense token-id-indexed posting table (token ids come from a
+  /// Vocabulary, so the id space is compact): direct indexing instead of
+  /// hashing on every probe. Grown on demand by AddDocument.
+  std::vector<std::vector<int32_t>> postings_;
   std::vector<std::vector<int32_t>> documents_;
   std::vector<char> removed_;
   int32_t num_removed_ = 0;

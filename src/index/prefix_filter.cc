@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <unordered_map>
 
+#include "common/arena.h"
 #include "common/execution_context.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -40,9 +40,15 @@ bool DocumentsAreSortedSets(const std::vector<std::vector<int32_t>>& documents) 
   return true;
 }
 
-bool PostingListsAscending(const std::vector<std::vector<int32_t>>& index) {
-  for (const auto& list : index) {
-    if (!std::is_sorted(list.begin(), list.end())) return false;
+// CSR form of the ascending-postings contract: every [offsets[t],
+// offsets[t+1]) span of the flat posting pool must be sorted.
+bool PostingSpansAscending(const std::vector<size_t>& offsets,
+                           Span<const int32_t> postings) {
+  for (size_t t = 0; t + 1 < offsets.size(); ++t) {
+    if (!std::is_sorted(postings.begin() + offsets[t],
+                        postings.begin() + offsets[t + 1])) {
+      return false;
+    }
   }
   return true;
 }
@@ -106,126 +112,87 @@ std::vector<int32_t> RarityRanks(const std::vector<std::vector<int32_t>>& docume
 std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold) {
-  GL_DCHECK(DocumentsAreSortedSets(documents));
-  const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
-
-  // Re-express each document in rank space, sorted so the rarest tokens
-  // come first; remember original sizes for the length filter.
-  std::vector<std::vector<int32_t>> ranked(documents.size());
-  for (size_t d = 0; d < documents.size(); ++d) {
-    ranked[d].reserve(documents[d].size());
-    for (const int32_t token : documents[d]) {
-      ranked[d].push_back(rank[static_cast<size_t>(token)]);
-    }
-    std::sort(ranked[d].begin(), ranked[d].end());
-  }
-
-  // Index: rank-token -> documents whose prefix contains it (in doc order).
-  std::unordered_map<int32_t, std::vector<int32_t>> prefix_index;
+  // The streaming join emits each unordered pair exactly once, so sorting
+  // alone reproduces the documented sorted-and-deduplicated output.
   std::vector<std::pair<int32_t, int32_t>> candidates;
-  uint64_t postings_scanned = 0;
-  for (size_t d = 0; d < ranked.size(); ++d) {
-    const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
-    const double size_d = static_cast<double>(ranked[d].size());
-    for (size_t k = 0; k < prefix; ++k) {
-      const int32_t token = ranked[d][k];
-      postings_scanned += prefix_index[token].size();
-      for (const int32_t other : prefix_index[token]) {
-        // Length filter: |smaller| >= t * |larger| is necessary for
-        // Jaccard >= t. Probing doc d against earlier docs only (other < d)
-        // yields each unordered pair once per shared prefix token.
-        const double size_o = static_cast<double>(ranked[static_cast<size_t>(other)].size());
-        const double smaller = std::min(size_d, size_o);
-        const double larger = std::max(size_d, size_o);
-        if (smaller + 0.5 < threshold * larger) continue;  // +0.5: integer guard.
-        candidates.emplace_back(other, static_cast<int32_t>(d));
-      }
-      prefix_index[token].push_back(static_cast<int32_t>(d));
-    }
-  }
-  ProbeCounter().Increment(ranked.size());
-  PostingsCounter().Increment(postings_scanned);
+  PrefixFilterSelfJoinStreaming(documents, num_tokens, threshold,
+                                [&](int32_t a, int32_t b) {
+                                  candidates.emplace_back(a, b);
+                                });
   std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
   return candidates;
 }
 
 void PrefixFilterSelfJoinStreaming(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, const std::function<void(int32_t, int32_t)>& callback) {
-  GL_DCHECK(DocumentsAreSortedSets(documents));
-  const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
-
-  std::vector<std::vector<int32_t>> ranked(documents.size());
-  for (size_t d = 0; d < documents.size(); ++d) {
-    ranked[d].reserve(documents[d].size());
-    for (const int32_t token : documents[d]) {
-      ranked[d].push_back(rank[static_cast<size_t>(token)]);
-    }
-    std::sort(ranked[d].begin(), ranked[d].end());
-  }
-
-  std::unordered_map<int32_t, std::vector<int32_t>> prefix_index;
-  // last_probe[other] == current doc id marks `other` as already emitted
-  // for this probe, deduplicating across shared prefix tokens without a
-  // global sort.
-  std::vector<int32_t> last_probe(documents.size(), -1);
-  uint64_t postings_scanned = 0;
-  for (size_t d = 0; d < ranked.size(); ++d) {
-    const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
-    const double size_d = static_cast<double>(ranked[d].size());
-    for (size_t k = 0; k < prefix; ++k) {
-      const int32_t token = ranked[d][k];
-      postings_scanned += prefix_index[token].size();
-      for (const int32_t other : prefix_index[token]) {
-        if (last_probe[static_cast<size_t>(other)] == static_cast<int32_t>(d)) continue;
-        last_probe[static_cast<size_t>(other)] = static_cast<int32_t>(d);
-        const double size_o =
-            static_cast<double>(ranked[static_cast<size_t>(other)].size());
-        const double smaller = std::min(size_d, size_o);
-        const double larger = std::max(size_d, size_o);
-        if (smaller + 0.5 < threshold * larger) continue;
-        callback(other, static_cast<int32_t>(d));
-      }
-      prefix_index[token].push_back(static_cast<int32_t>(d));
-    }
-  }
-  ProbeCounter().Increment(ranked.size());
-  PostingsCounter().Increment(postings_scanned);
+  // One serial shard of the sharded join streams candidates in exactly the
+  // serial emission order (the determinism contract), with identical
+  // probe/posting counters — one implementation to maintain, not three.
+  PrefixFilterSelfJoinSharded(documents, num_tokens, threshold,
+                              /*pool=*/nullptr, /*num_shards=*/1,
+                              [&](size_t, int32_t a, int32_t b) { callback(a, b); });
 }
 
 size_t PrefixFilterSelfJoinSharded(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, ThreadPool* pool, size_t num_shards,
     const std::function<void(size_t, int32_t, int32_t)>& callback,
-    ExecutionContext* ctx) {
+    ExecutionContext* ctx, const std::function<void(size_t)>& shard_done) {
   const size_t n = documents.size();
   if (n == 0) return 0;
   GL_DCHECK(DocumentsAreSortedSets(documents));
+  GL_CHECK_GE(num_tokens, 0);
   const std::vector<int32_t> rank = RarityRanks(documents, num_tokens);
 
-  // Rank-space re-expression is independent per document.
-  std::vector<std::vector<int32_t>> ranked(n);
+  // Rank-space documents in one flat arena pool (CSR: doc_offsets + one
+  // contiguous id array) instead of a vector-of-vectors — one allocation,
+  // and probe loops walk contiguous memory. Independent per document, so
+  // the fill + sort parallelizes over the preallocated segments.
+  ArenaPool arena;
+  std::vector<size_t> doc_offsets(n + 1, 0);
+  for (size_t d = 0; d < n; ++d) {
+    doc_offsets[d + 1] = doc_offsets[d] + documents[d].size();
+  }
+  const Span<int32_t> ranked = arena.AllocateArray<int32_t>(doc_offsets[n]);
   ParallelFor(pool, n, [&](size_t d) {
-    ranked[d].reserve(documents[d].size());
-    for (const int32_t token : documents[d]) {
-      ranked[d].push_back(rank[static_cast<size_t>(token)]);
+    int32_t* out = ranked.data() + doc_offsets[d];
+    const std::vector<int32_t>& doc = documents[d];
+    for (size_t k = 0; k < doc.size(); ++k) {
+      out[k] = rank[static_cast<size_t>(doc[k])];
     }
-    std::sort(ranked[d].begin(), ranked[d].end());
+    std::sort(out, out + doc.size());
   });
+  const auto doc_size = [&](size_t d) { return doc_offsets[d + 1] - doc_offsets[d]; };
 
-  // Full prefix index over *all* documents, built serially in document
-  // order so every posting list is ascending; read-only afterwards.
+  // Full prefix index over *all* documents as flat CSR postings:
+  // histogram the prefix tokens, prefix-sum into offsets, then fill in
+  // document order — every posting span is ascending by construction.
   // Probing doc d keeps only postings `other < d`, which reproduces the
   // serial join's index-as-you-go candidate set exactly.
-  std::vector<std::vector<int32_t>> prefix_index(static_cast<size_t>(num_tokens));
+  std::vector<size_t> posting_offsets(static_cast<size_t>(num_tokens) + 1, 0);
   for (size_t d = 0; d < n; ++d) {
-    const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
+    const size_t prefix = JaccardPrefixLength(doc_size(d), threshold);
     for (size_t k = 0; k < prefix; ++k) {
-      prefix_index[static_cast<size_t>(ranked[d][k])].push_back(static_cast<int32_t>(d));
+      ++posting_offsets[static_cast<size_t>(ranked[doc_offsets[d] + k]) + 1];
     }
   }
-  GL_DCHECK(PostingListsAscending(prefix_index))
+  for (size_t t = 1; t < posting_offsets.size(); ++t) {
+    posting_offsets[t] += posting_offsets[t - 1];
+  }
+  const Span<int32_t> postings =
+      arena.AllocateArray<int32_t>(posting_offsets.back());
+  {
+    std::vector<size_t> cursor(posting_offsets.begin(), posting_offsets.end() - 1);
+    for (size_t d = 0; d < n; ++d) {
+      const size_t prefix = JaccardPrefixLength(doc_size(d), threshold);
+      for (size_t k = 0; k < prefix; ++k) {
+        const size_t token = static_cast<size_t>(ranked[doc_offsets[d] + k]);
+        postings[cursor[token]++] = static_cast<int32_t>(d);
+      }
+    }
+  }
+  GL_DCHECK(PostingSpansAscending(posting_offsets, postings))
       << "shared prefix index must stay ascending for the other < d cut";
 
   num_shards = std::clamp<size_t>(num_shards, 1, n);
@@ -239,30 +206,36 @@ size_t PrefixFilterSelfJoinSharded(
       if (FaultInjector::Default().ShouldFire(faults::kFailTask)) {
         ctx->NoteDegraded();
         probes_shed.fetch_add(end - begin, std::memory_order_relaxed);
+        if (shard_done) shard_done(shard);
         return;
       }
     }
     // Worker-local dedup state; each probe doc is owned by one shard.
     std::vector<int32_t> last_probe(n, -1);
     // Batched per shard: the scanned-posting count per probe doc depends
-    // only on the doc (postings ascend, scan stops at the doc id), so the
-    // flushed total is identical at every thread count.
+    // only on the doc (postings ascend, the scan cuts at the doc id), so
+    // the flushed total is identical at every thread count.
     uint64_t postings_scanned = 0;
     for (size_t d = begin; d < end; ++d) {
       if (ctx != nullptr && ctx->StopRequested()) {
         probes_shed.fetch_add(end - d, std::memory_order_relaxed);
         break;
       }
-      const size_t prefix = JaccardPrefixLength(ranked[d].size(), threshold);
-      const double size_d = static_cast<double>(ranked[d].size());
+      const size_t prefix = JaccardPrefixLength(doc_size(d), threshold);
+      const double size_d = static_cast<double>(doc_size(d));
       for (size_t k = 0; k < prefix; ++k) {
-        for (const int32_t other : prefix_index[static_cast<size_t>(ranked[d][k])]) {
-          if (other >= static_cast<int32_t>(d)) break;  // Postings ascend.
-          ++postings_scanned;
+        const size_t token = static_cast<size_t>(ranked[doc_offsets[d] + k]);
+        const int32_t* list = postings.data() + posting_offsets[token];
+        const int32_t* list_end = postings.data() + posting_offsets[token + 1];
+        // Postings ascend: one binary search finds the `other < d` cut up
+        // front, so the scan loop carries no per-posting range branch.
+        const int32_t* cut = std::lower_bound(list, list_end, static_cast<int32_t>(d));
+        postings_scanned += static_cast<uint64_t>(cut - list);
+        for (const int32_t* p = list; p != cut; ++p) {
+          const int32_t other = *p;
           if (last_probe[static_cast<size_t>(other)] == static_cast<int32_t>(d)) continue;
           last_probe[static_cast<size_t>(other)] = static_cast<int32_t>(d);
-          const double size_o =
-              static_cast<double>(ranked[static_cast<size_t>(other)].size());
+          const double size_o = static_cast<double>(doc_size(static_cast<size_t>(other)));
           const double smaller = std::min(size_d, size_o);
           const double larger = std::max(size_d, size_o);
           if (smaller + 0.5 < threshold * larger) continue;
@@ -270,6 +243,7 @@ size_t PrefixFilterSelfJoinSharded(
         }
       }
     }
+    if (shard_done) shard_done(shard);
     // Trailing shards can be empty (begin past the last document).
     if (end > begin) ProbeCounter().Increment(end - begin);
     PostingsCounter().Increment(postings_scanned);

@@ -41,6 +41,7 @@ class ExecutionContext;
 /// [0, num_tokens). Applies both the prefix filter and the length filter
 /// (|y| >= t * |x|). The result is sorted and deduplicated; it is a
 /// superset of the true result and typically far smaller than all pairs.
+/// Thin wrapper over the streaming join (collect + sort).
 [[nodiscard]] std::vector<std::pair<int32_t, int32_t>> PrefixFilterSelfJoin(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold);
@@ -49,6 +50,8 @@ class ExecutionContext;
 /// (i < j) exactly once per candidate pair, without materializing or
 /// sorting the candidate set. Preferred for large joins — the edge-join
 /// linkage strategy verifies each candidate inline as it streams out.
+/// Thin wrapper over the sharded join with one serial shard; emission
+/// order and counters are identical (the sharded determinism contract).
 void PrefixFilterSelfJoinStreaming(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, const std::function<void(int32_t, int32_t)>& callback);
@@ -75,11 +78,16 @@ void PrefixFilterSelfJoinStreaming(
 /// the thread_pool.slow_task / thread_pool.fail_task fault points per
 /// shard. Returns the number of probe documents shed (0 when the join
 /// ran to completion or ctx is null).
+///
+/// `shard_done(shard)`, when set, fires on the shard's worker after its
+/// last callback (including after a stop-request break) — callers that
+/// batch candidates per shard use it to flush the final batch.
 size_t PrefixFilterSelfJoinSharded(
     const std::vector<std::vector<int32_t>>& documents, int32_t num_tokens,
     double threshold, ThreadPool* pool, size_t num_shards,
     const std::function<void(size_t, int32_t, int32_t)>& callback,
-    ExecutionContext* ctx = nullptr);
+    ExecutionContext* ctx = nullptr,
+    const std::function<void(size_t)>& shard_done = {});
 
 /// Reference implementation: all pairs with exact Jaccard >= threshold.
 /// O(n²); used by tests and as the no-index baseline in benchmarks.

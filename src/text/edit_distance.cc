@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/simd_dispatch.h"
+#include "text/simd_kernels.h"
+
 namespace grouplink {
 
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string.
   if (b.empty()) return a.size();
+  // Myers' bit-parallel algorithm computes the exact same distance in
+  // O(n) words when the shorter string fits one machine word. Gated on
+  // the dispatch level only so GROUPLINK_FORCE_SCALAR=1 exercises the
+  // DP in differential tests — both paths are exact.
+  if (ActiveSimdLevel() != SimdLevel::kScalar &&
+      BitParallelEditDistanceApplies(a.size(), b.size())) {
+    return BitParallelEditDistance(a, b);
+  }
   std::vector<size_t> row(b.size() + 1);
   for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {

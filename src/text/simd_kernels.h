@@ -1,0 +1,78 @@
+#ifndef GROUPLINK_TEXT_SIMD_KERNELS_H_
+#define GROUPLINK_TEXT_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace grouplink {
+
+/// Batched, branch-light kernels behind the verify/score hot path:
+/// sorted-set intersection (Jaccard overlap), scatter/gather TF-IDF
+/// cosine, and bit-parallel edit distance. Each has a scalar reference
+/// implementation and vectorized tiers selected by ActiveSimdLevel()
+/// (common/simd_dispatch.h).
+///
+/// THE contract (PR 1 determinism, extended in DESIGN.md §10): every
+/// kernel returns a bit-identical result at every dispatch tier. The
+/// integer kernels are exact by nature; ScatterDot commits to one
+/// canonical accumulation order — ascending candidate-token position —
+/// that the vector tiers reproduce exactly by adding only the (provably
+/// non-zero-preserving) matched products in lane order, never reassociating
+/// and never fusing multiply-adds.
+
+// ---------------------------------------------------------------------------
+// Sorted-set intersection (Jaccard overlap numerator).
+// ---------------------------------------------------------------------------
+
+/// Count of elements common to two sorted, duplicate-free u32 arrays.
+/// Reference implementation: linear merge.
+[[nodiscard]] size_t SortedIntersectCountScalar(const uint32_t* a, size_t na,
+                                                const uint32_t* b, size_t nb);
+
+/// Dispatched count: galloping binary search when the sizes are lopsided,
+/// an SSE4.2 4x4 all-pairs block compare otherwise, scalar merge as the
+/// fallback. Always equals SortedIntersectCountScalar.
+[[nodiscard]] size_t SortedIntersectCount(const uint32_t* a, size_t na,
+                                          const uint32_t* b, size_t nb);
+
+// ---------------------------------------------------------------------------
+// Scatter/gather cosine (one probe vs many candidates).
+// ---------------------------------------------------------------------------
+// The probe's weights are scattered into a dense array indexed by token
+// id (+0.0 everywhere else); each candidate is then scored by gathering
+// dense[id] for its tokens. Because every TF-IDF weight is strictly
+// positive, non-matching terms contribute +0.0, which is a bitwise no-op
+// on a never-negative partial sum — so the scatter dot equals the
+// classic sorted-merge DotProduct bit for bit (DESIGN.md §10 carries the
+// full argument).
+
+/// Reference: sum over k of dense[ids[k]] * weights[k], in index order.
+[[nodiscard]] double ScatterDotScalar(const double* dense, const int32_t* ids,
+                                      const double* weights, size_t n);
+
+/// Dispatched scatter dot. AVX2 gathers 4 lanes and skips all-zero
+/// blocks with one mask test; matched products are added in lane order,
+/// which is ascending token order — bit-identical to the scalar path.
+[[nodiscard]] double ScatterDot(const double* dense, const int32_t* ids,
+                                const double* weights, size_t n);
+
+// ---------------------------------------------------------------------------
+// Bit-parallel edit distance.
+// ---------------------------------------------------------------------------
+
+/// True when the Myers bit-parallel path applies: the shorter string fits
+/// in one 64-bit word.
+[[nodiscard]] bool BitParallelEditDistanceApplies(size_t len_a, size_t len_b);
+
+/// Myers (1999) bit-parallel Levenshtein distance. Word-parallel rather
+/// than vector-ISA, but gated behind the same dispatch switch so
+/// GROUPLINK_FORCE_SCALAR exercises the classic DP everywhere. Exact:
+/// always equals LevenshteinDistance. Requires
+/// BitParallelEditDistanceApplies(a.size(), b.size()).
+[[nodiscard]] size_t BitParallelEditDistance(std::string_view a,
+                                             std::string_view b);
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_SIMD_KERNELS_H_

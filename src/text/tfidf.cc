@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -49,25 +48,39 @@ double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
   return DotProduct(a, b) / (norm_a * norm_b);
 }
 
+double PrenormalizedCosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  return DotProduct(a, b);
+}
+
 TfIdfVectorizer::TfIdfVectorizer(const Vocabulary* vocabulary)
     : vocabulary_(vocabulary) {
   GL_CHECK(vocabulary != nullptr);
+  idf_table_ = vocabulary->IdfTable();
 }
 
 SparseVector TfIdfVectorizer::Vectorize(const std::vector<std::string>& tokens) const {
-  // std::map keeps ids sorted, which the sparse representation requires.
-  std::map<int32_t, double> term_frequency;
+  // Sort-and-run-length instead of a std::map: same sorted id order, same
+  // tf counts, same weights bit for bit — without a node allocation per
+  // distinct token.
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
   for (const std::string& token : tokens) {
     const int32_t id = vocabulary_->GetId(token);
     if (id == Vocabulary::kUnknownToken) continue;
-    term_frequency[id] += 1.0;
+    ids.push_back(id);
   }
+  std::sort(ids.begin(), ids.end());
   SparseVector vector;
-  vector.ids.reserve(term_frequency.size());
-  vector.weights.reserve(term_frequency.size());
-  for (const auto& [id, tf] : term_frequency) {
-    vector.ids.push_back(id);
-    vector.weights.push_back(tf * vocabulary_->IdfOf(id));
+  vector.ids.reserve(ids.size());
+  vector.weights.reserve(ids.size());
+  for (size_t i = 0; i < ids.size();) {
+    size_t j = i;
+    while (j < ids.size() && ids[j] == ids[i]) ++j;
+    const double tf = static_cast<double>(j - i);
+    vector.ids.push_back(ids[i]);
+    vector.weights.push_back(tf * idf_table_[static_cast<size_t>(ids[i])]);
+    i = j;
   }
   L2Normalize(vector);
   return vector;

@@ -32,6 +32,16 @@ void L2Normalize(SparseVector& v);
 /// vectors which compare equal (1), matching the set-measure conventions.
 [[nodiscard]] double CosineSimilarity(const SparseVector& a, const SparseVector& b);
 
+/// Record-similarity hot path for vectors Vectorize already L2-normalized:
+/// the cosine IS the dot product, so the two per-call norm passes of
+/// CosineSimilarity are skipped. Token-less records score 0 — the engine's
+/// convention (no co-reference evidence), shared with the streaming
+/// linker. VectorStore::Pair/Scores (text/vector_store.h) reproduce this
+/// value bit for bit, which is what keeps the per-pair, edge-join, and
+/// batched-SIMD paths on one link set.
+[[nodiscard]] double PrenormalizedCosineSimilarity(const SparseVector& a,
+                                                   const SparseVector& b);
+
 /// Turns token lists into L2-normalized TF-IDF vectors against a
 /// Vocabulary built over the corpus.
 ///
@@ -54,6 +64,9 @@ class TfIdfVectorizer {
 
  private:
   const Vocabulary* vocabulary_;
+  /// IdfTable() snapshot taken at construction: one log() per vocabulary
+  /// entry once, instead of one per token occurrence per Vectorize call.
+  std::vector<double> idf_table_;
 };
 
 class ThreadPool;

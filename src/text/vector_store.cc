@@ -1,0 +1,104 @@
+#include "text/vector_store.h"
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "text/simd_kernels.h"
+
+namespace grouplink {
+
+VectorStore VectorStore::Build(const std::vector<SparseVector>& vectors,
+                               size_t dimension) {
+  VectorStore store;
+  store.dimension_ = dimension;
+  store.offsets_.resize(vectors.size() + 1, 0);
+  size_t total = 0;
+  for (size_t r = 0; r < vectors.size(); ++r) {
+    GL_DCHECK_EQ(vectors[r].ids.size(), vectors[r].weights.size());
+    total += vectors[r].ids.size();
+    store.offsets_[r + 1] = total;
+  }
+  store.ids_ = store.arena_.AllocateArray<int32_t>(total);
+  store.weights_ = store.arena_.AllocateArray<double>(total);
+  for (size_t r = 0; r < vectors.size(); ++r) {
+    const size_t begin = store.offsets_[r];
+    for (size_t k = 0; k < vectors[r].ids.size(); ++k) {
+      const int32_t id = vectors[r].ids[k];
+      GL_DCHECK_GE(id, 0);
+      GL_DCHECK_LT(static_cast<size_t>(id), dimension);
+      store.ids_[begin + k] = id;
+      store.weights_[begin + k] = vectors[r].weights[k];
+    }
+  }
+  return store;
+}
+
+double VectorStore::Pair(int32_t a, int32_t b) const {
+  const Span<const int32_t> a_ids = TokenIds(a);
+  const Span<const int32_t> b_ids = TokenIds(b);
+  if (a_ids.empty() || b_ids.empty()) return 0.0;
+  const Span<const double> a_weights = Weights(a);
+  const Span<const double> b_weights = Weights(b);
+  // The canonical order: ascending common token id, product a*b.
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a_ids.size() && j < b_ids.size()) {
+    if (a_ids[i] < b_ids[j]) {
+      ++i;
+    } else if (b_ids[j] < a_ids[i]) {
+      ++j;
+    } else {
+      sum += a_weights[i] * b_weights[j];
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+void VectorStore::Scores(Scratch& scratch, int32_t probe,
+                         const int32_t* candidates, size_t n, double* out) const {
+  static Counter& m_batches =
+      MetricsRegistry::Default().CounterRef("simd.cosine_batches");
+  static Counter& m_pairs =
+      MetricsRegistry::Default().CounterRef("simd.cosine_batch_pairs");
+  m_batches.Increment();
+  m_pairs.Increment(n);
+
+  if (scratch.store_ != this || scratch.probe_ != probe) {
+    // Self-cleaning re-scatter: zero exactly the entries the previous
+    // probe touched, then scatter the new probe's weights. The dense
+    // array is +0.0 everywhere else by construction, which the bitwise
+    // equality of ScatterDot with the merge dot depends on.
+    for (const int32_t id : scratch.touched_) {
+      scratch.dense_[static_cast<size_t>(id)] = 0.0;
+    }
+    scratch.touched_.clear();
+    if (scratch.dense_.size() < dimension_) scratch.dense_.resize(dimension_, 0.0);
+    const Span<const int32_t> probe_ids = TokenIds(probe);
+    const Span<const double> probe_weights = Weights(probe);
+    scratch.touched_.reserve(probe_ids.size());
+    for (size_t k = 0; k < probe_ids.size(); ++k) {
+      scratch.dense_[static_cast<size_t>(probe_ids[k])] = probe_weights[k];
+      scratch.touched_.push_back(probe_ids[k]);
+    }
+    scratch.store_ = this;
+    scratch.probe_ = probe;
+  }
+
+  const bool probe_empty = Empty(probe);
+  const double* dense = scratch.dense_.data();
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t candidate = candidates[i];
+    const size_t begin = offsets_[static_cast<size_t>(candidate)];
+    const size_t length = offsets_[static_cast<size_t>(candidate) + 1] - begin;
+    // Token-less records score 0 by convention, matching Pair.
+    if (probe_empty || length == 0) {
+      out[i] = 0.0;
+      continue;
+    }
+    out[i] = ScatterDot(dense, ids_.data() + begin, weights_.data() + begin, length);
+  }
+}
+
+}  // namespace grouplink

@@ -1,0 +1,88 @@
+#ifndef GROUPLINK_TEXT_VECTOR_STORE_H_
+#define GROUPLINK_TEXT_VECTOR_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.h"
+#include "text/tfidf.h"
+
+namespace grouplink {
+
+/// Flat structure-of-arrays store of the corpus' L2-normalized TF-IDF
+/// vectors: every record's token ids and weights live in two arena-backed
+/// pools addressed through one offsets table — one allocation instead of
+/// two per record, and a candidate batch walks contiguous memory instead
+/// of chasing vector headers (DESIGN.md §10).
+///
+/// This is the batched counterpart of PrenormalizedCosineSimilarity:
+/// Pair() and Scores() are bitwise-equal to it (and to each other) for
+/// every record pair at every SIMD dispatch tier, which is what lets the
+/// engine swap the per-call std::function similarity for batch scoring
+/// without moving a single link.
+class VectorStore {
+ public:
+  VectorStore() = default;
+
+  /// Builds the flat layout from per-record sparse vectors (ids ascending
+  /// within each record, as Vectorize produces). `dimension` is the
+  /// vocabulary size — the dense-scatter scratch is sized by it.
+  static VectorStore Build(const std::vector<SparseVector>& vectors,
+                           size_t dimension);
+
+  [[nodiscard]] size_t size() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] size_t dimension() const { return dimension_; }
+  [[nodiscard]] bool Empty(int32_t r) const {
+    return offsets_[static_cast<size_t>(r)] == offsets_[static_cast<size_t>(r) + 1];
+  }
+  [[nodiscard]] Span<const int32_t> TokenIds(int32_t r) const {
+    const size_t begin = offsets_[static_cast<size_t>(r)];
+    return {ids_.data() + begin, offsets_[static_cast<size_t>(r) + 1] - begin};
+  }
+  [[nodiscard]] Span<const double> Weights(int32_t r) const {
+    const size_t begin = offsets_[static_cast<size_t>(r)];
+    return {weights_.data() + begin, offsets_[static_cast<size_t>(r) + 1] - begin};
+  }
+
+  /// Canonical pairwise similarity: 0 when either record is token-less
+  /// (the engine's convention), otherwise the sorted-merge dot product of
+  /// the two unit vectors. Bitwise-equal to
+  /// PrenormalizedCosineSimilarity(vectors[a], vectors[b]).
+  [[nodiscard]] double Pair(int32_t a, int32_t b) const;
+
+  /// Reusable dense accumulator for Scores: a dimension-sized array of
+  /// +0.0 with the current probe's weights scattered in. One per worker;
+  /// self-cleaning (re-scattering zeroes the previous probe's entries),
+  /// so it can hop between stores and probes safely.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class VectorStore;
+    std::vector<double> dense_;
+    std::vector<int32_t> touched_;
+    const VectorStore* store_ = nullptr;
+    int32_t probe_ = -1;
+  };
+
+  /// Batched one-probe-vs-many scoring: out[i] = Pair(probe, candidates[i]),
+  /// bit for bit, at every dispatch tier. The probe is scattered once per
+  /// distinct (store, probe) — callers stream candidates grouped by probe
+  /// to amortize it (the sharded join does so naturally).
+  void Scores(Scratch& scratch, int32_t probe, const int32_t* candidates,
+              size_t n, double* out) const;
+
+ private:
+  ArenaPool arena_;
+  std::vector<size_t> offsets_;  // size()+1 entries.
+  Span<int32_t> ids_;
+  Span<double> weights_;
+  size_t dimension_ = 0;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TEXT_VECTOR_STORE_H_

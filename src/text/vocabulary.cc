@@ -47,6 +47,14 @@ double Vocabulary::IdfOf(int32_t id) const {
   return std::log((1.0 + n) / (1.0 + df)) + 1.0;
 }
 
+std::vector<double> Vocabulary::IdfTable() const {
+  std::vector<double> table(tokens_.size());
+  for (size_t id = 0; id < table.size(); ++id) {
+    table[id] = IdfOf(static_cast<int32_t>(id));
+  }
+  return table;
+}
+
 Vocabulary BuildVocabulary(const std::vector<std::vector<std::string>>& token_sets) {
   Vocabulary vocabulary;
   for (const std::vector<std::string>& token_set : token_sets) {

@@ -39,6 +39,12 @@ class Vocabulary {
   /// idf(t) = ln((1 + N) / (1 + df(t))) + 1, always > 0.
   double IdfOf(int32_t id) const;
 
+  /// The whole IDF column as one flat array indexed by token id —
+  /// entry i == IdfOf(i) bit for bit. Computed once per call; consumers
+  /// on hot paths (TfIdfVectorizer) cache it instead of paying one log()
+  /// per token occurrence.
+  [[nodiscard]] std::vector<double> IdfTable() const;
+
   int64_t num_documents() const { return num_documents_; }
   size_t size() const { return tokens_.size(); }
 

@@ -1,0 +1,126 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace grouplink {
+namespace {
+
+TEST(SpanTest, BasicsAndIteration) {
+  std::vector<int32_t> backing = {1, 2, 3, 4};
+  Span<int32_t> span(backing.data(), backing.size());
+  EXPECT_EQ(span.size(), 4u);
+  EXPECT_FALSE(span.empty());
+  EXPECT_EQ(span[0], 1);
+  EXPECT_EQ(span[3], 4);
+  int32_t sum = 0;
+  for (const int32_t v : span) sum += v;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(SpanTest, DefaultIsEmpty) {
+  Span<double> span;
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(span.size(), 0u);
+  EXPECT_EQ(span.data(), nullptr);
+  EXPECT_EQ(span.begin(), span.end());
+}
+
+TEST(SpanTest, Subspan) {
+  std::vector<int32_t> backing = {10, 20, 30, 40, 50};
+  Span<int32_t> span(backing.data(), backing.size());
+  Span<int32_t> mid = span.subspan(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0], 20);
+  EXPECT_EQ(mid[2], 40);
+  // Zero-length subspan at the end is legal.
+  EXPECT_TRUE(span.subspan(5, 0).empty());
+}
+
+TEST(SpanTest, ConvertsToConst) {
+  std::vector<int32_t> backing = {7};
+  Span<int32_t> mutable_span(backing.data(), backing.size());
+  Span<const int32_t> const_span = mutable_span;
+  EXPECT_EQ(const_span.data(), mutable_span.data());
+  EXPECT_EQ(const_span.size(), 1u);
+}
+
+TEST(ArenaPoolTest, AllocationsAreAlignedAndDisjoint) {
+  ArenaPool pool;
+  Span<int32_t> a = pool.AllocateArray<int32_t>(100);
+  Span<double> b = pool.AllocateArray<double>(50);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 50u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % ArenaPool::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % ArenaPool::kAlignment, 0u);
+  // Writing one array must not disturb the other.
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<int32_t>(i);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<double>(i) * 0.5;
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], static_cast<int32_t>(i));
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], static_cast<double>(i) * 0.5);
+}
+
+TEST(ArenaPoolTest, ZeroCountReturnsEmptySpan) {
+  ArenaPool pool;
+  Span<int32_t> span = pool.AllocateArray<int32_t>(0);
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(pool.bytes_allocated(), 0u);
+}
+
+TEST(ArenaPoolTest, SpillsIntoFreshChunks) {
+  // A tiny chunk size forces many chunk transitions; every allocation must
+  // stay aligned and writable across them.
+  ArenaPool pool(/*chunk_bytes=*/256);
+  std::vector<Span<uint32_t>> spans;
+  for (int i = 0; i < 64; ++i) {
+    Span<uint32_t> s = pool.AllocateArray<uint32_t>(17);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(s.data()) % ArenaPool::kAlignment, 0u);
+    for (size_t j = 0; j < s.size(); ++j) {
+      s[j] = static_cast<uint32_t>(i * 1000 + static_cast<int>(j));
+    }
+    spans.push_back(s);
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (size_t j = 0; j < spans[static_cast<size_t>(i)].size(); ++j) {
+      EXPECT_EQ(spans[static_cast<size_t>(i)][j],
+                static_cast<uint32_t>(i * 1000 + static_cast<int>(j)));
+    }
+  }
+  EXPECT_EQ(pool.bytes_allocated(), 64u * 17u * sizeof(uint32_t));
+}
+
+TEST(ArenaPoolTest, OversizedAllocationGetsOwnChunk) {
+  ArenaPool pool(/*chunk_bytes=*/128);
+  Span<double> big = pool.AllocateArray<double>(1000);  // 8000 bytes > chunk.
+  ASSERT_EQ(big.size(), 1000u);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<double>(i);
+  EXPECT_EQ(std::accumulate(big.begin(), big.end(), 0.0), 999.0 * 1000.0 / 2.0);
+}
+
+TEST(ArenaPoolTest, ResetReclaimsEverything) {
+  ArenaPool pool;
+  (void)pool.AllocateArray<int32_t>(10);
+  EXPECT_GT(pool.bytes_allocated(), 0u);
+  pool.Reset();
+  EXPECT_EQ(pool.bytes_allocated(), 0u);
+  // The pool must be reusable after Reset.
+  Span<int32_t> again = pool.AllocateArray<int32_t>(5);
+  EXPECT_EQ(again.size(), 5u);
+}
+
+TEST(ArenaPoolTest, MoveTransfersOwnership) {
+  ArenaPool pool;
+  Span<int32_t> span = pool.AllocateArray<int32_t>(8);
+  for (size_t i = 0; i < span.size(); ++i) span[i] = static_cast<int32_t>(i);
+  ArenaPool moved = std::move(pool);
+  for (size_t i = 0; i < span.size(); ++i) {
+    EXPECT_EQ(span[i], static_cast<int32_t>(i));  // Memory survived the move.
+  }
+  EXPECT_EQ(moved.bytes_allocated(), 8u * sizeof(int32_t));
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,9 @@
+// Planted violation: raw intrinsics header outside the SIMD kernel /
+// dispatch implementations. Must be flagged as simd-include.
+#include <immintrin.h>
+
+namespace grouplink {
+
+int UsesRawIntrinsics() { return static_cast<int>(_mm_crc32_u8(0, 1)); }
+
+}  // namespace grouplink
