@@ -57,8 +57,9 @@ int main(int argc, char** argv) {
   LinkageConfig config;
   config.theta = bench::kTheta;
   config.group_threshold = bench::kGroupThreshold;
-  LinkageEngine engine(&dataset, config);
-  GL_CHECK(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  GL_CHECK(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const auto sim = [&](int32_t a, int32_t b) {
     return engine.DefaultRecordSimilarity(a, b);
   };
@@ -132,8 +133,9 @@ int main(int argc, char** argv) {
   native_config.deadline_ms = flags.GetDouble("deadline-ms");
   native_config.max_candidate_pairs = flags.GetInt64("max-candidates");
   native_config.max_matcher_cost = flags.GetInt64("max-matcher-cost");
-  LinkageEngine native(&dataset, native_config);
-  GL_CHECK(native.Prepare().ok());
+  auto native_or = LinkageEngine::Create(&dataset, native_config);
+  GL_CHECK(native_or.ok());
+  LinkageEngine& native = *native_or;
   GL_CHECK(bench::ArmFaults(flags.GetString("inject")).ok());
   const LinkageResult native_result = native.Run();
   FaultInjector::Default().DisarmAll();

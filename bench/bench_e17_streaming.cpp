@@ -170,8 +170,9 @@ int main(int argc, char** argv) {
     Split(full, seed_groups, &seed, &arrivals);
     GL_CHECK(!arrivals.empty());
 
-    IncrementalLinker linker(config, streaming);
-    GL_CHECK(linker.Initialize(seed).ok());
+    auto linker_or = IncrementalLinker::Create(seed, config, streaming);
+    GL_CHECK(linker_or.ok()) << linker_or.status().ToString();
+    IncrementalLinker& linker = *linker_or;
     // Faults cover the stream only: seeding above ran clean, and the
     // final refresh below must run clean to prove recoverability.
     GL_CHECK(bench::ArmFaults(inject).ok());
@@ -249,8 +250,9 @@ int main(int argc, char** argv) {
       for (size_t i = 0; i < thread_sweep.size(); ++i) {
         LinkageConfig sweep_config = config;
         sweep_config.num_threads = thread_sweep[i];
-        IncrementalLinker sweep_linker(sweep_config);
-        GL_CHECK(sweep_linker.Initialize(seed).ok());
+        auto sweep_linker_or = IncrementalLinker::Create(seed, sweep_config);
+        GL_CHECK(sweep_linker_or.ok());
+        IncrementalLinker& sweep_linker = *sweep_linker_or;
         sweep_linker.AddGroups(arrivals);
         if (i == 0) {
           reference = sweep_linker.linked_pairs();

@@ -1,0 +1,373 @@
+// E18 (beyond the paper) — Linkage-as-a-service: epoch-snapshot queries
+// with non-blocking refresh.
+//
+// Two questions, one harness:
+//
+//   1. Ingest stalls. The same arrival stream is pushed through a
+//      LinkageService twice — stop-the-world mode (async_refresh=false,
+//      the pre-serving behavior: the arrival that trips the refresh
+//      policy pays the full epoch rebuild inline) and serving mode
+//      (async_refresh=true: the refresh runs on a clone in the
+//      background and swaps in). The max arrival latency is the E17
+//      tail this layer exists to kill; the run asserts a >= 5x drop.
+//
+//   2. Read throughput under write load. N reader threads hammer
+//      LinkQuery against the published epoch while the writer streams
+//      every arrival and the policy swaps epochs underneath them.
+//      Reports QPS and per-query latency percentiles per reader count.
+//
+// Self-checks: after the final refresh the service's link set must be
+// identical to a batch engine run over the accumulated corpus (both
+// modes), and the reader sweep must observe more than one epoch — the
+// queries really did race the swaps.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/linkage_engine.h"
+#include "core/service.h"
+#include "eval/table.h"
+
+namespace {
+
+using namespace grouplink;
+
+// Splits `full` into a seed prefix dataset and the remaining arrivals,
+// rebasing the seed's record ids to a dense prefix.
+void Split(const Dataset& full, int32_t seed_groups, Dataset* seed,
+           std::vector<GroupArrival>* arrivals) {
+  for (int32_t g = 0; g < full.num_groups(); ++g) {
+    const Group& group = full.groups[static_cast<size_t>(g)];
+    if (g < seed_groups) {
+      Group rebased;
+      rebased.id = group.id;
+      rebased.label = group.label;
+      for (const int32_t r : group.record_ids) {
+        rebased.record_ids.push_back(static_cast<int32_t>(seed->records.size()));
+        seed->records.push_back(full.records[static_cast<size_t>(r)]);
+      }
+      seed->groups.push_back(std::move(rebased));
+    } else {
+      GroupArrival arrival;
+      arrival.label = group.label;
+      for (const int32_t r : group.record_ids) {
+        arrival.record_texts.push_back(full.records[static_cast<size_t>(r)].text);
+      }
+      arrivals->push_back(std::move(arrival));
+    }
+  }
+}
+
+// The corpus the service has accumulated, as a batch dataset.
+Dataset Accumulate(const Dataset& seed, const std::vector<GroupArrival>& arrivals) {
+  Dataset dataset = seed;
+  for (size_t a = 0; a < arrivals.size(); ++a) {
+    Group group;
+    group.id = "s" + std::to_string(a);
+    group.label = arrivals[a].label;
+    for (const std::string& text : arrivals[a].record_texts) {
+      group.record_ids.push_back(static_cast<int32_t>(dataset.records.size()));
+      Record record;
+      record.id = "sr" + std::to_string(dataset.records.size());
+      record.text = text;
+      dataset.records.push_back(std::move(record));
+    }
+    dataset.groups.push_back(std::move(group));
+  }
+  return dataset;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index =
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+struct IngestRun {
+  std::vector<double> arrival_millis;
+  double ingest_seconds = 0.0;
+  double final_refresh_seconds = 0.0;
+  int64_t epochs_published = 0;
+  std::vector<std::pair<int32_t, int32_t>> linked_pairs;
+};
+
+// Streams every arrival one at a time, timing each AddGroup, then drains
+// any background refresh and runs a final stop-the-world refresh so the
+// published epoch covers the whole stream.
+IngestRun StreamArrivals(LinkageService& service,
+                         const std::vector<GroupArrival>& arrivals) {
+  IngestRun run;
+  const int64_t epoch_before = service.published_epoch();
+  WallTimer ingest_timer;
+  for (const GroupArrival& arrival : arrivals) {
+    WallTimer timer;
+    (void)service.AddGroup(arrival.label, arrival.record_texts);
+    run.arrival_millis.push_back(timer.ElapsedMillis());
+  }
+  service.WaitForRefresh();
+  run.ingest_seconds = ingest_timer.ElapsedSeconds();
+  WallTimer refresh_timer;
+  service.Refresh();
+  run.final_refresh_seconds = refresh_timer.ElapsedSeconds();
+  run.epochs_published = service.published_epoch() - epoch_before;
+  run.linked_pairs = service.linked_pairs();
+  return run;
+}
+
+struct ReaderLog {
+  size_t queries = 0;
+  size_t links = 0;
+  int64_t first_epoch = -1;
+  int64_t last_epoch = -1;
+  std::vector<double> query_millis;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("entities", 150, "bibliographic entities in the corpus");
+  flags.AddDouble("seed-fraction", 0.5, "fraction of groups that seed the service");
+  flags.AddInt64("refresh-every", 8, "epoch refresh policy during the stream");
+  flags.AddString("reader-sweep", "1,2,4",
+                  "reader thread counts for the query throughput sweep");
+  flags.AddString("metrics-json", "BENCH_e18.json",
+                  "unified metrics report output path ('' to skip)");
+  flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  GL_CHECK(flags.Parse(argc, argv).ok());
+  const bool smoke = flags.GetBool("smoke");
+  const int64_t entities = smoke ? 20 : flags.GetInt64("entities");
+  const std::string sweep_text = smoke ? "1,2" : flags.GetString("reader-sweep");
+
+  std::vector<int32_t> reader_sweep;
+  for (const std::string& t : Split(sweep_text, ',')) {
+    const auto parsed = ParseInt64(t);
+    GL_CHECK(parsed.ok()) << t;
+    reader_sweep.push_back(static_cast<int32_t>(std::max<int64_t>(1, *parsed)));
+  }
+  GL_CHECK(!reader_sweep.empty());
+
+  ServiceConfig config;
+  config.engine.theta = bench::kTheta;
+  config.engine.group_threshold = bench::kGroupThreshold;
+  config.streaming.refresh_every_n_groups =
+      static_cast<int32_t>(std::max<int64_t>(1, flags.GetInt64("refresh-every")));
+
+  const Dataset full = GenerateBibliographic(
+      bench::HardBibliographic(static_cast<int32_t>(entities), 0.25));
+  const int32_t seed_groups = std::max<int32_t>(
+      1, static_cast<int32_t>(flags.GetDouble("seed-fraction") *
+                              full.num_groups()));
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, seed_groups, &seed, &arrivals);
+  GL_CHECK(!arrivals.empty());
+
+  std::printf(
+      "E18: epoch-snapshot serving (theta=%.2f, Theta=%.2f, %d seed groups, "
+      "%zu arrivals, refresh every %d groups)\n\n",
+      bench::kTheta, bench::kGroupThreshold, seed_groups, arrivals.size(),
+      config.streaming.refresh_every_n_groups);
+
+  // The batch reference for the self-checks: one engine run over the
+  // fully accumulated corpus.
+  const Dataset accumulated = Accumulate(seed, arrivals);
+  GL_CHECK(accumulated.Validate().ok());
+  const auto batch = RunGroupLinkage(accumulated, config.engine);
+  GL_CHECK(batch.ok());
+
+  std::vector<RunReport> reports;
+
+  // --- Part 1: ingest stalls, stop-the-world vs non-blocking refresh ---
+
+  TextTable ingest_table({"mode", "arrivals", "p50 (ms)", "p95 (ms)", "max (ms)",
+                          "ingest (s)", "epochs", "links"});
+  double max_by_mode[2] = {0.0, 0.0};
+  for (const bool async : {false, true}) {
+    ServiceConfig mode_config = config;
+    mode_config.async_refresh = async;
+    auto service_or = LinkageService::Create(seed, mode_config);
+    GL_CHECK(service_or.ok()) << service_or.status().ToString();
+    const IngestRun run = StreamArrivals(*service_or, arrivals);
+    GL_CHECK(run.linked_pairs == batch->linked_pairs)
+        << (async ? "async" : "sync")
+        << " serving diverged from the batch engine after the final refresh";
+
+    const double p50 = Percentile(run.arrival_millis, 0.5);
+    const double p95 = Percentile(run.arrival_millis, 0.95);
+    const double max_ms = Percentile(run.arrival_millis, 1.0);
+    max_by_mode[async ? 1 : 0] = max_ms;
+    ingest_table.AddRow({async ? "non-blocking" : "stop-the-world",
+                         std::to_string(run.arrival_millis.size()),
+                         FormatDouble(p50, 3), FormatDouble(p95, 3),
+                         FormatDouble(max_ms, 3),
+                         FormatDouble(run.ingest_seconds, 3),
+                         std::to_string(run.epochs_published),
+                         std::to_string(run.linked_pairs.size())});
+
+    RunReport report;
+    report.strategy = async ? "serving-async" : "serving-sync";
+    report.candidate_method = "token-index";
+    report.measure = "bm";
+    report.threads = 1;
+    report.records = accumulated.num_records();
+    report.groups = full.num_groups();
+    report.links = static_cast<int64_t>(run.linked_pairs.size());
+    report.AddStage("ingest", run.ingest_seconds)
+        .AddCounter("arrivals", static_cast<int64_t>(run.arrival_millis.size()))
+        .AddCounter("epochs_published", run.epochs_published);
+    report.AddStage("final-refresh", run.final_refresh_seconds);
+    report.AddExtra("arrival_p50_ms", p50);
+    report.AddExtra("arrival_p95_ms", p95);
+    report.AddExtra("arrival_max_ms", max_ms);
+    reports.push_back(std::move(report));
+  }
+  std::printf("%s", ingest_table.ToString().c_str());
+
+  const double stall_reduction =
+      max_by_mode[0] / std::max(max_by_mode[1], 1e-9);
+  reports.back().AddExtra("arrival_max_stall_reduction", stall_reduction);
+  std::printf(
+      "\nMax arrival latency: %.3f ms stop-the-world vs %.3f ms non-blocking "
+      "(%.1fx reduction).\n\n",
+      max_by_mode[0], max_by_mode[1], stall_reduction);
+  // The acceptance bar for the serving layer. Smoke corpora are too small
+  // for a stable ratio (a refresh costs ~a single arrival), so the bar is
+  // only enforced on the real workload.
+  if (!smoke) {
+    GL_CHECK(stall_reduction >= 5.0)
+        << "non-blocking refresh must cut the max arrival stall by >= 5x, got "
+        << stall_reduction << "x";
+  }
+
+  // --- Part 2: reader QPS + latency under concurrent ingest ---
+
+  // Probes: a handful of future arrivals plus one replayed seed group (a
+  // guaranteed link at every epoch).
+  std::vector<GroupArrival> probes(
+      arrivals.begin(),
+      arrivals.begin() + static_cast<ptrdiff_t>(
+                             std::min<size_t>(4, arrivals.size())));
+  {
+    GroupArrival replay;
+    replay.label = "replay";
+    for (const int32_t r : seed.groups[0].record_ids) {
+      replay.record_texts.push_back(seed.records[static_cast<size_t>(r)].text);
+    }
+    probes.push_back(std::move(replay));
+  }
+
+  TextTable reader_table({"readers", "queries", "qps", "p50 (ms)", "p95 (ms)",
+                          "p99 (ms)", "epochs seen"});
+  for (const int32_t readers : reader_sweep) {
+    ServiceConfig mode_config = config;
+    mode_config.async_refresh = true;
+    auto service_or = LinkageService::Create(seed, mode_config);
+    GL_CHECK(service_or.ok()) << service_or.status().ToString();
+    LinkageService& service = *service_or;
+
+    std::vector<ReaderLog> logs(static_cast<size_t>(readers));
+    std::atomic<bool> stop{false};
+    ThreadPool pool(readers);
+    for (int32_t reader = 0; reader < readers; ++reader) {
+      ReaderLog* log = &logs[static_cast<size_t>(reader)];
+      const LinkageService* svc = &service;
+      const std::vector<GroupArrival>* probe_set = &probes;
+      pool.Submit([log, svc, probe_set, &stop] {
+        while (!stop.load(std::memory_order_acquire)) {
+          for (const GroupArrival& probe : *probe_set) {
+            WallTimer timer;
+            const auto answer = svc->LinkQuery(probe);
+            log->query_millis.push_back(timer.ElapsedMillis());
+            log->links += answer.linked_to.size();
+            if (log->first_epoch < 0) log->first_epoch = answer.epoch;
+            log->last_epoch = answer.epoch;
+            ++log->queries;
+          }
+        }
+      });
+    }
+
+    // Writer: the full arrival stream races the readers, then the final
+    // refresh publishes the complete epoch before the readers stop.
+    WallTimer wall;
+    for (const GroupArrival& arrival : arrivals) {
+      (void)service.AddGroup(arrival.label, arrival.record_texts);
+    }
+    service.WaitForRefresh();
+    service.Refresh();
+    const double wall_seconds = wall.ElapsedSeconds();
+    stop.store(true, std::memory_order_release);
+    pool.Wait();
+
+    GL_CHECK(service.linked_pairs() == batch->linked_pairs)
+        << "serving diverged from the batch engine at " << readers << " readers";
+
+    size_t total_queries = 0;
+    size_t total_links = 0;
+    int64_t min_epoch = service.published_epoch();
+    int64_t max_epoch = 0;
+    std::vector<double> query_millis;
+    for (const ReaderLog& log : logs) {
+      total_queries += log.queries;
+      total_links += log.links;
+      if (log.first_epoch >= 0) min_epoch = std::min(min_epoch, log.first_epoch);
+      max_epoch = std::max(max_epoch, log.last_epoch);
+      query_millis.insert(query_millis.end(), log.query_millis.begin(),
+                          log.query_millis.end());
+    }
+    const int64_t epochs_seen = max_epoch - min_epoch + 1;
+    GL_CHECK(total_queries > 0);
+    // The sweep is only meaningful if the queries actually raced epoch
+    // swaps underneath them.
+    GL_CHECK(epochs_seen >= 2)
+        << "readers saw a single epoch at " << readers
+        << " readers; the stream never swapped";
+
+    const double qps = static_cast<double>(total_queries) / wall_seconds;
+    const double p50 = Percentile(query_millis, 0.5);
+    const double p95 = Percentile(query_millis, 0.95);
+    const double p99 = Percentile(query_millis, 0.99);
+    reader_table.AddRow({std::to_string(readers), std::to_string(total_queries),
+                         FormatDouble(qps, 0), FormatDouble(p50, 3),
+                         FormatDouble(p95, 3), FormatDouble(p99, 3),
+                         std::to_string(epochs_seen)});
+
+    RunReport report;
+    report.strategy = "serving-readers";
+    report.candidate_method = "token-index";
+    report.measure = "bm";
+    report.threads = readers;
+    report.records = accumulated.num_records();
+    report.groups = full.num_groups();
+    report.links = static_cast<int64_t>(batch->linked_pairs.size());
+    report.AddStage("serve", wall_seconds)
+        .AddCounter("queries", static_cast<int64_t>(total_queries))
+        .AddCounter("query_links", static_cast<int64_t>(total_links))
+        .AddCounter("epochs_seen", epochs_seen);
+    report.AddExtra("qps", qps);
+    report.AddExtra("query_p50_ms", p50);
+    report.AddExtra("query_p95_ms", p95);
+    report.AddExtra("query_p99_ms", p99);
+    reports.push_back(std::move(report));
+  }
+  std::printf("%s", reader_table.ToString().c_str());
+  std::printf(
+      "\nAfter the final refresh the service's link set was identical to the "
+      "batch engine's in every mode and at every reader count (checked).\n");
+
+  return bench::ExitCode(bench::WriteMetricsJson(flags.GetString("metrics-json"),
+                                                 "e18_serving", reports));
+}

@@ -41,10 +41,11 @@ int main(int argc, char** argv) {
 
   LinkageConfig config;
   config.theta = bench::kTheta;
-  LinkageEngine engine(&dataset, config);
-  if (const Status prepared = engine.Prepare(); !prepared.ok()) {
-    return bench::ExitCode(prepared);
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  if (!engine_or.ok()) {
+    return bench::ExitCode(engine_or.status());
   }
+  LinkageEngine& engine = *engine_or;
 
   const GroupMeasureKind measures[] = {
       GroupMeasureKind::kBm, GroupMeasureKind::kGreedy,

@@ -39,8 +39,9 @@ int main(int argc, char** argv) {
               bench::kGroupThreshold);
 
   // Average edge count over the true group pairs, as a graph-size proxy.
-  LinkageEngine probe(&dataset, LinkageConfig{});
-  GL_CHECK(probe.Prepare().ok());
+  auto probe_or = LinkageEngine::Create(&dataset, LinkageConfig{});
+  GL_CHECK(probe_or.ok());
+  LinkageEngine& probe = *probe_or;
 
   TextTable table({"theta", "precision", "recall", "F1", "avg edges/true pair"});
   std::vector<RunReport> reports;

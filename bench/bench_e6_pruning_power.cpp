@@ -44,15 +44,18 @@ int main(int argc, char** argv) {
     const auto result = RunGroupLinkage(dataset, config);
     GL_CHECK(result.ok());
     reports.push_back(result->report());
-    const FilterRefineStats stats = result->score_stats();
-    const double total = static_cast<double>(stats.candidates);
-    const auto percent = [&](size_t count) {
-      return FormatDouble(total == 0 ? 0.0 : 100.0 * count / total, 1);
+    const RunReport& stats = result->report();
+    const auto count = [&](const char* name) {
+      return stats.StageCounter("score", name);
     };
-    table.AddRow({FormatDouble(threshold, 1), std::to_string(stats.candidates),
-                  percent(stats.empty_graphs), percent(stats.pruned_by_upper_bound),
-                  percent(stats.accepted_by_lower_bound), percent(stats.refined),
-                  std::to_string(stats.linked)});
+    const double total = static_cast<double>(count("candidates"));
+    const auto percent = [&](int64_t n) {
+      return FormatDouble(total == 0 ? 0.0 : 100.0 * static_cast<double>(n) / total, 1);
+    };
+    table.AddRow({FormatDouble(threshold, 1), std::to_string(count("candidates")),
+                  percent(count("empty_graphs")), percent(count("ub_pruned")),
+                  percent(count("lb_accepted")), percent(count("refined")),
+                  std::to_string(count("linked"))});
   }
   std::printf("%s", table.ToString().c_str());
   return bench::ExitCode(bench::WriteMetricsJson(

@@ -38,7 +38,8 @@ SchemeResult RunScheme(const Dataset& dataset, const LinkageConfig& config,
   SchemeResult out;
   out.report = result->report();
   out.seconds = timer.ElapsedSeconds();
-  out.candidates = result->candidate_stats().group_pairs;
+  out.candidates = static_cast<size_t>(
+      result->report().StageCounter("candidates", "group_pairs"));
   out.links = result->linked_pairs.size();
   size_t kept = 0;
   for (const auto& pair : result->linked_pairs) {

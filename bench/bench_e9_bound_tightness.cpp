@@ -37,10 +37,11 @@ int main(int argc, char** argv) {
 
   LinkageConfig config;
   config.theta = bench::kTheta;
-  LinkageEngine engine(&dataset, config);
-  if (const Status prepared = engine.Prepare(); !prepared.ok()) {
-    return bench::ExitCode(prepared);
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  if (!engine_or.ok()) {
+    return bench::ExitCode(engine_or.status());
   }
+  LinkageEngine& engine = *engine_or;
   const auto sim = [&](int32_t a, int32_t b) {
     return engine.DefaultRecordSimilarity(a, b);
   };

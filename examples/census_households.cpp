@@ -68,9 +68,9 @@ int main(int argc, char** argv) {
   config.theta = flags.GetDouble("theta");
   config.group_threshold = flags.GetDouble("group-threshold");
 
-  LinkageEngine engine(&dataset, config);
-  const Status prepare_status = engine.Prepare();
-  GL_CHECK(prepare_status.ok()) << prepare_status.ToString();
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  GL_CHECK(engine_or.ok()) << engine_or.status().ToString();
+  LinkageEngine& engine = *engine_or;
 
   // Custom record similarity: person-name/address tokens matched with
   // Monge-Elkan (robust to initials and typos), age as a numeric field

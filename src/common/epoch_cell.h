@@ -1,0 +1,85 @@
+#ifndef GROUPLINK_COMMON_EPOCH_CELL_H_
+#define GROUPLINK_COMMON_EPOCH_CELL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace grouplink {
+
+/// Publication slot for immutable epoch state, the serving layer's
+/// read/write split (DESIGN.md §11): one writer builds the next epoch off
+/// to the side and Store()s it; any number of readers Load() the current
+/// epoch concurrently, with no mutex on either side.
+///
+/// The contract that makes this safe is *immutability after publication*:
+/// a T handed to Store() must never be mutated again — readers hold plain
+/// `shared_ptr<const T>` references to it with no further synchronization.
+/// Store(release) / Load(acquire) ordering guarantees a reader that
+/// observes the new pointer also observes every write that built the
+/// object, so a published epoch is always fully constructed from the
+/// reader's point of view.
+///
+/// Memory reclamation is the shared_ptr refcount itself: a retired epoch
+/// stays alive exactly as long as some reader still holds it, and is
+/// destroyed on the last release — no epoch-based reclamation scheme or
+/// hazard pointers needed, at the cost of one refcount RMW per Load.
+///
+/// Implementation note: the production build publishes through
+/// std::atomic<std::shared_ptr> (mutex-free on both sides). Under TSan
+/// the cell switches to a mutex-guarded slot instead: libstdc++'s
+/// _Sp_atomic synchronizes via a lock bit embedded in the refcount word,
+/// which TSan cannot model (GCC PR 101761 — false data-race reports on
+/// the internal pointer swap). The mutex variant has identical semantics
+/// and keeps the *real* publication ordering visible to the sanitizer,
+/// so misuse (e.g. mutating a published epoch) is still caught.
+template <typename T>
+class EpochCell {
+ public:
+  EpochCell() = default;
+  explicit EpochCell(std::shared_ptr<const T> initial)
+      : cell_(std::move(initial)) {}
+
+  EpochCell(const EpochCell&) = delete;
+  EpochCell& operator=(const EpochCell&) = delete;
+
+  /// The currently published epoch (null until the first Store). Safe
+  /// from any thread at any time; the returned reference keeps the epoch
+  /// alive however long the caller holds it.
+  [[nodiscard]] std::shared_ptr<const T> Load() const {
+#if defined(__SANITIZE_THREAD__)
+    std::lock_guard<std::mutex> lock(mu_);
+    return cell_;
+#else
+    return cell_.load(std::memory_order_acquire);
+#endif
+  }
+
+  /// Publishes `next` as the current epoch. The previous epoch is
+  /// released (and destroyed once its last reader drops it). Single
+  /// writer by convention — concurrent Stores are safe but their order
+  /// is whatever the atomic decides.
+  void Store(std::shared_ptr<const T> next) {
+#if defined(__SANITIZE_THREAD__)
+    std::shared_ptr<const T> retired;  // Destroy the old epoch unlocked.
+    std::lock_guard<std::mutex> lock(mu_);
+    retired.swap(cell_);
+    cell_ = std::move(next);
+#else
+    cell_.store(std::move(next), std::memory_order_release);
+#endif
+  }
+
+ private:
+#if defined(__SANITIZE_THREAD__)
+  mutable std::mutex mu_;
+  std::shared_ptr<const T> cell_;
+#else
+  std::atomic<std::shared_ptr<const T>> cell_;
+#endif
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_COMMON_EPOCH_CELL_H_

@@ -279,6 +279,31 @@ std::vector<std::pair<int32_t, int32_t>> FilterRefineLink(
   return linked;
 }
 
+bool DecideGraphLinked(const BipartiteGraph& graph, int32_t size_left,
+                       int32_t size_right, const FilterRefineConfig& config,
+                       const ExecutionContext* ctx) {
+  // Keep this ladder in lockstep with DecidePair above: the streaming and
+  // serving paths decide single pairs through here, and the equivalence
+  // tests hold their links bit-equal to the batch pipeline's.
+  if (graph.edges().empty()) return false;
+  if (config.use_upper_bound_filter &&
+      UpperBoundMeasure(graph, size_left, size_right) < config.group_threshold) {
+    return false;
+  }
+  if (config.use_lower_bound_accept &&
+      GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold) {
+    return true;
+  }
+  const int64_t matcher_cost =
+      static_cast<int64_t>(size_left) * static_cast<int64_t>(size_right);
+  if (ctx != nullptr && ctx->ExceedsMatcherBudget(matcher_cost)) {
+    ctx->NoteDegraded();
+    return GreedyLowerBound(graph, size_left, size_right) >= config.group_threshold;
+  }
+  return BmMeasure(graph, size_left, size_right, ctx).value >=
+         config.group_threshold;
+}
+
 std::vector<std::pair<int32_t, int32_t>> BruteForceBmLink(
     const Dataset& dataset, const RecordSimFn& sim,
     const std::vector<std::pair<int32_t, int32_t>>& candidates,

@@ -89,6 +89,24 @@ struct FilterRefineStats {
     ThreadPool* pool = nullptr, ExecutionContext* ctx = nullptr,
     const VectorStore* store = nullptr);
 
+/// Single-pair link decision on a prebuilt θ-thresholded similarity
+/// graph: the exact decision ladder of the pipeline's per-pair scoring —
+/// empty graph -> no link, UB < Θ -> prune, LB >= Θ -> accept, matcher
+/// budget trip -> decide from the sound LB (marking `ctx` degraded),
+/// otherwise exact BM >= Θ. This is the one definition of "do these two
+/// groups link" shared by the streaming arrival path
+/// (IncrementalLinker::DecideLink) and the serving read path
+/// (CorpusSnapshot::LinkQuery); FilterRefineLink's batch loop keeps its
+/// own stats-annotated copy of the same ladder, which the streaming ==
+/// batch equivalence suite holds bit-equal to this one.
+///
+/// `size_left` / `size_right` are the group sizes |g1| / |g2| (the graph
+/// only has cross edges, so isolated records are invisible to it).
+[[nodiscard]] bool DecideGraphLinked(const BipartiteGraph& graph,
+                                     int32_t size_left, int32_t size_right,
+                                     const FilterRefineConfig& config,
+                                     const ExecutionContext* ctx = nullptr);
+
 /// Reference path: exact BM on every candidate, no bounds. Same output
 /// contract as FilterRefineLink.
 [[nodiscard]] std::vector<std::pair<int32_t, int32_t>> BruteForceBmLink(

@@ -62,6 +62,57 @@ Status StreamingConfig::Validate() const {
   return Status::Ok();
 }
 
+Status ValidateStreamingConfigs(const LinkageConfig& config,
+                                const StreamingConfig& streaming) {
+  if (Status s = config.Validate(); !s.ok()) {
+    return Status::InvalidArgument("LinkageConfig: " + s.message());
+  }
+  if (Status s = streaming.Validate(); !s.ok()) {
+    return Status::InvalidArgument("StreamingConfig: " + s.message());
+  }
+  return Status::Ok();
+}
+
+Result<IncrementalLinker> IncrementalLinker::Create(
+    const Dataset& seed, const LinkageConfig& config,
+    const StreamingConfig& streaming) {
+  // Validate through the unified entry point first so Create's error
+  // messages name the offending struct; Initialize re-validates the
+  // pieces (harmless) and handles the dataset checks.
+  GL_RETURN_IF_ERROR(ValidateStreamingConfigs(config, streaming));
+  IncrementalLinker linker(config, streaming);
+  GL_RETURN_IF_ERROR(linker.Initialize(seed));
+  return linker;
+}
+
+std::unique_ptr<IncrementalLinker> IncrementalLinker::Clone() const {
+  // Deep copy of every piece of linker state. The thread pool is the one
+  // deliberate exception: pools are not copyable, and the clone lazily
+  // builds its own on first parallel use — so clone and original can run
+  // on different threads with zero shared mutable state.
+  auto clone = std::make_unique<IncrementalLinker>(config_, streaming_);
+  clone->initialized_ = initialized_;
+  clone->record_raw_tokens_ = record_raw_tokens_;
+  clone->record_token_sets_ = record_token_sets_;
+  clone->record_vectors_ = record_vectors_;
+  clone->record_group_ = record_group_;
+  clone->record_alive_ = record_alive_;
+  clone->group_records_ = group_records_;
+  clone->group_labels_ = group_labels_;
+  clone->group_alive_ = group_alive_;
+  clone->num_alive_groups_ = num_alive_groups_;
+  clone->index_vocab_ = index_vocab_;
+  clone->token_index_ = token_index_;
+  clone->epoch_vocab_ = epoch_vocab_;
+  clone->linked_pairs_ = linked_pairs_;
+  clone->clusters_ = clusters_;
+  clone->epoch_ = epoch_;
+  clone->groups_since_refresh_ = groups_since_refresh_;
+  clone->oov_since_refresh_ = oov_since_refresh_;
+  clone->tokens_since_refresh_ = tokens_since_refresh_;
+  return clone;
+}
+
 IncrementalLinker::IncrementalLinker(const LinkageConfig& config,
                                      const StreamingConfig& streaming)
     : config_(config), streaming_(streaming) {
@@ -358,9 +409,10 @@ std::vector<int32_t> IncrementalLinker::CandidateGroups(
 
 bool IncrementalLinker::DecideLink(int32_t g1, int32_t g2,
                                    const ExecutionContext* ctx) const {
-  // Mirrors filter_refine.cc's DecidePair: graph -> empty check -> UB
-  // prune -> LB accept -> Hungarian refine, in that order, so arrival
-  // decisions agree bitwise with the engine's scoring of the same pair.
+  // Builds the θ-thresholded graph, then decides through the shared
+  // DecideGraphLinked ladder (filter_refine.h) — the same decision order
+  // as the engine's DecidePair, so arrival decisions agree bitwise with
+  // the batch scoring of the same pair.
   const std::vector<int32_t>& left = group_records_[static_cast<size_t>(g1)];
   const std::vector<int32_t>& right = group_records_[static_cast<size_t>(g2)];
   const int32_t size_left = static_cast<int32_t>(left.size());
@@ -374,27 +426,14 @@ bool IncrementalLinker::DecideLink(int32_t g1, int32_t g2,
       }
     }
   }
-  if (graph.edges().empty()) return false;
-  const bool use_ub = config_.use_filter_refine && config_.use_upper_bound_filter;
-  const bool use_lb = config_.use_filter_refine && config_.use_lower_bound_accept;
-  if (use_ub &&
-      UpperBoundMeasure(graph, size_left, size_right) < config_.group_threshold) {
-    return false;
-  }
-  if (use_lb &&
-      GreedyLowerBound(graph, size_left, size_right) >= config_.group_threshold) {
-    return true;
-  }
-  // Matcher budget (same fallback as filter_refine.cc): decide oversized
-  // pairs from the sound greedy lower bound — subset-safe either way.
-  const int64_t matcher_cost =
-      static_cast<int64_t>(size_left) * static_cast<int64_t>(size_right);
-  if (ctx != nullptr && ctx->ExceedsMatcherBudget(matcher_cost)) {
-    ctx->NoteDegraded();
-    return GreedyLowerBound(graph, size_left, size_right) >= config_.group_threshold;
-  }
-  return BmMeasure(graph, size_left, size_right, ctx).value >=
-         config_.group_threshold;
+  FilterRefineConfig fr_config;
+  fr_config.theta = config_.theta;
+  fr_config.group_threshold = config_.group_threshold;
+  fr_config.use_upper_bound_filter =
+      config_.use_filter_refine && config_.use_upper_bound_filter;
+  fr_config.use_lower_bound_accept =
+      config_.use_filter_refine && config_.use_lower_bound_accept;
+  return DecideGraphLinked(graph, size_left, size_right, fr_config, ctx);
 }
 
 void IncrementalLinker::RemoveGroup(int32_t group) {

@@ -110,7 +110,18 @@ LinkageEngine::LinkageEngine(const Dataset* dataset, const LinkageConfig& config
   GL_CHECK(dataset != nullptr);
 }
 
+Result<LinkageEngine> LinkageEngine::Create(const Dataset* dataset,
+                                            const LinkageConfig& config) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("LinkageEngine::Create: dataset is null");
+  }
+  LinkageEngine engine(dataset, config);
+  GL_RETURN_IF_ERROR(engine.Prepare());
+  return engine;
+}
+
 Status LinkageEngine::Prepare() {
+  if (prepared_) return Status::Ok();  // Create() already ran the pipeline.
   GL_TRACE_SPAN("linkage.prepare");
   WallTimer prepare_timer;
   GL_RETURN_IF_ERROR(dataset_->Validate());
@@ -425,8 +436,8 @@ void LinkageEngine::FinishClustering(LinkageResult& result) const {
 
 Result<LinkageResult> RunGroupLinkage(const Dataset& dataset,
                                       const LinkageConfig& config) {
-  LinkageEngine engine(&dataset, config);
-  GL_RETURN_IF_ERROR(engine.Prepare());
+  GL_ASSIGN_OR_RETURN(LinkageEngine engine,
+                      LinkageEngine::Create(&dataset, config));
   return engine.Run();
 }
 

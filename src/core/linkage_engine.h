@@ -137,32 +137,12 @@ class LinkageResult {
   size_t num_clusters = 0;
 
   /// All run statistics — per-stage wall times and counters — behind one
-  /// struct with one ToJson(). See core/run_report.h.
+  /// struct with one ToJson(). See core/run_report.h. (The pre-report
+  /// accessor sprawl — candidate_stats / score_stats / edge_join_stats /
+  /// seconds_* — is gone; read report().StageCounter(stage, name) and
+  /// report().StageSeconds(stage) directly.)
   const RunReport& report() const { return report_; }
   RunReport& mutable_report() { return report_; }
-
-  /// Deprecated accessors, kept for source compatibility with the old
-  /// field sprawl (candidate_stats / score_stats / edge_join_stats /
-  /// seconds_*). They reconstruct the legacy structs from report();
-  /// prefer report().StageCounter(...) / StageSeconds(...) in new code.
-  GroupCandidateStats candidate_stats() const {
-    return CandidateStatsFromReport(report_);
-  }
-  FilterRefineStats score_stats() const {
-    return FilterRefineStatsFromReport(report_);
-  }
-  EdgeJoinStats edge_join_stats() const {
-    return EdgeJoinStatsFromReport(report_);
-  }
-  double seconds_prepare() const { return report_.StageSeconds("prepare"); }
-  double seconds_candidates() const {
-    return report_.StageSeconds("candidates");
-  }
-  /// Per-pair runs: the score stage. Edge-join runs: join+bucket+score.
-  double seconds_scoring() const {
-    return report_.StageSeconds("join") + report_.StageSeconds("bucket") +
-           report_.StageSeconds("score");
-  }
 
  private:
   RunReport report_;
@@ -186,16 +166,26 @@ class LinkageResult {
 /// field-weighted RecordSimilarity from text/record_similarity.h).
 ///
 /// Example:
-///   LinkageEngine engine(&dataset, config);
-///   GL_CHECK(engine.Prepare().ok());
+///   GL_ASSIGN_OR_RETURN(LinkageEngine engine,
+///                       LinkageEngine::Create(&dataset, config));
 ///   LinkageResult result = engine.Run();
 class LinkageEngine {
  public:
-  /// `dataset` must outlive the engine and is not modified.
+  /// Single-phase init: validates `config` and the dataset, precomputes
+  /// token sets and TF-IDF vectors, and returns an engine that is ready
+  /// to Run. `dataset` must outlive the engine and is not modified. This
+  /// is the only way to obtain a prepared engine in new code.
+  [[nodiscard]] static Result<LinkageEngine> Create(const Dataset* dataset,
+                                                    const LinkageConfig& config);
+
+  /// Deprecated two-phase construction (constructor + Prepare). The shim
+  /// survives one release for out-of-tree callers; everything in-tree
+  /// goes through Create. `dataset` must outlive the engine.
   LinkageEngine(const Dataset* dataset, const LinkageConfig& config);
 
-  /// Validates the dataset and precomputes token sets and TF-IDF vectors.
-  /// Must be called (successfully) before Run.
+  /// Deprecated: second phase of the two-phase shim. Create() already
+  /// prepared the engine; calling Prepare on a Create()-built engine is
+  /// harmless (idempotent success).
   Status Prepare();
 
   /// Runs candidate generation, scoring, and clustering. Scoring goes

@@ -215,70 +215,6 @@ void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report) {
   }
 }
 
-GroupCandidateStats CandidateStatsFromReport(const RunReport& report) {
-  GroupCandidateStats stats;
-  stats.record_pairs =
-      static_cast<size_t>(report.StageCounter("candidates", "record_pairs"));
-  stats.group_pairs =
-      static_cast<size_t>(report.StageCounter("candidates", "group_pairs"));
-  return stats;
-}
-
-FilterRefineStats FilterRefineStatsFromReport(const RunReport& report) {
-  FilterRefineStats stats;
-  stats.candidates = static_cast<size_t>(report.StageCounter("score", "candidates"));
-  stats.empty_graphs =
-      static_cast<size_t>(report.StageCounter("score", "empty_graphs"));
-  stats.pruned_by_upper_bound =
-      static_cast<size_t>(report.StageCounter("score", "ub_pruned"));
-  stats.accepted_by_lower_bound =
-      static_cast<size_t>(report.StageCounter("score", "lb_accepted"));
-  stats.refined = static_cast<size_t>(report.StageCounter("score", "refined"));
-  stats.linked = static_cast<size_t>(report.StageCounter("score", "linked"));
-  stats.shed_candidates =
-      static_cast<size_t>(report.StageCounter("score", "shed_candidates"));
-  stats.degraded_refines =
-      static_cast<size_t>(report.StageCounter("score", "degraded_refines"));
-  stats.skipped = static_cast<size_t>(report.StageCounter("score", "skipped"));
-  if (const StageStats* score = report.FindStage("score")) {
-    stats.seconds_graphs = score->Timing("graphs");
-    stats.seconds_bounds = score->Timing("bounds");
-    stats.seconds_refine = score->Timing("refine");
-  }
-  return stats;
-}
-
-EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report) {
-  EdgeJoinStats stats;
-  stats.record_candidates =
-      static_cast<size_t>(report.StageCounter("join", "record_candidates"));
-  stats.edges = static_cast<size_t>(report.StageCounter("join", "edges"));
-  stats.group_pairs =
-      static_cast<size_t>(report.StageCounter("bucket", "group_pairs"));
-  stats.pruned_by_upper_bound =
-      static_cast<size_t>(report.StageCounter("score", "ub_pruned"));
-  stats.accepted_by_lower_bound =
-      static_cast<size_t>(report.StageCounter("score", "lb_accepted"));
-  stats.refined = static_cast<size_t>(report.StageCounter("score", "refined"));
-  stats.linked = static_cast<size_t>(report.StageCounter("score", "linked"));
-  stats.shed_candidates =
-      static_cast<size_t>(report.StageCounter("score", "shed_candidates"));
-  stats.degraded_refines =
-      static_cast<size_t>(report.StageCounter("score", "degraded_refines"));
-  stats.skipped = static_cast<size_t>(report.StageCounter("score", "skipped"));
-  stats.seconds_join = report.StageSeconds("join");
-  if (const StageStats* join = report.FindStage("join")) {
-    stats.seconds_verify = join->Timing("verify");
-    stats.threads_used = static_cast<int32_t>(join->Counter("threads_used"));
-    if (stats.threads_used <= 0) stats.threads_used = 1;
-    stats.probes_skipped = static_cast<size_t>(join->Counter("probes_skipped"));
-    stats.verify_batches = static_cast<size_t>(join->Counter("verify_batches"));
-  }
-  stats.seconds_bucket = report.StageSeconds("bucket");
-  stats.seconds_score = report.StageSeconds("score");
-  return stats;
-}
-
 std::string ExperimentReportJson(std::string_view experiment,
                                  const std::vector<RunReport>& runs, int indent) {
   JsonWriter json(indent);

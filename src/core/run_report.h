@@ -113,13 +113,6 @@ StageStats ScoreStageFromStats(const FilterRefineStats& stats, double seconds);
 /// Appends the edge-join pipeline's join/bucket/score stages.
 void AppendEdgeJoinStages(const EdgeJoinStats& stats, RunReport* report);
 
-/// Reconstruction helpers behind LinkageResult's deprecated accessors:
-/// rebuild the legacy structs from report stages (zero-filled for stages
-/// the run never executed).
-GroupCandidateStats CandidateStatsFromReport(const RunReport& report);
-FilterRefineStats FilterRefineStatsFromReport(const RunReport& report);
-EdgeJoinStats EdgeJoinStatsFromReport(const RunReport& report);
-
 /// The unified experiment file emitted by every bench and consumed by CI:
 ///   {"schema": "grouplink.metrics.v1",
 ///    "experiment": <name>,

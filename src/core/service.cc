@@ -1,0 +1,358 @@
+#include "core/service.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/epoch_cell.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
+namespace grouplink {
+namespace {
+
+struct ServiceMetrics {
+  Counter& queries;
+  Counter& query_links;
+  Counter& query_candidates;
+  Counter& query_degraded;
+  Counter& epochs_published;
+  Counter& refreshes_sync;
+  Counter& refreshes_async;
+  Counter& replayed_ops;
+  Gauge& published_epoch;
+  Histogram& query_seconds;
+
+  static ServiceMetrics& Get() {
+    auto& registry = MetricsRegistry::Default();
+    static ServiceMetrics metrics{
+        registry.CounterRef("service.queries"),
+        registry.CounterRef("service.query_links"),
+        registry.CounterRef("service.query_candidates"),
+        registry.CounterRef("service.query_degraded"),
+        registry.CounterRef("service.epochs_published"),
+        registry.CounterRef("service.refreshes_sync"),
+        registry.CounterRef("service.refreshes_async"),
+        registry.CounterRef("service.replayed_ops"),
+        registry.GaugeRef("service.published_epoch"),
+        registry.HistogramRef("service.query_seconds")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Status ServiceConfig::Validate() const {
+  GL_RETURN_IF_ERROR(ValidateStreamingConfigs(engine, streaming));
+  if (!std::isfinite(default_query_deadline_ms) ||
+      default_query_deadline_ms < 0.0) {
+    return Status::InvalidArgument(
+        "ServiceConfig: default_query_deadline_ms must be finite and >= 0");
+  }
+  if (default_query_max_candidates < 0) {
+    return Status::InvalidArgument(
+        "ServiceConfig: default_query_max_candidates must be >= 0");
+  }
+  if (default_query_max_matcher_cost < 0) {
+    return Status::InvalidArgument(
+        "ServiceConfig: default_query_max_matcher_cost must be >= 0");
+  }
+  return Status::Ok();
+}
+
+/// All service state. Lock discipline: `mu` guards the writer linker, the
+/// ops log, and the in-flight flag; `cell` is its own synchronization
+/// (atomic publication); `refresh_pool` is internally synchronized. The
+/// pool is declared *last* so ~Impl destroys it *first* — draining any
+/// background refresh (which locks `mu` and touches every other member)
+/// before the state it reads dies.
+struct LinkageService::Impl {
+  /// One logged writer mutation, replayed verbatim onto the refreshed
+  /// clone. Replay preserves call order, and group/record ids are a
+  /// deterministic function of call order alone, so the clone assigns the
+  /// same ids the live writer handed out while the refresh was running.
+  struct Op {
+    enum class Kind { kAdd, kRemove, kMerge };
+    Kind kind;
+    std::vector<GroupArrival> batch;  // kAdd
+    int32_t a = 0;                    // kRemove: group; kMerge: into.
+    int32_t b = 0;                    // kMerge: from.
+  };
+
+  ServiceConfig config;
+  mutable std::mutex mu;
+  std::shared_ptr<IncrementalLinker> linker;  // Guarded by mu.
+  bool in_flight = false;                     // Guarded by mu.
+  std::vector<Op> ops_log;                    // Guarded by mu.
+  EpochCell<CorpusSnapshot> cell;
+  std::unique_ptr<ThreadPool> refresh_pool;   // Keep last; see above.
+
+  /// True when the refresh policy wants a new epoch, from the writer's
+  /// public accumulation accessors (the writer's own inline trigger is
+  /// disabled in async mode — the policy lives here instead).
+  bool PolicyWantsRefresh() const {
+    const StreamingConfig& policy = config.streaming;
+    if (policy.refresh_every_n_groups > 0 &&
+        linker->groups_since_refresh() >= policy.refresh_every_n_groups) {
+      return true;
+    }
+    if (policy.refresh_on_oov_ratio > 0.0 &&
+        linker->EpochOovRatio() > policy.refresh_on_oov_ratio) {
+      return true;
+    }
+    return false;
+  }
+
+  void PublishLocked(const IncrementalLinker& source) {
+    PublishSnapshotLocked(CorpusSnapshot::Capture(source));
+  }
+
+  void PublishSnapshotLocked(std::shared_ptr<const CorpusSnapshot> snapshot) {
+    auto& metrics = ServiceMetrics::Get();
+    metrics.published_epoch.Set(static_cast<double>(snapshot->epoch()));
+    metrics.epochs_published.Increment();
+    cell.Store(std::move(snapshot));
+  }
+
+  /// Requires mu held and no refresh in flight. Clones the writer at the
+  /// current cut and hands the clone to the background worker; mutations
+  /// from here on are logged for replay.
+  void StartRefreshLocked() {
+    GL_CHECK(!in_flight);
+    in_flight = true;
+    ops_log.clear();
+    // shared_ptr because ThreadPool tasks are copyable std::functions;
+    // the clone has exactly one logical owner (the background job).
+    std::shared_ptr<IncrementalLinker> clone = linker->Clone();
+    refresh_pool->Submit([this, clone] { RunRefreshJob(clone); });
+    ServiceMetrics::Get().refreshes_async.Increment();
+  }
+
+  /// Background body: refresh the clone unlocked (the expensive part —
+  /// readers and writers run unimpeded), publish the pure refresh-point
+  /// epoch, then replay the backlog with a catch-up loop and swap the
+  /// clone in as the new writer.
+  ///
+  /// The writer lock is only ever held for O(1)-ish work here: the clone
+  /// is private to this job until the swap, so both the O(corpus)
+  /// snapshot copy and the per-op re-scoring of the replay run unlocked —
+  /// an arrival's worst-case wait on `mu` is one backlog handoff, not a
+  /// whole replay (that is the E18 stall number).
+  void RunRefreshJob(const std::shared_ptr<IncrementalLinker>& clone) {
+    GL_TRACE_SPAN("service.async_refresh");
+    clone->Refresh();
+
+    // Publish *before* replay: the epoch snapshot is exactly the
+    // refreshed cut-point corpus, which is what makes
+    // snapshot-at-epoch-k == batch-run-at-epoch-k provable.
+    {
+      std::shared_ptr<const CorpusSnapshot> snapshot =
+          CorpusSnapshot::Capture(*clone);
+      std::lock_guard<std::mutex> lock(mu);
+      PublishSnapshotLocked(std::move(snapshot));
+    }
+
+    // Catch-up replay: repeatedly steal the whole backlog under the lock,
+    // apply it to the private clone unlocked, and only swap when a steal
+    // finds the log empty — the emptiness check and the swap are atomic,
+    // so no mutation can fall between the old writer and the new one.
+    for (;;) {
+      std::vector<Op> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (ops_log.empty()) {
+          linker = clone;
+          in_flight = false;
+          // The replayed backlog may already satisfy the policy again
+          // (heavy ingest during a slow build); chain the next epoch so
+          // the service converges instead of waiting for the next
+          // mutation.
+          if (PolicyWantsRefresh()) StartRefreshLocked();
+          return;
+        }
+        batch.swap(ops_log);
+      }
+      ServiceMetrics::Get().replayed_ops.Increment(batch.size());
+      for (const Op& op : batch) {
+        switch (op.kind) {
+          case Op::Kind::kAdd:
+            (void)clone->AddGroups(op.batch);  // Results went to the caller already.
+            break;
+          case Op::Kind::kRemove:
+            clone->RemoveGroup(op.a);
+            break;
+          case Op::Kind::kMerge:
+            (void)clone->MergeGroups(op.a, op.b);  // Same: replay for state only.
+            break;
+        }
+      }
+    }
+  }
+
+  /// Post-mutation bookkeeping, mu held: log the op when a refresh is in
+  /// flight, and fire the policy. `inline_refreshed` reports that the
+  /// writer already refreshed inside the mutating call (sync mode), which
+  /// only needs the new epoch published.
+  void AfterMutationLocked(Op op, bool inline_refreshed) {
+    if (in_flight) ops_log.push_back(std::move(op));
+    if (inline_refreshed) {
+      PublishLocked(*linker);
+      ServiceMetrics::Get().refreshes_sync.Increment();
+      return;
+    }
+    if (config.async_refresh && !in_flight && PolicyWantsRefresh()) {
+      StartRefreshLocked();
+    }
+  }
+};
+
+LinkageService::LinkageService(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+LinkageService::~LinkageService() = default;
+LinkageService::LinkageService(LinkageService&&) noexcept = default;
+LinkageService& LinkageService::operator=(LinkageService&&) noexcept = default;
+
+Result<LinkageService> LinkageService::Create(const Dataset& seed,
+                                              const ServiceConfig& config) {
+  GL_RETURN_IF_ERROR(config.Validate());
+  auto impl = std::make_unique<Impl>();
+  impl->config = config;
+  // Async mode owns the refresh policy itself (the writer's inline
+  // trigger would stop the world); sync mode delegates to the writer.
+  const StreamingConfig writer_streaming =
+      config.async_refresh ? StreamingConfig{} : config.streaming;
+  GL_ASSIGN_OR_RETURN(
+      IncrementalLinker linker,
+      IncrementalLinker::Create(seed, config.engine, writer_streaming));
+  impl->linker = std::make_shared<IncrementalLinker>(std::move(linker));
+  {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    impl->PublishLocked(*impl->linker);
+  }
+  impl->refresh_pool = std::make_unique<ThreadPool>(1);
+  return LinkageService(std::move(impl));
+}
+
+std::shared_ptr<const CorpusSnapshot> LinkageService::snapshot() const {
+  return impl_->cell.Load();
+}
+
+LinkageService::QueryResult LinkageService::LinkQuery(
+    const GroupArrival& group, const QueryOptions& options) const {
+  auto& metrics = ServiceMetrics::Get();
+  WallTimer timer;
+  // One acquire-load; the rest of the query runs on the immutable epoch.
+  const std::shared_ptr<const CorpusSnapshot> snapshot = impl_->cell.Load();
+
+  QueryOptions effective = options;
+  const ServiceConfig& config = impl_->config;
+  if (effective.deadline_ms <= 0.0) {
+    effective.deadline_ms = config.default_query_deadline_ms;
+  }
+  if (effective.max_candidate_pairs == 0) {
+    effective.max_candidate_pairs = config.default_query_max_candidates;
+  }
+  if (effective.max_matcher_cost == 0) {
+    effective.max_matcher_cost = config.default_query_max_matcher_cost;
+  }
+
+  QueryResult result = snapshot->LinkQuery(group, effective);
+
+  metrics.queries.Increment();
+  metrics.query_links.Increment(result.linked_to.size());
+  metrics.query_candidates.Increment(result.candidates);
+  if (result.degraded) metrics.query_degraded.Increment();
+  metrics.query_seconds.Observe(timer.ElapsedSeconds());
+  return result;
+}
+
+LinkageService::AddResult LinkageService::AddGroup(
+    const std::string& label, const std::vector<std::string>& record_texts) {
+  std::vector<AddResult> results = AddGroups({{label, record_texts}});
+  return std::move(results.front());
+}
+
+std::vector<LinkageService::AddResult> LinkageService::AddGroups(
+    const std::vector<GroupArrival>& batch) {
+  if (batch.empty()) return {};
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<AddResult> results = impl_->linker->AddGroups(batch);
+  bool inline_refreshed = false;
+  for (const AddResult& result : results) {
+    inline_refreshed = inline_refreshed || result.triggered_refresh;
+  }
+  impl_->AfterMutationLocked(
+      Impl::Op{Impl::Op::Kind::kAdd, batch, 0, 0}, inline_refreshed);
+  return results;
+}
+
+void LinkageService::RemoveGroup(int32_t group) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->linker->RemoveGroup(group);
+  impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kRemove, {}, group, 0},
+                             /*inline_refreshed=*/false);
+}
+
+LinkageService::AddResult LinkageService::MergeGroups(int32_t into,
+                                                      int32_t from) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  AddResult result = impl_->linker->MergeGroups(into, from);
+  impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kMerge, {}, into, from},
+                             /*inline_refreshed=*/false);
+  return result;
+}
+
+void LinkageService::Refresh() {
+  // Drain the background build first; a concurrent mutation may start
+  // another one between the wait and the lock, so loop until the lock is
+  // held with nothing in flight (an inline refresh during a swap would
+  // be silently overwritten by it otherwise).
+  for (;;) {
+    WaitForRefresh();
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->in_flight) continue;
+    impl_->linker->Refresh();
+    impl_->PublishLocked(*impl_->linker);
+    ServiceMetrics::Get().refreshes_sync.Increment();
+    return;
+  }
+}
+
+bool LinkageService::RefreshAsync() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->in_flight) return false;
+  impl_->StartRefreshLocked();
+  return true;
+}
+
+void LinkageService::WaitForRefresh() { impl_->refresh_pool->Wait(); }
+
+bool LinkageService::refresh_in_flight() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->in_flight;
+}
+
+int64_t LinkageService::published_epoch() const {
+  return impl_->cell.Load()->epoch();
+}
+
+int64_t LinkageService::writer_epoch() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->linker->epoch();
+}
+
+int32_t LinkageService::num_groups() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->linker->num_groups();
+}
+
+std::vector<std::pair<int32_t, int32_t>> LinkageService::linked_pairs() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->linker->linked_pairs();
+}
+
+const ServiceConfig& LinkageService::config() const { return impl_->config; }
+
+}  // namespace grouplink

@@ -1,0 +1,158 @@
+#ifndef GROUPLINK_CORE_SERVICE_H_
+#define GROUPLINK_CORE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/incremental.h"
+#include "core/snapshot.h"
+
+namespace grouplink {
+
+/// Configuration of a LinkageService: the (normalized) engine config and
+/// refresh policy of the writer, the refresh execution mode, and the
+/// default per-query admission-control limits.
+///
+/// Validation is unified: Validate() checks the engine config, the
+/// streaming policy, and the service's own fields through one entry
+/// point, so LinkageService::Create rejects any bad configuration with a
+/// single error path whose message names the offending struct
+/// ("LinkageConfig: ...", "StreamingConfig: ...", "ServiceConfig: ...").
+struct ServiceConfig {
+  /// Engine configuration of the writer (normalized by the linker to the
+  /// streaming-reproducible shape; see IncrementalLinker).
+  LinkageConfig engine;
+  /// Epoch refresh policy, owned by the *service*: in async mode the
+  /// triggers start a background refresh instead of the linker's inline
+  /// stop-the-world one.
+  StreamingConfig streaming;
+  /// True (default): policy- and RefreshAsync-triggered refreshes build
+  /// the next epoch on a clone off to the side and swap it in — arrivals
+  /// and queries never wait for a refresh. False: refreshes run inline in
+  /// the mutating call (the pre-serving stop-the-world behavior, kept as
+  /// the bench baseline).
+  bool async_refresh = true;
+  /// Defaults applied to every LinkQuery whose QueryOptions leave the
+  /// corresponding knob at 0 (0 here too = unlimited).
+  double default_query_deadline_ms = 0.0;
+  int64_t default_query_max_candidates = 0;
+  int64_t default_query_max_matcher_cost = 0;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Linkage-as-a-service: one writer (an IncrementalLinker) plus the
+/// currently published CorpusSnapshot, behind a thread-safe API.
+///
+///   * Read path: LinkQuery / snapshot() load the published epoch from an
+///     EpochCell (one atomic acquire-load; no mutex) and run entirely on
+///     immutable state — any number of threads, never blocked by writes
+///     or refreshes.
+///   * Write path: AddGroup(s) / RemoveGroup / MergeGroups mutate the
+///     writer under an internal lock. Mutations become *queryable* at the
+///     next published epoch (refresh), not immediately — the snapshot is
+///     a frozen refresh point, which is exactly what makes query-at-epoch
+///     == batch-run-at-epoch provable.
+///   * Refresh path (async mode): when the streaming policy trips, the
+///     service clones the writer at the current cut, refreshes the clone
+///     on a background thread, publishes the refreshed state as the next
+///     epoch, then replays the mutations that arrived during the build
+///     and swaps the clone in as the new writer. The final writer state
+///     is identical to a stop-the-world refresh at the same cut followed
+///     by the same mutations (tested); no caller ever waits for the
+///     refresh itself.
+///
+/// Observability: service.* counters (queries, query_links,
+/// epochs_published, refreshes_async/sync, replayed_ops), the
+/// service.query_seconds latency histogram, and snapshot.live /
+/// snapshot.retired for epoch reclamation, all in the default registry.
+///
+/// Example:
+///   GL_ASSIGN_OR_RETURN(LinkageService service,
+///                       LinkageService::Create(seed, config));
+///   CorpusSnapshot::QueryResult hit = service.LinkQuery(
+///       {"j ullman", citation_texts});
+class LinkageService {
+ public:
+  using QueryOptions = CorpusSnapshot::QueryOptions;
+  using QueryResult = CorpusSnapshot::QueryResult;
+  using AddResult = IncrementalLinker::AddResult;
+
+  /// Single-phase init: validates `config` (unified path), builds the
+  /// writer over the seed corpus (one full refresh), and publishes the
+  /// seed epoch — the returned service answers queries immediately.
+  [[nodiscard]] static Result<LinkageService> Create(const Dataset& seed,
+                                                     const ServiceConfig& config);
+
+  ~LinkageService();
+  LinkageService(LinkageService&&) noexcept;
+  LinkageService& operator=(LinkageService&&) noexcept;
+  LinkageService(const LinkageService&) = delete;
+  LinkageService& operator=(const LinkageService&) = delete;
+
+  /// The currently published epoch. Lock-free; the returned snapshot
+  /// stays valid (and immutable) however long the caller holds it, across
+  /// any number of later refreshes.
+  [[nodiscard]] std::shared_ptr<const CorpusSnapshot> snapshot() const;
+
+  /// Links `group` against the published epoch. Thread-safe, never
+  /// blocks on writers. Zero-valued `options` knobs fall back to the
+  /// configured per-query defaults.
+  [[nodiscard]] QueryResult LinkQuery(const GroupArrival& group,
+                                      const QueryOptions& options) const;
+  [[nodiscard]] QueryResult LinkQuery(const GroupArrival& group) const {
+    return LinkQuery(group, QueryOptions());
+  }
+
+  /// Writer mutations (serialized internally; results are scored against
+  /// the writer's current epoch statistics, same semantics as the
+  /// underlying IncrementalLinker). May trigger a policy refresh: inline
+  /// when async_refresh is false, in the background otherwise.
+  AddResult AddGroup(const std::string& label,
+                     const std::vector<std::string>& record_texts);
+  std::vector<AddResult> AddGroups(const std::vector<GroupArrival>& batch);
+  void RemoveGroup(int32_t group);
+  AddResult MergeGroups(int32_t into, int32_t from);
+
+  /// Stop-the-world refresh: drains any in-flight background refresh,
+  /// refreshes the writer inline, and publishes the new epoch before
+  /// returning. After this call the published snapshot covers every
+  /// mutation issued so far.
+  void Refresh();
+
+  /// Starts a background refresh at the current writer cut (async mode's
+  /// policy trigger calls this). Returns false (and does nothing) when a
+  /// refresh is already in flight. The new epoch is published — and the
+  /// writer swapped — when the background build completes.
+  bool RefreshAsync();
+
+  /// Blocks until no background refresh is in flight (including chained
+  /// policy refreshes started by the replay of backlogged mutations).
+  void WaitForRefresh();
+
+  [[nodiscard]] bool refresh_in_flight() const;
+
+  /// Epoch of the currently published snapshot.
+  [[nodiscard]] int64_t published_epoch() const;
+
+  /// Writer-side state, read under the writer lock (test/diagnostic use;
+  /// the serving read path never needs these).
+  [[nodiscard]] int64_t writer_epoch() const;
+  [[nodiscard]] int32_t num_groups() const;
+  [[nodiscard]] std::vector<std::pair<int32_t, int32_t>> linked_pairs() const;
+
+  const ServiceConfig& config() const;
+
+ private:
+  struct Impl;
+  explicit LinkageService(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_SERVICE_H_

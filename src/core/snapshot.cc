@@ -1,0 +1,189 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "core/filter_refine.h"
+#include "matching/bipartite_graph.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+namespace {
+
+struct SnapshotMetrics {
+  Counter& captured;
+  Counter& retired;
+  Gauge& live;
+
+  static SnapshotMetrics& Get() {
+    auto& registry = MetricsRegistry::Default();
+    static SnapshotMetrics metrics{registry.CounterRef("snapshot.captured"),
+                                   registry.CounterRef("snapshot.retired"),
+                                   registry.GaugeRef("snapshot.live")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const CorpusSnapshot> CorpusSnapshot::Capture(
+    const IncrementalLinker& linker) {
+  GL_CHECK(linker.initialized_) << "Capture requires an initialized linker";
+  auto& metrics = SnapshotMetrics::Get();
+  // The deleter is how retired epochs report their reclamation: the
+  // live gauge tracks epochs still referenced somewhere (current + any
+  // held by in-flight readers), the retired counter the total reclaimed.
+  std::shared_ptr<CorpusSnapshot> snapshot(
+      new CorpusSnapshot(), [&metrics](CorpusSnapshot* s) {
+        delete s;
+        metrics.retired.Increment();
+        metrics.live.Add(-1.0);
+      });
+
+  snapshot->config_ = linker.config_;
+  snapshot->epoch_ = linker.epoch_;
+  snapshot->index_vocab_ = linker.index_vocab_;
+  snapshot->token_index_ = linker.token_index_;
+  snapshot->epoch_vocab_ = linker.epoch_vocab_;
+  snapshot->record_vectors_ = linker.record_vectors_;
+  snapshot->record_group_ = linker.record_group_;
+  snapshot->group_records_ = linker.group_records_;
+  snapshot->group_labels_ = linker.group_labels_;
+  snapshot->group_alive_ = linker.group_alive_;
+  snapshot->num_alive_groups_ = linker.num_alive_groups_;
+  snapshot->linked_pairs_ = linker.linked_pairs_;
+  snapshot->cluster_labels_ = linker.ClusterLabels();
+  // Last write: the seal. Anything observing an unsealed snapshot went
+  // around the publication barrier.
+  snapshot->seal_ = kSealed;
+
+  metrics.captured.Increment();
+  metrics.live.Add(1.0);
+  return snapshot;
+}
+
+std::vector<int32_t> CorpusSnapshot::CandidateGroupsForProbe(
+    const std::vector<std::vector<int32_t>>& probe_token_ids) const {
+  std::vector<int32_t> groups;
+  for (const std::vector<int32_t>& ids : probe_token_ids) {
+    for (const int32_t doc : token_index_.DocumentsSharingToken(ids)) {
+      const int32_t g = record_group_[static_cast<size_t>(doc)];
+      if (!group_alive_[static_cast<size_t>(g)]) continue;
+      groups.push_back(g);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+CorpusSnapshot::QueryResult CorpusSnapshot::LinkQuery(
+    const GroupArrival& group, const QueryOptions& options) const {
+  GL_CHECK_EQ(seal_, kSealed) << "LinkQuery on an unsealed snapshot";
+  GL_CHECK(!group.record_texts.empty()) << "groups must have records";
+
+  QueryResult result;
+  result.epoch = epoch_;
+
+  // Probe preparation mirrors the arrival path (AddGroups phases A-C) on
+  // the frozen epoch: tokenize, map tokens into the index id space for
+  // candidate generation, vectorize against the epoch vocabulary. Tokens
+  // the index has never seen cannot match any posting (an arrival would
+  // have absorbed them with empty postings), so dropping them here yields
+  // the identical candidate set.
+  const size_t probe_size = group.record_texts.size();
+  std::vector<std::vector<int32_t>> probe_ids(probe_size);
+  std::vector<SparseVector> probe_vectors(probe_size);
+  const TfIdfVectorizer vectorizer(&epoch_vocab_);
+  for (size_t i = 0; i < probe_size; ++i) {
+    const std::vector<std::string> raw = Tokenize(group.record_texts[i]);
+    const std::vector<std::string> set = ToTokenSet(raw);
+    for (const std::string& token : set) {
+      const int32_t id = index_vocab_.GetId(token);
+      if (id != Vocabulary::kUnknownToken) probe_ids[i].push_back(id);
+      if (epoch_vocab_.GetId(token) == Vocabulary::kUnknownToken) {
+        ++result.oov_tokens;
+      }
+    }
+    std::sort(probe_ids[i].begin(), probe_ids[i].end());
+    probe_vectors[i] = vectorizer.Vectorize(raw);
+  }
+
+  ExecutionContext ctx;
+  if (options.deadline_ms > 0.0) ctx.SetDeadline(options.deadline_ms);
+  ctx.SetCancellation(options.cancellation);
+  ctx.SetMaxCandidatePairs(options.max_candidate_pairs);
+  ctx.SetMaxMatcherCost(options.max_matcher_cost);
+
+  std::vector<int32_t> candidates = CandidateGroupsForProbe(probe_ids);
+  const size_t cap = ctx.EffectiveCandidateCap(candidates.size());
+  if (cap < candidates.size()) {
+    candidates.resize(cap);
+    ctx.NoteDegraded();
+  }
+  result.candidates = candidates.size();
+
+  FilterRefineConfig fr_config;
+  fr_config.theta = config_.theta;
+  fr_config.group_threshold = config_.group_threshold;
+  fr_config.use_upper_bound_filter =
+      config_.use_filter_refine && config_.use_upper_bound_filter;
+  fr_config.use_lower_bound_accept =
+      config_.use_filter_refine && config_.use_lower_bound_accept;
+
+  const int32_t size_right = static_cast<int32_t>(probe_size);
+  for (const int32_t g : candidates) {
+    if (ctx.StopRequested()) {
+      ctx.NoteDegraded();
+      break;
+    }
+    // The corpus group is the left side, the probe the right — the same
+    // orientation as the arrival path's DecideLink(other, new_group).
+    const std::vector<int32_t>& left = group_records_[static_cast<size_t>(g)];
+    const int32_t size_left = static_cast<int32_t>(left.size());
+    BipartiteGraph graph(size_left, size_right);
+    for (size_t i = 0; i < left.size(); ++i) {
+      const SparseVector& corpus_vector =
+          record_vectors_[static_cast<size_t>(left[i])];
+      for (size_t j = 0; j < probe_size; ++j) {
+        const double s =
+            PrenormalizedCosineSimilarity(corpus_vector, probe_vectors[j]);
+        if (s >= config_.theta) {
+          graph.AddEdge(static_cast<int32_t>(i), static_cast<int32_t>(j), s);
+        }
+      }
+    }
+    if (DecideGraphLinked(graph, size_left, size_right, fr_config, &ctx)) {
+      result.linked_to.push_back(g);
+    }
+  }
+  result.degraded = ctx.degraded();
+  return result;
+}
+
+bool CorpusSnapshot::CheckConsistency() const {
+  if (seal_ != kSealed) return false;
+  const size_t n_records = record_vectors_.size();
+  const size_t n_groups = group_records_.size();
+  if (record_group_.size() != n_records) return false;
+  if (group_labels_.size() != n_groups) return false;
+  if (group_alive_.size() != n_groups) return false;
+  if (cluster_labels_.size() != n_groups) return false;
+  int32_t alive = 0;
+  for (const char a : group_alive_) alive += a != 0 ? 1 : 0;
+  if (alive != num_alive_groups_) return false;
+  for (const int32_t g : record_group_) {
+    if (g < 0 || static_cast<size_t>(g) >= n_groups) return false;
+  }
+  std::pair<int32_t, int32_t> prev{-1, -1};
+  for (const auto& pair : linked_pairs_) {
+    if (pair.first >= pair.second) return false;
+    if (pair <= prev) return false;  // Sorted, no duplicates.
+    if (!IsAlive(pair.first) || !IsAlive(pair.second)) return false;
+    prev = pair;
+  }
+  return true;
+}
+
+}  // namespace grouplink

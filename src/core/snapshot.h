@@ -1,0 +1,169 @@
+#ifndef GROUPLINK_CORE_SNAPSHOT_H_
+#define GROUPLINK_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "core/incremental.h"
+#include "index/inverted_index.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace grouplink {
+
+/// An immutable, self-contained freeze of one serving epoch: the corpus
+/// TF-IDF vectors, the token inverted index, group membership and labels,
+/// the link set, and the entity cluster labels — everything LinkQuery
+/// needs, copied out of an IncrementalLinker at a refresh point and never
+/// mutated again.
+///
+/// Concurrency contract: every method is const and touches only state
+/// frozen at Capture() time, so any number of threads may query one
+/// snapshot concurrently with no synchronization. Snapshots are published
+/// through EpochCell<CorpusSnapshot> (common/epoch_cell.h); a retired
+/// epoch stays alive until its last reader drops the shared_ptr, which is
+/// the entire memory-reclamation story (DESIGN.md §11).
+///
+/// Query semantics: LinkQuery(G) answers "which corpus groups would G
+/// link to" with the *exact* decision procedure of the streaming arrival
+/// path under this epoch's frozen statistics — tokenize, vectorize
+/// against the epoch vocabulary (unseen tokens drop out of the vector),
+/// candidates by token blocking over the index, then the shared
+/// filter-and-refine ladder (DecideGraphLinked) per candidate. So a query
+/// against the epoch-k snapshot returns bit-identically the links that
+/// linker.Clone()->AddGroup(G) would have produced at the capture point —
+/// and at a refresh point that equals a batch LinkageEngine run over the
+/// epoch corpus plus G (tested in tests/core_snapshot_test.cc).
+class CorpusSnapshot {
+ public:
+  /// Per-query admission control, mapped onto ExecutionContext: a
+  /// deadline, a cooperative cancellation token, and work budgets. Zero
+  /// means "no limit" for every knob (LinkageService overlays its
+  /// configured defaults on zeros). A budget-tripped or deadline-tripped
+  /// query returns a valid partial answer — linked_to is a subset of the
+  /// unconstrained answer — with degraded == true.
+  struct QueryOptions {
+    double deadline_ms = 0.0;
+    int64_t max_candidate_pairs = 0;
+    int64_t max_matcher_cost = 0;
+    CancellationToken cancellation;
+  };
+
+  /// Answer of one LinkQuery.
+  struct QueryResult {
+    /// Corpus groups the probe group links to (ascending group indexes).
+    std::vector<int32_t> linked_to;
+    /// Epoch this query was answered at (== snapshot epoch; lets callers
+    /// assert monotone epochs across a service's refreshes).
+    int64_t epoch = 0;
+    /// Candidate groups scored (diagnostics).
+    size_t candidates = 0;
+    /// Probe token occurrences unknown to the epoch vocabulary; they
+    /// carry no TF-IDF weight until the next refresh absorbs them.
+    size_t oov_tokens = 0;
+    /// True when admission control shed work: linked_to may be missing
+    /// links relative to the unconstrained query (never has extras).
+    bool degraded = false;
+  };
+
+  /// Freezes `linker`'s current state into an immutable snapshot. The
+  /// caller must guarantee the linker is quiescent for the duration of
+  /// the call (LinkageService captures under its writer lock, or from the
+  /// refresh clone that no other thread can reach). The returned pointer
+  /// is independent of the linker — mutating or destroying the linker
+  /// afterwards does not touch the snapshot.
+  [[nodiscard]] static std::shared_ptr<const CorpusSnapshot> Capture(
+      const IncrementalLinker& linker);
+
+  CorpusSnapshot(const CorpusSnapshot&) = delete;
+  CorpusSnapshot& operator=(const CorpusSnapshot&) = delete;
+
+  /// Links `group` against the frozen corpus. Thread-safe (pure read).
+  /// Empty record_texts is invalid (GL_CHECK). The options-free overload
+  /// runs unconstrained (all admission-control knobs at "no limit").
+  [[nodiscard]] QueryResult LinkQuery(const GroupArrival& group,
+                                      const QueryOptions& options) const;
+  [[nodiscard]] QueryResult LinkQuery(const GroupArrival& group) const {
+    return LinkQuery(group, QueryOptions());
+  }
+
+  /// Epoch number this snapshot froze (== linker.epoch() at capture).
+  int64_t epoch() const { return epoch_; }
+  /// All links over live groups, (i < j) pairs sorted lexicographically —
+  /// at a refresh point, bit-identical to the batch engine's link set on
+  /// the epoch corpus.
+  const std::vector<std::pair<int32_t, int32_t>>& linked_pairs() const {
+    return linked_pairs_;
+  }
+  /// Entity label per group slot (transitive closure of linked_pairs).
+  const std::vector<size_t>& cluster_labels() const { return cluster_labels_; }
+  const std::string& label(int32_t group) const {
+    return group_labels_[static_cast<size_t>(group)];
+  }
+  bool IsAlive(int32_t group) const {
+    return group >= 0 && group < num_groups() &&
+           group_alive_[static_cast<size_t>(group)] != 0;
+  }
+  int32_t num_groups() const {
+    return static_cast<int32_t>(group_records_.size());
+  }
+  int32_t num_alive_groups() const { return num_alive_groups_; }
+  int32_t num_records() const {
+    return static_cast<int32_t>(record_vectors_.size());
+  }
+  /// The normalized engine configuration this snapshot scores with (same
+  /// contract as IncrementalLinker::engine_config).
+  const LinkageConfig& engine_config() const { return config_; }
+
+  /// Structural self-check of the frozen state: the seal sentinel written
+  /// as Capture's last step, cross-array size agreement, sorted (i < j)
+  /// link pairs over live groups. Soak readers call this to prove no
+  /// query ever observes a half-built epoch; any violation would mean the
+  /// publication barrier broke. Cheap enough to run per query batch.
+  [[nodiscard]] bool CheckConsistency() const;
+
+ private:
+  CorpusSnapshot() = default;
+
+  /// Candidate groups for the probe's token-id lists: live groups sharing
+  /// at least one index token. Sorted ascending, deduplicated.
+  std::vector<int32_t> CandidateGroupsForProbe(
+      const std::vector<std::vector<int32_t>>& probe_token_ids) const;
+
+  // All fields are written once inside Capture and frozen thereafter.
+  LinkageConfig config_;
+  int64_t epoch_ = 0;
+
+  // Token index (for candidate generation) and the vocabulary that maps
+  // probe tokens to its id space.
+  Vocabulary index_vocab_;
+  InvertedIndex token_index_;
+
+  // Epoch TF-IDF statistics and the per-record vectors under them.
+  Vocabulary epoch_vocab_;
+  std::vector<SparseVector> record_vectors_;
+  std::vector<int32_t> record_group_;
+
+  // Group membership, identity, and liveness.
+  std::vector<std::vector<int32_t>> group_records_;
+  std::vector<std::string> group_labels_;
+  std::vector<char> group_alive_;
+  int32_t num_alive_groups_ = 0;
+
+  std::vector<std::pair<int32_t, int32_t>> linked_pairs_;
+  std::vector<size_t> cluster_labels_;
+
+  // Written as the very last step of Capture; every query GL_CHECKs it.
+  // A reader that could ever observe a partially built snapshot would
+  // see the zero-initialized value here, not the magic.
+  uint64_t seal_ = 0;
+  static constexpr uint64_t kSealed = 0x5ea1ed5ea1ed5eaULL;
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_CORE_SNAPSHOT_H_

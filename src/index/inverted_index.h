@@ -13,6 +13,17 @@ namespace grouplink {
 /// This is the data structure behind blocking and set-similarity joins:
 /// it turns "which documents share a token with d?" into posting-list
 /// lookups instead of all-pairs comparisons.
+///
+/// Thread safety (shared-read contract, audited for the serving layer):
+/// the class does no internal synchronization. Every `const` member —
+/// Postings, DocumentFrequency, DocumentTokens, DocumentsSharingToken,
+/// IsRemoved, the counts, PostingsAreSorted — only reads the index, so
+/// any number of threads may call them concurrently *provided no thread
+/// is inside a mutator* (AddDocument, RemoveDocument, Compact).
+/// Mutators grow the posting table and splice vectors; racing a reader
+/// against one is undefined behavior, not just staleness. CorpusSnapshot
+/// relies on exactly this contract: it copies the index into an
+/// immutable epoch, after which all access is const and lock-free.
 class InvertedIndex {
  public:
   /// Adds a document and returns its id (sequential from 0).

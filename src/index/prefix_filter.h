@@ -23,6 +23,15 @@ class ExecutionContext;
 /// tokens of x (and likewise for y). So indexing only prefixes yields a
 /// candidate set guaranteed to contain every qualifying pair — the
 /// completeness property is property-tested against a brute-force join.
+///
+/// Thread safety (shared-read contract, audited for the serving layer):
+/// every function here is a pure read of its `documents` input — none
+/// mutates or retains it — so concurrent joins over the same corpus are
+/// safe as long as the caller does not mutate `documents` mid-call. The
+/// sharded join's internal prefix index is built once and then read-only
+/// across all probe shards; the only cross-thread writes are each
+/// shard's own callback state, which the API confines to one worker per
+/// shard by contract.
 
 /// Returns the number of prefix tokens to index for a set of `size`
 /// elements under Jaccard threshold `t` (0 for an empty set).

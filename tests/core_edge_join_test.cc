@@ -60,14 +60,18 @@ TEST(EdgeJoinTest, StatsAreConsistent) {
   const Dataset dataset = GenerateBibliographic(SmallConfig());
   const auto result = RunGroupLinkage(dataset, EdgeJoinLinkage());
   ASSERT_TRUE(result.ok());
-  const EdgeJoinStats stats = result->edge_join_stats();
-  EXPECT_GT(stats.record_candidates, 0u);
-  EXPECT_GT(stats.edges, 0u);
-  EXPECT_LE(stats.edges, stats.record_candidates);
-  EXPECT_GT(stats.group_pairs, 0u);
-  EXPECT_EQ(stats.group_pairs, stats.pruned_by_upper_bound +
-                                   stats.accepted_by_lower_bound + stats.refined);
-  EXPECT_EQ(stats.linked, result->linked_pairs.size());
+  const RunReport& report = result->report();
+  EXPECT_GT(report.StageCounter("join", "record_candidates"), 0);
+  EXPECT_GT(report.StageCounter("join", "edges"), 0);
+  EXPECT_LE(report.StageCounter("join", "edges"),
+            report.StageCounter("join", "record_candidates"));
+  EXPECT_GT(report.StageCounter("bucket", "group_pairs"), 0);
+  EXPECT_EQ(report.StageCounter("bucket", "group_pairs"),
+            report.StageCounter("score", "ub_pruned") +
+                report.StageCounter("score", "lb_accepted") +
+                report.StageCounter("score", "refined"));
+  EXPECT_EQ(report.StageCounter("score", "linked"),
+            static_cast<int64_t>(result->linked_pairs.size()));
 }
 
 TEST(EdgeJoinTest, LinkedPairsSortedAndOriented) {
@@ -132,7 +136,7 @@ TEST(EdgeJoinTest, OutputIdenticalAcrossThreadCounts) {
   serial.num_threads = 1;
   const auto reference = RunGroupLinkage(dataset, serial);
   ASSERT_TRUE(reference.ok());
-  EXPECT_EQ(reference->edge_join_stats().threads_used, 1);
+  EXPECT_EQ(reference->report().StageCounter("join", "threads_used"), 1);
 
   for (const int32_t threads : {2, 7}) {
     LinkageConfig parallel = EdgeJoinLinkage();
@@ -141,16 +145,20 @@ TEST(EdgeJoinTest, OutputIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->linked_pairs, reference->linked_pairs) << threads;
     EXPECT_EQ(result->group_cluster, reference->group_cluster) << threads;
-    const EdgeJoinStats got = result->edge_join_stats();
-    const EdgeJoinStats want = reference->edge_join_stats();
-    EXPECT_EQ(got.record_candidates, want.record_candidates) << threads;
-    EXPECT_EQ(got.edges, want.edges) << threads;
-    EXPECT_EQ(got.group_pairs, want.group_pairs) << threads;
-    EXPECT_EQ(got.pruned_by_upper_bound, want.pruned_by_upper_bound) << threads;
-    EXPECT_EQ(got.accepted_by_lower_bound, want.accepted_by_lower_bound) << threads;
-    EXPECT_EQ(got.refined, want.refined) << threads;
-    EXPECT_EQ(got.linked, want.linked) << threads;
-    EXPECT_EQ(got.threads_used, threads);
+    const RunReport& got = result->report();
+    const RunReport& want = reference->report();
+    for (const auto& [stage, counter] :
+         {std::pair<const char*, const char*>{"join", "record_candidates"},
+          {"join", "edges"},
+          {"bucket", "group_pairs"},
+          {"score", "ub_pruned"},
+          {"score", "lb_accepted"},
+          {"score", "refined"},
+          {"score", "linked"}}) {
+      EXPECT_EQ(got.StageCounter(stage, counter), want.StageCounter(stage, counter))
+          << stage << "/" << counter << " @ " << threads;
+    }
+    EXPECT_EQ(got.StageCounter("join", "threads_used"), threads);
   }
 }
 
@@ -226,8 +234,9 @@ TEST(EdgeJoinTest, DirectCallOnTinyDataset) {
   add("b", {"alpha beta gamma", "delta epsilon zeta"});
   add("c", {"omega psi chi"});
 
-  LinkageEngine engine(&dataset, EdgeJoinLinkage());
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, EdgeJoinLinkage());
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const LinkageResult result = engine.Run();
   ASSERT_EQ(result.linked_pairs.size(), 1u);
   EXPECT_EQ(result.linked_pairs[0], std::make_pair(0, 1));

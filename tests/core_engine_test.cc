@@ -29,10 +29,10 @@ TEST(LinkageEngineTest, PrepareRejectsBadThresholds) {
   const Dataset dataset = GenerateBibliographic(SmallConfig());
   LinkageConfig config = DefaultLinkage();
   config.theta = 0.0;
-  EXPECT_FALSE(LinkageEngine(&dataset, config).Prepare().ok());
+  EXPECT_FALSE(LinkageEngine::Create(&dataset, config).ok());
   config = DefaultLinkage();
   config.group_threshold = 1.5;
-  EXPECT_FALSE(LinkageEngine(&dataset, config).Prepare().ok());
+  EXPECT_FALSE(LinkageEngine::Create(&dataset, config).ok());
 }
 
 TEST(LinkageConfigTest, ValidateAcceptsDefaultsAndTestConfigs) {
@@ -128,7 +128,7 @@ TEST(LinkageConfigTest, PrepareRejectsInvalidConfig) {
   const Dataset dataset = GenerateBibliographic(SmallConfig());
   LinkageConfig config = DefaultLinkage();
   config.num_threads = 0;
-  const Status status = LinkageEngine(&dataset, config).Prepare();
+  const Status status = LinkageEngine::Create(&dataset, config).status();
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
@@ -139,13 +139,14 @@ TEST(LinkageEngineTest, PrepareRejectsInvalidDataset) {
   record.id = "r";
   record.text = "text";
   dataset.records.push_back(record);  // Orphan record, no group.
-  EXPECT_FALSE(LinkageEngine(&dataset, DefaultLinkage()).Prepare().ok());
+  EXPECT_FALSE(LinkageEngine::Create(&dataset, DefaultLinkage()).ok());
 }
 
 TEST(LinkageEngineTest, DefaultSimilarityIdentityAndRange) {
   const Dataset dataset = GenerateBibliographic(SmallConfig());
-  LinkageEngine engine(&dataset, DefaultLinkage());
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, DefaultLinkage());
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   for (int32_t r = 0; r < std::min(dataset.num_records(), 20); ++r) {
     EXPECT_NEAR(engine.DefaultRecordSimilarity(r, r), 1.0, 1e-9);
     for (int32_t s = 0; s < r; ++s) {
@@ -169,8 +170,9 @@ TEST(LinkageEngineTest, BlankRecordsCarryNoEvidence) {
   records[2].text = "real content here";
   auto dataset = MakeDataset(std::move(records), {0, 1, 2}, 3);
   ASSERT_TRUE(dataset.ok());
-  LinkageEngine engine(&*dataset, DefaultLinkage());
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&*dataset, DefaultLinkage());
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   EXPECT_DOUBLE_EQ(engine.DefaultRecordSimilarity(0, 1), 0.0);
   EXPECT_DOUBLE_EQ(engine.DefaultRecordSimilarity(0, 2), 0.0);
   const LinkageResult result = engine.Run();
@@ -243,12 +245,14 @@ TEST(LinkageEngineTest, BlockingCandidatesReduceWork) {
   LinkageConfig blocking = DefaultLinkage();
   blocking.candidates = CandidateMethod::kBlocking;
   blocking.blocking = BlockingScheme::kTokenPrefix;
-  LinkageEngine engine(&dataset, blocking);
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, blocking);
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const LinkageResult result = engine.Run();
   const size_t all =
       static_cast<size_t>(dataset.num_groups()) * (dataset.num_groups() - 1) / 2;
-  EXPECT_LE(result.candidate_stats().group_pairs, all);
+  EXPECT_LE(static_cast<size_t>(
+      result.report().StageCounter("candidates", "group_pairs")), all);
 }
 
 TEST(LinkageEngineTest, BaselineMeasuresRun) {
@@ -322,9 +326,10 @@ TEST(LinkageEngineTest, ParallelScoringMatchesSerial) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->linked_pairs, b->linked_pairs);
   EXPECT_EQ(a->group_cluster, b->group_cluster);
-  EXPECT_EQ(a->score_stats().pruned_by_upper_bound,
-            b->score_stats().pruned_by_upper_bound);
-  EXPECT_EQ(a->score_stats().refined, b->score_stats().refined);
+  EXPECT_EQ(a->report().StageCounter("score", "ub_pruned"),
+            b->report().StageCounter("score", "ub_pruned"));
+  EXPECT_EQ(a->report().StageCounter("score", "refined"),
+            b->report().StageCounter("score", "refined"));
 }
 
 TEST(LinkageEngineTest, AllCandidateMethodsProduceValidResults) {

@@ -89,27 +89,25 @@ TEST(RunReportTest, EdgeJoinStagesAndIdentities) {
             report.StageCounter("join", "record_candidates"));
 }
 
-TEST(RunReportTest, DeprecatedAccessorsMatchReport) {
+// report() is the only stats surface (the thin accessors that used to
+// reconstruct legacy structs from it are gone): every per-pair stage
+// must expose its counters and a nonnegative wall time directly.
+TEST(RunReportTest, ReportIsTheOnlyStatsSurface) {
   const Dataset dataset = TestDataset();
   const auto result = RunGroupLinkage(dataset, PerPairConfig());
   ASSERT_TRUE(result.ok());
   const RunReport& report = result->report();
 
-  const FilterRefineStats score = result->score_stats();
-  EXPECT_EQ(static_cast<int64_t>(score.candidates),
-            report.StageCounter("score", "candidates"));
-  EXPECT_EQ(static_cast<int64_t>(score.refined),
-            report.StageCounter("score", "refined"));
-  EXPECT_EQ(static_cast<int64_t>(score.linked),
-            report.StageCounter("score", "linked"));
-
-  const GroupCandidateStats candidates = result->candidate_stats();
-  EXPECT_EQ(static_cast<int64_t>(candidates.group_pairs),
+  EXPECT_GT(report.StageCounter("score", "candidates"), 0);
+  EXPECT_EQ(report.StageCounter("score", "linked"),
+            static_cast<int64_t>(result->linked_pairs.size()));
+  EXPECT_GT(report.StageCounter("candidates", "group_pairs"), 0);
+  EXPECT_GE(report.StageCounter("candidates", "record_pairs"),
             report.StageCounter("candidates", "group_pairs"));
 
-  EXPECT_DOUBLE_EQ(result->seconds_prepare(), report.StageSeconds("prepare"));
-  EXPECT_DOUBLE_EQ(result->seconds_candidates(), report.StageSeconds("candidates"));
-  EXPECT_DOUBLE_EQ(result->seconds_scoring(), report.StageSeconds("score"));
+  EXPECT_GE(report.StageSeconds("prepare"), 0.0);
+  EXPECT_GE(report.StageSeconds("candidates"), 0.0);
+  EXPECT_GE(report.StageSeconds("score"), 0.0);
 }
 
 TEST(RunReportTest, RegistryCountersIdenticalAcrossThreadCounts) {

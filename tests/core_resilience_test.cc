@@ -58,8 +58,9 @@ bool IsSubset(const Pairs& sub, const Pairs& super) {
 }
 
 LinkageResult RunLinkage(const Dataset& dataset, const LinkageConfig& config) {
-  LinkageEngine engine(&dataset, config);
-  EXPECT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  EXPECT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   return engine.Run();
 }
 
@@ -80,7 +81,7 @@ TEST(ResilienceTest, CancellationPreemptsScoringAndReportsCause) {
   const Dataset dataset = MakeCorpus(20, 42);
   const LinkageResult full = RunLinkage(dataset, TestConfig());
   ASSERT_GT(full.linked_pairs.size(), 0u);
-  ASSERT_GT(full.score_stats().candidates, 0u);
+  ASSERT_GT(full.report().StageCounter("score", "candidates"), 0);
 
   LinkageConfig config = TestConfig();
   config.cancellation.Cancel();  // Cancelled before Run even starts.
@@ -99,14 +100,16 @@ TEST(ResilienceTest, MidRunCancellationShedsOnlyTheRemainder) {
   // evaluations: the pairs decided before the trip stay decided, the rest
   // are shed, and the output is a subset of the unconstrained run's.
   const Dataset dataset = MakeCorpus(20, 42);
-  LinkageEngine reference(&dataset, TestConfig());
-  ASSERT_TRUE(reference.Prepare().ok());
+  auto reference_or = LinkageEngine::Create(&dataset, TestConfig());
+  ASSERT_TRUE(reference_or.ok());
+  LinkageEngine& reference = *reference_or;
   const LinkageResult full = reference.Run();
 
   LinkageConfig config = TestConfig();
   CancellationToken token = config.cancellation;
-  LinkageEngine engine(&dataset, config);
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   int evaluations = 0;
   const LinkageResult result = engine.Run([&](int32_t a, int32_t b) {
     if (++evaluations == 200) token.Cancel();
@@ -200,7 +203,7 @@ TEST(ResilienceTest, MatcherBudgetFallsBackToSoundBounds) {
   LinkageConfig base = TestConfig();
   base.use_lower_bound_accept = false;
   const LinkageResult full = RunLinkage(dataset, base);
-  ASSERT_GT(full.score_stats().refined, 0u);
+  ASSERT_GT(full.report().StageCounter("score", "refined"), 0);
 
   Pairs first_links;
   for (const int32_t threads : {1, 3}) {
@@ -211,7 +214,7 @@ TEST(ResilienceTest, MatcherBudgetFallsBackToSoundBounds) {
 
     EXPECT_TRUE(result.report().degraded);
     EXPECT_EQ(result.report().StageCounter("score", "degraded_refines"),
-              static_cast<int64_t>(full.score_stats().refined));
+              full.report().StageCounter("score", "refined"));
     // The fallback accepts only on the sound lower bound, so it can
     // under-link but never over-link.
     EXPECT_TRUE(IsSubset(result.linked_pairs, full.linked_pairs));

@@ -1,0 +1,248 @@
+// Concurrent serving soak (run under TSan in CI): N reader threads issue
+// LinkQuery against a LinkageService while the writer streams arrivals
+// and the policy runs background clone-replay-swap refreshes. Readers
+// prove three properties on every single query:
+//   1. No half-built epoch is ever observable (CheckConsistency, which
+//      starts from the seal sentinel written as Capture's last step).
+//   2. Epochs are monotone per reader (publication never goes backwards).
+//   3. Answers are internally valid (links point at live groups of the
+//      answering epoch).
+// Post-hoc, every distinct epoch any reader retained is proved
+// batch-equivalent: the workload is adds-only in arrival order, so the
+// epoch's group count identifies the exact corpus prefix, and a batch
+// LinkageEngine run over that prefix must produce the epoch's link set.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/service.h"
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+
+namespace grouplink {
+namespace {
+
+LinkageConfig EngineConfig() {
+  LinkageConfig config;
+  config.theta = 0.35;
+  config.group_threshold = 0.2;
+  return config;
+}
+
+Dataset MakeCorpus(int32_t entities, uint64_t seed) {
+  BibliographicConfig config;
+  config.num_entities = entities;
+  config.noise = 0.25;
+  config.num_topics = 5;
+  config.offtopic_word_prob = 0.5;
+  config.seed = seed;
+  return GenerateBibliographic(config);
+}
+
+std::vector<std::string> GroupTexts(const Dataset& dataset, int32_t group) {
+  std::vector<std::string> texts;
+  for (const int32_t r : dataset.groups[static_cast<size_t>(group)].record_ids) {
+    texts.push_back(dataset.records[static_cast<size_t>(r)].text);
+  }
+  return texts;
+}
+
+// Splits `full` into a seed prefix dataset and the remaining arrivals.
+void Split(const Dataset& full, int32_t seed_groups, Dataset* seed,
+           std::vector<GroupArrival>* arrivals) {
+  for (int32_t g = 0; g < full.num_groups(); ++g) {
+    if (g < seed_groups) {
+      Group rebased;
+      rebased.id = full.groups[static_cast<size_t>(g)].id;
+      rebased.label = full.groups[static_cast<size_t>(g)].label;
+      for (const int32_t r : full.groups[static_cast<size_t>(g)].record_ids) {
+        rebased.record_ids.push_back(static_cast<int32_t>(seed->records.size()));
+        seed->records.push_back(full.records[static_cast<size_t>(r)]);
+      }
+      seed->groups.push_back(std::move(rebased));
+    } else {
+      arrivals->push_back(
+          {full.groups[static_cast<size_t>(g)].label, GroupTexts(full, g)});
+    }
+  }
+  ASSERT_TRUE(seed->Validate().ok());
+}
+
+// The corpus a batch engine would see at an adds-only epoch covering the
+// first `prefix` arrivals.
+Dataset EpochCorpus(const Dataset& seed,
+                    const std::vector<GroupArrival>& arrivals, size_t prefix) {
+  Dataset corpus = seed;
+  for (size_t i = 0; i < prefix; ++i) {
+    Group group;
+    group.id = "a" + std::to_string(i);
+    group.label = arrivals[i].label;
+    for (const std::string& text : arrivals[i].record_texts) {
+      Record record;
+      record.id = group.id + "r" + std::to_string(group.record_ids.size());
+      record.text = text;
+      group.record_ids.push_back(static_cast<int32_t>(corpus.records.size()));
+      corpus.records.push_back(std::move(record));
+    }
+    corpus.groups.push_back(std::move(group));
+  }
+  return corpus;
+}
+
+struct ReaderLog {
+  size_t queries = 0;
+  bool consistency_ok = true;
+  bool monotone_ok = true;
+  bool answers_ok = true;
+  // Every distinct epoch this reader observed, retained for the post-hoc
+  // batch-equivalence proof (holding them also exercises reclamation:
+  // retired epochs must stay alive while a reader references them).
+  std::map<int64_t, std::shared_ptr<const CorpusSnapshot>> epochs;
+};
+
+TEST(ServiceSoakTest, ConcurrentReadersNeverObserveHalfBuiltEpochs) {
+  const Dataset full = MakeCorpus(30, 4242);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() / 3, &seed, &arrivals);
+  ASSERT_GE(arrivals.size(), 8u);
+
+  ServiceConfig config;
+  config.engine = EngineConfig();
+  config.streaming.refresh_every_n_groups = 4;  // Frequent swaps.
+  config.async_refresh = true;
+  auto service_or = LinkageService::Create(seed, config);
+  ASSERT_TRUE(service_or.ok());
+  LinkageService& service = *service_or;
+
+  // Probes the readers hammer with: future arrivals and one replayed
+  // seed group (a guaranteed link at every epoch).
+  std::vector<GroupArrival> probes(arrivals.begin(),
+                                   arrivals.begin() + 4);
+  probes.push_back({"replay", GroupTexts(seed, 0)});
+
+  constexpr size_t kReaders = 3;
+  std::vector<ReaderLog> logs(kReaders);
+  std::atomic<bool> stop{false};
+  ThreadPool readers(kReaders);
+  for (size_t reader = 0; reader < kReaders; ++reader) {
+    ReaderLog* log = &logs[reader];
+    const LinkageService* svc = &service;
+    const std::vector<GroupArrival>* probe_set = &probes;
+    readers.Submit([log, svc, probe_set, &stop] {
+      int64_t last_epoch = -1;
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const GroupArrival& probe : *probe_set) {
+          const auto snapshot = svc->snapshot();
+          log->consistency_ok &= snapshot->CheckConsistency();
+          log->monotone_ok &= snapshot->epoch() >= last_epoch;
+          last_epoch = snapshot->epoch();
+          log->epochs.emplace(snapshot->epoch(), snapshot);
+
+          const auto answer = snapshot->LinkQuery(probe);
+          log->answers_ok &= answer.epoch == snapshot->epoch();
+          log->answers_ok &= !answer.degraded;
+          for (const int32_t g : answer.linked_to) {
+            log->answers_ok &= snapshot->IsAlive(g);
+          }
+          ++log->queries;
+        }
+      }
+    });
+  }
+
+  // Writer: stream every arrival one at a time (each policy trip clones,
+  // refreshes in the background, and swaps while the readers hammer the
+  // published cell), then drain and stop the readers.
+  for (const GroupArrival& arrival : arrivals) {
+    (void)service.AddGroup(arrival.label, arrival.record_texts);
+  }
+  service.WaitForRefresh();
+  service.Refresh();  // Final epoch covers every arrival.
+  stop.store(true, std::memory_order_release);
+  readers.Wait();
+
+  // Merge the per-reader logs and assert the three reader properties.
+  std::map<int64_t, std::shared_ptr<const CorpusSnapshot>> epochs;
+  size_t total_queries = 0;
+  for (size_t reader = 0; reader < kReaders; ++reader) {
+    EXPECT_TRUE(logs[reader].consistency_ok) << "reader " << reader;
+    EXPECT_TRUE(logs[reader].monotone_ok) << "reader " << reader;
+    EXPECT_TRUE(logs[reader].answers_ok) << "reader " << reader;
+    EXPECT_GT(logs[reader].queries, 0u) << "reader " << reader;
+    total_queries += logs[reader].queries;
+    epochs.insert(logs[reader].epochs.begin(), logs[reader].epochs.end());
+  }
+  // The readers must actually have raced refreshes: more than one epoch
+  // observed (seed epoch + at least one policy swap).
+  EXPECT_GE(epochs.size(), 2u) << total_queries << " queries";
+
+  // Post-hoc: every observed epoch is batch-equivalent. Adds-only, so
+  // the group count identifies the corpus prefix exactly.
+  const auto final_snapshot = service.snapshot();
+  epochs.emplace(final_snapshot->epoch(), final_snapshot);
+  for (const auto& [epoch, snapshot] : epochs) {
+    const size_t prefix =
+        static_cast<size_t>(snapshot->num_groups() - seed.num_groups());
+    ASSERT_LE(prefix, arrivals.size());
+    const Dataset corpus = EpochCorpus(seed, arrivals, prefix);
+    const auto batch = RunGroupLinkage(corpus, snapshot->engine_config());
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(snapshot->linked_pairs(), batch->linked_pairs)
+        << "epoch " << epoch << " (prefix " << prefix << ")";
+  }
+  // The final epoch covers the whole stream.
+  EXPECT_EQ(final_snapshot->num_groups(), full.num_groups());
+}
+
+TEST(ServiceSoakTest, QueriesDuringSyncRefreshStayConsistent) {
+  // Same reader harness against the stop-the-world baseline: readers must
+  // still never see a torn epoch (publication is atomic in both modes);
+  // only the latency profile differs — which bench_e18_serving measures.
+  const Dataset full = MakeCorpus(20, 777);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() / 2, &seed, &arrivals);
+
+  ServiceConfig config;
+  config.engine = EngineConfig();
+  config.streaming.refresh_every_n_groups = 2;
+  config.async_refresh = false;
+  auto service_or = LinkageService::Create(seed, config);
+  ASSERT_TRUE(service_or.ok());
+  LinkageService& service = *service_or;
+
+  const GroupArrival probe{"replay", GroupTexts(seed, 0)};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  ThreadPool readers(2);
+  for (int reader = 0; reader < 2; ++reader) {
+    readers.Submit([&service, &probe, &stop, &ok] {
+      int64_t last_epoch = -1;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snapshot = service.snapshot();
+        if (!snapshot->CheckConsistency()) ok.store(false);
+        if (snapshot->epoch() < last_epoch) ok.store(false);
+        last_epoch = snapshot->epoch();
+        const auto answer = snapshot->LinkQuery(probe);
+        if (answer.epoch != snapshot->epoch()) ok.store(false);
+      }
+    });
+  }
+  for (const GroupArrival& arrival : arrivals) {
+    (void)service.AddGroup(arrival.label, arrival.record_texts);
+  }
+  stop.store(true, std::memory_order_release);
+  readers.Wait();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(service.snapshot()->num_groups(), full.num_groups());
+}
+
+}  // namespace
+}  // namespace grouplink

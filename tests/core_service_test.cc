@@ -1,0 +1,357 @@
+// LinkageService suite: unified configuration validation (message-level),
+// single-phase Create, snapshot publication semantics, and the async
+// clone-replay-swap refresh — whose final writer state must be identical
+// to a stop-the-world refresh at the same cut followed by the same
+// mutations, and whose published epochs must each be batch-equivalent.
+#include "core/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/linkage_engine.h"
+#include "data/bibliographic_generator.h"
+
+namespace grouplink {
+namespace {
+
+LinkageConfig EngineConfig() {
+  LinkageConfig config;
+  config.theta = 0.35;
+  config.group_threshold = 0.2;
+  return config;
+}
+
+ServiceConfig TestService(bool async = true) {
+  ServiceConfig config;
+  config.engine = EngineConfig();
+  config.async_refresh = async;
+  return config;
+}
+
+Dataset MakeCorpus(int32_t entities, uint64_t seed) {
+  BibliographicConfig config;
+  config.num_entities = entities;
+  config.noise = 0.25;
+  config.num_topics = 5;
+  config.offtopic_word_prob = 0.5;
+  config.seed = seed;
+  return GenerateBibliographic(config);
+}
+
+std::vector<std::string> GroupTexts(const Dataset& dataset, int32_t group) {
+  std::vector<std::string> texts;
+  for (const int32_t r : dataset.groups[static_cast<size_t>(group)].record_ids) {
+    texts.push_back(dataset.records[static_cast<size_t>(r)].text);
+  }
+  return texts;
+}
+
+// Splits `full` into a seed prefix dataset and the remaining arrivals.
+void Split(const Dataset& full, int32_t seed_groups, Dataset* seed,
+           std::vector<GroupArrival>* arrivals) {
+  for (int32_t g = 0; g < full.num_groups(); ++g) {
+    if (g < seed_groups) {
+      Group rebased;
+      rebased.id = full.groups[static_cast<size_t>(g)].id;
+      rebased.label = full.groups[static_cast<size_t>(g)].label;
+      for (const int32_t r : full.groups[static_cast<size_t>(g)].record_ids) {
+        rebased.record_ids.push_back(static_cast<int32_t>(seed->records.size()));
+        seed->records.push_back(full.records[static_cast<size_t>(r)]);
+      }
+      seed->groups.push_back(std::move(rebased));
+    } else {
+      arrivals->push_back(
+          {full.groups[static_cast<size_t>(g)].label, GroupTexts(full, g)});
+    }
+  }
+  ASSERT_TRUE(seed->Validate().ok());
+}
+
+// --- Unified validation: one entry point, struct-named messages. --------
+
+TEST(ServiceConfigTest, ValidateNamesTheOffendingStruct) {
+  {
+    ServiceConfig config = TestService();
+    config.engine.theta = 1.5;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "LinkageConfig: theta must be in (0, 1]");
+  }
+  {
+    ServiceConfig config = TestService();
+    config.streaming.refresh_every_n_groups = -1;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(),
+              "StreamingConfig: refresh_every_n_groups must be >= 0");
+  }
+  {
+    ServiceConfig config = TestService();
+    config.streaming.refresh_on_oov_ratio = 2.0;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(),
+              "StreamingConfig: refresh_on_oov_ratio must be in [0, 1]");
+  }
+  {
+    ServiceConfig config = TestService();
+    config.default_query_deadline_ms = -1.0;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(),
+              "ServiceConfig: default_query_deadline_ms must be finite and >= 0");
+  }
+  {
+    ServiceConfig config = TestService();
+    config.default_query_max_candidates = -5;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(),
+              "ServiceConfig: default_query_max_candidates must be >= 0");
+  }
+  {
+    ServiceConfig config = TestService();
+    config.default_query_max_matcher_cost = -1;
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(),
+              "ServiceConfig: default_query_max_matcher_cost must be >= 0");
+  }
+  EXPECT_TRUE(TestService().Validate().ok());
+}
+
+TEST(ServiceConfigTest, LinkerCreateUsesTheSameUnifiedEntryPoint) {
+  const Dataset dataset = MakeCorpus(10, 1);
+  LinkageConfig bad_engine = EngineConfig();
+  bad_engine.group_threshold = 0.0;
+  const auto engine_err = IncrementalLinker::Create(dataset, bad_engine);
+  ASSERT_FALSE(engine_err.ok());
+  EXPECT_EQ(engine_err.status().message(),
+            "LinkageConfig: group_threshold must be in (0, 1]");
+
+  StreamingConfig bad_streaming;
+  bad_streaming.refresh_on_oov_ratio = -0.1;
+  const auto streaming_err =
+      IncrementalLinker::Create(dataset, EngineConfig(), bad_streaming);
+  ASSERT_FALSE(streaming_err.ok());
+  EXPECT_EQ(streaming_err.status().message(),
+            "StreamingConfig: refresh_on_oov_ratio must be in [0, 1]");
+}
+
+TEST(ServiceConfigTest, CreateRejectsInvalidConfig) {
+  const Dataset dataset = MakeCorpus(10, 2);
+  ServiceConfig config = TestService();
+  config.engine.num_threads = 0;
+  const auto service = LinkageService::Create(dataset, config);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().message(),
+            "LinkageConfig: num_threads must be >= 1");
+}
+
+// --- Create + serving basics. -------------------------------------------
+
+TEST(LinkageServiceTest, CreatePublishesTheSeedEpochImmediately) {
+  const Dataset dataset = MakeCorpus(25, 7);
+  auto service = LinkageService::Create(dataset, TestService());
+  ASSERT_TRUE(service.ok());
+
+  const auto snapshot = service->snapshot();
+  EXPECT_TRUE(snapshot->CheckConsistency());
+  EXPECT_EQ(snapshot->num_groups(), dataset.num_groups());
+  EXPECT_EQ(service->published_epoch(), snapshot->epoch());
+
+  // The seed epoch is batch-equivalent from the start.
+  const auto batch = RunGroupLinkage(dataset, snapshot->engine_config());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(snapshot->linked_pairs(), batch->linked_pairs);
+
+  // Queries answer from the published epoch.
+  const auto query = service->LinkQuery({"probe", GroupTexts(dataset, 0)});
+  EXPECT_EQ(query.epoch, snapshot->epoch());
+  EXPECT_FALSE(query.linked_to.empty());
+}
+
+TEST(LinkageServiceTest, MutationsBecomeQueryableAtTheNextEpoch) {
+  const Dataset full = MakeCorpus(25, 21);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() - 3, &seed, &arrivals);
+
+  auto service = LinkageService::Create(seed, TestService());
+  ASSERT_TRUE(service.ok());
+  const int64_t epoch0 = service->published_epoch();
+
+  const auto added = service->AddGroups(arrivals);
+  ASSERT_EQ(added.size(), arrivals.size());
+  // No policy configured: the published snapshot is still the seed epoch.
+  EXPECT_EQ(service->published_epoch(), epoch0);
+  EXPECT_EQ(service->snapshot()->num_groups(), seed.num_groups());
+
+  service->Refresh();
+  EXPECT_GT(service->published_epoch(), epoch0);
+  const auto snapshot = service->snapshot();
+  EXPECT_EQ(snapshot->num_groups(), full.num_groups());
+  EXPECT_TRUE(snapshot->CheckConsistency());
+  EXPECT_EQ(snapshot->linked_pairs(), service->linked_pairs());
+}
+
+TEST(LinkageServiceTest, QueryDefaultsComeFromTheConfig) {
+  const Dataset dataset = MakeCorpus(25, 13);
+  ServiceConfig config = TestService();
+  config.default_query_max_candidates = 1;
+  auto service = LinkageService::Create(dataset, config);
+  ASSERT_TRUE(service.ok());
+
+  const GroupArrival probe{"probe", GroupTexts(dataset, 0)};
+  // Zero-valued options inherit the configured cap -> degraded.
+  const auto defaulted = service->LinkQuery(probe);
+  EXPECT_TRUE(defaulted.degraded);
+  EXPECT_LE(defaulted.candidates, 1u);
+  // Explicit options override the default.
+  LinkageService::QueryOptions wide;
+  wide.max_candidate_pairs = 1000000;
+  const auto explicit_query = service->LinkQuery(probe, wide);
+  EXPECT_FALSE(explicit_query.degraded);
+  EXPECT_GT(explicit_query.candidates, 1u);
+}
+
+// --- Async refresh: clone-replay-swap equivalence. ----------------------
+
+TEST(LinkageServiceTest, AsyncRefreshMatchesStopTheWorldExactly) {
+  // Deterministic schedule: ingest half the arrivals, start an async
+  // refresh at that cut, ingest the rest while the refresh runs (they go
+  // to the ops log), then drain. The final writer state must equal the
+  // reference linker that refreshed inline at the same cut — and the
+  // published epoch must be the pure cut-point refresh.
+  const Dataset full = MakeCorpus(30, 42);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() / 2, &seed, &arrivals);
+  const size_t cut = arrivals.size() / 2;
+  const std::vector<GroupArrival> before(arrivals.begin(),
+                                         arrivals.begin() + cut);
+  const std::vector<GroupArrival> after(arrivals.begin() + cut, arrivals.end());
+  ASSERT_FALSE(before.empty());
+  ASSERT_FALSE(after.empty());
+
+  auto service = LinkageService::Create(seed, TestService(/*async=*/true));
+  ASSERT_TRUE(service.ok());
+  (void)service->AddGroups(before);
+  ASSERT_TRUE(service->RefreshAsync());
+  (void)service->AddGroups(after);  // Races the background build; logged.
+  service->WaitForRefresh();
+
+  // Reference: stop-the-world at the same cut, then the same arrivals.
+  auto reference = IncrementalLinker::Create(seed, EngineConfig());
+  ASSERT_TRUE(reference.ok());
+  (void)reference->AddGroups(before);
+  reference->Refresh();
+  (void)reference->AddGroups(after);
+
+  EXPECT_EQ(service->writer_epoch(), reference->epoch());
+  EXPECT_EQ(service->num_groups(), reference->num_groups());
+  EXPECT_EQ(service->linked_pairs(), reference->linked_pairs());
+
+  // The epoch published by the async refresh is the pure cut: exactly the
+  // reference's state at its refresh point, which is batch-equivalent.
+  const auto snapshot = service->snapshot();
+  EXPECT_EQ(snapshot->num_groups(),
+            seed.num_groups() + static_cast<int32_t>(before.size()));
+  EXPECT_TRUE(snapshot->CheckConsistency());
+}
+
+TEST(LinkageServiceTest, PolicyTriggersBackgroundRefreshAndConverges) {
+  const Dataset full = MakeCorpus(25, 5);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() / 2, &seed, &arrivals);
+
+  ServiceConfig config = TestService(/*async=*/true);
+  config.streaming.refresh_every_n_groups = 3;
+  auto service = LinkageService::Create(seed, config);
+  ASSERT_TRUE(service.ok());
+  const int64_t epoch0 = service->published_epoch();
+
+  for (const GroupArrival& arrival : arrivals) {
+    (void)service->AddGroup(arrival.label, arrival.record_texts);
+  }
+  service->WaitForRefresh();
+
+  // The policy fired in the background: newer epoch, every arrival
+  // visible once the service has converged (refresh the tail explicitly —
+  // the policy only guarantees refreshes every 3 groups).
+  EXPECT_GT(service->published_epoch(), epoch0);
+  service->Refresh();
+  EXPECT_EQ(service->snapshot()->num_groups(), full.num_groups());
+
+  // Converged state equals the inline-policy reference.
+  StreamingConfig streaming;
+  streaming.refresh_every_n_groups = 3;
+  auto reference = IncrementalLinker::Create(seed, EngineConfig(), streaming);
+  ASSERT_TRUE(reference.ok());
+  for (const GroupArrival& arrival : arrivals) {
+    (void)reference->AddGroup(arrival.label, arrival.record_texts);
+  }
+  reference->Refresh();
+  EXPECT_EQ(service->linked_pairs(), reference->linked_pairs());
+}
+
+TEST(LinkageServiceTest, RemoveAndMergeReplayAcrossTheSwap) {
+  const Dataset full = MakeCorpus(25, 33);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() - 6, &seed, &arrivals);
+
+  auto service = LinkageService::Create(seed, TestService(/*async=*/true));
+  ASSERT_TRUE(service.ok());
+  auto reference = IncrementalLinker::Create(seed, EngineConfig());
+  ASSERT_TRUE(reference.ok());
+
+  // Start a refresh, then race every mutation kind against it.
+  ASSERT_TRUE(service->RefreshAsync());
+  (void)service->AddGroups(arrivals);
+  service->RemoveGroup(0);
+  const auto merged = service->MergeGroups(1, 2);
+  service->WaitForRefresh();
+
+  (void)reference->AddGroups(arrivals);
+  reference->RemoveGroup(0);
+  const auto reference_merged = reference->MergeGroups(1, 2);
+
+  EXPECT_EQ(merged.group_index, reference_merged.group_index);
+  EXPECT_EQ(service->num_groups(), reference->num_groups());
+  EXPECT_EQ(service->linked_pairs(), reference->linked_pairs());
+
+  // And the next published epoch reflects the replayed mutations.
+  service->Refresh();
+  reference->Refresh();
+  EXPECT_EQ(service->snapshot()->linked_pairs(), reference->linked_pairs());
+  EXPECT_FALSE(service->snapshot()->IsAlive(0));
+}
+
+TEST(LinkageServiceTest, SyncModeRefreshesInline) {
+  const Dataset full = MakeCorpus(20, 9);
+  Dataset seed;
+  std::vector<GroupArrival> arrivals;
+  Split(full, full.num_groups() / 2, &seed, &arrivals);
+
+  ServiceConfig config = TestService(/*async=*/false);
+  config.streaming.refresh_every_n_groups = 2;
+  auto service = LinkageService::Create(seed, config);
+  ASSERT_TRUE(service.ok());
+  const int64_t epoch0 = service->published_epoch();
+
+  (void)service->AddGroups(arrivals);
+  // The inline policy refresh already published: no background machinery.
+  EXPECT_FALSE(service->refresh_in_flight());
+  EXPECT_GT(service->published_epoch(), epoch0);
+  EXPECT_EQ(service->snapshot()->num_groups(), full.num_groups());
+}
+
+}  // namespace
+}  // namespace grouplink

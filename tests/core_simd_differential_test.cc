@@ -39,8 +39,9 @@ LinkageConfig E5Linkage(bool edge_join, int32_t threads) {
 
 std::vector<std::pair<int32_t, int32_t>> RunLinks(const Dataset& dataset,
                                                   const LinkageConfig& config) {
-  LinkageEngine engine(&dataset, config);
-  EXPECT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  EXPECT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   return engine.Run().linked_pairs;
 }
 
@@ -107,12 +108,14 @@ TEST_F(SimdDifferentialTest, BatchedPathMatchesCustomSimPath) {
   // the strongest per-pair vs batched equivalence we can assert.
   const Dataset dataset = GenerateBibliographic(E5ShapedConfig());
   for (const bool edge_join : {false, true}) {
-    LinkageEngine batched(&dataset, E5Linkage(edge_join, 1));
-    ASSERT_TRUE(batched.Prepare().ok());
+    auto batched_or = LinkageEngine::Create(&dataset, E5Linkage(edge_join, 1));
+    ASSERT_TRUE(batched_or.ok());
+    LinkageEngine& batched = *batched_or;
     const auto batched_links = batched.Run().linked_pairs;
 
-    LinkageEngine per_pair(&dataset, E5Linkage(edge_join, 1));
-    ASSERT_TRUE(per_pair.Prepare().ok());
+    auto per_pair_or = LinkageEngine::Create(&dataset, E5Linkage(edge_join, 1));
+    ASSERT_TRUE(per_pair_or.ok());
+    LinkageEngine& per_pair = *per_pair_or;
     const auto per_pair_links =
         per_pair
             .Run([&per_pair](int32_t a, int32_t b) {
@@ -126,8 +129,9 @@ TEST_F(SimdDifferentialTest, BatchedPathMatchesCustomSimPath) {
 TEST_F(SimdDifferentialTest, ReportNamesTheActiveKernel) {
   const Dataset dataset = GenerateBibliographic(E5ShapedConfig());
   SetSimdLevelForTesting(SimdLevel::kScalar);
-  LinkageEngine engine(&dataset, E5Linkage(true, 1));
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, E5Linkage(true, 1));
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const LinkageResult result = engine.Run();
   EXPECT_EQ(result.report().kernel, "scalar");
   // The edge join must attribute verify time and batches in its report.

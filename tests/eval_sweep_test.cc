@@ -62,8 +62,9 @@ TEST(ScoreCandidatesTest, SweepMatchesPerThresholdRuns) {
 
   LinkageConfig config;
   config.theta = 0.35;
-  LinkageEngine engine(&dataset, config);
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const auto scored = engine.ScoreCandidates(GroupMeasureKind::kBm);
   ASSERT_FALSE(scored.empty());
 
@@ -89,8 +90,9 @@ TEST(ScoreCandidatesTest, ScoresWithinUnitInterval) {
   BibliographicConfig data_config;
   data_config.num_entities = 30;
   const Dataset dataset = GenerateBibliographic(data_config);
-  LinkageEngine engine(&dataset, LinkageConfig{});
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, LinkageConfig{});
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   for (const GroupMeasureKind measure :
        {GroupMeasureKind::kBm, GroupMeasureKind::kGreedy,
         GroupMeasureKind::kUpperBound, GroupMeasureKind::kSingleBest}) {

@@ -89,8 +89,9 @@ TEST(SqlCandidatesTest, MatchesBruteForceTokenOverlap) {
 
 TEST(SqlEdgesTest, AppliesUdfThresholdAndOrientation) {
   const Dataset dataset = SmallDataset();
-  LinkageEngine engine(&dataset, LinkageConfig{});
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, LinkageConfig{});
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const auto sim = [&](int32_t a, int32_t b) {
     return engine.DefaultRecordSimilarity(a, b);
   };
@@ -114,8 +115,9 @@ TEST(SqlUpperBoundTest, AgreesWithNativeUpperBoundMeasure) {
   // pair with sim >= theta) and check the UB values equal the native
   // semi-matching computation per group pair.
   const Dataset dataset = SmallDataset();
-  LinkageEngine engine(&dataset, LinkageConfig{});
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, LinkageConfig{});
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const auto sim = [&](int32_t a, int32_t b) {
     return engine.DefaultRecordSimilarity(a, b);
   };
@@ -163,8 +165,9 @@ TEST(SqlFilterTest, SurvivorsSupersetOfBmLinks) {
   config.theta = 0.4;
   config.group_threshold = 0.25;
   config.candidates = CandidateMethod::kAllPairs;
-  LinkageEngine engine(&dataset, config);
-  ASSERT_TRUE(engine.Prepare().ok());
+  auto engine_or = LinkageEngine::Create(&dataset, config);
+  ASSERT_TRUE(engine_or.ok());
+  LinkageEngine& engine = *engine_or;
   const LinkageResult native = engine.Run();
 
   const auto sim = [&](int32_t a, int32_t b) {
