@@ -57,6 +57,7 @@ constexpr double kGroupThreshold = 0.2;
 inline Status WriteMetricsJson(const std::string& path, std::string_view experiment,
                                const std::vector<RunReport>& runs) {
   if (path.empty()) return Status::Ok();
+  // gl-lint: allow(raw-file-io) bench reports are run artifacts, not durable state; a torn BENCH_*.json just fails the CI jq gate
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open " + path + " for writing");

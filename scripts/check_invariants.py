@@ -23,6 +23,12 @@ Rules (ids usable in suppressions):
                   dispatch implementations (simd_kernels.*, simd_dispatch.*).
                   Raw intrinsics elsewhere would dodge the runtime-dispatch /
                   bit-identical-fallback contract of DESIGN.md §10.
+  raw-file-io     fopen / ::open / std::fstream outside src/storage/ and
+                  src/data/record_io. Durable state must go through the
+                  storage tier (PageFile/PageWriter: checksummed pages,
+                  write-new-then-rename, fault-injection hooks) or the
+                  record-I/O layer; ad-hoc file I/O elsewhere would dodge the
+                  crash-recovery contract of DESIGN.md §12.
   suppression-reason  NOLINT / gl-lint escapes must carry a reason:
                   `// NOLINT(check): why` or `// gl-lint: allow(rule) why`.
 
@@ -53,6 +59,8 @@ RAW_RANDOM_RE = re.compile(
 RAW_STDIO_RE = re.compile(
     r"\bstd::(cout|cerr)\b|(?<![\w:.])f?printf\s*\(")
 SIMD_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<(\w*intrin\.h)>")
+RAW_FILE_IO_RE = re.compile(
+    r"\bfopen\s*\(|::open\s*\(|\bstd::(?:i|o)?fstream\b")
 GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
 
 
@@ -202,7 +210,7 @@ def lint_cxx(path, report):
     allows = collect_allows(raw_lines, report, path)
     check_nolint_reasons(raw_lines, report, path)
     code_lines = strip_code(text).split("\n")
-    root, _ = project_relative(path)
+    root, rel = project_relative(path)
 
     def flag(idx, rule, message):
         if rule in allows.get(idx, ()):  # Suppressed with a reason.
@@ -213,6 +221,8 @@ def lint_cxx(path, report):
     in_random = basename(path) in ("random.cc",)
     in_logging = basename(path).startswith("logging.")
     in_simd_impl = basename(path).startswith(("simd_kernels.", "simd_dispatch."))
+    in_file_io_layer = root == "src" and (
+        rel.startswith("storage/") or rel.startswith("data/record_io"))
 
     for idx, line in enumerate(code_lines, start=1):
         if not in_thread_pool and RAW_THREAD_RE.search(line):
@@ -227,6 +237,11 @@ def lint_cxx(path, report):
         if root == "src" and not in_logging and RAW_STDIO_RE.search(line):
             flag(idx, "raw-stdio",
                  "console I/O in library code; use GL_LOG or return Status")
+        if not in_file_io_layer and RAW_FILE_IO_RE.search(line):
+            flag(idx, "raw-file-io",
+                 "raw file I/O outside src/storage/ and src/data/record_io; "
+                 "go through PageFile/PageWriter or record_io so the "
+                 "crash-recovery and fault-injection contracts hold")
         if not in_simd_impl and SIMD_INCLUDE_RE.search(line):
             flag(idx, "simd-include",
                  "raw <%s> outside simd_kernels.*/simd_dispatch.*; go through "

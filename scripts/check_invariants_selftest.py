@@ -29,6 +29,7 @@ EXPECTED = [
     ("bench-exit-code", "bench_e99_fixture.cpp"),
     ("suppression-reason", "bare_nolint.cc"),
     ("simd-include", "raw_simd_include.cc"),
+    ("raw-file-io", "raw_file_io.cc"),
 ]
 
 

@@ -128,6 +128,7 @@ Result<std::vector<std::vector<std::string>>> CsvParseDocument(
 
 Result<std::vector<std::vector<std::string>>> CsvReadFile(
     const std::string& path, char delimiter, const CsvParseOptions& options) {
+  // gl-lint: allow(raw-file-io) CSV datasets are inputs, not durable state; the recovery contract does not apply
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::ostringstream buffer;
@@ -139,6 +140,7 @@ Result<std::vector<std::vector<std::string>>> CsvReadFile(
 Status CsvWriteFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delimiter) {
+  // gl-lint: allow(raw-file-io) CSV export is a report artifact, not durable state
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   for (const auto& row : rows) {

@@ -42,6 +42,13 @@ inline constexpr const char* kOversizedCandidates = "candidates.oversized";
 inline constexpr const char* kCorruptRecord = "record_io.corrupt_record";
 /// ExecutionContext reports its deadline as already expired.
 inline constexpr const char* kDeadline = "execution.deadline";
+/// A storage page write persists only a prefix of the page and the write
+/// reports failure — the crash-mid-write shape the recovery protocol must
+/// survive (evaluated once per page append during a persist).
+inline constexpr const char* kTornWrite = "storage.torn_write";
+/// A storage fsync reports failure before durability is reached; the
+/// persist must abort without touching the previous store.
+inline constexpr const char* kFailFsync = "storage.fail_fsync";
 }  // namespace faults
 
 /// When and how an armed point fires.

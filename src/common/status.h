@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
@@ -76,6 +77,13 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  /// Stored data failed a checksum or structural validation: the bytes on
+  /// disk are not the bytes that were written. Unlike kIoError (the
+  /// operation failed), the operation succeeded and returned wrong data —
+  /// callers must treat the store as corrupt, never retry into it.
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "core/snapshot.h"
 #include "text/tokenizer.h"
 
 namespace grouplink {
@@ -111,6 +112,51 @@ std::unique_ptr<IncrementalLinker> IncrementalLinker::Clone() const {
   clone->oov_since_refresh_ = oov_since_refresh_;
   clone->tokens_since_refresh_ = tokens_since_refresh_;
   return clone;
+}
+
+Result<std::unique_ptr<IncrementalLinker>> IncrementalLinker::FromSnapshot(
+    const CorpusSnapshot& snapshot, const StreamingConfig& streaming) {
+  GL_RETURN_IF_ERROR(
+      ValidateStreamingConfigs(snapshot.engine_config(), streaming));
+  GL_CHECK(snapshot.CheckConsistency())
+      << "FromSnapshot requires a sealed, consistent snapshot";
+  // The snapshot's config is already normalized (it came off a linker);
+  // the constructor's normalization is idempotent on it.
+  auto linker = std::make_unique<IncrementalLinker>(snapshot.engine_config(),
+                                                    streaming);
+  const Vocabulary& vocab = snapshot.index_vocab();
+  const size_t n = snapshot.record_token_ids().size();
+  linker->record_raw_tokens_.resize(n);
+  linker->record_token_sets_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    // Token strings come back from the dictionary; tombstoned records
+    // persisted empty occurrence lists, so they rebuild with the cleared
+    // raw tokens and token sets RemoveGroup leaves behind.
+    const std::vector<int32_t>& ids = snapshot.record_token_ids()[r];
+    std::vector<std::string>& raw = linker->record_raw_tokens_[r];
+    raw.reserve(ids.size());
+    for (const int32_t id : ids) raw.push_back(vocab.TokenOf(id));
+    linker->record_token_sets_[r] = ToTokenSet(raw);
+  }
+  linker->record_vectors_ = snapshot.record_vectors();
+  linker->record_group_ = snapshot.record_group();
+  linker->record_alive_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    linker->record_alive_[r] =
+        snapshot.token_index().IsRemoved(static_cast<int32_t>(r)) ? 0 : 1;
+  }
+  linker->group_records_ = snapshot.group_records();
+  linker->group_labels_ = snapshot.group_labels();
+  linker->group_alive_ = snapshot.group_alive();
+  linker->num_alive_groups_ = snapshot.num_alive_groups();
+  linker->index_vocab_ = vocab;
+  linker->token_index_ = snapshot.token_index();
+  linker->epoch_vocab_ = snapshot.epoch_vocab();
+  linker->linked_pairs_ = snapshot.linked_pairs();
+  linker->epoch_ = snapshot.epoch();
+  linker->initialized_ = true;
+  linker->RebuildClusters();
+  return linker;
 }
 
 IncrementalLinker::IncrementalLinker(const LinkageConfig& config,

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "storage/snapshot_store.h"
 
 namespace grouplink {
 namespace {
@@ -59,6 +60,18 @@ Status ServiceConfig::Validate() const {
     return Status::InvalidArgument(
         "ServiceConfig: default_query_max_matcher_cost must be >= 0");
   }
+  if (persist_on_refresh && persist_path.empty()) {
+    return Status::InvalidArgument(
+        "ServiceConfig: persist_on_refresh requires persist_path");
+  }
+  if (!persist_path.empty() &&
+      (persist_page_bytes < storage::kMinPageBytes ||
+       persist_page_bytes > storage::kMaxPageBytes)) {
+    return Status::InvalidArgument(
+        "ServiceConfig: persist_page_bytes must lie in [" +
+        std::to_string(storage::kMinPageBytes) + ", " +
+        std::to_string(storage::kMaxPageBytes) + "]");
+  }
   return Status::Ok();
 }
 
@@ -87,6 +100,12 @@ struct LinkageService::Impl {
   bool in_flight = false;                     // Guarded by mu.
   std::vector<Op> ops_log;                    // Guarded by mu.
   EpochCell<CorpusSnapshot> cell;
+  /// Persistence state. persist_mu is independent of mu (persists run
+  /// with mu released — disk never blocks ingest or queries) and
+  /// serializes concurrent persists (manual + background) so two writers
+  /// never race on one tmp file.
+  mutable std::mutex persist_mu;
+  Status last_persist = Status::Ok();         // Guarded by persist_mu.
   std::unique_ptr<ThreadPool> refresh_pool;   // Keep last; see above.
 
   /// True when the refresh policy wants a new epoch, from the writer's
@@ -114,6 +133,22 @@ struct LinkageService::Impl {
     metrics.published_epoch.Set(static_cast<double>(snapshot->epoch()));
     metrics.epochs_published.Increment();
     cell.Store(std::move(snapshot));
+  }
+
+  /// Writes `snapshot` to the configured store path. Never called with
+  /// `mu` held. Records the outcome in last_persist and returns it.
+  Status PersistPublished(const std::shared_ptr<const CorpusSnapshot>& snapshot) {
+    storage::StorageOptions options;
+    options.page_bytes = config.persist_page_bytes;
+    std::lock_guard<std::mutex> lock(persist_mu);
+    const Status status =
+        storage::SnapshotStore::Persist(*snapshot, config.persist_path, options);
+    if (!status.ok()) {
+      GL_LOG(Warning) << "persist of epoch " << snapshot->epoch()
+                      << " failed: " << status.message();
+    }
+    last_persist = status;
+    return status;
   }
 
   /// Requires mu held and no refresh in flight. Clones the writer at the
@@ -150,8 +185,14 @@ struct LinkageService::Impl {
     {
       std::shared_ptr<const CorpusSnapshot> snapshot =
           CorpusSnapshot::Capture(*clone);
-      std::lock_guard<std::mutex> lock(mu);
-      PublishSnapshotLocked(std::move(snapshot));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        PublishSnapshotLocked(snapshot);
+      }
+      // Durability rides the background thread too, after the publish
+      // and with no lock held: a slow disk delays nothing but the next
+      // persist.
+      if (config.persist_on_refresh) (void)PersistPublished(snapshot);
     }
 
     // Catch-up replay: repeatedly steal the whole backlog under the lock,
@@ -194,17 +235,21 @@ struct LinkageService::Impl {
   /// Post-mutation bookkeeping, mu held: log the op when a refresh is in
   /// flight, and fire the policy. `inline_refreshed` reports that the
   /// writer already refreshed inside the mutating call (sync mode), which
-  /// only needs the new epoch published.
-  void AfterMutationLocked(Op op, bool inline_refreshed) {
+  /// only needs the new epoch published. Returns the snapshot the caller
+  /// must persist *after releasing mu* (null when none) — the disk write
+  /// never runs under the writer lock.
+  [[nodiscard]] std::shared_ptr<const CorpusSnapshot> AfterMutationLocked(
+      Op op, bool inline_refreshed) {
     if (in_flight) ops_log.push_back(std::move(op));
     if (inline_refreshed) {
       PublishLocked(*linker);
       ServiceMetrics::Get().refreshes_sync.Increment();
-      return;
+      return config.persist_on_refresh ? cell.Load() : nullptr;
     }
     if (config.async_refresh && !in_flight && PolicyWantsRefresh()) {
       StartRefreshLocked();
     }
+    return nullptr;
   }
 };
 
@@ -230,6 +275,39 @@ Result<LinkageService> LinkageService::Create(const Dataset& seed,
   {
     std::lock_guard<std::mutex> lock(impl->mu);
     impl->PublishLocked(*impl->linker);
+  }
+  impl->refresh_pool = std::make_unique<ThreadPool>(1);
+  // Seed epoch durability, with no lock held (nothing else can touch the
+  // service yet anyway).
+  if (config.persist_on_refresh) {
+    (void)impl->PersistPublished(impl->cell.Load());
+  }
+  return LinkageService(std::move(impl));
+}
+
+Result<LinkageService> LinkageService::Restore(const ServiceConfig& config) {
+  GL_RETURN_IF_ERROR(config.Validate());
+  if (config.persist_path.empty()) {
+    return Status::InvalidArgument("Restore requires persist_path");
+  }
+  GL_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusSnapshot> snapshot,
+                      storage::SnapshotStore::Load(config.persist_path));
+  auto impl = std::make_unique<Impl>();
+  impl->config = config;
+  // The persisted engine config supersedes the caller's: the store knows
+  // what the corpus was linked with, and mixing configs would break the
+  // bit-identity contract of the warm restart.
+  impl->config.engine = snapshot->engine_config();
+  const StreamingConfig writer_streaming =
+      config.async_refresh ? StreamingConfig{} : config.streaming;
+  GL_ASSIGN_OR_RETURN(std::unique_ptr<IncrementalLinker> linker,
+                      IncrementalLinker::FromSnapshot(*snapshot, writer_streaming));
+  impl->linker = std::move(linker);
+  {
+    std::lock_guard<std::mutex> lock(impl->mu);
+    // The recovered snapshot is published as-is — same epoch number, same
+    // link set — no re-capture round trip.
+    impl->PublishSnapshotLocked(std::move(snapshot));
   }
   impl->refresh_pool = std::make_unique<ThreadPool>(1);
   return LinkageService(std::move(impl));
@@ -277,30 +355,36 @@ LinkageService::AddResult LinkageService::AddGroup(
 std::vector<LinkageService::AddResult> LinkageService::AddGroups(
     const std::vector<GroupArrival>& batch) {
   if (batch.empty()) return {};
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  std::vector<AddResult> results = impl_->linker->AddGroups(batch);
-  bool inline_refreshed = false;
-  for (const AddResult& result : results) {
-    inline_refreshed = inline_refreshed || result.triggered_refresh;
+  std::vector<AddResult> results;
+  std::shared_ptr<const CorpusSnapshot> to_persist;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    results = impl_->linker->AddGroups(batch);
+    bool inline_refreshed = false;
+    for (const AddResult& result : results) {
+      inline_refreshed = inline_refreshed || result.triggered_refresh;
+    }
+    to_persist = impl_->AfterMutationLocked(
+        Impl::Op{Impl::Op::Kind::kAdd, batch, 0, 0}, inline_refreshed);
   }
-  impl_->AfterMutationLocked(
-      Impl::Op{Impl::Op::Kind::kAdd, batch, 0, 0}, inline_refreshed);
+  if (to_persist != nullptr) (void)impl_->PersistPublished(to_persist);
   return results;
 }
 
 void LinkageService::RemoveGroup(int32_t group) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->linker->RemoveGroup(group);
-  impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kRemove, {}, group, 0},
-                             /*inline_refreshed=*/false);
+  // Removals never inline-refresh, so there is never a persist to run.
+  (void)impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kRemove, {}, group, 0},
+                                   /*inline_refreshed=*/false);
 }
 
 LinkageService::AddResult LinkageService::MergeGroups(int32_t into,
                                                       int32_t from) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   AddResult result = impl_->linker->MergeGroups(into, from);
-  impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kMerge, {}, into, from},
-                             /*inline_refreshed=*/false);
+  (void)impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kMerge, {}, into, from},
+                                   /*inline_refreshed=*/false);
   return result;
 }
 
@@ -309,6 +393,7 @@ void LinkageService::Refresh() {
   // another one between the wait and the lock, so loop until the lock is
   // held with nothing in flight (an inline refresh during a swap would
   // be silently overwritten by it otherwise).
+  std::shared_ptr<const CorpusSnapshot> to_persist;
   for (;;) {
     WaitForRefresh();
     std::lock_guard<std::mutex> lock(impl_->mu);
@@ -316,8 +401,10 @@ void LinkageService::Refresh() {
     impl_->linker->Refresh();
     impl_->PublishLocked(*impl_->linker);
     ServiceMetrics::Get().refreshes_sync.Increment();
-    return;
+    if (impl_->config.persist_on_refresh) to_persist = impl_->cell.Load();
+    break;
   }
+  if (to_persist != nullptr) (void)impl_->PersistPublished(to_persist);
 }
 
 bool LinkageService::RefreshAsync() {
@@ -332,6 +419,19 @@ void LinkageService::WaitForRefresh() { impl_->refresh_pool->Wait(); }
 bool LinkageService::refresh_in_flight() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->in_flight;
+}
+
+Status LinkageService::PersistNow() {
+  if (impl_->config.persist_path.empty()) {
+    return Status::InvalidArgument(
+        "PersistNow requires ServiceConfig::persist_path");
+  }
+  return impl_->PersistPublished(impl_->cell.Load());
+}
+
+Status LinkageService::last_persist_status() const {
+  std::lock_guard<std::mutex> lock(impl_->persist_mu);
+  return impl_->last_persist;
 }
 
 int64_t LinkageService::published_epoch() const {

@@ -42,6 +42,18 @@ struct ServiceConfig {
   int64_t default_query_max_candidates = 0;
   int64_t default_query_max_matcher_cost = 0;
 
+  /// Persistence (the storage tier, src/storage/). Empty = off. When
+  /// set, PersistNow() writes the published epoch here, Restore() warm
+  /// restarts from it, and persist_on_refresh automates the writes.
+  std::string persist_path;
+  /// Persist every newly published epoch (seed, inline, and async
+  /// refreshes). The write runs outside the writer lock — ingest and
+  /// queries never wait on disk — and failures are absorbed into
+  /// last_persist_status() + a warning log, never into serving.
+  bool persist_on_refresh = false;
+  /// Page size of persisted stores (see storage::StorageOptions).
+  uint32_t persist_page_bytes = 4096;
+
   [[nodiscard]] Status Validate() const;
 };
 
@@ -87,6 +99,17 @@ class LinkageService {
   /// seed epoch — the returned service answers queries immediately.
   [[nodiscard]] static Result<LinkageService> Create(const Dataset& seed,
                                                      const ServiceConfig& config);
+
+  /// Warm restart: recovers the epoch persisted at `config.persist_path`
+  /// (SnapshotStore::Load — every page checksum-verified, consistency-
+  /// checked), publishes it, and rebuilds the writer from it
+  /// (IncrementalLinker::FromSnapshot), so the restarted service answers
+  /// queries immediately and links subsequent arrivals bit-identically
+  /// to a service that had never stopped. `config.engine` is superseded
+  /// by the persisted engine config — the store knows what it was built
+  /// with. Errors: InvalidArgument (no persist_path), NotFound (no
+  /// store), DataLoss, IoError.
+  [[nodiscard]] static Result<LinkageService> Restore(const ServiceConfig& config);
 
   ~LinkageService();
   LinkageService(LinkageService&&) noexcept;
@@ -135,6 +158,16 @@ class LinkageService {
   void WaitForRefresh();
 
   [[nodiscard]] bool refresh_in_flight() const;
+
+  /// Persists the currently published epoch to config().persist_path
+  /// under the write-new-then-rename protocol (blocks for the write;
+  /// never holds the writer lock). InvalidArgument when no persist_path
+  /// is configured.
+  [[nodiscard]] Status PersistNow();
+
+  /// Outcome of the most recent persist — manual or persist_on_refresh —
+  /// or Ok when none has run. How background persist failures surface.
+  [[nodiscard]] Status last_persist_status() const;
 
   /// Epoch of the currently published snapshot.
   [[nodiscard]] int64_t published_epoch() const;

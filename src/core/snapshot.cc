@@ -48,6 +48,19 @@ std::shared_ptr<const CorpusSnapshot> CorpusSnapshot::Capture(
   snapshot->epoch_vocab_ = linker.epoch_vocab_;
   snapshot->record_vectors_ = linker.record_vectors_;
   snapshot->record_group_ = linker.record_group_;
+  // Raw occurrences re-encoded as index-vocab ids: every raw token of a
+  // live record was absorbed into the index vocabulary at arrival, so the
+  // lookup never misses; tombstoned records have empty raw tokens.
+  snapshot->record_token_ids_.resize(linker.record_raw_tokens_.size());
+  for (size_t r = 0; r < linker.record_raw_tokens_.size(); ++r) {
+    std::vector<int32_t>& ids = snapshot->record_token_ids_[r];
+    ids.reserve(linker.record_raw_tokens_[r].size());
+    for (const std::string& token : linker.record_raw_tokens_[r]) {
+      const int32_t id = linker.index_vocab_.GetId(token);
+      GL_DCHECK_NE(id, Vocabulary::kUnknownToken);
+      ids.push_back(id);
+    }
+  }
   snapshot->group_records_ = linker.group_records_;
   snapshot->group_labels_ = linker.group_labels_;
   snapshot->group_alive_ = linker.group_alive_;
@@ -61,6 +74,42 @@ std::shared_ptr<const CorpusSnapshot> CorpusSnapshot::Capture(
   metrics.captured.Increment();
   metrics.live.Add(1.0);
   return snapshot;
+}
+
+Result<std::shared_ptr<const CorpusSnapshot>> CorpusSnapshot::FromParts(
+    Parts parts) {
+  auto& metrics = SnapshotMetrics::Get();
+  // Same deleter contract as Capture: a recovered epoch participates in
+  // the snapshot.live / snapshot.retired reclamation accounting.
+  std::shared_ptr<CorpusSnapshot> snapshot(
+      new CorpusSnapshot(), [&metrics](CorpusSnapshot* s) {
+        delete s;
+        metrics.retired.Increment();
+        metrics.live.Add(-1.0);
+      });
+  snapshot->config_ = std::move(parts.config);
+  snapshot->epoch_ = parts.epoch;
+  snapshot->index_vocab_ = std::move(parts.index_vocab);
+  snapshot->token_index_ = std::move(parts.token_index);
+  snapshot->epoch_vocab_ = std::move(parts.epoch_vocab);
+  snapshot->record_vectors_ = std::move(parts.record_vectors);
+  snapshot->record_group_ = std::move(parts.record_group);
+  snapshot->record_token_ids_ = std::move(parts.record_token_ids);
+  snapshot->group_records_ = std::move(parts.group_records);
+  snapshot->group_labels_ = std::move(parts.group_labels);
+  snapshot->group_alive_ = std::move(parts.group_alive);
+  snapshot->num_alive_groups_ = parts.num_alive_groups;
+  snapshot->linked_pairs_ = std::move(parts.linked_pairs);
+  snapshot->cluster_labels_ = std::move(parts.cluster_labels);
+  snapshot->seal_ = kSealed;
+  if (!snapshot->CheckConsistency()) {
+    return Status::DataLoss(
+        "recovered snapshot failed the consistency check: the store decoded "
+        "cleanly but does not describe a valid epoch");
+  }
+  metrics.captured.Increment();
+  metrics.live.Add(1.0);
+  return std::shared_ptr<const CorpusSnapshot>(std::move(snapshot));
 }
 
 std::vector<int32_t> CorpusSnapshot::CandidateGroupsForProbe(
@@ -167,6 +216,9 @@ bool CorpusSnapshot::CheckConsistency() const {
   const size_t n_records = record_vectors_.size();
   const size_t n_groups = group_records_.size();
   if (record_group_.size() != n_records) return false;
+  if (record_token_ids_.size() != n_records) return false;
+  // The index is a per-record document index: ids align with record ids.
+  if (static_cast<size_t>(token_index_.num_documents()) != n_records) return false;
   if (group_labels_.size() != n_groups) return false;
   if (group_alive_.size() != n_groups) return false;
   if (cluster_labels_.size() != n_groups) return false;

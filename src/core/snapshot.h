@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/execution_context.h"
+#include "common/status.h"
 #include "core/incremental.h"
 #include "index/inverted_index.h"
 #include "text/tfidf.h"
@@ -126,6 +127,60 @@ class CorpusSnapshot {
   /// publication barrier broke. Cheap enough to run per query batch.
   [[nodiscard]] bool CheckConsistency() const;
 
+  // --- Storage-tier surface (src/storage/). A snapshot is the unit of
+  // --- persistence: SnapshotStore serializes these parts into the paged
+  // --- store, and FromParts rebuilds a sealed snapshot on recovery.
+
+  /// The deserialized pieces of one epoch. Field-for-field the snapshot's
+  /// own frozen state; SnapshotStore::Load fills one of these from disk.
+  struct Parts {
+    LinkageConfig config;
+    int64_t epoch = 0;
+    Vocabulary index_vocab;
+    InvertedIndex token_index;
+    Vocabulary epoch_vocab;
+    std::vector<SparseVector> record_vectors;
+    std::vector<int32_t> record_group;
+    std::vector<std::vector<int32_t>> record_token_ids;
+    std::vector<std::vector<int32_t>> group_records;
+    std::vector<std::string> group_labels;
+    std::vector<char> group_alive;
+    int32_t num_alive_groups = 0;
+    std::vector<std::pair<int32_t, int32_t>> linked_pairs;
+    std::vector<size_t> cluster_labels;
+  };
+
+  /// Rebuilds a snapshot from recovered parts, seals it, and runs
+  /// CheckConsistency — a recovered epoch is either exactly as
+  /// trustworthy as a captured one or rejected with Status::DataLoss.
+  /// No half-built epoch can escape this factory (recovery-protocol
+  /// invariant; see tests/storage_recovery_test.cc).
+  [[nodiscard]] static Result<std::shared_ptr<const CorpusSnapshot>> FromParts(
+      Parts parts);
+
+  /// Read access to the frozen parts, for serialization and for the
+  /// warm-restart writer rebuild (IncrementalLinker::FromSnapshot). The
+  /// referenced state is immutable for the snapshot's lifetime.
+  const Vocabulary& index_vocab() const { return index_vocab_; }
+  const Vocabulary& epoch_vocab() const { return epoch_vocab_; }
+  const InvertedIndex& token_index() const { return token_index_; }
+  const std::vector<SparseVector>& record_vectors() const {
+    return record_vectors_;
+  }
+  const std::vector<int32_t>& record_group() const { return record_group_; }
+  /// Per-record raw token occurrences (index-vocabulary ids, original
+  /// order, repeats preserved) — what makes a snapshot self-contained
+  /// enough to rebuild the writer without the original texts. Empty for
+  /// tombstoned records, like the linker's cleared raw tokens.
+  const std::vector<std::vector<int32_t>>& record_token_ids() const {
+    return record_token_ids_;
+  }
+  const std::vector<std::vector<int32_t>>& group_records() const {
+    return group_records_;
+  }
+  const std::vector<std::string>& group_labels() const { return group_labels_; }
+  const std::vector<char>& group_alive() const { return group_alive_; }
+
  private:
   CorpusSnapshot() = default;
 
@@ -147,6 +202,10 @@ class CorpusSnapshot {
   Vocabulary epoch_vocab_;
   std::vector<SparseVector> record_vectors_;
   std::vector<int32_t> record_group_;
+  // Raw token occurrences per record in index-vocab id space (see the
+  // record_token_ids() accessor); carried for persistence/warm restart,
+  // not consulted by LinkQuery.
+  std::vector<std::vector<int32_t>> record_token_ids_;
 
   // Group membership, identity, and liveness.
   std::vector<std::vector<int32_t>> group_records_;

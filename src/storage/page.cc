@@ -1,0 +1,217 @@
+#include "storage/page.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace storage {
+namespace {
+
+/// Software CRC-32 table (polynomial 0xEDB88320, the reflected IEEE
+/// form). Built once; table lookup keeps page verification cheap enough
+/// to run on every buffer-pool miss without showing up in profiles.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status Truncated(const char* what) {
+  return Status::DataLoss(std::string("truncated or malformed store data: ") + what);
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  const auto& table = CrcTable();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutVarint(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+void PutFixed32(std::vector<uint8_t>& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void PutFixed64(std::vector<uint8_t>& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void PutDouble(std::vector<uint8_t>& out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& value) {
+  PutVarint(out, value.size());
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+void PutDeltaVarints(std::vector<uint8_t>& out, const std::vector<int32_t>& sorted) {
+  PutVarint(out, sorted.size());
+  int32_t prev = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    GL_DCHECK_GE(sorted[i], i == 0 ? 0 : prev);
+    PutVarint(out, static_cast<uint64_t>(sorted[i] - (i == 0 ? 0 : prev)));
+    prev = sorted[i];
+  }
+}
+
+Result<uint64_t> ByteReader::ReadVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const uint8_t byte = data_[pos_++];
+    if (shift == 63 && byte > 1) return Truncated("varint overflow");
+    value |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+    if (shift > 63) return Truncated("varint overflow");
+  }
+  return Truncated("varint");
+}
+
+Result<uint32_t> ByteReader::ReadFixed32() {
+  if (remaining() < 4) return Truncated("fixed32");
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return value;
+}
+
+Result<uint64_t> ByteReader::ReadFixed64() {
+  if (remaining() < 8) return Truncated("fixed64");
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return value;
+}
+
+Result<double> ByteReader::ReadDouble() {
+  GL_ASSIGN_OR_RETURN(const uint64_t bits, ReadFixed64());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::string> ByteReader::ReadString() {
+  GL_ASSIGN_OR_RETURN(const uint64_t length, ReadVarint());
+  if (length > remaining()) return Truncated("string");
+  std::string value(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<size_t>(length));
+  pos_ += static_cast<size_t>(length);
+  return value;
+}
+
+Status ByteReader::ReadDeltaVarints(std::vector<int32_t>* out) {
+  GL_ASSIGN_OR_RETURN(const uint64_t count, ReadVarint());
+  // Every encoded entry is at least one byte, so count can never exceed
+  // the remaining bytes in a well-formed stream; rejecting early keeps a
+  // corrupt count from triggering a huge allocation.
+  if (count > remaining()) return Truncated("delta list count");
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    GL_ASSIGN_OR_RETURN(const uint64_t delta, ReadVarint());
+    const int64_t value = prev + static_cast<int64_t>(delta);
+    if (value < 0 || value > INT32_MAX) return Truncated("delta list range");
+    out->push_back(static_cast<int32_t>(value));
+    prev = value;
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::ReadBytes(size_t n, uint8_t* out) {
+  if (n > remaining()) return Truncated("bytes");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Result<int64_t> ByteReader::ReadCount() {
+  GL_ASSIGN_OR_RETURN(const uint64_t value, ReadVarint());
+  if (value > static_cast<uint64_t>(INT64_MAX)) return Truncated("count range");
+  return static_cast<int64_t>(value);
+}
+
+uint32_t SealPageFrame(uint32_t page_id, PageType type, uint32_t payload_len,
+                       uint8_t* frame, uint32_t page_bytes) {
+  GL_CHECK_LE(payload_len, PagePayloadCapacity(page_bytes));
+  const uint32_t type_raw = static_cast<uint32_t>(type);
+  frame[4] = static_cast<uint8_t>(page_id);
+  frame[5] = static_cast<uint8_t>(page_id >> 8);
+  frame[6] = static_cast<uint8_t>(page_id >> 16);
+  frame[7] = static_cast<uint8_t>(page_id >> 24);
+  frame[8] = static_cast<uint8_t>(type_raw);
+  frame[9] = static_cast<uint8_t>(type_raw >> 8);
+  frame[10] = 0;
+  frame[11] = 0;
+  frame[12] = static_cast<uint8_t>(payload_len);
+  frame[13] = static_cast<uint8_t>(payload_len >> 8);
+  frame[14] = static_cast<uint8_t>(payload_len >> 16);
+  frame[15] = static_cast<uint8_t>(payload_len >> 24);
+  const uint32_t crc = Crc32(frame + 4, page_bytes - 4);
+  frame[0] = static_cast<uint8_t>(crc);
+  frame[1] = static_cast<uint8_t>(crc >> 8);
+  frame[2] = static_cast<uint8_t>(crc >> 16);
+  frame[3] = static_cast<uint8_t>(crc >> 24);
+  return crc;
+}
+
+Result<PageView> VerifyPageFrame(const uint8_t* frame, uint32_t page_bytes,
+                                 uint64_t expected_page_id) {
+  const auto read32 = [frame](size_t at) {
+    return static_cast<uint32_t>(frame[at]) |
+           static_cast<uint32_t>(frame[at + 1]) << 8 |
+           static_cast<uint32_t>(frame[at + 2]) << 16 |
+           static_cast<uint32_t>(frame[at + 3]) << 24;
+  };
+  if (read32(0) != Crc32(frame + 4, page_bytes - 4)) {
+    return Status::DataLoss("page checksum mismatch at page " +
+                            std::to_string(expected_page_id));
+  }
+  if (read32(4) != expected_page_id) {
+    return Status::DataLoss("page id mismatch at page " +
+                            std::to_string(expected_page_id));
+  }
+  const uint32_t type_raw = static_cast<uint32_t>(frame[8]) |
+                            static_cast<uint32_t>(frame[9]) << 8;
+  if (type_raw < static_cast<uint32_t>(PageType::kHeader) ||
+      type_raw > static_cast<uint32_t>(PageType::kSeal)) {
+    return Status::DataLoss("unknown page type at page " +
+                            std::to_string(expected_page_id));
+  }
+  PageView view;
+  view.type = static_cast<PageType>(type_raw);
+  view.payload_len = read32(12);
+  if (view.payload_len > PagePayloadCapacity(page_bytes)) {
+    return Status::DataLoss("page payload overflow at page " +
+                            std::to_string(expected_page_id));
+  }
+  view.payload = frame + kPageHeaderBytes;
+  return view;
+}
+
+}  // namespace storage
+}  // namespace grouplink

@@ -1,0 +1,152 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+namespace grouplink {
+namespace storage {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when there is none), for durable rename.
+std::string DirectoryOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (FaultInjector::Default().ShouldFire(faults::kFailFsync)) {
+    return Status::IoError("injected fsync failure: " + path);
+  }
+  if (::fsync(fd) != 0) return Status::IoError(ErrnoMessage("fsync failed for", path));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no snapshot store at " + path);
+    return Status::IoError(ErrnoMessage("cannot open", path));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IoError(ErrnoMessage("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<PageFile>(
+      new PageFile(fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+PageFile::~PageFile() { ::close(fd_); }
+
+Status PageFile::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, out + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("pread failed for", path_));
+    }
+    if (got == 0) {
+      return Status::DataLoss("truncated store: read past end of " + path_);
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<PageWriter>> PageWriter::Create(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot create", path));
+  return std::unique_ptr<PageWriter>(new PageWriter(fd, path));
+}
+
+PageWriter::~PageWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageWriter::Append(const uint8_t* frame, size_t n) {
+  GL_CHECK_GE(fd_, 0) << "Append after Close";
+  size_t to_write = n;
+  bool torn = false;
+  if (FaultInjector::Default().ShouldFire(faults::kTornWrite)) {
+    // A crash mid-write leaves a prefix of the page on disk. Persist the
+    // prefix for real — recovery must reject it via the page checksum —
+    // then report the failure the process would never have seen.
+    to_write = n / 2;
+    torn = true;
+  }
+  size_t done = 0;
+  while (done < to_write) {
+    const ssize_t wrote = ::write(fd_, frame + done, to_write - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed for", path_));
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  if (torn) return Status::IoError("injected torn write: " + path_);
+  bytes_written_ += n;
+  return Status::Ok();
+}
+
+Status PageWriter::Sync() {
+  GL_CHECK_GE(fd_, 0) << "Sync after Close";
+  return FsyncFd(fd_, path_);
+}
+
+Status PageWriter::Close() {
+  GL_CHECK_GE(fd_, 0) << "double Close";
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Status::IoError(ErrnoMessage("close failed for", path_));
+  return Status::Ok();
+}
+
+Status AtomicReplace(const std::string& tmp_path, const std::string& final_path) {
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename failed for", final_path));
+  }
+  // Make the rename itself durable: without the directory fsync a crash
+  // can forget the publication (acceptable — the old store survives) or,
+  // on some filesystems, expose a zero-length file (not acceptable).
+  const std::string dir = DirectoryOf(final_path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) return Status::IoError(ErrnoMessage("cannot open directory", dir));
+  const Status status = FsyncFd(dir_fd, dir);
+  ::close(dir_fd);
+  return status;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(ErrnoMessage("unlink failed for", path));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace storage
+}  // namespace grouplink

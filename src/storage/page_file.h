@@ -1,0 +1,97 @@
+#ifndef GROUPLINK_STORAGE_PAGE_FILE_H_
+#define GROUPLINK_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace grouplink {
+namespace storage {
+
+/// Positional-read handle on an immutable store file. All raw file I/O of
+/// the storage tier lives in this translation unit (enforced by the
+/// raw-file-io lint rule); everything above it speaks pages and segments.
+///
+/// Thread safety: ReadAt uses pread (no shared cursor), so any number of
+/// threads may read concurrently. The file is opened once and never
+/// mutated — stores are immutable after the rename that publishes them.
+class PageFile {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Reads exactly `n` bytes at `offset`; a short read (EOF inside the
+  /// range) is DataLoss — a store never shrinks, so missing bytes mean
+  /// truncation.
+  [[nodiscard]] Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const;
+
+  [[nodiscard]] uint64_t size_bytes() const { return size_bytes_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  PageFile(int fd, uint64_t size_bytes, std::string path)
+      : fd_(fd), size_bytes_(size_bytes), path_(std::move(path)) {}
+
+  int fd_;
+  uint64_t size_bytes_;
+  std::string path_;
+};
+
+/// Append-only writer used by SnapshotStore::Persist to build the new
+/// store at a temporary path. Carries the two crash-injection points of
+/// the recovery protocol: faults::kTornWrite (a page write persists only
+/// a prefix, then the write reports failure) and faults::kFailFsync
+/// (durability is never reached). Both leave the file exactly as a crash
+/// at that instant would — the recovery sweep in
+/// tests/storage_recovery_test.cc drives every one of these sites.
+class PageWriter {
+ public:
+  /// Creates (or truncates) `path` for writing.
+  [[nodiscard]] static Result<std::unique_ptr<PageWriter>> Create(const std::string& path);
+
+  ~PageWriter();
+  PageWriter(const PageWriter&) = delete;
+  PageWriter& operator=(const PageWriter&) = delete;
+
+  /// Appends one page frame. One kTornWrite evaluation per call.
+  [[nodiscard]] Status Append(const uint8_t* frame, size_t n);
+
+  /// fsync. One kFailFsync evaluation per call.
+  [[nodiscard]] Status Sync();
+
+  /// Closes the descriptor; further writes are a programmer error.
+  [[nodiscard]] Status Close();
+
+  [[nodiscard]] uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  PageWriter(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Publishes `tmp_path` as `final_path`: rename(2), then fsync of the
+/// containing directory so the rename itself is durable. Readers see
+/// either the complete old file or the complete new file, never a mix —
+/// the atomicity half of the recovery protocol (the seal page is the
+/// completeness half). One kFailFsync evaluation for the directory sync.
+[[nodiscard]] Status AtomicReplace(const std::string& tmp_path,
+                                   const std::string& final_path);
+
+/// Unlinks `path`; missing files are not an error.
+[[nodiscard]] Status RemoveFile(const std::string& path);
+
+/// True if `path` exists (any file type).
+[[nodiscard]] bool FileExists(const std::string& path);
+
+}  // namespace storage
+}  // namespace grouplink
+
+#endif  // GROUPLINK_STORAGE_PAGE_FILE_H_

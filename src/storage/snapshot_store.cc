@@ -1,0 +1,352 @@
+#include "storage/snapshot_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/store_format.h"
+
+namespace grouplink {
+namespace storage {
+namespace {
+
+struct StoreMetrics {
+  Counter& persists;
+  Counter& pages_written;
+  Counter& recoveries;
+
+  static StoreMetrics& Get() {
+    auto& registry = MetricsRegistry::Default();
+    static StoreMetrics metrics{registry.CounterRef("storage.persists"),
+                                registry.CounterRef("storage.pages_written"),
+                                registry.CounterRef("storage.recoveries")};
+    return metrics;
+  }
+};
+
+/// Writes one logical byte stream as consecutive segment pages: every
+/// page's payload is filled to capacity except possibly the last.
+Status WriteSegmentPages(PageWriter& writer, const std::vector<uint8_t>& bytes,
+                         uint32_t page_bytes, uint64_t* next_page) {
+  const uint64_t cap = PagePayloadCapacity(page_bytes);
+  std::vector<uint8_t> frame(page_bytes);
+  uint64_t done = 0;
+  // A zero-length segment still occupies zero pages — the loop body never
+  // runs and the directory records length 0.
+  while (done < bytes.size()) {
+    const uint32_t take =
+        static_cast<uint32_t>(std::min<uint64_t>(cap, bytes.size() - done));
+    std::memset(frame.data(), 0, frame.size());
+    std::memcpy(frame.data() + kPageHeaderBytes, bytes.data() + done, take);
+    SealPageFrame(static_cast<uint32_t>(*next_page), PageType::kSegment, take,
+                  frame.data(), page_bytes);
+    GL_RETURN_IF_ERROR(writer.Append(frame.data(), frame.size()));
+    StoreMetrics::Get().pages_written.Increment();
+    ++*next_page;
+    done += take;
+  }
+  return Status::Ok();
+}
+
+/// Builds one whole page (header or seal) from its payload and appends it.
+Status WriteSinglePage(PageWriter& writer, uint64_t page_id, PageType type,
+                       const std::vector<uint8_t>& payload, uint32_t page_bytes) {
+  GL_CHECK_LE(payload.size(), PagePayloadCapacity(page_bytes))
+      << "page payload overflow";
+  std::vector<uint8_t> frame(page_bytes, 0);
+  std::memcpy(frame.data() + kPageHeaderBytes, payload.data(), payload.size());
+  SealPageFrame(static_cast<uint32_t>(page_id), type,
+                static_cast<uint32_t>(payload.size()), frame.data(), page_bytes);
+  GL_RETURN_IF_ERROR(writer.Append(frame.data(), frame.size()));
+  StoreMetrics::Get().pages_written.Increment();
+  return Status::Ok();
+}
+
+/// Encodes all nine segment byte streams from the snapshot's frozen parts.
+std::array<std::vector<uint8_t>, kNumSegments> EncodeSegments(
+    const CorpusSnapshot& snapshot) {
+  std::array<std::vector<uint8_t>, kNumSegments> segments;
+  const InvertedIndex& index = snapshot.token_index();
+  const size_t n_records = static_cast<size_t>(snapshot.num_records());
+
+  MetaData meta;
+  meta.config = snapshot.engine_config();
+  meta.epoch = snapshot.epoch();
+  meta.num_records = static_cast<int64_t>(n_records);
+  meta.num_groups = snapshot.num_groups();
+  meta.num_alive_groups = snapshot.num_alive_groups();
+  const std::vector<int32_t>& record_group = snapshot.record_group();
+  meta.record_group = record_group;
+  meta.record_removed.resize(n_records);
+  for (size_t r = 0; r < n_records; ++r) {
+    meta.record_removed[r] = index.IsRemoved(static_cast<int32_t>(r)) ? 1 : 0;
+  }
+  meta.group_alive = snapshot.group_alive();
+  meta.group_labels = snapshot.group_labels();
+  meta.group_records = snapshot.group_records();
+  meta.linked_pairs = snapshot.linked_pairs();
+  meta.cluster_labels = snapshot.cluster_labels();
+  EncodeMeta(meta, segments[kMeta]);
+
+  EncodeIndexVocab(snapshot.index_vocab(), segments[kDictIndex]);
+  EncodeEpochVocab(snapshot.epoch_vocab(), snapshot.index_vocab(),
+                   segments[kDictEpoch]);
+
+  // Postings + directory: one delta-compressed list per index token id.
+  // The lists include tombstoned documents exactly as the live index
+  // holds them; StoredCorpus filters through the tombstone bitmap the
+  // same way DocumentsSharingToken does.
+  const size_t n_tokens = snapshot.index_vocab().size();
+  std::vector<int32_t> dir_lengths;
+  dir_lengths.reserve(n_tokens);
+  for (size_t t = 0; t < n_tokens; ++t) {
+    const size_t before = segments[kPostings].size();
+    PutDeltaVarints(segments[kPostings], index.Postings(static_cast<int32_t>(t)));
+    dir_lengths.push_back(static_cast<int32_t>(segments[kPostings].size() - before));
+  }
+  PutVarint(segments[kPostingsDir], dir_lengths.size());
+  for (const int32_t length : dir_lengths) {
+    PutVarint(segments[kPostingsDir], static_cast<uint64_t>(length));
+  }
+
+  // TF-IDF vectors + directory: delta-varint ids, weights as raw IEEE-754
+  // bits — the round trip is bit-identical, which the differential suite
+  // turns into link-set identity.
+  dir_lengths.clear();
+  dir_lengths.reserve(n_records);
+  for (size_t r = 0; r < n_records; ++r) {
+    const SparseVector& vector = snapshot.record_vectors()[r];
+    const size_t before = segments[kVectors].size();
+    PutDeltaVarints(segments[kVectors], vector.ids);
+    for (const double w : vector.weights) PutDouble(segments[kVectors], w);
+    dir_lengths.push_back(static_cast<int32_t>(segments[kVectors].size() - before));
+  }
+  PutVarint(segments[kVectorsDir], dir_lengths.size());
+  for (const int32_t length : dir_lengths) {
+    PutVarint(segments[kVectorsDir], static_cast<uint64_t>(length));
+  }
+
+  // Per-record index token sets, exactly as AddDocument received them
+  // (post-compaction tombstones have empty sets; replaying AddDocument
+  // then RemoveDocument reproduces the index bit for bit either way).
+  PutVarint(segments[kDocs], n_records);
+  for (size_t r = 0; r < n_records; ++r) {
+    PutDeltaVarints(segments[kDocs], index.DocumentTokens(static_cast<int32_t>(r)));
+  }
+
+  // Raw token occurrences (order and repeats preserved — these are not
+  // sorted sets, so plain varints rather than deltas).
+  PutVarint(segments[kRawTokens], n_records);
+  for (size_t r = 0; r < n_records; ++r) {
+    const std::vector<int32_t>& ids = snapshot.record_token_ids()[r];
+    PutVarint(segments[kRawTokens], ids.size());
+    for (const int32_t id : ids) {
+      PutVarint(segments[kRawTokens], static_cast<uint64_t>(id));
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+Status SnapshotStore::Persist(const CorpusSnapshot& snapshot,
+                              const std::string& path,
+                              const StorageOptions& options) {
+  if (options.page_bytes < kMinPageBytes || options.page_bytes > kMaxPageBytes) {
+    return Status::InvalidArgument(
+        "page_bytes must lie in [" + std::to_string(kMinPageBytes) + ", " +
+        std::to_string(kMaxPageBytes) + "], got " +
+        std::to_string(options.page_bytes));
+  }
+  GL_CHECK(snapshot.CheckConsistency()) << "Persist requires a sealed snapshot";
+
+  const std::array<std::vector<uint8_t>, kNumSegments> segments =
+      EncodeSegments(snapshot);
+
+  StoreInfo info;
+  info.page_bytes = options.page_bytes;
+  uint64_t next_page = 1;  // Page 0 is the header.
+  for (uint32_t s = 0; s < kNumSegments; ++s) {
+    info.segments[s].first_page = next_page;
+    info.segments[s].length = segments[s].size();
+    next_page += info.PagesOf(static_cast<SegmentId>(s));
+  }
+  info.num_pages = next_page + 1;  // + seal page.
+
+  const std::string tmp_path = path + ".tmp";
+  GL_ASSIGN_OR_RETURN(const std::unique_ptr<PageWriter> writer,
+                      PageWriter::Create(tmp_path));
+  // On any failure below the tmp file is left exactly as a crash at that
+  // instant would leave it; the published store is untouched.
+  GL_RETURN_IF_ERROR(WriteSinglePage(*writer, 0, PageType::kHeader,
+                                     EncodeHeaderPayload(info), info.page_bytes));
+  uint64_t page = 1;
+  for (uint32_t s = 0; s < kNumSegments; ++s) {
+    GL_RETURN_IF_ERROR(
+        WriteSegmentPages(*writer, segments[s], info.page_bytes, &page));
+  }
+  GL_CHECK_EQ(page, info.num_pages - 1) << "segment layout drifted";
+  GL_RETURN_IF_ERROR(WriteSinglePage(*writer, info.num_pages - 1, PageType::kSeal,
+                                     EncodeSealPayload(info, snapshot.epoch()),
+                                     info.page_bytes));
+  GL_RETURN_IF_ERROR(writer->Sync());
+  GL_RETURN_IF_ERROR(writer->Close());
+  GL_RETURN_IF_ERROR(AtomicReplace(tmp_path, path));
+  StoreMetrics::Get().persists.Increment();
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const CorpusSnapshot>> SnapshotStore::Load(
+    const std::string& path) {
+  GL_ASSIGN_OR_RETURN(const std::unique_ptr<PageFile> file, PageFile::Open(path));
+  GL_ASSIGN_OR_RETURN(const StoreInfo info, ReadStoreInfo(*file));
+
+  // ReadWholeSegment checksum-verifies every page it touches; together
+  // the nine reads cover the whole file, so any flipped bit anywhere
+  // surfaces as DataLoss here, deterministically.
+  std::array<std::vector<uint8_t>, kNumSegments> segments;
+  for (uint32_t s = 0; s < kNumSegments; ++s) {
+    GL_ASSIGN_OR_RETURN(segments[s],
+                        ReadWholeSegment(*file, info, static_cast<SegmentId>(s)));
+  }
+
+  MetaData meta;
+  GL_RETURN_IF_ERROR(DecodeMeta(segments[kMeta], &meta));
+  CorpusSnapshot::Parts parts;
+  parts.config = meta.config;
+  GL_RETURN_IF_ERROR(parts.config.Validate());
+  parts.epoch = meta.epoch;
+  GL_ASSIGN_OR_RETURN(parts.index_vocab, DecodeIndexVocab(segments[kDictIndex]));
+  GL_ASSIGN_OR_RETURN(parts.epoch_vocab,
+                      DecodeEpochVocab(segments[kDictEpoch], parts.index_vocab));
+  const size_t n_records = static_cast<size_t>(meta.num_records);
+  const size_t n_tokens = parts.index_vocab.size();
+
+  // Structural cross-checks of the directories against their segments
+  // (StoredCorpus trusts these offsets for random access).
+  std::vector<uint64_t> offsets;
+  GL_RETURN_IF_ERROR(DecodeDirectory(segments[kPostingsDir],
+                                     segments[kPostings].size(), &offsets));
+  if (offsets.size() != n_tokens + 1) {
+    return Status::DataLoss("postings directory entry count mismatch");
+  }
+  GL_RETURN_IF_ERROR(DecodeDirectory(segments[kVectorsDir],
+                                     segments[kVectors].size(), &offsets));
+  if (offsets.size() != n_records + 1) {
+    return Status::DataLoss("vectors directory entry count mismatch");
+  }
+
+  // TF-IDF vectors.
+  {
+    ByteReader reader(segments[kVectors].data(), segments[kVectors].size());
+    parts.record_vectors.resize(n_records);
+    for (size_t r = 0; r < n_records; ++r) {
+      SparseVector& vector = parts.record_vectors[r];
+      GL_RETURN_IF_ERROR(reader.ReadDeltaVarints(&vector.ids));
+      vector.weights.resize(vector.ids.size());
+      for (double& w : vector.weights) {
+        GL_ASSIGN_OR_RETURN(w, reader.ReadDouble());
+      }
+      for (const int32_t id : vector.ids) {
+        if (static_cast<size_t>(id) >= parts.epoch_vocab.size()) {
+          return Status::DataLoss("vector token id out of vocabulary range");
+        }
+      }
+    }
+    if (!reader.AtEnd()) {
+      return Status::DataLoss("trailing bytes in vectors segment");
+    }
+  }
+
+  // Inverted index, rebuilt through the exact mutation sequence of the
+  // original: AddDocument in id order, then the tombstones. The postings
+  // segment is not consulted here — the rebuild reproduces it (the
+  // differential suite holds the paged reader, which does read it, to
+  // the same answers).
+  {
+    ByteReader reader(segments[kDocs].data(), segments[kDocs].size());
+    GL_ASSIGN_OR_RETURN(const int64_t count, reader.ReadCount());
+    if (static_cast<size_t>(count) != n_records) {
+      return Status::DataLoss("docs segment record count mismatch");
+    }
+    std::vector<int32_t> token_ids;
+    for (size_t r = 0; r < n_records; ++r) {
+      GL_RETURN_IF_ERROR(reader.ReadDeltaVarints(&token_ids));
+      for (const int32_t id : token_ids) {
+        if (static_cast<size_t>(id) >= n_tokens) {
+          return Status::DataLoss("document token id out of vocabulary range");
+        }
+      }
+      parts.token_index.AddDocument(token_ids);
+    }
+    if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in docs segment");
+    if (meta.record_removed.size() != n_records) {
+      return Status::DataLoss("tombstone bitmap size mismatch");
+    }
+    for (size_t r = 0; r < n_records; ++r) {
+      if (meta.record_removed[r] != 0) {
+        parts.token_index.RemoveDocument(static_cast<int32_t>(r));
+      }
+    }
+  }
+
+  // Raw token occurrences.
+  {
+    ByteReader reader(segments[kRawTokens].data(), segments[kRawTokens].size());
+    GL_ASSIGN_OR_RETURN(const int64_t count, reader.ReadCount());
+    if (static_cast<size_t>(count) != n_records) {
+      return Status::DataLoss("raw-tokens segment record count mismatch");
+    }
+    parts.record_token_ids.resize(n_records);
+    for (size_t r = 0; r < n_records; ++r) {
+      GL_ASSIGN_OR_RETURN(const int64_t n_ids, reader.ReadCount());
+      if (static_cast<uint64_t>(n_ids) > reader.remaining()) {
+        return Status::DataLoss("implausible raw token count");
+      }
+      std::vector<int32_t>& ids = parts.record_token_ids[r];
+      ids.resize(static_cast<size_t>(n_ids));
+      for (int32_t& id : ids) {
+        GL_ASSIGN_OR_RETURN(const int64_t raw, reader.ReadCount());
+        if (static_cast<size_t>(raw) >= n_tokens) {
+          return Status::DataLoss("raw token id out of vocabulary range");
+        }
+        id = static_cast<int32_t>(raw);
+      }
+    }
+    if (!reader.AtEnd()) {
+      return Status::DataLoss("trailing bytes in raw-tokens segment");
+    }
+  }
+
+  // Group structure: every referenced record must exist (FromParts'
+  // CheckConsistency covers the remaining invariants).
+  for (const std::vector<int32_t>& records : meta.group_records) {
+    for (const int32_t r : records) {
+      if (static_cast<size_t>(r) >= n_records) {
+        return Status::DataLoss("group references a record out of range");
+      }
+    }
+  }
+  parts.record_group = std::move(meta.record_group);
+  parts.group_records = std::move(meta.group_records);
+  parts.group_labels = std::move(meta.group_labels);
+  parts.group_alive = std::move(meta.group_alive);
+  parts.num_alive_groups = meta.num_alive_groups;
+  parts.linked_pairs = std::move(meta.linked_pairs);
+  parts.cluster_labels = std::move(meta.cluster_labels);
+
+  GL_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusSnapshot> snapshot,
+                      CorpusSnapshot::FromParts(std::move(parts)));
+  StoreMetrics::Get().recoveries.Increment();
+  return snapshot;
+}
+
+}  // namespace storage
+}  // namespace grouplink

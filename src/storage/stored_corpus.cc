@@ -1,0 +1,205 @@
+#include "storage/stored_corpus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/execution_context.h"
+#include "common/logging.h"
+#include "core/filter_refine.h"
+#include "matching/bipartite_graph.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace grouplink {
+namespace storage {
+
+Result<std::unique_ptr<StoredCorpus>> StoredCorpus::Open(
+    const std::string& path, const StorageOptions& options) {
+  GL_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> opened, PageFile::Open(path));
+  std::shared_ptr<const PageFile> file = std::move(opened);
+  GL_ASSIGN_OR_RETURN(const StoreInfo info, ReadStoreInfo(*file));
+
+  std::unique_ptr<StoredCorpus> corpus(new StoredCorpus());
+  corpus->file_ = file;
+
+  // Resident metadata: everything except the postings and vectors
+  // segments, whose bytes stay on disk behind the buffer pool.
+  GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> meta_bytes,
+                      ReadWholeSegment(*file, info, kMeta));
+  GL_RETURN_IF_ERROR(DecodeMeta(meta_bytes, &corpus->meta_));
+  GL_RETURN_IF_ERROR(corpus->meta_.config.Validate());
+  GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> dict_bytes,
+                      ReadWholeSegment(*file, info, kDictIndex));
+  GL_ASSIGN_OR_RETURN(corpus->index_vocab_, DecodeIndexVocab(dict_bytes));
+  GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> epoch_dict_bytes,
+                      ReadWholeSegment(*file, info, kDictEpoch));
+  GL_ASSIGN_OR_RETURN(corpus->epoch_vocab_,
+                      DecodeEpochVocab(epoch_dict_bytes, corpus->index_vocab_));
+  GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> postings_dir,
+                      ReadWholeSegment(*file, info, kPostingsDir));
+  GL_RETURN_IF_ERROR(DecodeDirectory(postings_dir, info.segments[kPostings].length,
+                                     &corpus->postings_offsets_));
+  if (corpus->postings_offsets_.size() != corpus->index_vocab_.size() + 1) {
+    return Status::DataLoss("postings directory entry count mismatch");
+  }
+  GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> vectors_dir,
+                      ReadWholeSegment(*file, info, kVectorsDir));
+  GL_RETURN_IF_ERROR(DecodeDirectory(vectors_dir, info.segments[kVectors].length,
+                                     &corpus->vectors_offsets_));
+  if (corpus->vectors_offsets_.size() !=
+      static_cast<size_t>(corpus->meta_.num_records) + 1) {
+    return Status::DataLoss("vectors directory entry count mismatch");
+  }
+
+  corpus->buffer_ = std::make_unique<BufferManager>(
+      file, info.page_bytes, info.num_pages, options.buffer_pool_pages);
+  corpus->postings_reader_ =
+      SegmentReader(corpus->buffer_.get(), info.segments[kPostings].first_page,
+                    info.segments[kPostings].length);
+  corpus->vectors_reader_ =
+      SegmentReader(corpus->buffer_.get(), info.segments[kVectors].first_page,
+                    info.segments[kVectors].length);
+  return corpus;
+}
+
+Result<std::vector<int32_t>> StoredCorpus::CandidateGroups(
+    const std::vector<std::vector<int32_t>>& probe_token_ids) const {
+  // Same candidate set as CorpusSnapshot::CandidateGroupsForProbe: per
+  // probe record, documents sharing any token (tombstones excluded),
+  // mapped to their live groups; the final sort+unique makes per-list
+  // duplicate hits harmless, exactly as in the in-RAM path.
+  std::vector<int32_t> groups;
+  std::vector<int32_t> postings;
+  for (const std::vector<int32_t>& ids : probe_token_ids) {
+    for (const int32_t token : ids) {
+      const size_t t = static_cast<size_t>(token);
+      const uint64_t begin = postings_offsets_[t];
+      const size_t n_bytes = static_cast<size_t>(postings_offsets_[t + 1] - begin);
+      if (n_bytes == 0) continue;  // Token with an empty posting list.
+      GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                          postings_reader_.ReadAt(begin, n_bytes));
+      ByteReader reader(bytes.data(), bytes.size());
+      GL_RETURN_IF_ERROR(reader.ReadDeltaVarints(&postings));
+      if (!reader.AtEnd()) {
+        return Status::DataLoss("trailing bytes in posting list");
+      }
+      for (const int32_t doc : postings) {
+        if (static_cast<size_t>(doc) >= static_cast<size_t>(meta_.num_records)) {
+          return Status::DataLoss("posting references a record out of range");
+        }
+        if (meta_.record_removed[static_cast<size_t>(doc)] != 0) continue;
+        const int32_t g = meta_.record_group[static_cast<size_t>(doc)];
+        if (meta_.group_alive[static_cast<size_t>(g)] == 0) continue;
+        groups.push_back(g);
+      }
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  return groups;
+}
+
+Result<SparseVector> StoredCorpus::ReadVector(int32_t r) const {
+  const size_t index = static_cast<size_t>(r);
+  const uint64_t begin = vectors_offsets_[index];
+  const size_t n_bytes = static_cast<size_t>(vectors_offsets_[index + 1] - begin);
+  SparseVector vector;
+  if (n_bytes == 0) return vector;  // Tombstoned record: empty vector.
+  GL_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                      vectors_reader_.ReadAt(begin, n_bytes));
+  ByteReader reader(bytes.data(), bytes.size());
+  GL_RETURN_IF_ERROR(reader.ReadDeltaVarints(&vector.ids));
+  vector.weights.resize(vector.ids.size());
+  for (double& w : vector.weights) {
+    GL_ASSIGN_OR_RETURN(w, reader.ReadDouble());
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in record vector");
+  }
+  return vector;
+}
+
+Result<CorpusSnapshot::QueryResult> StoredCorpus::LinkQuery(
+    const GroupArrival& group, const CorpusSnapshot::QueryOptions& options) const {
+  GL_CHECK(!group.record_texts.empty()) << "groups must have records";
+
+  CorpusSnapshot::QueryResult result;
+  result.epoch = meta_.epoch;
+
+  // Probe preparation: field-for-field the in-RAM path's (see
+  // CorpusSnapshot::LinkQuery) — tokenize, map into the index id space,
+  // vectorize against the epoch vocabulary.
+  const size_t probe_size = group.record_texts.size();
+  std::vector<std::vector<int32_t>> probe_ids(probe_size);
+  std::vector<SparseVector> probe_vectors(probe_size);
+  const TfIdfVectorizer vectorizer(&epoch_vocab_);
+  for (size_t i = 0; i < probe_size; ++i) {
+    const std::vector<std::string> raw = Tokenize(group.record_texts[i]);
+    const std::vector<std::string> set = ToTokenSet(raw);
+    for (const std::string& token : set) {
+      const int32_t id = index_vocab_.GetId(token);
+      if (id != Vocabulary::kUnknownToken) probe_ids[i].push_back(id);
+      if (epoch_vocab_.GetId(token) == Vocabulary::kUnknownToken) {
+        ++result.oov_tokens;
+      }
+    }
+    std::sort(probe_ids[i].begin(), probe_ids[i].end());
+    probe_vectors[i] = vectorizer.Vectorize(raw);
+  }
+
+  ExecutionContext ctx;
+  if (options.deadline_ms > 0.0) ctx.SetDeadline(options.deadline_ms);
+  ctx.SetCancellation(options.cancellation);
+  ctx.SetMaxCandidatePairs(options.max_candidate_pairs);
+  ctx.SetMaxMatcherCost(options.max_matcher_cost);
+
+  GL_ASSIGN_OR_RETURN(std::vector<int32_t> candidates,
+                      CandidateGroups(probe_ids));
+  const size_t cap = ctx.EffectiveCandidateCap(candidates.size());
+  if (cap < candidates.size()) {
+    candidates.resize(cap);
+    ctx.NoteDegraded();
+  }
+  result.candidates = candidates.size();
+
+  FilterRefineConfig fr_config;
+  fr_config.theta = meta_.config.theta;
+  fr_config.group_threshold = meta_.config.group_threshold;
+  fr_config.use_upper_bound_filter =
+      meta_.config.use_filter_refine && meta_.config.use_upper_bound_filter;
+  fr_config.use_lower_bound_accept =
+      meta_.config.use_filter_refine && meta_.config.use_lower_bound_accept;
+
+  const int32_t size_right = static_cast<int32_t>(probe_size);
+  for (const int32_t g : candidates) {
+    if (ctx.StopRequested()) {
+      ctx.NoteDegraded();
+      break;
+    }
+    const std::vector<int32_t>& left =
+        meta_.group_records[static_cast<size_t>(g)];
+    const int32_t size_left = static_cast<int32_t>(left.size());
+    BipartiteGraph graph(size_left, size_right);
+    for (size_t i = 0; i < left.size(); ++i) {
+      // The one paged read per corpus record; weights are the exact
+      // stored bits, so every similarity below equals the in-RAM one.
+      GL_ASSIGN_OR_RETURN(const SparseVector corpus_vector,
+                          ReadVector(left[i]));
+      for (size_t j = 0; j < probe_size; ++j) {
+        const double s =
+            PrenormalizedCosineSimilarity(corpus_vector, probe_vectors[j]);
+        if (s >= meta_.config.theta) {
+          graph.AddEdge(static_cast<int32_t>(i), static_cast<int32_t>(j), s);
+        }
+      }
+    }
+    if (DecideGraphLinked(graph, size_left, size_right, fr_config, &ctx)) {
+      result.linked_to.push_back(g);
+    }
+  }
+  result.degraded = ctx.degraded();
+  return result;
+}
+
+}  // namespace storage
+}  // namespace grouplink

@@ -1,0 +1,95 @@
+#ifndef GROUPLINK_STORAGE_STORED_CORPUS_H_
+#define GROUPLINK_STORAGE_STORED_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/snapshot.h"
+#include "storage/buffer_manager.h"
+#include "storage/snapshot_store.h"
+#include "storage/store_format.h"
+
+namespace grouplink {
+namespace storage {
+
+/// Out-of-core LinkQuery serving directly from a store file: the big
+/// per-record data — posting lists and TF-IDF vectors — stays on disk
+/// and is paged in through a fixed-budget BufferManager, so a corpus
+/// much larger than the buffer pool can be served. Only the compact
+/// metadata (dictionaries, group structure, tombstones, directories) is
+/// resident.
+///
+/// Decision-procedure contract: LinkQuery here answers bit-identically
+/// to CorpusSnapshot::LinkQuery over the same epoch — same candidates,
+/// same similarity arithmetic (the stored weights are raw IEEE-754
+/// bits), same filter-and-refine ladder. The differential suite
+/// (tests/storage_differential_test.cc) holds both paths to one link
+/// set across thread counts and buffer budgets, down to a
+/// pathologically tiny pool.
+///
+/// Thread safety: every method is const over immutable resident state;
+/// the buffer pool is internally synchronized. Any number of threads
+/// may query concurrently. Queries pin at most one page at a time, so
+/// even a one-frame pool makes progress.
+class StoredCorpus {
+ public:
+  /// Opens the store at `path`, loading resident metadata and building
+  /// a buffer pool of `options.buffer_pool_pages` frames
+  /// (`options.page_bytes` is ignored — the store dictates it).
+  /// Errors: NotFound, DataLoss, IoError.
+  [[nodiscard]] static Result<std::unique_ptr<StoredCorpus>> Open(
+      const std::string& path, const StorageOptions& options = {});
+
+  /// Links `group` against the stored corpus; see the class contract.
+  /// Paged reads can fail (corruption discovered lazily, pool
+  /// exhaustion), hence the Result the in-RAM path does not need.
+  [[nodiscard]] Result<CorpusSnapshot::QueryResult> LinkQuery(
+      const GroupArrival& group,
+      const CorpusSnapshot::QueryOptions& options = {}) const;
+
+  [[nodiscard]] int64_t epoch() const { return meta_.epoch; }
+  [[nodiscard]] int32_t num_records() const {
+    return static_cast<int32_t>(meta_.num_records);
+  }
+  [[nodiscard]] int32_t num_groups() const {
+    return static_cast<int32_t>(meta_.num_groups);
+  }
+  [[nodiscard]] const LinkageConfig& engine_config() const { return meta_.config; }
+  /// Buffer-pool counters since Open (per-budget bench rows).
+  [[nodiscard]] BufferStats buffer_stats() const { return buffer_->stats(); }
+  [[nodiscard]] size_t pool_pages() const { return buffer_->pool_pages(); }
+
+ private:
+  StoredCorpus() = default;
+
+  /// Candidate groups of the probe (ascending, deduplicated): live
+  /// groups owning a non-tombstoned record that shares an index token.
+  [[nodiscard]] Result<std::vector<int32_t>> CandidateGroups(
+      const std::vector<std::vector<int32_t>>& probe_token_ids) const;
+
+  /// Reads and decodes record `r`'s TF-IDF vector from the paged
+  /// vectors segment.
+  [[nodiscard]] Result<SparseVector> ReadVector(int32_t r) const;
+
+  // Resident metadata (immutable after Open).
+  MetaData meta_;
+  Vocabulary index_vocab_;
+  Vocabulary epoch_vocab_;
+  std::vector<uint64_t> postings_offsets_;  // Prefix sums, size |vocab|+1.
+  std::vector<uint64_t> vectors_offsets_;   // Prefix sums, size n_records+1.
+
+  // Paged data plumbing. The BufferManager is internally synchronized;
+  // reaching it through const methods is safe by its contract.
+  std::shared_ptr<const PageFile> file_;
+  std::unique_ptr<BufferManager> buffer_;
+  SegmentReader postings_reader_;
+  SegmentReader vectors_reader_;
+};
+
+}  // namespace storage
+}  // namespace grouplink
+
+#endif  // GROUPLINK_STORAGE_STORED_CORPUS_H_

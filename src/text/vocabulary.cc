@@ -1,6 +1,7 @@
 #include "text/vocabulary.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -12,6 +13,25 @@ void Vocabulary::AddDocument(const std::vector<std::string>& token_set) {
     const int32_t id = GetOrInsertId(token);
     ++document_frequency_[id];
   }
+}
+
+Vocabulary Vocabulary::Restore(std::vector<std::string> tokens,
+                               std::vector<int64_t> document_frequencies,
+                               int64_t num_documents) {
+  GL_CHECK_EQ(tokens.size(), document_frequencies.size());
+  GL_CHECK_GE(num_documents, 0);
+  Vocabulary vocabulary;
+  vocabulary.tokens_ = std::move(tokens);
+  vocabulary.document_frequency_ = std::move(document_frequencies);
+  vocabulary.num_documents_ = num_documents;
+  vocabulary.token_to_id_.reserve(vocabulary.tokens_.size());
+  for (size_t id = 0; id < vocabulary.tokens_.size(); ++id) {
+    const auto [it, inserted] = vocabulary.token_to_id_.try_emplace(
+        vocabulary.tokens_[id], static_cast<int32_t>(id));
+    GL_CHECK(inserted) << "duplicate token in Vocabulary::Restore: " << it->first;
+    GL_CHECK_GE(vocabulary.document_frequency_[id], 0);
+  }
+  return vocabulary;
 }
 
 int32_t Vocabulary::GetId(std::string_view token) const {

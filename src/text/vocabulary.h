@@ -23,6 +23,16 @@ class Vocabulary {
   /// repeated token in one call would be counted repeatedly).
   void AddDocument(const std::vector<std::string>& token_set);
 
+  /// Rebuilds a vocabulary from its serialized parts — token id i is
+  /// `tokens[i]` with document frequency `document_frequencies[i]`. The
+  /// restored object is bit-identical in every query (ids, dfs, IDF table)
+  /// to the one the parts were read from; the storage tier's recovery path
+  /// depends on exactly that. Duplicate tokens or negative sizes are a
+  /// programmer error (GL_CHECK).
+  static Vocabulary Restore(std::vector<std::string> tokens,
+                            std::vector<int64_t> document_frequencies,
+                            int64_t num_documents);
+
   /// Returns the id of `token`, or kUnknownToken.
   int32_t GetId(std::string_view token) const;
 

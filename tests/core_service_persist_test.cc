@@ -1,0 +1,213 @@
+// Service-level persistence wiring: persist_on_refresh writes a store
+// for every published epoch (seed, inline, async), PersistNow persists
+// on demand, Restore() warm restarts a service that then serves and
+// links bit-identically to one that never stopped, and persist failures
+// are absorbed into last_persist_status() without ever touching serving.
+#include "core/service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "data/bibliographic_generator.h"
+#include "storage/page_file.h"
+#include "storage/snapshot_store.h"
+
+namespace grouplink {
+namespace {
+
+Dataset MakeCorpus(int32_t entities, uint64_t seed) {
+  BibliographicConfig config;
+  config.num_entities = entities;
+  config.noise = 0.25;
+  config.num_topics = 5;
+  config.offtopic_word_prob = 0.5;
+  config.seed = seed;
+  return GenerateBibliographic(config);
+}
+
+std::vector<std::string> GroupTexts(const Dataset& dataset, int32_t group) {
+  std::vector<std::string> texts;
+  for (const int32_t r : dataset.groups[static_cast<size_t>(group)].record_ids) {
+    texts.push_back(dataset.records[static_cast<size_t>(r)].text);
+  }
+  return texts;
+}
+
+ServiceConfig PersistingConfig(const std::string& path) {
+  ServiceConfig config;
+  config.engine.theta = 0.35;
+  config.engine.group_threshold = 0.2;
+  config.persist_path = path;
+  config.persist_on_refresh = true;
+  return config;
+}
+
+std::string StorePath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ServicePersistTest, ValidateRejectsBadPersistConfigs) {
+  ServiceConfig no_path;
+  no_path.persist_on_refresh = true;  // ...but no persist_path.
+  EXPECT_EQ(LinkageService::Create(MakeCorpus(5, 1), no_path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceConfig bad_pages = PersistingConfig(StorePath("unused.glsnap"));
+  bad_pages.persist_page_bytes = 64;
+  EXPECT_EQ(LinkageService::Create(MakeCorpus(5, 1), bad_pages).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServicePersistTest, SeedEpochIsPersistedOnCreate) {
+  const std::string path = StorePath("seed.glsnap");
+  auto service = LinkageService::Create(MakeCorpus(15, 3), PersistingConfig(path));
+  ASSERT_TRUE(service.ok()) << service.status().message();
+  EXPECT_TRUE(service->last_persist_status().ok());
+  ASSERT_TRUE(storage::FileExists(path));
+
+  const auto loaded = storage::SnapshotStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ((*loaded)->epoch(), service->published_epoch());
+  EXPECT_EQ((*loaded)->linked_pairs(), service->snapshot()->linked_pairs());
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
+}
+
+TEST(ServicePersistTest, EveryPublishedEpochReachesTheStore) {
+  const std::string path = StorePath("epochs.glsnap");
+  auto service = LinkageService::Create(MakeCorpus(15, 5), PersistingConfig(path));
+  ASSERT_TRUE(service.ok());
+
+  // Inline stop-the-world refresh publishes and persists.
+  (void)service->AddGroup("arrival one", {"fresh record text one"});
+  service->Refresh();
+  {
+    const auto loaded = storage::SnapshotStore::Load(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ((*loaded)->epoch(), service->published_epoch());
+  }
+
+  // Async refresh persists from the background thread after publishing.
+  (void)service->AddGroup("arrival two", {"fresh record text two"});
+  ASSERT_TRUE(service->RefreshAsync());
+  service->WaitForRefresh();
+  {
+    const auto loaded = storage::SnapshotStore::Load(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ((*loaded)->epoch(), service->published_epoch());
+    EXPECT_EQ((*loaded)->linked_pairs(), service->snapshot()->linked_pairs());
+  }
+  EXPECT_TRUE(service->last_persist_status().ok());
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
+}
+
+TEST(ServicePersistTest, PersistNowWorksWithoutPersistOnRefresh) {
+  const std::string path = StorePath("manual.glsnap");
+  ServiceConfig config = PersistingConfig(path);
+  config.persist_on_refresh = false;  // Manual persistence only.
+  auto service = LinkageService::Create(MakeCorpus(10, 7), config);
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE(storage::FileExists(path));
+
+  ASSERT_TRUE(service->PersistNow().ok());
+  const auto loaded = storage::SnapshotStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->epoch(), service->published_epoch());
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
+
+  // And with no path configured at all, PersistNow is a clean error.
+  ServiceConfig pathless;
+  pathless.engine.theta = 0.35;
+  pathless.engine.group_threshold = 0.2;
+  auto bare = LinkageService::Create(MakeCorpus(5, 9), pathless);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->PersistNow().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServicePersistTest, PersistFailureIsAbsorbedNeverServed) {
+  // An injected fsync failure makes the background persist fail; serving
+  // must be untouched, and the failure must surface only through
+  // last_persist_status(). A later clean persist clears it.
+  ScopedFaultClear clear;
+  const std::string path = StorePath("absorbed.glsnap");
+  auto service = LinkageService::Create(MakeCorpus(12, 11), PersistingConfig(path));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service->last_persist_status().ok());
+
+  FaultInjector::Default().Arm(faults::kFailFsync, {.max_fires = 1});
+  (void)service->AddGroup("doomed persist", {"text for the failing epoch"});
+  service->Refresh();
+  FaultInjector::Default().Disarm(faults::kFailFsync);
+
+  EXPECT_FALSE(service->last_persist_status().ok());
+  EXPECT_EQ(service->last_persist_status().code(), StatusCode::kIoError);
+  // Serving never noticed: queries answer from the published epoch.
+  const auto result = service->LinkQuery({"probe", {"text for the failing epoch"}});
+  EXPECT_EQ(result.epoch, service->published_epoch());
+
+  // The old store (the seed epoch) survived the failed persist.
+  const auto survived = storage::SnapshotStore::Load(path);
+  ASSERT_TRUE(survived.ok()) << survived.status().message();
+  EXPECT_TRUE((*survived)->CheckConsistency());
+
+  // The next persist succeeds and clears the sticky status.
+  ASSERT_TRUE(service->PersistNow().ok());
+  EXPECT_TRUE(service->last_persist_status().ok());
+  const auto loaded = storage::SnapshotStore::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->epoch(), service->published_epoch());
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
+}
+
+TEST(ServicePersistTest, RestoreWarmRestartsBitIdentically) {
+  // The service-level warm-restart contract: kill a persisting service,
+  // Restore() from its store, and the restarted service must serve the
+  // same epoch and link a stream of future arrivals exactly like the
+  // service that never stopped.
+  const std::string path = StorePath("restore.glsnap");
+  const Dataset seed = MakeCorpus(20, 13);
+  auto original = LinkageService::Create(seed, PersistingConfig(path));
+  ASSERT_TRUE(original.ok());
+  (void)original->AddGroup("pre-crash arrival", {"tokens before the crash"});
+  original->Refresh();
+
+  auto restored = LinkageService::Restore(PersistingConfig(path));
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(restored->published_epoch(), original->published_epoch());
+  EXPECT_EQ(restored->snapshot()->linked_pairs(),
+            original->snapshot()->linked_pairs());
+  EXPECT_EQ(restored->num_groups(), original->num_groups());
+
+  const Dataset future = MakeCorpus(6, 1717);
+  for (int32_t g = 0; g < future.num_groups(); ++g) {
+    const auto a = original->AddGroup("arrival", GroupTexts(future, g));
+    const auto b = restored->AddGroup("arrival", GroupTexts(future, g));
+    EXPECT_EQ(a.group_index, b.group_index) << g;
+    EXPECT_EQ(a.linked_to, b.linked_to) << g;
+    EXPECT_EQ(a.candidates, b.candidates) << g;
+  }
+  original->Refresh();
+  restored->Refresh();
+  EXPECT_EQ(restored->linked_pairs(), original->linked_pairs());
+  EXPECT_EQ(restored->published_epoch(), original->published_epoch());
+  ASSERT_TRUE(storage::RemoveFile(path).ok());
+}
+
+TEST(ServicePersistTest, RestoreErrorsAreClean) {
+  // No path configured.
+  ServiceConfig pathless;
+  EXPECT_EQ(LinkageService::Restore(pathless).status().code(),
+            StatusCode::kInvalidArgument);
+  // No store at the path.
+  EXPECT_EQ(LinkageService::Restore(
+                PersistingConfig(StorePath("never_written.glsnap")))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace grouplink

@@ -1,0 +1,22 @@
+// Planted violation: raw-file-io. Durable state must go through the
+// storage tier (PageFile/PageWriter) or data/record_io, never ad-hoc
+// file handles that dodge checksums, atomic rename, and fault injection.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace grouplink {
+
+void RogueWrite(const std::string& path) {
+  std::ofstream out(path);
+  out << "unchecked bytes";
+  std::FILE* f = fopen(path.c_str(), "a");
+  if (f != nullptr) fclose(f);
+}
+
+bool RogueRead(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+}  // namespace grouplink

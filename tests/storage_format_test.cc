@@ -1,0 +1,252 @@
+// Unit suite of the storage tier's byte and page codecs: varint /
+// fixed-width / delta round trips, ByteReader's rejection of truncated
+// or malformed input, CRC32 properties, page frame seal/verify, and
+// Vocabulary::Restore bit-identity.
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "storage/store_format.h"
+#include "text/vocabulary.h"
+
+namespace grouplink {
+namespace storage {
+namespace {
+
+TEST(ByteCodecTest, VarintRoundTripsBoundaryValues) {
+  const std::vector<uint64_t> values = {
+      0,       1,        127,        128,        16383,
+      16384,   (1u << 21) - 1,       1ull << 32, std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<uint64_t>::max()};
+  std::vector<uint8_t> bytes;
+  for (const uint64_t v : values) PutVarint(bytes, v);
+  ByteReader reader(bytes.data(), bytes.size());
+  for (const uint64_t v : values) {
+    const auto decoded = reader.ReadVarint();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodecTest, FixedWidthAndDoubleAreBitExact) {
+  std::vector<uint8_t> bytes;
+  PutFixed32(bytes, 0xdeadbeefu);
+  PutFixed64(bytes, 0x0123456789abcdefull);
+  const double values[] = {0.0, -0.0, 1.5, -3.25e300, 5e-324,
+                           std::numeric_limits<double>::infinity()};
+  for (const double v : values) PutDouble(bytes, v);
+  ByteReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(*reader.ReadFixed32(), 0xdeadbeefu);
+  EXPECT_EQ(*reader.ReadFixed64(), 0x0123456789abcdefull);
+  for (const double v : values) {
+    const auto decoded = reader.ReadDouble();
+    ASSERT_TRUE(decoded.ok());
+    // Bit comparison, not value comparison: -0.0 must stay -0.0.
+    uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &v, sizeof(v));
+    std::memcpy(&got_bits, &*decoded, sizeof(v));
+    EXPECT_EQ(got_bits, want_bits);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodecTest, StringAndDeltaListRoundTrip) {
+  std::vector<uint8_t> bytes;
+  PutString(bytes, "");
+  PutString(bytes, std::string("with\0nul", 8));
+  PutDeltaVarints(bytes, {});
+  PutDeltaVarints(bytes, {0, 1, 2, 1000000, 2000000000});
+  ByteReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(*reader.ReadString(), "");
+  EXPECT_EQ(*reader.ReadString(), std::string("with\0nul", 8));
+  std::vector<int32_t> list;
+  ASSERT_TRUE(reader.ReadDeltaVarints(&list).ok());
+  EXPECT_TRUE(list.empty());
+  ASSERT_TRUE(reader.ReadDeltaVarints(&list).ok());
+  EXPECT_EQ(list, (std::vector<int32_t>{0, 1, 2, 1000000, 2000000000}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodecTest, TruncatedAndMalformedInputIsDataLoss) {
+  std::vector<uint8_t> bytes;
+  PutVarint(bytes, 300);
+  {
+    ByteReader truncated(bytes.data(), 1);  // Continuation byte cut off.
+    EXPECT_EQ(truncated.ReadVarint().status().code(), StatusCode::kDataLoss);
+  }
+  {
+    ByteReader empty(bytes.data(), 0);
+    EXPECT_EQ(empty.ReadFixed32().status().code(), StatusCode::kDataLoss);
+    EXPECT_EQ(empty.ReadDouble().status().code(), StatusCode::kDataLoss);
+    EXPECT_EQ(empty.ReadString().status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // A string whose claimed length exceeds the remaining bytes.
+    std::vector<uint8_t> lying;
+    PutVarint(lying, 1000);
+    lying.push_back('x');
+    ByteReader reader(lying.data(), lying.size());
+    EXPECT_EQ(reader.ReadString().status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // A delta list whose count exceeds the remaining bytes.
+    std::vector<uint8_t> lying;
+    PutVarint(lying, 1u << 30);
+    ByteReader reader(lying.data(), lying.size());
+    std::vector<int32_t> list;
+    EXPECT_EQ(reader.ReadDeltaVarints(&list).code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(Crc32Test, DetectsEveryFlippedBitInASmallFrame) {
+  std::vector<uint8_t> data(64, 0xa5);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(data.data(), data.size()), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  EXPECT_EQ(Crc32(data.data(), data.size()), clean);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string text = "group linkage storage tier";
+  const auto* bytes = reinterpret_cast<const uint8_t*>(text.data());
+  const uint32_t whole = Crc32(bytes, text.size());
+  const uint32_t chained = Crc32(bytes + 10, text.size() - 10, Crc32(bytes, 10));
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(PageFrameTest, SealThenVerifyRoundTrips) {
+  const uint32_t page_bytes = kMinPageBytes;
+  std::vector<uint8_t> frame(page_bytes, 0);
+  const std::string payload = "payload bytes";
+  std::memcpy(frame.data() + kPageHeaderBytes, payload.data(), payload.size());
+  SealPageFrame(7, PageType::kSegment, static_cast<uint32_t>(payload.size()),
+                frame.data(), page_bytes);
+  const auto view = VerifyPageFrame(frame.data(), page_bytes, 7);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, PageType::kSegment);
+  EXPECT_EQ(view->payload_len, payload.size());
+  EXPECT_EQ(std::memcmp(view->payload, payload.data(), payload.size()), 0);
+}
+
+TEST(PageFrameTest, VerifyRejectsCorruptionWrongIdAndBadBounds) {
+  const uint32_t page_bytes = kMinPageBytes;
+  std::vector<uint8_t> frame(page_bytes, 0);
+  SealPageFrame(3, PageType::kSegment, 10, frame.data(), page_bytes);
+
+  // Wrong expected page id: a page read from the wrong offset.
+  EXPECT_EQ(VerifyPageFrame(frame.data(), page_bytes, 4).status().code(),
+            StatusCode::kDataLoss);
+
+  // Any single flipped bit — in the payload, the header fields, or the
+  // zero padding — must fail verification.
+  for (const size_t offset : {4u, 9u, 13u, 20u, page_bytes - 1}) {
+    frame[offset] ^= 0x40;
+    EXPECT_EQ(VerifyPageFrame(frame.data(), page_bytes, 3).status().code(),
+              StatusCode::kDataLoss)
+        << "offset " << offset;
+    frame[offset] ^= 0x40;
+  }
+  EXPECT_TRUE(VerifyPageFrame(frame.data(), page_bytes, 3).ok());
+
+  // A payload length beyond capacity with a matching checksum: the
+  // bounds check itself must reject it. SealPageFrame refuses to build
+  // such a frame, so forge the field and re-checksum by hand.
+  const uint32_t lying_len = page_bytes;
+  frame[12] = static_cast<uint8_t>(lying_len);
+  frame[13] = static_cast<uint8_t>(lying_len >> 8);
+  frame[14] = static_cast<uint8_t>(lying_len >> 16);
+  frame[15] = static_cast<uint8_t>(lying_len >> 24);
+  const uint32_t crc = Crc32(frame.data() + 4, page_bytes - 4);
+  frame[0] = static_cast<uint8_t>(crc);
+  frame[1] = static_cast<uint8_t>(crc >> 8);
+  frame[2] = static_cast<uint8_t>(crc >> 16);
+  frame[3] = static_cast<uint8_t>(crc >> 24);
+  EXPECT_EQ(VerifyPageFrame(frame.data(), page_bytes, 3).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(VocabularyRestoreTest, RestoredVocabularyIsBitIdentical) {
+  Vocabulary original;
+  original.AddDocument({"rakesh", "agrawal"});
+  original.AddDocument({"data", "mining", "agrawal"});
+  original.AddDocument({"data", "linkage"});
+
+  std::vector<std::string> tokens;
+  std::vector<int64_t> dfs;
+  for (size_t id = 0; id < original.size(); ++id) {
+    tokens.push_back(original.TokenOf(static_cast<int32_t>(id)));
+    dfs.push_back(original.DocumentFrequencyOf(static_cast<int32_t>(id)));
+  }
+  const Vocabulary restored =
+      Vocabulary::Restore(tokens, dfs, original.num_documents());
+
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.num_documents(), original.num_documents());
+  for (size_t id = 0; id < original.size(); ++id) {
+    const int32_t i = static_cast<int32_t>(id);
+    EXPECT_EQ(restored.TokenOf(i), original.TokenOf(i));
+    EXPECT_EQ(restored.DocumentFrequencyOf(i), original.DocumentFrequencyOf(i));
+    // IDF must be the same *bits* (it feeds TF-IDF weights).
+    EXPECT_EQ(restored.IdfOf(i), original.IdfOf(i));
+    EXPECT_EQ(restored.GetId(original.TokenOf(i)), i);
+  }
+  EXPECT_EQ(restored.GetId("never-seen"), Vocabulary::kUnknownToken);
+}
+
+TEST(MetaCodecTest, MetaRoundTripsEveryField) {
+  MetaData meta;
+  meta.config.theta = 0.375;
+  meta.config.group_threshold = 0.21;
+  meta.config.num_threads = 4;
+  meta.config.use_lower_bound_accept = false;
+  meta.config.max_candidate_pairs = 123456789;
+  meta.epoch = 17;
+  meta.num_records = 5;
+  meta.num_groups = 3;
+  meta.num_alive_groups = 2;
+  meta.record_group = {0, 0, 1, 2, 2};
+  meta.record_removed = {0, 0, 1, 0, 1};
+  meta.group_alive = {1, 1, 0};
+  meta.group_labels = {"ullman", "garcia-molina", ""};
+  meta.group_records = {{0, 1}, {2}, {3, 4}};
+  meta.linked_pairs = {{0, 1}};
+  meta.cluster_labels = {0, 0, 2};
+
+  std::vector<uint8_t> bytes;
+  EncodeMeta(meta, bytes);
+  MetaData decoded;
+  ASSERT_TRUE(DecodeMeta(bytes, &decoded).ok());
+
+  EXPECT_EQ(decoded.config.theta, meta.config.theta);
+  EXPECT_EQ(decoded.config.group_threshold, meta.config.group_threshold);
+  EXPECT_EQ(decoded.config.num_threads, meta.config.num_threads);
+  EXPECT_EQ(decoded.config.use_lower_bound_accept,
+            meta.config.use_lower_bound_accept);
+  EXPECT_EQ(decoded.config.max_candidate_pairs, meta.config.max_candidate_pairs);
+  EXPECT_EQ(decoded.epoch, meta.epoch);
+  EXPECT_EQ(decoded.num_records, meta.num_records);
+  EXPECT_EQ(decoded.record_group, meta.record_group);
+  EXPECT_EQ(decoded.record_removed, meta.record_removed);
+  EXPECT_EQ(decoded.group_alive, meta.group_alive);
+  EXPECT_EQ(decoded.group_labels, meta.group_labels);
+  EXPECT_EQ(decoded.group_records, meta.group_records);
+  EXPECT_EQ(decoded.linked_pairs, meta.linked_pairs);
+  EXPECT_EQ(decoded.cluster_labels, meta.cluster_labels);
+
+  // Trailing garbage after a well-formed meta must be rejected.
+  bytes.push_back(0);
+  EXPECT_EQ(DecodeMeta(bytes, &decoded).code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace grouplink
