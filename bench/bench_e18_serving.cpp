@@ -20,15 +20,28 @@
 // identical to a batch engine run over the accumulated corpus (both
 // modes), and the reader sweep must observe more than one epoch — the
 // queries really did race the swaps.
+//
+// --chaos adds a third part: a seeded fault storm over a
+// SupervisedService (src/service/resilience) rotating through fsync
+// failures (breaker trips + recovers), generic refresh failures
+// (watchdog re-arms), poison arrival batches (quarantined), and stalled
+// refreshes — with concurrent readers whose tight-deadline probes are
+// shed at the admission gate. Reports per-round recovery-time
+// percentiles and the shed rate; self-checks recovery, quarantine
+// exactness, a legal chained breaker log, and batch-equivalence of the
+// surviving link set (corpus minus the quarantined batches).
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -37,6 +50,8 @@
 #include "core/linkage_engine.h"
 #include "core/service.h"
 #include "eval/table.h"
+#include "service/resilience/supervised_service.h"
+#include "storage/page_file.h"
 
 namespace {
 
@@ -146,6 +161,10 @@ int main(int argc, char** argv) {
   flags.AddString("metrics-json", "BENCH_e18.json",
                   "unified metrics report output path ('' to skip)");
   flags.AddBool("smoke", false, "tiny CI workload (overrides size knobs)");
+  flags.AddBool("chaos", false,
+                "also run the self-healing fault-storm part (SupervisedService)");
+  flags.AddInt64("chaos-rounds", 12, "storm rounds in the --chaos part");
+  flags.AddInt64("chaos-seed", 7, "storm schedule seed for the --chaos part");
   GL_CHECK(flags.Parse(argc, argv).ok());
   const bool smoke = flags.GetBool("smoke");
   const int64_t entities = smoke ? 20 : flags.GetInt64("entities");
@@ -367,6 +386,256 @@ int main(int argc, char** argv) {
   std::printf(
       "\nAfter the final refresh the service's link set was identical to the "
       "batch engine's in every mode and at every reader count (checked).\n");
+
+  // --- Part 3 (--chaos): self-healing under a seeded fault storm ---
+
+  if (flags.GetBool("chaos")) {
+    GL_CHECK(arrivals.size() >= 4) << "chaos needs at least 4 arrivals";
+    const int64_t rounds_flag =
+        smoke ? 4 : std::max<int64_t>(4, flags.GetInt64("chaos-rounds"));
+    const size_t rounds = static_cast<size_t>(std::min<int64_t>(
+        rounds_flag, static_cast<int64_t>(arrivals.size())));
+    const uint64_t chaos_seed =
+        static_cast<uint64_t>(flags.GetInt64("chaos-seed"));
+
+    resilience::SupervisedConfig chaos_config;
+    chaos_config.service = config;
+    chaos_config.service.async_refresh = true;
+    chaos_config.service.persist_path = "bench_e18_chaos.glsnap";
+    chaos_config.persist_retry.max_attempts = 2;
+    chaos_config.persist_retry.initial_backoff_ms = 0.1;
+    chaos_config.persist_retry.jitter_seed = chaos_seed;
+    chaos_config.storage_breaker.failure_threshold = 2;
+    chaos_config.storage_breaker.open_cooldown_ms = 10.0;
+    chaos_config.admission.min_feasible_deadline_ms = 0.5;
+    chaos_config.watchdog_interval_ms = 2.0;
+    chaos_config.stall_timeout_ms = 15.0;
+    chaos_config.quarantine_after_failures = 2;
+    chaos_config.give_up_after_failures = 50;
+    chaos_config.refresh_rearm.initial_backoff_ms = 0.2;
+    auto chaos_or = resilience::SupervisedService::Create(seed, chaos_config);
+    GL_CHECK(chaos_or.ok()) << chaos_or.status().ToString();
+    resilience::SupervisedService& chaos_service = *chaos_or;
+    auto& injector = FaultInjector::Default();
+    injector.DisarmAll();
+
+    std::printf(
+        "\nE18 --chaos: %zu-round seeded fault storm (seed %llu) over the "
+        "supervised service.\n\n",
+        rounds, static_cast<unsigned long long>(chaos_seed));
+
+    // Readers hammer the admission gate for the whole storm; every other
+    // probe carries a deadline below the feasibility floor and must be
+    // shed with kUnavailable before touching the snapshot.
+    struct ChaosReaderLog {
+      size_t served = 0;
+      size_t shed = 0;
+      bool status_ok = true;
+    };
+    constexpr int32_t kChaosReaders = 2;
+    std::vector<ChaosReaderLog> chaos_logs(kChaosReaders);
+    std::atomic<bool> chaos_stop{false};
+    ThreadPool chaos_pool(kChaosReaders);
+    for (int32_t reader = 0; reader < kChaosReaders; ++reader) {
+      ChaosReaderLog* log = &chaos_logs[static_cast<size_t>(reader)];
+      const resilience::SupervisedService* svc = &chaos_service;
+      const std::vector<GroupArrival>* probe_set = &probes;
+      chaos_pool.Submit([log, svc, probe_set, &chaos_stop] {
+        resilience::SupervisedService::QueryOptions tight;
+        tight.deadline_ms = 0.25;  // Below the feasibility floor.
+        bool use_tight = false;
+        while (!chaos_stop.load(std::memory_order_acquire)) {
+          for (const GroupArrival& probe : *probe_set) {
+            const auto answer = use_tight ? svc->LinkQuery(probe, tight)
+                                          : svc->LinkQuery(probe);
+            use_tight = !use_tight;
+            if (answer.ok()) {
+              ++log->served;
+            } else if (answer.status().code() == StatusCode::kUnavailable) {
+              ++log->shed;
+            } else {
+              log->status_ok = false;
+            }
+          }
+        }
+      });
+    }
+
+    const char* kStormClasses[4] = {"fsync-storm", "refresh-failure",
+                                    "poison-batch", "stall"};
+    TextTable chaos_table({"round", "fault", "recovery (ms)"});
+    std::vector<double> recovery_ms;
+    std::vector<std::string> poison_labels;
+    WallTimer storm_timer;
+    for (size_t round = 0; round < rounds; ++round) {
+      // The seeded schedule: a rotation through all four storm classes,
+      // phase-shifted by the seed.
+      const size_t storm = (round + chaos_seed) % 4;
+      const GroupArrival& arrival = arrivals[round];
+      WallTimer round_timer;
+      switch (storm) {
+        case 0:
+          // Four fsync failures: defeats the 2-attempt retry twice (the
+          // breaker trips open), fails the budget dry, then a probe
+          // closes it again.
+          injector.Arm(faults::kFailFsync, FaultSpec::FailNTimes(4));
+          (void)chaos_service.AddGroup(arrival.label, arrival.record_texts);
+          chaos_service.Refresh();
+          break;
+        case 1:
+          injector.Arm(faults::kRefreshFailure, FaultSpec::FailNTimes(2));
+          (void)chaos_service.AddGroup(arrival.label, arrival.record_texts);
+          (void)chaos_service.RefreshAsync();
+          break;
+        case 2: {
+          // Armed before the poison arrives: no epoch can publish while
+          // the poison batch is live; the watchdog must quarantine it.
+          injector.Arm(faults::kPoisonBatch, FaultSpec{});
+          (void)chaos_service.AddGroup(arrival.label, arrival.record_texts);
+          const std::string label = std::string(faults::kPoisonLabelMarker) +
+                                    "round" + std::to_string(round);
+          (void)chaos_service.AddGroup(
+              label, {"poison payload " + std::to_string(round)});
+          poison_labels.push_back(label);
+          (void)chaos_service.RefreshAsync();
+          break;
+        }
+        default: {
+          FaultSpec stall;
+          stall.delay_ms = 30.0;
+          stall.max_fires = 1;
+          injector.Arm(faults::kStallRefresh, stall);
+          (void)chaos_service.AddGroup(arrival.label, arrival.record_texts);
+          (void)chaos_service.RefreshAsync();
+          break;
+        }
+      }
+      // Recovery = back to kHealthy with nothing in flight, nothing
+      // unpersisted, and every mutation covered by a published epoch.
+      while (true) {
+        const resilience::ServiceHealth health = chaos_service.Health();
+        if (health.state == resilience::HealthState::kHealthy &&
+            health.persist_lag_epochs == 0 && !health.refresh_in_flight &&
+            health.refresh_lag_groups == 0) {
+          break;
+        }
+        GL_CHECK(round_timer.ElapsedSeconds() < 60.0)
+            << "storm round " << round << " (" << kStormClasses[storm]
+            << ") never healed";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (storm == 2) injector.Disarm(faults::kPoisonBatch);
+      recovery_ms.push_back(round_timer.ElapsedMillis());
+      chaos_table.AddRow({std::to_string(round), kStormClasses[storm],
+                          FormatDouble(recovery_ms.back(), 2)});
+    }
+    const double storm_seconds = storm_timer.ElapsedSeconds();
+    injector.DisarmAll();
+    chaos_stop.store(true, std::memory_order_release);
+    chaos_pool.Wait();
+
+    // Self-check: quarantine exactness — the injected poison labels, in
+    // order, and nothing else.
+    GL_CHECK(chaos_service.quarantined_labels() == poison_labels)
+        << "quarantine was not exact";
+
+    // Self-check: the breaker transition log chains from closed back to
+    // closed through legal transitions only.
+    size_t breaker_trips = 0;
+    resilience::BreakerState at = resilience::BreakerState::kClosed;
+    for (const auto& [from, to] : chaos_service.breaker_transitions()) {
+      GL_CHECK(from == at) << "breaker transition log does not chain";
+      GL_CHECK(resilience::CircuitBreaker::IsLegalTransition(from, to))
+          << resilience::BreakerStateName(from) << " -> "
+          << resilience::BreakerStateName(to);
+      if (to == resilience::BreakerState::kOpen &&
+          from == resilience::BreakerState::kClosed) {
+        ++breaker_trips;
+      }
+      at = to;
+    }
+    GL_CHECK(at == resilience::BreakerState::kClosed)
+        << "breaker did not end closed";
+
+    // Self-check: the surviving link set is batch-equivalent. The
+    // quarantined groups are tombstones, so compact the alive indexes
+    // and compare against a batch run over the corpus minus the poison.
+    const auto chaos_snapshot = chaos_service.inner().snapshot();
+    std::vector<int32_t> group_map(
+        static_cast<size_t>(chaos_snapshot->num_groups()), -1);
+    int32_t next_index = 0;
+    for (int32_t g = 0; g < chaos_snapshot->num_groups(); ++g) {
+      if (chaos_snapshot->IsAlive(g)) {
+        group_map[static_cast<size_t>(g)] = next_index++;
+      }
+    }
+    std::vector<std::pair<int32_t, int32_t>> mapped;
+    for (const auto& [a, b] : chaos_snapshot->linked_pairs()) {
+      GL_CHECK(group_map[static_cast<size_t>(a)] >= 0);
+      GL_CHECK(group_map[static_cast<size_t>(b)] >= 0);
+      mapped.push_back({group_map[static_cast<size_t>(a)],
+                        group_map[static_cast<size_t>(b)]});
+    }
+    const Dataset chaos_corpus = Accumulate(
+        seed, std::vector<GroupArrival>(
+                  arrivals.begin(),
+                  arrivals.begin() + static_cast<ptrdiff_t>(rounds)));
+    const auto chaos_batch =
+        RunGroupLinkage(chaos_corpus, chaos_snapshot->engine_config());
+    GL_CHECK(chaos_batch.ok());
+    GL_CHECK(mapped == chaos_batch->linked_pairs)
+        << "chaos survivor link set diverged from the batch engine";
+
+    size_t chaos_served = 0;
+    size_t chaos_shed = 0;
+    for (const ChaosReaderLog& log : chaos_logs) {
+      GL_CHECK(log.status_ok) << "a reader saw a non-shed failure";
+      chaos_served += log.served;
+      chaos_shed += log.shed;
+    }
+    GL_CHECK(chaos_served > 0);
+    GL_CHECK(chaos_shed > 0) << "tight-deadline probes were never shed";
+    const double shed_rate = static_cast<double>(chaos_shed) /
+                             static_cast<double>(chaos_served + chaos_shed);
+    const resilience::ServiceHealth final_health = chaos_service.Health();
+    GL_CHECK(final_health.state == resilience::HealthState::kHealthy);
+
+    std::printf("%s", chaos_table.ToString().c_str());
+    std::printf(
+        "\nRecovered from every storm round: p50 %.2f ms, p95 %.2f ms, max "
+        "%.2f ms. %zu breaker trip(s), %lld quarantined batch(es), %lld "
+        "persist retries; shed %.1f%% of gated queries (%zu of %zu).\n",
+        Percentile(recovery_ms, 0.5), Percentile(recovery_ms, 0.95),
+        Percentile(recovery_ms, 1.0), breaker_trips,
+        static_cast<long long>(final_health.quarantined_batches),
+        static_cast<long long>(final_health.persist_retries),
+        100.0 * shed_rate, chaos_shed, chaos_served + chaos_shed);
+
+    RunReport report;
+    report.strategy = "serving-chaos";
+    report.candidate_method = "token-index";
+    report.measure = "bm";
+    report.threads = kChaosReaders;
+    report.records = chaos_corpus.num_records();
+    report.groups = chaos_corpus.num_groups();
+    report.links = static_cast<int64_t>(chaos_batch->linked_pairs.size());
+    report.AddStage("storm", storm_seconds)
+        .AddCounter("rounds", static_cast<int64_t>(rounds))
+        .AddCounter("breaker_trips", static_cast<int64_t>(breaker_trips))
+        .AddCounter("quarantined_batches", final_health.quarantined_batches)
+        .AddCounter("persist_retries", final_health.persist_retries)
+        .AddCounter("refresh_rearms", final_health.refresh_rearms)
+        .AddCounter("refresh_stalls", final_health.refresh_stalls)
+        .AddCounter("served_queries", static_cast<int64_t>(chaos_served))
+        .AddCounter("shed_queries", static_cast<int64_t>(chaos_shed));
+    report.AddExtra("recovery_p50_ms", Percentile(recovery_ms, 0.5));
+    report.AddExtra("recovery_p95_ms", Percentile(recovery_ms, 0.95));
+    report.AddExtra("recovery_max_ms", Percentile(recovery_ms, 1.0));
+    report.AddExtra("shed_rate", shed_rate);
+    reports.push_back(std::move(report));
+
+    GL_CHECK(storage::RemoveFile(chaos_config.service.persist_path).ok());
+  }
 
   return bench::ExitCode(bench::WriteMetricsJson(flags.GetString("metrics-json"),
                                                  "e18_serving", reports));

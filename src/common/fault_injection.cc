@@ -80,6 +80,8 @@ Status FaultInjector::ArmFromSpec(std::string_view spec_text) {
           spec.magnitude = parsed;
         } else if (key == "max_fires") {
           spec.max_fires = parsed;
+        } else if (key == "fail_n_times") {
+          spec.fail_n_times = parsed;
         } else {
           return Status::InvalidArgument("unknown fault spec key '" + key + "'");
         }
@@ -116,6 +118,14 @@ bool FaultInjector::ShouldFire(const char* point) {
   PointState& state = it->second;
   const FaultSpec& spec = state.spec;
   const int64_t hit = state.hits.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic mode: exactly the first fail_n_times evaluations fire,
+  // independent of the probabilistic knobs (the mutex serializes hit
+  // numbering, so "first N" is exact even under concurrency).
+  if (spec.fail_n_times > 0) {
+    if (hit >= spec.fail_n_times) return false;
+    state.fires.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   if (hit < spec.after) return false;
   const int64_t eligible = hit - spec.after;
   if (eligible % spec.every != 0) return false;

@@ -49,6 +49,23 @@ inline constexpr const char* kTornWrite = "storage.torn_write";
 /// A storage fsync reports failure before durability is reached; the
 /// persist must abort without touching the previous store.
 inline constexpr const char* kFailFsync = "storage.fail_fsync";
+/// A background epoch refresh build dies before publishing anything: the
+/// clone is discarded, the old epoch keeps serving, and the watchdog is
+/// expected to re-arm the refresh (evaluated once per async refresh
+/// attempt, before the build starts).
+inline constexpr const char* kRefreshFailure = "service.refresh_failure";
+/// A background epoch refresh stalls: the build sleeps `delay_ms` before
+/// doing any work, which is how tests make the refresh watchdog's
+/// stall detector observable on a fast machine.
+inline constexpr const char* kStallRefresh = "service.stall_refresh";
+/// Poison-batch arming: while armed, any async refresh over a corpus
+/// containing a group whose label carries the kPoisonLabelMarker prefix
+/// fails, naming that label as the culprit — the deterministic stand-in
+/// for "this batch crashes the build every time" that the quarantine
+/// path exists for.
+inline constexpr const char* kPoisonBatch = "service.poison_batch";
+/// Label prefix that marks a group arrival as poison for kPoisonBatch.
+inline constexpr const char* kPoisonLabelMarker = "__poison__";
 }  // namespace faults
 
 /// When and how an armed point fires.
@@ -67,6 +84,19 @@ struct FaultSpec {
   int64_t magnitude = 0;
   /// Stop firing after this many fires (0 = unlimited).
   int64_t max_fires = 0;
+  /// Deterministic arming mode: when > 0, the point fires on exactly the
+  /// first `fail_n_times` evaluations and never again — `after`, `every`,
+  /// and `probability` are ignored. This is how retry/breaker tests
+  /// script exact failure sequences ("fail twice, then succeed") without
+  /// reverse-engineering a seed.
+  int64_t fail_n_times = 0;
+
+  /// Shorthand for the deterministic mode above.
+  static FaultSpec FailNTimes(int64_t n) {
+    FaultSpec spec;
+    spec.fail_n_times = n;
+    return spec;
+  }
 };
 
 class FaultInjector {
@@ -82,7 +112,8 @@ class FaultInjector {
   void Arm(std::string_view point, const FaultSpec& spec);
 
   /// Parses "point" or "point:key=value,key=value" and arms it. Keys:
-  /// after, every, probability, seed, delay_ms, magnitude, max_fires.
+  /// after, every, probability, seed, delay_ms, magnitude, max_fires,
+  /// fail_n_times.
   /// kSlowTask defaults to delay_ms=1 when left unspecified, so arming it
   /// bare from a --inject flag still visibly slows tasks.
   Status ArmFromSpec(std::string_view spec_text);

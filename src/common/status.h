@@ -24,6 +24,7 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kDataLoss,
+  kUnavailable,
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
@@ -85,10 +86,28 @@ class [[nodiscard]] Status {
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
   }
+  /// The operation cannot be served *right now* — an overloaded admission
+  /// gate shed the request, a circuit breaker is open, a dependency is
+  /// momentarily down. Unlike kFailedPrecondition the caller changed
+  /// nothing wrong: retrying later (with backoff) is the expected cure.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// True when the failure is transient and a retry (with backoff) may
+  /// legitimately succeed: kUnavailable (overload/breaker/shed),
+  /// kDeadlineExceeded (the deadline, not the work, was the problem), and
+  /// kIoError (injected or real I/O hiccups — the write-new-then-rename
+  /// persist protocol leaves the previous store intact, so retrying is
+  /// safe). Everything else is terminal for retry purposes; in particular
+  /// kDataLoss must NEVER be retried into — the bytes are wrong, not the
+  /// timing (see DataLoss above) — and kInvalidArgument will fail the
+  /// same way every time. An OK status is not retryable (nothing failed).
+  [[nodiscard]] bool IsRetryable() const;
 
   /// Renders "OK" or "<Code>: <message>".
   [[nodiscard]] std::string ToString() const;

@@ -1,9 +1,12 @@
 #include "core/service.h"
 
+#include <chrono>
 #include <cmath>
 #include <mutex>
+#include <string_view>
 
 #include "common/epoch_cell.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -22,6 +25,8 @@ struct ServiceMetrics {
   Counter& epochs_published;
   Counter& refreshes_sync;
   Counter& refreshes_async;
+  Counter& refresh_failures;
+  Counter& persist_failures;
   Counter& replayed_ops;
   Gauge& published_epoch;
   Histogram& query_seconds;
@@ -36,6 +41,8 @@ struct ServiceMetrics {
         registry.CounterRef("service.epochs_published"),
         registry.CounterRef("service.refreshes_sync"),
         registry.CounterRef("service.refreshes_async"),
+        registry.CounterRef("service.refresh_failures"),
+        registry.CounterRef("service.persist_failures"),
         registry.CounterRef("service.replayed_ops"),
         registry.GaugeRef("service.published_epoch"),
         registry.HistogramRef("service.query_seconds")};
@@ -94,11 +101,22 @@ struct LinkageService::Impl {
     int32_t b = 0;                    // kMerge: from.
   };
 
+  using Clock = std::chrono::steady_clock;
+
   ServiceConfig config;
   mutable std::mutex mu;
   std::shared_ptr<IncrementalLinker> linker;  // Guarded by mu.
   bool in_flight = false;                     // Guarded by mu.
   std::vector<Op> ops_log;                    // Guarded by mu.
+  /// Refresh-supervision surface, all guarded by mu: outcome of the last
+  /// async build, the failure streak, the poison culprit of the last
+  /// failure, and the timestamps the watchdog samples for epoch age and
+  /// stall detection.
+  Status last_refresh = Status::Ok();
+  int64_t consecutive_refresh_failures = 0;
+  std::string last_refresh_culprit;
+  Clock::time_point last_publish_at = Clock::now();
+  Clock::time_point refresh_started_at{};
   EpochCell<CorpusSnapshot> cell;
   /// Persistence state. persist_mu is independent of mu (persists run
   /// with mu released — disk never blocks ingest or queries) and
@@ -132,7 +150,51 @@ struct LinkageService::Impl {
     auto& metrics = ServiceMetrics::Get();
     metrics.published_epoch.Set(static_cast<double>(snapshot->epoch()));
     metrics.epochs_published.Increment();
+    last_publish_at = Clock::now();
     cell.Store(std::move(snapshot));
+  }
+
+  /// A refresh (any mode) completed and its epoch is published: clear the
+  /// failure streak the watchdog keys off. Requires mu held.
+  void NoteRefreshSuccessLocked() {
+    last_refresh = Status::Ok();
+    consecutive_refresh_failures = 0;
+    last_refresh_culprit.clear();
+  }
+
+  /// The background build died before publishing: discard everything it
+  /// owned, keep the previous epoch serving, and surface the failure for
+  /// the watchdog. The backlog ops were already applied to the live
+  /// writer (the log exists only to replay them onto the clone), so
+  /// clearing it loses nothing. Requires mu NOT held.
+  void FailRefreshJob(std::string culprit) {
+    Status failure = Status::Unavailable(
+        culprit.empty()
+            ? "async refresh build failed (injected)"
+            : "async refresh build died absorbing poison batch '" + culprit + "'");
+    GL_LOG(Warning) << "refresh failed: " << failure.message();
+    ServiceMetrics::Get().refresh_failures.Increment();
+    std::lock_guard<std::mutex> lock(mu);
+    ops_log.clear();
+    in_flight = false;
+    last_refresh = std::move(failure);
+    ++consecutive_refresh_failures;
+    last_refresh_culprit = std::move(culprit);
+  }
+
+  /// The poison label the injected kPoisonBatch fault would blame for
+  /// this corpus, or "" when the corpus is clean (newest group first —
+  /// the batch the build was absorbing when it died).
+  static std::string FindPoisonLabel(const IncrementalLinker& linker) {
+    const std::string_view marker = faults::kPoisonLabelMarker;
+    for (int32_t g = linker.num_groups() - 1; g >= 0; --g) {
+      if (!linker.IsAlive(g)) continue;
+      const std::string& label = linker.group_label(g);
+      if (std::string_view(label).substr(0, marker.size()) == marker) {
+        return label;
+      }
+    }
+    return std::string();
   }
 
   /// Writes `snapshot` to the configured store path. Never called with
@@ -146,6 +208,9 @@ struct LinkageService::Impl {
     if (!status.ok()) {
       GL_LOG(Warning) << "persist of epoch " << snapshot->epoch()
                       << " failed: " << status.message();
+      // A failing store must be observable, not just stored: the counter
+      // is what dashboards and the health surface alarm on.
+      ServiceMetrics::Get().persist_failures.Increment();
     }
     last_persist = status;
     return status;
@@ -157,6 +222,7 @@ struct LinkageService::Impl {
   void StartRefreshLocked() {
     GL_CHECK(!in_flight);
     in_flight = true;
+    refresh_started_at = Clock::now();
     ops_log.clear();
     // shared_ptr because ThreadPool tasks are copyable std::functions;
     // the clone has exactly one logical owner (the background job).
@@ -177,6 +243,27 @@ struct LinkageService::Impl {
   /// whole replay (that is the E18 stall number).
   void RunRefreshJob(const std::shared_ptr<IncrementalLinker>& clone) {
     GL_TRACE_SPAN("service.async_refresh");
+    // Injected stall: the build sleeps before doing any work, long enough
+    // for a watchdog stall detector (or a test) to observe it in flight.
+    (void)FaultInjector::Default().FireWithDelay(faults::kStallRefresh);
+    // Injected build death, evaluated before the expensive work the way a
+    // crash would pre-empt it: a poisoned corpus (kPoisonBatch names the
+    // culprit batch label) or a generic failure (kRefreshFailure). Either
+    // way nothing is published and the previous epoch keeps serving.
+    {
+      auto& injector = FaultInjector::Default();
+      std::string culprit;
+      if (injector.armed(faults::kPoisonBatch)) {
+        culprit = FindPoisonLabel(*clone);
+        if (!culprit.empty() && !injector.ShouldFire(faults::kPoisonBatch)) {
+          culprit.clear();
+        }
+      }
+      if (!culprit.empty() || injector.ShouldFire(faults::kRefreshFailure)) {
+        FailRefreshJob(std::move(culprit));
+        return;
+      }
+    }
     clone->Refresh();
 
     // Publish *before* replay: the epoch snapshot is exactly the
@@ -188,6 +275,7 @@ struct LinkageService::Impl {
       {
         std::lock_guard<std::mutex> lock(mu);
         PublishSnapshotLocked(snapshot);
+        NoteRefreshSuccessLocked();
       }
       // Durability rides the background thread too, after the publish
       // and with no lock held: a slow disk delays nothing but the next
@@ -243,6 +331,7 @@ struct LinkageService::Impl {
     if (in_flight) ops_log.push_back(std::move(op));
     if (inline_refreshed) {
       PublishLocked(*linker);
+      NoteRefreshSuccessLocked();
       ServiceMetrics::Get().refreshes_sync.Increment();
       return config.persist_on_refresh ? cell.Load() : nullptr;
     }
@@ -400,6 +489,7 @@ void LinkageService::Refresh() {
     if (impl_->in_flight) continue;
     impl_->linker->Refresh();
     impl_->PublishLocked(*impl_->linker);
+    impl_->NoteRefreshSuccessLocked();
     ServiceMetrics::Get().refreshes_sync.Increment();
     if (impl_->config.persist_on_refresh) to_persist = impl_->cell.Load();
     break;
@@ -419,6 +509,41 @@ void LinkageService::WaitForRefresh() { impl_->refresh_pool->Wait(); }
 bool LinkageService::refresh_in_flight() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->in_flight;
+}
+
+Status LinkageService::last_refresh_status() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->last_refresh;
+}
+
+int64_t LinkageService::consecutive_refresh_failures() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->consecutive_refresh_failures;
+}
+
+std::string LinkageService::last_refresh_culprit() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->last_refresh_culprit;
+}
+
+double LinkageService::published_age_ms() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return std::chrono::duration<double, std::milli>(Impl::Clock::now() -
+                                                   impl_->last_publish_at)
+      .count();
+}
+
+double LinkageService::refresh_inflight_ms() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->in_flight) return 0.0;
+  return std::chrono::duration<double, std::milli>(Impl::Clock::now() -
+                                                   impl_->refresh_started_at)
+      .count();
+}
+
+int32_t LinkageService::groups_since_refresh() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->linker->groups_since_refresh();
 }
 
 Status LinkageService::PersistNow() {

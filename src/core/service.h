@@ -159,6 +159,38 @@ class LinkageService {
 
   [[nodiscard]] bool refresh_in_flight() const;
 
+  /// Outcome of the most recent *async* refresh attempt: Ok after a
+  /// successful build (or when none ran yet), Unavailable after an
+  /// injected build failure (service.refresh_failure /
+  /// service.poison_batch). A failed build publishes nothing and discards
+  /// its clone — the previous epoch keeps serving and the writer state is
+  /// untouched, so retrying the refresh is always legal (which is why the
+  /// failure is classified retryable; the watchdog in
+  /// src/service/resilience re-arms it).
+  [[nodiscard]] Status last_refresh_status() const;
+
+  /// Async refresh failures since the last successful refresh (any mode).
+  /// The quarantine ladder in SupervisedService keys off this.
+  [[nodiscard]] int64_t consecutive_refresh_failures() const;
+
+  /// The poison group label the last failed refresh died on (empty when
+  /// the failure was generic or there was no failure). This is the
+  /// culprit attribution a real build supervisor would extract from the
+  /// crash context of the batch it was absorbing.
+  [[nodiscard]] std::string last_refresh_culprit() const;
+
+  /// Milliseconds since the current epoch was published (epoch age — the
+  /// staleness half of the health surface).
+  [[nodiscard]] double published_age_ms() const;
+
+  /// Milliseconds the in-flight background refresh has been running, or 0
+  /// when none is — what the watchdog's stall detector samples.
+  [[nodiscard]] double refresh_inflight_ms() const;
+
+  /// Writer mutations absorbed since the last completed refresh (refresh
+  /// lag in groups, the other staleness half of the health surface).
+  [[nodiscard]] int32_t groups_since_refresh() const;
+
   /// Persists the currently published epoch to config().persist_path
   /// under the write-new-then-rename protocol (blocks for the write;
   /// never holds the writer lock). InvalidArgument when no persist_path

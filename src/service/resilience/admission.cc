@@ -1,0 +1,132 @@
+#include "service/resilience/admission.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace resilience {
+
+Status AdmissionConfig::Validate() const {
+  if (max_concurrent_queries < 1) {
+    return Status::InvalidArgument(
+        "AdmissionConfig: max_concurrent_queries must be >= 1");
+  }
+  if (!std::isfinite(ewma_alpha) || ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "AdmissionConfig: ewma_alpha must lie in (0, 1]");
+  }
+  if (!std::isfinite(feasibility_headroom) || feasibility_headroom < 0.0) {
+    return Status::InvalidArgument(
+        "AdmissionConfig: feasibility_headroom must be finite and >= 0");
+  }
+  return Status::Ok();
+}
+
+AdmissionGate::Permit& AdmissionGate::Permit::operator=(
+    Permit&& other) noexcept {
+  if (this != &other) {
+    Release();
+    gate_ = other.gate_;
+    other.gate_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionGate::Permit::Release() {
+  if (gate_ != nullptr) {
+    gate_->Release();
+    gate_ = nullptr;
+  }
+}
+
+AdmissionGate::AdmissionGate(const AdmissionConfig& config) : config_(config) {
+  GL_CHECK(config_.Validate().ok()) << config_.Validate().ToString();
+}
+
+Status AdmissionGate::TryAdmit(double deadline_ms, Permit* permit) {
+  GL_DCHECK(permit != nullptr);
+  *permit = Permit();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (deadline_ms > 0.0) {
+    if (config_.min_feasible_deadline_ms > 0.0 &&
+        deadline_ms < config_.min_feasible_deadline_ms) {
+      ++shed_deadline_;
+      return Status::Unavailable(
+          "deadline " + FormatDouble(deadline_ms, 3) +
+          "ms below admission floor " +
+          FormatDouble(config_.min_feasible_deadline_ms, 3) + "ms");
+    }
+    if (config_.feasibility_headroom > 0.0 && ewma_primed_ &&
+        deadline_ms < config_.feasibility_headroom * latency_ewma_ms_) {
+      ++shed_deadline_;
+      return Status::Unavailable(
+          "deadline " + FormatDouble(deadline_ms, 3) +
+          "ms infeasible: served-latency EWMA " +
+          FormatDouble(latency_ewma_ms_, 3) + "ms x headroom " +
+          FormatDouble(config_.feasibility_headroom, 2));
+    }
+  }
+  if (inflight_ >= config_.max_concurrent_queries) {
+    ++shed_overload_;
+    return Status::Unavailable(
+        "overloaded: " + std::to_string(inflight_) +
+        " queries in flight (limit " +
+        std::to_string(config_.max_concurrent_queries) + ")");
+  }
+  ++inflight_;
+  ++admitted_;
+  *permit = Permit(this);
+  return Status::Ok();
+}
+
+void AdmissionGate::RecordLatencyMs(double ms) {
+  if (!std::isfinite(ms) || ms < 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ewma_primed_) {
+    latency_ewma_ms_ = ms;
+    ewma_primed_ = true;
+  } else {
+    latency_ewma_ms_ += config_.ewma_alpha * (ms - latency_ewma_ms_);
+  }
+}
+
+double AdmissionGate::latency_ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_ewma_ms_;
+}
+
+int32_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+int64_t AdmissionGate::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+int64_t AdmissionGate::shed_overload() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_overload_;
+}
+
+int64_t AdmissionGate::shed_deadline() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_deadline_;
+}
+
+int64_t AdmissionGate::shed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_overload_ + shed_deadline_;
+}
+
+void AdmissionGate::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GL_DCHECK_GT(inflight_, 0);
+  --inflight_;
+}
+
+}  // namespace resilience
+}  // namespace grouplink

@@ -1,0 +1,95 @@
+#ifndef GROUPLINK_SERVICE_RESILIENCE_ADMISSION_H_
+#define GROUPLINK_SERVICE_RESILIENCE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace grouplink {
+namespace resilience {
+
+struct AdmissionConfig {
+  /// Queries allowed in flight at once. Must be >= 1.
+  int32_t max_concurrent_queries = 64;
+  /// Deadlines below this floor are shed outright (the service cannot do
+  /// anything useful in, say, 1 microsecond). <= 0 disables the floor.
+  double min_feasible_deadline_ms = 0.0;
+  /// Smoothing factor for the served-latency EWMA, in (0, 1].
+  double ewma_alpha = 0.2;
+  /// A query with deadline D is feasible when
+  /// D >= feasibility_headroom * ewma_latency_ms. 0 disables the
+  /// EWMA-based check (the floor above still applies).
+  double feasibility_headroom = 1.0;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Bounded admission gate for the query path: a concurrency limiter plus
+/// deadline-aware early rejection. Queries whose deadline cannot plausibly
+/// be met — below the configured floor, or under the observed-latency EWMA
+/// scaled by the headroom factor — are shed with kUnavailable *before*
+/// touching the snapshot, so an overloaded service spends its cycles on
+/// queries it can actually finish. Shedding never degrades an admitted
+/// answer: it is an up-front refusal, and the under-link-never-mis-link
+/// contract is untouched.
+class AdmissionGate {
+ public:
+  /// RAII in-flight slot. Holds one unit of max_concurrent_queries from
+  /// TryAdmit success until destruction.
+  class Permit {
+   public:
+    Permit() = default;
+    ~Permit() { Release(); }
+    Permit(Permit&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept;
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+
+    [[nodiscard]] bool held() const { return gate_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionGate;
+    explicit Permit(AdmissionGate* gate) : gate_(gate) {}
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  explicit AdmissionGate(const AdmissionConfig& config);
+
+  /// Admits or sheds one query. `deadline_ms` <= 0 means "no deadline"
+  /// (always feasible). On success `*permit` holds a slot; on shed the
+  /// returned status is kUnavailable and `*permit` is empty.
+  [[nodiscard]] Status TryAdmit(double deadline_ms, Permit* permit);
+
+  /// Feeds one served-query latency into the EWMA feasibility model.
+  void RecordLatencyMs(double ms);
+
+  [[nodiscard]] double latency_ewma_ms() const;
+  [[nodiscard]] int32_t inflight() const;
+  [[nodiscard]] int64_t admitted() const;
+  /// Shed because the concurrency limit was reached.
+  [[nodiscard]] int64_t shed_overload() const;
+  /// Shed because the deadline was infeasible.
+  [[nodiscard]] int64_t shed_deadline() const;
+  [[nodiscard]] int64_t shed_total() const;
+
+ private:
+  void Release();
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  int32_t inflight_ = 0;
+  double latency_ewma_ms_ = 0.0;
+  bool ewma_primed_ = false;
+  int64_t admitted_ = 0;
+  int64_t shed_overload_ = 0;
+  int64_t shed_deadline_ = 0;
+};
+
+}  // namespace resilience
+}  // namespace grouplink
+
+#endif  // GROUPLINK_SERVICE_RESILIENCE_ADMISSION_H_

@@ -1,0 +1,156 @@
+#include "service/resilience/circuit_breaker.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Status BreakerConfig::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument(
+        "BreakerConfig: failure_threshold must be >= 1");
+  }
+  if (!std::isfinite(open_cooldown_ms) || open_cooldown_ms < 0.0) {
+    return Status::InvalidArgument(
+        "BreakerConfig: open_cooldown_ms must be finite and >= 0");
+  }
+  return Status::Ok();
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config)
+    : CircuitBreaker(config, SteadyNowMs) {}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config, NowMs now_ms)
+    : config_(config), now_ms_(std::move(now_ms)) {
+  GL_CHECK(config_.Validate().ok()) << config_.Validate().ToString();
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_ms_() - opened_at_ms_ >= config_.open_cooldown_ms) {
+        TransitionLocked(BreakerState::kHalfOpen);
+        probe_outstanding_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!probe_outstanding_) {
+        probe_outstanding_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      probe_outstanding_ = false;
+      consecutive_failures_ = 0;
+      TransitionLocked(BreakerState::kClosed);
+      break;
+    case BreakerState::kOpen:
+      // A straggler admitted before the trip finished late; the breaker
+      // stays open until the cooldown-driven probe succeeds.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        ++trips_;
+        opened_at_ms_ = now_ms_();
+        TransitionLocked(BreakerState::kOpen);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      probe_outstanding_ = false;
+      opened_at_ms_ = now_ms_();
+      TransitionLocked(BreakerState::kOpen);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int32_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+int64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+std::vector<std::pair<BreakerState, BreakerState>>
+CircuitBreaker::transition_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
+bool CircuitBreaker::IsLegalTransition(BreakerState from, BreakerState to) {
+  if (from == BreakerState::kClosed) return to == BreakerState::kOpen;
+  if (from == BreakerState::kOpen) return to == BreakerState::kHalfOpen;
+  return to == BreakerState::kClosed || to == BreakerState::kOpen;
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to) {
+  GL_DCHECK(IsLegalTransition(state_, to))
+      << "illegal breaker transition " << BreakerStateName(state_) << " -> "
+      << BreakerStateName(to);
+  transitions_.emplace_back(state_, to);
+  state_ = to;
+}
+
+}  // namespace resilience
+}  // namespace grouplink

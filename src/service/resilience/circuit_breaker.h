@@ -1,0 +1,103 @@
+#ifndef GROUPLINK_SERVICE_RESILIENCE_CIRCUIT_BREAKER_H_
+#define GROUPLINK_SERVICE_RESILIENCE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace grouplink {
+namespace resilience {
+
+/// Breaker states. Numeric values are the service.breaker_state gauge
+/// encoding (stable; dashboards and jq checks rely on it).
+enum class BreakerState {
+  kClosed = 0,    // Healthy: every call admitted.
+  kOpen = 1,      // Tripped: calls rejected until the cooldown elapses.
+  kHalfOpen = 2,  // Probing: one call admitted; its outcome decides.
+};
+
+const char* BreakerStateName(BreakerState state);
+
+struct BreakerConfig {
+  /// Consecutive failures that trip closed -> open. Must be >= 1.
+  int32_t failure_threshold = 3;
+  /// Milliseconds an open breaker waits before allowing a half-open
+  /// probe. Must be >= 0 (0 = probe immediately, useful in tests).
+  double open_cooldown_ms = 1000.0;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Classic three-state circuit breaker guarding a fallible dependency
+/// (here: the storage tier). Closed admits everything and counts
+/// consecutive failures; `failure_threshold` of them trip it open, which
+/// rejects every call — the caller degrades (in-RAM serving) instead of
+/// hammering a dead disk. After `open_cooldown_ms` the next Allow() is
+/// admitted as the single half-open probe: success re-closes the breaker,
+/// failure re-opens it and restarts the cooldown.
+///
+/// Legal transitions (asserted by the chaos harness against the recorded
+/// transition log): closed->open, open->half-open, half-open->closed,
+/// half-open->open. Nothing else.
+///
+/// Thread-safe; the clock is injectable so tests drive the cooldown
+/// without sleeping.
+class CircuitBreaker {
+ public:
+  /// Returns "now" in milliseconds on some monotonic scale; the default
+  /// reads steady_clock.
+  using NowMs = std::function<double()>;
+
+  explicit CircuitBreaker(const BreakerConfig& config);
+  CircuitBreaker(const BreakerConfig& config, NowMs now_ms);
+
+  /// True when a call may proceed. Open -> half-open happens inside this
+  /// call once the cooldown has elapsed (the admitted caller is the
+  /// probe); while a half-open probe is outstanding, further calls are
+  /// rejected. Every admitted caller MUST report RecordSuccess or
+  /// RecordFailure.
+  [[nodiscard]] bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  [[nodiscard]] BreakerState state() const;
+  /// Consecutive failures observed in the closed state.
+  [[nodiscard]] int32_t consecutive_failures() const;
+  /// Closed->open trips so far.
+  [[nodiscard]] int64_t trips() const;
+  /// Calls rejected (open, or half-open with a probe outstanding).
+  [[nodiscard]] int64_t rejected() const;
+
+  /// Every transition in order, as (from, to) pairs — what the chaos
+  /// harness checks legality against.
+  [[nodiscard]] std::vector<std::pair<BreakerState, BreakerState>>
+  transition_log() const;
+
+  /// True when (from -> to) is one of the four legal edges.
+  [[nodiscard]] static bool IsLegalTransition(BreakerState from, BreakerState to);
+
+ private:
+  void TransitionLocked(BreakerState to);
+
+  BreakerConfig config_;
+  NowMs now_ms_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  int32_t consecutive_failures_ = 0;
+  bool probe_outstanding_ = false;
+  double opened_at_ms_ = 0.0;
+  int64_t trips_ = 0;
+  int64_t rejected_ = 0;
+  std::vector<std::pair<BreakerState, BreakerState>> transitions_;
+};
+
+}  // namespace resilience
+}  // namespace grouplink
+
+#endif  // GROUPLINK_SERVICE_RESILIENCE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,82 @@
+#ifndef GROUPLINK_SERVICE_RESILIENCE_HEALTH_H_
+#define GROUPLINK_SERVICE_RESILIENCE_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "service/resilience/circuit_breaker.h"
+
+namespace grouplink {
+namespace resilience {
+
+/// Overall service condition, coarsened for operators and load balancers.
+/// Numeric values are the service.health_state gauge encoding.
+enum class HealthState {
+  kHealthy = 0,    // Serving normally; all supervised duties current.
+  kDegraded = 1,   // Serving, but something is wrong: breaker not closed,
+                   // a stalled or failing refresh, or persists failing —
+                   // answers may be stale(r) and durability may lag.
+  kUnhealthy = 2,  // Refresh has been given up on (failure streak past the
+                   // give-up threshold): the epoch will not advance
+                   // without intervention. Queries still serve the last
+                   // good epoch.
+};
+
+inline const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
+/// Point-in-time health snapshot of a SupervisedService — the fields an
+/// operator needs to answer "is this replica OK and how stale is it":
+/// staleness (epoch age + refresh lag), refresh supervision state,
+/// storage-tier state (breaker + persist outcome/lag), and the shed /
+/// quarantine counters. Also exported as service.* gauges through the
+/// metrics registry, so every bench's --metrics-json carries it.
+struct ServiceHealth {
+  HealthState state = HealthState::kHealthy;
+
+  // Staleness.
+  int64_t published_epoch = 0;
+  double epoch_age_ms = 0.0;
+  /// Writer mutations not yet covered by the published epoch.
+  int32_t refresh_lag_groups = 0;
+
+  // Refresh supervision.
+  bool refresh_in_flight = false;
+  double refresh_inflight_ms = 0.0;
+  /// True while the in-flight refresh has exceeded the stall timeout.
+  bool refresh_stalled = false;
+  int64_t consecutive_refresh_failures = 0;
+  Status last_refresh_status = Status::Ok();
+  int64_t refresh_stalls = 0;
+  int64_t refresh_rearms = 0;
+
+  // Storage tier.
+  BreakerState storage_breaker = BreakerState::kClosed;
+  Status last_persist_status = Status::Ok();
+  /// Published epochs not yet persisted (0 when persistence is off or
+  /// fully caught up).
+  int64_t persist_lag_epochs = 0;
+  int64_t persist_retries = 0;
+
+  // Overload control.
+  int64_t shed_queries = 0;
+  int32_t inflight_queries = 0;
+
+  // Poison-batch quarantine.
+  int64_t quarantined_batches = 0;
+};
+
+}  // namespace resilience
+}  // namespace grouplink
+
+#endif  // GROUPLINK_SERVICE_RESILIENCE_HEALTH_H_

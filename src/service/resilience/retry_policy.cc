@@ -1,0 +1,100 @@
+#include "service/resilience/retry_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+// Deterministic uniform draw in [0, 1) for retry ordinal `n` — the same
+// fmix64 finalizer as the fault injector's probability draws, so jittered
+// schedules are reproducible from (jitter_seed, n) alone.
+double JitterDraw(uint64_t seed, int64_t n) {
+  uint64_t mixed =
+      HashCombine(seed ^ 0x9e3779b97f4a7c15ULL, static_cast<uint64_t>(n));
+  mixed ^= mixed >> 33;
+  mixed *= 0xff51afd7ed558ccdULL;
+  mixed ^= mixed >> 33;
+  mixed *= 0xc4ceb9fe1a85ec53ULL;
+  mixed ^= mixed >> 33;
+  return static_cast<double>(mixed >> 11) / 9007199254740992.0;  // 2^53
+}
+
+void RealSleep(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Status RetryConfig::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("RetryConfig: max_attempts must be >= 1");
+  }
+  if (!std::isfinite(initial_backoff_ms) || initial_backoff_ms < 0.0) {
+    return Status::InvalidArgument(
+        "RetryConfig: initial_backoff_ms must be finite and >= 0");
+  }
+  if (!std::isfinite(backoff_multiplier) || backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "RetryConfig: backoff_multiplier must be finite and >= 1");
+  }
+  if (!std::isfinite(max_backoff_ms) || max_backoff_ms < initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "RetryConfig: max_backoff_ms must be finite and >= initial_backoff_ms");
+  }
+  if (!std::isfinite(jitter) || jitter < 0.0 || jitter > 1.0) {
+    return Status::InvalidArgument("RetryConfig: jitter must lie in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+RetryPolicy::RetryPolicy(const RetryConfig& config)
+    : RetryPolicy(config, RealSleep) {}
+
+RetryPolicy::RetryPolicy(const RetryConfig& config, Sleeper sleeper)
+    : config_(config), sleeper_(std::move(sleeper)) {
+  GL_CHECK(config_.Validate().ok()) << config_.Validate().ToString();
+}
+
+double RetryPolicy::BackoffMs(int32_t retry) const {
+  GL_DCHECK_GT(retry, 0);
+  double backoff = config_.initial_backoff_ms;
+  for (int32_t k = 1; k < retry && backoff < config_.max_backoff_ms; ++k) {
+    backoff *= config_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, config_.max_backoff_ms);
+  if (config_.jitter > 0.0) {
+    const double scale =
+        1.0 + config_.jitter * (2.0 * JitterDraw(config_.jitter_seed, retry) - 1.0);
+    backoff *= scale;
+  }
+  return backoff;
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op,
+                        RetryStats* stats) const {
+  RetryStats local;
+  Status status = Status::Ok();
+  for (int32_t attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    ++local.attempts;
+    status = op();
+    if (status.ok() || !status.IsRetryable()) break;
+    if (attempt == config_.max_attempts) break;
+    const double backoff = BackoffMs(attempt);
+    local.slept_ms += backoff;
+    ++local.retries;
+    sleeper_(backoff);
+  }
+  if (stats != nullptr) *stats = local;
+  return status;
+}
+
+}  // namespace resilience
+}  // namespace grouplink

@@ -1,0 +1,83 @@
+#ifndef GROUPLINK_SERVICE_RESILIENCE_RETRY_POLICY_H_
+#define GROUPLINK_SERVICE_RESILIENCE_RETRY_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace grouplink {
+namespace resilience {
+
+/// Exponential backoff with deterministic seeded jitter. Every knob is
+/// explicit so a test can predict the exact schedule from the config — a
+/// retry storm must be as reproducible as everything else in this
+/// codebase (no wall-clock or thread-identity inputs anywhere).
+struct RetryConfig {
+  /// Attempts including the first (1 = no retries). Must be >= 1.
+  int32_t max_attempts = 3;
+  /// Backoff before retry k (k = 1-based retry ordinal) is
+  /// initial_backoff_ms * backoff_multiplier^(k-1), clamped to
+  /// max_backoff_ms, then jittered.
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Symmetric jitter fraction in [0, 1]: the backoff is scaled by a
+  /// deterministic draw from [1 - jitter, 1 + jitter] hashed from
+  /// (jitter_seed, retry ordinal). 0 disables jitter.
+  double jitter = 0.1;
+  uint64_t jitter_seed = 0;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Statistics of one RetryPolicy::Run, for metrics and assertions.
+struct RetryStats {
+  /// Attempts actually made (>= 1 once Run returns).
+  int32_t attempts = 0;
+  /// Retries made (attempts - 1).
+  int32_t retries = 0;
+  /// Total milliseconds slept between attempts.
+  double slept_ms = 0.0;
+};
+
+/// Drives an operation through retry-with-backoff, gated on
+/// Status::IsRetryable(): transient failures (kUnavailable,
+/// kDeadlineExceeded, kIoError) are retried up to max_attempts, terminal
+/// ones (kDataLoss above all — see the contract in common/status.h)
+/// return immediately after the first attempt. The sleeper is injectable
+/// so unit tests assert the exact backoff schedule without sleeping.
+///
+///   RetryPolicy retry(config);
+///   Status s = retry.Run([&] { return store.Persist(snapshot); });
+class RetryPolicy {
+ public:
+  /// Sleeps `ms` milliseconds between attempts; the default really sleeps.
+  using Sleeper = std::function<void(double ms)>;
+
+  explicit RetryPolicy(const RetryConfig& config);
+  RetryPolicy(const RetryConfig& config, Sleeper sleeper);
+
+  /// Backoff before the `retry`th retry (1-based), jitter applied —
+  /// deterministic per config. Exposed for schedule tests and for
+  /// callers (the refresh watchdog) that pace re-arms themselves instead
+  /// of sleeping inline.
+  [[nodiscard]] double BackoffMs(int32_t retry) const;
+
+  /// Runs `op` until it succeeds, returns a non-retryable error, or
+  /// exhausts max_attempts; returns the last status. `stats`, when
+  /// non-null, receives the attempt/sleep accounting.
+  [[nodiscard]] Status Run(const std::function<Status()>& op,
+                           RetryStats* stats = nullptr) const;
+
+  const RetryConfig& config() const { return config_; }
+
+ private:
+  RetryConfig config_;
+  Sleeper sleeper_;
+};
+
+}  // namespace resilience
+}  // namespace grouplink
+
+#endif  // GROUPLINK_SERVICE_RESILIENCE_RETRY_POLICY_H_

@@ -1,0 +1,468 @@
+#include "service/resilience/supervised_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Resilience-runtime metrics, hoisted once (registry lookups take a
+// mutex). The inner service's ServiceMetrics already owns
+// service.persist_failures / service.refresh_failures.
+struct ResilienceMetrics {
+  Counter& persist_retries;
+  Counter& shed_queries;
+  Counter& quarantined_batches;
+  Counter& refresh_stalls;
+  Counter& refresh_rearms;
+  Gauge& breaker_state;
+  Gauge& health_state;
+  Gauge& epoch_age_ms;
+  Gauge& refresh_lag_groups;
+  Gauge& persist_lag_epochs;
+  Gauge& inflight_queries;
+
+  static ResilienceMetrics& Get() {
+    auto& registry = MetricsRegistry::Default();
+    static ResilienceMetrics metrics{
+        registry.CounterRef("service.persist_retries"),
+        registry.CounterRef("service.shed_queries"),
+        registry.CounterRef("service.quarantined_batches"),
+        registry.CounterRef("service.refresh_stalls"),
+        registry.CounterRef("service.refresh_rearms"),
+        registry.GaugeRef("service.breaker_state"),
+        registry.GaugeRef("service.health_state"),
+        registry.GaugeRef("service.epoch_age_ms"),
+        registry.GaugeRef("service.refresh_lag_groups"),
+        registry.GaugeRef("service.persist_lag_epochs"),
+        registry.GaugeRef("service.inflight_queries")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Status SupervisedConfig::Validate() const {
+  GL_RETURN_IF_ERROR(persist_retry.Validate());
+  GL_RETURN_IF_ERROR(storage_breaker.Validate());
+  GL_RETURN_IF_ERROR(admission.Validate());
+  GL_RETURN_IF_ERROR(refresh_rearm.Validate());
+  if (!std::isfinite(watchdog_interval_ms) || watchdog_interval_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "SupervisedConfig: watchdog_interval_ms must be finite and > 0");
+  }
+  if (!std::isfinite(stall_timeout_ms) || stall_timeout_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "SupervisedConfig: stall_timeout_ms must be finite and > 0");
+  }
+  if (quarantine_after_failures < 1) {
+    return Status::InvalidArgument(
+        "SupervisedConfig: quarantine_after_failures must be >= 1");
+  }
+  if (give_up_after_failures < quarantine_after_failures) {
+    return Status::InvalidArgument(
+        "SupervisedConfig: give_up_after_failures must be >= "
+        "quarantine_after_failures");
+  }
+  return Status::Ok();
+}
+
+struct SupervisedService::Impl {
+  Impl(LinkageService service, const SupervisedConfig& cfg)
+      : config(cfg),
+        inner(std::move(service)),
+        breaker(cfg.storage_breaker),
+        gate(cfg.admission),
+        persist_retry(cfg.persist_retry),
+        rearm_policy(cfg.refresh_rearm) {}
+
+  SupervisedConfig config;
+  LinkageService inner;
+  CircuitBreaker breaker;
+  AdmissionGate gate;
+  RetryPolicy persist_retry;
+  RetryPolicy rearm_policy;
+
+  /// Serializes watchdog ticks (background loop vs TickForTesting).
+  std::mutex tick_mu;
+
+  /// Guards the ledger and supervision counters below.
+  mutable std::mutex mu;
+  /// Arrival label -> live group indexes it produced (the quarantine
+  /// ledger), with the reverse map for O(1) forgetting on remove/merge.
+  std::unordered_map<std::string, std::vector<int32_t>> arrivals;
+  std::unordered_map<int32_t, std::string> owner_label;
+  std::vector<std::string> quarantined;
+  std::string last_quarantined_label;
+  int64_t last_persisted_epoch = 0;
+  int64_t persist_retries_total = 0;
+  int64_t refresh_stalls = 0;
+  int64_t refresh_rearms = 0;
+  bool stall_counted = false;
+  double next_rearm_at_ms = 0.0;
+
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stop = false;
+  std::unique_ptr<ThreadPool> watchdog;
+
+  void RecordArrivalLocked(const std::string& label, int32_t group) {
+    arrivals[label].push_back(group);
+    owner_label[group] = label;
+  }
+
+  void ForgetGroupLocked(int32_t group) {
+    auto it = owner_label.find(group);
+    if (it == owner_label.end()) return;
+    auto arrival = arrivals.find(it->second);
+    if (arrival != arrivals.end()) {
+      auto& groups = arrival->second;
+      groups.erase(std::remove(groups.begin(), groups.end(), group),
+                   groups.end());
+      if (groups.empty()) arrivals.erase(arrival);
+    }
+    owner_label.erase(it);
+  }
+
+  void StartWatchdog() {
+    if (!config.enable_watchdog) return;
+    watchdog = std::make_unique<ThreadPool>(1);
+    watchdog->Submit([this] { WatchdogLoop(); });
+  }
+
+  void StopWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu);
+      stop = true;
+    }
+    stop_cv.notify_all();
+    watchdog.reset();  // Joins the loop.
+  }
+
+  void WatchdogLoop() {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    while (!stop) {
+      lock.unlock();
+      Tick();
+      lock.lock();
+      if (stop) break;
+      stop_cv.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                 config.watchdog_interval_ms));
+    }
+  }
+
+  void Tick();
+  void SupervisePersist();
+  void DetectStall();
+  void SuperviseRefresh();
+  void Quarantine(const std::string& culprit);
+  ServiceHealth ComputeHealth() const;
+  void ExportHealth(const ServiceHealth& health) const;
+};
+
+void SupervisedService::Impl::Tick() {
+  std::lock_guard<std::mutex> tick_lock(tick_mu);
+  SupervisePersist();
+  DetectStall();
+  SuperviseRefresh();
+  ExportHealth(ComputeHealth());
+}
+
+void SupervisedService::Impl::SupervisePersist() {
+  if (config.service.persist_path.empty()) return;
+  const int64_t epoch = inner.published_epoch();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (epoch <= last_persisted_epoch) return;
+  }
+  if (!breaker.Allow()) return;  // Open: keep serving from RAM.
+  // Allow() may have admitted us as the half-open probe; a probe is a
+  // single attempt — the retry policy is for a breaker that still trusts
+  // the disk.
+  const bool probe = breaker.state() == BreakerState::kHalfOpen;
+  RetryStats stats;
+  Status status = Status::Ok();
+  if (probe) {
+    stats.attempts = 1;
+    status = inner.PersistNow();
+  } else {
+    status = persist_retry.Run([this] { return inner.PersistNow(); }, &stats);
+  }
+  if (stats.retries > 0) {
+    ResilienceMetrics::Get().persist_retries.Increment(
+        static_cast<uint64_t>(stats.retries));
+  }
+  if (status.ok()) {
+    breaker.RecordSuccess();
+  } else {
+    breaker.RecordFailure();
+    GL_LOG(Warning) << "supervised persist of epoch " << epoch
+                    << " failed after " << stats.attempts
+                    << " attempt(s): " << status.ToString()
+                    << " (breaker " << BreakerStateName(breaker.state()) << ")";
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  persist_retries_total += stats.retries;
+  if (status.ok()) last_persisted_epoch = epoch;
+}
+
+void SupervisedService::Impl::DetectStall() {
+  const double inflight_ms = inner.refresh_inflight_ms();
+  std::lock_guard<std::mutex> lock(mu);
+  if (inflight_ms > config.stall_timeout_ms) {
+    if (!stall_counted) {
+      stall_counted = true;
+      ++refresh_stalls;
+      ResilienceMetrics::Get().refresh_stalls.Increment();
+      GL_LOG(Warning) << "background refresh stalled: in flight for "
+                      << inflight_ms << "ms (stall timeout "
+                      << config.stall_timeout_ms << "ms)";
+    }
+  } else if (!inner.refresh_in_flight()) {
+    stall_counted = false;
+  }
+}
+
+void SupervisedService::Impl::SuperviseRefresh() {
+  const int64_t streak = inner.consecutive_refresh_failures();
+  if (streak == 0) {
+    std::lock_guard<std::mutex> lock(mu);
+    next_rearm_at_ms = 0.0;
+    return;
+  }
+  if (inner.refresh_in_flight()) return;  // A re-arm is already running.
+  if (streak >= config.quarantine_after_failures) {
+    const std::string culprit = inner.last_refresh_culprit();
+    if (!culprit.empty()) Quarantine(culprit);
+  }
+  if (streak >= config.give_up_after_failures) return;  // Unhealthy; stop.
+  const double now = NowMs();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (now < next_rearm_at_ms) return;
+    const int32_t ordinal =
+        static_cast<int32_t>(std::min<int64_t>(streak, 30));
+    next_rearm_at_ms = now + rearm_policy.BackoffMs(ordinal);
+  }
+  if (inner.RefreshAsync()) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++refresh_rearms;
+    }
+    ResilienceMetrics::Get().refresh_rearms.Increment();
+  }
+}
+
+void SupervisedService::Impl::Quarantine(const std::string& culprit) {
+  std::vector<int32_t> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (culprit == last_quarantined_label) return;  // Already handled.
+    auto it = arrivals.find(culprit);
+    if (it != arrivals.end()) doomed = it->second;
+    last_quarantined_label = culprit;
+    quarantined.push_back(culprit);
+  }
+  for (int32_t group : doomed) inner.RemoveGroup(group);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int32_t group : doomed) owner_label.erase(group);
+    arrivals.erase(culprit);
+  }
+  ResilienceMetrics::Get().quarantined_batches.Increment();
+  GL_LOG(Warning) << "quarantined poison batch '" << culprit << "' ("
+                  << doomed.size() << " group(s) removed); re-arming refresh";
+}
+
+ServiceHealth SupervisedService::Impl::ComputeHealth() const {
+  ServiceHealth health;
+  health.published_epoch = inner.published_epoch();
+  health.epoch_age_ms = inner.published_age_ms();
+  health.refresh_lag_groups = inner.groups_since_refresh();
+  health.refresh_in_flight = inner.refresh_in_flight();
+  health.refresh_inflight_ms = inner.refresh_inflight_ms();
+  health.refresh_stalled = health.refresh_inflight_ms > config.stall_timeout_ms;
+  health.consecutive_refresh_failures = inner.consecutive_refresh_failures();
+  health.last_refresh_status = inner.last_refresh_status();
+  health.storage_breaker = breaker.state();
+  health.last_persist_status = inner.last_persist_status();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    health.refresh_stalls = refresh_stalls;
+    health.refresh_rearms = refresh_rearms;
+    health.persist_retries = persist_retries_total;
+    health.quarantined_batches = static_cast<int64_t>(quarantined.size());
+    if (!config.service.persist_path.empty()) {
+      health.persist_lag_epochs =
+          std::max<int64_t>(0, health.published_epoch - last_persisted_epoch);
+    }
+  }
+  health.shed_queries = gate.shed_total();
+  health.inflight_queries = gate.inflight();
+
+  if (health.consecutive_refresh_failures >= config.give_up_after_failures) {
+    health.state = HealthState::kUnhealthy;
+  } else if (health.storage_breaker != BreakerState::kClosed ||
+             health.refresh_stalled ||
+             health.consecutive_refresh_failures > 0 ||
+             !health.last_persist_status.ok()) {
+    health.state = HealthState::kDegraded;
+  } else {
+    health.state = HealthState::kHealthy;
+  }
+  return health;
+}
+
+void SupervisedService::Impl::ExportHealth(const ServiceHealth& health) const {
+  auto& metrics = ResilienceMetrics::Get();
+  metrics.breaker_state.Set(static_cast<double>(health.storage_breaker));
+  metrics.health_state.Set(static_cast<double>(health.state));
+  metrics.epoch_age_ms.Set(health.epoch_age_ms);
+  metrics.refresh_lag_groups.Set(static_cast<double>(health.refresh_lag_groups));
+  metrics.persist_lag_epochs.Set(static_cast<double>(health.persist_lag_epochs));
+  metrics.inflight_queries.Set(static_cast<double>(health.inflight_queries));
+}
+
+Result<SupervisedService> SupervisedService::Create(
+    const Dataset& seed, const SupervisedConfig& config) {
+  GL_RETURN_IF_ERROR(config.Validate());
+  SupervisedConfig cfg = config;
+  cfg.service.persist_on_refresh = false;  // The watchdog owns durability.
+  GL_ASSIGN_OR_RETURN(LinkageService inner,
+                      LinkageService::Create(seed, cfg.service));
+  auto impl = std::make_unique<Impl>(std::move(inner), cfg);
+  impl->StartWatchdog();
+  return SupervisedService(std::move(impl));
+}
+
+Result<SupervisedService> SupervisedService::Restore(
+    const SupervisedConfig& config) {
+  GL_RETURN_IF_ERROR(config.Validate());
+  SupervisedConfig cfg = config;
+  cfg.service.persist_on_refresh = false;
+  GL_ASSIGN_OR_RETURN(LinkageService inner, LinkageService::Restore(cfg.service));
+  auto impl = std::make_unique<Impl>(std::move(inner), cfg);
+  impl->last_persisted_epoch = impl->inner.published_epoch();
+  impl->StartWatchdog();
+  return SupervisedService(std::move(impl));
+}
+
+SupervisedService::SupervisedService(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+SupervisedService::~SupervisedService() {
+  if (impl_ != nullptr) impl_->StopWatchdog();
+}
+
+SupervisedService::SupervisedService(SupervisedService&&) noexcept = default;
+SupervisedService& SupervisedService::operator=(SupervisedService&&) noexcept =
+    default;
+
+Result<SupervisedService::QueryResult> SupervisedService::LinkQuery(
+    const GroupArrival& group, const QueryOptions& options) const {
+  const double deadline_ms = options.deadline_ms > 0.0
+                                 ? options.deadline_ms
+                                 : impl_->config.service.default_query_deadline_ms;
+  AdmissionGate::Permit permit;
+  Status admitted = impl_->gate.TryAdmit(deadline_ms, &permit);
+  if (!admitted.ok()) {
+    ResilienceMetrics::Get().shed_queries.Increment();
+    return admitted;
+  }
+  WallTimer timer;
+  QueryResult result = impl_->inner.LinkQuery(group, options);
+  impl_->gate.RecordLatencyMs(timer.ElapsedMillis());
+  return result;
+}
+
+SupervisedService::AddResult SupervisedService::AddGroup(
+    const std::string& label, const std::vector<std::string>& record_texts) {
+  AddResult result = impl_->inner.AddGroup(label, record_texts);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->RecordArrivalLocked(label, result.group_index);
+  return result;
+}
+
+std::vector<SupervisedService::AddResult> SupervisedService::AddGroups(
+    const std::vector<GroupArrival>& batch) {
+  std::vector<AddResult> results = impl_->inner.AddGroups(batch);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (size_t i = 0; i < results.size() && i < batch.size(); ++i) {
+    impl_->RecordArrivalLocked(batch[i].label, results[i].group_index);
+  }
+  return results;
+}
+
+void SupervisedService::RemoveGroup(int32_t group) {
+  impl_->inner.RemoveGroup(group);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ForgetGroupLocked(group);
+}
+
+SupervisedService::AddResult SupervisedService::MergeGroups(int32_t into,
+                                                            int32_t from) {
+  AddResult result = impl_->inner.MergeGroups(into, from);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ForgetGroupLocked(from);
+  return result;
+}
+
+void SupervisedService::Refresh() { impl_->inner.Refresh(); }
+
+bool SupervisedService::RefreshAsync() { return impl_->inner.RefreshAsync(); }
+
+void SupervisedService::WaitForRefresh() { impl_->inner.WaitForRefresh(); }
+
+ServiceHealth SupervisedService::Health() const {
+  ServiceHealth health = impl_->ComputeHealth();
+  impl_->ExportHealth(health);
+  return health;
+}
+
+void SupervisedService::TickForTesting() { impl_->Tick(); }
+
+std::vector<std::string> SupervisedService::quarantined_labels() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->quarantined;
+}
+
+BreakerState SupervisedService::breaker_state() const {
+  return impl_->breaker.state();
+}
+
+std::vector<std::pair<BreakerState, BreakerState>>
+SupervisedService::breaker_transitions() const {
+  return impl_->breaker.transition_log();
+}
+
+int64_t SupervisedService::last_persisted_epoch() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->last_persisted_epoch;
+}
+
+const LinkageService& SupervisedService::inner() const { return impl_->inner; }
+
+LinkageService& SupervisedService::inner() { return impl_->inner; }
+
+const SupervisedConfig& SupervisedService::config() const {
+  return impl_->config;
+}
+
+}  // namespace resilience
+}  // namespace grouplink

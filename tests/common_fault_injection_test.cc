@@ -67,6 +67,55 @@ TEST(FaultInjectionTest, MaxFiresCapsTotalFires) {
   EXPECT_EQ(injector.hits(faults::kFailTask), 10);
 }
 
+TEST(FaultInjectionTest, FailNTimesFiresExactlyTheFirstN) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  injector.Arm(faults::kFailTask, FaultSpec::FailNTimes(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(injector.ShouldFire(faults::kFailTask));
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, true, false, false, false}));
+  EXPECT_EQ(injector.hits(faults::kFailTask), 6);
+  EXPECT_EQ(injector.fires(faults::kFailTask), 3);
+}
+
+TEST(FaultInjectionTest, FailNTimesOverridesStochasticKnobs) {
+  // The deterministic arming mode: after/every/probability are ignored, so
+  // a test can say "the next 2 persists fail, then the disk heals" without
+  // reasoning about draw schedules.
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  FaultSpec spec = FaultSpec::FailNTimes(2);
+  spec.after = 100;
+  spec.every = 7;
+  spec.probability = 0.0;
+  injector.Arm(faults::kFailTask, spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 4; ++i) fired.push_back(injector.ShouldFire(faults::kFailTask));
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(FaultInjectionTest, FailNTimesRearmResetsTheBudget) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  injector.Arm(faults::kFailTask, FaultSpec::FailNTimes(1));
+  EXPECT_TRUE(injector.ShouldFire(faults::kFailTask));
+  EXPECT_FALSE(injector.ShouldFire(faults::kFailTask));
+  injector.Arm(faults::kFailTask, FaultSpec::FailNTimes(1));
+  EXPECT_TRUE(injector.ShouldFire(faults::kFailTask));
+}
+
+TEST(FaultInjectionTest, ArmFromSpecParsesFailNTimes) {
+  ScopedFaultClear clear;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector.ArmFromSpec("storage.fail_fsync:fail_n_times=2").ok());
+  EXPECT_TRUE(injector.armed(faults::kFailFsync));
+  std::vector<bool> fired;
+  for (int i = 0; i < 4; ++i) {
+    fired.push_back(injector.ShouldFire(faults::kFailFsync));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{true, true, false, false}));
+}
+
 TEST(FaultInjectionTest, ProbabilityDrawIsDeterministicPerSeed) {
   ScopedFaultClear clear;
   FaultInjector& injector = FaultInjector::Default();

@@ -27,6 +27,8 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
   EXPECT_FALSE(Status::InvalidArgument("bad").ok());
 }
@@ -49,6 +51,38 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, UnavailableFormatsLikeTheOthers) {
+  EXPECT_EQ(Status::Unavailable("breaker open").ToString(),
+            "Unavailable: breaker open");
+}
+
+TEST(StatusTest, IsRetryableClassifiesTransientCodes) {
+  // Transient: a retry with backoff may legitimately succeed.
+  EXPECT_TRUE(Status::Unavailable("shed").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("too slow").IsRetryable());
+  EXPECT_TRUE(Status::IoError("fsync blip").IsRetryable());
+}
+
+TEST(StatusTest, IsRetryableRejectsTerminalCodes) {
+  // kDataLoss above all: the bytes are wrong, not the timing — retrying
+  // into a corrupt store is the one thing the retry ladder must never do.
+  EXPECT_FALSE(Status::DataLoss("bad checksum").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("bad config").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("no store").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("not init").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status::Cancelled("user stop").IsRetryable());
+  EXPECT_FALSE(Status::ParseError("garbage").IsRetryable());
+  EXPECT_FALSE(Status::OutOfRange("index").IsRetryable());
+  EXPECT_FALSE(Status::AlreadyExists("dup").IsRetryable());
+}
+
+TEST(StatusTest, OkIsNotRetryable) {
+  EXPECT_FALSE(Status::Ok().IsRetryable());
 }
 
 TEST(StatusTest, ResilienceStatusesFormatLikeTheOthers) {

@@ -1,0 +1,156 @@
+#include "service/resilience/admission.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+AdmissionConfig SmallGate() {
+  AdmissionConfig config;
+  config.max_concurrent_queries = 2;
+  config.ewma_alpha = 0.5;
+  config.feasibility_headroom = 2.0;
+  return config;
+}
+
+TEST(AdmissionConfigTest, ValidateRejectsBadKnobs) {
+  AdmissionConfig config;
+  config.max_concurrent_queries = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AdmissionConfig{};
+  config.ewma_alpha = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AdmissionConfig{};
+  config.ewma_alpha = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AdmissionConfig{};
+  config.feasibility_headroom = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(AdmissionConfig{}.Validate().ok());
+}
+
+TEST(AdmissionGateTest, AdmitsUpToTheConcurrencyLimitThenSheds) {
+  AdmissionGate gate(SmallGate());
+  AdmissionGate::Permit a, b, c;
+  EXPECT_TRUE(gate.TryAdmit(0.0, &a).ok());
+  EXPECT_TRUE(gate.TryAdmit(0.0, &b).ok());
+  EXPECT_EQ(gate.inflight(), 2);
+  const Status shed = gate.TryAdmit(0.0, &c);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(c.held());
+  EXPECT_EQ(gate.shed_overload(), 1);
+  EXPECT_EQ(gate.admitted(), 2);
+}
+
+TEST(AdmissionGateTest, ReleasingAPermitFreesTheSlot) {
+  AdmissionGate gate(SmallGate());
+  AdmissionGate::Permit a, b;
+  ASSERT_TRUE(gate.TryAdmit(0.0, &a).ok());
+  ASSERT_TRUE(gate.TryAdmit(0.0, &b).ok());
+  a.Release();
+  EXPECT_FALSE(a.held());
+  EXPECT_EQ(gate.inflight(), 1);
+  AdmissionGate::Permit c;
+  EXPECT_TRUE(gate.TryAdmit(0.0, &c).ok());
+}
+
+TEST(AdmissionGateTest, PermitIsRaiiAndMoveOnly) {
+  AdmissionGate gate(SmallGate());
+  {
+    AdmissionGate::Permit a;
+    ASSERT_TRUE(gate.TryAdmit(0.0, &a).ok());
+    AdmissionGate::Permit moved = std::move(a);
+    EXPECT_FALSE(a.held());  // NOLINT(bugprone-use-after-move): asserting moved-from state
+    EXPECT_TRUE(moved.held());
+    EXPECT_EQ(gate.inflight(), 1);
+  }
+  // Scope exit released the moved-to permit exactly once.
+  EXPECT_EQ(gate.inflight(), 0);
+}
+
+TEST(AdmissionGateTest, DeadlineBelowTheFloorIsShed) {
+  AdmissionConfig config = SmallGate();
+  config.min_feasible_deadline_ms = 5.0;
+  AdmissionGate gate(config);
+  AdmissionGate::Permit permit;
+  const Status shed = gate.TryAdmit(1.0, &permit);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(gate.shed_deadline(), 1);
+  EXPECT_EQ(gate.shed_overload(), 0);
+  // At or above the floor is fine.
+  EXPECT_TRUE(gate.TryAdmit(5.0, &permit).ok());
+}
+
+TEST(AdmissionGateTest, NoDeadlineMeansAlwaysFeasible) {
+  AdmissionConfig config = SmallGate();
+  config.min_feasible_deadline_ms = 5.0;
+  AdmissionGate gate(config);
+  gate.RecordLatencyMs(1000.0);  // EWMA primed sky-high.
+  AdmissionGate::Permit permit;
+  EXPECT_TRUE(gate.TryAdmit(0.0, &permit).ok());
+  EXPECT_EQ(gate.shed_deadline(), 0);
+}
+
+TEST(AdmissionGateTest, EwmaFeasibilityShedsInfeasibleDeadlines) {
+  AdmissionGate gate(SmallGate());  // headroom 2.0, alpha 0.5
+  // Unprimed EWMA: any positive deadline is admitted.
+  AdmissionGate::Permit permit;
+  ASSERT_TRUE(gate.TryAdmit(0.001, &permit).ok());
+  permit.Release();
+
+  gate.RecordLatencyMs(10.0);
+  EXPECT_DOUBLE_EQ(gate.latency_ewma_ms(), 10.0);
+  // Feasible needs deadline >= 2.0 * 10ms.
+  EXPECT_EQ(gate.TryAdmit(19.0, &permit).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(gate.shed_deadline(), 1);
+  EXPECT_TRUE(gate.TryAdmit(20.0, &permit).ok());
+}
+
+TEST(AdmissionGateTest, EwmaTracksLatencyWithTheConfiguredAlpha) {
+  AdmissionGate gate(SmallGate());  // alpha 0.5
+  gate.RecordLatencyMs(10.0);
+  gate.RecordLatencyMs(20.0);
+  EXPECT_DOUBLE_EQ(gate.latency_ewma_ms(), 15.0);
+  gate.RecordLatencyMs(15.0);
+  EXPECT_DOUBLE_EQ(gate.latency_ewma_ms(), 15.0);
+  // Garbage samples are ignored.
+  gate.RecordLatencyMs(-1.0);
+  EXPECT_DOUBLE_EQ(gate.latency_ewma_ms(), 15.0);
+}
+
+TEST(AdmissionGateTest, ShedTotalSumsBothCauses) {
+  AdmissionConfig config = SmallGate();
+  config.max_concurrent_queries = 1;
+  config.min_feasible_deadline_ms = 5.0;
+  AdmissionGate gate(config);
+  AdmissionGate::Permit held, denied;
+  ASSERT_TRUE(gate.TryAdmit(0.0, &held).ok());
+  EXPECT_FALSE(gate.TryAdmit(0.0, &denied).ok());  // Overload.
+  EXPECT_FALSE(gate.TryAdmit(1.0, &denied).ok());  // Deadline floor.
+  EXPECT_EQ(gate.shed_total(), 2);
+  EXPECT_EQ(gate.shed_overload(), 1);
+  EXPECT_EQ(gate.shed_deadline(), 1);
+}
+
+TEST(AdmissionGateTest, ShedQueriesNeverConsumeASlot) {
+  AdmissionConfig config = SmallGate();
+  config.max_concurrent_queries = 1;
+  AdmissionGate gate(config);
+  AdmissionGate::Permit held;
+  ASSERT_TRUE(gate.TryAdmit(0.0, &held).ok());
+  for (int i = 0; i < 5; ++i) {
+    AdmissionGate::Permit denied;
+    EXPECT_FALSE(gate.TryAdmit(0.0, &denied).ok());
+  }
+  EXPECT_EQ(gate.inflight(), 1);
+  held.Release();
+  EXPECT_EQ(gate.inflight(), 0);
+}
+
+}  // namespace
+}  // namespace resilience
+}  // namespace grouplink

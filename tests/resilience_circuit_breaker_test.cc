@@ -1,0 +1,184 @@
+#include "service/resilience/circuit_breaker.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+// A breaker on a hand-cranked clock: tests drive the cooldown without
+// sleeping.
+struct FakeClockBreaker {
+  explicit FakeClockBreaker(const BreakerConfig& config)
+      : breaker(config, [this] { return now_ms; }) {}
+  double now_ms = 0.0;
+  CircuitBreaker breaker;
+};
+
+BreakerConfig TwoStrikes() {
+  BreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_cooldown_ms = 100.0;
+  return config;
+}
+
+TEST(BreakerConfigTest, ValidateRejectsBadKnobs) {
+  BreakerConfig config;
+  config.failure_threshold = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BreakerConfig{};
+  config.open_cooldown_ms = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(BreakerConfig{}.Validate().ok());
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAdmitsEverything) {
+  FakeClockBreaker f(TwoStrikes());
+  EXPECT_EQ(f.breaker.state(), BreakerState::kClosed);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(f.breaker.Allow());
+  EXPECT_EQ(f.breaker.rejected(), 0);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  FakeClockBreaker f(TwoStrikes());
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordFailure();
+  EXPECT_EQ(f.breaker.consecutive_failures(), 1);
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordSuccess();
+  EXPECT_EQ(f.breaker.consecutive_failures(), 0);
+  // Another single failure after the reset must not trip.
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordFailure();
+  EXPECT_EQ(f.breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ThresholdFailuresTripOpenAndReject) {
+  FakeClockBreaker f(TwoStrikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(f.breaker.Allow());
+    f.breaker.RecordFailure();
+  }
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(f.breaker.trips(), 1);
+  f.now_ms = 50.0;  // Inside the cooldown.
+  EXPECT_FALSE(f.breaker.Allow());
+  EXPECT_FALSE(f.breaker.Allow());
+  EXPECT_EQ(f.breaker.rejected(), 2);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsOneHalfOpenProbe) {
+  FakeClockBreaker f(TwoStrikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(f.breaker.Allow());
+    f.breaker.RecordFailure();
+  }
+  f.now_ms = 100.0;  // Cooldown elapsed.
+  EXPECT_TRUE(f.breaker.Allow());
+  EXPECT_EQ(f.breaker.state(), BreakerState::kHalfOpen);
+  // The probe is outstanding: nobody else gets in.
+  EXPECT_FALSE(f.breaker.Allow());
+  EXPECT_FALSE(f.breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesTheBreaker) {
+  FakeClockBreaker f(TwoStrikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(f.breaker.Allow());
+    f.breaker.RecordFailure();
+  }
+  f.now_ms = 150.0;
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordSuccess();
+  EXPECT_EQ(f.breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(f.breaker.consecutive_failures(), 0);
+  EXPECT_TRUE(f.breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsTheCooldown) {
+  FakeClockBreaker f(TwoStrikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(f.breaker.Allow());
+    f.breaker.RecordFailure();
+  }
+  f.now_ms = 100.0;
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordFailure();
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);
+  // The cooldown restarted at t=100: still rejecting at t=150, probing
+  // again at t=200.
+  f.now_ms = 150.0;
+  EXPECT_FALSE(f.breaker.Allow());
+  f.now_ms = 200.0;
+  EXPECT_TRUE(f.breaker.Allow());
+  EXPECT_EQ(f.breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, TransitionLogRecordsTheFullStory) {
+  FakeClockBreaker f(TwoStrikes());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(f.breaker.Allow());
+    f.breaker.RecordFailure();
+  }
+  f.now_ms = 100.0;
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordFailure();
+  f.now_ms = 200.0;
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordSuccess();
+
+  const auto log = f.breaker.transition_log();
+  const std::vector<std::pair<BreakerState, BreakerState>> expected = {
+      {BreakerState::kClosed, BreakerState::kOpen},
+      {BreakerState::kOpen, BreakerState::kHalfOpen},
+      {BreakerState::kHalfOpen, BreakerState::kOpen},
+      {BreakerState::kOpen, BreakerState::kHalfOpen},
+      {BreakerState::kHalfOpen, BreakerState::kClosed},
+  };
+  EXPECT_EQ(log, expected);
+  for (const auto& [from, to] : log) {
+    EXPECT_TRUE(CircuitBreaker::IsLegalTransition(from, to))
+        << BreakerStateName(from) << " -> " << BreakerStateName(to);
+  }
+}
+
+TEST(CircuitBreakerTest, IsLegalTransitionTruthTable) {
+  using B = BreakerState;
+  EXPECT_TRUE(CircuitBreaker::IsLegalTransition(B::kClosed, B::kOpen));
+  EXPECT_TRUE(CircuitBreaker::IsLegalTransition(B::kOpen, B::kHalfOpen));
+  EXPECT_TRUE(CircuitBreaker::IsLegalTransition(B::kHalfOpen, B::kClosed));
+  EXPECT_TRUE(CircuitBreaker::IsLegalTransition(B::kHalfOpen, B::kOpen));
+  // Everything else is illegal — above all closed -> half-open (a breaker
+  // never probes without having been open) and open -> closed (recovery
+  // must go through a successful probe).
+  EXPECT_FALSE(CircuitBreaker::IsLegalTransition(B::kClosed, B::kHalfOpen));
+  EXPECT_FALSE(CircuitBreaker::IsLegalTransition(B::kOpen, B::kClosed));
+  EXPECT_FALSE(CircuitBreaker::IsLegalTransition(B::kClosed, B::kClosed));
+  EXPECT_FALSE(CircuitBreaker::IsLegalTransition(B::kOpen, B::kOpen));
+  EXPECT_FALSE(CircuitBreaker::IsLegalTransition(B::kHalfOpen, B::kHalfOpen));
+}
+
+TEST(CircuitBreakerTest, ZeroCooldownProbesImmediately) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_cooldown_ms = 0.0;
+  FakeClockBreaker f(config);
+  ASSERT_TRUE(f.breaker.Allow());
+  f.breaker.RecordFailure();
+  EXPECT_EQ(f.breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(f.breaker.Allow());  // Cooldown of 0 has always elapsed.
+  EXPECT_EQ(f.breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace resilience
+}  // namespace grouplink

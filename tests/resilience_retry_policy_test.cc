@@ -1,0 +1,176 @@
+#include "service/resilience/retry_policy.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+RetryConfig NoJitterConfig() {
+  RetryConfig config;
+  config.max_attempts = 4;
+  config.initial_backoff_ms = 10.0;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_ms = 1000.0;
+  config.jitter = 0.0;
+  return config;
+}
+
+TEST(RetryConfigTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(RetryConfig{}.Validate().ok());
+}
+
+TEST(RetryConfigTest, ValidateRejectsBadKnobs) {
+  RetryConfig config;
+  config.max_attempts = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RetryConfig{};
+  config.initial_backoff_ms = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RetryConfig{};
+  config.backoff_multiplier = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RetryConfig{};
+  config.max_backoff_ms = config.initial_backoff_ms - 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RetryConfig{};
+  config.jitter = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndClampsWithoutJitter) {
+  RetryConfig config = NoJitterConfig();
+  config.max_backoff_ms = 35.0;
+  RetryPolicy policy(config, [](double) {});
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 35.0);  // Clamped from 40.
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4), 35.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheConfiguredBand) {
+  RetryConfig config = NoJitterConfig();
+  config.jitter = 0.25;
+  config.jitter_seed = 7;
+  RetryPolicy policy(config, [](double) {});
+  for (int32_t retry = 1; retry <= 20; ++retry) {
+    const double base = 10.0 * std::pow(2.0, retry - 1);
+    const double expected = std::min(base, config.max_backoff_ms);
+    const double jittered = policy.BackoffMs(retry);
+    EXPECT_GE(jittered, expected * 0.75) << "retry " << retry;
+    EXPECT_LE(jittered, expected * 1.25) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicyTest, JitteredScheduleIsDeterministicPerSeed) {
+  RetryConfig config = NoJitterConfig();
+  config.jitter = 0.5;
+  config.jitter_seed = 42;
+  RetryPolicy a(config, [](double) {});
+  RetryPolicy b(config, [](double) {});
+  for (int32_t retry = 1; retry <= 8; ++retry) {
+    EXPECT_DOUBLE_EQ(a.BackoffMs(retry), b.BackoffMs(retry));
+  }
+  config.jitter_seed = 43;
+  RetryPolicy c(config, [](double) {});
+  bool any_different = false;
+  for (int32_t retry = 1; retry <= 8; ++retry) {
+    if (a.BackoffMs(retry) != c.BackoffMs(retry)) any_different = true;
+  }
+  EXPECT_TRUE(any_different) << "different seeds should jitter differently";
+}
+
+TEST(RetryPolicyTest, SuccessOnFirstAttemptDoesNotSleep) {
+  std::vector<double> sleeps;
+  RetryPolicy policy(NoJitterConfig(),
+                     [&](double ms) { sleeps.push_back(ms); });
+  RetryStats stats;
+  EXPECT_TRUE(policy.Run([] { return Status::Ok(); }, &stats).ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_DOUBLE_EQ(stats.slept_ms, 0.0);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryPolicyTest, TransientFailuresRetryUntilSuccess) {
+  std::vector<double> sleeps;
+  RetryPolicy policy(NoJitterConfig(),
+                     [&](double ms) { sleeps.push_back(ms); });
+  int calls = 0;
+  RetryStats stats;
+  Status status = policy.Run(
+      [&] {
+        ++calls;
+        if (calls < 3) return Status::IoError("fsync blip");
+        return Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  // Backoffs follow the schedule exactly: 10ms then 20ms.
+  EXPECT_EQ(sleeps, (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(stats.slept_ms, 30.0);
+}
+
+TEST(RetryPolicyTest, ExhaustionReturnsTheLastTransientError) {
+  std::vector<double> sleeps;
+  RetryPolicy policy(NoJitterConfig(),
+                     [&](double ms) { sleeps.push_back(ms); });
+  RetryStats stats;
+  Status status =
+      policy.Run([] { return Status::Unavailable("still down"); }, &stats);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_EQ(stats.retries, 3);
+  // No sleep after the final (exhausted) attempt.
+  EXPECT_EQ(sleeps, (std::vector<double>{10.0, 20.0, 40.0}));
+}
+
+TEST(RetryPolicyTest, TerminalErrorsAreNeverRetried) {
+  // kDataLoss above all: the bytes are wrong, not the timing.
+  for (const Status& terminal :
+       {Status::DataLoss("bad checksum"), Status::InvalidArgument("bad"),
+        Status::Internal("bug"), Status::NotFound("missing")}) {
+    int calls = 0;
+    std::vector<double> sleeps;
+    RetryPolicy policy(NoJitterConfig(),
+                       [&](double ms) { sleeps.push_back(ms); });
+    RetryStats stats;
+    Status status = policy.Run(
+        [&] {
+          ++calls;
+          return terminal;
+        },
+        &stats);
+    EXPECT_EQ(status.code(), terminal.code());
+    EXPECT_EQ(calls, 1) << terminal.ToString();
+    EXPECT_EQ(stats.attempts, 1);
+    EXPECT_EQ(stats.retries, 0);
+    EXPECT_TRUE(sleeps.empty());
+  }
+}
+
+TEST(RetryPolicyTest, SingleAttemptConfigNeverSleeps) {
+  RetryConfig config = NoJitterConfig();
+  config.max_attempts = 1;
+  std::vector<double> sleeps;
+  RetryPolicy policy(config, [&](double ms) { sleeps.push_back(ms); });
+  RetryStats stats;
+  Status status = policy.Run([] { return Status::IoError("down"); }, &stats);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+}  // namespace
+}  // namespace resilience
+}  // namespace grouplink

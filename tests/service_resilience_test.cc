@@ -1,0 +1,366 @@
+// The supervised runtime, duty by duty, driven deterministically through
+// TickForTesting: persist retry against transient fsync failures, the
+// storage breaker degrading to in-RAM serving and recovering through a
+// half-open probe, watchdog re-arming of failed refreshes, poison-batch
+// quarantine exactness, admission-gate shedding, and the health surface.
+#include "service/resilience/supervised_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "data/bibliographic_generator.h"
+#include "storage/page_file.h"
+
+namespace grouplink {
+namespace resilience {
+namespace {
+
+Dataset MakeCorpus(int32_t entities, uint64_t seed) {
+  BibliographicConfig config;
+  config.num_entities = entities;
+  config.noise = 0.25;
+  config.num_topics = 5;
+  config.offtopic_word_prob = 0.5;
+  config.seed = seed;
+  return GenerateBibliographic(config);
+}
+
+std::string StorePath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Deterministic-by-default config: no background watchdog (tests tick by
+// hand), tiny real backoffs, no jitter.
+SupervisedConfig TestConfig() {
+  SupervisedConfig config;
+  config.service.engine.theta = 0.35;
+  config.service.engine.group_threshold = 0.2;
+  config.persist_retry.max_attempts = 4;
+  config.persist_retry.initial_backoff_ms = 0.1;
+  config.persist_retry.jitter = 0.0;
+  config.refresh_rearm.initial_backoff_ms = 0.0;
+  config.refresh_rearm.jitter = 0.0;
+  config.enable_watchdog = false;
+  return config;
+}
+
+TEST(SupervisedConfigTest, ValidateRejectsBadLadders) {
+  SupervisedConfig config = TestConfig();
+  config.quarantine_after_failures = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TestConfig();
+  config.give_up_after_failures = config.quarantine_after_failures - 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TestConfig();
+  config.watchdog_interval_ms = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(TestConfig().Validate().ok());
+  // Bad sub-configs are rejected through Create, not a GL_CHECK abort.
+  config = TestConfig();
+  config.persist_retry.max_attempts = 0;
+  EXPECT_EQ(SupervisedService::Create(MakeCorpus(5, 1), config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SupervisedServiceTest, HealthyServiceReportsHealthy) {
+  auto service = SupervisedService::Create(MakeCorpus(12, 3), TestConfig());
+  ASSERT_TRUE(service.ok()) << service.status().message();
+  const ServiceHealth health = service->Health();
+  EXPECT_EQ(health.state, HealthState::kHealthy);
+  EXPECT_GT(health.published_epoch, 0);
+  EXPECT_GE(health.epoch_age_ms, 0.0);
+  EXPECT_EQ(health.refresh_lag_groups, 0);
+  EXPECT_FALSE(health.refresh_in_flight);
+  EXPECT_EQ(health.storage_breaker, BreakerState::kClosed);
+  EXPECT_TRUE(health.last_refresh_status.ok());
+  EXPECT_TRUE(health.last_persist_status.ok());
+  EXPECT_EQ(health.shed_queries, 0);
+  EXPECT_EQ(health.quarantined_batches, 0);
+
+  (void)service->AddGroup("fresh arrival", {"some fresh record text"});
+  EXPECT_GT(service->Health().refresh_lag_groups, 0);
+}
+
+TEST(SupervisedServiceTest, PersistRetryRecoversFromTransientFailures) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.service.persist_path = StorePath("retry.glsnap");
+  auto service = SupervisedService::Create(MakeCorpus(12, 5), config);
+  ASSERT_TRUE(service.ok()) << service.status().message();
+  EXPECT_EQ(service->last_persisted_epoch(), 0);
+
+  // The disk hiccups twice, then heals: the retry ladder must ride it out
+  // within one supervision tick.
+  FaultInjector::Default().Arm(faults::kFailFsync, FaultSpec::FailNTimes(2));
+  service->TickForTesting();
+
+  EXPECT_EQ(service->last_persisted_epoch(), service->inner().published_epoch());
+  EXPECT_TRUE(service->inner().last_persist_status().ok());
+  const ServiceHealth health = service->Health();
+  EXPECT_GE(health.persist_retries, 1);
+  EXPECT_EQ(health.persist_lag_epochs, 0);
+  EXPECT_EQ(health.storage_breaker, BreakerState::kClosed);
+  EXPECT_EQ(health.state, HealthState::kHealthy);
+  ASSERT_TRUE(storage::RemoveFile(config.service.persist_path).ok());
+}
+
+TEST(SupervisedServiceTest, DeadStoreTripsBreakerAndDegradesToRamServing) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.service.persist_path = StorePath("dead.glsnap");
+  config.persist_retry.max_attempts = 2;
+  config.storage_breaker.failure_threshold = 1;
+  config.storage_breaker.open_cooldown_ms = 1e9;  // Never probes in-test.
+  auto service = SupervisedService::Create(MakeCorpus(12, 7), config);
+  ASSERT_TRUE(service.ok());
+
+  // The disk is dead for good.
+  FaultInjector::Default().Arm(faults::kFailFsync, FaultSpec{});
+  service->TickForTesting();
+  EXPECT_EQ(service->breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(service->last_persisted_epoch(), 0);
+
+  // While open, ticks stop touching the storage tier entirely.
+  const int64_t hits_after_trip = FaultInjector::Default().hits(faults::kFailFsync);
+  service->TickForTesting();
+  service->TickForTesting();
+  EXPECT_EQ(FaultInjector::Default().hits(faults::kFailFsync), hits_after_trip);
+
+  // Serving is untouched: queries answer from the published epoch.
+  const auto result = service->LinkQuery({"probe", {"some record text"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->epoch, service->inner().published_epoch());
+
+  const ServiceHealth health = service->Health();
+  EXPECT_EQ(health.state, HealthState::kDegraded);
+  EXPECT_EQ(health.storage_breaker, BreakerState::kOpen);
+  EXPECT_GE(health.persist_lag_epochs, 1);
+}
+
+TEST(SupervisedServiceTest, HalfOpenProbeRecoversTheStorageTier) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.service.persist_path = StorePath("probe.glsnap");
+  config.persist_retry.max_attempts = 1;
+  config.storage_breaker.failure_threshold = 1;
+  config.storage_breaker.open_cooldown_ms = 0.0;  // Probe on the next tick.
+  auto service = SupervisedService::Create(MakeCorpus(12, 9), config);
+  ASSERT_TRUE(service.ok());
+
+  FaultInjector::Default().Arm(faults::kFailFsync, FaultSpec::FailNTimes(1));
+  service->TickForTesting();  // Fails once, trips open.
+  EXPECT_EQ(service->breaker_state(), BreakerState::kOpen);
+
+  service->TickForTesting();  // Cooldown elapsed: half-open probe succeeds.
+  EXPECT_EQ(service->breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(service->last_persisted_epoch(), service->inner().published_epoch());
+
+  const auto transitions = service->breaker_transitions();
+  const std::vector<std::pair<BreakerState, BreakerState>> expected = {
+      {BreakerState::kClosed, BreakerState::kOpen},
+      {BreakerState::kOpen, BreakerState::kHalfOpen},
+      {BreakerState::kHalfOpen, BreakerState::kClosed},
+  };
+  EXPECT_EQ(transitions, expected);
+  EXPECT_EQ(service->Health().state, HealthState::kHealthy);
+  ASSERT_TRUE(storage::RemoveFile(config.service.persist_path).ok());
+}
+
+TEST(SupervisedServiceTest, WatchdogRearmsFailedRefreshesUntilRecovery) {
+  ScopedFaultClear clear;
+  auto service = SupervisedService::Create(MakeCorpus(12, 11), TestConfig());
+  ASSERT_TRUE(service.ok());
+  const int64_t epoch_before = service->inner().published_epoch();
+
+  (void)service->AddGroup("pending arrival", {"text awaiting a refresh"});
+  // The next two background builds die; the third succeeds.
+  FaultInjector::Default().Arm(faults::kRefreshFailure, FaultSpec::FailNTimes(2));
+  ASSERT_TRUE(service->RefreshAsync());
+  service->WaitForRefresh();
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 1);
+  EXPECT_EQ(service->inner().last_refresh_status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(service->Health().state, HealthState::kDegraded);
+
+  service->TickForTesting();  // Re-arm #1 (fails again).
+  service->WaitForRefresh();
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 2);
+
+  service->TickForTesting();  // Re-arm #2 (succeeds).
+  service->WaitForRefresh();
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 0);
+  EXPECT_TRUE(service->inner().last_refresh_status().ok());
+  EXPECT_GT(service->inner().published_epoch(), epoch_before);
+
+  const ServiceHealth health = service->Health();
+  EXPECT_EQ(health.state, HealthState::kHealthy);
+  EXPECT_EQ(health.refresh_rearms, 2);
+}
+
+TEST(SupervisedServiceTest, GivingUpGoesUnhealthyAndStopsRearming) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.quarantine_after_failures = 2;
+  config.give_up_after_failures = 3;
+  auto service = SupervisedService::Create(MakeCorpus(12, 13), config);
+  ASSERT_TRUE(service.ok());
+
+  (void)service->AddGroup("pending arrival", {"text awaiting a refresh"});
+  FaultInjector::Default().Arm(faults::kRefreshFailure, FaultSpec{});  // Forever.
+  ASSERT_TRUE(service->RefreshAsync());
+  service->WaitForRefresh();
+  for (int i = 0; i < 5; ++i) {
+    service->TickForTesting();
+    service->WaitForRefresh();
+  }
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 3);
+  EXPECT_EQ(service->Health().state, HealthState::kUnhealthy);
+  // Re-arms stopped at the give-up threshold: 2 re-arms (streak 1 -> 2 -> 3).
+  EXPECT_EQ(service->Health().refresh_rearms, 2);
+  // Queries still serve the last good epoch.
+  EXPECT_TRUE(service->LinkQuery({"probe", {"text"}}).ok());
+}
+
+TEST(SupervisedServiceTest, PoisonBatchIsQuarantinedExactly) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.quarantine_after_failures = 2;
+  config.give_up_after_failures = 10;
+  auto service = SupervisedService::Create(MakeCorpus(15, 15), config);
+  ASSERT_TRUE(service.ok());
+
+  // A healthy arrival and a poison batch arrive together.
+  (void)service->AddGroup("healthy arrival", {"benign record text tokens"});
+  const std::string poison_label =
+      std::string(faults::kPoisonLabelMarker) + "storm1";
+  const auto poison =
+      service->AddGroup(poison_label, {"poison record text payload"});
+
+  FaultInjector::Default().Arm(faults::kPoisonBatch, FaultSpec{});
+  ASSERT_TRUE(service->RefreshAsync());
+  service->WaitForRefresh();
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 1);
+  EXPECT_EQ(service->inner().last_refresh_culprit(), poison_label);
+
+  service->TickForTesting();  // Streak 1: re-arm only (fails again).
+  service->WaitForRefresh();
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 2);
+  EXPECT_TRUE(service->quarantined_labels().empty());
+
+  service->TickForTesting();  // Streak 2: quarantine, then re-arm succeeds.
+  service->WaitForRefresh();
+
+  // Exactness: exactly the poison batch was quarantined, nothing else.
+  EXPECT_EQ(service->quarantined_labels(),
+            std::vector<std::string>{poison_label});
+  EXPECT_EQ(service->Health().quarantined_batches, 1);
+  // With the poison gone the refresh heals even though the fault point
+  // stays armed (nothing poisonous left to blame).
+  EXPECT_EQ(service->inner().consecutive_refresh_failures(), 0);
+  EXPECT_EQ(service->Health().state, HealthState::kHealthy);
+  // The quarantined group is gone from the link set.
+  for (const auto& [a, b] : service->inner().linked_pairs()) {
+    EXPECT_NE(a, poison.group_index);
+    EXPECT_NE(b, poison.group_index);
+  }
+  // A second tick must not quarantine anything further.
+  service->TickForTesting();
+  EXPECT_EQ(service->Health().quarantined_batches, 1);
+}
+
+TEST(SupervisedServiceTest, InfeasibleDeadlinesAreShedBeforeTheSnapshot) {
+  SupervisedConfig config = TestConfig();
+  config.admission.min_feasible_deadline_ms = 5.0;
+  auto service = SupervisedService::Create(MakeCorpus(12, 17), config);
+  ASSERT_TRUE(service.ok());
+
+  SupervisedService::QueryOptions options;
+  options.deadline_ms = 1.0;  // Below the floor: shed up front.
+  const auto shed = service->LinkQuery({"probe", {"record text"}}, options);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service->Health().shed_queries, 1);
+
+  // An admitted query answers exactly like the raw service.
+  options.deadline_ms = 0.0;
+  const auto served = service->LinkQuery({"probe", {"record text"}}, options);
+  ASSERT_TRUE(served.ok());
+  const auto raw = service->inner().LinkQuery({"probe", {"record text"}});
+  EXPECT_EQ(served->linked_to, raw.linked_to);
+  EXPECT_EQ(served->epoch, raw.epoch);
+  EXPECT_EQ(service->Health().shed_queries, 1);
+}
+
+TEST(SupervisedServiceTest, StalledRefreshIsDetectedAndCountedOnce) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.stall_timeout_ms = 20.0;
+  auto service = SupervisedService::Create(MakeCorpus(12, 19), config);
+  ASSERT_TRUE(service.ok());
+
+  (void)service->AddGroup("pending arrival", {"text awaiting a refresh"});
+  FaultSpec stall;
+  stall.delay_ms = 100;
+  FaultInjector::Default().Arm(faults::kStallRefresh, stall);
+  ASSERT_TRUE(service->RefreshAsync());
+  while (service->inner().refresh_in_flight()) {
+    service->TickForTesting();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  service->WaitForRefresh();
+  const ServiceHealth health = service->Health();
+  EXPECT_EQ(health.refresh_stalls, 1);  // Counted once, not once per tick.
+  EXPECT_FALSE(health.refresh_stalled);
+  EXPECT_EQ(health.state, HealthState::kHealthy);  // Recovered.
+}
+
+TEST(SupervisedServiceTest, BackgroundWatchdogPersistsWithoutBeingAsked) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.service.persist_path = StorePath("background.glsnap");
+  config.enable_watchdog = true;
+  config.watchdog_interval_ms = 2.0;
+  // One transient failure to prove the retry ladder runs in background too.
+  FaultInjector::Default().Arm(faults::kFailFsync, FaultSpec::FailNTimes(1));
+  auto service = SupervisedService::Create(MakeCorpus(12, 21), config);
+  ASSERT_TRUE(service.ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service->last_persisted_epoch() != service->inner().published_epoch() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(service->last_persisted_epoch(), service->inner().published_epoch());
+  EXPECT_EQ(service->Health().state, HealthState::kHealthy);
+  ASSERT_TRUE(storage::RemoveFile(config.service.persist_path).ok());
+}
+
+TEST(SupervisedServiceTest, RestoreCountsThePersistedEpochAsPersisted) {
+  ScopedFaultClear clear;
+  SupervisedConfig config = TestConfig();
+  config.service.persist_path = StorePath("restore_supervised.glsnap");
+  {
+    auto service = SupervisedService::Create(MakeCorpus(12, 23), config);
+    ASSERT_TRUE(service.ok());
+    service->TickForTesting();  // Persist the seed epoch.
+    ASSERT_EQ(service->last_persisted_epoch(),
+              service->inner().published_epoch());
+  }
+  auto restored = SupervisedService::Restore(config);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(restored->last_persisted_epoch(),
+            restored->inner().published_epoch());
+  EXPECT_EQ(restored->Health().persist_lag_epochs, 0);
+  EXPECT_TRUE(restored->LinkQuery({"probe", {"record text"}}).ok());
+  ASSERT_TRUE(storage::RemoveFile(config.service.persist_path).ok());
+}
+
+}  // namespace
+}  // namespace resilience
+}  // namespace grouplink
