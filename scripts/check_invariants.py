@@ -29,6 +29,18 @@ Rules (ids usable in suppressions):
                   write-new-then-rename, fault-injection hooks) or the
                   record-I/O layer; ad-hoc file I/O elsewhere would dodge the
                   crash-recovery contract of DESIGN.md §12.
+  raw-mutex       std::mutex / std::lock_guard / std::condition_variable and
+                  friends anywhere except the common/mutex.h wrapper
+                  internals. All locking must go through gl::Mutex /
+                  gl::MutexLock so Clang Thread Safety Analysis sees every
+                  acquire/release (DESIGN.md §14); a raw primitive is a hole
+                  in the compile-time lock-discipline proof.
+  lock-blocking-call  A blocking call (sleep_for, Persist*, fopen/fstream)
+                  in a scope that holds a gl::MutexLock. Holding a lock
+                  across a sleep or disk write stalls every thread behind
+                  it; move the slow work outside the critical section, or
+                  suppress with a reason when serializing the slow work is
+                  exactly the lock's job.
   suppression-reason  NOLINT / gl-lint escapes must carry a reason:
                   `// NOLINT(check): why` or `// gl-lint: allow(rule) why`.
 
@@ -61,6 +73,16 @@ RAW_STDIO_RE = re.compile(
 SIMD_INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<(\w*intrin\.h)>")
 RAW_FILE_IO_RE = re.compile(
     r"\bfopen\s*\(|::open\s*\(|\bstd::(?:i|o)?fstream\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b")
+# A scoped gl lock coming into existence: `MutexLock lock(&mu);` (or the
+# reader/writer variants, possibly namespace-qualified).
+LOCK_DECL_RE = re.compile(
+    r"\b(?:MutexLock|ReaderMutexLock|WriterMutexLock)\s+\w+\s*[({]")
+BLOCKING_CALL_RE = re.compile(
+    r"\bsleep_for\s*\(|\bPersist\w*\s*\(|\bfopen\s*\(|\bstd::(?:i|o)?fstream\b")
 GUARD_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
 
 
@@ -203,6 +225,44 @@ def basename(path):
     return os.path.basename(path)
 
 
+def check_lock_blocking(code_lines, flag):
+    """Flags blocking calls made in a scope that holds a gl scoped lock.
+
+    Tracks brace depth line by line; a `MutexLock lock(...)` (or reader/
+    writer variant) pushes the depth at which it was declared, and is
+    popped once the enclosing block closes. A blocking call is a finding
+    while any pushed lock is still alive at the call's position. Purely
+    lexical — it cannot see through function calls — but the scoped-lock
+    idiom is mandatory here (raw-mutex rule), so same-scope coverage is
+    exactly the hole a human reviewer misses.
+    """
+    depth = 0
+    lock_stack = []  # brace depth at each live scoped-lock declaration
+    for idx, line in enumerate(code_lines, start=1):
+        decl = LOCK_DECL_RE.search(line)
+        blocking = BLOCKING_CALL_RE.search(line)
+        if blocking:
+            pos_depth = (depth
+                         + line.count("{", 0, blocking.start())
+                         - line.count("}", 0, blocking.start()))
+            held = any(d <= pos_depth for d in lock_stack)
+            if decl and decl.start() < blocking.start():
+                held = True
+            if held:
+                flag(idx, "lock-blocking-call",
+                     "blocking call while a gl::MutexLock is held in this "
+                     "scope; move the slow work outside the critical "
+                     "section (or suppress with a reason if serializing "
+                     "it is the lock's purpose)")
+        if decl:
+            lock_stack.append(depth
+                              + line.count("{", 0, decl.start())
+                              - line.count("}", 0, decl.start()))
+        depth += line.count("{") - line.count("}")
+        while lock_stack and depth < lock_stack[-1]:
+            lock_stack.pop()
+
+
 def lint_cxx(path, report):
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
@@ -218,6 +278,7 @@ def lint_cxx(path, report):
         report.add(path, idx, rule, message)
 
     in_thread_pool = basename(path).startswith("thread_pool.")
+    in_mutex_impl = basename(path).startswith("mutex.")
     in_random = basename(path) in ("random.cc",)
     in_logging = basename(path).startswith("logging.")
     in_simd_impl = basename(path).startswith(("simd_kernels.", "simd_dispatch."))
@@ -242,12 +303,20 @@ def lint_cxx(path, report):
                  "raw file I/O outside src/storage/ and src/data/record_io; "
                  "go through PageFile/PageWriter or record_io so the "
                  "crash-recovery and fault-injection contracts hold")
+        if not in_mutex_impl and RAW_MUTEX_RE.search(line):
+            flag(idx, "raw-mutex",
+                 "raw std::%s; use gl::Mutex/gl::MutexLock (common/mutex.h) "
+                 "so Clang Thread Safety Analysis sees the acquire/release "
+                 "(DESIGN.md §14)"
+                 % RAW_MUTEX_RE.search(line).group(1))
         if not in_simd_impl and SIMD_INCLUDE_RE.search(line):
             flag(idx, "simd-include",
                  "raw <%s> outside simd_kernels.*/simd_dispatch.*; go through "
                  "text/simd_kernels.h so the runtime dispatch and the "
                  "bit-identical scalar fallback stay the only ISA boundary"
                  % SIMD_INCLUDE_RE.search(line).group(1))
+
+    check_lock_blocking(code_lines, flag)
 
     if path.endswith(".h"):
         guard = None

@@ -30,6 +30,8 @@ EXPECTED = [
     ("suppression-reason", "bare_nolint.cc"),
     ("simd-include", "raw_simd_include.cc"),
     ("raw-file-io", "raw_file_io.cc"),
+    ("raw-mutex", "raw_mutex.cc"),
+    ("lock-blocking-call", "lock_blocking_call.cc"),
 ]
 
 
@@ -64,8 +66,8 @@ def main():
         return fail("ok fixtures should exit 0, got %d" % code, out)
     if "0 finding(s)" not in out:
         return fail("ok fixtures should have zero findings", out)
-    if "3 suppression(s)" not in out:
-        return fail("ok fixtures should count 3 reasoned suppressions", out)
+    if "5 suppression(s)" not in out:
+        return fail("ok fixtures should count 5 reasoned suppressions", out)
 
     code, out = run([])  # Default roots: the real src/ and bench/ trees.
     if code != 0:

@@ -3,8 +3,19 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
+
+// TSan detection across toolchains: GCC defines __SANITIZE_THREAD__,
+// Clang reports it through __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define GROUPLINK_EPOCH_CELL_TSAN_ 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GROUPLINK_EPOCH_CELL_TSAN_ 1
+#endif
+#endif
 
 namespace grouplink {
 
@@ -48,8 +59,8 @@ class EpochCell {
   /// from any thread at any time; the returned reference keeps the epoch
   /// alive however long the caller holds it.
   [[nodiscard]] std::shared_ptr<const T> Load() const {
-#if defined(__SANITIZE_THREAD__)
-    std::lock_guard<std::mutex> lock(mu_);
+#if defined(GROUPLINK_EPOCH_CELL_TSAN_)
+    MutexLock lock(&mu_);
     return cell_;
 #else
     return cell_.load(std::memory_order_acquire);
@@ -61,9 +72,9 @@ class EpochCell {
   /// writer by convention — concurrent Stores are safe but their order
   /// is whatever the atomic decides.
   void Store(std::shared_ptr<const T> next) {
-#if defined(__SANITIZE_THREAD__)
+#if defined(GROUPLINK_EPOCH_CELL_TSAN_)
     std::shared_ptr<const T> retired;  // Destroy the old epoch unlocked.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     retired.swap(cell_);
     cell_ = std::move(next);
 #else
@@ -72,9 +83,17 @@ class EpochCell {
   }
 
  private:
-#if defined(__SANITIZE_THREAD__)
-  mutable std::mutex mu_;
-  std::shared_ptr<const T> cell_;
+#if defined(GROUPLINK_EPOCH_CELL_TSAN_)
+  // The twin is a sanitizer-build artifact, not a lock-discipline
+  // opt-out: libstdc++'s _Sp_atomic hides its synchronization in a
+  // refcount lock bit TSan cannot model (GCC PR 101761), so under TSan
+  // the cell publishes through a real mutex with identical acquire/
+  // release semantics instead. The mutex path is fully annotated —
+  // no GL_NO_THREAD_SAFETY_ANALYSIS needed — and the production path
+  // is a bare atomic with no capability to track. DESIGN.md §14 covers
+  // when such twin structures are acceptable.
+  mutable Mutex mu_;
+  std::shared_ptr<const T> cell_ GL_GUARDED_BY(mu_);
 #else
   std::atomic<std::shared_ptr<const T>> cell_;
 #endif

@@ -31,7 +31,7 @@ FaultInjector& FaultInjector::Default() {
 }
 
 void FaultInjector::Arm(std::string_view point, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = points_.find(point);
   if (it == points_.end()) {
     it = points_.try_emplace(std::string(point)).first;
@@ -97,7 +97,7 @@ Status FaultInjector::ArmFromSpec(std::string_view spec_text) {
 }
 
 void FaultInjector::Disarm(std::string_view point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = points_.find(point);
   if (it == points_.end()) return;
   points_.erase(it);
@@ -105,14 +105,14 @@ void FaultInjector::Disarm(std::string_view point) {
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   points_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::ShouldFire(const char* point) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = points_.find(std::string_view(point));
   if (it == points_.end()) return false;
   PointState& state = it->second;
@@ -145,7 +145,7 @@ bool FaultInjector::FireWithDelay(const char* point) {
   if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
   double delay_ms = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     const auto it = points_.find(std::string_view(point));
     if (it != points_.end()) delay_ms = it->second.spec.delay_ms;
   }
@@ -157,25 +157,25 @@ bool FaultInjector::FireWithDelay(const char* point) {
 }
 
 int64_t FaultInjector::hits(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits.load(std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::fires(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires.load(std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::magnitude(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.spec.magnitude;
 }
 
 bool FaultInjector::armed(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return points_.find(point) != points_.end();
 }
 

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace grouplink {
@@ -145,8 +145,10 @@ class FaultInjector {
 
   // Fast disarmed-path gate: number of armed points.
   std::atomic<int64_t> armed_count_{0};
-  mutable std::mutex mutex_;
-  std::map<std::string, PointState, std::less<>> points_;
+  // Exclusive on every path by design: the lock serializes hit numbering,
+  // which is what makes fail_n_times / max_fires exact under concurrency.
+  mutable Mutex mutex_;
+  std::map<std::string, PointState, std::less<>> points_ GL_GUARDED_BY(mutex_);
 };
 
 /// Test helper: disarms every point on destruction so one test's armed

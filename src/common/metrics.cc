@@ -142,7 +142,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter& MetricsRegistry::CounterRef(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   GL_CHECK(gauges_.find(name) == gauges_.end() &&
            histograms_.find(name) == histograms_.end())
       << "metric '" << name << "' already registered as a different kind";
@@ -152,7 +152,7 @@ Counter& MetricsRegistry::CounterRef(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GaugeRef(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   GL_CHECK(counters_.find(name) == counters_.end() &&
            histograms_.find(name) == histograms_.end())
       << "metric '" << name << "' already registered as a different kind";
@@ -163,7 +163,7 @@ Gauge& MetricsRegistry::GaugeRef(const std::string& name) {
 
 Histogram& MetricsRegistry::HistogramRef(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   GL_CHECK(counters_.find(name) == counters_.end() &&
            gauges_.find(name) == gauges_.end())
       << "metric '" << name << "' already registered as a different kind";
@@ -173,14 +173,14 @@ Histogram& MetricsRegistry::HistogramRef(const std::string& name,
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();

@@ -6,9 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace grouplink {
 
@@ -159,10 +160,14 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps are guarded; the metrics inside them are not — references
+  // returned by *Ref() stay valid for the process lifetime and are
+  // internally atomic, so instrumentation sites never touch mutex_.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GL_GUARDED_BY(mutex_);
 };
 
 }  // namespace grouplink

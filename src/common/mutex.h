@@ -1,0 +1,201 @@
+#ifndef GROUPLINK_COMMON_MUTEX_H_
+#define GROUPLINK_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+// Annotated mutex layer: every lock in the project goes through these
+// wrappers so Clang Thread Safety Analysis (Hutchins et al., CGO 2014)
+// can prove the lock discipline at compile time (DESIGN.md §14). The
+// GL_* macros expand to Clang capability attributes under any compiler
+// that understands them and to nothing everywhere else, so GCC builds
+// are bit-identical to the unannotated tree. check_invariants.py's
+// raw-mutex rule confines the underlying std primitives to this header.
+//
+// Conventions (enforced by the -Wthread-safety CI gate):
+//   * every field guarded by a mutex carries GL_GUARDED_BY(mu_)
+//   * every *Locked() helper carries GL_REQUIRES(mu_)
+//   * functions that take the lock themselves carry GL_EXCLUDES(mu_)
+//     when callers might plausibly hold it
+//   * GL_NO_THREAD_SAFETY_ANALYSIS requires a reason string; bare
+//     suppressions do not compile.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GL_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef GL_THREAD_ANNOTATION_
+#define GL_THREAD_ANNOTATION_(x)
+#endif
+
+#define GL_CAPABILITY(x) GL_THREAD_ANNOTATION_(capability(x))
+#define GL_SCOPED_CAPABILITY GL_THREAD_ANNOTATION_(scoped_lockable)
+#define GL_GUARDED_BY(x) GL_THREAD_ANNOTATION_(guarded_by(x))
+#define GL_PT_GUARDED_BY(x) GL_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define GL_ACQUIRED_BEFORE(...) GL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define GL_ACQUIRED_AFTER(...) GL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define GL_REQUIRES(...) GL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define GL_REQUIRES_SHARED(...) \
+  GL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define GL_ACQUIRE(...) GL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define GL_ACQUIRE_SHARED(...) \
+  GL_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define GL_RELEASE(...) GL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define GL_RELEASE_SHARED(...) \
+  GL_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define GL_TRY_ACQUIRE(...) GL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define GL_TRY_ACQUIRE_SHARED(...) \
+  GL_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+#define GL_EXCLUDES(...) GL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define GL_ASSERT_CAPABILITY(x) GL_THREAD_ANNOTATION_(assert_capability(x))
+#define GL_ASSERT_SHARED_CAPABILITY(x) \
+  GL_THREAD_ANNOTATION_(assert_shared_capability(x))
+#define GL_RETURN_CAPABILITY(x) GL_THREAD_ANNOTATION_(lock_returned(x))
+
+// Suppression with a mandatory reason: the string is discarded by the
+// preprocessor but a bare GL_NO_THREAD_SAFETY_ANALYSIS() with no
+// argument is a compile error, so every opt-out carries its
+// justification next to the code it excuses.
+#define GL_NO_THREAD_SAFETY_ANALYSIS(reason) \
+  GL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace grouplink {
+
+class CondVar;
+
+/// Exclusive mutex. A thin wrapper over std::mutex whose only job is to
+/// carry the capability attribute; same cost, same semantics.
+class GL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GL_ACQUIRE() { raw_.lock(); }
+  void Unlock() GL_RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool TryLock() GL_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+  /// Analysis-only assertion that the calling context holds the lock.
+  /// No runtime effect; use where the analysis cannot see the acquire
+  /// (and say why in an adjacent comment).
+  void AssertHeld() const GL_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// Reader/writer mutex for read-mostly state (e.g. the Tracer): any
+/// number of ReaderLock holders, or one Lock holder.
+class GL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() GL_ACQUIRE() { raw_.lock(); }
+  void Unlock() GL_RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool TryLock() GL_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+  void ReaderLock() GL_ACQUIRE_SHARED() { raw_.lock_shared(); }
+  void ReaderUnlock() GL_RELEASE_SHARED() { raw_.unlock_shared(); }
+  [[nodiscard]] bool ReaderTryLock() GL_TRY_ACQUIRE_SHARED(true) {
+    return raw_.try_lock_shared();
+  }
+
+  void AssertHeld() const GL_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const GL_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex raw_;
+};
+
+/// RAII exclusive lock over Mutex. Scope-shaped by design: the analysis
+/// rejects code paths where the lock could leak or release twice.
+class GL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) GL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() GL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class GL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) GL_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() GL_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class GL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) GL_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() GL_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to Mutex. Wait/WaitFor require the mutex —
+/// the analysis rejects a wait without the lock held — and, like the
+/// std primitive, can wake spuriously: always wait in a loop over the
+/// guarded predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu and blocks; reacquires before returning.
+  void Wait(Mutex* mu) GL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> reacquire(mu->raw_, std::adopt_lock);
+    cv_.wait(reacquire);
+    reacquire.release();  // Ownership stays with the caller's MutexLock.
+  }
+
+  /// Wait bounded by `timeout_ms` (double, matching the project-wide
+  /// milliseconds convention). Returns true if notified before the
+  /// deadline, false on timeout (the lock is reacquired either way).
+  bool WaitFor(Mutex* mu, double timeout_ms) GL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> reacquire(mu->raw_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(
+        reacquire, std::chrono::duration<double, std::milli>(timeout_ms));
+    reacquire.release();
+    return st == std::cv_status::no_timeout;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace grouplink
+
+/// Short alias used throughout: gl::Mutex, gl::MutexLock, ...
+namespace gl = grouplink;
+
+#endif  // GROUPLINK_COMMON_MUTEX_H_

@@ -1,13 +1,13 @@
 #ifndef GROUPLINK_COMMON_THREAD_POOL_H_
 #define GROUPLINK_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace grouplink {
 
@@ -39,12 +39,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GL_GUARDED_BY(mutex_);
+  size_t in_flight_ GL_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GL_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `fn(i)` for i in [0, n) across the pool, blocking until all

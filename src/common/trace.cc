@@ -82,23 +82,23 @@ Tracer& Tracer::Default() {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   roots_.clear();
   dropped_ = 0;
 }
 
 size_t Tracer::num_roots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return roots_.size();
 }
 
 size_t Tracer::dropped_roots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return dropped_;
 }
 
 void Tracer::AddRoot(std::unique_ptr<TraceNode> root) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   if (roots_.size() >= kMaxRoots) {
     ++dropped_;
     return;
@@ -107,7 +107,7 @@ void Tracer::AddRoot(std::unique_ptr<TraceNode> root) {
 }
 
 std::string Tracer::ToText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::string out;
   for (const auto& root : roots_) {
     AppendText(*root, 0, &out);
@@ -119,7 +119,7 @@ std::string Tracer::ToText() const {
 }
 
 std::string Tracer::ToJson(int indent) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   JsonWriter json(indent);
   json.BeginObject();
   json.Key("spans");

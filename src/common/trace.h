@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace grouplink {
 
@@ -79,9 +80,12 @@ class Tracer {
 
   void AddRoot(std::unique_ptr<TraceNode> root);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceNode>> roots_;
-  size_t dropped_ = 0;
+  // Reader/writer split: exporters and size probes take the shared side,
+  // so concurrent ToText/ToJson/num_roots calls never serialize on each
+  // other — only span closes (AddRoot) and Clear write.
+  mutable SharedMutex mutex_;
+  std::vector<std::unique_ptr<TraceNode>> roots_ GL_GUARDED_BY(mutex_);
+  size_t dropped_ GL_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span. Prefer the GL_TRACE_SPAN macro.

@@ -2,13 +2,13 @@
 
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <string_view>
 
 #include "common/epoch_cell.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -104,32 +104,32 @@ struct LinkageService::Impl {
   using Clock = std::chrono::steady_clock;
 
   ServiceConfig config;
-  mutable std::mutex mu;
-  std::shared_ptr<IncrementalLinker> linker;  // Guarded by mu.
-  bool in_flight = false;                     // Guarded by mu.
-  std::vector<Op> ops_log;                    // Guarded by mu.
+  mutable Mutex mu;
+  std::shared_ptr<IncrementalLinker> linker GL_GUARDED_BY(mu);
+  bool in_flight GL_GUARDED_BY(mu) = false;
+  std::vector<Op> ops_log GL_GUARDED_BY(mu);
   /// Refresh-supervision surface, all guarded by mu: outcome of the last
   /// async build, the failure streak, the poison culprit of the last
   /// failure, and the timestamps the watchdog samples for epoch age and
   /// stall detection.
-  Status last_refresh = Status::Ok();
-  int64_t consecutive_refresh_failures = 0;
-  std::string last_refresh_culprit;
-  Clock::time_point last_publish_at = Clock::now();
-  Clock::time_point refresh_started_at{};
+  Status last_refresh GL_GUARDED_BY(mu) = Status::Ok();
+  int64_t consecutive_refresh_failures GL_GUARDED_BY(mu) = 0;
+  std::string last_refresh_culprit GL_GUARDED_BY(mu);
+  Clock::time_point last_publish_at GL_GUARDED_BY(mu) = Clock::now();
+  Clock::time_point refresh_started_at GL_GUARDED_BY(mu){};
   EpochCell<CorpusSnapshot> cell;
   /// Persistence state. persist_mu is independent of mu (persists run
   /// with mu released — disk never blocks ingest or queries) and
   /// serializes concurrent persists (manual + background) so two writers
   /// never race on one tmp file.
-  mutable std::mutex persist_mu;
-  Status last_persist = Status::Ok();         // Guarded by persist_mu.
+  mutable Mutex persist_mu GL_ACQUIRED_AFTER(mu);
+  Status last_persist GL_GUARDED_BY(persist_mu) = Status::Ok();
   std::unique_ptr<ThreadPool> refresh_pool;   // Keep last; see above.
 
   /// True when the refresh policy wants a new epoch, from the writer's
   /// public accumulation accessors (the writer's own inline trigger is
   /// disabled in async mode — the policy lives here instead).
-  bool PolicyWantsRefresh() const {
+  bool PolicyWantsRefresh() const GL_REQUIRES(mu) {
     const StreamingConfig& policy = config.streaming;
     if (policy.refresh_every_n_groups > 0 &&
         linker->groups_since_refresh() >= policy.refresh_every_n_groups) {
@@ -142,11 +142,12 @@ struct LinkageService::Impl {
     return false;
   }
 
-  void PublishLocked(const IncrementalLinker& source) {
+  void PublishLocked(const IncrementalLinker& source) GL_REQUIRES(mu) {
     PublishSnapshotLocked(CorpusSnapshot::Capture(source));
   }
 
-  void PublishSnapshotLocked(std::shared_ptr<const CorpusSnapshot> snapshot) {
+  void PublishSnapshotLocked(std::shared_ptr<const CorpusSnapshot> snapshot)
+      GL_REQUIRES(mu) {
     auto& metrics = ServiceMetrics::Get();
     metrics.published_epoch.Set(static_cast<double>(snapshot->epoch()));
     metrics.epochs_published.Increment();
@@ -155,8 +156,8 @@ struct LinkageService::Impl {
   }
 
   /// A refresh (any mode) completed and its epoch is published: clear the
-  /// failure streak the watchdog keys off. Requires mu held.
-  void NoteRefreshSuccessLocked() {
+  /// failure streak the watchdog keys off.
+  void NoteRefreshSuccessLocked() GL_REQUIRES(mu) {
     last_refresh = Status::Ok();
     consecutive_refresh_failures = 0;
     last_refresh_culprit.clear();
@@ -166,15 +167,15 @@ struct LinkageService::Impl {
   /// owned, keep the previous epoch serving, and surface the failure for
   /// the watchdog. The backlog ops were already applied to the live
   /// writer (the log exists only to replay them onto the clone), so
-  /// clearing it loses nothing. Requires mu NOT held.
-  void FailRefreshJob(std::string culprit) {
+  /// clearing it loses nothing.
+  void FailRefreshJob(std::string culprit) GL_EXCLUDES(mu) {
     Status failure = Status::Unavailable(
         culprit.empty()
             ? "async refresh build failed (injected)"
             : "async refresh build died absorbing poison batch '" + culprit + "'");
     GL_LOG(Warning) << "refresh failed: " << failure.message();
     ServiceMetrics::Get().refresh_failures.Increment();
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     ops_log.clear();
     in_flight = false;
     last_refresh = std::move(failure);
@@ -199,12 +200,14 @@ struct LinkageService::Impl {
 
   /// Writes `snapshot` to the configured store path. Never called with
   /// `mu` held. Records the outcome in last_persist and returns it.
-  Status PersistPublished(const std::shared_ptr<const CorpusSnapshot>& snapshot) {
+  Status PersistPublished(const std::shared_ptr<const CorpusSnapshot>& snapshot)
+      GL_EXCLUDES(mu) {
     storage::StorageOptions options;
     options.page_bytes = config.persist_page_bytes;
-    std::lock_guard<std::mutex> lock(persist_mu);
-    const Status status =
-        storage::SnapshotStore::Persist(*snapshot, config.persist_path, options);
+    MutexLock lock(&persist_mu);
+    // gl-lint: allow(lock-blocking-call) persist_mu exists to serialize disk writers (manual vs background persist); it guards no query or ingest state, so holding it across the store write is the point
+    const Status status = storage::SnapshotStore::Persist(
+        *snapshot, config.persist_path, options);
     if (!status.ok()) {
       GL_LOG(Warning) << "persist of epoch " << snapshot->epoch()
                       << " failed: " << status.message();
@@ -216,10 +219,10 @@ struct LinkageService::Impl {
     return status;
   }
 
-  /// Requires mu held and no refresh in flight. Clones the writer at the
-  /// current cut and hands the clone to the background worker; mutations
-  /// from here on are logged for replay.
-  void StartRefreshLocked() {
+  /// Requires no refresh in flight. Clones the writer at the current cut
+  /// and hands the clone to the background worker; mutations from here on
+  /// are logged for replay.
+  void StartRefreshLocked() GL_REQUIRES(mu) {
     GL_CHECK(!in_flight);
     in_flight = true;
     refresh_started_at = Clock::now();
@@ -241,7 +244,8 @@ struct LinkageService::Impl {
   /// snapshot copy and the per-op re-scoring of the replay run unlocked —
   /// an arrival's worst-case wait on `mu` is one backlog handoff, not a
   /// whole replay (that is the E18 stall number).
-  void RunRefreshJob(const std::shared_ptr<IncrementalLinker>& clone) {
+  void RunRefreshJob(const std::shared_ptr<IncrementalLinker>& clone)
+      GL_EXCLUDES(mu) {
     GL_TRACE_SPAN("service.async_refresh");
     // Injected stall: the build sleeps before doing any work, long enough
     // for a watchdog stall detector (or a test) to observe it in flight.
@@ -273,7 +277,7 @@ struct LinkageService::Impl {
       std::shared_ptr<const CorpusSnapshot> snapshot =
           CorpusSnapshot::Capture(*clone);
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         PublishSnapshotLocked(snapshot);
         NoteRefreshSuccessLocked();
       }
@@ -290,7 +294,7 @@ struct LinkageService::Impl {
     for (;;) {
       std::vector<Op> batch;
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (ops_log.empty()) {
           linker = clone;
           in_flight = false;
@@ -327,7 +331,7 @@ struct LinkageService::Impl {
   /// must persist *after releasing mu* (null when none) — the disk write
   /// never runs under the writer lock.
   [[nodiscard]] std::shared_ptr<const CorpusSnapshot> AfterMutationLocked(
-      Op op, bool inline_refreshed) {
+      Op op, bool inline_refreshed) GL_REQUIRES(mu) {
     if (in_flight) ops_log.push_back(std::move(op));
     if (inline_refreshed) {
       PublishLocked(*linker);
@@ -362,7 +366,7 @@ Result<LinkageService> LinkageService::Create(const Dataset& seed,
       IncrementalLinker::Create(seed, config.engine, writer_streaming));
   impl->linker = std::make_shared<IncrementalLinker>(std::move(linker));
   {
-    std::lock_guard<std::mutex> lock(impl->mu);
+    MutexLock lock(&impl->mu);
     impl->PublishLocked(*impl->linker);
   }
   impl->refresh_pool = std::make_unique<ThreadPool>(1);
@@ -393,7 +397,7 @@ Result<LinkageService> LinkageService::Restore(const ServiceConfig& config) {
                       IncrementalLinker::FromSnapshot(*snapshot, writer_streaming));
   impl->linker = std::move(linker);
   {
-    std::lock_guard<std::mutex> lock(impl->mu);
+    MutexLock lock(&impl->mu);
     // The recovered snapshot is published as-is — same epoch number, same
     // link set — no re-capture round trip.
     impl->PublishSnapshotLocked(std::move(snapshot));
@@ -447,7 +451,7 @@ std::vector<LinkageService::AddResult> LinkageService::AddGroups(
   std::vector<AddResult> results;
   std::shared_ptr<const CorpusSnapshot> to_persist;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     results = impl_->linker->AddGroups(batch);
     bool inline_refreshed = false;
     for (const AddResult& result : results) {
@@ -461,7 +465,7 @@ std::vector<LinkageService::AddResult> LinkageService::AddGroups(
 }
 
 void LinkageService::RemoveGroup(int32_t group) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->linker->RemoveGroup(group);
   // Removals never inline-refresh, so there is never a persist to run.
   (void)impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kRemove, {}, group, 0},
@@ -470,7 +474,7 @@ void LinkageService::RemoveGroup(int32_t group) {
 
 LinkageService::AddResult LinkageService::MergeGroups(int32_t into,
                                                       int32_t from) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   AddResult result = impl_->linker->MergeGroups(into, from);
   (void)impl_->AfterMutationLocked(Impl::Op{Impl::Op::Kind::kMerge, {}, into, from},
                                    /*inline_refreshed=*/false);
@@ -485,7 +489,7 @@ void LinkageService::Refresh() {
   std::shared_ptr<const CorpusSnapshot> to_persist;
   for (;;) {
     WaitForRefresh();
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     if (impl_->in_flight) continue;
     impl_->linker->Refresh();
     impl_->PublishLocked(*impl_->linker);
@@ -498,7 +502,7 @@ void LinkageService::Refresh() {
 }
 
 bool LinkageService::RefreshAsync() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   if (impl_->in_flight) return false;
   impl_->StartRefreshLocked();
   return true;
@@ -507,34 +511,34 @@ bool LinkageService::RefreshAsync() {
 void LinkageService::WaitForRefresh() { impl_->refresh_pool->Wait(); }
 
 bool LinkageService::refresh_in_flight() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->in_flight;
 }
 
 Status LinkageService::last_refresh_status() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->last_refresh;
 }
 
 int64_t LinkageService::consecutive_refresh_failures() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->consecutive_refresh_failures;
 }
 
 std::string LinkageService::last_refresh_culprit() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->last_refresh_culprit;
 }
 
 double LinkageService::published_age_ms() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return std::chrono::duration<double, std::milli>(Impl::Clock::now() -
                                                    impl_->last_publish_at)
       .count();
 }
 
 double LinkageService::refresh_inflight_ms() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   if (!impl_->in_flight) return 0.0;
   return std::chrono::duration<double, std::milli>(Impl::Clock::now() -
                                                    impl_->refresh_started_at)
@@ -542,7 +546,7 @@ double LinkageService::refresh_inflight_ms() const {
 }
 
 int32_t LinkageService::groups_since_refresh() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->linker->groups_since_refresh();
 }
 
@@ -555,7 +559,7 @@ Status LinkageService::PersistNow() {
 }
 
 Status LinkageService::last_persist_status() const {
-  std::lock_guard<std::mutex> lock(impl_->persist_mu);
+  MutexLock lock(&impl_->persist_mu);
   return impl_->last_persist;
 }
 
@@ -564,17 +568,17 @@ int64_t LinkageService::published_epoch() const {
 }
 
 int64_t LinkageService::writer_epoch() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->linker->epoch();
 }
 
 int32_t LinkageService::num_groups() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->linker->num_groups();
 }
 
 std::vector<std::pair<int32_t, int32_t>> LinkageService::linked_pairs() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->linker->linked_pairs();
 }
 

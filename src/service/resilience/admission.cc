@@ -48,7 +48,7 @@ AdmissionGate::AdmissionGate(const AdmissionConfig& config) : config_(config) {
 Status AdmissionGate::TryAdmit(double deadline_ms, Permit* permit) {
   GL_DCHECK(permit != nullptr);
   *permit = Permit();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (deadline_ms > 0.0) {
     if (config_.min_feasible_deadline_ms > 0.0 &&
         deadline_ms < config_.min_feasible_deadline_ms) {
@@ -83,7 +83,7 @@ Status AdmissionGate::TryAdmit(double deadline_ms, Permit* permit) {
 
 void AdmissionGate::RecordLatencyMs(double ms) {
   if (!std::isfinite(ms) || ms < 0.0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!ewma_primed_) {
     latency_ewma_ms_ = ms;
     ewma_primed_ = true;
@@ -93,37 +93,37 @@ void AdmissionGate::RecordLatencyMs(double ms) {
 }
 
 double AdmissionGate::latency_ewma_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return latency_ewma_ms_;
 }
 
 int32_t AdmissionGate::inflight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return inflight_;
 }
 
 int64_t AdmissionGate::admitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return admitted_;
 }
 
 int64_t AdmissionGate::shed_overload() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return shed_overload_;
 }
 
 int64_t AdmissionGate::shed_deadline() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return shed_deadline_;
 }
 
 int64_t AdmissionGate::shed_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return shed_overload_ + shed_deadline_;
 }
 
 void AdmissionGate::Release() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   GL_DCHECK_GT(inflight_, 0);
   --inflight_;
 }

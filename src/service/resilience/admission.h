@@ -2,8 +2,8 @@
 #define GROUPLINK_SERVICE_RESILIENCE_ADMISSION_H_
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace grouplink {
@@ -80,13 +80,13 @@ class AdmissionGate {
   void Release();
 
   AdmissionConfig config_;
-  mutable std::mutex mutex_;
-  int32_t inflight_ = 0;
-  double latency_ewma_ms_ = 0.0;
-  bool ewma_primed_ = false;
-  int64_t admitted_ = 0;
-  int64_t shed_overload_ = 0;
-  int64_t shed_deadline_ = 0;
+  mutable Mutex mutex_;
+  int32_t inflight_ GL_GUARDED_BY(mutex_) = 0;
+  double latency_ewma_ms_ GL_GUARDED_BY(mutex_) = 0.0;
+  bool ewma_primed_ GL_GUARDED_BY(mutex_) = false;
+  int64_t admitted_ GL_GUARDED_BY(mutex_) = 0;
+  int64_t shed_overload_ GL_GUARDED_BY(mutex_) = 0;
+  int64_t shed_deadline_ GL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace resilience

@@ -51,7 +51,7 @@ CircuitBreaker::CircuitBreaker(const BreakerConfig& config, NowMs now_ms)
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   switch (state_) {
     case BreakerState::kClosed:
       return true;
@@ -75,7 +75,7 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   switch (state_) {
     case BreakerState::kClosed:
       consecutive_failures_ = 0;
@@ -93,7 +93,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   switch (state_) {
     case BreakerState::kClosed:
       if (++consecutive_failures_ >= config_.failure_threshold) {
@@ -113,28 +113,28 @@ void CircuitBreaker::RecordFailure() {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return state_;
 }
 
 int32_t CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return consecutive_failures_;
 }
 
 int64_t CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return trips_;
 }
 
 int64_t CircuitBreaker::rejected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return rejected_;
 }
 
 std::vector<std::pair<BreakerState, BreakerState>>
 CircuitBreaker::transition_log() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return transitions_;
 }
 

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace grouplink {
@@ -83,18 +83,19 @@ class CircuitBreaker {
   [[nodiscard]] static bool IsLegalTransition(BreakerState from, BreakerState to);
 
  private:
-  void TransitionLocked(BreakerState to);
+  void TransitionLocked(BreakerState to) GL_REQUIRES(mutex_);
 
   BreakerConfig config_;
   NowMs now_ms_;
-  mutable std::mutex mutex_;
-  BreakerState state_ = BreakerState::kClosed;
-  int32_t consecutive_failures_ = 0;
-  bool probe_outstanding_ = false;
-  double opened_at_ms_ = 0.0;
-  int64_t trips_ = 0;
-  int64_t rejected_ = 0;
-  std::vector<std::pair<BreakerState, BreakerState>> transitions_;
+  mutable Mutex mutex_;
+  BreakerState state_ GL_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  int32_t consecutive_failures_ GL_GUARDED_BY(mutex_) = 0;
+  bool probe_outstanding_ GL_GUARDED_BY(mutex_) = false;
+  double opened_at_ms_ GL_GUARDED_BY(mutex_) = 0.0;
+  int64_t trips_ GL_GUARDED_BY(mutex_) = 0;
+  int64_t rejected_ GL_GUARDED_BY(mutex_) = 0;
+  std::vector<std::pair<BreakerState, BreakerState>> transitions_
+      GL_GUARDED_BY(mutex_);
 };
 
 }  // namespace resilience

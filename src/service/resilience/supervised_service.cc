@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -100,34 +99,36 @@ struct SupervisedService::Impl {
   RetryPolicy rearm_policy;
 
   /// Serializes watchdog ticks (background loop vs TickForTesting).
-  std::mutex tick_mu;
+  Mutex tick_mu;
 
   /// Guards the ledger and supervision counters below.
-  mutable std::mutex mu;
+  mutable Mutex mu;
   /// Arrival label -> live group indexes it produced (the quarantine
   /// ledger), with the reverse map for O(1) forgetting on remove/merge.
-  std::unordered_map<std::string, std::vector<int32_t>> arrivals;
-  std::unordered_map<int32_t, std::string> owner_label;
-  std::vector<std::string> quarantined;
-  std::string last_quarantined_label;
-  int64_t last_persisted_epoch = 0;
-  int64_t persist_retries_total = 0;
-  int64_t refresh_stalls = 0;
-  int64_t refresh_rearms = 0;
-  bool stall_counted = false;
-  double next_rearm_at_ms = 0.0;
+  std::unordered_map<std::string, std::vector<int32_t>> arrivals
+      GL_GUARDED_BY(mu);
+  std::unordered_map<int32_t, std::string> owner_label GL_GUARDED_BY(mu);
+  std::vector<std::string> quarantined GL_GUARDED_BY(mu);
+  std::string last_quarantined_label GL_GUARDED_BY(mu);
+  int64_t last_persisted_epoch GL_GUARDED_BY(mu) = 0;
+  int64_t persist_retries_total GL_GUARDED_BY(mu) = 0;
+  int64_t refresh_stalls GL_GUARDED_BY(mu) = 0;
+  int64_t refresh_rearms GL_GUARDED_BY(mu) = 0;
+  bool stall_counted GL_GUARDED_BY(mu) = false;
+  double next_rearm_at_ms GL_GUARDED_BY(mu) = 0.0;
 
-  std::mutex stop_mu;
-  std::condition_variable stop_cv;
-  bool stop = false;
+  Mutex stop_mu;
+  CondVar stop_cv;
+  bool stop GL_GUARDED_BY(stop_mu) = false;
   std::unique_ptr<ThreadPool> watchdog;
 
-  void RecordArrivalLocked(const std::string& label, int32_t group) {
+  void RecordArrivalLocked(const std::string& label, int32_t group)
+      GL_REQUIRES(mu) {
     arrivals[label].push_back(group);
     owner_label[group] = label;
   }
 
-  void ForgetGroupLocked(int32_t group) {
+  void ForgetGroupLocked(int32_t group) GL_REQUIRES(mu) {
     auto it = owner_label.find(group);
     if (it == owner_label.end()) return;
     auto arrival = arrivals.find(it->second);
@@ -148,22 +149,26 @@ struct SupervisedService::Impl {
 
   void StopWatchdog() {
     {
-      std::lock_guard<std::mutex> lock(stop_mu);
+      MutexLock lock(&stop_mu);
       stop = true;
     }
-    stop_cv.notify_all();
+    stop_cv.SignalAll();
     watchdog.reset();  // Joins the loop.
   }
 
+  // Restructured from a hand-juggled unlock/relock loop the analysis
+  // could not prove: each iteration now holds stop_mu for exactly one
+  // scoped region (stop check + bounded wait) and ticks unlocked.
   void WatchdogLoop() {
-    std::unique_lock<std::mutex> lock(stop_mu);
-    while (!stop) {
-      lock.unlock();
+    for (;;) {
+      {
+        MutexLock lock(&stop_mu);
+        if (stop) return;
+      }
       Tick();
-      lock.lock();
-      if (stop) break;
-      stop_cv.wait_for(lock, std::chrono::duration<double, std::milli>(
-                                 config.watchdog_interval_ms));
+      MutexLock lock(&stop_mu);
+      if (stop) return;
+      stop_cv.WaitFor(&stop_mu, config.watchdog_interval_ms);
     }
   }
 
@@ -177,7 +182,7 @@ struct SupervisedService::Impl {
 };
 
 void SupervisedService::Impl::Tick() {
-  std::lock_guard<std::mutex> tick_lock(tick_mu);
+  MutexLock tick_lock(&tick_mu);
   SupervisePersist();
   DetectStall();
   SuperviseRefresh();
@@ -188,7 +193,7 @@ void SupervisedService::Impl::SupervisePersist() {
   if (config.service.persist_path.empty()) return;
   const int64_t epoch = inner.published_epoch();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (epoch <= last_persisted_epoch) return;
   }
   if (!breaker.Allow()) return;  // Open: keep serving from RAM.
@@ -217,14 +222,14 @@ void SupervisedService::Impl::SupervisePersist() {
                     << " attempt(s): " << status.ToString()
                     << " (breaker " << BreakerStateName(breaker.state()) << ")";
   }
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   persist_retries_total += stats.retries;
   if (status.ok()) last_persisted_epoch = epoch;
 }
 
 void SupervisedService::Impl::DetectStall() {
   const double inflight_ms = inner.refresh_inflight_ms();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   if (inflight_ms > config.stall_timeout_ms) {
     if (!stall_counted) {
       stall_counted = true;
@@ -242,7 +247,7 @@ void SupervisedService::Impl::DetectStall() {
 void SupervisedService::Impl::SuperviseRefresh() {
   const int64_t streak = inner.consecutive_refresh_failures();
   if (streak == 0) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     next_rearm_at_ms = 0.0;
     return;
   }
@@ -254,7 +259,7 @@ void SupervisedService::Impl::SuperviseRefresh() {
   if (streak >= config.give_up_after_failures) return;  // Unhealthy; stop.
   const double now = NowMs();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (now < next_rearm_at_ms) return;
     const int32_t ordinal =
         static_cast<int32_t>(std::min<int64_t>(streak, 30));
@@ -262,7 +267,7 @@ void SupervisedService::Impl::SuperviseRefresh() {
   }
   if (inner.RefreshAsync()) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       ++refresh_rearms;
     }
     ResilienceMetrics::Get().refresh_rearms.Increment();
@@ -272,7 +277,7 @@ void SupervisedService::Impl::SuperviseRefresh() {
 void SupervisedService::Impl::Quarantine(const std::string& culprit) {
   std::vector<int32_t> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (culprit == last_quarantined_label) return;  // Already handled.
     auto it = arrivals.find(culprit);
     if (it != arrivals.end()) doomed = it->second;
@@ -281,7 +286,7 @@ void SupervisedService::Impl::Quarantine(const std::string& culprit) {
   }
   for (int32_t group : doomed) inner.RemoveGroup(group);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     for (int32_t group : doomed) owner_label.erase(group);
     arrivals.erase(culprit);
   }
@@ -303,7 +308,7 @@ ServiceHealth SupervisedService::Impl::ComputeHealth() const {
   health.storage_breaker = breaker.state();
   health.last_persist_status = inner.last_persist_status();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     health.refresh_stalls = refresh_stalls;
     health.refresh_rearms = refresh_rearms;
     health.persist_retries = persist_retries_total;
@@ -358,7 +363,10 @@ Result<SupervisedService> SupervisedService::Restore(
   cfg.service.persist_on_refresh = false;
   GL_ASSIGN_OR_RETURN(LinkageService inner, LinkageService::Restore(cfg.service));
   auto impl = std::make_unique<Impl>(std::move(inner), cfg);
-  impl->last_persisted_epoch = impl->inner.published_epoch();
+  {
+    MutexLock lock(&impl->mu);
+    impl->last_persisted_epoch = impl->inner.published_epoch();
+  }
   impl->StartWatchdog();
   return SupervisedService(std::move(impl));
 }
@@ -394,7 +402,7 @@ Result<SupervisedService::QueryResult> SupervisedService::LinkQuery(
 SupervisedService::AddResult SupervisedService::AddGroup(
     const std::string& label, const std::vector<std::string>& record_texts) {
   AddResult result = impl_->inner.AddGroup(label, record_texts);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->RecordArrivalLocked(label, result.group_index);
   return result;
 }
@@ -402,7 +410,7 @@ SupervisedService::AddResult SupervisedService::AddGroup(
 std::vector<SupervisedService::AddResult> SupervisedService::AddGroups(
     const std::vector<GroupArrival>& batch) {
   std::vector<AddResult> results = impl_->inner.AddGroups(batch);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   for (size_t i = 0; i < results.size() && i < batch.size(); ++i) {
     impl_->RecordArrivalLocked(batch[i].label, results[i].group_index);
   }
@@ -411,14 +419,14 @@ std::vector<SupervisedService::AddResult> SupervisedService::AddGroups(
 
 void SupervisedService::RemoveGroup(int32_t group) {
   impl_->inner.RemoveGroup(group);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->ForgetGroupLocked(group);
 }
 
 SupervisedService::AddResult SupervisedService::MergeGroups(int32_t into,
                                                             int32_t from) {
   AddResult result = impl_->inner.MergeGroups(into, from);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   impl_->ForgetGroupLocked(from);
   return result;
 }
@@ -438,7 +446,7 @@ ServiceHealth SupervisedService::Health() const {
 void SupervisedService::TickForTesting() { impl_->Tick(); }
 
 std::vector<std::string> SupervisedService::quarantined_labels() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->quarantined;
 }
 
@@ -452,7 +460,7 @@ SupervisedService::breaker_transitions() const {
 }
 
 int64_t SupervisedService::last_persisted_epoch() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   return impl_->last_persisted_epoch;
 }
 

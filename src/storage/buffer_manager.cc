@@ -51,8 +51,10 @@ void PageHandle::Release() {
 BufferManager::BufferManager(std::shared_ptr<const PageFile> file,
                              uint32_t page_bytes, uint64_t num_pages,
                              size_t pool_pages)
-    : file_(std::move(file)), page_bytes_(page_bytes), num_pages_(num_pages) {
+    : file_(std::move(file)), page_bytes_(page_bytes), num_pages_(num_pages),
+      pool_pages_(pool_pages) {
   GL_CHECK_GE(pool_pages, 1u);
+  MutexLock lock(&mu_);
   frames_.resize(pool_pages);
   page_map_.reserve(pool_pages);
 }
@@ -61,7 +63,7 @@ size_t BufferManager::FindVictimLocked() {
   // Clock sweep: first pass clears second-chance bits, so after at most
   // two revolutions every unpinned frame has been offered. An invalid
   // (never-loaded) frame is always a free victim.
-  const size_t n = frames_.size();
+  const size_t n = pool_pages_;
   for (size_t step = 0; step < 2 * n; ++step) {
     Frame& frame = frames_[clock_hand_];
     const size_t index = clock_hand_;
@@ -82,7 +84,7 @@ Result<PageHandle> BufferManager::Pin(uint64_t page_id) {
                               " out of range (store has " +
                               std::to_string(num_pages_) + " pages)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = page_map_.find(page_id);
   if (it != page_map_.end()) {
     Frame& frame = frames_[it->second];
@@ -95,9 +97,9 @@ Result<PageHandle> BufferManager::Pin(uint64_t page_id) {
   }
 
   const size_t victim = FindVictimLocked();
-  if (victim == frames_.size()) {
+  if (victim == pool_pages_) {
     return Status::FailedPrecondition(
-        "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+        "buffer pool exhausted: all " + std::to_string(pool_pages_) +
         " frames pinned");
   }
   Frame& frame = frames_[victim];
@@ -131,14 +133,14 @@ Result<PageHandle> BufferManager::Pin(uint64_t page_id) {
 }
 
 void BufferManager::Unpin(size_t frame_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Frame& frame = frames_[frame_index];
   GL_DCHECK_GT(frame.pins, 0);
   --frame.pins;
 }
 
 BufferStats BufferManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

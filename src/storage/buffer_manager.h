@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -89,7 +89,7 @@ class BufferManager {
   /// IoError (read failure), FailedPrecondition (all frames pinned).
   [[nodiscard]] Result<PageHandle> Pin(uint64_t page_id);
 
-  [[nodiscard]] size_t pool_pages() const { return frames_.size(); }
+  [[nodiscard]] size_t pool_pages() const { return pool_pages_; }
   [[nodiscard]] uint32_t page_bytes() const { return page_bytes_; }
   [[nodiscard]] uint64_t num_pages() const { return num_pages_; }
   [[nodiscard]] BufferStats stats() const;
@@ -108,18 +108,19 @@ class BufferManager {
   };
 
   void Unpin(size_t frame_index);
-  /// Clock sweep for an unpinned victim; frames_.size() marks failure.
-  size_t FindVictimLocked();
+  /// Clock sweep for an unpinned victim; pool_pages_ marks failure.
+  size_t FindVictimLocked() GL_REQUIRES(mu_);
 
   const std::shared_ptr<const PageFile> file_;
   const uint32_t page_bytes_;
   const uint64_t num_pages_;
+  const size_t pool_pages_;  // == frames_.size(), fixed at construction.
 
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;                       // Guarded by mu_.
-  std::unordered_map<uint64_t, size_t> page_map_;   // Guarded by mu_.
-  size_t clock_hand_ = 0;                           // Guarded by mu_.
-  BufferStats stats_;                               // Guarded by mu_.
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ GL_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, size_t> page_map_ GL_GUARDED_BY(mu_);
+  size_t clock_hand_ GL_GUARDED_BY(mu_) = 0;
+  BufferStats stats_ GL_GUARDED_BY(mu_);
 };
 
 /// Byte-addressed view of one segment (a logical byte stream spanning

@@ -1,0 +1,22 @@
+// Planted violation: blocking work performed while a gl scoped lock is
+// held in the same scope. Sleeping under a mutex stalls every thread
+// queued behind it; the slow work belongs outside the critical section.
+#include <chrono>
+#include <thread>
+
+#include "common/mutex.h"
+
+namespace grouplink {
+
+struct SlowUnderLock {
+  Mutex mu;
+  int value GL_GUARDED_BY(mu) = 0;
+
+  void BumpSlowly() {
+    MutexLock lock(&mu);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ++value;
+  }
+};
+
+}  // namespace grouplink

@@ -1,0 +1,19 @@
+// Planted violation: raw standard-library locking primitives outside
+// common/mutex.h. These dodge the GL_* capability annotations, so Clang
+// Thread Safety Analysis cannot see the acquire/release — the linter must
+// flag both the member and the guard object.
+#include <mutex>
+
+namespace grouplink {
+
+struct BareCounter {
+  std::mutex mu;
+  int value = 0;
+
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++value;
+  }
+};
+
+}  // namespace grouplink

@@ -1,0 +1,52 @@
+// Positive control for the thread_safety_enforced harness: pulls in the
+// demo fixture plus every annotated production header and uses them
+// correctly. This TU must compile *clean* under -Wthread-safety -Werror
+// — it proves the WILL_FAIL targets fail because of their planted
+// violations, not because the fixture or the annotated tree is broken.
+#include "tsa_fixture.h"
+
+#include "common/epoch_cell.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/service.h"
+#include "service/resilience/admission.h"
+#include "service/resilience/circuit_breaker.h"
+#include "service/resilience/supervised_service.h"
+#include "storage/buffer_manager.h"
+
+namespace grouplink {
+
+int ReadUnderLock(AnnotatedPair& pair) {
+  MutexLock lock(&pair.mu);
+  pair.BumpLocked();
+  return pair.guarded;
+}
+
+void SignalReady(AnnotatedPair& pair) {
+  {
+    MutexLock lock(&pair.mu);
+    pair.ready = true;
+  }
+  pair.cv.SignalAll();
+}
+
+int TryThenRead(AnnotatedPair& pair) {
+  if (pair.mu.TryLock()) {
+    const int value = pair.guarded;
+    pair.mu.Unlock();
+    return value;
+  }
+  return pair.Read();
+}
+
+}  // namespace grouplink
+
+int main() {
+  grouplink::AnnotatedPair pair;
+  grouplink::SignalReady(pair);
+  pair.WaitUntilReady();
+  return grouplink::ReadUnderLock(pair) == 1 ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// Planted violation: waiting on a CondVar without holding the mutex it
+// is bound to (UB on the underlying std::condition_variable).
+#include "tsa_fixture.h"
+
+namespace grouplink {
+void WaitWithoutLock(AnnotatedPair& pair) {
+  pair.cv.Wait(&pair.mu);  // BAD: Wait requires mu.
+}
+}  // namespace grouplink

@@ -1,0 +1,11 @@
+// Planted violation: acquiring a mutex that is already held
+// (self-deadlock on a non-recursive mutex).
+#include "tsa_fixture.h"
+
+namespace grouplink {
+void AcquireTwice(AnnotatedPair& pair) {
+  MutexLock outer(&pair.mu);
+  MutexLock inner(&pair.mu);  // BAD: mu already held.
+  ++pair.guarded;
+}
+}  // namespace grouplink

@@ -1,0 +1,10 @@
+// Planted violation: calling a GL_EXCLUDES(mu) function while holding mu
+// (it would self-deadlock taking the lock again).
+#include "tsa_fixture.h"
+
+namespace grouplink {
+void SyncWhileHolding(AnnotatedPair& pair) {
+  MutexLock lock(&pair.mu);
+  pair.Sync();  // BAD: Sync excludes mu.
+}
+}  // namespace grouplink

@@ -1,0 +1,8 @@
+// Planted violation: releasing a mutex that was never acquired.
+#include "tsa_fixture.h"
+
+namespace grouplink {
+void ReleaseUnheld(AnnotatedPair& pair) {
+  pair.mu.Unlock();  // BAD: mu is not held here.
+}
+}  // namespace grouplink

@@ -1,0 +1,9 @@
+// Planted violation: calling a GL_REQUIRES(mu) *Locked() helper without
+// holding the lock.
+#include "tsa_fixture.h"
+
+namespace grouplink {
+void CallLockedHelperUnlocked(AnnotatedPair& pair) {
+  pair.BumpLocked();  // BAD: BumpLocked requires mu.
+}
+}  // namespace grouplink

@@ -1,0 +1,10 @@
+// Planted violation: a manually acquired lock leaks past the end of the
+// function (no matching Unlock on the return path).
+#include "tsa_fixture.h"
+
+namespace grouplink {
+int LeakLock(AnnotatedPair& pair) {
+  pair.mu.Lock();
+  return pair.guarded;  // BAD: mu still held at end of function.
+}
+}  // namespace grouplink

@@ -1,0 +1,43 @@
+#ifndef GROUPLINK_TESTS_LINT_FIXTURES_THREAD_SAFETY_TSA_FIXTURE_H_
+#define GROUPLINK_TESTS_LINT_FIXTURES_THREAD_SAFETY_TSA_FIXTURE_H_
+
+// Shared demo class for the thread_safety_enforced negative-compile
+// harness (tests/CMakeLists.txt). Each planted-violation TU includes
+// this header and breaks the lock discipline in exactly one way; the
+// harness asserts that clang -Wthread-safety -Werror rejects every one
+// of them, and that this header itself (plus the real annotated tree,
+// via clean.cc) compiles warning-free.
+
+#include "common/mutex.h"
+
+namespace grouplink {
+
+struct AnnotatedPair {
+  Mutex mu;
+  CondVar cv;
+  int guarded GL_GUARDED_BY(mu) = 0;
+  bool ready GL_GUARDED_BY(mu) = false;
+
+  // *Locked() naming convention: caller must hold mu.
+  void BumpLocked() GL_REQUIRES(mu) { ++guarded; }
+
+  // Takes the lock itself; callers must NOT hold mu.
+  void Sync() GL_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    ++guarded;
+  }
+
+  int Read() GL_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    return guarded;
+  }
+
+  void WaitUntilReady() GL_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+  }
+};
+
+}  // namespace grouplink
+
+#endif  // GROUPLINK_TESTS_LINT_FIXTURES_THREAD_SAFETY_TSA_FIXTURE_H_

@@ -1,0 +1,9 @@
+// Planted violation: reading a GL_GUARDED_BY field with no lock held.
+// Expected: error [-Wthread-safety-analysis] "requires holding mutex".
+#include "tsa_fixture.h"
+
+namespace grouplink {
+int PeekWithoutLock(AnnotatedPair& pair) {
+  return pair.guarded;  // BAD: mu not held.
+}
+}  // namespace grouplink

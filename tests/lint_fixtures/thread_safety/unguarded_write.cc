@@ -1,0 +1,8 @@
+// Planted violation: writing a GL_GUARDED_BY field with no lock held.
+#include "tsa_fixture.h"
+
+namespace grouplink {
+void PokeWithoutLock(AnnotatedPair& pair) {
+  pair.guarded = 7;  // BAD: mu not held.
+}
+}  // namespace grouplink

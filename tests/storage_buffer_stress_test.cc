@@ -74,6 +74,7 @@ TEST(BufferStressTest, ManyThreadsFourFramesEveryByteVerified) {
 
   std::atomic<int> bad_bytes{0};
   std::atomic<int> errors{0};
+  std::atomic<uint64_t> successful_pins{0};
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -85,11 +86,23 @@ TEST(BufferStressTest, ManyThreadsFourFramesEveryByteVerified) {
       for (int i = 0; i < kPinsPerThread; ++i) {
         state = state * 6364136223846793005ull + 1442695040888963407ull;
         const uint64_t page = (state >> 33) % kNumPages;
-        const auto handle = fixture.buffer->Pin(page);
+        // 8 threads each briefly holding one pin can transiently exceed
+        // the 4-frame budget; exhaustion is the documented clean-failure
+        // mode (see ExhaustedPoolFailsCleanlyAndRecovers), so retry it.
+        // Anything else — I/O error, corruption — is a real failure.
+        auto handle = fixture.buffer->Pin(page);
+        int spins = 0;
+        while (!handle.ok() &&
+               handle.status().code() == StatusCode::kFailedPrecondition &&
+               ++spins < 10000) {
+          std::this_thread::yield();
+          handle = fixture.buffer->Pin(page);
+        }
         if (!handle.ok()) {
           ++errors;
           continue;
         }
+        ++successful_pins;
         const size_t probe = static_cast<size_t>(state % handle->payload_len());
         if (handle->payload()[probe] != ExpectedByte(page, probe) ||
             handle->payload_len() != PagePayloadCapacity(kPageBytes)) {
@@ -101,10 +114,13 @@ TEST(BufferStressTest, ManyThreadsFourFramesEveryByteVerified) {
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(bad_bytes.load(), 0);
-
-  const BufferStats stats = fixture.buffer->stats();
-  EXPECT_EQ(stats.hits + stats.misses,
+  EXPECT_EQ(successful_pins.load(),
             static_cast<uint64_t>(kThreads) * kPinsPerThread);
+
+  // Every successful pin is exactly one hit or one miss; an exhausted
+  // attempt counts neither.
+  const BufferStats stats = fixture.buffer->stats();
+  EXPECT_EQ(stats.hits + stats.misses, successful_pins.load());
   EXPECT_GT(stats.misses, 0u);
   EXPECT_GT(stats.evictions, 0u);
   // Pool budget is a hard ceiling regardless of contention.
